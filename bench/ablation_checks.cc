@@ -1,0 +1,144 @@
+// Ablations for the design choices DESIGN.md calls out: what each runtime
+// checking layer costs when enabled, recording, or compiled away.
+//
+//   A. buffer_head state validation per transition (block layer)
+//   B. lock-order tracking vs a plain mutex (sync layer)
+//   C. ownership checking modes (ownership layer)
+//   D. refinement checking on/off on a live specfs (spec layer)
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/ownership/owned.h"
+#include "src/spec/refinement.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+namespace {
+
+// --- A: buffer state validation ---
+
+void BufferCycle(BufferCache& cache) {
+  auto r = cache.ReadBlock(3);
+  SKERN_CHECK(r.ok());
+  BufferHead* bh = r.value();
+  bh->data[0] ^= 1;
+  cache.MarkDirty(bh);
+  SKERN_CHECK(cache.WriteBack(bh).ok());
+  cache.Release(bh);
+}
+
+void BM_BufferCycle_Checked(benchmark::State& state) {
+  SetBufferStateChecking(true);
+  RamDisk disk(16, 1);
+  BufferCache cache(disk, 8);
+  for (auto _ : state) {
+    BufferCycle(cache);
+  }
+}
+BENCHMARK(BM_BufferCycle_Checked);
+
+void BM_BufferCycle_Unchecked(benchmark::State& state) {
+  SetBufferStateChecking(false);
+  RamDisk disk(16, 1);
+  BufferCache cache(disk, 8);
+  for (auto _ : state) {
+    BufferCycle(cache);
+  }
+  SetBufferStateChecking(true);
+}
+BENCHMARK(BM_BufferCycle_Unchecked);
+
+// --- B: lock tracking ---
+
+void BM_PlainMutexLockUnlock(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_PlainMutexLockUnlock);
+
+void BM_TrackedMutexLockUnlock(benchmark::State& state) {
+  TrackedMutex mu("bench.tracked");
+  for (auto _ : state) {
+    mu.Lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.Unlock();
+  }
+}
+BENCHMARK(BM_TrackedMutexLockUnlock);
+
+void BM_TrackedMutexNested(benchmark::State& state) {
+  // Ordering edges get recorded on nested acquisition — the expensive path.
+  TrackedMutex outer("bench.nested.outer");
+  TrackedMutex inner("bench.nested.inner");
+  for (auto _ : state) {
+    MutexGuard g1(outer);
+    MutexGuard g2(inner);
+    benchmark::DoNotOptimize(&inner);
+  }
+}
+BENCHMARK(BM_TrackedMutexNested);
+
+// --- C: ownership modes ---
+
+void OwnershipLendLoop(benchmark::State& state, OwnershipMode target) {
+  ScopedOwnershipMode mode(target);
+  auto cell = Owned<uint64_t>::Make(0);
+  for (auto _ : state) {
+    auto lend = cell.LendExclusive();
+    ++lend.Get();
+    benchmark::DoNotOptimize(lend.Get());
+  }
+}
+
+void BM_OwnershipLend_Checked(benchmark::State& state) {
+  OwnershipLendLoop(state, OwnershipMode::kChecked);
+}
+BENCHMARK(BM_OwnershipLend_Checked);
+
+void BM_OwnershipLend_Recording(benchmark::State& state) {
+  OwnershipLendLoop(state, OwnershipMode::kRecording);
+}
+BENCHMARK(BM_OwnershipLend_Recording);
+
+void BM_OwnershipLend_Unchecked(benchmark::State& state) {
+  OwnershipLendLoop(state, OwnershipMode::kUnchecked);
+}
+BENCHMARK(BM_OwnershipLend_Unchecked);
+
+// --- D: refinement on a live specfs ---
+
+void BM_SpecFsOp(benchmark::State& state, RefinementMode mode) {
+  ScopedRefinementMode scoped(mode);
+  RamDisk disk(256, 2);
+  auto safefs = SafeFs::Format(disk, 64, 16).value();
+  SpecFs spec(safefs);
+  SKERN_CHECK(spec.Create("/f").ok());
+  SKERN_CHECK(spec.Write("/f", 0, Bytes(1024, 0x11)).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.Read("/f", 0, 1024));
+  }
+}
+
+void BM_SpecFsRead_Enforcing(benchmark::State& state) {
+  BM_SpecFsOp(state, RefinementMode::kEnforcing);
+}
+BENCHMARK(BM_SpecFsRead_Enforcing);
+
+void BM_SpecFsRead_Disabled(benchmark::State& state) {
+  BM_SpecFsOp(state, RefinementMode::kDisabled);
+}
+BENCHMARK(BM_SpecFsRead_Disabled);
+
+}  // namespace
+}  // namespace skern
+
+BENCHMARK_MAIN();

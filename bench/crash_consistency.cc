@@ -1,0 +1,182 @@
+// E13 — what crash safety costs and what it buys: journal commit latency by
+// transaction size, recovery latency, sync cost at each rung, plus a
+// correctness summary (recovery vs the specification's crash oracle).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
+#include "src/block/journal.h"
+#include "src/fs/legacyfs/legacyfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/spec/fs_model.h"
+
+namespace skern {
+namespace {
+
+void BM_JournalCommit(benchmark::State& state) {
+  int64_t blocks = state.range(0);
+  RamDisk disk(1024, 1);
+  Journal journal(disk, 512, 512);
+  SKERN_CHECK(journal.Format().ok());
+  Bytes content(kBlockSize, 0x61);
+  for (auto _ : state) {
+    auto tx = journal.Begin();
+    for (int64_t b = 0; b < blocks; ++b) {
+      tx.AddBlock(static_cast<uint64_t>(b), ByteView(content));
+    }
+    benchmark::DoNotOptimize(journal.Commit(std::move(tx)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * blocks * kBlockSize);
+}
+BENCHMARK(BM_JournalCommit)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_JournalRecovery(benchmark::State& state) {
+  int64_t blocks = state.range(0);
+  Bytes content(kBlockSize, 0x62);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RamDisk disk(1024, 2);
+    {
+      Journal journal(disk, 512, 512);
+      SKERN_CHECK(journal.Format().ok());
+      auto tx = journal.Begin();
+      for (int64_t b = 0; b < blocks; ++b) {
+        tx.AddBlock(static_cast<uint64_t>(b), ByteView(content));
+      }
+      // Crash right after the commit record: recovery must replay everything.
+      disk.ScheduleCrashAfterWrites(static_cast<uint64_t>(blocks) + 3,
+                                    CrashPersistence::kLoseAll);
+      (void)journal.Commit(std::move(tx));
+    }
+    Journal recovered(disk, 512, 512);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(recovered.Recover());
+  }
+}
+BENCHMARK(BM_JournalRecovery)->Arg(4)->Arg(64)->Arg(256);
+
+// Sync cost after a burst of dirty ops, per rung.
+void BenchBurstSync(benchmark::State& state, const std::string& kind) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto disk = std::make_unique<RamDisk>(1024, 3);
+    std::unique_ptr<BufferCache> cache;
+    std::shared_ptr<FileSystem> fs;
+    if (kind == "legacyfs") {
+      cache = std::make_unique<BufferCache>(*disk, 512);
+      FsGeometry geo = MakeGeometry(1024, 128, 0);
+      fs = MakeLegacyFs(*cache, &geo, true);
+    } else {
+      fs = SafeFs::Format(*disk, 128, 64).value();
+    }
+    for (int i = 0; i < 16; ++i) {
+      SKERN_CHECK(fs->Create("/f" + std::to_string(i)).ok());
+      SKERN_CHECK(fs->Write("/f" + std::to_string(i), 0, Bytes(4096, 0x11)).ok());
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fs->Sync());
+  }
+}
+
+}  // namespace
+}  // namespace skern
+
+int main(int argc, char** argv) {
+  using namespace skern;
+
+  // Correctness summary first: the thing the cost buys.
+  {
+    int safe_ok = 0;
+    int legacy_ok = 0;
+    constexpr int kTrials = 40;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      for (bool journaled : {true, false}) {
+        RamDisk disk(256, trial);
+        std::unique_ptr<BufferCache> cache;
+        std::shared_ptr<FileSystem> fs;
+        if (journaled) {
+          fs = SafeFs::Format(disk, 64, 32).value();
+        } else {
+          cache = std::make_unique<BufferCache>(disk, 128);
+          FsGeometry geo = MakeGeometry(256, 64, 0);
+          fs = MakeLegacyFs(*cache, &geo, true);
+        }
+        FsModel model;
+        Rng rng(trial * 7 + 1);
+        disk.ScheduleCrashAfterWrites(5 + rng.NextBelow(60),
+                                      CrashPersistence::kRandomSubset, true);
+        FsModel entering = model;
+        bool crashed = false;
+        for (int op = 0; op < 500 && !crashed; ++op) {
+          std::string path = "/f" + std::to_string(rng.NextBelow(4));
+          switch (rng.NextBelow(3)) {
+            case 0:
+              if (fs->Create(path).ok()) {
+                (void)model.Create(path);
+              }
+              break;
+            case 1: {
+              Bytes data = rng.NextBytes(200);
+              uint64_t offset = rng.NextBelow(1024);
+              if (fs->Write(path, offset, ByteView(data)).ok()) {
+                (void)model.Write(path, offset, ByteView(data));
+              }
+              break;
+            }
+            case 2: {
+              entering = model;
+              if (fs->Sync().ok()) {
+                model.Sync();
+              } else {
+                crashed = true;
+              }
+              break;
+            }
+          }
+        }
+        if (!crashed) {
+          continue;
+        }
+        model.Crash();
+        entering.Sync();
+        entering.Crash();
+        fs.reset();
+        cache.reset();
+        bool consistent = false;
+        if (journaled) {
+          auto remounted = SafeFs::Mount(disk);
+          consistent = remounted.ok() &&
+                       (DiffFsAgainstModel(*remounted.value(), model.state()).empty() ||
+                        DiffFsAgainstModel(*remounted.value(), entering.state()).empty());
+          safe_ok += consistent ? 1 : 0;
+        } else {
+          BufferCache cache2(disk, 128);
+          auto remounted = MakeLegacyFs(cache2, nullptr, false);
+          consistent = remounted != nullptr &&
+                       (DiffFsAgainstModel(*remounted, model.state()).empty() ||
+                        DiffFsAgainstModel(*remounted, entering.state()).empty());
+          legacy_ok += consistent ? 1 : 0;
+        }
+      }
+    }
+    std::printf("E13 correctness: crash-oracle-consistent recoveries out of %d crashes:\n",
+                kTrials);
+    std::printf("  safefs (journaled):  %d\n  legacyfs (no journal): %d\n\n", safe_ok,
+                legacy_ok);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  for (const char* kind : {"legacyfs", "safefs"}) {
+    std::string k = kind;
+    benchmark::RegisterBenchmark(("BM_BurstSync/" + k).c_str(),
+                                 [k](benchmark::State& s) { BenchBurstSync(s, k); });
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

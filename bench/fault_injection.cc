@@ -1,0 +1,35 @@
+// E11 — the roadmap's payoff, measured: each §2 bug class injected at each
+// rung of the ladder. Memory/type rows flip to PREVENTED/DETECTED at rungs
+// 2-3, semantic rows at rung 4, numeric errors never — mirroring 42/35/23.
+#include <cstdio>
+
+#include "src/cve/corpus.h"
+#include "src/faultinject/harness.h"
+
+int main() {
+  using namespace skern;
+  FaultInjectionHarness harness(42);
+  auto results = harness.RunAll();
+  std::printf("E11 / fault-injection matrix\n\n%s\n",
+              FaultInjectionHarness::RenderMatrix(results).c_str());
+
+  auto params = DefaultCorpusParams();
+  std::printf("share of the CVE corpus whose class is stopped at or below each rung:\n");
+  for (int level = 0; level < kSafetyLevelCount; ++level) {
+    auto l = static_cast<SafetyLevel>(level);
+    double fraction =
+        FaultInjectionHarness::PreventedCorpusFraction(results, l, params.cwe_mix);
+    std::printf("  %-15s %5.1f%%\n", SafetyLevelName(l), fraction * 100.0);
+  }
+  std::printf("\n(paper: 42%% at type+ownership, 77%% cumulative with functional\n"
+              " correctness, 23%% out of reach — numeric errors and design flaws)\n\n");
+  std::printf("details:\n");
+  for (const auto& result : results) {
+    if (result.outcome == InjectionOutcome::kDetected ||
+        (result.level == SafetyLevel::kUnsafe && !result.note.empty())) {
+      std::printf("  [%-14s] %-34s %s\n", SafetyLevelName(result.level),
+                  BugClassName(result.bug), result.note.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// E1 — Figure 1: systems by lines of code vs. safety guarantee, plus this
+// repository's own per-rung inventory (the "Safe Linux incremental progress"
+// series rendered as data).
+#include <cstdio>
+
+#include "src/core/landscape.h"
+#include "src/core/module.h"
+
+int main() {
+  using namespace skern;
+  RegisterBuiltinModules();
+  std::printf("E1 / Figure 1 — the vision landscape\n\n%s\n",
+              RenderLandscapeTable().c_str());
+  auto& registry = ModuleRegistry::Get();
+  std::printf("incremental progress within skern (share of module LoC at or above rung):\n");
+  for (int level = 1; level < kSafetyLevelCount; ++level) {
+    auto l = static_cast<SafetyLevel>(level);
+    std::printf("  >= %-15s %5.1f%%\n", SafetyLevelName(l),
+                registry.FractionAtOrAbove(l) * 100.0);
+  }
+  return 0;
+}

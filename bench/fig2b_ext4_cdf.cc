@@ -1,0 +1,21 @@
+// E3 — Figure 2b: CDF of when ext4 CVEs were reported relative to ext4's
+// initial release. The paper's finding: 50% of ext4 CVEs were found after
+// 7+ years of use — mature code keeps yielding vulnerabilities.
+#include <cstdio>
+
+#include "src/cve/analysis.h"
+#include "src/cve/corpus.h"
+
+int main() {
+  using namespace skern;
+  auto corpus = CveCorpus::Generate(DefaultCorpusParams(), 42);
+  auto cdf = ReportLatencyCdf(corpus, "ext4");
+  std::printf("E3 / Figure 2b\n\n%s", RenderLatencyCdf(cdf, "ext4").c_str());
+  std::printf("\nmedian report latency: %.1f years  (paper: >= 7 years)\n",
+              MedianReportLatency(corpus, "ext4"));
+  // Other file systems "share a similar trend":
+  for (const char* fs : {"btrfs", "fs-other"}) {
+    std::printf("%-10s median: %.1f years\n", fs, MedianReportLatency(corpus, fs));
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+// E9 — file-system operations at each rung of the ladder: legacyfs (unsafe,
+// buffer-cached), safefs (typed + ownership-safe + journaled), specfs with
+// refinement checking on, and specfs with checking disabled (the shipped
+// configuration — "verification is a compile-time check").
+//
+// Expected shape (the Bento/RedLeaf/Theseus argument): safefs within a small
+// factor of legacyfs; the refinement-checked configuration pays for running
+// the model; the disabled configuration returns to safefs cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
+#include "src/fs/legacyfs/legacyfs.h"
+#include "src/fs/memfs/memfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/spec/refinement.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 1024;
+constexpr uint64_t kInodes = 128;
+
+struct Stack {
+  std::unique_ptr<RamDisk> disk;
+  std::unique_ptr<BufferCache> cache;  // legacy only
+  std::shared_ptr<FileSystem> fs;
+  RefinementMode refinement = RefinementMode::kEnforcing;
+};
+
+Stack MakeStack(const std::string& kind) {
+  Stack stack;
+  stack.disk = std::make_unique<RamDisk>(kDiskBlocks, 1);
+  if (kind == "legacyfs") {
+    stack.cache = std::make_unique<BufferCache>(*stack.disk, 512);
+    FsGeometry geo = MakeGeometry(kDiskBlocks, kInodes, 0);
+    stack.fs = MakeLegacyFs(*stack.cache, &geo, true);
+  } else if (kind == "memfs") {
+    // The specification executed directly: the in-memory upper bound.
+    stack.fs = std::make_shared<MemFs>();
+  } else {
+    auto safefs = SafeFs::Format(*stack.disk, kInodes, 64).value();
+    if (kind == "safefs") {
+      stack.fs = safefs;
+    } else {
+      stack.fs = std::make_shared<SpecFs>(safefs);
+      stack.refinement =
+          kind == "specfs-checked" ? RefinementMode::kEnforcing : RefinementMode::kDisabled;
+    }
+  }
+  return stack;
+}
+
+void BenchCreateUnlink(benchmark::State& state, const std::string& kind) {
+  Stack stack = MakeStack(kind);
+  ScopedRefinementMode mode(stack.refinement);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.fs->Create("/f"));
+    benchmark::DoNotOptimize(stack.fs->Unlink("/f"));
+  }
+}
+
+void BenchWrite4K(benchmark::State& state, const std::string& kind) {
+  Stack stack = MakeStack(kind);
+  ScopedRefinementMode mode(stack.refinement);
+  SKERN_CHECK(stack.fs->Create("/f").ok());
+  Bytes block(4096, 0x77);
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.fs->Write("/f", offset % (16 * 4096), ByteView(block)));
+    offset += 4096;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+
+void BenchRead4K(benchmark::State& state, const std::string& kind) {
+  Stack stack = MakeStack(kind);
+  ScopedRefinementMode mode(stack.refinement);
+  SKERN_CHECK(stack.fs->Create("/f").ok());
+  SKERN_CHECK(stack.fs->Write("/f", 0, Bytes(16 * 4096, 0x42)).ok());
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.fs->Read("/f", offset % (16 * 4096), 4096));
+    offset += 4096;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+
+void BenchRename(benchmark::State& state, const std::string& kind) {
+  Stack stack = MakeStack(kind);
+  ScopedRefinementMode mode(stack.refinement);
+  SKERN_CHECK(stack.fs->Create("/a").ok());
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flip ? stack.fs->Rename("/b", "/a")
+                                  : stack.fs->Rename("/a", "/b"));
+    flip = !flip;
+  }
+}
+
+void BenchStat(benchmark::State& state, const std::string& kind) {
+  Stack stack = MakeStack(kind);
+  ScopedRefinementMode mode(stack.refinement);
+  SKERN_CHECK(stack.fs->Create("/f").ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.fs->Stat("/f"));
+  }
+}
+
+void BenchFsyncSmallWrite(benchmark::State& state, const std::string& kind) {
+  Stack stack = MakeStack(kind);
+  ScopedRefinementMode mode(stack.refinement);
+  SKERN_CHECK(stack.fs->Create("/f").ok());
+  Bytes data(512, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.fs->Write("/f", 0, ByteView(data)));
+    benchmark::DoNotOptimize(stack.fs->Fsync("/f"));
+  }
+}
+
+void RegisterAll() {
+  const char* kinds[] = {"legacyfs", "safefs", "specfs-checked", "specfs-release", "memfs"};
+  for (const char* kind : kinds) {
+    std::string k = kind;
+    benchmark::RegisterBenchmark(("BM_CreateUnlink/" + k).c_str(),
+                                 [k](benchmark::State& s) { BenchCreateUnlink(s, k); });
+    benchmark::RegisterBenchmark(("BM_Write4K/" + k).c_str(),
+                                 [k](benchmark::State& s) { BenchWrite4K(s, k); });
+    benchmark::RegisterBenchmark(("BM_Read4K/" + k).c_str(),
+                                 [k](benchmark::State& s) { BenchRead4K(s, k); });
+    benchmark::RegisterBenchmark(("BM_Rename/" + k).c_str(),
+                                 [k](benchmark::State& s) { BenchRename(s, k); });
+    benchmark::RegisterBenchmark(("BM_Stat/" + k).c_str(),
+                                 [k](benchmark::State& s) { BenchStat(s, k); });
+    benchmark::RegisterBenchmark(("BM_WriteFsync/" + k).c_str(),
+                                 [k](benchmark::State& s) { BenchFsyncSmallWrite(s, k); });
+  }
+}
+
+}  // namespace
+}  // namespace skern
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  skern::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

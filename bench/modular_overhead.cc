@@ -1,0 +1,176 @@
+// E6 — the cost of modularity (§3: "modular interfaces ... can result in
+// performance cost"). Measures the dispatch mechanisms a caller crosses at
+// each step of the roadmap, then a whole fs operation with and without the
+// VFS layer, where the nanoseconds disappear into the real work.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/block/block_device.h"
+#include "src/core/migration.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/vfs/vfs.h"
+
+namespace skern {
+namespace {
+
+// The workload behind every dispatch flavour: opaque enough not to fold.
+uint64_t g_sink = 0;
+
+struct AdderInterface {
+  virtual ~AdderInterface() = default;
+  virtual uint64_t Add(uint64_t x) = 0;
+};
+
+struct ConcreteAdder final : AdderInterface {
+  uint64_t Add(uint64_t x) override { return x * 2654435761u + 17; }
+};
+
+uint64_t FreeAdd(uint64_t x) { return x * 2654435761u + 17; }
+
+// C-style ops table (what legacy module boundaries look like).
+struct AdderOps {
+  uint64_t (*add)(void* self, uint64_t x);
+};
+uint64_t OpsAdd(void* self, uint64_t x) {
+  (void)self;
+  return x * 2654435761u + 17;
+}
+
+void BM_DirectCall(benchmark::State& state) {
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x = FreeAdd(x);
+    benchmark::DoNotOptimize(x);
+  }
+  g_sink = x;
+}
+BENCHMARK(BM_DirectCall);
+
+void BM_CStyleOpsTable(benchmark::State& state) {
+  AdderOps ops{OpsAdd};
+  AdderOps* table = &ops;
+  benchmark::DoNotOptimize(table);
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x = table->add(nullptr, x);
+    benchmark::DoNotOptimize(x);
+  }
+  g_sink = x;
+}
+BENCHMARK(BM_CStyleOpsTable);
+
+void BM_VirtualInterface(benchmark::State& state) {
+  std::unique_ptr<AdderInterface> adder = std::make_unique<ConcreteAdder>();
+  AdderInterface* iface = adder.get();
+  benchmark::DoNotOptimize(iface);
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x = iface->Add(x);
+    benchmark::DoNotOptimize(x);
+  }
+  g_sink = x;
+}
+BENCHMARK(BM_VirtualInterface);
+
+void BM_ImplementationSlot(benchmark::State& state) {
+  // The full hot-swappable slot: shared_ptr load under a mutex, then the
+  // virtual call — the price of being able to migrate implementations live.
+  ImplementationSlot<AdderInterface> slot("bench.Adder");
+  slot.Install("concrete", std::make_shared<ConcreteAdder>());
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x = slot.Active()->Add(x);
+    benchmark::DoNotOptimize(x);
+  }
+  g_sink = x;
+}
+BENCHMARK(BM_ImplementationSlot);
+
+void BM_MessagePassingCall(benchmark::State& state) {
+  // The alternative §4.3 rejects for hot paths: marshal the argument into a
+  // message, "deliver" it, unmarshal, call, marshal the reply back.
+  uint64_t x = 1;
+  Bytes message(16, 0);
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      message[i] = static_cast<uint8_t>(x >> (8 * i));
+    }
+    Bytes delivered = message;  // the copy across the boundary
+    uint64_t arg = 0;
+    for (int i = 0; i < 8; ++i) {
+      arg |= static_cast<uint64_t>(delivered[i]) << (8 * i);
+    }
+    uint64_t result = FreeAdd(arg);
+    for (int i = 0; i < 8; ++i) {
+      delivered[8 + i] = static_cast<uint8_t>(result >> (8 * i));
+    }
+    Bytes reply = delivered;  // and back
+    x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x |= static_cast<uint64_t>(reply[8 + i]) << (8 * i);
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  g_sink = x;
+}
+BENCHMARK(BM_MessagePassingCall);
+
+// --- a real operation: the dispatch cost amortizes to noise ---
+
+struct FsFixture {
+  FsFixture() : disk(512, 3) {
+    fs = SafeFs::Format(disk, 64, 16).value();
+    SKERN_CHECK(fs->Create("/bench").ok());
+    SKERN_CHECK(fs->Write("/bench", 0, Bytes(4096, 0xab)).ok());
+    SKERN_CHECK(vfs.Mount("/", fs).ok());
+  }
+  RamDisk disk;
+  std::shared_ptr<SafeFs> fs;
+  Vfs vfs;
+};
+
+void BM_StatDirect(benchmark::State& state) {
+  FsFixture fixture;
+  for (auto _ : state) {
+    auto attr = fixture.fs->Stat("/bench");
+    benchmark::DoNotOptimize(attr);
+  }
+}
+BENCHMARK(BM_StatDirect);
+
+void BM_StatViaVfs(benchmark::State& state) {
+  FsFixture fixture;
+  for (auto _ : state) {
+    auto attr = fixture.vfs.Stat("/bench");
+    benchmark::DoNotOptimize(attr);
+  }
+}
+BENCHMARK(BM_StatViaVfs);
+
+void BM_Read4KDirect(benchmark::State& state) {
+  FsFixture fixture;
+  for (auto _ : state) {
+    auto data = fixture.fs->Read("/bench", 0, 4096);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Read4KDirect);
+
+void BM_Read4KViaVfs(benchmark::State& state) {
+  FsFixture fixture;
+  auto fd = fixture.vfs.Open("/bench", kOpenRead);
+  SKERN_CHECK(fd.ok());
+  for (auto _ : state) {
+    auto data = fixture.vfs.Pread(*fd, 0, 4096);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Read4KViaVfs);
+
+}  // namespace
+}  // namespace skern
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// E12 — §4.1 socket-stack modularity: the same traffic on the monolithic and
+// modular organizations. Expected: the registry + virtual dispatch adds a
+// small constant per call that disappears under real protocol work — the
+// retrofitting cost is structural, not computational.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/base/sim_clock.h"
+#include "src/net/network.h"
+#include "src/net/stack_modular.h"
+#include "src/net/stack_monolithic.h"
+
+namespace skern {
+namespace {
+
+constexpr uint32_t kClientIp = 1;
+constexpr uint32_t kServerIp = 2;
+constexpr uint16_t kPort = 80;
+
+struct NetPair {
+  explicit NetPair(bool modular) : network(clock, 3) {
+    if (modular) {
+      client = MakeStandardModularStack(clock, network, kClientIp);
+      server = MakeStandardModularStack(clock, network, kServerIp);
+    } else {
+      client = std::make_unique<MonoNetStack>(clock, network, kClientIp);
+      server = std::make_unique<MonoNetStack>(clock, network, kServerIp);
+    }
+  }
+  SimClock clock;
+  Network network;
+  std::unique_ptr<SocketLayer> client;
+  std::unique_ptr<SocketLayer> server;
+};
+
+void BenchSocketCreateClose(benchmark::State& state, bool modular) {
+  NetPair net(modular);
+  for (auto _ : state) {
+    auto s = net.client->Socket(kProtoUdp);
+    benchmark::DoNotOptimize(s);
+    benchmark::DoNotOptimize(net.client->Close(*s));
+  }
+}
+
+void BenchUdpRoundtrip(benchmark::State& state, bool modular) {
+  NetPair net(modular);
+  auto srv = net.server->Socket(kProtoUdp);
+  SKERN_CHECK(net.server->Bind(*srv, 53).ok());
+  auto cli = net.client->Socket(kProtoUdp);
+  Bytes payload(256, 0x44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.client->SendTo(*cli, NetAddr{kServerIp, 53}, ByteView(payload)));
+    net.clock.Advance(kMillisecond);
+    auto got = net.server->RecvFrom(*srv);
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+
+void BenchTcpEcho(benchmark::State& state, bool modular) {
+  NetPair net(modular);
+  auto ls = net.server->Socket(kProtoTcp);
+  SKERN_CHECK(net.server->Bind(*ls, kPort).ok());
+  SKERN_CHECK(net.server->Listen(*ls).ok());
+  auto cs = net.client->Socket(kProtoTcp);
+  SKERN_CHECK(net.client->Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+  net.clock.Advance(100 * kMillisecond);
+  auto conn = net.server->Accept(*ls);
+  SKERN_CHECK(conn.ok());
+  Bytes payload(512, 0x55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.client->Send(*cs, ByteView(payload)));
+    net.clock.Advance(kMillisecond);
+    auto got = net.server->Recv(*conn, 4096);
+    if (got.ok() && !got->empty()) {
+      benchmark::DoNotOptimize(net.server->Send(*conn, ByteView(got.value())));
+    }
+    net.clock.Advance(kMillisecond);
+    auto back = net.client->Recv(*cs, 4096);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+
+}  // namespace
+}  // namespace skern
+
+int main(int argc, char** argv) {
+  using namespace skern;
+  benchmark::Initialize(&argc, argv);
+  for (bool modular : {false, true}) {
+    std::string tag = modular ? "modular" : "monolithic";
+    benchmark::RegisterBenchmark(
+        ("BM_SocketCreateClose/" + tag).c_str(),
+        [modular](benchmark::State& s) { BenchSocketCreateClose(s, modular); });
+    benchmark::RegisterBenchmark(
+        ("BM_UdpRoundtrip/" + tag).c_str(),
+        [modular](benchmark::State& s) { BenchUdpRoundtrip(s, modular); });
+    benchmark::RegisterBenchmark(
+        ("BM_TcpEcho/" + tag).c_str(),
+        [modular](benchmark::State& s) { BenchTcpEcho(s, modular); });
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

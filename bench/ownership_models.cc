@@ -1,0 +1,123 @@
+// E7 — the three §4.3 ownership-sharing models vs. true message passing.
+//
+// "We propose interfaces that are semantically equivalent to message passing
+// interfaces but share memory for performance reasons."
+// Expected shape: the copying baseline scales with payload size; the three
+// sharing models are O(1) regardless of payload; the runtime checker adds a
+// small constant that the unchecked configuration removes.
+#include <benchmark/benchmark.h>
+
+#include "src/base/bytes.h"
+#include "src/ownership/owned.h"
+
+namespace skern {
+namespace {
+
+// The callee: touches both ends of the payload so the bytes must exist.
+uint64_t Consume(const Bytes& data) {
+  return data.empty() ? 0 : data.front() + data.back();
+}
+uint64_t Mutate(Bytes& data) {
+  if (!data.empty()) {
+    ++data.front();
+    ++data.back();
+  }
+  return data.size();
+}
+
+void BM_MessagePassingCopy(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  Bytes payload(size, 0x5a);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    Bytes message = payload;  // the copy semantics require
+    sink += Consume(message);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_MessagePassingCopy)->Range(64, 4 << 20);
+
+void BM_Model1_Transfer(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  auto cell = Owned<Bytes>::Make(Bytes(size, 0x5a));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    // Caller -> callee: ownership passes; callee consumes and passes it back
+    // (round trip so the loop can continue). No byte moves.
+    auto in_flight = cell.Transfer();
+    Owned<Bytes> callee_side = in_flight.Accept();
+    sink += Consume(callee_side.Get());
+    auto back = callee_side.Transfer();
+    cell = back.Accept();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Model1_Transfer)->Range(64, 4 << 20);
+
+void BM_Model2_ExclusiveLend(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  auto cell = Owned<Bytes>::Make(Bytes(size, 0x5a));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    auto lend = cell.LendExclusive();
+    sink += Mutate(lend.Get());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Model2_ExclusiveLend)->Range(64, 4 << 20);
+
+void BM_Model3_SharedLend(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  auto cell = Owned<Bytes>::Make(Bytes(size, 0x5a));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    auto lend = cell.LendShared();
+    sink += Consume(lend.Get());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Model3_SharedLend)->Range(64, 4 << 20);
+
+// The ablation: identical lend with the runtime checker compiled to no-ops.
+void BM_Model2_Unchecked(benchmark::State& state) {
+  ScopedOwnershipMode mode(OwnershipMode::kUnchecked);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto cell = Owned<Bytes>::Make(Bytes(size, 0x5a));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    auto lend = cell.LendExclusive();
+    sink += Mutate(lend.Get());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Model2_Unchecked)->Range(64, 4 << 20);
+
+void BM_Model3_Unchecked(benchmark::State& state) {
+  ScopedOwnershipMode mode(OwnershipMode::kUnchecked);
+  size_t size = static_cast<size_t>(state.range(0));
+  auto cell = Owned<Bytes>::Make(Bytes(size, 0x5a));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    auto lend = cell.LendShared();
+    sink += Consume(lend.Get());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_Model3_Unchecked)->Range(64, 4 << 20);
+
+}  // namespace
+}  // namespace skern
+
+BENCHMARK_MAIN();

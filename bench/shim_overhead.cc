@@ -1,0 +1,131 @@
+// E10 — the §4.4 axiomatic shim: per-call validation cost at the
+// verified/unverified block boundary, against the raw device and the
+// disabled configuration. Expected: the shim costs one hash of the block per
+// call (O(block size)); disabling it removes the cost entirely.
+#include <benchmark/benchmark.h>
+
+#include "src/block/block_device.h"
+#include "src/block/checked_block_device.h"
+#include "src/core/shim.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/spec/refinement.h"
+
+namespace skern {
+namespace {
+
+void BM_RawDevice_Write(benchmark::State& state) {
+  RamDisk disk(64, 1);
+  Bytes block(kBlockSize, 0x33);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.WriteBlock(i++ % 64, ByteView(block)));
+    if (i % 1024 == 0) {
+      (void)disk.Flush();  // bound the pending-write log
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockSize);
+}
+BENCHMARK(BM_RawDevice_Write);
+
+void BM_CheckedDevice_Write(benchmark::State& state) {
+  ScopedShimMode mode(ShimMode::kEnforcing);
+  RamDisk disk(64, 1);
+  CheckedBlockDevice checked(disk);
+  Bytes block(kBlockSize, 0x33);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checked.WriteBlock(i++ % 64, ByteView(block)));
+    if (i % 1024 == 0) {
+      (void)checked.Flush();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockSize);
+}
+BENCHMARK(BM_CheckedDevice_Write);
+
+void BM_CheckedDevice_Write_Disabled(benchmark::State& state) {
+  ScopedShimMode mode(ShimMode::kDisabled);
+  RamDisk disk(64, 1);
+  CheckedBlockDevice checked(disk);
+  Bytes block(kBlockSize, 0x33);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checked.WriteBlock(i++ % 64, ByteView(block)));
+    if (i % 1024 == 0) {
+      (void)checked.Flush();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockSize);
+}
+BENCHMARK(BM_CheckedDevice_Write_Disabled);
+
+void BM_RawDevice_Read(benchmark::State& state) {
+  RamDisk disk(64, 1);
+  Bytes block(kBlockSize, 0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.ReadBlock(i++ % 64, MutableByteView(block)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockSize);
+}
+BENCHMARK(BM_RawDevice_Read);
+
+void BM_CheckedDevice_Read(benchmark::State& state) {
+  ScopedShimMode mode(ShimMode::kEnforcing);
+  RamDisk disk(64, 1);
+  CheckedBlockDevice checked(disk);
+  Bytes block(kBlockSize, 0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checked.ReadBlock(i++ % 64, MutableByteView(block)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockSize);
+}
+BENCHMARK(BM_CheckedDevice_Read);
+
+void BM_CheckedDevice_Read_Disabled(benchmark::State& state) {
+  ScopedShimMode mode(ShimMode::kDisabled);
+  RamDisk disk(64, 1);
+  CheckedBlockDevice checked(disk);
+  Bytes block(kBlockSize, 0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checked.ReadBlock(i++ % 64, MutableByteView(block)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockSize);
+}
+BENCHMARK(BM_CheckedDevice_Read_Disabled);
+
+// End-to-end: safefs running over the shimmed device vs. the raw device.
+void BM_SafeFsOverRawDevice(benchmark::State& state) {
+  RamDisk disk(512, 2);
+  auto fs = SafeFs::Format(disk, 64, 32).value();
+  SKERN_CHECK(fs->Create("/f").ok());
+  Bytes data(4096, 0x21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs->Write("/f", 0, ByteView(data)));
+    benchmark::DoNotOptimize(fs->Fsync("/f"));
+  }
+}
+BENCHMARK(BM_SafeFsOverRawDevice);
+
+void BM_SafeFsOverShimmedDevice(benchmark::State& state) {
+  ScopedShimMode mode(ShimMode::kEnforcing);
+  RamDisk disk(512, 2);
+  CheckedBlockDevice checked(disk);
+  auto fs = SafeFs::Format(checked, 64, 32).value();
+  SKERN_CHECK(fs->Create("/f").ok());
+  Bytes data(4096, 0x21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs->Write("/f", 0, ByteView(data)));
+    benchmark::DoNotOptimize(fs->Fsync("/f"));
+  }
+  state.counters["axioms_validated"] =
+      static_cast<double>(ShimStats::Get().validations());
+}
+BENCHMARK(BM_SafeFsOverShimmedDevice);
+
+}  // namespace
+}  // namespace skern
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// E8 — the §4.2 claim that type-safe interfaces cost nothing: ERR_PTR
+// punning vs Result<T>, and void* + cast vs typed calls. Expected: the typed
+// forms are at parity (the compiler sees through both).
+#include <benchmark/benchmark.h>
+
+#include "src/base/err_ptr.h"
+#include "src/base/result.h"
+
+namespace skern {
+namespace {
+
+uint64_t g_values[64];
+
+// --- pointer-or-error return, the C way ---
+uint64_t* LookupErrPtr(uint64_t key) {
+  if ((key & 7) == 0) {
+    return ErrPtr<uint64_t>(Errno::kENOENT);  // error cast into the pointer
+  }
+  return &g_values[key % 64];
+}
+
+void BM_ErrPtrReturn(benchmark::State& state) {
+  uint64_t key = 1;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    uint64_t* p = LookupErrPtr(key++);
+    if (!IsErr(p)) {
+      sink += *p;
+    } else {
+      sink += static_cast<uint64_t>(PtrErr(p));
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_ErrPtrReturn);
+
+// --- the same contract as a typed union ---
+Result<uint64_t*> LookupResult(uint64_t key) {
+  if ((key & 7) == 0) {
+    return Errno::kENOENT;
+  }
+  return &g_values[key % 64];
+}
+
+void BM_ResultReturn(benchmark::State& state) {
+  uint64_t key = 1;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    Result<uint64_t*> r = LookupResult(key++);
+    if (r.ok()) {
+      sink += *r.value();
+    } else {
+      sink += static_cast<uint64_t>(r.error());
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_ResultReturn);
+
+// --- out-parameter + int errno, the other C way ---
+int LookupOutParam(uint64_t key, uint64_t** out) {
+  if ((key & 7) == 0) {
+    return -static_cast<int>(Errno::kENOENT);
+  }
+  *out = &g_values[key % 64];
+  return 0;
+}
+
+void BM_OutParamReturn(benchmark::State& state) {
+  uint64_t key = 1;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    uint64_t* p = nullptr;
+    int err = LookupOutParam(key++, &p);
+    if (err == 0) {
+      sink += *p;
+    } else {
+      sink += static_cast<uint64_t>(-err);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_OutParamReturn);
+
+// --- void* callback payloads vs typed generics (the write_begin cookie) ---
+
+struct Cookie {
+  uint64_t a;
+  uint64_t b;
+};
+
+uint64_t VoidPtrCallback(void* data) {
+  auto* cookie = static_cast<Cookie*>(data);  // trusted cast
+  return cookie->a + cookie->b;
+}
+
+void BM_VoidPtrCookie(benchmark::State& state) {
+  Cookie cookie{1, 2};
+  uint64_t (*cb)(void*) = VoidPtrCallback;
+  benchmark::DoNotOptimize(cb);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += cb(&cookie);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_VoidPtrCookie);
+
+template <typename T>
+uint64_t TypedCallback(T& data) {
+  return data.a + data.b;
+}
+
+void BM_TypedCookie(benchmark::State& state) {
+  Cookie cookie{1, 2};
+  uint64_t (*cb)(Cookie&) = TypedCallback<Cookie>;
+  benchmark::DoNotOptimize(cb);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += cb(cookie);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_TypedCookie);
+
+}  // namespace
+}  // namespace skern
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E9 extension — macro workloads (filebench-style personalities, the kind of
+// evaluation Bento ran) across the safety ladder: fileserver, varmail,
+// webserver, and metadata churn on legacyfs / safefs / specfs / memfs.
+//
+// Expected shape: the safe stack stays competitive on every personality
+// except varmail, whose fsync-per-message pattern pays the journaling tax —
+// the same trade-off E13 quantifies at the journal level.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
+#include "src/core/workload.h"
+#include "src/fs/legacyfs/legacyfs.h"
+#include "src/fs/memfs/memfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/spec/refinement.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 4096;  // 16 MiB: room for the working sets
+constexpr uint64_t kInodes = 256;
+
+struct Stack {
+  std::unique_ptr<RamDisk> disk;
+  std::unique_ptr<BufferCache> cache;
+  std::shared_ptr<FileSystem> fs;
+  RefinementMode refinement = RefinementMode::kEnforcing;
+};
+
+Stack MakeStack(const std::string& kind) {
+  Stack stack;
+  stack.disk = std::make_unique<RamDisk>(kDiskBlocks, 1);
+  if (kind == "legacyfs") {
+    stack.cache = std::make_unique<BufferCache>(*stack.disk, 2048);
+    FsGeometry geo = MakeGeometry(kDiskBlocks, kInodes, 0);
+    stack.fs = MakeLegacyFs(*stack.cache, &geo, true);
+  } else if (kind == "memfs") {
+    stack.fs = std::make_shared<MemFs>();
+  } else {
+    auto safefs = SafeFs::Format(*stack.disk, kInodes, 512).value();
+    if (kind == "safefs") {
+      stack.fs = safefs;
+    } else {
+      stack.fs = std::make_shared<SpecFs>(safefs);
+      stack.refinement = RefinementMode::kEnforcing;
+    }
+  }
+  return stack;
+}
+
+void BenchWorkload(benchmark::State& state, const std::string& fs_kind, WorkloadKind kind) {
+  Stack stack = MakeStack(fs_kind);
+  ScopedRefinementMode mode(stack.refinement);
+  WorkloadConfig config;
+  config.kind = kind;
+  config.seed = 7;
+  config.file_population = 24;
+  config.mean_file_size = 4096;
+  WorkloadDriver driver(*stack.fs, config);
+  SKERN_CHECK(driver.Setup().ok());
+  for (auto _ : state) {
+    driver.Step();
+  }
+  const auto& result = driver.result();
+  state.counters["errors"] = static_cast<double>(result.errors);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(result.bytes_read + result.bytes_written));
+}
+
+void RegisterAll() {
+  const char* fs_kinds[] = {"legacyfs", "safefs", "specfs", "memfs"};
+  const WorkloadKind workloads[] = {WorkloadKind::kFileserver, WorkloadKind::kVarmail,
+                                    WorkloadKind::kWebserver, WorkloadKind::kMetadata};
+  for (WorkloadKind workload : workloads) {
+    for (const char* fs_kind : fs_kinds) {
+      std::string name =
+          std::string("BM_") + WorkloadKindName(workload) + "/" + fs_kind;
+      std::string kind = fs_kind;
+      benchmark::RegisterBenchmark(name.c_str(), [kind, workload](benchmark::State& s) {
+        BenchWorkload(s, kind, workload);
+      });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skern
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  skern::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

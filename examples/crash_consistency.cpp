@@ -1,0 +1,138 @@
+// Crash consistency, side by side: the journal-less legacy fs vs. the
+// journaling safe fs under identical crash schedules, checked against the
+// executable specification's crash oracle ("recover to the last synced
+// version given any crash").
+//
+// Build & run:  ./build/examples/crash_consistency
+#include <cstdio>
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
+#include "src/fs/legacyfs/legacyfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/spec/fs_model.h"
+
+using namespace skern;
+
+namespace {
+
+constexpr int kTrials = 100;
+constexpr uint64_t kDiskBlocks = 256;
+
+struct CrashOutcome {
+  FsModel last_synced;   // state as of the last successful sync
+  FsModel at_crash_sync;  // state entering the sync that crashed (if any)
+};
+
+// Applies a randomized workload with intermittent syncs, tracking the model
+// alongside. Stops when the device crashes (a sync fails). Because a crash
+// can only happen during a commit, recovery may legally surface either the
+// previous sync point or — if the commit record became durable — the state
+// entering the crashed sync. Both candidates are returned.
+CrashOutcome DriveUntilCrash(FileSystem& fs, Rng& rng) {
+  FsModel model;
+  const char* files[] = {"/a", "/b", "/c", "/d"};
+  for (int op = 0; op < 10'000; ++op) {
+    const char* path = files[rng.NextBelow(4)];
+    switch (rng.NextBelow(4)) {
+      case 0:
+        if (fs.Create(path).ok()) {
+          (void)model.Create(path);
+        }
+        break;
+      case 1: {
+        Bytes data = rng.NextBytes(64 + rng.NextBelow(1024));
+        uint64_t offset = rng.NextBelow(2048);
+        if (fs.Write(path, offset, ByteView(data)).ok()) {
+          (void)model.Write(path, offset, ByteView(data));
+        }
+        break;
+      }
+      case 2:
+        if (fs.Unlink(path).ok()) {
+          (void)model.Unlink(path);
+        }
+        break;
+      case 3: {
+        FsModel entering = model;
+        if (fs.Sync().ok()) {
+          model.Sync();
+        } else {
+          model.Crash();  // device died mid-commit
+          entering.Sync();
+          entering.Crash();
+          return CrashOutcome{model, entering};
+        }
+        break;
+      }
+    }
+  }
+  model.Crash();
+  return CrashOutcome{model, model};
+}
+
+}  // namespace
+
+int main() {
+  int safe_exact = 0;
+  int legacy_exact = 0;
+  int legacy_diverged = 0;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(1000 + trial);
+    uint64_t crash_after = 10 + rng.NextBelow(150);
+
+    // --- safefs ---
+    {
+      RamDisk disk(kDiskBlocks, trial);
+      auto fs = SafeFs::Format(disk, 64, 32).value();
+      disk.ScheduleCrashAfterWrites(crash_after, CrashPersistence::kRandomSubset,
+                                    /*tear_last=*/true);
+      Rng workload_rng(500 + trial);
+      CrashOutcome expected = DriveUntilCrash(*fs, workload_rng);
+      fs.reset();
+      auto remounted = SafeFs::Mount(disk);
+      if (remounted.ok() &&
+          (DiffFsAgainstModel(*remounted.value(), expected.last_synced.state()).empty() ||
+           DiffFsAgainstModel(*remounted.value(), expected.at_crash_sync.state()).empty())) {
+        ++safe_exact;
+      }
+    }
+
+    // --- legacyfs ---
+    {
+      RamDisk disk(kDiskBlocks, trial);
+      auto cache = std::make_unique<BufferCache>(disk, 128);
+      FsGeometry geo = MakeGeometry(kDiskBlocks, 64, 0);
+      auto fs = MakeLegacyFs(*cache, &geo, true);
+      disk.ScheduleCrashAfterWrites(crash_after, CrashPersistence::kRandomSubset,
+                                    /*tear_last=*/true);
+      Rng workload_rng(500 + trial);  // identical workload
+      CrashOutcome expected = DriveUntilCrash(*fs, workload_rng);
+      fs.reset();
+      cache.reset();
+      BufferCache cache2(disk, 128);
+      auto remounted = MakeLegacyFs(cache2, nullptr, false);
+      if (remounted != nullptr &&
+          (DiffFsAgainstModel(*remounted, expected.last_synced.state()).empty() ||
+           DiffFsAgainstModel(*remounted, expected.at_crash_sync.state()).empty())) {
+        ++legacy_exact;
+      } else {
+        ++legacy_diverged;  // mixed / corrupted / unreadable state
+      }
+    }
+  }
+
+  std::printf("crash-recovery oracle over %d randomized crash trials\n", kTrials);
+  std::printf("  (recovered state must equal the last synced specification state)\n\n");
+  std::printf("  safefs  (journaled):   %3d/%d consistent recoveries\n", safe_exact, kTrials);
+  std::printf("  legacyfs (no journal): %3d/%d consistent, %d diverged/corrupted\n",
+              legacy_exact, kTrials, legacy_diverged);
+  std::printf("\nThe journal turns \"whatever subset of writes happened to land\" into\n"
+              "\"exactly the last committed state\" — the crash contract the paper's\n"
+              "specification language expresses in one sentence.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// §4.1's socket-stack story, live: the same TCP echo conversation on the
+// monolithic stack and on the modular stack, then a brand-new protocol
+// family dropping into the modular stack without touching generic code.
+//
+// Build & run:  ./build/examples/net_modularity
+#include <cstdio>
+#include <memory>
+
+#include "src/base/sim_clock.h"
+#include "src/net/network.h"
+#include "src/net/stack_modular.h"
+#include "src/net/stack_monolithic.h"
+
+using namespace skern;
+
+namespace {
+
+constexpr uint32_t kClientIp = 1;
+constexpr uint32_t kServerIp = 2;
+constexpr uint16_t kPort = 7;
+
+// One TCP echo conversation; returns bytes echoed back.
+size_t EchoOnce(SimClock& clock, SocketLayer& client, SocketLayer& server) {
+  auto ls = server.Socket(kProtoTcp);
+  SKERN_CHECK(server.Bind(*ls, kPort).ok());
+  SKERN_CHECK(server.Listen(*ls).ok());
+  auto cs = client.Socket(kProtoTcp);
+  SKERN_CHECK(client.Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+  clock.Advance(100 * kMillisecond);
+  auto conn = server.Accept(*ls);
+  SKERN_CHECK(conn.ok());
+
+  Rng rng(3);
+  Bytes blob = rng.NextBytes(8 * 1024);
+  SKERN_CHECK(client.Send(*cs, ByteView(blob)).ok());
+  clock.Advance(kSecond);
+  // Server echoes everything it received.
+  for (;;) {
+    auto chunk = server.Recv(*conn, 4096);
+    if (!chunk.ok() || chunk->empty()) {
+      break;
+    }
+    SKERN_CHECK(server.Send(*conn, ByteView(chunk.value())).ok());
+  }
+  clock.Advance(kSecond);
+  size_t echoed = 0;
+  for (;;) {
+    auto chunk = client.Recv(*cs, 4096);
+    if (!chunk.ok() || chunk->empty()) {
+      break;
+    }
+    echoed += chunk->size();
+  }
+  SKERN_CHECK(client.Close(*cs).ok());
+  SKERN_CHECK(server.Close(*conn).ok());
+  SKERN_CHECK(server.Close(*ls).ok());
+  return echoed;
+}
+
+}  // namespace
+
+int main() {
+  {
+    SimClock clock;
+    Network network(clock, 1);
+    MonoNetStack client(clock, network, kClientIp);
+    MonoNetStack server(clock, network, kServerIp);
+    size_t echoed = EchoOnce(clock, client, server);
+    std::printf("monolithic stack: echoed %zu bytes over TCP (%llu packets on the wire)\n",
+                echoed, static_cast<unsigned long long>(network.stats().delivered));
+    std::printf("  ...but its generic code contains %s\n",
+                "TCP-specific branches in bind/send/recv/close/demux");
+  }
+  {
+    SimClock clock;
+    Network network(clock, 1);
+    auto client = MakeStandardModularStack(clock, network, kClientIp);
+    auto server = MakeStandardModularStack(clock, network, kServerIp);
+    size_t echoed = EchoOnce(clock, *client, *server);
+    std::printf("modular stack:    echoed %zu bytes over TCP (%llu packets on the wire)\n",
+                echoed, static_cast<unsigned long long>(network.stats().delivered));
+    std::printf("  generic layer dispatches through the protocol registry: ");
+    for (const auto& name : client->ProtocolNames()) {
+      std::printf("[%s] ", name.c_str());
+    }
+    std::printf("\n");
+
+    // The lossy variant: TCP's retransmission earns its keep.
+    SimClock clock2;
+    Network lossy(clock2, 2);
+    lossy.set_drop_rate(0.15);
+    auto lc = MakeStandardModularStack(clock2, lossy, kClientIp);
+    auto ls = MakeStandardModularStack(clock2, lossy, kServerIp);
+    auto listener = ls->Socket(kProtoTcp);
+    SKERN_CHECK(ls->Bind(*listener, kPort).ok());
+    SKERN_CHECK(ls->Listen(*listener).ok());
+    auto cs = lc->Socket(kProtoTcp);
+    SKERN_CHECK(lc->Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+    clock2.Advance(20 * kSecond);
+    auto conn = ls->Accept(*listener);
+    SKERN_CHECK(conn.ok());
+    Rng rng(9);
+    Bytes blob = rng.NextBytes(4096);
+    SKERN_CHECK(lc->Send(*cs, ByteView(blob)).ok());
+    clock2.Advance(60 * kSecond);
+    size_t got = 0;
+    for (;;) {
+      auto chunk = ls->Recv(*conn, 4096);
+      if (!chunk.ok() || chunk->empty()) {
+        break;
+      }
+      got += chunk->size();
+    }
+    std::printf("  under 15%% packet loss: %zu/%zu bytes delivered, %llu packets dropped\n",
+                got, blob.size(), static_cast<unsigned long long>(lossy.stats().dropped));
+  }
+  std::printf("\n(see tests/net_test.cc for the drop-in 'reverse' protocol module —\n"
+              " a new family registered with zero edits to generic socket code)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: mount the ownership-safe journaling file system on a simulated
+// disk through the VFS, do ordinary file work, survive a crash.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/block/block_device.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/vfs/vfs.h"
+
+using namespace skern;
+
+int main() {
+  // A 1 MiB simulated disk (256 x 4 KiB blocks) with crash injection support.
+  RamDisk disk(256, /*seed=*/1);
+
+  // mkfs + mount: 64 inodes, 16-block journal.
+  auto fs = SafeFs::Format(disk, 64, 16);
+  if (!fs.ok()) {
+    std::printf("format failed: %s\n", fs.status().ToString().c_str());
+    return 1;
+  }
+
+  Vfs vfs;
+  SKERN_CHECK(vfs.Mount("/", fs.value()).ok());
+
+  // Ordinary POSIX-ish work through descriptors.
+  SKERN_CHECK(vfs.Mkdir("/home").ok());
+  auto fd = vfs.Open("/home/notes.txt", kOpenRead | kOpenWrite | kOpenCreate);
+  SKERN_CHECK(fd.ok());
+  SKERN_CHECK(vfs.Write(*fd, BytesFromString("incremental safety, one module at a time\n")).ok());
+  SKERN_CHECK(vfs.Fsync(*fd).ok());  // journaled commit: now durable
+  SKERN_CHECK(vfs.Write(*fd, BytesFromString("this line is not yet synced\n")).ok());
+  SKERN_CHECK(vfs.Close(*fd).ok());
+
+  std::printf("before crash: /home/notes.txt is %llu bytes\n",
+              static_cast<unsigned long long>(vfs.Stat("/home/notes.txt")->size));
+
+  // Power failure. Everything un-synced in the device cache is gone.
+  fs.value().reset();
+  disk.CrashNow(CrashPersistence::kLoseAll);
+
+  // Remount: journal recovery runs, the fsynced state comes back intact.
+  auto recovered = SafeFs::Mount(disk);
+  SKERN_CHECK(recovered.ok());
+  auto content = recovered.value()->Read("/home/notes.txt", 0, 4096);
+  SKERN_CHECK(content.ok());
+  std::printf("after crash + recovery (%llu bytes):\n%s",
+              static_cast<unsigned long long>(content->size()),
+              StringFromBytes(content.value()).c_str());
+
+  const auto& jstats = recovered.value()->journal_stats();
+  if (jstats.replays > 0) {
+    std::printf("journal recovery replayed %llu committed transaction(s)\n",
+                static_cast<unsigned long long>(jstats.replays));
+  } else {
+    std::printf("journal recovery: clean (the fsync had fully checkpointed before the crash)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "src/base/bytes.h"
+
+namespace skern {
+
+Bytes BytesFromString(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string StringFromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace skern

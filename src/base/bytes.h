@@ -1,0 +1,104 @@
+// Byte buffer and view types used across module interfaces.
+//
+// ByteView / MutableByteView are non-owning spans: the currency of the
+// ownership-sharing models in src/ownership/. Bytes is an owning buffer.
+#ifndef SKERN_SRC_BASE_BYTES_H_
+#define SKERN_SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/panic.h"
+
+namespace skern {
+
+using Bytes = std::vector<uint8_t>;
+
+// Read-only view over a contiguous byte range. Does not own the memory.
+class ByteView {
+ public:
+  constexpr ByteView() : data_(nullptr), size_(0) {}
+  constexpr ByteView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  ByteView(const Bytes& bytes) : data_(bytes.data()), size_(bytes.size()) {}
+  ByteView(const std::string& s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  constexpr const uint8_t* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const {
+    SKERN_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  ByteView Subview(size_t offset, size_t length) const {
+    SKERN_CHECK(offset <= size_ && length <= size_ - offset);
+    return ByteView(data_ + offset, length);
+  }
+
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  friend bool operator==(ByteView a, ByteView b) {
+    return a.size_ == b.size_ && (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+// Writable view over a contiguous byte range. Does not own the memory.
+class MutableByteView {
+ public:
+  constexpr MutableByteView() : data_(nullptr), size_(0) {}
+  constexpr MutableByteView(uint8_t* data, size_t size) : data_(data), size_(size) {}
+  MutableByteView(Bytes& bytes) : data_(bytes.data()), size_(bytes.size()) {}
+
+  constexpr uint8_t* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  uint8_t& operator[](size_t i) const {
+    SKERN_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  MutableByteView Subview(size_t offset, size_t length) const {
+    SKERN_CHECK(offset <= size_ && length <= size_ - offset);
+    return MutableByteView(data_ + offset, length);
+  }
+
+  operator ByteView() const { return ByteView(data_, size_); }
+
+  // Copies from `src` into this view; sizes must match.
+  void CopyFrom(ByteView src) const {
+    SKERN_CHECK(src.size() == size_);
+    if (size_ > 0) {
+      std::memcpy(data_, src.data(), size_);
+    }
+  }
+
+  void Fill(uint8_t value) const {
+    if (size_ > 0) {
+      std::memset(data_, value, size_);
+    }
+  }
+
+ private:
+  uint8_t* data_;
+  size_t size_;
+};
+
+// Convenience conversions.
+Bytes BytesFromString(const std::string& s);
+std::string StringFromBytes(const Bytes& b);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BASE_BYTES_H_

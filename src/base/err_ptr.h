@@ -1,0 +1,44 @@
+// ERR_PTR emulation: the unsafe C idiom the paper's step 2 eliminates.
+//
+// Linux functions like VFS lookup "return a pointer on success or an error
+// value on failure. To achieve this in C, the error value is cast to a
+// pointer, and the caller must manually check that the pointer is valid
+// before dereferencing it" (§4.2). The legacy file system (src/fs/legacyfs/)
+// uses these helpers verbatim so that the type-confusion hazard — and the
+// fault injections that exploit it — are faithful to the original idiom.
+// Safe modules must use Result<T> (src/base/result.h) instead.
+#ifndef SKERN_SRC_BASE_ERR_PTR_H_
+#define SKERN_SRC_BASE_ERR_PTR_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+
+namespace skern {
+
+// Matches Linux's MAX_ERRNO: addresses in the top 4095 bytes of the address
+// space are interpreted as negative errno values.
+inline constexpr uintptr_t kMaxErrno = 4095;
+
+// Casts a negative errno into a pointer (the hazard itself).
+template <typename T>
+inline T* ErrPtr(Errno e) {
+  return reinterpret_cast<T*>(-static_cast<intptr_t>(e));
+}
+
+// True if the pointer actually encodes an error value.
+inline bool IsErr(const void* ptr) {
+  return reinterpret_cast<uintptr_t>(ptr) >= static_cast<uintptr_t>(-kMaxErrno);
+}
+
+inline bool IsErrOrNull(const void* ptr) { return ptr == nullptr || IsErr(ptr); }
+
+// Recovers the errno from an error-encoding pointer. Calling this on a real
+// pointer yields garbage — exactly the bug class the paper describes.
+inline Errno PtrErr(const void* ptr) {
+  return static_cast<Errno>(-static_cast<intptr_t>(reinterpret_cast<uintptr_t>(ptr)));
+}
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BASE_ERR_PTR_H_

@@ -1,0 +1,159 @@
+// Intrusive doubly-linked list (list_head analogue).
+//
+// The buffer cache LRU and journal transaction lists embed nodes in their
+// objects, like Linux's struct list_head, avoiding per-link allocations.
+// Unlike list_head, membership is checked: linking a linked node or unlinking
+// an unlinked node panics instead of corrupting the list.
+#ifndef SKERN_SRC_BASE_INTRUSIVE_LIST_H_
+#define SKERN_SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "src/base/panic.h"
+
+namespace skern {
+
+class ListNode {
+ public:
+  ListNode() = default;
+  ~ListNode() { SKERN_DCHECK(!linked()); }
+
+  ListNode(const ListNode&) = delete;
+  ListNode& operator=(const ListNode&) = delete;
+
+  bool linked() const { return next_ != nullptr; }
+
+ private:
+  template <typename T, ListNode T::* Member>
+  friend class IntrusiveList;
+
+  ListNode* next_ = nullptr;
+  ListNode* prev_ = nullptr;
+};
+
+// T must contain a ListNode member, named by the Member pointer:
+//   struct Buffer { ListNode lru_node; ... };
+//   IntrusiveList<Buffer, &Buffer::lru_node> lru;
+template <typename T, ListNode T::* Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.next_ = &head_;
+    head_.prev_ = &head_;
+  }
+
+  ~IntrusiveList() { Clear(); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next_ == &head_; }
+  size_t size() const { return size_; }
+
+  void PushFront(T* obj) { InsertAfter(&head_, NodeOf(obj)); }
+  void PushBack(T* obj) { InsertAfter(head_.prev_, NodeOf(obj)); }
+
+  T* Front() const { return empty() ? nullptr : ObjectOf(head_.next_); }
+  T* Back() const { return empty() ? nullptr : ObjectOf(head_.prev_); }
+
+  // Unlinks and returns the front element, or nullptr.
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* obj = ObjectOf(head_.next_);
+    Remove(obj);
+    return obj;
+  }
+
+  T* PopBack() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* obj = ObjectOf(head_.prev_);
+    Remove(obj);
+    return obj;
+  }
+
+  void Remove(T* obj) {
+    ListNode* node = NodeOf(obj);
+    SKERN_CHECK_MSG(node->linked(), "removing unlinked node");
+    node->prev_->next_ = node->next_;
+    node->next_->prev_ = node->prev_;
+    node->next_ = nullptr;
+    node->prev_ = nullptr;
+    --size_;
+  }
+
+  // Moves an already-linked element to the back (LRU touch).
+  void MoveToBack(T* obj) {
+    Remove(obj);
+    PushBack(obj);
+  }
+
+  bool Contains(const T* obj) const {
+    const ListNode* node = &(obj->*Member);
+    if (!node->linked()) {
+      return false;
+    }
+    for (const ListNode* it = head_.next_; it != &head_; it = it->next_) {
+      if (it == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+  // Minimal forward iteration support.
+  class Iterator {
+   public:
+    Iterator(ListNode* node, const IntrusiveList* list) : node_(node), list_(list) {}
+    T& operator*() const { return *list_->ObjectOf(node_); }
+    T* operator->() const { return list_->ObjectOf(node_); }
+    Iterator& operator++() {
+      node_ = node_->next_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    ListNode* node_;
+    const IntrusiveList* list_;
+  };
+
+  Iterator begin() { return Iterator(head_.next_, this); }
+  Iterator end() { return Iterator(&head_, this); }
+
+ private:
+  static ListNode* NodeOf(T* obj) { return &(obj->*Member); }
+
+  T* ObjectOf(ListNode* node) const {
+    // offsetof on a member pointer: compute the byte delta of the embedded node.
+    const T* probe = nullptr;
+    auto delta = reinterpret_cast<const char*>(&(probe->*Member)) -
+                 reinterpret_cast<const char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - delta);
+  }
+
+  void InsertAfter(ListNode* where, ListNode* node) {
+    SKERN_CHECK_MSG(!node->linked(), "inserting already-linked node");
+    node->next_ = where->next_;
+    node->prev_ = where;
+    where->next_->prev_ = node;
+    where->next_ = node;
+    ++size_;
+  }
+
+  ListNode head_;
+  size_t size_ = 0;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BASE_INTRUSIVE_LIST_H_

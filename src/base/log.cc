@@ -1,0 +1,61 @@
+#include "src/base/log.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace skern {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::array<std::atomic<uint64_t>, 4> g_counts{};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+uint64_t LogCount(LogLevel level) {
+  int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) {
+    return 0;
+  }
+  return g_counts[static_cast<size_t>(idx)].load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelTag(level) << "] " << file << ":" << line << ": ";
+}
+
+LogMessage::~LogMessage() {
+  int idx = static_cast<int>(level_);
+  if (idx >= 0 && idx <= 3) {
+    g_counts[static_cast<size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> guard(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace skern

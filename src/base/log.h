@@ -1,0 +1,64 @@
+// Minimal leveled logger (printk analogue).
+//
+// Logging is stream-based and cheap to disable: below-threshold messages never
+// format. The default threshold is kWarn so tests and benchmarks stay quiet.
+#ifndef SKERN_SRC_BASE_LOG_H_
+#define SKERN_SRC_BASE_LOG_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace skern {
+
+enum class LogLevel : int8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,  // disables all logging
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Counts messages emitted per level (diagnosable in tests).
+uint64_t LogCount(LogLevel level);
+
+namespace internal {
+
+// One log statement: accumulates a message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace skern
+
+#define SKERN_LOG(level)                                           \
+  if (static_cast<int>(::skern::LogLevel::level) <                 \
+      static_cast<int>(::skern::GetLogLevel())) {                  \
+  } else                                                           \
+    ::skern::internal::LogMessage(::skern::LogLevel::level, __FILE__, __LINE__)
+
+#define SKERN_DEBUG() SKERN_LOG(kDebug)
+#define SKERN_INFO() SKERN_LOG(kInfo)
+#define SKERN_WARN() SKERN_LOG(kWarn)
+#define SKERN_ERROR() SKERN_LOG(kError)
+
+#endif  // SKERN_SRC_BASE_LOG_H_

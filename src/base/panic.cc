@@ -1,0 +1,52 @@
+#include "src/base/panic.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace skern {
+namespace {
+
+std::atomic<uint64_t> g_panic_count{0};
+
+// The default handler prints and aborts, like a kernel oops with panic_on_oops.
+void DefaultPanicHandler(const std::string& message) {
+  std::fprintf(stderr, "skern panic: %s\n", message.c_str());
+  std::abort();
+}
+
+PanicHandler& GlobalHandler() {
+  static PanicHandler handler = DefaultPanicHandler;
+  return handler;
+}
+
+}  // namespace
+
+void Panic(const std::string& message) {
+  g_panic_count.fetch_add(1, std::memory_order_relaxed);
+  GlobalHandler()(message);
+  // A well-behaved handler never returns (it aborts or throws); enforce that.
+  std::fprintf(stderr, "skern panic handler returned; aborting: %s\n", message.c_str());
+  std::abort();
+}
+
+void PanicAt(const char* file, int line, const std::string& message) {
+  Panic(std::string(file) + ":" + std::to_string(line) + ": " + message);
+}
+
+PanicHandler SetPanicHandler(PanicHandler handler) {
+  PanicHandler previous = std::move(GlobalHandler());
+  GlobalHandler() = std::move(handler);
+  return previous;
+}
+
+ScopedPanicAsException::ScopedPanicAsException() {
+  previous_ = SetPanicHandler([](const std::string& message) { throw PanicException(message); });
+}
+
+ScopedPanicAsException::~ScopedPanicAsException() { SetPanicHandler(std::move(previous_)); }
+
+uint64_t PanicCount() { return g_panic_count.load(std::memory_order_relaxed); }
+
+}  // namespace skern

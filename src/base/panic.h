@@ -1,0 +1,84 @@
+// Panic and runtime-check machinery.
+//
+// A "panic" models a kernel oops/BUG(): an unrecoverable condition detected at
+// runtime. By default a panic aborts the process. Tests and the fault-injection
+// harness install a throwing handler so that a detected bug surfaces as a
+// catchable PanicException instead of tearing the process down; this is how the
+// harness distinguishes "bug detected by a safety check" from "bug silently
+// corrupted state" (see src/faultinject/).
+#ifndef SKERN_SRC_BASE_PANIC_H_
+#define SKERN_SRC_BASE_PANIC_H_
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace skern {
+
+// Thrown by the test-mode panic handler. Carries the panic message.
+class PanicException : public std::runtime_error {
+ public:
+  explicit PanicException(const std::string& what) : std::runtime_error(what) {}
+};
+
+using PanicHandler = std::function<void(const std::string& message)>;
+
+// Reports an unrecoverable error. Invokes the installed handler; if the
+// handler returns (it should not), aborts.
+[[noreturn]] void Panic(const std::string& message);
+
+// Formatted panic with source location, used by the SKERN_CHECK macros.
+[[noreturn]] void PanicAt(const char* file, int line, const std::string& message);
+
+// Installs a new global panic handler and returns the previous one.
+// Not thread-safe with concurrent panics; intended for test setup.
+PanicHandler SetPanicHandler(PanicHandler handler);
+
+// RAII guard that makes panics throw PanicException for its lifetime.
+// Restores the previous handler on destruction.
+class ScopedPanicAsException {
+ public:
+  ScopedPanicAsException();
+  ~ScopedPanicAsException();
+
+  ScopedPanicAsException(const ScopedPanicAsException&) = delete;
+  ScopedPanicAsException& operator=(const ScopedPanicAsException&) = delete;
+
+ private:
+  PanicHandler previous_;
+};
+
+// Total number of panics raised since process start (including ones converted
+// to exceptions). Used by the fault-injection harness for accounting.
+uint64_t PanicCount();
+
+}  // namespace skern
+
+// SKERN_CHECK: always-on invariant check (models BUG_ON).
+#define SKERN_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::skern::PanicAt(__FILE__, __LINE__, "check failed: " #cond);        \
+    }                                                                      \
+  } while (0)
+
+#define SKERN_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::skern::PanicAt(__FILE__, __LINE__,                                 \
+                       std::string("check failed: " #cond ": ") + (msg));  \
+    }                                                                      \
+  } while (0)
+
+// SKERN_DCHECK: debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SKERN_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define SKERN_DCHECK(cond) SKERN_CHECK(cond)
+#endif
+
+#define SKERN_UNREACHABLE() ::skern::PanicAt(__FILE__, __LINE__, "unreachable code reached")
+
+#endif  // SKERN_SRC_BASE_PANIC_H_

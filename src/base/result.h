@@ -1,0 +1,95 @@
+// Result<T>: a value-or-error union type.
+//
+// This is the type-safe replacement (§4.2) for the two C idioms the paper
+// calls out:
+//   * returning a pointer on success and a casted error value on failure
+//     (ERR_PTR / IS_ERR, emulated in err_ptr.h for the legacy modules), and
+//   * out-parameters with a separate int error return.
+// A Result is always in exactly one of the two states; accessing the wrong
+// alternative is a checked panic, never silent type confusion.
+#ifndef SKERN_SRC_BASE_RESULT_H_
+#define SKERN_SRC_BASE_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/base/panic.h"
+#include "src/base/status.h"
+
+namespace skern {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error keeps call sites terse:
+  //   return bytes;            // success
+  //   return Errno::kENOENT;   // failure
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(Errno error) : state_(std::in_place_index<1>, error) {
+    SKERN_CHECK_MSG(error != Errno::kOk, "Result error state requires a non-OK code");
+  }
+  Result(Status status) : Result(status.code()) {}
+
+  bool ok() const { return state_.index() == 0; }
+
+  Errno error() const {
+    SKERN_CHECK_MSG(!ok(), "Result::error() called on a success value");
+    return std::get<1>(state_);
+  }
+
+  Status status() const { return ok() ? Status::Ok() : Status::Error(std::get<1>(state_)); }
+
+  T& value() & {
+    SKERN_CHECK_MSG(ok(), "Result::value() called on an error");
+    return std::get<0>(state_);
+  }
+  const T& value() const& {
+    SKERN_CHECK_MSG(ok(), "Result::value() called on an error");
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    SKERN_CHECK_MSG(ok(), "Result::value() called on an error");
+    return std::get<0>(std::move(state_));
+  }
+
+  // value_or: returns the contained value or a fallback.
+  T value_or(T fallback) const& { return ok() ? std::get<0>(state_) : std::move(fallback); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Functional map: applies f to the value if present, propagates the error
+  // otherwise. Lets layered code thread errors without branching.
+  template <typename F>
+  auto Map(F&& f) const& -> Result<decltype(f(std::declval<const T&>()))> {
+    if (!ok()) {
+      return error();
+    }
+    return f(std::get<0>(state_));
+  }
+
+ private:
+  std::variant<T, Errno> state_;
+};
+
+}  // namespace skern
+
+// Unwraps a Result into `lhs`, returning the error Status on failure.
+// Usage: SKERN_ASSIGN_OR_RETURN(auto ino, fs.Lookup(path));
+#define SKERN_ASSIGN_OR_RETURN(lhs, expr)         \
+  SKERN_ASSIGN_OR_RETURN_IMPL_(                   \
+      SKERN_RESULT_CONCAT_(skern_res_, __LINE__), lhs, expr)
+
+#define SKERN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define SKERN_RESULT_CONCAT_(a, b) SKERN_RESULT_CONCAT_2_(a, b)
+#define SKERN_RESULT_CONCAT_2_(a, b) a##b
+
+#endif  // SKERN_SRC_BASE_RESULT_H_

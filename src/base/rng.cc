@@ -1,0 +1,159 @@
+#include "src/base/rng.h"
+
+#include <cmath>
+
+#include "src/base/panic.h"
+
+namespace skern {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  SKERN_CHECK(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  SKERN_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  // Guard against log(0).
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double rate) {
+  SKERN_CHECK(rate > 0.0);
+  double u = NextDouble();
+  if (u < 1e-300) {
+    u = 1e-300;
+  }
+  return -std::log(u) / rate;
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  SKERN_CHECK(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    // Normal approximation keeps large-mean draws O(1).
+    double v = mean + std::sqrt(mean) * NextGaussian();
+    return v <= 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+  }
+  double l = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  SKERN_CHECK(n > 0);
+  if (n == 1) {
+    return 0;
+  }
+  // Inverse-CDF on the continuous approximation, then clamp. Adequate for
+  // workload skew; not a statistically exact sampler.
+  double u = NextDouble();
+  if (std::abs(s - 1.0) < 1e-9) {
+    double h = std::log(static_cast<double>(n));
+    uint64_t rank = static_cast<uint64_t>(std::exp(u * h)) - 1;
+    return rank >= n ? n - 1 : rank;
+  }
+  double exp1 = 1.0 - s;
+  double hmax = (std::pow(static_cast<double>(n), exp1) - 1.0) / exp1;
+  double x = std::pow(u * hmax * exp1 + 1.0, 1.0 / exp1);
+  uint64_t rank = static_cast<uint64_t>(x) - (x >= 1.0 ? 1 : 0);
+  return rank >= n ? n - 1 : rank;
+}
+
+std::string Rng::NextName(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + NextBelow(26)));
+  }
+  return out;
+}
+
+std::vector<uint8_t> Rng::NextBytes(size_t length) {
+  std::vector<uint8_t> out(length);
+  size_t i = 0;
+  while (i + 8 <= length) {
+    uint64_t v = Next();
+    for (int b = 0; b < 8; ++b) {
+      out[i++] = static_cast<uint8_t>(v >> (8 * b));
+    }
+  }
+  if (i < length) {
+    uint64_t v = Next();
+    while (i < length) {
+      out[i++] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace skern

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in skern — workload generators, the synthetic CVE
+// corpus, fault-injection schedules, crash points — draws from this generator
+// so that every experiment is reproducible from a seed.
+#ifndef SKERN_SRC_BASE_RNG_H_
+#define SKERN_SRC_BASE_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skern {
+
+// xoshiro256** seeded via splitmix64. Fast, high-quality, deterministic
+// across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t Next();
+
+  // Uniform on [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform on [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform on [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p = 0.5);
+
+  // Standard-normal via Box-Muller.
+  double NextGaussian();
+
+  // Exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  // Poisson-distributed count with the given mean (inversion for small means,
+  // normal approximation above 64 to stay O(1)).
+  uint64_t NextPoisson(double mean);
+
+  // Zipf-like rank on [0, n) with exponent s (clamped rejection-inversion).
+  // Used by file-access and packet-size workloads.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  // Random lowercase name of the given length.
+  std::string NextName(size_t length);
+
+  // Fills a byte vector with random content.
+  std::vector<uint8_t> NextBytes(size_t length);
+
+  // Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BASE_RNG_H_

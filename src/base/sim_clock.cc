@@ -1,0 +1,48 @@
+#include "src/base/sim_clock.h"
+
+#include <utility>
+
+namespace skern {
+
+uint64_t SimClock::ScheduleAt(SimTime deadline, std::function<void()> fn) {
+  uint64_t id = next_id_++;
+  timers_.emplace(deadline, Timer{id, std::move(fn)});
+  return id;
+}
+
+uint64_t SimClock::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool SimClock::Cancel(uint64_t timer_id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.id == timer_id) {
+      timers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimClock::Advance(SimTime delta) {
+  SimTime target = now_ + delta;
+  while (!timers_.empty() && timers_.begin()->first <= target) {
+    auto it = timers_.begin();
+    now_ = std::max(now_, it->first);
+    auto fn = std::move(it->second.fn);
+    timers_.erase(it);
+    fn();
+  }
+  now_ = target;
+}
+
+bool SimClock::AdvanceToNextEvent() {
+  if (timers_.empty()) {
+    return false;
+  }
+  SimTime next = timers_.begin()->first;
+  Advance(next > now_ ? next - now_ : 0);
+  return true;
+}
+
+}  // namespace skern

@@ -1,0 +1,62 @@
+// Simulated monotonic clock.
+//
+// Network retransmission timers, journal commit intervals, and the CVE
+// timeline all run on simulated time so that experiments are deterministic
+// and can fast-forward through idle periods.
+#ifndef SKERN_SRC_BASE_SIM_CLOCK_H_
+#define SKERN_SRC_BASE_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace skern {
+
+// Nanoseconds since simulation start.
+using SimTime = uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// A discrete-event clock with one-shot timers. Not thread-safe; each
+// simulation owns one clock and advances it explicitly.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run when the clock reaches `deadline`. Returns a timer
+  // id usable with Cancel. Deadlines in the past fire on the next Advance.
+  uint64_t ScheduleAt(SimTime deadline, std::function<void()> fn);
+  uint64_t ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  // Cancels a pending timer; returns false if it already fired or never existed.
+  bool Cancel(uint64_t timer_id);
+
+  // Advances time by `delta`, firing due timers in deadline order. Timers
+  // scheduled by running timers fire in the same Advance if due.
+  void Advance(SimTime delta);
+
+  // Advances directly to the next pending deadline (no-op if none).
+  // Returns true if a timer fired.
+  bool AdvanceToNextEvent();
+
+  size_t pending_timers() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    uint64_t id;
+    std::function<void()> fn;
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_id_ = 1;
+  std::multimap<SimTime, Timer> timers_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BASE_SIM_CLOCK_H_

@@ -1,0 +1,192 @@
+#include "src/base/status.h"
+
+namespace skern {
+
+const char* ErrnoName(Errno e) {
+  switch (e) {
+    case Errno::kOk:
+      return "OK";
+    case Errno::kEPERM:
+      return "EPERM";
+    case Errno::kENOENT:
+      return "ENOENT";
+    case Errno::kEIO:
+      return "EIO";
+    case Errno::kEBADF:
+      return "EBADF";
+    case Errno::kEAGAIN:
+      return "EAGAIN";
+    case Errno::kENOMEM:
+      return "ENOMEM";
+    case Errno::kEACCES:
+      return "EACCES";
+    case Errno::kEFAULT:
+      return "EFAULT";
+    case Errno::kEBUSY:
+      return "EBUSY";
+    case Errno::kEEXIST:
+      return "EEXIST";
+    case Errno::kEXDEV:
+      return "EXDEV";
+    case Errno::kENODEV:
+      return "ENODEV";
+    case Errno::kENOTDIR:
+      return "ENOTDIR";
+    case Errno::kEISDIR:
+      return "EISDIR";
+    case Errno::kEINVAL:
+      return "EINVAL";
+    case Errno::kENFILE:
+      return "ENFILE";
+    case Errno::kEMFILE:
+      return "EMFILE";
+    case Errno::kEFBIG:
+      return "EFBIG";
+    case Errno::kENOSPC:
+      return "ENOSPC";
+    case Errno::kEROFS:
+      return "EROFS";
+    case Errno::kEPIPE:
+      return "EPIPE";
+    case Errno::kERANGE:
+      return "ERANGE";
+    case Errno::kENAMETOOLONG:
+      return "ENAMETOOLONG";
+    case Errno::kENOSYS:
+      return "ENOSYS";
+    case Errno::kENOTEMPTY:
+      return "ENOTEMPTY";
+    case Errno::kELOOP:
+      return "ELOOP";
+    case Errno::kEOVERFLOW:
+      return "EOVERFLOW";
+    case Errno::kEMSGSIZE:
+      return "EMSGSIZE";
+    case Errno::kEPROTONOSUPPORT:
+      return "EPROTONOSUPPORT";
+    case Errno::kEADDRINUSE:
+      return "EADDRINUSE";
+    case Errno::kEADDRNOTAVAIL:
+      return "EADDRNOTAVAIL";
+    case Errno::kENETUNREACH:
+      return "ENETUNREACH";
+    case Errno::kECONNRESET:
+      return "ECONNRESET";
+    case Errno::kENOBUFS:
+      return "ENOBUFS";
+    case Errno::kEISCONN:
+      return "EISCONN";
+    case Errno::kENOTCONN:
+      return "ENOTCONN";
+    case Errno::kETIMEDOUT:
+      return "ETIMEDOUT";
+    case Errno::kECONNREFUSED:
+      return "ECONNREFUSED";
+    case Errno::kEALREADY:
+      return "EALREADY";
+    case Errno::kEINPROGRESS:
+      return "EINPROGRESS";
+  }
+  return "E???";
+}
+
+const char* ErrnoMessage(Errno e) {
+  switch (e) {
+    case Errno::kOk:
+      return "Success";
+    case Errno::kEPERM:
+      return "Operation not permitted";
+    case Errno::kENOENT:
+      return "No such file or directory";
+    case Errno::kEIO:
+      return "I/O error";
+    case Errno::kEBADF:
+      return "Bad file descriptor";
+    case Errno::kEAGAIN:
+      return "Try again";
+    case Errno::kENOMEM:
+      return "Out of memory";
+    case Errno::kEACCES:
+      return "Permission denied";
+    case Errno::kEFAULT:
+      return "Bad address";
+    case Errno::kEBUSY:
+      return "Device or resource busy";
+    case Errno::kEEXIST:
+      return "File exists";
+    case Errno::kEXDEV:
+      return "Cross-device link";
+    case Errno::kENODEV:
+      return "No such device";
+    case Errno::kENOTDIR:
+      return "Not a directory";
+    case Errno::kEISDIR:
+      return "Is a directory";
+    case Errno::kEINVAL:
+      return "Invalid argument";
+    case Errno::kENFILE:
+      return "File table overflow";
+    case Errno::kEMFILE:
+      return "Too many open files";
+    case Errno::kEFBIG:
+      return "File too large";
+    case Errno::kENOSPC:
+      return "No space left on device";
+    case Errno::kEROFS:
+      return "Read-only file system";
+    case Errno::kEPIPE:
+      return "Broken pipe";
+    case Errno::kERANGE:
+      return "Math result not representable";
+    case Errno::kENAMETOOLONG:
+      return "File name too long";
+    case Errno::kENOSYS:
+      return "Function not implemented";
+    case Errno::kENOTEMPTY:
+      return "Directory not empty";
+    case Errno::kELOOP:
+      return "Too many levels of symbolic links";
+    case Errno::kEOVERFLOW:
+      return "Value too large for defined data type";
+    case Errno::kEMSGSIZE:
+      return "Message too long";
+    case Errno::kEPROTONOSUPPORT:
+      return "Protocol not supported";
+    case Errno::kEADDRINUSE:
+      return "Address already in use";
+    case Errno::kEADDRNOTAVAIL:
+      return "Cannot assign requested address";
+    case Errno::kENETUNREACH:
+      return "Network is unreachable";
+    case Errno::kECONNRESET:
+      return "Connection reset by peer";
+    case Errno::kENOBUFS:
+      return "No buffer space available";
+    case Errno::kEISCONN:
+      return "Transport endpoint is already connected";
+    case Errno::kENOTCONN:
+      return "Transport endpoint is not connected";
+    case Errno::kETIMEDOUT:
+      return "Connection timed out";
+    case Errno::kECONNREFUSED:
+      return "Connection refused";
+    case Errno::kEALREADY:
+      return "Operation already in progress";
+    case Errno::kEINPROGRESS:
+      return "Operation now in progress";
+  }
+  return "Unknown error";
+}
+
+std::ostream& operator<<(std::ostream& os, Errno e) { return os << ErrnoName(e); }
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  return std::string(ErrnoName(code_)) + " (" + ErrnoMessage(code_) + ")";
+}
+
+std::ostream& operator<<(std::ostream& os, Status s) { return os << s.ToString(); }
+
+}  // namespace skern

@@ -1,0 +1,105 @@
+// Error codes and Status.
+//
+// skern uses kernel-style errno values internally so that the legacy (C-idiom)
+// file system can keep its ERR_PTR conventions while the safe layers wrap the
+// same codes in typed Status/Result values — the §4.2 migration the paper
+// describes: "type safe interfaces ... require functions to return a union
+// type that can hold either valid data or an error".
+#ifndef SKERN_SRC_BASE_STATUS_H_
+#define SKERN_SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace skern {
+
+// Subset of Linux errno values used by the substrate. Numeric values match
+// Linux so the ERR_PTR emulation in err_ptr.h is faithful.
+enum class Errno : int32_t {
+  kOk = 0,
+  kEPERM = 1,      // Operation not permitted
+  kENOENT = 2,     // No such file or directory
+  kEIO = 5,        // I/O error
+  kEBADF = 9,      // Bad file descriptor
+  kEAGAIN = 11,    // Try again
+  kENOMEM = 12,    // Out of memory
+  kEACCES = 13,    // Permission denied
+  kEFAULT = 14,    // Bad address
+  kEBUSY = 16,     // Device or resource busy
+  kEEXIST = 17,    // File exists
+  kEXDEV = 18,     // Cross-device link
+  kENODEV = 19,    // No such device
+  kENOTDIR = 20,   // Not a directory
+  kEISDIR = 21,    // Is a directory
+  kEINVAL = 22,    // Invalid argument
+  kENFILE = 23,    // File table overflow
+  kEMFILE = 24,    // Too many open files
+  kEFBIG = 27,     // File too large
+  kENOSPC = 28,    // No space left on device
+  kEROFS = 30,     // Read-only file system
+  kEPIPE = 32,     // Broken pipe
+  kERANGE = 34,    // Math result not representable
+  kENAMETOOLONG = 36,
+  kENOSYS = 38,       // Function not implemented
+  kENOTEMPTY = 39,    // Directory not empty
+  kELOOP = 40,        // Too many symbolic links
+  kEOVERFLOW = 75,    // Value too large for defined data type
+  kEMSGSIZE = 90,     // Message too long
+  kEPROTONOSUPPORT = 93,
+  kEADDRINUSE = 98,      // Address already in use
+  kEADDRNOTAVAIL = 99,   // Cannot assign requested address
+  kENETUNREACH = 101,    // Network is unreachable
+  kECONNRESET = 104,     // Connection reset by peer
+  kENOBUFS = 105,        // No buffer space available
+  kEISCONN = 106,        // Socket is already connected
+  kENOTCONN = 107,       // Socket is not connected
+  kETIMEDOUT = 110,      // Connection timed out
+  kECONNREFUSED = 111,   // Connection refused
+  kEALREADY = 114,       // Operation already in progress
+  kEINPROGRESS = 115,    // Operation now in progress
+};
+
+// Human-readable name ("ENOENT") for diagnostics.
+const char* ErrnoName(Errno e);
+// Human-readable description ("No such file or directory").
+const char* ErrnoMessage(Errno e);
+
+std::ostream& operator<<(std::ostream& os, Errno e);
+
+// A success-or-error value without a payload. Cheap (one word).
+class Status {
+ public:
+  // Default is success.
+  constexpr Status() : code_(Errno::kOk) {}
+  constexpr explicit Status(Errno code) : code_(code) {}
+
+  static constexpr Status Ok() { return Status(); }
+  static constexpr Status Error(Errno code) { return Status(code); }
+
+  constexpr bool ok() const { return code_ == Errno::kOk; }
+  constexpr Errno code() const { return code_; }
+
+  std::string ToString() const;
+
+  friend constexpr bool operator==(Status a, Status b) { return a.code_ == b.code_; }
+  friend constexpr bool operator!=(Status a, Status b) { return a.code_ != b.code_; }
+
+ private:
+  Errno code_;
+};
+
+std::ostream& operator<<(std::ostream& os, Status s);
+
+}  // namespace skern
+
+// Propagates an error Status from a callee, kernel-style "if (err) return err".
+#define SKERN_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::skern::Status skern_status_ = (expr);  \
+    if (!skern_status_.ok()) {               \
+      return skern_status_;                  \
+    }                                        \
+  } while (0)
+
+#endif  // SKERN_SRC_BASE_STATUS_H_

@@ -1,0 +1,125 @@
+#include "src/block/block_device.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+
+namespace skern {
+
+RamDisk::RamDisk(uint64_t block_count, uint64_t seed)
+    : block_count_(block_count),
+      durable_(block_count * kBlockSize, 0),
+      rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  SKERN_CHECK(block_count > 0);
+}
+
+Status RamDisk::ReadBlock(uint64_t block, MutableByteView out) {
+  if (block >= block_count_) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  if (out.size() != kBlockSize) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  if (error_blocks_.count(block) > 0) {
+    ++stats_.injected_errors;
+    return Status::Error(Errno::kEIO);
+  }
+  ++stats_.reads;
+  auto it = cache_.find(block);
+  if (it != cache_.end()) {
+    out.CopyFrom(ByteView(it->second));
+  } else {
+    out.CopyFrom(ByteView(durable_.data() + block * kBlockSize, kBlockSize));
+  }
+  return Status::Ok();
+}
+
+Status RamDisk::WriteBlock(uint64_t block, ByteView data) {
+  if (block >= block_count_) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  if (data.size() != kBlockSize) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  if (error_blocks_.count(block) > 0) {
+    ++stats_.injected_errors;
+    return Status::Error(Errno::kEIO);
+  }
+  ++stats_.writes;
+  pending_.push_back(PendingWrite{block, data.ToBytes()});
+  cache_[block] = data.ToBytes();
+  if (crash_after_writes_.has_value()) {
+    if (--*crash_after_writes_ == 0) {
+      ApplyCrash(crash_persistence_, crash_tear_last_);
+      crash_after_writes_.reset();
+      return Status::Error(Errno::kEIO);
+    }
+  }
+  return Status::Ok();
+}
+
+Status RamDisk::Flush() {
+  ++stats_.flushes;
+  for (const auto& w : pending_) {
+    std::copy(w.data.begin(), w.data.end(), durable_.begin() + w.block * kBlockSize);
+  }
+  pending_.clear();
+  cache_.clear();
+  return Status::Ok();
+}
+
+void RamDisk::CrashNow(CrashPersistence persistence, bool tear_last) {
+  ApplyCrash(persistence, tear_last);
+}
+
+void RamDisk::ApplyCrash(CrashPersistence persistence, bool tear_last) {
+  ++stats_.crashes;
+  // Decide which pending writes reached media on their own.
+  std::vector<const PendingWrite*> survivors;
+  switch (persistence) {
+    case CrashPersistence::kLoseAll:
+      break;
+    case CrashPersistence::kRandomPrefix: {
+      size_t keep = pending_.empty() ? 0 : rng_.NextBelow(pending_.size() + 1);
+      for (size_t i = 0; i < keep; ++i) {
+        survivors.push_back(&pending_[i]);
+      }
+      break;
+    }
+    case CrashPersistence::kRandomSubset: {
+      for (const auto& w : pending_) {
+        if (rng_.NextBool(0.5)) {
+          survivors.push_back(&w);
+        }
+      }
+      break;
+    }
+  }
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    const PendingWrite& w = *survivors[i];
+    bool tear = tear_last && i + 1 == survivors.size();
+    size_t len = tear ? kBlockSize / 2 : kBlockSize;
+    std::copy(w.data.begin(), w.data.begin() + len, durable_.begin() + w.block * kBlockSize);
+  }
+  pending_.clear();
+  cache_.clear();
+}
+
+void RamDisk::ScheduleCrashAfterWrites(uint64_t n, CrashPersistence persistence,
+                                       bool tear_last) {
+  SKERN_CHECK(n > 0);
+  crash_after_writes_ = n;
+  crash_persistence_ = persistence;
+  crash_tear_last_ = tear_last;
+}
+
+void RamDisk::InjectBlockError(uint64_t block) { error_blocks_[block] = true; }
+
+void RamDisk::ClearBlockErrors() { error_blocks_.clear(); }
+
+ByteView RamDisk::DurableContent(uint64_t block) const {
+  SKERN_CHECK(block < block_count_);
+  return ByteView(durable_.data() + block * kBlockSize, kBlockSize);
+}
+
+}  // namespace skern

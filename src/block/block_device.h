@@ -1,0 +1,118 @@
+// Block-device interface and the simulated RAM disk with crash injection.
+//
+// The substrate under every file system in skern. The RAM disk implements the
+// standard volatile-cache disk contract:
+//   * WriteBlock lands in the device's volatile cache;
+//   * Flush is a barrier — everything written before it is durable;
+//   * a crash loses the volatile cache, except that any *subset* of the
+//     pending writes may have reached media on their own (disks reorder), and
+//     the write in flight at the crash instant may be torn.
+// This is exactly the adversary a journaling file system must defeat, and the
+// crash oracle in src/spec/ checks recovery against it.
+#ifndef SKERN_SRC_BLOCK_BLOCK_DEVICE_H_
+#define SKERN_SRC_BLOCK_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+
+namespace skern {
+
+inline constexpr uint32_t kBlockSize = 4096;
+
+// Abstract device: the modular interface (step 1) for storage.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Reads one whole block into `out` (must be kBlockSize bytes).
+  virtual Status ReadBlock(uint64_t block, MutableByteView out) = 0;
+
+  // Writes one whole block from `data` (must be kBlockSize bytes).
+  virtual Status WriteBlock(uint64_t block, ByteView data) = 0;
+
+  // Durability barrier: all writes issued before Flush survive a crash.
+  virtual Status Flush() = 0;
+
+  virtual uint64_t BlockCount() const = 0;
+};
+
+// How pending (un-flushed) writes behave at a crash.
+enum class CrashPersistence : uint8_t {
+  kLoseAll = 0,       // nothing pending survives
+  kRandomPrefix = 1,  // a random prefix of the pending write sequence survives
+  kRandomSubset = 2,  // each pending write independently survives (reordering)
+};
+
+struct RamDiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t flushes = 0;
+  uint64_t crashes = 0;
+  uint64_t injected_errors = 0;
+};
+
+class RamDisk : public BlockDevice {
+ public:
+  RamDisk(uint64_t block_count, uint64_t seed = 0);
+
+  Status ReadBlock(uint64_t block, MutableByteView out) override;
+  Status WriteBlock(uint64_t block, ByteView data) override;
+  Status Flush() override;
+  uint64_t BlockCount() const override { return block_count_; }
+
+  // --- crash injection ---
+
+  // Crashes now: pending writes survive per `persistence`; if `tear_last` and
+  // the last surviving write exists, only its first half lands (torn write).
+  // After the crash the device is immediately usable ("rebooted") and reads
+  // see only what survived.
+  void CrashNow(CrashPersistence persistence, bool tear_last = false);
+
+  // Arms an automatic crash during the Nth future write (1-based). That write
+  // returns EIO; pending state collapses per `persistence`.
+  void ScheduleCrashAfterWrites(uint64_t n, CrashPersistence persistence,
+                                bool tear_last = false);
+  bool crash_armed() const { return crash_after_writes_.has_value(); }
+
+  // --- error injection ---
+
+  // Every I/O touching `block` fails with EIO until cleared.
+  void InjectBlockError(uint64_t block);
+  void ClearBlockErrors();
+
+  const RamDiskStats& stats() const { return stats_; }
+  uint64_t pending_write_count() const { return pending_.size(); }
+
+  // Test-only direct view of durable media content.
+  ByteView DurableContent(uint64_t block) const;
+
+ private:
+  struct PendingWrite {
+    uint64_t block;
+    Bytes data;
+  };
+
+  void ApplyCrash(CrashPersistence persistence, bool tear_last);
+
+  uint64_t block_count_;
+  Bytes durable_;           // media as of last barrier + survived writes
+  std::map<uint64_t, Bytes> cache_;  // pending logical content per block
+  std::vector<PendingWrite> pending_;  // ordered un-flushed writes
+  std::optional<uint64_t> crash_after_writes_;
+  CrashPersistence crash_persistence_ = CrashPersistence::kLoseAll;
+  bool crash_tear_last_ = false;
+  std::map<uint64_t, bool> error_blocks_;
+  RamDiskStats stats_;
+  Rng rng_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BLOCK_BLOCK_DEVICE_H_

@@ -1,0 +1,200 @@
+#include "src/block/buffer_cache.h"
+
+#include <atomic>
+
+#include "src/base/log.h"
+#include "src/base/panic.h"
+
+namespace skern {
+namespace {
+
+std::atomic<bool> g_state_checking{true};
+
+}  // namespace
+
+bool GetBufferStateChecking() { return g_state_checking.load(std::memory_order_relaxed); }
+
+void SetBufferStateChecking(bool enabled) {
+  g_state_checking.store(enabled, std::memory_order_relaxed);
+}
+
+BufferCache::BufferCache(BlockDevice& device, size_t capacity)
+    : device_(device), capacity_(capacity), mutex_("buffercache.lock") {
+  SKERN_CHECK(capacity_ > 0);
+}
+
+BufferCache::~BufferCache() {
+  // Unpin LRU membership so the intrusive-list debug checks stay quiet.
+  lru_.Clear();
+}
+
+void BufferCache::ValidateTransition(const BufferHead* bh, const char* where) {
+  if (!GetBufferStateChecking()) {
+    return;
+  }
+  auto violations = ValidateBufferState(bh->state.load(std::memory_order_acquire));
+  if (!violations.empty()) {
+    stats_.state_violations += violations.size();
+    Panic(std::string("buffer_head state invalid at ") + where + ": " +
+          violations.front().rule + " [" +
+          BufferStateToString(bh->state.load(std::memory_order_relaxed)) + "]");
+  }
+}
+
+void BufferCache::EvictIfNeededLocked() {
+  while (buffers_.size() >= capacity_) {
+    BufferHead* victim = lru_.PopFront();
+    if (victim == nullptr) {
+      // Everything is referenced; the cache cannot shrink. Allow temporary
+      // overcommit rather than deadlocking the caller.
+      SKERN_WARN() << "buffer cache over capacity with all buffers pinned";
+      return;
+    }
+    if (victim->Test(BhFlag::kDirty)) {
+      Status s = WriteBackLocked(victim);
+      if (!s.ok()) {
+        // Failed writeback: keep the buffer (and its data) around; put it at
+        // the hot end so we do not spin on it.
+        lru_.PushBack(victim);
+        return;
+      }
+    }
+    ++stats_.evictions;
+    buffers_.erase(victim->blocknr);
+  }
+}
+
+BufferHead* BufferCache::GetBlock(uint64_t block) {
+  MutexGuard guard(mutex_);
+  auto it = buffers_.find(block);
+  if (it != buffers_.end()) {
+    ++stats_.hits;
+    BufferHead* bh = it->second.get();
+    if (bh->refcount.fetch_add(1, std::memory_order_acq_rel) == 0 && bh->lru_node.linked()) {
+      lru_.Remove(bh);
+    }
+    return bh;
+  }
+  ++stats_.misses;
+  EvictIfNeededLocked();
+  // A cached buffer always has a disk mapping in this substrate.
+  auto bh = std::make_unique<BufferHead>(block, static_cast<uint32_t>(BhFlag::kMapped));
+  BufferHead* raw = bh.get();
+  raw->refcount.store(1, std::memory_order_release);
+  buffers_[block] = std::move(bh);
+  ValidateTransition(raw, "GetBlock");
+  return raw;
+}
+
+Result<BufferHead*> BufferCache::ReadBlock(uint64_t block) {
+  BufferHead* bh = GetBlock(block);
+  if (bh->Test(BhFlag::kUptodate)) {
+    return bh;
+  }
+  // Fill under the cache lock so two concurrent fillers of the same buffer
+  // cannot interleave the Lock/AsyncRead transitions (the simulated device
+  // read is cheap, so serializing the miss path costs little).
+  MutexGuard guard(mutex_);
+  if (bh->Test(BhFlag::kUptodate)) {
+    return bh;  // another thread filled it while we waited
+  }
+  // I/O in flight: locked + async read, like block_read_full_page.
+  bh->Set(BhFlag::kLock);
+  bh->Set(BhFlag::kAsyncRead);
+  ValidateTransition(bh, "ReadBlock/submit");
+  Status s = device_.ReadBlock(block, MutableByteView(bh->data));
+  bh->Clear(BhFlag::kAsyncRead);
+  bh->Clear(BhFlag::kLock);
+  if (!s.ok()) {
+    guard.Release();
+    Release(bh);
+    return s.code();
+  }
+  bh->Set(BhFlag::kUptodate);
+  bh->Set(BhFlag::kReq);
+  ValidateTransition(bh, "ReadBlock/complete");
+  return bh;
+}
+
+void BufferCache::Release(BufferHead* bh) {
+  MutexGuard guard(mutex_);
+  int32_t prev = bh->refcount.fetch_sub(1, std::memory_order_acq_rel);
+  SKERN_CHECK_MSG(prev > 0, "brelse of unreferenced buffer");
+  if (prev == 1) {
+    lru_.PushBack(bh);
+  }
+}
+
+void BufferCache::MarkDirty(BufferHead* bh) {
+  SKERN_CHECK_MSG(bh->Test(BhFlag::kUptodate),
+                  "mark_buffer_dirty on a non-uptodate buffer (rule R1)");
+  bh->Set(BhFlag::kDirty);
+  ValidateTransition(bh, "MarkDirty");
+}
+
+Status BufferCache::WriteBackLocked(BufferHead* bh) {
+  if (!bh->Test(BhFlag::kDirty)) {
+    return Status::Ok();
+  }
+  // Clear dirty before submit (Linux order); set in-flight state.
+  bh->Clear(BhFlag::kDirty);
+  bh->Set(BhFlag::kLock);
+  bh->Set(BhFlag::kAsyncWrite);
+  bh->Set(BhFlag::kReq);
+  ValidateTransition(bh, "WriteBack/submit");
+  Status s = device_.WriteBlock(bh->blocknr, ByteView(bh->data));
+  bh->Clear(BhFlag::kAsyncWrite);
+  bh->Clear(BhFlag::kLock);
+  if (!s.ok()) {
+    bh->Set(BhFlag::kWriteEio);
+    ValidateTransition(bh, "WriteBack/error");
+    return s;
+  }
+  bh->Clear(BhFlag::kWriteEio);
+  ++stats_.writebacks;
+  ValidateTransition(bh, "WriteBack/complete");
+  return Status::Ok();
+}
+
+Status BufferCache::WriteBack(BufferHead* bh) {
+  MutexGuard guard(mutex_);
+  return WriteBackLocked(bh);
+}
+
+Status BufferCache::SyncAll() {
+  {
+    MutexGuard guard(mutex_);
+    for (auto& [block, bh] : buffers_) {
+      SKERN_RETURN_IF_ERROR(WriteBackLocked(bh.get()));
+    }
+  }
+  return device_.Flush();
+}
+
+void BufferCache::InvalidateAll() {
+  MutexGuard guard(mutex_);
+  for (auto& [block, bh] : buffers_) {
+    SKERN_CHECK_MSG(bh->refcount.load(std::memory_order_acquire) == 0,
+                    "InvalidateAll with referenced buffers");
+    SKERN_CHECK_MSG(!bh->Test(BhFlag::kDirty), "InvalidateAll with dirty buffers");
+  }
+  lru_.Clear();
+  buffers_.clear();
+}
+
+std::vector<BufferStateViolation> BufferCache::ValidateAll() const {
+  MutexGuard guard(mutex_);
+  std::vector<BufferStateViolation> all;
+  for (const auto& [block, bh] : buffers_) {
+    auto v = ValidateBufferState(bh->state.load(std::memory_order_acquire));
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+size_t BufferCache::size() const {
+  MutexGuard guard(mutex_);
+  return buffers_.size();
+}
+
+}  // namespace skern

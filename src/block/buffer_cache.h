@@ -1,0 +1,92 @@
+// Buffer cache: getblk/bread/brelse over a BlockDevice, with LRU eviction
+// and checked buffer_head state transitions.
+//
+// In checked mode every flag transition is validated against the rules in
+// buffer_head.h; an invalid combination panics, so "must be set correctly and
+// at the right point in the code to prevent data loss or corruption" (§4.4)
+// becomes machine-enforced rather than reviewer-enforced.
+#ifndef SKERN_SRC_BLOCK_BUFFER_CACHE_H_
+#define SKERN_SRC_BLOCK_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/result.h"
+#include "src/block/block_device.h"
+#include "src/block/buffer_head.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+
+// Global switch for per-transition state validation (cheap; defaults on).
+bool GetBufferStateChecking();
+void SetBufferStateChecking(bool enabled);
+
+struct BufferCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t state_violations = 0;
+};
+
+class BufferCache {
+ public:
+  // `capacity` is the maximum number of cached buffers; eviction is LRU over
+  // unreferenced buffers.
+  BufferCache(BlockDevice& device, size_t capacity);
+  ~BufferCache();
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  // getblk: finds or creates the buffer for `block` and takes a reference.
+  // The buffer may not be uptodate. Returns nullptr only if the cache is
+  // completely pinned and over capacity (caller bug) — checked.
+  BufferHead* GetBlock(uint64_t block);
+
+  // bread: GetBlock + ensures the contents are read from the device.
+  Result<BufferHead*> ReadBlock(uint64_t block);
+
+  // brelse: drops the reference taken by GetBlock/ReadBlock.
+  void Release(BufferHead* bh);
+
+  // Marks a buffer dirty (it must be uptodate — rule R1).
+  void MarkDirty(BufferHead* bh);
+
+  // Writes one dirty buffer back to the device (no barrier).
+  Status WriteBack(BufferHead* bh);
+
+  // Writes back every dirty buffer and issues a device flush barrier.
+  Status SyncAll();
+
+  // Drops all clean, unreferenced buffers (used after a simulated crash so
+  // stale cache contents don't survive the "reboot"). Dirty or referenced
+  // buffers panic — a crashed cache must not hold pinned state.
+  void InvalidateAll();
+
+  // Runs the state validator over every cached buffer.
+  std::vector<BufferStateViolation> ValidateAll() const;
+
+  const BufferCacheStats& stats() const { return stats_; }
+  size_t size() const;
+
+ private:
+  void ValidateTransition(const BufferHead* bh, const char* where);
+  void EvictIfNeededLocked();
+  Status WriteBackLocked(BufferHead* bh);
+
+  BlockDevice& device_;
+  size_t capacity_;
+  mutable TrackedMutex mutex_;
+  std::map<uint64_t, std::unique_ptr<BufferHead>> buffers_;
+  IntrusiveList<BufferHead, &BufferHead::lru_node> lru_;  // unreferenced buffers
+  BufferCacheStats stats_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BLOCK_BUFFER_CACHE_H_

@@ -1,0 +1,103 @@
+#include "src/block/buffer_head.h"
+
+namespace skern {
+namespace {
+
+bool Has(uint32_t state, BhFlag flag) { return (state & static_cast<uint32_t>(flag)) != 0; }
+
+}  // namespace
+
+const char* BhFlagName(BhFlag flag) {
+  switch (flag) {
+    case BhFlag::kUptodate:
+      return "Uptodate";
+    case BhFlag::kDirty:
+      return "Dirty";
+    case BhFlag::kLock:
+      return "Lock";
+    case BhFlag::kReq:
+      return "Req";
+    case BhFlag::kUptodateLock:
+      return "UptodateLock";
+    case BhFlag::kMapped:
+      return "Mapped";
+    case BhFlag::kNew:
+      return "New";
+    case BhFlag::kAsyncRead:
+      return "AsyncRead";
+    case BhFlag::kAsyncWrite:
+      return "AsyncWrite";
+    case BhFlag::kDelay:
+      return "Delay";
+    case BhFlag::kBoundary:
+      return "Boundary";
+    case BhFlag::kWriteEio:
+      return "WriteEio";
+    case BhFlag::kUnwritten:
+      return "Unwritten";
+    case BhFlag::kQuiet:
+      return "Quiet";
+    case BhFlag::kMeta:
+      return "Meta";
+    case BhFlag::kPrio:
+      return "Prio";
+  }
+  return "?";
+}
+
+std::vector<BufferStateViolation> ValidateBufferState(uint32_t state) {
+  std::vector<BufferStateViolation> violations;
+  auto fail = [&](const char* rule) { violations.push_back({rule, state}); };
+
+  if (Has(state, BhFlag::kDirty) && !Has(state, BhFlag::kUptodate)) {
+    fail("R1: Dirty => Uptodate");
+  }
+  if (Has(state, BhFlag::kDirty) && !Has(state, BhFlag::kMapped) &&
+      !Has(state, BhFlag::kDelay)) {
+    fail("R2: Dirty => Mapped|Delay");
+  }
+  if (Has(state, BhFlag::kDelay) && Has(state, BhFlag::kMapped)) {
+    fail("R3: Delay => !Mapped");
+  }
+  if (Has(state, BhFlag::kUnwritten) && !Has(state, BhFlag::kMapped)) {
+    fail("R4: Unwritten => Mapped");
+  }
+  if (Has(state, BhFlag::kUnwritten) && Has(state, BhFlag::kDirty)) {
+    fail("R5: Unwritten => !Dirty");
+  }
+  if (Has(state, BhFlag::kAsyncRead) && !Has(state, BhFlag::kLock)) {
+    fail("R6: AsyncRead => Lock");
+  }
+  if (Has(state, BhFlag::kAsyncWrite) && !Has(state, BhFlag::kLock)) {
+    fail("R7: AsyncWrite => Lock");
+  }
+  if (Has(state, BhFlag::kAsyncRead) && Has(state, BhFlag::kAsyncWrite)) {
+    fail("R8: !(AsyncRead & AsyncWrite)");
+  }
+  if (Has(state, BhFlag::kNew) && !Has(state, BhFlag::kMapped)) {
+    fail("R9: New => Mapped");
+  }
+  if (Has(state, BhFlag::kWriteEio) && !Has(state, BhFlag::kReq)) {
+    fail("R10: WriteEio => Req");
+  }
+  return violations;
+}
+
+std::string BufferStateToString(uint32_t state) {
+  if (state == 0) {
+    return "(none)";
+  }
+  std::string out;
+  for (int i = 0; i < kBhFlagCount; ++i) {
+    auto flag = static_cast<BhFlag>(1u << i);
+    if (Has(state, flag)) {
+      if (!out.empty()) {
+        out += '|';
+      }
+      out += BhFlagName(flag);
+    }
+  }
+  return out;
+}
+
+}  // namespace skern

@@ -1,0 +1,105 @@
+// buffer_head: the block-cache object with Linux's 16-flag state machine.
+//
+// §4.4: "The buffer_head struct, used to expose disk blocks to file systems
+// through the buffer cache, includes 16 state flags that describe whether the
+// buffer is mapped, dirty, etc. These flags are set independently, resulting
+// in many possible combinations of states. Not all of the combinations are
+// valid, but even determining which are can be complicated."
+//
+// skern reproduces the flag set (mirroring Linux's enum bh_state_bits) and —
+// this is the point — writes the validity rules down as code
+// (ValidateBufferState) instead of leaving them implicit in scattered call
+// sites. The buffer cache checks them at every transition in checked builds;
+// the same rules double as the specification the fault injector perturbs.
+#ifndef SKERN_SRC_BLOCK_BUFFER_HEAD_H_
+#define SKERN_SRC_BLOCK_BUFFER_HEAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/intrusive_list.h"
+#include "src/block/block_device.h"
+
+namespace skern {
+
+// Mirrors Linux's enum bh_state_bits (fs/buffer_head.h).
+enum class BhFlag : uint32_t {
+  kUptodate = 1u << 0,   // contains valid data
+  kDirty = 1u << 1,      // is dirty
+  kLock = 1u << 2,       // is locked
+  kReq = 1u << 3,        // has been submitted for I/O
+  kUptodateLock = 1u << 4,  // first I/O completion serializer
+  kMapped = 1u << 5,     // has a disk mapping
+  kNew = 1u << 6,        // disk mapping was newly created
+  kAsyncRead = 1u << 7,  // under async read
+  kAsyncWrite = 1u << 8,  // under async write
+  kDelay = 1u << 9,      // delayed allocation: dirty but no mapping yet
+  kBoundary = 1u << 10,  // block followed by a discontiguity
+  kWriteEio = 1u << 11,  // I/O error on write
+  kUnwritten = 1u << 12,  // allocated on disk but not written (fallocate)
+  kQuiet = 1u << 13,     // suppress error messages
+  kMeta = 1u << 14,      // contains metadata
+  kPrio = 1u << 15,      // submit with REQ_PRIO
+};
+
+inline constexpr int kBhFlagCount = 16;
+
+const char* BhFlagName(BhFlag flag);
+
+// One cached disk block. Reference-counted by the cache; pinned while a file
+// system holds it.
+struct BufferHead {
+  BufferHead(uint64_t block, uint32_t initial_flags)
+      : blocknr(block), state(initial_flags), data(kBlockSize, 0) {}
+
+  BufferHead(const BufferHead&) = delete;
+  BufferHead& operator=(const BufferHead&) = delete;
+
+  uint64_t blocknr;
+  std::atomic<uint32_t> state;
+  Bytes data;
+  std::atomic<int32_t> refcount{0};
+  ListNode lru_node;
+
+  bool Test(BhFlag flag) const {
+    return (state.load(std::memory_order_acquire) & static_cast<uint32_t>(flag)) != 0;
+  }
+  void Set(BhFlag flag) {
+    state.fetch_or(static_cast<uint32_t>(flag), std::memory_order_acq_rel);
+  }
+  void Clear(BhFlag flag) {
+    state.fetch_and(~static_cast<uint32_t>(flag), std::memory_order_acq_rel);
+  }
+};
+
+// One broken validity rule.
+struct BufferStateViolation {
+  std::string rule;
+  uint32_t state;
+};
+
+// The validity rules for flag combinations — the "which combinations are
+// valid" question from §4.4 answered as an executable predicate:
+//   R1  Dirty       => Uptodate     (cannot write back unknown content)
+//   R2  Dirty       => Mapped|Delay (writeback needs a disk target, unless
+//                                    allocation is delayed)
+//   R3  Delay       => !Mapped      (delayed alloc means no mapping yet)
+//   R4  Unwritten   => Mapped       (extent exists but unwritten)
+//   R5  Unwritten   => !Dirty       (must be converted before dirtying)
+//   R6  AsyncRead   => Lock         (I/O in flight keeps the buffer locked)
+//   R7  AsyncWrite  => Lock
+//   R8  !(AsyncRead & AsyncWrite)   (a buffer is under one I/O at a time)
+//   R9  New         => Mapped       (freshly mapped implies mapped)
+//   R10 WriteEio    => Req          (a write error implies the buffer was
+//                                    actually submitted at some point)
+std::vector<BufferStateViolation> ValidateBufferState(uint32_t state);
+
+// Renders a flag word like "Uptodate|Dirty|Mapped".
+std::string BufferStateToString(uint32_t state);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BLOCK_BUFFER_HEAD_H_

@@ -1,0 +1,55 @@
+#include "src/block/checked_block_device.h"
+
+namespace skern {
+
+uint64_t CheckedBlockDevice::HashBlock(ByteView data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < data.size(); ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Status CheckedBlockDevice::ReadBlock(uint64_t block, MutableByteView out) {
+  if (Shim::Active()) {
+    shim_.Check(block < inner_.BlockCount(), "A2: read within bounds",
+                "block " + std::to_string(block));
+  }
+  Status s = inner_.ReadBlock(block, out);
+  if (s.ok() && Shim::Active()) {
+    uint64_t hash = HashBlock(out);
+    auto it = model_.find(block);
+    if (it != model_.end()) {
+      shim_.Check(it->second == hash, "A1: read returns last write",
+                  "block " + std::to_string(block));
+    } else {
+      model_[block] = hash;  // adopt first observation
+    }
+  }
+  return s;
+}
+
+Status CheckedBlockDevice::WriteBlock(uint64_t block, ByteView data) {
+  if (Shim::Active()) {
+    shim_.Check(block < inner_.BlockCount(), "A2: write within bounds",
+                "block " + std::to_string(block));
+  }
+  Status s = inner_.WriteBlock(block, data);
+  if (s.ok() && Shim::Active()) {
+    model_[block] = HashBlock(data);  // A4: this is now the expected content
+  }
+  return s;
+}
+
+Status CheckedBlockDevice::Flush() { return inner_.Flush(); }
+
+uint64_t CheckedBlockDevice::BlockCount() const {
+  uint64_t count = inner_.BlockCount();
+  if (Shim::Active()) {
+    shim_.Check(count == initial_block_count_, "A3: device size is stable");
+  }
+  return count;
+}
+
+}  // namespace skern

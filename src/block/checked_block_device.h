@@ -1,0 +1,58 @@
+// The block-layer axiomatic shim (§4.4).
+//
+// "A verified file system may rely on the behavior of an unverified block I/O
+// layer modeled at the interface... these axioms should be written with
+// minimal assumptions and only cover the basic functionality. In the case of
+// block I/O, the data structure buffer_head may be abstracted away, and the
+// axioms can be defined in terms of bytes."
+//
+// CheckedBlockDevice wraps any BlockDevice and validates, per call, the
+// minimal byte-level axioms a verified client depends on:
+//   A1 read-last-write : a read returns exactly the bytes of the most recent
+//                        successful write to that block (or the initial
+//                        zeroes) — in the absence of a crash.
+//   A2 bounds          : the device never accepts out-of-range blocks.
+//   A3 size-stability  : BlockCount() never changes.
+//   A4 write-readback  : a successful write is immediately visible.
+// The model state is a content hash per block, so the shim is O(block) per
+// call; bench/shim_overhead measures exactly this cost.
+//
+// After a simulated crash the read-last-write model is stale by design; call
+// OnExternalChange()/ResetModel() to re-adopt device contents (the axiom is
+// conditioned on "no crash in between").
+#ifndef SKERN_SRC_BLOCK_CHECKED_BLOCK_DEVICE_H_
+#define SKERN_SRC_BLOCK_CHECKED_BLOCK_DEVICE_H_
+
+#include <map>
+
+#include "src/block/block_device.h"
+#include "src/core/shim.h"
+
+namespace skern {
+
+class CheckedBlockDevice : public BlockDevice {
+ public:
+  explicit CheckedBlockDevice(BlockDevice& inner)
+      : inner_(inner), shim_("fs->block"), initial_block_count_(inner.BlockCount()) {}
+
+  Status ReadBlock(uint64_t block, MutableByteView out) override;
+  Status WriteBlock(uint64_t block, ByteView data) override;
+  Status Flush() override;
+  uint64_t BlockCount() const override;
+
+  // Drops the read-last-write model (e.g. after a crash or external writes);
+  // the model re-learns contents lazily from subsequent reads.
+  void ResetModel() { model_.clear(); }
+
+ private:
+  static uint64_t HashBlock(ByteView data);
+
+  BlockDevice& inner_;
+  Shim shim_;
+  uint64_t initial_block_count_;
+  std::map<uint64_t, uint64_t> model_;  // block -> content hash of last write/read
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BLOCK_CHECKED_BLOCK_DEVICE_H_

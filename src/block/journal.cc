@@ -1,0 +1,201 @@
+#include "src/block/journal.h"
+
+#include "src/base/panic.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kSuperMagic = 0x534b4a53'55504231ULL;   // "SKJSUPB1"
+constexpr uint64_t kDescMagic = 0x534b4a44'45534331ULL;    // "SKJDESC1"
+constexpr uint64_t kCommitMagic = 0x534b4a43'4d4d5431ULL;  // "SKJCMMT1"
+
+void PutU64(MutableByteView block, size_t offset, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    block[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+uint64_t GetU64(ByteView block, size_t offset) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(block[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t Fnv1a(ByteView data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t hash = seed;
+  for (size_t i = 0; i < data.size(); ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Journal::Journal(BlockDevice& device, uint64_t start, uint64_t length)
+    : device_(device), start_(start), length_(length) {
+  SKERN_CHECK_MSG(length_ >= 4, "journal needs at least 4 blocks");
+  SKERN_CHECK_MSG(start_ + length_ <= device_.BlockCount(), "journal exceeds device");
+}
+
+void Journal::Tx::AddBlock(uint64_t home_block, ByteView content) {
+  SKERN_CHECK(content.size() == kBlockSize);
+  blocks_[home_block] = content.ToBytes();
+}
+
+Status Journal::WriteSuperblock() {
+  Bytes sb(kBlockSize, 0);
+  MutableByteView view(sb);
+  PutU64(view, 0, kSuperMagic);
+  PutU64(view, 8, sequence_);
+  PutU64(view, 16, length_);
+  PutU64(view, 24, Fnv1a(ByteView(sb.data(), 24)));
+  SKERN_RETURN_IF_ERROR(device_.WriteBlock(start_, ByteView(sb)));
+  return device_.Flush();
+}
+
+Status Journal::ReadSuperblock(uint64_t* sequence_out) const {
+  Bytes sb(kBlockSize, 0);
+  SKERN_RETURN_IF_ERROR(device_.ReadBlock(start_, MutableByteView(sb)));
+  ByteView view(sb);
+  if (GetU64(view, 0) != kSuperMagic) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  if (GetU64(view, 24) != Fnv1a(ByteView(sb.data(), 24))) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  *sequence_out = GetU64(view, 8);
+  return Status::Ok();
+}
+
+Status Journal::Format() {
+  sequence_ = 1;
+  return WriteSuperblock();
+}
+
+Status Journal::Commit(Tx&& tx) {
+  if (tx.blocks_.empty()) {
+    return Status::Ok();
+  }
+  if (tx.blocks_.size() > Capacity()) {
+    return Status::Error(Errno::kENOSPC);
+  }
+  uint64_t txid = sequence_;
+
+  // Step 1: descriptor + data blocks.
+  Bytes desc(kBlockSize, 0);
+  MutableByteView desc_view(desc);
+  PutU64(desc_view, 0, kDescMagic);
+  PutU64(desc_view, 8, txid);
+  PutU64(desc_view, 16, tx.blocks_.size());
+  {
+    size_t offset = 24;
+    for (const auto& [home, content] : tx.blocks_) {
+      SKERN_CHECK_MSG(offset + 8 <= kBlockSize, "descriptor overflow");
+      PutU64(desc_view, offset, home);
+      offset += 8;
+    }
+    PutU64(desc_view, kBlockSize - 8, Fnv1a(ByteView(desc.data(), kBlockSize - 8)));
+  }
+  SKERN_RETURN_IF_ERROR(device_.WriteBlock(start_ + 1, ByteView(desc)));
+  uint64_t data_checksum = 0xcbf29ce484222325ULL;
+  {
+    uint64_t slot = start_ + 2;
+    for (const auto& [home, content] : tx.blocks_) {
+      SKERN_RETURN_IF_ERROR(device_.WriteBlock(slot, ByteView(content)));
+      data_checksum = Fnv1a(ByteView(content), data_checksum);
+      ++slot;
+    }
+  }
+  SKERN_RETURN_IF_ERROR(device_.Flush());
+
+  // Step 2: commit block.
+  Bytes commit(kBlockSize, 0);
+  MutableByteView commit_view(commit);
+  PutU64(commit_view, 0, kCommitMagic);
+  PutU64(commit_view, 8, txid);
+  PutU64(commit_view, 16, data_checksum);
+  PutU64(commit_view, 24, Fnv1a(ByteView(commit.data(), 24)));
+  SKERN_RETURN_IF_ERROR(
+      device_.WriteBlock(start_ + 2 + tx.blocks_.size(), ByteView(commit)));
+  SKERN_RETURN_IF_ERROR(device_.Flush());
+
+  // Step 3: checkpoint — write home locations.
+  for (const auto& [home, content] : tx.blocks_) {
+    SKERN_RETURN_IF_ERROR(device_.WriteBlock(home, ByteView(content)));
+  }
+  SKERN_RETURN_IF_ERROR(device_.Flush());
+
+  // Step 4: retire the transaction.
+  sequence_ = txid + 1;
+  SKERN_RETURN_IF_ERROR(WriteSuperblock());
+
+  ++stats_.commits;
+  stats_.blocks_journaled += tx.blocks_.size();
+  return Status::Ok();
+}
+
+Status Journal::Recover() {
+  uint64_t sb_sequence = 0;
+  SKERN_RETURN_IF_ERROR(ReadSuperblock(&sb_sequence));
+  sequence_ = sb_sequence;
+
+  // Read the descriptor slot; if it holds a committed transaction the
+  // superblock has not retired, replay it.
+  Bytes desc(kBlockSize, 0);
+  SKERN_RETURN_IF_ERROR(device_.ReadBlock(start_ + 1, MutableByteView(desc)));
+  ByteView desc_view(desc);
+  if (GetU64(desc_view, 0) != kDescMagic) {
+    ++stats_.empty_recoveries;
+    return Status::Ok();
+  }
+  if (GetU64(desc_view, kBlockSize - 8) != Fnv1a(ByteView(desc.data(), kBlockSize - 8))) {
+    ++stats_.empty_recoveries;  // torn descriptor: transaction never committed
+    return Status::Ok();
+  }
+  uint64_t txid = GetU64(desc_view, 8);
+  uint64_t count = GetU64(desc_view, 16);
+  if (txid < sb_sequence) {
+    ++stats_.empty_recoveries;  // already checkpointed and retired
+    return Status::Ok();
+  }
+  if (count == 0 || count > Capacity()) {
+    ++stats_.empty_recoveries;
+    return Status::Ok();
+  }
+
+  // Validate the commit block.
+  Bytes commit(kBlockSize, 0);
+  SKERN_RETURN_IF_ERROR(device_.ReadBlock(start_ + 2 + count, MutableByteView(commit)));
+  ByteView commit_view(commit);
+  if (GetU64(commit_view, 0) != kCommitMagic || GetU64(commit_view, 8) != txid ||
+      GetU64(commit_view, 24) != Fnv1a(ByteView(commit.data(), 24))) {
+    ++stats_.empty_recoveries;  // no durable commit record: discard
+    return Status::Ok();
+  }
+
+  // Validate data payload checksum, then replay.
+  std::vector<Bytes> payload(count, Bytes(kBlockSize, 0));
+  uint64_t data_checksum = 0xcbf29ce484222325ULL;
+  for (uint64_t i = 0; i < count; ++i) {
+    SKERN_RETURN_IF_ERROR(device_.ReadBlock(start_ + 2 + i, MutableByteView(payload[i])));
+    data_checksum = Fnv1a(ByteView(payload[i]), data_checksum);
+  }
+  if (data_checksum != GetU64(commit_view, 16)) {
+    ++stats_.empty_recoveries;  // payload torn despite commit record: discard
+    return Status::Ok();
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t home = GetU64(desc_view, 24 + 8 * i);
+    SKERN_RETURN_IF_ERROR(device_.WriteBlock(home, ByteView(payload[i])));
+  }
+  SKERN_RETURN_IF_ERROR(device_.Flush());
+  sequence_ = txid + 1;
+  SKERN_RETURN_IF_ERROR(WriteSuperblock());
+  ++stats_.replays;
+  return Status::Ok();
+}
+
+}  // namespace skern

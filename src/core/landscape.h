@@ -1,0 +1,34 @@
+// Figure 1 landscape: published systems by size and safety guarantee, plus
+// skern's own per-rung inventory from the module registry.
+#ifndef SKERN_SRC_CORE_LANDSCAPE_H_
+#define SKERN_SRC_CORE_LANDSCAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/safety_level.h"
+
+namespace skern {
+
+struct LandscapeEntry {
+  std::string system;
+  uint64_t lines_of_code;  // order-of-magnitude public figures
+  SafetyLevel guarantee;
+  std::string note;
+};
+
+// The systems Figure 1 plots, with their commonly cited sizes.
+std::vector<LandscapeEntry> PublishedLandscape();
+
+// skern's own series: per-rung aggregate LoC from the module registry
+// (RegisterBuiltinModules() must have run). This is the "Safe Linux
+// incremental progress" arrow rendered as data.
+std::vector<LandscapeEntry> SkernLandscape();
+
+// Renders both series as a fixed-width table.
+std::string RenderLandscapeTable();
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CORE_LANDSCAPE_H_

@@ -1,0 +1,100 @@
+// Implementation slots: "New implementations can be dropped in without
+// changing other parts of the kernel" (§4.1).
+//
+// An ImplementationSlot<Interface> is the single point a caller binds to.
+// Implementations at different safety rungs register under names; the slot
+// switches between them. This is the mechanism the fs_migration example uses
+// to walk one mount point up the ladder while the workload keeps running.
+#ifndef SKERN_SRC_CORE_MIGRATION_H_
+#define SKERN_SRC_CORE_MIGRATION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/core/safety_level.h"
+
+namespace skern {
+
+template <typename Interface>
+class ImplementationSlot {
+ public:
+  explicit ImplementationSlot(std::string interface_name)
+      : interface_name_(std::move(interface_name)) {}
+
+  const std::string& interface_name() const { return interface_name_; }
+
+  // Registers an implementation under `name`. The first registration becomes
+  // active. Re-registering a name replaces it (and rebinds if active).
+  void Install(const std::string& name, std::shared_ptr<Interface> impl,
+               SafetyLevel level = SafetyLevel::kModular) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    impls_[name] = Entry{std::move(impl), level};
+    if (active_name_.empty()) {
+      active_name_ = name;
+    }
+  }
+
+  // Switches the active implementation. Callers holding the previous
+  // shared_ptr keep it alive until they drop it (graceful handoff).
+  Status SwitchTo(const std::string& name) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (impls_.find(name) == impls_.end()) {
+      return Status::Error(Errno::kENODEV);
+    }
+    active_name_ = name;
+    ++switch_count_;
+    return Status::Ok();
+  }
+
+  std::shared_ptr<Interface> Active() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = impls_.find(active_name_);
+    return it == impls_.end() ? nullptr : it->second.impl;
+  }
+
+  std::string ActiveName() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return active_name_;
+  }
+
+  SafetyLevel ActiveLevel() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = impls_.find(active_name_);
+    return it == impls_.end() ? SafetyLevel::kUnsafe : it->second.level;
+  }
+
+  std::vector<std::string> Names() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::string> names;
+    names.reserve(impls_.size());
+    for (const auto& [name, entry] : impls_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+
+  uint64_t switch_count() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return switch_count_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<Interface> impl;
+    SafetyLevel level;
+  };
+
+  std::string interface_name_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> impls_;
+  std::string active_name_;
+  uint64_t switch_count_ = 0;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CORE_MIGRATION_H_

@@ -1,0 +1,64 @@
+// Module registry: the bookkeeping behind step 1 (modularity).
+//
+// Every subsystem registers itself with the interface it implements and the
+// safety rung it has reached. The registry is what the Figure 1 landscape and
+// the migration manager read; it is also the project's honest inventory of
+// how far up the ladder each piece has climbed.
+#ifndef SKERN_SRC_CORE_MODULE_H_
+#define SKERN_SRC_CORE_MODULE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/safety_level.h"
+
+namespace skern {
+
+struct ModuleInfo {
+  std::string name;         // e.g. "safefs"
+  std::string interface;    // e.g. "skern.FileSystem"
+  SafetyLevel level = SafetyLevel::kUnsafe;
+  size_t lines_of_code = 0;  // measured size of the implementation
+  std::string description;
+};
+
+class ModuleRegistry {
+ public:
+  static ModuleRegistry& Get();
+
+  // Registers or updates a module by name.
+  void Register(const ModuleInfo& info);
+
+  std::optional<ModuleInfo> Find(const std::string& name) const;
+  std::vector<ModuleInfo> All() const;
+
+  // Modules implementing a given interface (the swap candidates).
+  std::vector<ModuleInfo> Implementing(const std::string& interface) const;
+
+  // Aggregate LoC of registered modules at exactly `level`.
+  size_t LinesAtLevel(SafetyLevel level) const;
+
+  // Fraction of total registered LoC at `level` or safer.
+  double FractionAtOrAbove(SafetyLevel level) const;
+
+  void ResetForTesting();
+
+ private:
+  ModuleRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ModuleInfo> modules_;
+};
+
+// Registers the built-in skern modules (block, vfs, the three file systems,
+// both socket stacks, ...) with their measured sizes. Idempotent. Called by
+// examples/benches that present the inventory.
+void RegisterBuiltinModules();
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CORE_MODULE_H_

@@ -1,0 +1,41 @@
+#include "src/core/safety_level.h"
+
+namespace skern {
+
+const char* SafetyLevelName(SafetyLevel level) {
+  switch (level) {
+    case SafetyLevel::kUnsafe:
+      return "unsafe";
+    case SafetyLevel::kModular:
+      return "modular";
+    case SafetyLevel::kTypeSafe:
+      return "type-safe";
+    case SafetyLevel::kOwnershipSafe:
+      return "ownership-safe";
+    case SafetyLevel::kVerified:
+      return "verified";
+  }
+  return "?";
+}
+
+const char* SafetyLevelDescription(SafetyLevel level) {
+  switch (level) {
+    case SafetyLevel::kUnsafe:
+      return "no guarantees; shared structures, manual casts and locking";
+    case SafetyLevel::kModular:
+      return "callers use only the modular interface; implementations swappable";
+    case SafetyLevel::kTypeSafe:
+      return "no void*/error-pointer punning; typed results at the interface";
+    case SafetyLevel::kOwnershipSafe:
+      return "memory and thread safety via explicit ownership-sharing contracts";
+    case SafetyLevel::kVerified:
+      return "operations refinement-checked against an executable specification";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, SafetyLevel level) {
+  return os << SafetyLevelName(level);
+}
+
+}  // namespace skern

@@ -1,0 +1,41 @@
+// The incremental-safety ladder (§3).
+//
+// Each module in skern sits on one rung. The ladder is cumulative: a rung
+// guarantees everything below it. This enum is the backbone of the module
+// registry, the Figure 1 landscape, and the fault-injection scoring.
+#ifndef SKERN_SRC_CORE_SAFETY_LEVEL_H_
+#define SKERN_SRC_CORE_SAFETY_LEVEL_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace skern {
+
+enum class SafetyLevel : uint8_t {
+  // Step 0: the Linux baseline. Shared mutable structures, void* casts,
+  // ERR_PTR punning, review-enforced locking.
+  kUnsafe = 0,
+  // Step 1: callers reach the module only through a modular interface;
+  // implementations can be swapped without touching callers.
+  kModular = 1,
+  // Step 2: no void pointers, no error/pointer punning; typed results.
+  kTypeSafe = 2,
+  // Step 3: type safety plus the §4.3 ownership-sharing contracts.
+  kOwnershipSafe = 3,
+  // Step 4: ownership safety plus an executable specification every
+  // operation is checked against (refinement), including crash behaviour.
+  kVerified = 4,
+};
+
+inline constexpr int kSafetyLevelCount = 5;
+
+const char* SafetyLevelName(SafetyLevel level);
+
+// Short description of what the rung adds, for reports.
+const char* SafetyLevelDescription(SafetyLevel level);
+
+std::ostream& operator<<(std::ostream& os, SafetyLevel level);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CORE_SAFETY_LEVEL_H_

@@ -1,0 +1,61 @@
+#include "src/core/shim.h"
+
+#include "src/base/panic.h"
+
+namespace skern {
+namespace {
+
+std::atomic<ShimMode> g_shim_mode{ShimMode::kEnforcing};
+
+}  // namespace
+
+ShimStats& ShimStats::Get() {
+  static ShimStats* stats = new ShimStats();
+  return *stats;
+}
+
+void ShimStats::RecordViolation(const ShimViolation& v) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  violations_.push_back(v);
+}
+
+uint64_t ShimStats::violation_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return violations_.size();
+}
+
+std::vector<ShimViolation> ShimStats::Violations() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return violations_;
+}
+
+void ShimStats::ResetForTesting() {
+  validations_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> guard(mutex_);
+  violations_.clear();
+}
+
+ShimMode GetShimMode() { return g_shim_mode.load(std::memory_order_relaxed); }
+
+void SetShimMode(ShimMode mode) { g_shim_mode.store(mode, std::memory_order_relaxed); }
+
+ScopedShimMode::ScopedShimMode(ShimMode mode) : previous_(GetShimMode()) { SetShimMode(mode); }
+
+ScopedShimMode::~ScopedShimMode() { SetShimMode(previous_); }
+
+void Shim::Check(bool holds, const char* axiom, const std::string& detail) const {
+  ShimMode mode = GetShimMode();
+  if (mode == ShimMode::kDisabled) {
+    return;
+  }
+  ShimStats::Get().RecordValidation();
+  if (holds) {
+    return;
+  }
+  ShimStats::Get().RecordViolation(ShimViolation{name_, axiom, detail});
+  if (mode == ShimMode::kEnforcing) {
+    Panic("shim '" + name_ + "' axiom broken: " + axiom + (detail.empty() ? "" : ": " + detail));
+  }
+}
+
+}  // namespace skern

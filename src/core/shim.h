@@ -1,0 +1,96 @@
+// Axiomatic shims (§4.4).
+//
+// "The boundary [between verified and unverified components] must provide
+// assumptions (axioms) about the behavior of the unverified module... A shim
+// layer is then needed to bridge the communication gap between the verified
+// modules and unverified components."
+//
+// A Shim names a boundary (e.g. "specfs->block") and validates its axioms
+// dynamically on every crossing: each axiom is a named predicate evaluated by
+// the wrapper that owns the shim (see block/checked_block_device.h for the
+// block-layer axiom set). In enforcing mode a broken axiom panics — the
+// verified side's proofs are void if the model is wrong, so continuing would
+// be unsound. bench/shim_overhead measures the validation cost against the
+// disabled configuration.
+#ifndef SKERN_SRC_CORE_SHIM_H_
+#define SKERN_SRC_CORE_SHIM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace skern {
+
+struct ShimViolation {
+  std::string shim;
+  std::string axiom;
+  std::string detail;
+};
+
+// Process-wide shim accounting.
+class ShimStats {
+ public:
+  static ShimStats& Get();
+
+  void RecordValidation() { validations_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordViolation(const ShimViolation& v);
+
+  uint64_t validations() const { return validations_.load(std::memory_order_relaxed); }
+  uint64_t violation_count() const;
+  std::vector<ShimViolation> Violations() const;
+
+  void ResetForTesting();
+
+ private:
+  ShimStats() = default;
+
+  std::atomic<uint64_t> validations_{0};
+  mutable std::mutex mutex_;
+  std::vector<ShimViolation> violations_;
+};
+
+enum class ShimMode : uint8_t {
+  kEnforcing = 0,  // broken axiom panics
+  kRecording = 1,  // broken axiom recorded, execution continues
+  kDisabled = 2,   // axioms are not evaluated (release configuration)
+};
+
+ShimMode GetShimMode();
+void SetShimMode(ShimMode mode);
+
+class ScopedShimMode {
+ public:
+  explicit ScopedShimMode(ShimMode mode);
+  ~ScopedShimMode();
+  ScopedShimMode(const ScopedShimMode&) = delete;
+  ScopedShimMode& operator=(const ScopedShimMode&) = delete;
+
+ private:
+  ShimMode previous_;
+};
+
+// One named verified/unverified boundary. Wrappers call Check() per axiom
+// per crossing.
+class Shim {
+ public:
+  explicit Shim(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // True if axioms should be evaluated at all (callers can skip building the
+  // predicate arguments when disabled).
+  static bool Active() { return GetShimMode() != ShimMode::kDisabled; }
+
+  // Validates one axiom instance. `holds` is the evaluated predicate.
+  void Check(bool holds, const char* axiom, const std::string& detail = "") const;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CORE_SHIM_H_

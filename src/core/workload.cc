@@ -1,0 +1,219 @@
+#include "src/core/workload.h"
+
+#include <algorithm>
+
+namespace skern {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kFileserver:
+      return "fileserver";
+    case WorkloadKind::kVarmail:
+      return "varmail";
+    case WorkloadKind::kWebserver:
+      return "webserver";
+    case WorkloadKind::kMetadata:
+      return "metadata";
+  }
+  return "?";
+}
+
+WorkloadDriver::WorkloadDriver(FileSystem& fs, const WorkloadConfig& config)
+    : fs_(fs), config_(config), rng_(config.seed) {}
+
+std::string WorkloadDriver::FilePath(int index) const {
+  return "/wl/f" + std::to_string(index);
+}
+
+int WorkloadDriver::PickFile() {
+  if (config_.kind == WorkloadKind::kWebserver) {
+    // Popularity-skewed reads: a few hot files take most of the traffic.
+    return static_cast<int>(
+        rng_.NextZipf(static_cast<uint64_t>(config_.file_population), config_.zipf_skew));
+  }
+  return static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(config_.file_population)));
+}
+
+uint64_t WorkloadDriver::PickSize() {
+  double draw = rng_.NextExponential(1.0 / config_.mean_file_size);
+  uint64_t size = static_cast<uint64_t>(draw);
+  return std::clamp<uint64_t>(size, 64, 256 * 1024);
+}
+
+Status WorkloadDriver::Setup() {
+  SKERN_RETURN_IF_ERROR(fs_.Mkdir("/wl"));
+  for (int i = 0; i < config_.file_population; ++i) {
+    SKERN_RETURN_IF_ERROR(fs_.Create(FilePath(i)));
+    Bytes content = rng_.NextBytes(PickSize());
+    SKERN_RETURN_IF_ERROR(fs_.Write(FilePath(i), 0, ByteView(content)));
+    result_.bytes_written += content.size();
+  }
+  return fs_.Sync();
+}
+
+void WorkloadDriver::Step() {
+  switch (config_.kind) {
+    case WorkloadKind::kFileserver:
+      StepFileserver();
+      break;
+    case WorkloadKind::kVarmail:
+      StepVarmail();
+      break;
+    case WorkloadKind::kWebserver:
+      StepWebserver();
+      break;
+    case WorkloadKind::kMetadata:
+      StepMetadata();
+      break;
+  }
+  ++result_.ops;
+}
+
+const WorkloadResult& WorkloadDriver::Run(int ops) {
+  for (int i = 0; i < ops; ++i) {
+    Step();
+  }
+  return result_;
+}
+
+void WorkloadDriver::StepFileserver() {
+  int file = PickFile();
+  switch (rng_.NextBelow(5)) {
+    case 0: {  // whole-file rewrite (delete + create + write)
+      (void)fs_.Unlink(FilePath(file));
+      if (!fs_.Create(FilePath(file)).ok()) {
+        ++result_.errors;
+        return;
+      }
+      Bytes content = rng_.NextBytes(PickSize());
+      if (fs_.Write(FilePath(file), 0, ByteView(content)).ok()) {
+        result_.bytes_written += content.size();
+      }
+      break;
+    }
+    case 1: {  // append
+      auto attr = fs_.Stat(FilePath(file));
+      if (!attr.ok()) {
+        return;
+      }
+      Bytes chunk = rng_.NextBytes(1024 + rng_.NextBelow(4096));
+      if (fs_.Write(FilePath(file), attr->size, ByteView(chunk)).ok()) {
+        result_.bytes_written += chunk.size();
+      } else {
+        // Out of space: trim the file back (expected under churn).
+        (void)fs_.Truncate(FilePath(file), 0);
+      }
+      break;
+    }
+    case 2:
+    case 3: {  // whole-file read
+      auto attr = fs_.Stat(FilePath(file));
+      if (!attr.ok()) {
+        return;
+      }
+      auto content = fs_.Read(FilePath(file), 0, attr->size);
+      if (content.ok()) {
+        result_.bytes_read += content->size();
+      }
+      break;
+    }
+    case 4: {  // stat
+      (void)fs_.Stat(FilePath(file));
+      break;
+    }
+  }
+}
+
+void WorkloadDriver::StepVarmail() {
+  int file = PickFile();
+  switch (rng_.NextBelow(4)) {
+    case 0: {  // deliver: create-or-append a small message, then fsync
+      std::string path = FilePath(file);
+      (void)fs_.Create(path);  // EEXIST is fine
+      auto attr = fs_.Stat(path);
+      uint64_t offset = attr.ok() ? attr->size : 0;
+      Bytes message = rng_.NextBytes(256 + rng_.NextBelow(1024));
+      if (fs_.Write(path, offset, ByteView(message)).ok()) {
+        result_.bytes_written += message.size();
+        if (fs_.Fsync(path).ok()) {
+          ++result_.fsyncs;
+        }
+      } else {
+        (void)fs_.Truncate(path, 0);
+      }
+      break;
+    }
+    case 1: {  // read the mailbox
+      auto attr = fs_.Stat(FilePath(file));
+      if (attr.ok()) {
+        auto content = fs_.Read(FilePath(file), 0, attr->size);
+        if (content.ok()) {
+          result_.bytes_read += content->size();
+        }
+      }
+      break;
+    }
+    case 2: {  // expunge
+      (void)fs_.Unlink(FilePath(file));
+      (void)fs_.Create(FilePath(file));
+      break;
+    }
+    case 3: {  // fsync an existing mailbox
+      if (fs_.Fsync(FilePath(file)).ok()) {
+        ++result_.fsyncs;
+      }
+      break;
+    }
+  }
+}
+
+void WorkloadDriver::StepWebserver() {
+  // 95% reads of popularity-skewed files; 5% log append.
+  if (rng_.NextBool(0.95)) {
+    int file = PickFile();
+    auto attr = fs_.Stat(FilePath(file));
+    if (attr.ok()) {
+      auto content = fs_.Read(FilePath(file), 0, attr->size);
+      if (content.ok()) {
+        result_.bytes_read += content->size();
+      }
+    }
+  } else {
+    (void)fs_.Create("/wl/access.log");
+    auto attr = fs_.Stat("/wl/access.log");
+    uint64_t offset = attr.ok() ? attr->size : 0;
+    if (offset > 512 * 1024) {
+      (void)fs_.Truncate("/wl/access.log", 0);  // rotate
+      offset = 0;
+    }
+    Bytes line = rng_.NextBytes(128);
+    if (fs_.Write("/wl/access.log", offset, ByteView(line)).ok()) {
+      result_.bytes_written += line.size();
+    }
+  }
+}
+
+void WorkloadDriver::StepMetadata() {
+  int file = PickFile();
+  switch (rng_.NextBelow(4)) {
+    case 0:
+      (void)fs_.Create("/wl/meta" + std::to_string(rename_counter_));
+      break;
+    case 1: {
+      std::string from = "/wl/meta" + std::to_string(rename_counter_);
+      ++rename_counter_;
+      std::string to = "/wl/meta" + std::to_string(rename_counter_);
+      (void)fs_.Rename(from, to);
+      break;
+    }
+    case 2:
+      (void)fs_.Stat(FilePath(file));
+      (void)fs_.Readdir("/wl");
+      break;
+    case 3:
+      (void)fs_.Unlink("/wl/meta" + std::to_string(rename_counter_));
+      break;
+  }
+}
+
+}  // namespace skern

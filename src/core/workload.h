@@ -1,0 +1,83 @@
+// Macro-workload personalities, filebench-style.
+//
+// Bento (the paper's closest existing system) evaluated its Rust file
+// systems with filebench-like personalities; these are skern's equivalents,
+// driving any FileSystem through the modular interface:
+//   * kFileserver — create/write/read/append/delete over a directory tree;
+//   * kVarmail    — mail-spool pattern: small files, fsync-heavy;
+//   * kWebserver  — read-mostly with a Zipf-skewed file popularity;
+//   * kMetadata   — create/rename/stat/unlink churn, no data.
+// Deterministic per seed; reports ops and bytes moved for throughput math.
+#ifndef SKERN_SRC_CORE_WORKLOAD_H_
+#define SKERN_SRC_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/vfs/filesystem.h"
+
+namespace skern {
+
+enum class WorkloadKind : uint8_t {
+  kFileserver = 0,
+  kVarmail,
+  kWebserver,
+  kMetadata,
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kFileserver;
+  uint64_t seed = 1;
+  int file_population = 32;   // distinct files the workload cycles over
+  int mean_file_size = 8192;  // bytes (exponential-ish)
+  double zipf_skew = 1.1;     // webserver popularity skew
+};
+
+struct WorkloadResult {
+  uint64_t ops = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t fsyncs = 0;
+  uint64_t errors = 0;  // unexpected failures (ENOSPC et al. are expected=skipped)
+};
+
+// A resumable workload driver: Setup() builds the initial tree, then each
+// Step() issues one personality-appropriate operation.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(FileSystem& fs, const WorkloadConfig& config);
+
+  // Creates the working directory and initial file population.
+  Status Setup();
+
+  // Issues one operation; cheap enough to sit inside a benchmark loop.
+  void Step();
+
+  // Runs `ops` steps (convenience for tests/examples).
+  const WorkloadResult& Run(int ops);
+
+  const WorkloadResult& result() const { return result_; }
+
+ private:
+  std::string FilePath(int index) const;
+  int PickFile();         // personality-dependent popularity
+  uint64_t PickSize();    // payload size draw
+
+  void StepFileserver();
+  void StepVarmail();
+  void StepWebserver();
+  void StepMetadata();
+
+  FileSystem& fs_;
+  WorkloadConfig config_;
+  Rng rng_;
+  WorkloadResult result_;
+  int rename_counter_ = 0;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CORE_WORKLOAD_H_

@@ -1,0 +1,179 @@
+#include "src/cve/analysis.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace skern {
+
+std::map<uint16_t, uint64_t> NewCvesPerYear(const CveCorpus& corpus) {
+  std::map<uint16_t, uint64_t> per_year;
+  for (uint16_t y = corpus.params().first_year; y <= corpus.params().last_year; ++y) {
+    per_year[y] = 0;
+  }
+  for (const auto& record : corpus.records()) {
+    ++per_year[record.year];
+  }
+  return per_year;
+}
+
+std::string AsciiBar(double value, double max_value, int width) {
+  int filled = max_value <= 0 ? 0
+                              : static_cast<int>(value / max_value * width + 0.5);
+  filled = std::clamp(filled, 0, width);
+  return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+std::string RenderCvesPerYear(const std::map<uint16_t, uint64_t>& per_year) {
+  uint64_t max_count = 0;
+  for (const auto& [year, count] : per_year) {
+    max_count = std::max(max_count, count);
+  }
+  std::ostringstream os;
+  os << "Figure 2a: new Linux CVEs reported per year (synthetic corpus)\n";
+  for (const auto& [year, count] : per_year) {
+    os << year << " |" << AsciiBar(static_cast<double>(count),
+                                   static_cast<double>(max_count))
+       << "| " << count << "\n";
+  }
+  return os.str();
+}
+
+std::vector<LatencyCdfPoint> ReportLatencyCdf(const CveCorpus& corpus,
+                                              const std::string& component) {
+  std::vector<double> latencies;
+  for (const auto& record : corpus.records()) {
+    if (record.component == component) {
+      latencies.push_back(record.years_after_release);
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::vector<LatencyCdfPoint> cdf;
+  cdf.reserve(latencies.size());
+  for (size_t i = 0; i < latencies.size(); ++i) {
+    cdf.push_back({latencies[i], static_cast<double>(i + 1) / latencies.size()});
+  }
+  return cdf;
+}
+
+double MedianReportLatency(const CveCorpus& corpus, const std::string& component) {
+  auto cdf = ReportLatencyCdf(corpus, component);
+  if (cdf.empty()) {
+    return 0.0;
+  }
+  for (const auto& point : cdf) {
+    if (point.fraction >= 0.5) {
+      return point.years_after_release;
+    }
+  }
+  return cdf.back().years_after_release;
+}
+
+std::string RenderLatencyCdf(const std::vector<LatencyCdfPoint>& cdf,
+                             const std::string& component) {
+  std::ostringstream os;
+  os << "Figure 2b: CDF of when " << component
+     << " CVEs were reported after its initial release\n";
+  if (cdf.empty()) {
+    return os.str() + "(no records)\n";
+  }
+  double max_years = cdf.back().years_after_release;
+  // Sample the CDF at yearly steps.
+  for (int year = 0; year <= static_cast<int>(max_years) + 1; ++year) {
+    double fraction = 0.0;
+    for (const auto& point : cdf) {
+      if (point.years_after_release <= year) {
+        fraction = point.fraction;
+      } else {
+        break;
+      }
+    }
+    os << std::setw(3) << year << "y |" << AsciiBar(fraction, 1.0) << "| "
+       << std::fixed << std::setprecision(2) << fraction << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderBugSeries(const std::vector<BugSeriesProfile>& profiles,
+                            uint16_t last_year, uint64_t seed) {
+  std::ostringstream os;
+  os << "Figure 2c: bug patches per LoC per year since each fs's release\n";
+  os << std::left << std::setw(12) << "age";
+  for (const auto& profile : profiles) {
+    os << std::right << std::setw(12) << profile.fs;
+  }
+  os << "\n";
+  std::vector<std::vector<BugSeriesPoint>> all;
+  size_t longest = 0;
+  for (const auto& profile : profiles) {
+    all.push_back(GenerateBugSeries(profile, last_year, seed));
+    longest = std::max(longest, all.back().size());
+  }
+  for (size_t age = 0; age < longest; ++age) {
+    os << std::left << std::setw(12) << (std::to_string(age) + "y");
+    for (const auto& series : all) {
+      if (age < series.size()) {
+        os << std::right << std::setw(11) << std::fixed << std::setprecision(2)
+           << series[age].bugs_per_loc() * 100.0 << "%";
+      } else {
+        os << std::right << std::setw(12) << "-";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+CategorizationTable Categorize(const CveCorpus& corpus, uint16_t since_year) {
+  CategorizationTable table;
+  std::array<uint64_t, kCweClassCount> per_class{};
+  for (const auto& record : corpus.records()) {
+    if (record.year < since_year) {
+      continue;
+    }
+    ++table.total;
+    ++per_class[static_cast<size_t>(record.cwe)];
+    ++table.by_preventability[static_cast<size_t>(PreventabilityOf(record.cwe))];
+  }
+  for (int c = 0; c < kCweClassCount; ++c) {
+    if (per_class[c] > 0) {
+      table.rows.push_back(CategorizationRow{
+          static_cast<CweClass>(c), per_class[c],
+          table.total == 0 ? 0.0
+                           : static_cast<double>(per_class[c]) /
+                                 static_cast<double>(table.total)});
+    }
+  }
+  std::sort(table.rows.begin(), table.rows.end(),
+            [](const CategorizationRow& a, const CategorizationRow& b) {
+              return a.count > b.count;
+            });
+  return table;
+}
+
+std::string RenderCategorization(const CategorizationTable& table) {
+  std::ostringstream os;
+  os << "CWE categorization of " << table.total << " CVEs (paper: 1475 since 2010)\n\n";
+  os << std::left << std::setw(26) << "prevented by" << std::right << std::setw(8) << "CVEs"
+     << std::setw(10) << "share" << "   (paper)\n";
+  const char* paper_share[3] = {"~42%", "+35%", "23%"};
+  for (int p = 0; p < 3; ++p) {
+    auto prev = static_cast<Preventability>(p);
+    os << std::left << std::setw(26) << PreventabilityName(prev) << std::right << std::setw(8)
+       << table.by_preventability[p] << std::setw(9) << std::fixed << std::setprecision(1)
+       << table.Fraction(prev) * 100.0 << "%"
+       << "   " << paper_share[p] << "\n";
+  }
+  os << "\nper weakness class:\n";
+  for (const auto& row : table.rows) {
+    std::ostringstream label;
+    label << CweClassName(row.cwe) << " (CWE-" << RepresentativeCweId(row.cwe) << ")";
+    os << "  " << std::left << std::setw(32) << label.str() << std::right << std::setw(6)
+       << row.count << std::setw(7) << std::fixed << std::setprecision(1)
+       << row.fraction * 100.0 << "%"
+       << "  [" << PreventabilityName(PreventabilityOf(row.cwe)) << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace skern

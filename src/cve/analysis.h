@@ -1,0 +1,61 @@
+// Analyses over the CVE corpus: everything Figure 2 and the §2 table report.
+#ifndef SKERN_SRC_CVE_ANALYSIS_H_
+#define SKERN_SRC_CVE_ANALYSIS_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cve/corpus.h"
+
+namespace skern {
+
+// --- Figure 2a: new CVEs per year ---
+std::map<uint16_t, uint64_t> NewCvesPerYear(const CveCorpus& corpus);
+std::string RenderCvesPerYear(const std::map<uint16_t, uint64_t>& per_year);
+
+// --- Figure 2b: report-latency CDF for one component ---
+struct LatencyCdfPoint {
+  double years_after_release;
+  double fraction;  // of the component's CVEs reported by this age
+};
+std::vector<LatencyCdfPoint> ReportLatencyCdf(const CveCorpus& corpus,
+                                              const std::string& component);
+// Age (years) by which half of the component's CVEs had been reported.
+double MedianReportLatency(const CveCorpus& corpus, const std::string& component);
+std::string RenderLatencyCdf(const std::vector<LatencyCdfPoint>& cdf,
+                             const std::string& component);
+
+// --- Figure 2c: bugs per LoC per year ---
+std::string RenderBugSeries(const std::vector<BugSeriesProfile>& profiles,
+                            uint16_t last_year, uint64_t seed);
+
+// --- §2 table: CWE categorization since 2010 ---
+struct CategorizationRow {
+  CweClass cwe;
+  uint64_t count;
+  double fraction;  // of the examined corpus
+};
+
+struct CategorizationTable {
+  uint64_t total = 0;  // CVEs examined (year >= since)
+  std::array<uint64_t, 3> by_preventability{};  // indexed by Preventability
+  std::vector<CategorizationRow> rows;          // per-class, descending count
+
+  double Fraction(Preventability p) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(by_preventability[static_cast<size_t>(p)]) /
+                            static_cast<double>(total);
+  }
+};
+
+CategorizationTable Categorize(const CveCorpus& corpus, uint16_t since_year);
+std::string RenderCategorization(const CategorizationTable& table);
+
+// Simple fixed-width horizontal bar for terminal "figures".
+std::string AsciiBar(double value, double max_value, int width = 50);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CVE_ANALYSIS_H_

@@ -1,0 +1,153 @@
+#include "src/cve/corpus.h"
+
+#include <cmath>
+
+#include "src/base/panic.h"
+
+namespace skern {
+
+CorpusParams DefaultCorpusParams() {
+  CorpusParams params;
+  params.first_year = 1999;
+  params.last_year = 2020;
+  // Per-year expected new Linux-kernel CVEs. Shape follows the public NVD
+  // series Figure 2a plots: tens per year through the 2000s, low hundreds in
+  // the 2010s, the 2017 spike (CVE assignment push), then 100-300.
+  // The 2010..2020 means sum to 1475 — the paper's corpus size.
+  params.cves_per_year = {
+      // 1999..2009
+      15, 20, 25, 20, 30, 45, 80, 90, 95, 85, 100,
+      // 2010..2020 (sum = 1475)
+      105, 83, 100, 120, 110, 77, 160, 295, 140, 170, 115,
+  };
+  SKERN_CHECK(params.cves_per_year.size() ==
+              static_cast<size_t>(params.last_year - params.first_year + 1));
+
+  // Subsystem mix, conditioned on the subsystem existing that year. Weights
+  // reflect the Chou/Palix finding that drivers dominate, with the fs share
+  // matching the paper's interest in ext4/btrfs/overlayfs.
+  params.components = {
+      {"drivers", 1991, 0.30}, {"net", 1991, 0.18},      {"mm", 1991, 0.08},
+      {"fs-other", 1991, 0.10}, {"core", 1991, 0.12},    {"kvm", 2007, 0.05},
+      {"bluetooth", 2001, 0.04}, {"ext4", 2008, 0.045},  {"btrfs", 2009, 0.035},
+      {"overlayfs", 2014, 0.01}, {"vfs", 1991, 0.04},
+  };
+
+  // CWE class probabilities. The three groups sum to 0.42 / 0.35 / 0.23 —
+  // the paper's categorization of its 1475 CVEs. Within-group weights follow
+  // the usual kernel CWE frequency ordering (overflows > UAF > null > race).
+  params.cwe_mix.assign(kCweClassCount, 0.0);
+  auto set = [&params](CweClass cls, double p) {
+    params.cwe_mix[static_cast<size_t>(cls)] = p;
+  };
+  // type+ownership: 0.42
+  set(CweClass::kBufferOverflow, 0.14);
+  set(CweClass::kUseAfterFree, 0.09);
+  set(CweClass::kNullDereference, 0.07);
+  set(CweClass::kDataRace, 0.05);
+  set(CweClass::kTypeConfusion, 0.03);
+  set(CweClass::kDoubleFree, 0.02);
+  set(CweClass::kMemoryLeak, 0.015);
+  set(CweClass::kUninitializedUse, 0.005);
+  // functional: 0.35
+  set(CweClass::kLogicError, 0.15);
+  set(CweClass::kInputValidation, 0.12);
+  set(CweClass::kStateMachine, 0.08);
+  // other: 0.23
+  set(CweClass::kPermissionCheck, 0.08);
+  set(CweClass::kInfoExposure, 0.06);
+  set(CweClass::kIntegerOverflow, 0.06);
+  set(CweClass::kOther, 0.03);
+  return params;
+}
+
+CveCorpus CveCorpus::Generate(const CorpusParams& params, uint64_t seed) {
+  CveCorpus corpus(params);
+  Rng rng(seed);
+  uint32_t next_id = 1;
+
+  // Cumulative CWE distribution for sampling.
+  std::vector<double> cwe_cdf(params.cwe_mix.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < params.cwe_mix.size(); ++i) {
+    acc += params.cwe_mix[i];
+    cwe_cdf[i] = acc;
+  }
+  SKERN_CHECK_MSG(std::abs(acc - 1.0) < 1e-9, "cwe_mix must sum to 1");
+
+  for (uint16_t year = params.first_year; year <= params.last_year; ++year) {
+    double mean = params.cves_per_year[year - params.first_year];
+    uint64_t count = rng.NextPoisson(mean);
+    for (uint64_t i = 0; i < count; ++i) {
+      CveRecord record;
+      record.id = next_id++;
+      record.year = year;
+      // Component: sample by weight among components that already exist.
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        double u = rng.NextDouble();
+        double cum = 0.0;
+        const ComponentProfile* chosen = &params.components.back();
+        for (const auto& comp : params.components) {
+          cum += comp.weight;
+          if (u < cum) {
+            chosen = &comp;
+            break;
+          }
+        }
+        if (chosen->release_year <= year) {
+          record.component = chosen->name;
+          record.years_after_release =
+              (year - chosen->release_year) + rng.NextDouble();
+          break;
+        }
+      }
+      if (record.component.empty()) {
+        record.component = "core";
+        record.years_after_release = (year - 1991) + rng.NextDouble();
+      }
+      // CWE class.
+      double u = rng.NextDouble();
+      record.cwe = CweClass::kOther;
+      for (size_t c = 0; c < cwe_cdf.size(); ++c) {
+        if (u < cwe_cdf[c]) {
+          record.cwe = static_cast<CweClass>(c);
+          break;
+        }
+      }
+      corpus.records_.push_back(std::move(record));
+    }
+  }
+  return corpus;
+}
+
+std::vector<BugSeriesProfile> DefaultBugSeriesProfiles() {
+  // Sizes and release years are the commonly cited figures; the rate curve
+  // (early spike decaying to a ~0.5%/LoC/year plateau) is Figure 2c's
+  // finding: "Even after 10 years, there are still new bugs (0.5% bugs per
+  // line of code each year) in all three file systems."
+  return {
+      {"ext4", 2008, 25'000, 1'500, 0.012, 3.0, 0.005},
+      {"btrfs", 2009, 45'000, 3'500, 0.015, 3.0, 0.005},
+      {"overlayfs", 2014, 8'000, 800, 0.010, 3.0, 0.005},
+  };
+}
+
+std::vector<BugSeriesPoint> GenerateBugSeries(const BugSeriesProfile& profile,
+                                              uint16_t last_year, uint64_t seed) {
+  Rng rng(seed ^ (profile.release_year * 2654435761ULL));
+  std::vector<BugSeriesPoint> series;
+  for (uint16_t year = profile.release_year; year <= last_year; ++year) {
+    int age = year - profile.release_year;
+    double loc = profile.initial_loc + profile.loc_growth_per_year * age;
+    double rate = profile.spike * std::exp(-age / profile.decay_years) + profile.plateau;
+    double expected = rate * loc;
+    BugSeriesPoint point;
+    point.age_years = age;
+    point.loc = loc;
+    point.bug_patches = static_cast<double>(rng.NextPoisson(expected));
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace skern

@@ -1,0 +1,118 @@
+#include "src/cve/cwe.h"
+
+namespace skern {
+
+const char* CweClassName(CweClass cls) {
+  switch (cls) {
+    case CweClass::kBufferOverflow:
+      return "buffer-overflow";
+    case CweClass::kUseAfterFree:
+      return "use-after-free";
+    case CweClass::kNullDereference:
+      return "null-dereference";
+    case CweClass::kDataRace:
+      return "data-race";
+    case CweClass::kTypeConfusion:
+      return "type-confusion";
+    case CweClass::kDoubleFree:
+      return "double-free";
+    case CweClass::kMemoryLeak:
+      return "memory-leak";
+    case CweClass::kUninitializedUse:
+      return "uninitialized-use";
+    case CweClass::kLogicError:
+      return "logic-error";
+    case CweClass::kInputValidation:
+      return "input-validation";
+    case CweClass::kStateMachine:
+      return "state-machine";
+    case CweClass::kPermissionCheck:
+      return "permission-check";
+    case CweClass::kInfoExposure:
+      return "info-exposure";
+    case CweClass::kIntegerOverflow:
+      return "integer-overflow";
+    case CweClass::kOther:
+      return "other";
+    case CweClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+int RepresentativeCweId(CweClass cls) {
+  switch (cls) {
+    case CweClass::kBufferOverflow:
+      return 787;
+    case CweClass::kUseAfterFree:
+      return 416;
+    case CweClass::kNullDereference:
+      return 476;
+    case CweClass::kDataRace:
+      return 362;
+    case CweClass::kTypeConfusion:
+      return 843;
+    case CweClass::kDoubleFree:
+      return 415;
+    case CweClass::kMemoryLeak:
+      return 401;
+    case CweClass::kUninitializedUse:
+      return 908;
+    case CweClass::kLogicError:
+      return 691;
+    case CweClass::kInputValidation:
+      return 20;
+    case CweClass::kStateMachine:
+      return 662;
+    case CweClass::kPermissionCheck:
+      return 862;
+    case CweClass::kInfoExposure:
+      return 200;
+    case CweClass::kIntegerOverflow:
+      return 190;
+    case CweClass::kOther:
+      return 0;
+    case CweClass::kCount:
+      break;
+  }
+  return 0;
+}
+
+Preventability PreventabilityOf(CweClass cls) {
+  switch (cls) {
+    case CweClass::kBufferOverflow:
+    case CweClass::kUseAfterFree:
+    case CweClass::kNullDereference:
+    case CweClass::kDataRace:
+    case CweClass::kTypeConfusion:
+    case CweClass::kDoubleFree:
+    case CweClass::kMemoryLeak:
+    case CweClass::kUninitializedUse:
+      return Preventability::kTypeOwnership;
+    case CweClass::kLogicError:
+    case CweClass::kInputValidation:
+    case CweClass::kStateMachine:
+      return Preventability::kFunctional;
+    case CweClass::kPermissionCheck:
+    case CweClass::kInfoExposure:
+    case CweClass::kIntegerOverflow:
+    case CweClass::kOther:
+    case CweClass::kCount:
+      return Preventability::kOther;
+  }
+  return Preventability::kOther;
+}
+
+const char* PreventabilityName(Preventability p) {
+  switch (p) {
+    case Preventability::kTypeOwnership:
+      return "type+ownership safety";
+    case Preventability::kFunctional:
+      return "functional correctness";
+    case Preventability::kOther:
+      return "other causes";
+  }
+  return "?";
+}
+
+}  // namespace skern

@@ -1,0 +1,58 @@
+// CWE weakness classes and their preventability mapping (§2).
+//
+// "Among the 1475 total CVEs we examined, roughly 42% CVEs could be prevented
+// with compile-time type and ownership safety, and an additional 35% with
+// functional correctness verification. The remaining 23% have a variety of
+// causes: improper security designs ... numeric errors like integer overflow
+// and underflow, and various other causes."
+//
+// The taxonomy here groups Common Weakness Enumeration ids into the classes
+// that analysis uses, and maps each class to the roadmap rung that prevents
+// it. The fault-injection experiment (E11) uses the same classes, closing
+// the loop between the paper's measurement and its proposal.
+#ifndef SKERN_SRC_CVE_CWE_H_
+#define SKERN_SRC_CVE_CWE_H_
+
+#include <cstdint>
+
+namespace skern {
+
+enum class CweClass : uint8_t {
+  // --- preventable by type + ownership safety (step 2 + 3) ---
+  kBufferOverflow = 0,  // CWE-119/125/787
+  kUseAfterFree,        // CWE-416
+  kNullDereference,     // CWE-476
+  kDataRace,            // CWE-362
+  kTypeConfusion,       // CWE-843
+  kDoubleFree,          // CWE-415
+  kMemoryLeak,          // CWE-401
+  kUninitializedUse,    // CWE-908
+  // --- additionally preventable by functional verification (step 4) ---
+  kLogicError,       // CWE-691 and friends: wrong behaviour vs. intent
+  kInputValidation,  // CWE-20: unvalidated input reaching internals
+  kStateMachine,     // CWE-662/out-of-order state handling
+  // --- outside both (the 23%) ---
+  kPermissionCheck,   // CWE-862/863: improper authorization design
+  kInfoExposure,      // CWE-200: overexposing kernel information
+  kIntegerOverflow,   // CWE-190/191 numeric errors
+  kOther,             // everything else
+  kCount,             // sentinel
+};
+
+inline constexpr int kCweClassCount = static_cast<int>(CweClass::kCount);
+
+enum class Preventability : uint8_t {
+  kTypeOwnership = 0,  // stops at step 2/3
+  kFunctional = 1,     // needs step 4
+  kOther = 2,          // beyond the paper's scope
+};
+
+const char* CweClassName(CweClass cls);
+// A representative CWE id for display ("CWE-416").
+int RepresentativeCweId(CweClass cls);
+Preventability PreventabilityOf(CweClass cls);
+const char* PreventabilityName(Preventability p);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CVE_CWE_H_

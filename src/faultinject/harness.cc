@@ -1,0 +1,486 @@
+#include "src/faultinject/harness.h"
+
+#include <atomic>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "src/base/panic.h"
+#include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
+#include "src/fs/legacyfs/legacyfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/ownership/leak_detector.h"
+#include "src/ownership/owned.h"
+#include "src/spec/refinement.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 256;
+constexpr uint64_t kInodes = 64;
+
+bool IsSemantic(BugClass bug) {
+  switch (bug) {
+    case BugClass::kSemanticStat:
+    case BugClass::kSemanticRename:
+    case BugClass::kSemanticTruncate:
+    case BugClass::kSemanticReaddir:
+    case BugClass::kSemanticWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+SafeFsSemanticFault SemanticFaultOf(BugClass bug) {
+  switch (bug) {
+    case BugClass::kSemanticStat:
+      return SafeFsSemanticFault::kStatSizeOffByOne;
+    case BugClass::kSemanticRename:
+      return SafeFsSemanticFault::kRenameLeavesSource;
+    case BugClass::kSemanticTruncate:
+      return SafeFsSemanticFault::kTruncateSkipsZeroing;
+    case BugClass::kSemanticReaddir:
+      return SafeFsSemanticFault::kReaddirDropsLastEntry;
+    case BugClass::kSemanticWrite:
+      return SafeFsSemanticFault::kWriteIgnoresTailByte;
+    default:
+      return SafeFsSemanticFault::kNone;
+  }
+}
+
+// Runs the workload that exercises every semantic-fault path.
+void SemanticWorkload(FileSystem& fs) {
+  (void)fs.Mkdir("/d");
+  (void)fs.Create("/d/a");
+  (void)fs.Create("/d/b");
+  (void)fs.Write("/d/a", 0, BytesFromString("0123456789"));
+  (void)fs.Stat("/d/a");
+  (void)fs.Truncate("/d/a", 3);
+  (void)fs.Truncate("/d/a", 10);
+  (void)fs.Read("/d/a", 0, 16);
+  (void)fs.Rename("/d/a", "/d/c");
+  (void)fs.Readdir("/d");
+  (void)fs.Stat("/d/c");
+}
+
+}  // namespace
+
+const char* BugClassName(BugClass bug) {
+  switch (bug) {
+    case BugClass::kTypeConfusion:
+      return "type confusion (write cookie)";
+    case BugClass::kErrPtrMisuse:
+      return "ERR_PTR misuse";
+    case BugClass::kUseAfterFree:
+      return "use after free";
+    case BugClass::kDoubleFree:
+      return "double free";
+    case BugClass::kMemoryLeak:
+      return "memory leak";
+    case BugClass::kDataRace:
+      return "data race (i_size)";
+    case BugClass::kBufferOverflow:
+      return "buffer overflow (dirent)";
+    case BugClass::kIntegerUnderflow:
+      return "integer underflow";
+    case BugClass::kSemanticStat:
+      return "semantic: wrong stat size";
+    case BugClass::kSemanticRename:
+      return "semantic: rename keeps source";
+    case BugClass::kSemanticTruncate:
+      return "semantic: stale truncate data";
+    case BugClass::kSemanticReaddir:
+      return "semantic: readdir drops entry";
+    case BugClass::kSemanticWrite:
+      return "semantic: write drops tail";
+    case BugClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+CweClass CweOf(BugClass bug) {
+  switch (bug) {
+    case BugClass::kTypeConfusion:
+      return CweClass::kTypeConfusion;
+    case BugClass::kErrPtrMisuse:
+      return CweClass::kNullDereference;
+    case BugClass::kUseAfterFree:
+      return CweClass::kUseAfterFree;
+    case BugClass::kDoubleFree:
+      return CweClass::kDoubleFree;
+    case BugClass::kMemoryLeak:
+      return CweClass::kMemoryLeak;
+    case BugClass::kDataRace:
+      return CweClass::kDataRace;
+    case BugClass::kBufferOverflow:
+      return CweClass::kBufferOverflow;
+    case BugClass::kIntegerUnderflow:
+      return CweClass::kIntegerOverflow;
+    case BugClass::kSemanticStat:
+    case BugClass::kSemanticTruncate:
+    case BugClass::kSemanticWrite:
+      return CweClass::kLogicError;
+    case BugClass::kSemanticRename:
+      return CweClass::kStateMachine;
+    case BugClass::kSemanticReaddir:
+      return CweClass::kInputValidation;
+    case BugClass::kCount:
+      break;
+  }
+  return CweClass::kOther;
+}
+
+const char* InjectionOutcomeName(InjectionOutcome outcome) {
+  switch (outcome) {
+    case InjectionOutcome::kSilent:
+      return "SILENT";
+    case InjectionOutcome::kDetected:
+      return "DETECTED";
+    case InjectionOutcome::kNotExpressible:
+      return "PREVENTED";
+    case InjectionOutcome::kNotRun:
+      return "-";
+  }
+  return "?";
+}
+
+InjectionResult FaultInjectionHarness::RunUnsafe(BugClass bug) {
+  InjectionResult result{bug, SafetyLevel::kUnsafe, InjectionOutcome::kSilent, ""};
+
+  if (IsSemantic(bug)) {
+    // Semantic bugs run on safefs without the spec layer: types and
+    // ownership are happy; nothing notices.
+    RamDisk disk(kDiskBlocks, seed_);
+    auto fs = SafeFs::Format(disk, kInodes, 16);
+    SKERN_CHECK(fs.ok());
+    fs.value()->SetSemanticFault(SemanticFaultOf(bug));
+    SemanticWorkload(*fs.value());
+    result.note = "wrong behaviour executed; no mechanism below step 4 observes it";
+    return result;
+  }
+
+  RamDisk disk(kDiskBlocks, seed_);
+  BufferCache cache(disk, 128);
+  FsGeometry geo = MakeGeometry(kDiskBlocks, kInodes, 0);
+  auto fs = MakeLegacyFs(cache, &geo, /*format=*/true);
+  LegacyFaultConfig* faults = LegacyFaultsOf(*fs);
+
+  switch (bug) {
+    case BugClass::kTypeConfusion: {
+      (void)fs->Create("/f");
+      faults->type_confuse_write_cookie = true;
+      (void)fs->Write("/f", 0, BytesFromString("1234"));
+      uint64_t size = fs->Stat("/f").ok() ? fs->Stat("/f")->size : 0;
+      result.note = "i_size smashed to " + std::to_string(size) + " (expected 4)";
+      break;
+    }
+    case BugClass::kErrPtrMisuse: {
+      faults->errptr_missing_check = true;
+      (void)fs->Rename("/ghost", "/dangling");
+      result.note = "rename of missing file 'succeeded'; dangling dirent planted";
+      break;
+    }
+    case BugClass::kUseAfterFree: {
+      faults->use_after_free_node = true;
+      (void)fs->Create("/f");
+      (void)fs->Stat("/f");
+      (void)fs->Unlink("/f");
+      result.note = "freed node info consulted; another file's block freed";
+      break;
+    }
+    case BugClass::kDoubleFree: {
+      faults->double_free_block = true;
+      (void)fs->Create("/victim");
+      (void)fs->Write("/victim", 0, Bytes(kBlockSize, 0x11));
+      (void)fs->Create("/f");
+      (void)fs->Write("/f", 0, Bytes(kBlockSize, 0x22));
+      (void)fs->Truncate("/f", 0);
+      (void)fs->Truncate("/f", 0);
+      result.note = "second free corrupted the neighbouring allocation bit";
+      break;
+    }
+    case BugClass::kMemoryLeak: {
+      faults->leak_node_on_unlink = true;
+      size_t before = LeakDetector::Get().LiveCount();
+      (void)fs->Create("/f");
+      (void)fs->Stat("/f");
+      (void)fs->Unlink("/f");
+      size_t after = LeakDetector::Get().LiveCount();
+      result.note = "node info leaked (" + std::to_string(after - before) +
+                    " live allocations remain)";
+      break;
+    }
+    case BugClass::kDataRace: {
+      faults->skip_size_lock = true;
+      (void)fs->Create("/raced");
+      bool lost = false;
+      for (int attempt = 0; attempt < 50 && !lost; ++attempt) {
+        (void)fs->Truncate("/raced", 0);
+        std::atomic<bool> go{false};
+        std::thread t1([&] {
+          while (!go.load()) {
+          }
+          (void)fs->Write("/raced", 0, Bytes(100, 1));
+        });
+        std::thread t2([&] {
+          while (!go.load()) {
+          }
+          (void)fs->Write("/raced", 0, Bytes(300, 2));
+        });
+        go.store(true);
+        t1.join();
+        t2.join();
+        lost = fs->Stat("/raced").ok() && fs->Stat("/raced")->size != 300;
+      }
+      result.note = lost ? "concurrent i_size update lost (final size wrong)"
+                         : "race window armed; interleaving not hit this run";
+      break;
+    }
+    case BugClass::kBufferOverflow: {
+      (void)fs->Create("/aa");
+      (void)fs->Create("/bb");
+      (void)fs->Create("/cc");
+      (void)fs->Unlink("/bb");
+      faults->dirent_off_by_one = true;
+      (void)fs->Create("/dd");
+      bool cc_gone = !fs->Stat("/cc").ok();
+      result.note = cc_gone ? "neighbouring dirent clobbered; /cc vanished"
+                            : "overflow executed";
+      break;
+    }
+    case BugClass::kIntegerUnderflow: {
+      faults->truncate_underflow = true;
+      (void)fs->Create("/f");
+      (void)fs->Write("/f", 0, Bytes(4 * kBlockSize, 1));
+      (void)fs->Truncate("/f", 0);
+      result.note = "underflowed block count: 4 blocks leaked silently";
+      break;
+    }
+    default:
+      result.outcome = InjectionOutcome::kNotRun;
+      break;
+  }
+  return result;
+}
+
+InjectionResult FaultInjectionHarness::RunOwnership(BugClass bug) {
+  InjectionResult result{bug, SafetyLevel::kOwnershipSafe, InjectionOutcome::kNotRun, ""};
+  ScopedOwnershipMode mode(OwnershipMode::kRecording);
+  uint64_t before = OwnershipStats::Get().Total();
+
+  struct Payload {
+    int value = 0;
+  };
+
+  switch (bug) {
+    case BugClass::kUseAfterFree: {
+      auto cell = Owned<Payload>::Make();
+      cell.Free();
+      (void)cell.Get();  // the attempted UAF
+      break;
+    }
+    case BugClass::kDoubleFree: {
+      auto cell = Owned<Payload>::Make();
+      cell.Free();
+      cell.Free();
+      break;
+    }
+    case BugClass::kMemoryLeak: {
+      auto cell = Owned<Payload>::Make();
+      auto in_flight = cell.Transfer();
+      // never accepted: the transfer contract is breached
+      break;
+    }
+    case BugClass::kDataRace: {
+      auto cell = Owned<Payload>::Make();
+      auto held = cell.LendExclusive();
+      std::thread contender([&] {
+        auto racing = cell.LendExclusive();  // caught: rights already lent
+        (void)racing;
+      });
+      contender.join();
+      break;
+    }
+    case BugClass::kBufferOverflow: {
+      // Checked views turn the overrun into a panic at the access site.
+      ScopedPanicAsException guard;
+      Bytes block(64, 0);
+      try {
+        MutableByteView view(block);
+        (void)view.Subview(60, 8);  // 4 bytes past the end
+        result.note = "subview unexpectedly allowed";
+      } catch (const PanicException&) {
+        result.outcome = InjectionOutcome::kDetected;
+        result.note = "checked view rejected the out-of-bounds access";
+        return result;
+      }
+      break;
+    }
+    default:
+      return result;
+  }
+  uint64_t caught = OwnershipStats::Get().Total() - before;
+  if (caught > 0) {
+    result.outcome = InjectionOutcome::kDetected;
+    result.note = "ownership runtime flagged " + std::to_string(caught) + " violation(s)";
+  } else {
+    result.outcome = InjectionOutcome::kSilent;
+    result.note = "no violation recorded";
+  }
+  return result;
+}
+
+InjectionResult FaultInjectionHarness::RunVerified(BugClass bug) {
+  InjectionResult result{bug, SafetyLevel::kVerified, InjectionOutcome::kNotRun, ""};
+  if (!IsSemantic(bug)) {
+    return result;
+  }
+  ScopedRefinementMode mode(RefinementMode::kRecording);
+  uint64_t before = RefinementStats::Get().mismatch_count();
+  RamDisk disk(kDiskBlocks, seed_ + 1);
+  auto fs = SafeFs::Format(disk, kInodes, 16);
+  SKERN_CHECK(fs.ok());
+  fs.value()->SetSemanticFault(SemanticFaultOf(bug));
+  SpecFs spec(fs.value());
+  SemanticWorkload(spec);
+  uint64_t mismatches = RefinementStats::Get().mismatch_count() - before;
+  if (mismatches > 0) {
+    result.outcome = InjectionOutcome::kDetected;
+    result.note =
+        "refinement checker flagged " + std::to_string(mismatches) + " mismatch(es)";
+  } else {
+    result.outcome = InjectionOutcome::kSilent;
+    result.note = "refinement missed the fault";
+  }
+  return result;
+}
+
+InjectionResult FaultInjectionHarness::Run(BugClass bug, SafetyLevel level) {
+  switch (level) {
+    case SafetyLevel::kUnsafe:
+      return RunUnsafe(bug);
+    case SafetyLevel::kOwnershipSafe:
+      return RunOwnership(bug);
+    case SafetyLevel::kVerified:
+      return RunVerified(bug);
+    default:
+      return InjectionResult{bug, level, InjectionOutcome::kNotRun, "no runtime experiment"};
+  }
+}
+
+std::vector<InjectionResult> FaultInjectionHarness::RunAll() {
+  std::vector<InjectionResult> results;
+  for (int b = 0; b < kBugClassCount; ++b) {
+    auto bug = static_cast<BugClass>(b);
+    // Rung 0: every bug manifests silently (measured).
+    results.push_back(RunUnsafe(bug));
+    // Rung 1 (modularity): same implementations behind an interface; no new
+    // prevention, but the blast radius is one module.
+    results.push_back(InjectionResult{bug, SafetyLevel::kModular, InjectionOutcome::kSilent,
+                                      "modularity isolates but does not prevent"});
+    // Rung 2 (type safety).
+    switch (bug) {
+      case BugClass::kTypeConfusion:
+        results.push_back({bug, SafetyLevel::kTypeSafe, InjectionOutcome::kNotExpressible,
+                           "no void* crosses the interface; the cookie is a typed value"});
+        break;
+      case BugClass::kErrPtrMisuse:
+        results.push_back({bug, SafetyLevel::kTypeSafe, InjectionOutcome::kNotExpressible,
+                           "Result<T> replaces ERR_PTR; unchecked access cannot compile to "
+                           "a misread"});
+        break;
+      default:
+        results.push_back({bug, SafetyLevel::kTypeSafe, InjectionOutcome::kSilent,
+                           "type safety alone does not address this class"});
+        break;
+    }
+    // Rung 3 (ownership safety).
+    switch (bug) {
+      case BugClass::kTypeConfusion:
+      case BugClass::kErrPtrMisuse:
+        results.push_back({bug, SafetyLevel::kOwnershipSafe,
+                           InjectionOutcome::kNotExpressible, "prevented at step 2 already"});
+        break;
+      case BugClass::kUseAfterFree:
+      case BugClass::kDoubleFree:
+      case BugClass::kMemoryLeak:
+      case BugClass::kDataRace:
+      case BugClass::kBufferOverflow:
+        results.push_back(RunOwnership(bug));
+        break;
+      default:
+        results.push_back({bug, SafetyLevel::kOwnershipSafe, InjectionOutcome::kSilent,
+                           IsSemantic(bug)
+                               ? "functionally wrong but memory- and type-clean"
+                               : "numeric errors are outside type/ownership scope"});
+        break;
+    }
+    // Rung 4 (functional verification).
+    if (IsSemantic(bug)) {
+      results.push_back(RunVerified(bug));
+    } else if (bug == BugClass::kIntegerUnderflow) {
+      results.push_back({bug, SafetyLevel::kVerified, InjectionOutcome::kSilent,
+                         "space accounting is outside the observable spec — the paper's "
+                         "irreducible 23%"});
+    } else {
+      results.push_back({bug, SafetyLevel::kVerified, InjectionOutcome::kNotExpressible,
+                         "prevented at a lower rung"});
+    }
+  }
+  return results;
+}
+
+std::string FaultInjectionHarness::RenderMatrix(const std::vector<InjectionResult>& results) {
+  std::ostringstream os;
+  os << "Fault injection: outcome of each bug class at each roadmap rung\n\n";
+  os << std::left << std::setw(34) << "bug class";
+  for (int level = 0; level < kSafetyLevelCount; ++level) {
+    os << std::left << std::setw(12) << SafetyLevelName(static_cast<SafetyLevel>(level));
+  }
+  os << "\n" << std::string(34 + 12 * kSafetyLevelCount, '-') << "\n";
+  for (int b = 0; b < kBugClassCount; ++b) {
+    auto bug = static_cast<BugClass>(b);
+    os << std::left << std::setw(34) << BugClassName(bug);
+    for (int level = 0; level < kSafetyLevelCount; ++level) {
+      InjectionOutcome outcome = InjectionOutcome::kNotRun;
+      for (const auto& result : results) {
+        if (result.bug == bug && result.level == static_cast<SafetyLevel>(level)) {
+          outcome = result.outcome;
+        }
+      }
+      os << std::left << std::setw(12) << InjectionOutcomeName(outcome);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+double FaultInjectionHarness::PreventedCorpusFraction(
+    const std::vector<InjectionResult>& results, SafetyLevel level,
+    const std::vector<double>& cwe_mix) {
+  // A CWE class counts as prevented at `level` if any bug of that class was
+  // detected or not expressible at or below the level.
+  double prevented = 0.0;
+  for (int c = 0; c < kCweClassCount; ++c) {
+    auto cls = static_cast<CweClass>(c);
+    bool stopped = false;
+    for (const auto& result : results) {
+      if (CweOf(result.bug) == cls && result.level <= level &&
+          (result.outcome == InjectionOutcome::kDetected ||
+           result.outcome == InjectionOutcome::kNotExpressible)) {
+        stopped = true;
+      }
+    }
+    if (stopped && c < static_cast<int>(cwe_mix.size())) {
+      prevented += cwe_mix[c];
+    }
+  }
+  return prevented;
+}
+
+}  // namespace skern

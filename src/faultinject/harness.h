@@ -1,0 +1,100 @@
+// Fault-injection harness (experiment E11).
+//
+// The paper *categorizes* 1475 CVEs by which roadmap rung would prevent them
+// (42% type+ownership, +35% functional, 23% neither) but cannot run the
+// counterfactual. skern can: each §2 bug class is injected into the file
+// systems at each rung of the ladder and the outcome observed:
+//
+//   kSilent         executed and corrupted state; nothing noticed — the
+//                   status quo the paper wants to escape;
+//   kDetected       a safety mechanism caught it at runtime (ownership
+//                   checker, refinement mismatch, lock checker, leak ledger);
+//   kNotExpressible the rung's discipline makes the bug unwritable (typed
+//                   interfaces have no void* to confuse; RAII cannot leak;
+//                   checked views cannot overrun) — the compile-time
+//                   prevention Rust gives for real, demonstrated here by
+//                   construction.
+//
+// The rendered matrix is the experimental validation of the 42/35/23 split:
+// memory/type rows flip at rungs 2–3, semantic rows flip at rung 4, and the
+// numeric-error row stays silent everywhere (the paper's irreducible 23%).
+#ifndef SKERN_SRC_FAULTINJECT_HARNESS_H_
+#define SKERN_SRC_FAULTINJECT_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/safety_level.h"
+#include "src/cve/cwe.h"
+
+namespace skern {
+
+enum class BugClass : uint8_t {
+  kTypeConfusion = 0,   // write_begin/write_end cookie (CWE-843)
+  kErrPtrMisuse,        // missing IS_ERR check (CWE-476 family)
+  kUseAfterFree,        // node info read after free (CWE-416)
+  kDoubleFree,          // block freed twice (CWE-415)
+  kMemoryLeak,          // node info never freed (CWE-401)
+  kDataRace,            // unlocked i_size update (CWE-362)
+  kBufferOverflow,      // dirent name off-by-one (CWE-787)
+  kIntegerUnderflow,    // truncate-to-zero underflow (CWE-191)
+  kSemanticStat,        // wrong size reported
+  kSemanticRename,      // source entry left behind
+  kSemanticTruncate,    // stale data exposed after shrink+grow
+  kSemanticReaddir,     // entry dropped from listing
+  kSemanticWrite,       // tail byte silently discarded
+  kCount,
+};
+
+inline constexpr int kBugClassCount = static_cast<int>(BugClass::kCount);
+
+const char* BugClassName(BugClass bug);
+CweClass CweOf(BugClass bug);
+
+enum class InjectionOutcome : uint8_t {
+  kSilent = 0,
+  kDetected,
+  kNotExpressible,
+  kNotRun,
+};
+
+const char* InjectionOutcomeName(InjectionOutcome outcome);
+
+struct InjectionResult {
+  BugClass bug;
+  SafetyLevel level;
+  InjectionOutcome outcome = InjectionOutcome::kNotRun;
+  std::string note;  // what happened / why it cannot happen
+};
+
+class FaultInjectionHarness {
+ public:
+  explicit FaultInjectionHarness(uint64_t seed = 42) : seed_(seed) {}
+
+  // Runs every (bug, rung) cell that has a runtime experiment and fills in
+  // the static (kNotExpressible) cells with their justification.
+  std::vector<InjectionResult> RunAll();
+
+  // Single cell, for tests.
+  InjectionResult Run(BugClass bug, SafetyLevel level);
+
+  static std::string RenderMatrix(const std::vector<InjectionResult>& results);
+
+  // The bridge to E5: given the corpus CWE mix, the fraction of CVEs whose
+  // class this harness found prevented (detected or not expressible) at or
+  // below `level`.
+  static double PreventedCorpusFraction(const std::vector<InjectionResult>& results,
+                                        SafetyLevel level,
+                                        const std::vector<double>& cwe_mix);
+
+ private:
+  InjectionResult RunUnsafe(BugClass bug);      // legacyfs with the fault armed
+  InjectionResult RunOwnership(BugClass bug);   // ownership-runtime demonstration
+  InjectionResult RunVerified(BugClass bug);    // specfs refinement demonstration
+
+  uint64_t seed_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_FAULTINJECT_HARNESS_H_

@@ -1,0 +1,131 @@
+#include "src/fs/layout.h"
+
+#include "src/base/panic.h"
+
+namespace skern {
+
+void LayoutPutU64(MutableByteView block, size_t offset, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    block[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+uint64_t LayoutGetU64(ByteView block, size_t offset) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(block[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+void LayoutPutU32(MutableByteView block, size_t offset, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    block[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+uint32_t LayoutGetU32(ByteView block, size_t offset) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(block[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+FsGeometry MakeGeometry(uint64_t total_blocks, uint64_t inode_count, uint64_t journal_blocks) {
+  SKERN_CHECK(inode_count > 0);
+  FsGeometry geo;
+  geo.total_blocks = total_blocks;
+  geo.inode_count = inode_count;
+  geo.inode_table_blocks = (inode_count + kInodesPerBlock - 1) / kInodesPerBlock;
+  geo.data_start = kInodeTableStart + geo.inode_table_blocks;
+  geo.journal_blocks = journal_blocks;
+  geo.journal_start = journal_blocks > 0 ? total_blocks - journal_blocks : 0;
+  uint64_t data_end = journal_blocks > 0 ? geo.journal_start : total_blocks;
+  SKERN_CHECK_MSG(data_end > geo.data_start, "device too small for geometry");
+  geo.data_blocks = data_end - geo.data_start;
+  SKERN_CHECK_MSG(geo.data_blocks <= kBlockSize * 8, "bitmap block too small for data area");
+  return geo;
+}
+
+void EncodeInode(const DiskInode& inode, MutableByteView block, uint32_t slot) {
+  SKERN_CHECK(slot < kInodesPerBlock);
+  size_t base = static_cast<size_t>(slot) * kInodeSize;
+  LayoutPutU32(block, base + 0, inode.mode);
+  LayoutPutU32(block, base + 4, inode.nlink);
+  LayoutPutU64(block, base + 8, inode.size);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    LayoutPutU64(block, base + 16 + 8 * i, inode.direct[i]);
+  }
+  LayoutPutU64(block, base + 16 + 8 * kDirectBlocks, inode.indirect);
+}
+
+DiskInode DecodeInode(ByteView block, uint32_t slot) {
+  SKERN_CHECK(slot < kInodesPerBlock);
+  size_t base = static_cast<size_t>(slot) * kInodeSize;
+  DiskInode inode;
+  inode.mode = LayoutGetU32(block, base + 0);
+  inode.nlink = LayoutGetU32(block, base + 4);
+  inode.size = LayoutGetU64(block, base + 8);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    inode.direct[i] = LayoutGetU64(block, base + 16 + 8 * i);
+  }
+  inode.indirect = LayoutGetU64(block, base + 16 + 8 * kDirectBlocks);
+  return inode;
+}
+
+void EncodeDirent(const Dirent& entry, MutableByteView block, uint32_t slot) {
+  SKERN_CHECK(slot < kDirentsPerBlock);
+  SKERN_CHECK(entry.name.size() <= kMaxNameLen);
+  size_t base = static_cast<size_t>(slot) * kDirentSize;
+  LayoutPutU64(block, base, entry.ino);
+  block[base + 8] = static_cast<uint8_t>(entry.name.size());
+  for (size_t i = 0; i < kMaxNameLen; ++i) {
+    block[base + 9 + i] = i < entry.name.size() ? static_cast<uint8_t>(entry.name[i]) : 0;
+  }
+}
+
+Dirent DecodeDirent(ByteView block, uint32_t slot) {
+  SKERN_CHECK(slot < kDirentsPerBlock);
+  size_t base = static_cast<size_t>(slot) * kDirentSize;
+  Dirent entry;
+  entry.ino = LayoutGetU64(block, base);
+  uint8_t len = block[base + 8];
+  if (len > kMaxNameLen) {
+    len = kMaxNameLen;  // tolerate corruption; callers validate semantically
+  }
+  entry.name.assign(reinterpret_cast<const char*>(block.data() + base + 9), len);
+  return entry;
+}
+
+void EncodeSuperblock(const SuperblockRec& sb, MutableByteView block) {
+  block.Fill(0);
+  LayoutPutU64(block, 0, sb.magic);
+  LayoutPutU64(block, 8, sb.geometry.total_blocks);
+  LayoutPutU64(block, 16, sb.geometry.inode_count);
+  LayoutPutU64(block, 24, sb.geometry.inode_table_blocks);
+  LayoutPutU64(block, 32, sb.geometry.data_start);
+  LayoutPutU64(block, 40, sb.geometry.data_blocks);
+  LayoutPutU64(block, 48, sb.geometry.journal_start);
+  LayoutPutU64(block, 56, sb.geometry.journal_blocks);
+  LayoutPutU64(block, 64, sb.root_ino);
+}
+
+Result<SuperblockRec> DecodeSuperblock(ByteView block) {
+  SuperblockRec sb;
+  sb.magic = LayoutGetU64(block, 0);
+  if (sb.magic != kFsMagic) {
+    return Errno::kEINVAL;
+  }
+  sb.geometry.total_blocks = LayoutGetU64(block, 8);
+  sb.geometry.inode_count = LayoutGetU64(block, 16);
+  sb.geometry.inode_table_blocks = LayoutGetU64(block, 24);
+  sb.geometry.data_start = LayoutGetU64(block, 32);
+  sb.geometry.data_blocks = LayoutGetU64(block, 40);
+  sb.geometry.journal_start = LayoutGetU64(block, 48);
+  sb.geometry.journal_blocks = LayoutGetU64(block, 56);
+  sb.root_ino = LayoutGetU64(block, 64);
+  return sb;
+}
+
+}  // namespace skern

@@ -1,0 +1,110 @@
+// Shared on-disk format for the skern file systems.
+//
+// legacyfs and safefs implement the same simple Unix-like layout so that the
+// E9 comparison benchmarks measure implementation style, not format:
+//
+//   block 0                superblock
+//   block 1                data-block bitmap (1 block = 32768 blocks max)
+//   blocks 2..2+IT-1       inode table (128-byte inodes, 32 per block)
+//   blocks data_start..    file/directory content
+//   blocks journal_start.. journal area (used by safefs/specfs only)
+//
+// Files: 10 direct block pointers + 1 single-indirect block (512 pointers),
+// max file size = (10 + 512) * 4 KiB ≈ 2 MiB.
+// Directories: content is an array of fixed 64-byte dirents.
+//
+// Only *format* is shared — each file system has its own implementation, in
+// its own idiom; that is the point of the comparison.
+#ifndef SKERN_SRC_FS_LAYOUT_H_
+#define SKERN_SRC_FS_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/block/block_device.h"
+
+namespace skern {
+
+inline constexpr uint64_t kFsMagic = 0x534b45524e465331ULL;  // "SKERNFS1"
+inline constexpr uint64_t kSuperblockBlock = 0;
+inline constexpr uint64_t kBitmapBlock = 1;
+inline constexpr uint64_t kInodeTableStart = 2;
+
+inline constexpr uint32_t kInodeSize = 128;
+inline constexpr uint32_t kInodesPerBlock = kBlockSize / kInodeSize;  // 32
+inline constexpr uint32_t kDirectBlocks = 10;
+inline constexpr uint32_t kPointersPerBlock = kBlockSize / 8;  // 512
+inline constexpr uint64_t kMaxFileBlocks = kDirectBlocks + kPointersPerBlock;
+
+inline constexpr uint32_t kDirentSize = 64;
+inline constexpr uint32_t kDirentsPerBlock = kBlockSize / kDirentSize;  // 64
+inline constexpr uint32_t kMaxNameLen = 54;
+
+inline constexpr uint64_t kRootIno = 1;
+inline constexpr uint64_t kInvalidIno = 0;
+
+// Inode mode bits (subset of POSIX).
+inline constexpr uint32_t kModeDir = 0x4000;
+inline constexpr uint32_t kModeReg = 0x8000;
+
+struct FsGeometry {
+  uint64_t total_blocks = 0;
+  uint64_t inode_count = 0;
+  uint64_t inode_table_blocks = 0;
+  uint64_t data_start = 0;
+  uint64_t data_blocks = 0;
+  uint64_t journal_start = 0;  // 0 if no journal area
+  uint64_t journal_blocks = 0;
+};
+
+// Computes a geometry for a device of `total_blocks`, reserving
+// `journal_blocks` at the end (0 for legacyfs).
+FsGeometry MakeGeometry(uint64_t total_blocks, uint64_t inode_count, uint64_t journal_blocks);
+
+// The on-disk inode record.
+struct DiskInode {
+  uint32_t mode = 0;   // 0 = free slot
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+  uint64_t direct[kDirectBlocks] = {};
+  uint64_t indirect = 0;
+
+  bool InUse() const { return mode != 0; }
+  bool IsDir() const { return (mode & kModeDir) != 0; }
+  bool IsReg() const { return (mode & kModeReg) != 0; }
+};
+
+// Serialization into/out of an inode-table block at the slot for `ino`.
+void EncodeInode(const DiskInode& inode, MutableByteView block, uint32_t slot);
+DiskInode DecodeInode(ByteView block, uint32_t slot);
+
+// A directory entry slot within a directory block.
+struct Dirent {
+  uint64_t ino = kInvalidIno;  // kInvalidIno = free slot
+  std::string name;
+};
+
+void EncodeDirent(const Dirent& entry, MutableByteView block, uint32_t slot);
+Dirent DecodeDirent(ByteView block, uint32_t slot);
+
+// Superblock serialization.
+struct SuperblockRec {
+  uint64_t magic = kFsMagic;
+  FsGeometry geometry;
+  uint64_t root_ino = kRootIno;
+};
+
+void EncodeSuperblock(const SuperblockRec& sb, MutableByteView block);
+Result<SuperblockRec> DecodeSuperblock(ByteView block);
+
+// Little-endian scalar helpers shared by the fs implementations.
+void LayoutPutU64(MutableByteView block, size_t offset, uint64_t value);
+uint64_t LayoutGetU64(ByteView block, size_t offset);
+void LayoutPutU32(MutableByteView block, size_t offset, uint32_t value);
+uint32_t LayoutGetU32(ByteView block, size_t offset);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_FS_LAYOUT_H_

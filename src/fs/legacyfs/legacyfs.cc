@@ -1,0 +1,1235 @@
+// legacyfs implementation.
+//
+// STYLE NOTE: this file intentionally mirrors kernel C — snake_case statics,
+// int errnos, out-parameters, manual buffer management, void* handles — as
+// the "before" exhibit of the paper's migration. See legacyfs.h.
+#include "src/fs/legacyfs/legacyfs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/base/err_ptr.h"
+#include "src/base/panic.h"
+#include "src/ownership/leak_detector.h"
+#include "src/spec/fs_model.h"
+#include "src/vfs/inode.h"
+
+namespace skern {
+namespace {
+
+constexpr uint32_t kNinfoMagic = 0x1e9acf51;
+constexpr uint32_t kNinfoPoison = 0xdeadbeef;
+constexpr uint32_t kCookieMagic = 0xc00c1e5a;
+
+// The fs-private per-node data hiding behind LegacyInode::i_private.
+struct legacy_ninfo {
+  uint32_t magic;
+  uint64_t ino;
+  uint64_t direct[kDirectBlocks];
+  uint64_t indirect;
+  uint64_t leak_ticket;
+};
+
+// The write_begin/write_end cookie (§4.2's example).
+struct write_cookie {
+  uint32_t magic;
+  uint64_t ino;
+  uint64_t old_size;
+};
+
+// What write_begin hands out under type confusion: a different type whose
+// first bytes will be misread as the cookie.
+struct confused_cookie {
+  uint64_t junk;
+};
+
+struct legacy_sb {
+  BufferCache* cache;
+  FsGeometry geo;
+  LegacyFaultConfig faults;
+  std::mutex ops_lock;  // coarse "big lock"; i_size updates may skip it (fault)
+  std::map<uint64_t, LegacyInode*> nodes;
+};
+
+int err_of(Errno e) { return -static_cast<int>(e); }
+
+// --- raw metadata access through the buffer cache ---
+
+int read_disk_inode(legacy_sb* sb, uint64_t ino, DiskInode* out) {
+  if (ino == 0 || ino > sb->geo.inode_count) {
+    return err_of(Errno::kEINVAL);
+  }
+  uint64_t block = kInodeTableStart + (ino - 1) / kInodesPerBlock;
+  auto r = sb->cache->ReadBlock(block);
+  if (!r.ok()) {
+    return err_of(r.error());
+  }
+  *out = DecodeInode(ByteView(r.value()->data), (ino - 1) % kInodesPerBlock);
+  sb->cache->Release(r.value());
+  return 0;
+}
+
+int write_disk_inode(legacy_sb* sb, uint64_t ino, const DiskInode* inode) {
+  uint64_t block = kInodeTableStart + (ino - 1) / kInodesPerBlock;
+  auto r = sb->cache->ReadBlock(block);
+  if (!r.ok()) {
+    return err_of(r.error());
+  }
+  BufferHead* bh = r.value();
+  EncodeInode(*inode, MutableByteView(bh->data), (ino - 1) % kInodesPerBlock);
+  sb->cache->MarkDirty(bh);
+  sb->cache->Release(bh);
+  return 0;
+}
+
+int balloc(legacy_sb* sb, uint64_t* out) {
+  auto r = sb->cache->ReadBlock(kBitmapBlock);
+  if (!r.ok()) {
+    return err_of(r.error());
+  }
+  BufferHead* bh = r.value();
+  for (uint64_t i = 0; i < sb->geo.data_blocks; ++i) {
+    uint8_t& byte = bh->data[i / 8];
+    uint8_t mask = static_cast<uint8_t>(1u << (i % 8));
+    if ((byte & mask) == 0) {
+      byte |= mask;
+      sb->cache->MarkDirty(bh);
+      sb->cache->Release(bh);
+      *out = sb->geo.data_start + i;
+      return 0;
+    }
+  }
+  sb->cache->Release(bh);
+  return err_of(Errno::kENOSPC);
+}
+
+void bfree(legacy_sb* sb, uint64_t block) {
+  auto r = sb->cache->ReadBlock(kBitmapBlock);
+  if (!r.ok()) {
+    return;
+  }
+  BufferHead* bh = r.value();
+  uint64_t i = block - sb->geo.data_start;
+  uint8_t mask = static_cast<uint8_t>(1u << (i % 8));
+  if ((bh->data[i / 8] & mask) == 0 && sb->faults.double_free_block) {
+    // Double free: a real allocator would corrupt its freelist; the
+    // simulated consequence is that the *neighbouring* block's bit is
+    // cleared, so a block still owned by some file gets handed out again.
+    uint64_t j = (i + 1) % sb->geo.data_blocks;
+    bh->data[j / 8] &= static_cast<uint8_t>(~(1u << (j % 8)));
+  }
+  bh->data[i / 8] &= static_cast<uint8_t>(~mask);
+  sb->cache->MarkDirty(bh);
+  sb->cache->Release(bh);
+}
+
+// --- block mapping ---
+
+int map_block(legacy_sb* sb, const DiskInode* di, uint64_t index, uint64_t* out) {
+  if (index < kDirectBlocks) {
+    *out = di->direct[index];
+    return 0;
+  }
+  uint64_t ii = index - kDirectBlocks;
+  if (ii >= kPointersPerBlock) {
+    return err_of(Errno::kEFBIG);
+  }
+  if (di->indirect == 0) {
+    *out = 0;
+    return 0;
+  }
+  auto r = sb->cache->ReadBlock(di->indirect);
+  if (!r.ok()) {
+    return err_of(r.error());
+  }
+  *out = LayoutGetU64(ByteView(r.value()->data), ii * 8);
+  sb->cache->Release(r.value());
+  return 0;
+}
+
+int map_block_for_write(legacy_sb* sb, uint64_t ino, DiskInode* di, uint64_t index,
+                        uint64_t* out) {
+  if (index < kDirectBlocks) {
+    if (di->direct[index] == 0) {
+      uint64_t block;
+      int err = balloc(sb, &block);
+      if (err) {
+        return err;
+      }
+      // Fresh block: zero it via the cache.
+      BufferHead* bh = sb->cache->GetBlock(block);
+      bh->data.assign(kBlockSize, 0);
+      bh->Set(BhFlag::kUptodate);
+      sb->cache->MarkDirty(bh);
+      sb->cache->Release(bh);
+      di->direct[index] = block;
+      int werr = write_disk_inode(sb, ino, di);
+      if (werr) {
+        return werr;
+      }
+    }
+    *out = di->direct[index];
+    return 0;
+  }
+  uint64_t ii = index - kDirectBlocks;
+  if (ii >= kPointersPerBlock) {
+    return err_of(Errno::kEFBIG);
+  }
+  if (di->indirect == 0) {
+    uint64_t iblock;
+    int err = balloc(sb, &iblock);
+    if (err) {
+      return err;
+    }
+    BufferHead* bh = sb->cache->GetBlock(iblock);
+    bh->data.assign(kBlockSize, 0);
+    bh->Set(BhFlag::kUptodate);
+    sb->cache->MarkDirty(bh);
+    sb->cache->Release(bh);
+    di->indirect = iblock;
+    int werr = write_disk_inode(sb, ino, di);
+    if (werr) {
+      return werr;
+    }
+  }
+  auto r = sb->cache->ReadBlock(di->indirect);
+  if (!r.ok()) {
+    return err_of(r.error());
+  }
+  BufferHead* ind = r.value();
+  uint64_t mapped = LayoutGetU64(ByteView(ind->data), ii * 8);
+  if (mapped == 0) {
+    uint64_t block;
+    int err = balloc(sb, &block);
+    if (err) {
+      sb->cache->Release(ind);
+      return err;
+    }
+    BufferHead* bh = sb->cache->GetBlock(block);
+    bh->data.assign(kBlockSize, 0);
+    bh->Set(BhFlag::kUptodate);
+    sb->cache->MarkDirty(bh);
+    sb->cache->Release(bh);
+    LayoutPutU64(MutableByteView(ind->data), ii * 8, block);
+    sb->cache->MarkDirty(ind);
+    mapped = block;
+  }
+  sb->cache->Release(ind);
+  *out = mapped;
+  return 0;
+}
+
+// --- directories ---
+
+int dir_lookup(legacy_sb* sb, const DiskInode* dir, const char* name, uint64_t* ino_out) {
+  *ino_out = kInvalidIno;
+  uint64_t blocks = (dir->size + kBlockSize - 1) / kBlockSize;
+  for (uint64_t index = 0; index < blocks; ++index) {
+    uint64_t block;
+    int err = map_block(sb, dir, index, &block);
+    if (err) {
+      return err;
+    }
+    if (block == 0) {
+      continue;
+    }
+    auto r = sb->cache->ReadBlock(block);
+    if (!r.ok()) {
+      return err_of(r.error());
+    }
+    BufferHead* bh = r.value();
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      Dirent entry = DecodeDirent(ByteView(bh->data), slot);
+      if (entry.ino != kInvalidIno && entry.name == name) {
+        *ino_out = entry.ino;
+        sb->cache->Release(bh);
+        return 0;
+      }
+    }
+    sb->cache->Release(bh);
+  }
+  return 0;  // not found: *ino_out stays kInvalidIno
+}
+
+// Writes a dirent by hand (memcpy-style) so the off-by-one fault can run one
+// byte past the name field, clobbering the first byte of the next slot's
+// inode number inside the same block — CWE-787 at data level.
+void put_dirent_raw(legacy_sb* sb, BufferHead* bh, uint32_t slot, uint64_t ino,
+                    const char* name) {
+  size_t base = static_cast<size_t>(slot) * kDirentSize;
+  LayoutPutU64(MutableByteView(bh->data), base, ino);
+  size_t len = std::strlen(name);
+  if (len > kMaxNameLen) {
+    len = kMaxNameLen;
+  }
+  bh->data[base + 8] = static_cast<uint8_t>(len);
+  size_t copy = len;
+  if (sb->faults.dirent_off_by_one && base + 9 + kMaxNameLen + 2 <= kBlockSize) {
+    // The buggy loop writes the padded name plus a terminating NUL plus one:
+    // two bytes past the field, landing on the next slot's inode-number LSB.
+    copy = kMaxNameLen + 2;
+  }
+  for (size_t i = 0; i < copy; ++i) {
+    uint8_t c = i < len ? static_cast<uint8_t>(name[i]) : 0;
+    if (base + 9 + i < kBlockSize) {
+      bh->data[base + 9 + i] = c;
+    }
+  }
+}
+
+int dir_add(legacy_sb* sb, uint64_t dir_ino, DiskInode* dir, const char* name, uint64_t ino) {
+  if (std::strlen(name) > kMaxNameLen) {
+    return err_of(Errno::kENAMETOOLONG);
+  }
+  uint64_t blocks = (dir->size + kBlockSize - 1) / kBlockSize;
+  for (uint64_t index = 0; index < blocks; ++index) {
+    uint64_t block;
+    int err = map_block(sb, dir, index, &block);
+    if (err) {
+      return err;
+    }
+    if (block == 0) {
+      continue;
+    }
+    auto r = sb->cache->ReadBlock(block);
+    if (!r.ok()) {
+      return err_of(r.error());
+    }
+    BufferHead* bh = r.value();
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      if (DecodeDirent(ByteView(bh->data), slot).ino == kInvalidIno) {
+        put_dirent_raw(sb, bh, slot, ino, name);
+        sb->cache->MarkDirty(bh);
+        sb->cache->Release(bh);
+        return 0;
+      }
+    }
+    sb->cache->Release(bh);
+  }
+  // Extend by one block.
+  uint64_t block;
+  int err = map_block_for_write(sb, dir_ino, dir, blocks, &block);
+  if (err) {
+    return err;
+  }
+  auto r = sb->cache->ReadBlock(block);
+  if (!r.ok()) {
+    return err_of(r.error());
+  }
+  BufferHead* bh = r.value();
+  put_dirent_raw(sb, bh, 0, ino, name);
+  sb->cache->MarkDirty(bh);
+  sb->cache->Release(bh);
+  dir->size = (blocks + 1) * kBlockSize;
+  return write_disk_inode(sb, dir_ino, dir);
+}
+
+int dir_remove(legacy_sb* sb, const DiskInode* dir, const char* name) {
+  uint64_t blocks = (dir->size + kBlockSize - 1) / kBlockSize;
+  for (uint64_t index = 0; index < blocks; ++index) {
+    uint64_t block;
+    int err = map_block(sb, dir, index, &block);
+    if (err) {
+      return err;
+    }
+    if (block == 0) {
+      continue;
+    }
+    auto r = sb->cache->ReadBlock(block);
+    if (!r.ok()) {
+      return err_of(r.error());
+    }
+    BufferHead* bh = r.value();
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      Dirent entry = DecodeDirent(ByteView(bh->data), slot);
+      if (entry.ino != kInvalidIno && entry.name == name) {
+        EncodeDirent(Dirent{kInvalidIno, ""}, MutableByteView(bh->data), slot);
+        sb->cache->MarkDirty(bh);
+        sb->cache->Release(bh);
+        return 0;
+      }
+    }
+    sb->cache->Release(bh);
+  }
+  return err_of(Errno::kENOENT);
+}
+
+int dir_empty(legacy_sb* sb, const DiskInode* dir, bool* out) {
+  *out = true;
+  uint64_t blocks = (dir->size + kBlockSize - 1) / kBlockSize;
+  for (uint64_t index = 0; index < blocks && *out; ++index) {
+    uint64_t block;
+    int err = map_block(sb, dir, index, &block);
+    if (err) {
+      return err;
+    }
+    if (block == 0) {
+      continue;
+    }
+    auto r = sb->cache->ReadBlock(block);
+    if (!r.ok()) {
+      return err_of(r.error());
+    }
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      if (DecodeDirent(ByteView(r.value()->data), slot).ino != kInvalidIno) {
+        *out = false;
+        break;
+      }
+    }
+    sb->cache->Release(r.value());
+  }
+  return 0;
+}
+
+// --- path walking ---
+
+// Splits `path` and walks to the parent of the final component.
+// On success: *parent_out and *ino_out (kInvalidIno if leaf absent), leaf
+// copied into `leaf` (size >= kMaxNameLen+1). Root path: *ino_out = root,
+// *parent_out = 0, leaf empty.
+int walk(legacy_sb* sb, const char* path, uint64_t* parent_out, char* leaf,
+         uint64_t* ino_out) {
+  auto norm = specpath::Normalize(path);
+  if (!norm.ok()) {
+    return err_of(norm.error());
+  }
+  const std::string& p = norm.value();
+  *parent_out = 0;
+  leaf[0] = '\0';
+  if (p == "/") {
+    *ino_out = kRootIno;
+    return 0;
+  }
+  uint64_t cur = kRootIno;
+  size_t pos = 1;
+  for (;;) {
+    size_t next = p.find('/', pos);
+    bool last = next == std::string::npos;
+    std::string comp = p.substr(pos, (last ? p.size() : next) - pos);
+    DiskInode di;
+    int err = read_disk_inode(sb, cur, &di);
+    if (err) {
+      return err;
+    }
+    if (!di.IsDir()) {
+      return err_of(Errno::kENOTDIR);
+    }
+    uint64_t child;
+    err = dir_lookup(sb, &di, comp.c_str(), &child);
+    if (err) {
+      return err;
+    }
+    if (last) {
+      *parent_out = cur;
+      std::snprintf(leaf, kMaxNameLen + 1, "%s", comp.c_str());
+      *ino_out = child;
+      return 0;
+    }
+    if (child == kInvalidIno) {
+      return err_of(Errno::kENOENT);
+    }
+    cur = child;
+    pos = next + 1;
+  }
+}
+
+// --- inode allocation ---
+
+int ialloc(legacy_sb* sb, uint32_t mode, uint64_t* ino_out) {
+  for (uint64_t ino = 1; ino <= sb->geo.inode_count; ++ino) {
+    DiskInode di;
+    int err = read_disk_inode(sb, ino, &di);
+    if (err) {
+      return err;
+    }
+    if (!di.InUse()) {
+      DiskInode fresh;
+      fresh.mode = mode;
+      fresh.nlink = (mode & kModeDir) != 0 ? 2 : 1;
+      err = write_disk_inode(sb, ino, &fresh);
+      if (err) {
+        return err;
+      }
+      *ino_out = ino;
+      return 0;
+    }
+  }
+  return err_of(Errno::kENOSPC);
+}
+
+void free_file_blocks(legacy_sb* sb, DiskInode* di, uint64_t first_kept) {
+  uint64_t old_blocks = (di->size + kBlockSize - 1) / kBlockSize;
+  for (uint64_t index = first_kept; index < old_blocks; ++index) {
+    uint64_t block = 0;
+    if (map_block(sb, di, index, &block) != 0 || block == 0) {
+      continue;
+    }
+    bfree(sb, block);
+    if (index < kDirectBlocks) {
+      di->direct[index] = 0;
+    } else {
+      auto r = sb->cache->ReadBlock(di->indirect);
+      if (r.ok()) {
+        LayoutPutU64(MutableByteView(r.value()->data), (index - kDirectBlocks) * 8, 0);
+        sb->cache->MarkDirty(r.value());
+        sb->cache->Release(r.value());
+      }
+    }
+  }
+  if (first_kept <= kDirectBlocks && di->indirect != 0 && old_blocks > kDirectBlocks) {
+    bfree(sb, di->indirect);
+    di->indirect = 0;
+  }
+}
+
+// --- node objects (the void* handles) ---
+
+LegacyInode* get_node(legacy_sb* sb, uint64_t ino) {
+  auto it = sb->nodes.find(ino);
+  if (it != sb->nodes.end()) {
+    it->second->i_count.fetch_add(1);
+    return it->second;
+  }
+  DiskInode di;
+  int err = read_disk_inode(sb, ino, &di);
+  if (err != 0 || !di.InUse()) {
+    return nullptr;
+  }
+  auto* node = new LegacyInode();
+  node->i_ino = ino;
+  node->i_mode = di.mode;
+  node->i_nlink = di.nlink;
+  node->i_size = di.size;
+  auto* info = new legacy_ninfo();
+  info->magic = kNinfoMagic;
+  info->ino = ino;
+  std::memcpy(info->direct, di.direct, sizeof(info->direct));
+  info->indirect = di.indirect;
+  info->leak_ticket = LeakDetector::Get().OnAlloc("legacyfs.ninfo", sizeof(legacy_ninfo));
+  node->i_private = info;
+  node->i_count.store(1);
+  sb->nodes[ino] = node;
+  return node;
+}
+
+void drop_node(legacy_sb* sb, LegacyInode* node, bool unlinking) {
+  int32_t prev = node->i_count.fetch_sub(1);
+  if (prev > 1 && !unlinking) {
+    return;
+  }
+  if (unlinking) {
+    sb->nodes.erase(node->i_ino);
+    auto* info = static_cast<legacy_ninfo*>(node->i_private);
+    if (info != nullptr) {
+      if (sb->faults.leak_node_on_unlink) {
+        // The bug: the info (and its leak ticket) is never freed.
+        node->i_private = nullptr;
+      } else {
+        LeakDetector::Get().OnFree(info->leak_ticket);
+        info->magic = kNinfoPoison;
+        if (sb->faults.use_after_free_node) {
+          // Use after free: the buggy code consults the poisoned info to
+          // "free one more block" — corrupting another file's allocation.
+          uint64_t bogus = sb->geo.data_start + (info->ino * 7) % sb->geo.data_blocks;
+          delete info;
+          node->i_private = nullptr;
+          bfree(sb, bogus);
+        } else {
+          delete info;
+          node->i_private = nullptr;
+        }
+      }
+    }
+    delete node;
+  }
+}
+
+// Refreshes a node's public fields from disk (after a mutation).
+void refresh_node(legacy_sb* sb, LegacyInode* node) {
+  DiskInode di;
+  if (read_disk_inode(sb, node->i_ino, &di) == 0) {
+    node->i_size = di.size;
+    node->i_nlink = di.nlink;
+    auto* info = static_cast<legacy_ninfo*>(node->i_private);
+    if (info != nullptr) {
+      std::memcpy(info->direct, di.direct, sizeof(info->direct));
+      info->indirect = di.indirect;
+    }
+  }
+}
+
+// --- the LegacyFsOps implementations ---
+
+void* lfs_lookup(void* sbp, const char* path) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  uint64_t parent, ino;
+  char leaf[kMaxNameLen + 1];
+  int err = walk(sb, path, &parent, leaf, &ino);
+  if (err) {
+    return ErrPtr<void>(static_cast<Errno>(-err));
+  }
+  if (ino == kInvalidIno) {
+    return ErrPtr<void>(Errno::kENOENT);
+  }
+  LegacyInode* node = get_node(sb, ino);
+  if (node == nullptr) {
+    return ErrPtr<void>(Errno::kEIO);
+  }
+  return node;
+}
+
+void lfs_put_node(void* sbp, void* nodep) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  drop_node(sb, static_cast<LegacyInode*>(nodep), /*unlinking=*/false);
+}
+
+int lfs_create_common(legacy_sb* sb, const char* path, uint32_t mode) {
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  auto norm = specpath::Normalize(path);
+  if (!norm.ok()) {
+    return err_of(norm.error());
+  }
+  if (norm.value() == "/") {
+    return err_of(Errno::kEEXIST);
+  }
+  uint64_t parent, ino;
+  char leaf[kMaxNameLen + 1];
+  int err = walk(sb, path, &parent, leaf, &ino);
+  if (err) {
+    return err;
+  }
+  if (ino != kInvalidIno) {
+    return err_of(Errno::kEEXIST);
+  }
+  uint64_t new_ino;
+  err = ialloc(sb, mode, &new_ino);
+  if (err) {
+    return err;
+  }
+  DiskInode pdi;
+  err = read_disk_inode(sb, parent, &pdi);
+  if (err) {
+    return err;
+  }
+  err = dir_add(sb, parent, &pdi, leaf, new_ino);
+  if (err) {
+    DiskInode dead;
+    write_disk_inode(sb, new_ino, &dead);
+    return err;
+  }
+  if ((mode & kModeDir) != 0) {
+    pdi.nlink += 1;
+    write_disk_inode(sb, parent, &pdi);
+  }
+  return 0;
+}
+
+int lfs_create(void* sbp, const char* path) {
+  return lfs_create_common(static_cast<legacy_sb*>(sbp), path, kModeReg);
+}
+
+int lfs_mkdir(void* sbp, const char* path) {
+  return lfs_create_common(static_cast<legacy_sb*>(sbp), path, kModeDir);
+}
+
+int lfs_unlink(void* sbp, const char* path) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  uint64_t parent, ino;
+  char leaf[kMaxNameLen + 1];
+  int err = walk(sb, path, &parent, leaf, &ino);
+  if (err) {
+    return err;
+  }
+  if (ino == kInvalidIno) {
+    return err_of(Errno::kENOENT);
+  }
+  if (ino == kRootIno) {
+    return err_of(Errno::kEISDIR);
+  }
+  DiskInode di;
+  err = read_disk_inode(sb, ino, &di);
+  if (err) {
+    return err;
+  }
+  if (di.IsDir()) {
+    return err_of(Errno::kEISDIR);
+  }
+  DiskInode pdi;
+  err = read_disk_inode(sb, parent, &pdi);
+  if (err) {
+    return err;
+  }
+  err = dir_remove(sb, &pdi, leaf);
+  if (err) {
+    return err;
+  }
+  free_file_blocks(sb, &di, 0);
+  DiskInode dead;
+  write_disk_inode(sb, ino, &dead);
+  // Release the cached node object (the leak/UAF injection point).
+  LegacyInode* node = get_node(sb, ino);  // may rebuild from dead inode: handle below
+  if (node != nullptr) {
+    drop_node(sb, node, /*unlinking=*/true);
+  } else {
+    auto it = sb->nodes.find(ino);
+    if (it != sb->nodes.end()) {
+      drop_node(sb, it->second, /*unlinking=*/true);
+    }
+  }
+  return 0;
+}
+
+int lfs_rmdir(void* sbp, const char* path) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  auto norm = specpath::Normalize(path);
+  if (!norm.ok()) {
+    return err_of(norm.error());
+  }
+  if (norm.value() == "/") {
+    return err_of(Errno::kEBUSY);
+  }
+  uint64_t parent, ino;
+  char leaf[kMaxNameLen + 1];
+  int err = walk(sb, path, &parent, leaf, &ino);
+  if (err) {
+    return err;
+  }
+  if (ino == kInvalidIno) {
+    return err_of(Errno::kENOENT);
+  }
+  DiskInode di;
+  err = read_disk_inode(sb, ino, &di);
+  if (err) {
+    return err;
+  }
+  if (!di.IsDir()) {
+    return err_of(Errno::kENOTDIR);
+  }
+  bool empty;
+  err = dir_empty(sb, &di, &empty);
+  if (err) {
+    return err;
+  }
+  if (!empty) {
+    return err_of(Errno::kENOTEMPTY);
+  }
+  DiskInode pdi;
+  err = read_disk_inode(sb, parent, &pdi);
+  if (err) {
+    return err;
+  }
+  err = dir_remove(sb, &pdi, leaf);
+  if (err) {
+    return err;
+  }
+  free_file_blocks(sb, &di, 0);
+  DiskInode dead;
+  write_disk_inode(sb, ino, &dead);
+  pdi.nlink -= 1;
+  write_disk_inode(sb, parent, &pdi);
+  auto it = sb->nodes.find(ino);
+  if (it != sb->nodes.end()) {
+    drop_node(sb, it->second, /*unlinking=*/true);
+  }
+  return 0;
+}
+
+int64_t lfs_read(void* sbp, void* nodep, uint64_t offset, char* buf, uint64_t len) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  auto* node = static_cast<LegacyInode*>(nodep);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  if (node->IsDir()) {
+    return err_of(Errno::kEISDIR);
+  }
+  DiskInode di;
+  int err = read_disk_inode(sb, node->i_ino, &di);
+  if (err) {
+    return err;
+  }
+  if (offset >= di.size) {
+    return 0;
+  }
+  uint64_t take = std::min(len, di.size - offset);
+  uint64_t done = 0;
+  while (done < take) {
+    uint64_t pos = offset + done;
+    uint64_t index = pos / kBlockSize;
+    uint64_t in_block = pos % kBlockSize;
+    uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, take - done);
+    uint64_t block;
+    err = map_block(sb, &di, index, &block);
+    if (err) {
+      return err;
+    }
+    if (block == 0) {
+      std::memset(buf + done, 0, chunk);
+    } else {
+      auto r = sb->cache->ReadBlock(block);
+      if (!r.ok()) {
+        return err_of(r.error());
+      }
+      std::memcpy(buf + done, r.value()->data.data() + in_block, chunk);
+      sb->cache->Release(r.value());
+    }
+    done += chunk;
+  }
+  return static_cast<int64_t>(take);
+}
+
+int64_t lfs_write(void* sbp, void* nodep, uint64_t offset, const char* buf, uint64_t len) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  auto* node = static_cast<LegacyInode*>(nodep);
+  std::unique_lock<std::mutex> guard(sb->ops_lock);
+  if (node->IsDir()) {
+    return err_of(Errno::kEISDIR);
+  }
+  if (len == 0) {
+    return 0;
+  }
+  uint64_t end = offset + len;
+  if (end > kMaxFileBlocks * kBlockSize) {
+    return err_of(Errno::kEFBIG);
+  }
+  DiskInode di;
+  int err = read_disk_inode(sb, node->i_ino, &di);
+  if (err) {
+    return err;
+  }
+  uint64_t size_snapshot = di.size;
+  uint64_t done = 0;
+  while (done < len) {
+    uint64_t pos = offset + done;
+    uint64_t index = pos / kBlockSize;
+    uint64_t in_block = pos % kBlockSize;
+    uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, len - done);
+    uint64_t block;
+    err = map_block_for_write(sb, node->i_ino, &di, index, &block);
+    if (err) {
+      return err;  // mid-way failure: legacy makes no atomicity promise
+    }
+    auto r = sb->cache->ReadBlock(block);
+    if (!r.ok()) {
+      return err_of(r.error());
+    }
+    std::memcpy(r.value()->data.data() + in_block, buf + done, chunk);
+    sb->cache->MarkDirty(r.value());
+    sb->cache->Release(r.value());
+    done += chunk;
+  }
+  if (sb->faults.skip_size_lock) {
+    // The race: i_size is updated from a stale snapshot outside the lock.
+    // "i_size is only maybe protected by i_lock" — this path is the maybe.
+    // (The sleep widens the race window the way real I/O latency would.)
+    guard.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    guard.lock();
+    DiskInode stale;
+    if (read_disk_inode(sb, node->i_ino, &stale) == 0) {
+      stale.size = std::max(end, size_snapshot);  // ignores concurrent growth
+      write_disk_inode(sb, node->i_ino, &stale);
+      node->i_size = stale.size;
+    }
+  } else {
+    // Correct path: re-read under the lock and grow monotonically.
+    DiskInode fresh;
+    err = read_disk_inode(sb, node->i_ino, &fresh);
+    if (err) {
+      return err;
+    }
+    if (end > fresh.size) {
+      fresh.size = end;
+      write_disk_inode(sb, node->i_ino, &fresh);
+    }
+    node->i_lock.Lock();
+    node->i_size = std::max<uint64_t>(node->i_size, end);
+    node->i_lock.Unlock();
+  }
+  refresh_node(sb, node);
+  return static_cast<int64_t>(len);
+}
+
+int lfs_truncate(void* sbp, void* nodep, uint64_t size) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  auto* node = static_cast<LegacyInode*>(nodep);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  if (node->IsDir()) {
+    return err_of(Errno::kEISDIR);
+  }
+  if (size > kMaxFileBlocks * kBlockSize) {
+    return err_of(Errno::kEFBIG);
+  }
+  DiskInode di;
+  int err = read_disk_inode(sb, node->i_ino, &di);
+  if (err) {
+    return err;
+  }
+  if (size < di.size) {
+    uint64_t first_kept = (size + kBlockSize - 1) / kBlockSize;
+    if (sb->faults.truncate_underflow && size == 0) {
+      // The bug: kept = (size - 1) / kBlockSize + 1 underflows for size == 0
+      // and keeps "everything" — the blocks are never freed (space leak).
+      first_kept = UINT64_MAX;
+    }
+    if (first_kept != UINT64_MAX) {
+      free_file_blocks(sb, &di, first_kept);
+      uint64_t tail = size % kBlockSize;
+      if (tail != 0) {
+        uint64_t block;
+        if (map_block(sb, &di, size / kBlockSize, &block) == 0 && block != 0) {
+          auto r = sb->cache->ReadBlock(block);
+          if (r.ok()) {
+            std::memset(r.value()->data.data() + tail, 0, kBlockSize - tail);
+            sb->cache->MarkDirty(r.value());
+            sb->cache->Release(r.value());
+          }
+        }
+      }
+    }
+  }
+  di.size = size;
+  err = write_disk_inode(sb, node->i_ino, &di);
+  if (err) {
+    return err;
+  }
+  refresh_node(sb, node);
+  return 0;
+}
+
+int lfs_rename(void* sbp, const char* from, const char* to) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  auto nf = specpath::Normalize(from);
+  auto nt = specpath::Normalize(to);
+  if (!nf.ok()) {
+    return err_of(nf.error());
+  }
+  if (!nt.ok()) {
+    return err_of(nt.error());
+  }
+  const std::string& f = nf.value();
+  const std::string& t = nt.value();
+  if (f == "/" || t == "/") {
+    return err_of(Errno::kEBUSY);
+  }
+  uint64_t fparent, fino;
+  char fleaf[kMaxNameLen + 1];
+  int err = walk(sb, f.c_str(), &fparent, fleaf, &fino);
+  if (err) {
+    return err;
+  }
+  if (fino == kInvalidIno) {
+    if (sb->faults.errptr_missing_check) {
+      // The bug: the caller of lookup forgot IS_ERR. The error pointer is
+      // "dereferenced" as a node and its garbage i_ino becomes the rename
+      // source — a dangling dirent appears at the destination.
+      uint64_t garbage_ino = 0xdead;
+      uint64_t tparent_b, tino_b;
+      char tleaf_b[kMaxNameLen + 1];
+      if (walk(sb, t.c_str(), &tparent_b, tleaf_b, &tino_b) == 0 && tino_b == kInvalidIno) {
+        DiskInode tpdi;
+        if (read_disk_inode(sb, tparent_b, &tpdi) == 0) {
+          dir_add(sb, tparent_b, &tpdi, tleaf_b, garbage_ino);
+        }
+      }
+      return 0;  // "success" — silently wrong
+    }
+    return err_of(Errno::kENOENT);
+  }
+  if (f == t) {
+    return 0;
+  }
+  DiskInode fdi;
+  err = read_disk_inode(sb, fino, &fdi);
+  if (err) {
+    return err;
+  }
+  if (fdi.IsDir() && specpath::IsPrefix(f, t)) {
+    return err_of(Errno::kEINVAL);
+  }
+  uint64_t tparent, tino;
+  char tleaf[kMaxNameLen + 1];
+  err = walk(sb, t.c_str(), &tparent, tleaf, &tino);
+  if (err) {
+    return err;
+  }
+  if (tino != kInvalidIno) {
+    DiskInode tdi;
+    err = read_disk_inode(sb, tino, &tdi);
+    if (err) {
+      return err;
+    }
+    if (!fdi.IsDir() && tdi.IsDir()) {
+      return err_of(Errno::kEISDIR);
+    }
+    if (fdi.IsDir() && !tdi.IsDir()) {
+      return err_of(Errno::kENOTDIR);
+    }
+    if (fdi.IsDir() && tdi.IsDir()) {
+      bool empty;
+      err = dir_empty(sb, &tdi, &empty);
+      if (err) {
+        return err;
+      }
+      if (!empty) {
+        return err_of(Errno::kENOTEMPTY);
+      }
+    }
+    DiskInode tpdi;
+    err = read_disk_inode(sb, tparent, &tpdi);
+    if (err) {
+      return err;
+    }
+    err = dir_remove(sb, &tpdi, tleaf);
+    if (err) {
+      return err;
+    }
+    free_file_blocks(sb, &tdi, 0);
+    DiskInode dead;
+    write_disk_inode(sb, tino, &dead);
+    auto it = sb->nodes.find(tino);
+    if (it != sb->nodes.end()) {
+      drop_node(sb, it->second, /*unlinking=*/true);
+    }
+  }
+  DiskInode tpdi;
+  err = read_disk_inode(sb, tparent, &tpdi);
+  if (err) {
+    return err;
+  }
+  err = dir_add(sb, tparent, &tpdi, tleaf, fino);
+  if (err) {
+    return err;
+  }
+  DiskInode fpdi;
+  err = read_disk_inode(sb, fparent, &fpdi);
+  if (err) {
+    return err;
+  }
+  return dir_remove(sb, &fpdi, fleaf);
+}
+
+int lfs_getattr(void* sbp, void* nodep, uint32_t* mode_out, uint64_t* size_out) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  auto* node = static_cast<LegacyInode*>(nodep);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  DiskInode di;
+  int err = read_disk_inode(sb, node->i_ino, &di);
+  if (err) {
+    return err;
+  }
+  *mode_out = di.mode;
+  *size_out = di.size;
+  return 0;
+}
+
+int lfs_readdir(void* sbp, void* nodep, void (*emit)(void*, const char*), void* ctx) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  auto* node = static_cast<LegacyInode*>(nodep);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  DiskInode di;
+  int err = read_disk_inode(sb, node->i_ino, &di);
+  if (err) {
+    return err;
+  }
+  if (!di.IsDir()) {
+    return err_of(Errno::kENOTDIR);
+  }
+  uint64_t blocks = (di.size + kBlockSize - 1) / kBlockSize;
+  for (uint64_t index = 0; index < blocks; ++index) {
+    uint64_t block;
+    err = map_block(sb, &di, index, &block);
+    if (err) {
+      return err;
+    }
+    if (block == 0) {
+      continue;
+    }
+    auto r = sb->cache->ReadBlock(block);
+    if (!r.ok()) {
+      return err_of(r.error());
+    }
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      Dirent entry = DecodeDirent(ByteView(r.value()->data), slot);
+      if (entry.ino != kInvalidIno) {
+        emit(ctx, entry.name.c_str());
+      }
+    }
+    sb->cache->Release(r.value());
+  }
+  return 0;
+}
+
+int lfs_sync(void* sbp) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  std::lock_guard<std::mutex> guard(sb->ops_lock);
+  Status s = sb->cache->SyncAll();
+  return s.ok() ? 0 : err_of(s.code());
+}
+
+int lfs_write_begin(void* sbp, void* nodep, uint64_t offset, uint64_t len, void** fsdata) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  auto* node = static_cast<LegacyInode*>(nodep);
+  (void)offset;
+  (void)len;
+  if (sb->faults.type_confuse_write_cookie) {
+    // The bug: a different structure is handed out; write_end will
+    // reinterpret its bytes as a write_cookie.
+    auto* wrong = new confused_cookie{0xfeedfacecafef00dULL};
+    *fsdata = wrong;
+    return 0;
+  }
+  auto* cookie = new write_cookie{kCookieMagic, node->i_ino, node->i_size};
+  *fsdata = cookie;
+  return 0;
+}
+
+int lfs_write_end(void* sbp, void* nodep, uint64_t offset, uint64_t len, void* fsdata) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  auto* node = static_cast<LegacyInode*>(nodep);
+  (void)offset;
+  (void)len;
+  if (fsdata == nullptr) {
+    return 0;
+  }
+  auto* cookie = static_cast<write_cookie*>(fsdata);
+  if (cookie->magic != kCookieMagic) {
+    // Type confusion in action: the "cookie" is some other object. Real code
+    // would now operate on garbage; the simulated consequence is i_size
+    // being smashed with bytes of the wrong type.
+    std::lock_guard<std::mutex> guard(sb->ops_lock);
+    DiskInode di;
+    if (read_disk_inode(sb, node->i_ino, &di) == 0) {
+      di.size += (static_cast<confused_cookie*>(fsdata)->junk & 0x7) + 1;
+      write_disk_inode(sb, node->i_ino, &di);
+      node->i_size = di.size;
+    }
+    delete static_cast<confused_cookie*>(fsdata);
+    return 0;
+  }
+  delete cookie;
+  return 0;
+}
+
+const LegacyFsOps kLegacyOps = {
+    lfs_lookup, lfs_put_node, lfs_create,  lfs_mkdir,   lfs_unlink,      lfs_rmdir,
+    lfs_read,   lfs_write,    lfs_truncate, lfs_rename, lfs_getattr,     lfs_readdir,
+    lfs_sync,   lfs_write_begin, lfs_write_end,
+};
+
+// Adapter subclass that owns the superblock, plus a registry for fault access.
+std::map<const FileSystem*, void*>& AdapterRegistry() {
+  static auto* registry = new std::map<const FileSystem*, void*>();
+  return *registry;
+}
+
+class OwningLegacyAdapter : public LegacyAdapter {
+ public:
+  OwningLegacyAdapter(void* sb) : LegacyAdapter(legacyfs_ops(), sb, "legacyfs"), sb_(sb) {}
+  ~OwningLegacyAdapter() override {
+    AdapterRegistry().erase(this);
+    legacyfs_destroy_super(sb_);
+  }
+
+ private:
+  void* sb_;
+};
+
+}  // namespace
+
+void* legacyfs_create_super(BufferCache* cache, const FsGeometry* geo) {
+  auto* sb = new legacy_sb();
+  sb->cache = cache;
+  sb->geo = *geo;
+  // Superblock block.
+  BufferHead* bh = cache->GetBlock(kSuperblockBlock);
+  SuperblockRec rec;
+  rec.geometry = *geo;
+  bh->data.assign(kBlockSize, 0);
+  EncodeSuperblock(rec, MutableByteView(bh->data));
+  bh->Set(BhFlag::kUptodate);
+  cache->MarkDirty(bh);
+  cache->Release(bh);
+  // Empty bitmap.
+  bh = cache->GetBlock(kBitmapBlock);
+  bh->data.assign(kBlockSize, 0);
+  bh->Set(BhFlag::kUptodate);
+  cache->MarkDirty(bh);
+  cache->Release(bh);
+  // Zeroed inode table.
+  for (uint64_t tb = 0; tb < geo->inode_table_blocks; ++tb) {
+    bh = cache->GetBlock(kInodeTableStart + tb);
+    bh->data.assign(kBlockSize, 0);
+    bh->Set(BhFlag::kUptodate);
+    cache->MarkDirty(bh);
+    cache->Release(bh);
+  }
+  // Root inode.
+  DiskInode root;
+  root.mode = kModeDir;
+  root.nlink = 2;
+  write_disk_inode(sb, kRootIno, &root);
+  cache->SyncAll();
+  return sb;
+}
+
+void* legacyfs_mount_super(BufferCache* cache) {
+  auto r = cache->ReadBlock(kSuperblockBlock);
+  if (!r.ok()) {
+    return nullptr;
+  }
+  auto rec = DecodeSuperblock(ByteView(r.value()->data));
+  cache->Release(r.value());
+  if (!rec.ok()) {
+    return nullptr;
+  }
+  auto* sb = new legacy_sb();
+  sb->cache = cache;
+  sb->geo = rec.value().geometry;
+  return sb;
+}
+
+void legacyfs_destroy_super(void* sbp) {
+  auto* sb = static_cast<legacy_sb*>(sbp);
+  for (auto& [ino, node] : sb->nodes) {
+    auto* info = static_cast<legacy_ninfo*>(node->i_private);
+    if (info != nullptr) {
+      LeakDetector::Get().OnFree(info->leak_ticket);
+      delete info;
+    }
+    delete node;
+  }
+  delete sb;
+}
+
+const LegacyFsOps* legacyfs_ops() { return &kLegacyOps; }
+
+LegacyFaultConfig* legacyfs_faults(void* sbp) {
+  return &static_cast<legacy_sb*>(sbp)->faults;
+}
+
+std::shared_ptr<FileSystem> MakeLegacyFs(BufferCache& cache, const FsGeometry* geo,
+                                         bool format) {
+  void* sb = format ? legacyfs_create_super(&cache, geo) : legacyfs_mount_super(&cache);
+  if (sb == nullptr) {
+    return nullptr;
+  }
+  auto fs = std::make_shared<OwningLegacyAdapter>(sb);
+  AdapterRegistry()[fs.get()] = sb;
+  return fs;
+}
+
+LegacyFaultConfig* LegacyFaultsOf(FileSystem& fs) {
+  auto it = AdapterRegistry().find(&fs);
+  SKERN_CHECK_MSG(it != AdapterRegistry().end(), "not a legacyfs adapter");
+  return legacyfs_faults(it->second);
+}
+
+}  // namespace skern

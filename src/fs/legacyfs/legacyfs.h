@@ -1,0 +1,86 @@
+// legacyfs: the C-idiom baseline file system (step 0 of the roadmap).
+//
+// Deliberately written the way the paper describes Linux fs code:
+//   * its native interface is the void*-based LegacyFsOps table;
+//   * lookups return node pointers or ERR_PTR-encoded errnos;
+//   * fs-private per-node data hangs off LegacyInode::i_private as a void*;
+//   * write_begin/write_end pass a cookie through a void** (the §4.2 case);
+//   * the i_size locking rule exists only as a comment;
+//   * disk access goes through the buffer cache with manual flag management;
+//   * no journal — a crash leaves whatever subset of writes happened to be
+//     flushed (the E13 contrast with safefs).
+//
+// The implementation style inside legacyfs.cc intentionally mirrors kernel C
+// (snake_case statics, out-params, int errnos) rather than this repository's
+// C++ style — it is the "before" exhibit.
+//
+// LegacyFaultConfig injects the §2 bug classes. Each fault is *memory-safe
+// for the host process* (consequences are simulated as the data corruption
+// the real bug would cause) but corrupts file-system state exactly the way
+// the real bug class would — which is what the detection experiment (E11)
+// measures.
+#ifndef SKERN_SRC_FS_LEGACYFS_LEGACYFS_H_
+#define SKERN_SRC_FS_LEGACYFS_LEGACYFS_H_
+
+#include <memory>
+
+#include "src/block/buffer_cache.h"
+#include "src/fs/layout.h"
+#include "src/vfs/legacy_ops.h"
+
+namespace skern {
+
+struct LegacyFaultConfig {
+  // CWE-843 type confusion: write_end misinterprets the write_begin cookie
+  // and smashes i_size with bytes from the wrong type.
+  bool type_confuse_write_cookie = false;
+  // CWE-476-adjacent: an internal caller omits the IS_ERR check on a lookup
+  // result and "dereferences" the error pointer (consequence simulated as
+  // garbage data reaching the caller).
+  bool errptr_missing_check = false;
+  // CWE-362 data race: i_size is updated outside i_lock in a read-yield-write
+  // window, losing concurrent updates.
+  bool skip_size_lock = false;
+  // CWE-401 memory leak: unlink forgets to free the node's private info.
+  bool leak_node_on_unlink = false;
+  // CWE-415 double free: truncate frees a block twice; the second free
+  // corrupts the neighbouring allocation bit.
+  bool double_free_block = false;
+  // CWE-416 use after free: reads a freed node-info (consequence simulated
+  // as a poisoned block pointer leaking stale data).
+  bool use_after_free_node = false;
+  // CWE-787 out-of-bounds write: dirent name copy runs one byte past the
+  // field, clobbering the adjacent entry inside the directory block.
+  bool dirent_off_by_one = false;
+  // CWE-190/191 integer underflow: truncate-to-zero computes the kept block
+  // count as (0 - 1)/N + 1 and frees nothing (space leak).
+  bool truncate_underflow = false;
+};
+
+// mkfs: formats the device behind `cache` and returns an opaque superblock
+// handle (this *is* the legacy idiom; see MakeLegacyFs for the safe wrapper).
+void* legacyfs_create_super(BufferCache* cache, const FsGeometry* geo);
+
+// mount: reads an existing image. Returns superblock handle or nullptr.
+void* legacyfs_mount_super(BufferCache* cache);
+
+void legacyfs_destroy_super(void* sb);
+
+// The native ops table.
+const LegacyFsOps* legacyfs_ops();
+
+// Fault-injection access.
+LegacyFaultConfig* legacyfs_faults(void* sb);
+
+// Convenience factory: formats (or mounts, if `format` is false) and wraps
+// the result in a LegacyAdapter so it plugs into the modular interface. The
+// returned FileSystem owns the superblock.
+std::shared_ptr<FileSystem> MakeLegacyFs(BufferCache& cache, const FsGeometry* geo,
+                                         bool format);
+
+// Direct access to the fault config through an adapter-wrapped instance.
+LegacyFaultConfig* LegacyFaultsOf(FileSystem& fs);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_FS_LEGACYFS_LEGACYFS_H_

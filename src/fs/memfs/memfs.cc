@@ -1,0 +1,5 @@
+#include "src/fs/memfs/memfs.h"
+
+// MemFs is header-only logic over FsModel; this translation unit anchors the
+// vtable so the type lands in the skern_fs library.
+namespace skern {}

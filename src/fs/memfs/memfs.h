@@ -1,0 +1,70 @@
+// memfs: the executable specification *as* an implementation.
+//
+// §4.4 says a file system "can be modeled as a map from path strings to file
+// content bytes". memfs interprets that model directly as a (volatile)
+// FileSystem — tmpfs for skern. It has three jobs:
+//   * the third drop-in implementation behind the step-1 interface (after
+//     legacyfs and safefs), proving the slot's point;
+//   * the reference in differential tests: legacyfs, safefs and memfs must
+//     agree operation-for-operation because all three refine the same model;
+//   * a demonstration that the specification is cheap to execute — the
+//     "abstract ... doesn't imply that the implementation is expensive"
+//     argument, run in reverse.
+//
+// Durability: memfs is memory-only. Sync succeeds (there is nothing to make
+// durable) and a "crash" simply destroys it, like tmpfs.
+#ifndef SKERN_SRC_FS_MEMFS_MEMFS_H_
+#define SKERN_SRC_FS_MEMFS_MEMFS_H_
+
+#include "src/spec/fs_model.h"
+#include "src/vfs/filesystem.h"
+
+namespace skern {
+
+class MemFs : public FileSystem {
+ public:
+  MemFs() = default;
+
+  Status Create(const std::string& path) override { return model_.Create(path); }
+  Status Mkdir(const std::string& path) override { return model_.Mkdir(path); }
+  Status Unlink(const std::string& path) override { return model_.Unlink(path); }
+  Status Rmdir(const std::string& path) override { return model_.Rmdir(path); }
+  Status Write(const std::string& path, uint64_t offset, ByteView data) override {
+    return model_.Write(path, offset, data);
+  }
+  Result<Bytes> Read(const std::string& path, uint64_t offset, uint64_t length) override {
+    return model_.Read(path, offset, length);
+  }
+  Status Truncate(const std::string& path, uint64_t new_size) override {
+    return model_.Truncate(path, new_size);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return model_.Rename(from, to);
+  }
+  Result<FileAttr> Stat(const std::string& path) override {
+    SKERN_ASSIGN_OR_RETURN(ModelAttr attr, model_.Stat(path));
+    return FileAttr{attr.is_dir, attr.size};
+  }
+  Result<std::vector<std::string>> Readdir(const std::string& path) override {
+    return model_.Readdir(path);
+  }
+  Status Sync() override {
+    model_.Sync();
+    return Status::Ok();
+  }
+  Status Fsync(const std::string& path) override {
+    (void)path;
+    model_.Sync();
+    return Status::Ok();
+  }
+  std::string Name() const override { return "memfs"; }
+
+  const FsModel& model() const { return model_; }
+
+ private:
+  FsModel model_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_FS_MEMFS_MEMFS_H_

@@ -1,0 +1,143 @@
+#include "src/fs/procfs/procfs.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/core/landscape.h"
+#include "src/core/module.h"
+#include "src/core/shim.h"
+#include "src/ownership/ownership.h"
+#include "src/spec/fs_model.h"
+#include "src/spec/refinement.h"
+#include "src/sync/lock_registry.h"
+
+namespace skern {
+namespace {
+
+std::string ModulesText() {
+  std::ostringstream os;
+  for (const auto& info : ModuleRegistry::Get().All()) {
+    os << info.name << " " << info.interface << " " << SafetyLevelName(info.level) << " "
+       << info.lines_of_code << "\n";
+  }
+  return os.str();
+}
+
+std::string OwnershipText() {
+  std::ostringstream os;
+  auto& stats = OwnershipStats::Get();
+  for (int v = 0; v < static_cast<int>(OwnershipViolation::kCount); ++v) {
+    auto violation = static_cast<OwnershipViolation>(v);
+    os << OwnershipViolationName(violation) << " " << stats.Count(violation) << "\n";
+  }
+  os << "total " << stats.Total() << "\n";
+  return os.str();
+}
+
+std::string RefinementText() {
+  std::ostringstream os;
+  os << "checks " << RefinementStats::Get().checks() << "\n";
+  os << "mismatches " << RefinementStats::Get().mismatch_count() << "\n";
+  for (const auto& mismatch : RefinementStats::Get().Mismatches()) {
+    os << "  " << mismatch.operation << ": expected " << mismatch.expected << ", got "
+       << mismatch.actual << "\n";
+  }
+  return os.str();
+}
+
+std::string ShimsText() {
+  std::ostringstream os;
+  os << "validations " << ShimStats::Get().validations() << "\n";
+  os << "violations " << ShimStats::Get().violation_count() << "\n";
+  for (const auto& violation : ShimStats::Get().Violations()) {
+    os << "  " << violation.shim << ": " << violation.axiom << "\n";
+  }
+  return os.str();
+}
+
+std::string LocksText() {
+  std::ostringstream os;
+  os << "order-violations " << LockRegistry::Get().violation_count() << "\n";
+  for (const auto& violation : LockRegistry::Get().Violations()) {
+    os << "  " << violation.held_name << " -> " << violation.acquired_name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+ProcFs::ProcFs() {
+  AddEntry("modules", ModulesText);
+  AddEntry("ownership", OwnershipText);
+  AddEntry("refinement", RefinementText);
+  AddEntry("shims", ShimsText);
+  AddEntry("locks", LocksText);
+  AddEntry("landscape", [] { return RenderLandscapeTable(); });
+}
+
+void ProcFs::AddEntry(const std::string& name, std::function<std::string()> generator) {
+  entries_[name] = std::move(generator);
+}
+
+const std::function<std::string()>* ProcFs::Find(const std::string& path,
+                                                 std::string* normalized_out) const {
+  auto norm = specpath::Normalize(path);
+  if (!norm.ok()) {
+    return nullptr;
+  }
+  *normalized_out = norm.value();
+  if (norm.value() == "/") {
+    return nullptr;
+  }
+  auto it = entries_.find(norm.value().substr(1));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Result<Bytes> ProcFs::Read(const std::string& path, uint64_t offset, uint64_t length) {
+  std::string normalized;
+  const auto* generator = Find(path, &normalized);
+  if (generator == nullptr) {
+    if (normalized == "/") {
+      return Errno::kEISDIR;
+    }
+    return normalized.empty() ? Errno::kEINVAL : Errno::kENOENT;
+  }
+  std::string text = (*generator)();
+  if (offset >= text.size()) {
+    return Bytes{};
+  }
+  uint64_t take = std::min<uint64_t>(length, text.size() - offset);
+  return Bytes(text.begin() + offset, text.begin() + offset + take);
+}
+
+Result<FileAttr> ProcFs::Stat(const std::string& path) {
+  std::string normalized;
+  const auto* generator = Find(path, &normalized);
+  if (generator == nullptr) {
+    if (normalized == "/") {
+      return FileAttr{true, 0};
+    }
+    return normalized.empty() ? Errno::kEINVAL : Errno::kENOENT;
+  }
+  return FileAttr{false, (*generator)().size()};
+}
+
+Result<std::vector<std::string>> ProcFs::Readdir(const std::string& path) {
+  std::string normalized;
+  const auto* generator = Find(path, &normalized);
+  if (generator != nullptr) {
+    return Errno::kENOTDIR;
+  }
+  if (normalized != "/") {
+    return normalized.empty() ? Errno::kEINVAL : Errno::kENOENT;
+  }
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, gen] : entries_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace skern

@@ -1,0 +1,63 @@
+// procfs: a synthetic, read-only file system exposing the safety framework's
+// live state — the /proc idiom applied to the incremental-safety machinery.
+//
+//   /modules     the module registry: name, interface, rung, LoC
+//   /ownership   ownership-violation counters by kind
+//   /refinement  refinement checks and mismatches
+//   /shims       axiomatic-shim validations and violations
+//   /locks       lock-order violations recorded by the registry
+//   /landscape   the Figure 1 table
+//
+// Files are generated on every read, so `cat /proc/ownership` always shows
+// current counters. Also the fourth drop-in FileSystem implementation, and
+// the read-only error-path exerciser (every mutation returns kEROFS).
+#ifndef SKERN_SRC_FS_PROCFS_PROCFS_H_
+#define SKERN_SRC_FS_PROCFS_PROCFS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/vfs/filesystem.h"
+
+namespace skern {
+
+class ProcFs : public FileSystem {
+ public:
+  // Registers the built-in entries listed above.
+  ProcFs();
+
+  // Adds (or replaces) a synthetic file; the generator runs per read.
+  void AddEntry(const std::string& name, std::function<std::string()> generator);
+
+  Status Create(const std::string& path) override { return ReadOnly(path); }
+  Status Mkdir(const std::string& path) override { return ReadOnly(path); }
+  Status Unlink(const std::string& path) override { return ReadOnly(path); }
+  Status Rmdir(const std::string& path) override { return ReadOnly(path); }
+  Status Write(const std::string& path, uint64_t, ByteView) override {
+    return ReadOnly(path);
+  }
+  Status Truncate(const std::string& path, uint64_t) override { return ReadOnly(path); }
+  Status Rename(const std::string& from, const std::string&) override {
+    return ReadOnly(from);
+  }
+  Status Sync() override { return Status::Ok(); }
+  Status Fsync(const std::string&) override { return Status::Ok(); }
+
+  Result<Bytes> Read(const std::string& path, uint64_t offset, uint64_t length) override;
+  Result<FileAttr> Stat(const std::string& path) override;
+  Result<std::vector<std::string>> Readdir(const std::string& path) override;
+  std::string Name() const override { return "procfs"; }
+
+ private:
+  static Status ReadOnly(const std::string&) { return Status::Error(Errno::kEROFS); }
+  // Resolves a normalized "/name" to its generator, or null.
+  const std::function<std::string()>* Find(const std::string& path,
+                                           std::string* normalized_out) const;
+
+  std::map<std::string, std::function<std::string()>> entries_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_FS_PROCFS_PROCFS_H_

@@ -1,0 +1,813 @@
+#include "src/fs/safefs/safefs.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+#include "src/spec/fs_model.h"
+
+namespace skern {
+namespace {
+
+// Splits a normalized absolute path into components ("/a/b" -> {"a","b"}).
+std::vector<std::string> Components(const std::string& normalized) {
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i < normalized.size()) {
+    size_t next = normalized.find('/', i);
+    if (next == std::string::npos) {
+      next = normalized.size();
+    }
+    parts.push_back(normalized.substr(i, next - i));
+    i = next + 1;
+  }
+  return parts;
+}
+
+uint64_t BlocksForSize(uint64_t size) { return (size + kBlockSize - 1) / kBlockSize; }
+
+}  // namespace
+
+SafeFs::SafeFs(BlockDevice& device, const FsGeometry& geometry)
+    : device_(device),
+      geo_(geometry),
+      journal_(device, geometry.journal_start, geometry.journal_blocks),
+      bitmap_(kBlockSize, 0) {}
+
+Result<std::shared_ptr<SafeFs>> SafeFs::Format(BlockDevice& device, uint64_t inode_count,
+                                               uint64_t journal_blocks) {
+  if (journal_blocks < 4) {
+    return Errno::kEINVAL;
+  }
+  FsGeometry geo = MakeGeometry(device.BlockCount(), inode_count, journal_blocks);
+  auto fs = std::shared_ptr<SafeFs>(new SafeFs(device, geo));
+  SKERN_RETURN_IF_ERROR(fs->journal_.Format());
+
+  // Superblock is written once at format time, outside the journal.
+  Bytes sb_block(kBlockSize, 0);
+  SuperblockRec sb;
+  sb.geometry = geo;
+  EncodeSuperblock(sb, MutableByteView(sb_block));
+  SKERN_RETURN_IF_ERROR(device.WriteBlock(kSuperblockBlock, ByteView(sb_block)));
+  SKERN_RETURN_IF_ERROR(device.Flush());
+
+  // Root directory.
+  DiskInode root;
+  root.mode = kModeDir;
+  root.nlink = 2;
+  fs->inodes_[kRootIno] = root;
+  fs->dirty_inos_.insert(kRootIno);
+  fs->bitmap_dirty_ = true;
+  {
+    MutexGuard guard(fs->mutex_);
+    SKERN_RETURN_IF_ERROR(fs->SyncLocked());
+  }
+  return fs;
+}
+
+Result<std::shared_ptr<SafeFs>> SafeFs::Mount(BlockDevice& device) {
+  Bytes sb_block(kBlockSize, 0);
+  SKERN_RETURN_IF_ERROR(device.ReadBlock(kSuperblockBlock, MutableByteView(sb_block)));
+  SKERN_ASSIGN_OR_RETURN(SuperblockRec sb, DecodeSuperblock(ByteView(sb_block)));
+  if (sb.geometry.journal_blocks < 4 ||
+      sb.geometry.journal_start + sb.geometry.journal_blocks > device.BlockCount()) {
+    return Errno::kEINVAL;  // not a safefs image
+  }
+  auto fs = std::shared_ptr<SafeFs>(new SafeFs(device, sb.geometry));
+
+  // Crash recovery precedes any metadata read.
+  SKERN_RETURN_IF_ERROR(fs->journal_.Recover());
+
+  SKERN_RETURN_IF_ERROR(device.ReadBlock(kBitmapBlock, MutableByteView(fs->bitmap_)));
+  for (uint64_t tb = 0; tb < sb.geometry.inode_table_blocks; ++tb) {
+    Bytes block(kBlockSize, 0);
+    SKERN_RETURN_IF_ERROR(device.ReadBlock(kInodeTableStart + tb, MutableByteView(block)));
+    for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+      uint64_t ino = tb * kInodesPerBlock + slot + 1;
+      if (ino > sb.geometry.inode_count) {
+        break;
+      }
+      DiskInode inode = DecodeInode(ByteView(block), slot);
+      if (inode.InUse()) {
+        fs->inodes_[ino] = inode;
+      }
+    }
+  }
+  return fs;
+}
+
+// --- block staging ---
+
+Result<Bytes> SafeFs::LoadBlock(uint64_t block) const {
+  auto it = staged_.find(block);
+  if (it != staged_.end()) {
+    auto lend = it->second.LendShared();  // model 3: concurrent readers, no copy of rights
+    return lend.Get();
+  }
+  Bytes content(kBlockSize, 0);
+  SKERN_RETURN_IF_ERROR(device_.ReadBlock(block, MutableByteView(content)));
+  return content;
+}
+
+Result<Owned<Bytes>*> SafeFs::StageBlock(uint64_t block, bool zero_fill) {
+  auto it = staged_.find(block);
+  if (it != staged_.end()) {
+    return &it->second;
+  }
+  Bytes content(kBlockSize, 0);
+  if (!zero_fill) {
+    SKERN_RETURN_IF_ERROR(device_.ReadBlock(block, MutableByteView(content)));
+  }
+  auto [inserted, ok] = staged_.emplace(block, Owned<Bytes>(std::move(content)));
+  SKERN_CHECK(ok);
+  return &inserted->second;
+}
+
+void SafeFs::DropStaged(uint64_t block) { staged_.erase(block); }
+
+// --- allocator ---
+
+Result<uint64_t> SafeFs::AllocDataBlock() {
+  uint64_t start = alloc_policy_ == AllocPolicy::kNextFit ? alloc_hint_ : 0;
+  for (uint64_t probe = 0; probe < geo_.data_blocks; ++probe) {
+    uint64_t i = (start + probe) % geo_.data_blocks;
+    uint8_t& byte = bitmap_[i / 8];
+    uint8_t mask = static_cast<uint8_t>(1u << (i % 8));
+    if ((byte & mask) == 0) {
+      byte |= mask;
+      bitmap_dirty_ = true;
+      ++stats_.blocks_allocated;
+      alloc_hint_ = (i + 1) % geo_.data_blocks;
+      return geo_.data_start + i;
+    }
+  }
+  return Errno::kENOSPC;
+}
+
+void SafeFs::FreeDataBlock(uint64_t block) {
+  SKERN_CHECK(block >= geo_.data_start && block < geo_.data_start + geo_.data_blocks);
+  uint64_t i = block - geo_.data_start;
+  bitmap_[i / 8] &= static_cast<uint8_t>(~(1u << (i % 8)));
+  bitmap_dirty_ = true;
+  ++stats_.blocks_freed;
+  DropStaged(block);
+}
+
+uint64_t SafeFs::FreeDataBlocks() const {
+  MutexGuard guard(mutex_);
+  uint64_t free = 0;
+  for (uint64_t i = 0; i < geo_.data_blocks; ++i) {
+    if ((bitmap_[i / 8] & (1u << (i % 8))) == 0) {
+      ++free;
+    }
+  }
+  return free;
+}
+
+// --- inodes ---
+
+Result<uint64_t> SafeFs::AllocInode(uint32_t mode) {
+  for (uint64_t probe = 0; probe < geo_.inode_count; ++probe) {
+    uint64_t ino = (next_ino_hint_ + probe - 1) % geo_.inode_count + 1;
+    if (inodes_.count(ino) == 0) {
+      DiskInode inode;
+      inode.mode = mode;
+      inode.nlink = (mode & kModeDir) != 0 ? 2 : 1;
+      inodes_[ino] = inode;
+      dirty_inos_.insert(ino);
+      cleared_inos_.erase(ino);
+      next_ino_hint_ = ino + 1;
+      return ino;
+    }
+  }
+  return Errno::kENOSPC;
+}
+
+DiskInode& SafeFs::InodeRef(uint64_t ino) {
+  auto it = inodes_.find(ino);
+  SKERN_CHECK_MSG(it != inodes_.end(), "InodeRef on free inode");
+  return it->second;
+}
+
+void SafeFs::MarkInodeDirty(uint64_t ino) { dirty_inos_.insert(ino); }
+
+void SafeFs::FreeInode(uint64_t ino) {
+  inodes_.erase(ino);
+  dirty_inos_.erase(ino);
+  cleared_inos_.insert(ino);
+}
+
+// --- file block mapping ---
+
+Result<uint64_t> SafeFs::MapBlock(const DiskInode& inode, uint64_t index) const {
+  if (index < kDirectBlocks) {
+    return inode.direct[index];
+  }
+  uint64_t ii = index - kDirectBlocks;
+  if (ii >= kPointersPerBlock) {
+    return Errno::kEFBIG;
+  }
+  if (inode.indirect == 0) {
+    return static_cast<uint64_t>(0);
+  }
+  SKERN_ASSIGN_OR_RETURN(Bytes ind, LoadBlock(inode.indirect));
+  return LayoutGetU64(ByteView(ind), ii * 8);
+}
+
+Result<uint64_t> SafeFs::MapBlockForWrite(uint64_t ino, uint64_t index) {
+  DiskInode& inode = InodeRef(ino);
+  if (index < kDirectBlocks) {
+    if (inode.direct[index] == 0) {
+      SKERN_ASSIGN_OR_RETURN(uint64_t block, AllocDataBlock());
+      SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, /*zero_fill=*/true));
+      (void)cell;
+      inode.direct[index] = block;
+      MarkInodeDirty(ino);
+    }
+    return inode.direct[index];
+  }
+  uint64_t ii = index - kDirectBlocks;
+  if (ii >= kPointersPerBlock) {
+    return Errno::kEFBIG;
+  }
+  if (inode.indirect == 0) {
+    SKERN_ASSIGN_OR_RETURN(uint64_t iblock, AllocDataBlock());
+    SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(iblock, /*zero_fill=*/true));
+    (void)cell;
+    inode.indirect = iblock;
+    MarkInodeDirty(ino);
+  }
+  SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * ind_cell, StageBlock(inode.indirect, false));
+  uint64_t mapped;
+  {
+    auto lend = ind_cell->LendShared();
+    mapped = LayoutGetU64(ByteView(lend.Get()), ii * 8);
+  }
+  if (mapped == 0) {
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, AllocDataBlock());
+    SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * dcell, StageBlock(block, /*zero_fill=*/true));
+    (void)dcell;
+    // Model 2: exclusive mutate rights on the indirect block for the update.
+    auto lend = ind_cell->LendExclusive();
+    LayoutPutU64(MutableByteView(lend.Get()), ii * 8, block);
+    mapped = block;
+  }
+  return mapped;
+}
+
+Status SafeFs::FreeBlocksFrom(uint64_t ino, uint64_t first_kept) {
+  DiskInode& inode = InodeRef(ino);
+  uint64_t old_blocks = BlocksForSize(inode.size);
+  for (uint64_t index = first_kept; index < old_blocks; ++index) {
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(inode, index));
+    if (block == 0) {
+      continue;  // hole
+    }
+    FreeDataBlock(block);
+    if (index < kDirectBlocks) {
+      inode.direct[index] = 0;
+    } else if (inode.indirect != 0) {
+      SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * ind_cell, StageBlock(inode.indirect, false));
+      auto lend = ind_cell->LendExclusive();
+      LayoutPutU64(MutableByteView(lend.Get()), (index - kDirectBlocks) * 8, 0);
+    }
+  }
+  if (first_kept <= kDirectBlocks && inode.indirect != 0 && old_blocks > kDirectBlocks) {
+    FreeDataBlock(inode.indirect);
+    inode.indirect = 0;
+  }
+  MarkInodeDirty(ino);
+  return Status::Ok();
+}
+
+// --- directories ---
+
+Result<SafeFs::WalkResult> SafeFs::Walk(const std::string& normalized) const {
+  WalkResult result;
+  if (normalized == "/") {
+    result.ino = kRootIno;
+    return result;
+  }
+  std::vector<std::string> parts = Components(normalized);
+  uint64_t cur = kRootIno;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    const DiskInode& node = inodes_.at(cur);
+    if (!node.IsDir()) {
+      return Errno::kENOTDIR;
+    }
+    SKERN_ASSIGN_OR_RETURN(uint64_t child, DirLookup(cur, parts[i]));
+    if (child == kInvalidIno) {
+      return Errno::kENOENT;
+    }
+    cur = child;
+  }
+  const DiskInode& parent = inodes_.at(cur);
+  if (!parent.IsDir()) {
+    return Errno::kENOTDIR;
+  }
+  result.parent_ino = cur;
+  result.leaf = parts.back();
+  SKERN_ASSIGN_OR_RETURN(result.ino, DirLookup(cur, result.leaf));
+  return result;
+}
+
+Result<uint64_t> SafeFs::DirLookup(uint64_t dir_ino, const std::string& name) const {
+  const DiskInode& dir = inodes_.at(dir_ino);
+  uint64_t blocks = BlocksForSize(dir.size);
+  for (uint64_t index = 0; index < blocks; ++index) {
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(dir, index));
+    if (block == 0) {
+      continue;
+    }
+    SKERN_ASSIGN_OR_RETURN(Bytes content, LoadBlock(block));
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      Dirent entry = DecodeDirent(ByteView(content), slot);
+      if (entry.ino != kInvalidIno && entry.name == name) {
+        return entry.ino;
+      }
+    }
+  }
+  return kInvalidIno;
+}
+
+Status SafeFs::DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t ino) {
+  if (name.size() > kMaxNameLen) {
+    return Status::Error(Errno::kENAMETOOLONG);
+  }
+  DiskInode& dir = InodeRef(dir_ino);
+  uint64_t blocks = BlocksForSize(dir.size);
+  // First free slot wins.
+  for (uint64_t index = 0; index < blocks; ++index) {
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(dir, index));
+    if (block == 0) {
+      continue;
+    }
+    SKERN_ASSIGN_OR_RETURN(Bytes content, LoadBlock(block));
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      if (DecodeDirent(ByteView(content), slot).ino == kInvalidIno) {
+        SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
+        auto lend = cell->LendExclusive();
+        EncodeDirent(Dirent{ino, name}, MutableByteView(lend.Get()), slot);
+        return Status::Ok();
+      }
+    }
+  }
+  // Extend the directory by one block.
+  SKERN_ASSIGN_OR_RETURN(uint64_t abs, MapBlockForWrite(dir_ino, blocks));
+  SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(abs, false));
+  {
+    auto lend = cell->LendExclusive();
+    EncodeDirent(Dirent{ino, name}, MutableByteView(lend.Get()), 0);
+  }
+  dir.size = (blocks + 1) * kBlockSize;
+  MarkInodeDirty(dir_ino);
+  return Status::Ok();
+}
+
+Status SafeFs::DirRemoveEntry(uint64_t dir_ino, const std::string& name) {
+  const DiskInode& dir = inodes_.at(dir_ino);
+  uint64_t blocks = BlocksForSize(dir.size);
+  for (uint64_t index = 0; index < blocks; ++index) {
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(dir, index));
+    if (block == 0) {
+      continue;
+    }
+    SKERN_ASSIGN_OR_RETURN(Bytes content, LoadBlock(block));
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      Dirent entry = DecodeDirent(ByteView(content), slot);
+      if (entry.ino != kInvalidIno && entry.name == name) {
+        SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
+        auto lend = cell->LendExclusive();
+        EncodeDirent(Dirent{kInvalidIno, ""}, MutableByteView(lend.Get()), slot);
+        return Status::Ok();
+      }
+    }
+  }
+  return Status::Error(Errno::kENOENT);
+}
+
+Result<std::vector<Dirent>> SafeFs::DirEntries(uint64_t dir_ino) const {
+  const DiskInode& dir = inodes_.at(dir_ino);
+  std::vector<Dirent> entries;
+  uint64_t blocks = BlocksForSize(dir.size);
+  for (uint64_t index = 0; index < blocks; ++index) {
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(dir, index));
+    if (block == 0) {
+      continue;
+    }
+    SKERN_ASSIGN_OR_RETURN(Bytes content, LoadBlock(block));
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      Dirent entry = DecodeDirent(ByteView(content), slot);
+      if (entry.ino != kInvalidIno) {
+        entries.push_back(std::move(entry));
+      }
+    }
+  }
+  return entries;
+}
+
+Result<bool> SafeFs::DirIsEmpty(uint64_t dir_ino) const {
+  SKERN_ASSIGN_OR_RETURN(std::vector<Dirent> entries, DirEntries(dir_ino));
+  return entries.empty();
+}
+
+// --- FileSystem operations ---
+
+Status SafeFs::Create(const std::string& path) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  if (p == "/") {
+    return Status::Error(Errno::kEEXIST);
+  }
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (w.ino != kInvalidIno) {
+    return Status::Error(Errno::kEEXIST);
+  }
+  SKERN_ASSIGN_OR_RETURN(uint64_t ino, AllocInode(kModeReg));
+  Status s = DirAddEntry(w.parent_ino, w.leaf, ino);
+  if (!s.ok()) {
+    FreeInode(ino);
+    return s;
+  }
+  return Status::Ok();
+}
+
+Status SafeFs::Mkdir(const std::string& path) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  if (p == "/") {
+    return Status::Error(Errno::kEEXIST);
+  }
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (w.ino != kInvalidIno) {
+    return Status::Error(Errno::kEEXIST);
+  }
+  SKERN_ASSIGN_OR_RETURN(uint64_t ino, AllocInode(kModeDir));
+  Status s = DirAddEntry(w.parent_ino, w.leaf, ino);
+  if (!s.ok()) {
+    FreeInode(ino);
+    return s;
+  }
+  InodeRef(w.parent_ino).nlink += 1;
+  MarkInodeDirty(w.parent_ino);
+  return Status::Ok();
+}
+
+Status SafeFs::Unlink(const std::string& path) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  if (p == "/") {
+    return Status::Error(Errno::kEISDIR);
+  }
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (w.ino == kInvalidIno) {
+    return Status::Error(Errno::kENOENT);
+  }
+  if (inodes_.at(w.ino).IsDir()) {
+    return Status::Error(Errno::kEISDIR);
+  }
+  SKERN_RETURN_IF_ERROR(DirRemoveEntry(w.parent_ino, w.leaf));
+  SKERN_RETURN_IF_ERROR(FreeBlocksFrom(w.ino, 0));
+  FreeInode(w.ino);
+  return Status::Ok();
+}
+
+Status SafeFs::Rmdir(const std::string& path) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  if (p == "/") {
+    return Status::Error(Errno::kEBUSY);
+  }
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (w.ino == kInvalidIno) {
+    return Status::Error(Errno::kENOENT);
+  }
+  if (!inodes_.at(w.ino).IsDir()) {
+    return Status::Error(Errno::kENOTDIR);
+  }
+  SKERN_ASSIGN_OR_RETURN(bool empty, DirIsEmpty(w.ino));
+  if (!empty) {
+    return Status::Error(Errno::kENOTEMPTY);
+  }
+  SKERN_RETURN_IF_ERROR(DirRemoveEntry(w.parent_ino, w.leaf));
+  SKERN_RETURN_IF_ERROR(FreeBlocksFrom(w.ino, 0));
+  FreeInode(w.ino);
+  InodeRef(w.parent_ino).nlink -= 1;
+  MarkInodeDirty(w.parent_ino);
+  return Status::Ok();
+}
+
+Status SafeFs::Write(const std::string& path, uint64_t offset, ByteView data) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  return WriteLocked(path, offset, data);
+}
+
+Status SafeFs::WriteLocked(const std::string& path, uint64_t offset, ByteView data) {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (p == "/" || (w.ino != kInvalidIno && inodes_.at(w.ino).IsDir())) {
+    return Status::Error(Errno::kEISDIR);
+  }
+  if (w.ino == kInvalidIno) {
+    return Status::Error(Errno::kENOENT);
+  }
+  uint64_t length = data.size();
+  if (fault_ == SafeFsSemanticFault::kWriteIgnoresTailByte && length > 0) {
+    length -= 1;  // a functional bug: silently drops the last byte
+  }
+  if (length == 0) {
+    // Even a zero-length write must not move size (matches the model).
+    return Status::Ok();
+  }
+  uint64_t end = offset + length;
+  if (end > kMaxFileBlocks * kBlockSize) {
+    return Status::Error(Errno::kEFBIG);
+  }
+  // Pre-flight the allocation so a failed write changes nothing.
+  {
+    const DiskInode& inode = inodes_.at(w.ino);
+    uint64_t first = offset / kBlockSize;
+    uint64_t last = (end - 1) / kBlockSize;
+    uint64_t needed = 0;
+    bool need_indirect = inode.indirect == 0 && last >= kDirectBlocks;
+    for (uint64_t index = first; index <= last; ++index) {
+      SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(inode, index));
+      if (block == 0) {
+        ++needed;
+      }
+    }
+    if (need_indirect) {
+      ++needed;
+    }
+    uint64_t free = 0;
+    for (uint64_t i = 0; i < geo_.data_blocks && free < needed; ++i) {
+      if ((bitmap_[i / 8] & (1u << (i % 8))) == 0) {
+        ++free;
+      }
+    }
+    if (free < needed) {
+      return Status::Error(Errno::kENOSPC);
+    }
+  }
+  uint64_t written = 0;
+  while (written < length) {
+    uint64_t pos = offset + written;
+    uint64_t index = pos / kBlockSize;
+    uint64_t in_block = pos % kBlockSize;
+    uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, length - written);
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlockForWrite(w.ino, index));
+    SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
+    {
+      // Model 2: exclusive rights for the mutation, returned at scope exit.
+      auto lend = cell->LendExclusive();
+      std::copy(data.data() + written, data.data() + written + chunk,
+                lend.Get().begin() + in_block);
+    }
+    written += chunk;
+  }
+  DiskInode& inode = InodeRef(w.ino);
+  if (end > inode.size) {
+    inode.size = end;
+    MarkInodeDirty(w.ino);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> SafeFs::Read(const std::string& path, uint64_t offset, uint64_t length) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  return ReadLocked(path, offset, length);
+}
+
+Result<Bytes> SafeFs::ReadLocked(const std::string& path, uint64_t offset,
+                                 uint64_t length) const {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (p == "/" || (w.ino != kInvalidIno && inodes_.at(w.ino).IsDir())) {
+    return Errno::kEISDIR;
+  }
+  if (w.ino == kInvalidIno) {
+    return Errno::kENOENT;
+  }
+  const DiskInode& inode = inodes_.at(w.ino);
+  if (offset >= inode.size) {
+    return Bytes{};
+  }
+  uint64_t take = std::min(length, inode.size - offset);
+  Bytes out(take, 0);
+  uint64_t done = 0;
+  while (done < take) {
+    uint64_t pos = offset + done;
+    uint64_t index = pos / kBlockSize;
+    uint64_t in_block = pos % kBlockSize;
+    uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, take - done);
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(inode, index));
+    if (block != 0) {
+      SKERN_ASSIGN_OR_RETURN(Bytes content, LoadBlock(block));
+      std::copy(content.begin() + in_block, content.begin() + in_block + chunk,
+                out.begin() + done);
+    }
+    done += chunk;  // holes stay zero
+  }
+  return out;
+}
+
+Status SafeFs::Truncate(const std::string& path, uint64_t new_size) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (p == "/" || (w.ino != kInvalidIno && inodes_.at(w.ino).IsDir())) {
+    return Status::Error(Errno::kEISDIR);
+  }
+  if (w.ino == kInvalidIno) {
+    return Status::Error(Errno::kENOENT);
+  }
+  return TruncateInode(w.ino, new_size);
+}
+
+Status SafeFs::TruncateInode(uint64_t ino, uint64_t new_size) {
+  if (new_size > kMaxFileBlocks * kBlockSize) {
+    return Status::Error(Errno::kEFBIG);
+  }
+  DiskInode& inode = InodeRef(ino);
+  if (new_size < inode.size) {
+    SKERN_RETURN_IF_ERROR(FreeBlocksFrom(ino, BlocksForSize(new_size)));
+    // Zero the tail of the last kept block so a later grow reads zeroes.
+    uint64_t tail = new_size % kBlockSize;
+    if (tail != 0 && fault_ != SafeFsSemanticFault::kTruncateSkipsZeroing) {
+      SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(inode, new_size / kBlockSize));
+      if (block != 0) {
+        SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
+        auto lend = cell->LendExclusive();
+        std::fill(lend.Get().begin() + tail, lend.Get().end(), 0);
+      }
+    }
+  }
+  // Growing just moves size: unmapped tail blocks are holes and read zero.
+  inode.size = new_size;
+  MarkInodeDirty(ino);
+  return Status::Ok();
+}
+
+Status SafeFs::Rename(const std::string& from, const std::string& to) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_ASSIGN_OR_RETURN(std::string f, specpath::Normalize(from));
+  SKERN_ASSIGN_OR_RETURN(std::string t, specpath::Normalize(to));
+  if (f == "/" || t == "/") {
+    return Status::Error(Errno::kEBUSY);
+  }
+  SKERN_ASSIGN_OR_RETURN(WalkResult wf, Walk(f));
+  if (wf.ino == kInvalidIno) {
+    return Status::Error(Errno::kENOENT);
+  }
+  if (f == t) {
+    return Status::Ok();
+  }
+  bool from_is_dir = inodes_.at(wf.ino).IsDir();
+  if (from_is_dir && specpath::IsPrefix(f, t)) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  SKERN_ASSIGN_OR_RETURN(WalkResult wt, Walk(t));
+  if (wt.ino != kInvalidIno) {
+    bool to_is_dir = inodes_.at(wt.ino).IsDir();
+    if (!from_is_dir && to_is_dir) {
+      return Status::Error(Errno::kEISDIR);
+    }
+    if (from_is_dir && !to_is_dir) {
+      return Status::Error(Errno::kENOTDIR);
+    }
+    if (from_is_dir && to_is_dir) {
+      SKERN_ASSIGN_OR_RETURN(bool empty, DirIsEmpty(wt.ino));
+      if (!empty) {
+        return Status::Error(Errno::kENOTEMPTY);
+      }
+    }
+    // Replace: drop the target.
+    SKERN_RETURN_IF_ERROR(DirRemoveEntry(wt.parent_ino, wt.leaf));
+    SKERN_RETURN_IF_ERROR(FreeBlocksFrom(wt.ino, 0));
+    FreeInode(wt.ino);
+  }
+  SKERN_RETURN_IF_ERROR(DirAddEntry(wt.parent_ino, wt.leaf, wf.ino));
+  if (fault_ != SafeFsSemanticFault::kRenameLeavesSource) {
+    SKERN_RETURN_IF_ERROR(DirRemoveEntry(wf.parent_ino, wf.leaf));
+  }
+  return Status::Ok();
+}
+
+Result<FileAttr> SafeFs::Stat(const std::string& path) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (w.ino == kInvalidIno) {
+    return Errno::kENOENT;
+  }
+  const DiskInode& inode = inodes_.at(w.ino);
+  FileAttr attr;
+  attr.is_dir = inode.IsDir();
+  attr.size = attr.is_dir ? 0 : inode.size;
+  if (!attr.is_dir && fault_ == SafeFsSemanticFault::kStatSizeOffByOne) {
+    attr.size += 1;
+  }
+  return attr;
+}
+
+Result<std::vector<std::string>> SafeFs::Readdir(const std::string& path) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (w.ino == kInvalidIno) {
+    return Errno::kENOENT;
+  }
+  if (!inodes_.at(w.ino).IsDir()) {
+    return Errno::kENOTDIR;
+  }
+  SKERN_ASSIGN_OR_RETURN(std::vector<Dirent> entries, DirEntries(w.ino));
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const auto& entry : entries) {
+    names.push_back(entry.name);
+  }
+  std::sort(names.begin(), names.end());
+  if (fault_ == SafeFsSemanticFault::kReaddirDropsLastEntry && !names.empty()) {
+    names.pop_back();
+  }
+  return names;
+}
+
+Status SafeFs::Sync() {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  return SyncLocked();
+}
+
+Status SafeFs::Fsync(const std::string& path) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  // Committing the running transaction gives at least per-file durability.
+  (void)path;
+  return SyncLocked();
+}
+
+Status SafeFs::SyncLocked() {
+  // Collect everything dirty: staged data blocks + inode-table blocks +
+  // bitmap. One journal transaction makes the batch atomic (chunked only if
+  // it exceeds journal capacity; see DESIGN.md).
+  std::vector<std::pair<uint64_t, Bytes>> blocks;
+  blocks.reserve(staged_.size() + dirty_inos_.size() + 1);
+  for (const auto& [block, cell] : staged_) {
+    auto lend = cell.LendShared();  // model 3: read-only snapshot, zero copy of rights
+    blocks.emplace_back(block, lend.Get());
+  }
+  // Inode-table blocks affected by dirty or freed inodes.
+  std::set<uint64_t> table_blocks;
+  for (uint64_t ino : dirty_inos_) {
+    table_blocks.insert(kInodeTableStart + (ino - 1) / kInodesPerBlock);
+  }
+  for (uint64_t ino : cleared_inos_) {
+    table_blocks.insert(kInodeTableStart + (ino - 1) / kInodesPerBlock);
+  }
+  for (uint64_t tb : table_blocks) {
+    Bytes block(kBlockSize, 0);
+    uint64_t first_ino = (tb - kInodeTableStart) * kInodesPerBlock + 1;
+    for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+      auto it = inodes_.find(first_ino + slot);
+      if (it != inodes_.end()) {
+        EncodeInode(it->second, MutableByteView(block), slot);
+      }
+    }
+    blocks.emplace_back(tb, std::move(block));
+  }
+  if (bitmap_dirty_) {
+    blocks.emplace_back(kBitmapBlock, bitmap_);
+  }
+  if (blocks.empty()) {
+    return Status::Ok();
+  }
+  uint64_t capacity = journal_.Capacity();
+  for (size_t done = 0; done < blocks.size();) {
+    auto tx = journal_.Begin();
+    size_t in_tx = 0;
+    while (done < blocks.size() && in_tx < capacity) {
+      tx.AddBlock(blocks[done].first, ByteView(blocks[done].second));
+      ++done;
+      ++in_tx;
+    }
+    SKERN_RETURN_IF_ERROR(journal_.Commit(std::move(tx)));
+  }
+  staged_.clear();
+  dirty_inos_.clear();
+  cleared_inos_.clear();
+  bitmap_dirty_ = false;
+  ++stats_.syncs;
+  return Status::Ok();
+}
+
+}  // namespace skern

@@ -1,0 +1,68 @@
+// specfs: the functionally-specified file system (step 4).
+//
+// specfs is a decorator: it wraps any FileSystem (canonically safefs) and
+// runs every operation against the executable specification (FsModel) in
+// lock-step, checking that the implementation's observable outcome — return
+// value and errno — is exactly what the specification relates the old state
+// to (§4.4's "each operation performed by the implementation is a valid
+// relation between the before- and after- model interpretations").
+//
+// Partial-specification boundary: resource exhaustion (ENOSPC, EFBIG, EIO,
+// ENOMEM, ENFILE, EMFILE) is outside the model — the model has unbounded
+// storage. When the implementation reports such an error, specfs does not
+// apply the model operation and does not flag a mismatch; the contract is
+// that a resource-failed operation has no observable effect (which later
+// checks would catch as divergence if violated).
+//
+// Crash checking: the model tracks the last synced state; after a simulated
+// crash + remount, DiffFsAgainstModel() compares the recovered tree against
+// it — "guaranteed to recover to the last synced version given any crash".
+#ifndef SKERN_SRC_FS_SPECFS_SPECFS_H_
+#define SKERN_SRC_FS_SPECFS_SPECFS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/spec/fs_model.h"
+#include "src/spec/refinement.h"
+#include "src/vfs/filesystem.h"
+
+namespace skern {
+
+class SpecFs : public FileSystem {
+ public:
+  explicit SpecFs(std::shared_ptr<FileSystem> inner) : inner_(std::move(inner)) {}
+
+  Status Create(const std::string& path) override;
+  Status Mkdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Status Write(const std::string& path, uint64_t offset, ByteView data) override;
+  Result<Bytes> Read(const std::string& path, uint64_t offset, uint64_t length) override;
+  Status Truncate(const std::string& path, uint64_t new_size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<FileAttr> Stat(const std::string& path) override;
+  Result<std::vector<std::string>> Readdir(const std::string& path) override;
+  Status Sync() override;
+  Status Fsync(const std::string& path) override;
+  std::string Name() const override { return "specfs(" + inner_->Name() + ")"; }
+
+  const FsModel& model() const { return model_; }
+  FileSystem& inner() { return *inner_; }
+
+ private:
+  // True for errors the (resource-unbounded) specification does not model.
+  static bool IsEnvironmentError(Errno e);
+
+  std::shared_ptr<FileSystem> inner_;
+  FsModel model_;
+};
+
+// Compares a file system's full observable tree against a model state.
+// Returns human-readable divergences; empty means the trees agree.
+std::vector<std::string> DiffFsAgainstModel(FileSystem& fs, const FsModelState& state);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_FS_SPECFS_SPECFS_H_

@@ -1,0 +1,54 @@
+#include "src/net/network.h"
+
+#include <sstream>
+#include <utility>
+
+namespace skern {
+
+std::string Packet::Describe() const {
+  std::ostringstream os;
+  os << (proto == kProtoTcp ? "tcp " : "udp ") << src_ip << ":" << src_port << " -> " << dst_ip
+     << ":" << dst_port;
+  if (proto == kProtoTcp) {
+    os << " seq=" << seq << " ack=" << ack << " [";
+    if (Has(kTcpSyn)) {
+      os << "S";
+    }
+    if (Has(kTcpAck)) {
+      os << "A";
+    }
+    if (Has(kTcpFin)) {
+      os << "F";
+    }
+    if (Has(kTcpRst)) {
+      os << "R";
+    }
+    os << "]";
+  }
+  os << " len=" << payload.size();
+  return os.str();
+}
+
+void Network::Attach(uint32_t ip, PacketHandler handler) {
+  handlers_[ip] = std::move(handler);
+}
+
+void Network::Send(Packet packet) {
+  ++stats_.sent;
+  if (drop_rate_ > 0.0 && rng_.NextBool(drop_rate_)) {
+    ++stats_.dropped;
+    return;
+  }
+  auto it = handlers_.find(packet.dst_ip);
+  if (it == handlers_.end()) {
+    ++stats_.dropped;
+    return;
+  }
+  PacketHandler& handler = it->second;
+  clock_.ScheduleAfter(delay_, [this, &handler, pkt = std::move(packet)]() {
+    ++stats_.delivered;
+    handler(pkt);
+  });
+}
+
+}  // namespace skern

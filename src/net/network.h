@@ -1,0 +1,52 @@
+// The simulated wire: routes packets between attached stacks with
+// configurable delay and loss, driven by the SimClock.
+#ifndef SKERN_SRC_NET_NETWORK_H_
+#define SKERN_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+#include "src/net/packet.h"
+
+namespace skern {
+
+using PacketHandler = std::function<void(const Packet&)>;
+
+struct NetworkStats {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+};
+
+class Network {
+ public:
+  explicit Network(SimClock& clock, uint64_t seed = 7)
+      : clock_(clock), rng_(seed) {}
+
+  // Registers the handler invoked for packets addressed to `ip`.
+  void Attach(uint32_t ip, PacketHandler handler);
+
+  // Schedules delivery after the configured delay. Packets may be dropped
+  // (uniformly at `drop_rate`); unknown destinations are dropped.
+  void Send(Packet packet);
+
+  void set_delay(SimTime delay) { delay_ = delay; }
+  void set_drop_rate(double rate) { drop_rate_ = rate; }
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  SimClock& clock_;
+  Rng rng_;
+  SimTime delay_ = 50 * kMicrosecond;
+  double drop_rate_ = 0.0;
+  std::map<uint32_t, PacketHandler> handlers_;
+  NetworkStats stats_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_NETWORK_H_

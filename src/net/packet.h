@@ -1,0 +1,52 @@
+// Packet and address types for the simulated network.
+#ifndef SKERN_SRC_NET_PACKET_H_
+#define SKERN_SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/bytes.h"
+
+namespace skern {
+
+inline constexpr uint8_t kProtoTcp = 6;
+inline constexpr uint8_t kProtoUdp = 17;
+
+struct NetAddr {
+  uint32_t ip = 0;
+  uint16_t port = 0;
+
+  friend bool operator==(const NetAddr& a, const NetAddr& b) {
+    return a.ip == b.ip && a.port == b.port;
+  }
+  friend bool operator<(const NetAddr& a, const NetAddr& b) {
+    return a.ip != b.ip ? a.ip < b.ip : a.port < b.port;
+  }
+};
+
+enum TcpFlag : uint8_t {
+  kTcpSyn = 1u << 0,
+  kTcpAck = 1u << 1,
+  kTcpFin = 1u << 2,
+  kTcpRst = 1u << 3,
+};
+
+// One wire packet. TCP fields are meaningful only when proto == kProtoTcp.
+struct Packet {
+  uint8_t proto = kProtoTcp;
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+  Bytes payload;
+
+  bool Has(TcpFlag flag) const { return (flags & flag) != 0; }
+  std::string Describe() const;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_PACKET_H_

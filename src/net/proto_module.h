@@ -1,0 +1,54 @@
+// The protocol-family module interface: §4.1's "after" picture.
+//
+// "A modular interface should provide an abstract representation of module
+// behavior but isolate its internals from other parts of the kernel." The
+// generic socket layer (ModularNetStack) sees only this interface; protocol
+// state is a typed opaque handle owned by the module. New protocol families
+// register without a single edit to generic code — the extensibility the
+// paper says Linux sockets lack.
+#ifndef SKERN_SRC_NET_PROTO_MODULE_H_
+#define SKERN_SRC_NET_PROTO_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/base/result.h"
+#include "src/net/packet.h"
+
+namespace skern {
+
+// Opaque per-socket protocol state. Each module defines its own subclass;
+// the generic layer never inspects it (contrast MonoNetStack::MonoSocket,
+// which carries every protocol's fields inline).
+class ProtoSocketState {
+ public:
+  virtual ~ProtoSocketState() = default;
+};
+
+class ProtocolModule {
+ public:
+  virtual ~ProtocolModule() = default;
+
+  virtual uint8_t ProtoId() const = 0;
+  virtual std::string Name() const = 0;
+
+  virtual std::unique_ptr<ProtoSocketState> NewSocket() = 0;
+  virtual Status Bind(ProtoSocketState& sock, uint16_t port) = 0;
+  virtual Status Listen(ProtoSocketState& sock) = 0;
+  // Returns the protocol state of an established connection, or kEAGAIN.
+  virtual Result<std::unique_ptr<ProtoSocketState>> Accept(ProtoSocketState& sock) = 0;
+  virtual Status Connect(ProtoSocketState& sock, NetAddr remote) = 0;
+  virtual Status Send(ProtoSocketState& sock, ByteView data) = 0;
+  virtual Result<Bytes> Recv(ProtoSocketState& sock, uint64_t max) = 0;
+  virtual Status SendTo(ProtoSocketState& sock, NetAddr remote, ByteView data) = 0;
+  virtual Result<std::pair<NetAddr, Bytes>> RecvFrom(ProtoSocketState& sock) = 0;
+  virtual Status CloseSocket(ProtoSocketState& sock) = 0;
+
+  // Inbound demux for this family.
+  virtual void OnPacket(const Packet& packet) = 0;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_PROTO_MODULE_H_

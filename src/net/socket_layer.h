@@ -1,0 +1,52 @@
+// The socket-layer interface both stack organizations implement.
+//
+// Callers (examples, benchmarks, tests) program against this; the difference
+// under test is the *internal* organization:
+//   * MonoNetStack (stack_monolithic.h): TCP state embedded in the generic
+//     socket structure, protocol specifics strewn through generic code —
+//     §4.1's description of Linux ("references to TCP state can be found
+//     throughout generic socket code and data structures").
+//   * ModularNetStack (stack_modular.h): a protocol-family registry; generic
+//     code is protocol-agnostic and new protocols drop in without touching it.
+//
+// The API is non-blocking: operations that would block return kEAGAIN, and
+// progress is driven by advancing the SimClock.
+#ifndef SKERN_SRC_NET_SOCKET_LAYER_H_
+#define SKERN_SRC_NET_SOCKET_LAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/base/result.h"
+#include "src/net/packet.h"
+
+namespace skern {
+
+using SocketId = int32_t;
+
+class SocketLayer {
+ public:
+  virtual ~SocketLayer() = default;
+
+  virtual Result<SocketId> Socket(uint8_t proto) = 0;
+  virtual Status Bind(SocketId s, uint16_t port) = 0;
+  virtual Status Listen(SocketId s) = 0;
+  // Returns an established connection socket, or kEAGAIN.
+  virtual Result<SocketId> Accept(SocketId s) = 0;
+  virtual Status Connect(SocketId s, NetAddr remote) = 0;
+  // Stream send (TCP).
+  virtual Status Send(SocketId s, ByteView data) = 0;
+  // Stream receive: empty result means no data yet (or EOF if peer closed).
+  virtual Result<Bytes> Recv(SocketId s, uint64_t max) = 0;
+  // Datagram send/receive (UDP).
+  virtual Status SendTo(SocketId s, NetAddr remote, ByteView data) = 0;
+  virtual Result<std::pair<NetAddr, Bytes>> RecvFrom(SocketId s) = 0;
+  virtual Status Close(SocketId s) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_SOCKET_LAYER_H_

@@ -1,0 +1,420 @@
+#include "src/net/stack_modular.h"
+
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include "src/net/tcp.h"
+
+namespace skern {
+
+// ---------------------------------------------------------------------------
+// Generic layer: protocol-agnostic, start to finish.
+// ---------------------------------------------------------------------------
+
+ModularNetStack::ModularNetStack(Network& network, uint32_t ip) : network_(network), ip_(ip) {
+  network_.Attach(ip_, [this](const Packet& packet) { OnPacket(packet); });
+}
+
+Status ModularNetStack::RegisterProtocol(std::unique_ptr<ProtocolModule> module) {
+  uint8_t id = module->ProtoId();
+  if (registry_.count(id) > 0) {
+    return Status::Error(Errno::kEEXIST);
+  }
+  registry_[id] = std::move(module);
+  return Status::Ok();
+}
+
+std::vector<std::string> ModularNetStack::ProtocolNames() const {
+  std::vector<std::string> names;
+  for (const auto& [id, module] : registry_) {
+    names.push_back(module->Name());
+  }
+  return names;
+}
+
+ModularNetStack::Entry* ModularNetStack::Find(SocketId s) {
+  auto it = sockets_.find(s);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+Result<SocketId> ModularNetStack::Socket(uint8_t proto) {
+  auto it = registry_.find(proto);
+  if (it == registry_.end()) {
+    return Errno::kEPROTONOSUPPORT;
+  }
+  SocketId id = next_id_++;
+  sockets_[id] = Entry{it->second.get(), it->second->NewSocket()};
+  return id;
+}
+
+Status ModularNetStack::Bind(SocketId s, uint16_t port) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  return e->module->Bind(*e->state, port);
+}
+
+Status ModularNetStack::Listen(SocketId s) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  return e->module->Listen(*e->state);
+}
+
+Result<SocketId> ModularNetStack::Accept(SocketId s) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Errno::kEBADF;
+  }
+  SKERN_ASSIGN_OR_RETURN(std::unique_ptr<ProtoSocketState> child, e->module->Accept(*e->state));
+  SocketId id = next_id_++;
+  sockets_[id] = Entry{e->module, std::move(child)};
+  return id;
+}
+
+Status ModularNetStack::Connect(SocketId s, NetAddr remote) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  return e->module->Connect(*e->state, remote);
+}
+
+Status ModularNetStack::Send(SocketId s, ByteView data) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  return e->module->Send(*e->state, data);
+}
+
+Result<Bytes> ModularNetStack::Recv(SocketId s, uint64_t max) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Errno::kEBADF;
+  }
+  return e->module->Recv(*e->state, max);
+}
+
+Status ModularNetStack::SendTo(SocketId s, NetAddr remote, ByteView data) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  return e->module->SendTo(*e->state, remote, data);
+}
+
+Result<std::pair<NetAddr, Bytes>> ModularNetStack::RecvFrom(SocketId s) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Errno::kEBADF;
+  }
+  return e->module->RecvFrom(*e->state);
+}
+
+Status ModularNetStack::Close(SocketId s) {
+  Entry* e = Find(s);
+  if (e == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  Status status = e->module->CloseSocket(*e->state);
+  sockets_.erase(s);
+  return status;
+}
+
+void ModularNetStack::OnPacket(const Packet& packet) {
+  auto it = registry_.find(packet.proto);
+  if (it != registry_.end()) {
+    it->second->OnPacket(packet);
+  }
+  // Unknown protocol: no module registered, silently dropped.
+}
+
+// ---------------------------------------------------------------------------
+// TCP protocol module
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TcpSock : ProtoSocketState {
+  uint16_t local_port = 0;
+  bool listening = false;
+  std::unique_ptr<TcpConnection> conn;
+  std::deque<std::unique_ptr<TcpSock>> accept_queue;  // embryos owned here until accepted
+};
+
+class TcpModule : public ProtocolModule {
+ public:
+  TcpModule(SimClock& clock, Network& network, uint32_t ip)
+      : clock_(clock), network_(network), ip_(ip) {}
+
+  uint8_t ProtoId() const override { return kProtoTcp; }
+  std::string Name() const override { return "tcp"; }
+
+  std::unique_ptr<ProtoSocketState> NewSocket() override {
+    return std::make_unique<TcpSock>();
+  }
+
+  Status Bind(ProtoSocketState& sock, uint16_t port) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    if (listeners_.count(port) > 0) {
+      return Status::Error(Errno::kEADDRINUSE);
+    }
+    tcp.local_port = port;
+    return Status::Ok();
+  }
+
+  Status Listen(ProtoSocketState& sock) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    if (tcp.local_port == 0) {
+      return Status::Error(Errno::kEINVAL);
+    }
+    tcp.listening = true;
+    listeners_[tcp.local_port] = &tcp;
+    return Status::Ok();
+  }
+
+  Result<std::unique_ptr<ProtoSocketState>> Accept(ProtoSocketState& sock) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    if (!tcp.listening) {
+      return Errno::kEINVAL;
+    }
+    while (!tcp.accept_queue.empty()) {
+      TcpSock* front = tcp.accept_queue.front().get();
+      if (front->conn->state() == TcpState::kEstablished) {
+        std::unique_ptr<TcpSock> child = std::move(tcp.accept_queue.front());
+        tcp.accept_queue.pop_front();
+        return std::unique_ptr<ProtoSocketState>(std::move(child));
+      }
+      if (front->conn->state() == TcpState::kClosed) {
+        Deregister(*front);
+        tcp.accept_queue.pop_front();
+        continue;
+      }
+      return Errno::kEAGAIN;
+    }
+    return Errno::kEAGAIN;
+  }
+
+  Status Connect(ProtoSocketState& sock, NetAddr remote) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    if (tcp.conn != nullptr) {
+      return Status::Error(Errno::kEISCONN);
+    }
+    if (tcp.local_port == 0) {
+      tcp.local_port = next_port_++;
+    }
+    NetAddr local{ip_, tcp.local_port};
+    tcp.conn = TcpConnection::Connect(
+        clock_, [this](Packet&& pkt) { network_.Send(std::move(pkt)); }, local, remote);
+    conns_[{tcp.local_port, remote.ip, remote.port}] = &tcp;
+    return Status::Ok();
+  }
+
+  Status Send(ProtoSocketState& sock, ByteView data) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    if (tcp.conn == nullptr) {
+      return Status::Error(Errno::kENOTCONN);
+    }
+    return tcp.conn->Send(data);
+  }
+
+  Result<Bytes> Recv(ProtoSocketState& sock, uint64_t max) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    if (tcp.conn == nullptr) {
+      return Errno::kENOTCONN;
+    }
+    if (tcp.conn->Available() == 0) {
+      if (tcp.conn->PeerClosed() || tcp.conn->state() == TcpState::kClosed) {
+        return Bytes{};  // EOF
+      }
+      return Errno::kEAGAIN;
+    }
+    return tcp.conn->Recv(max);
+  }
+
+  Status SendTo(ProtoSocketState&, NetAddr, ByteView) override {
+    return Status::Error(Errno::kEPROTONOSUPPORT);
+  }
+
+  Result<std::pair<NetAddr, Bytes>> RecvFrom(ProtoSocketState&) override {
+    return Errno::kEPROTONOSUPPORT;
+  }
+
+  Status CloseSocket(ProtoSocketState& sock) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    if (tcp.listening) {
+      listeners_.erase(tcp.local_port);
+      for (auto& embryo : tcp.accept_queue) {
+        Deregister(*embryo);
+        embryo->conn->Abort();
+      }
+      tcp.accept_queue.clear();
+    }
+    if (tcp.conn != nullptr) {
+      tcp.conn->Close();
+      Deregister(tcp);
+    }
+    return Status::Ok();
+  }
+
+  void OnPacket(const Packet& packet) override {
+    auto conn_it = conns_.find({packet.dst_port, packet.src_ip, packet.src_port});
+    if (conn_it != conns_.end()) {
+      conn_it->second->conn->OnSegment(packet);
+      return;
+    }
+    if (packet.Has(kTcpSyn) && !packet.Has(kTcpAck)) {
+      auto listener_it = listeners_.find(packet.dst_port);
+      if (listener_it != listeners_.end()) {
+        auto child = std::make_unique<TcpSock>();
+        child->local_port = packet.dst_port;
+        NetAddr local{ip_, packet.dst_port};
+        child->conn = TcpConnection::FromSyn(
+            clock_, [this](Packet&& pkt) { network_.Send(std::move(pkt)); }, local, packet);
+        conns_[{packet.dst_port, packet.src_ip, packet.src_port}] = child.get();
+        listener_it->second->accept_queue.push_back(std::move(child));
+        return;
+      }
+    }
+    if (!packet.Has(kTcpRst)) {
+      Packet rst;
+      rst.proto = kProtoTcp;
+      rst.src_ip = ip_;
+      rst.src_port = packet.dst_port;
+      rst.dst_ip = packet.src_ip;
+      rst.dst_port = packet.src_port;
+      rst.flags = kTcpRst;
+      rst.seq = packet.ack;
+      network_.Send(std::move(rst));
+    }
+  }
+
+ private:
+  void Deregister(TcpSock& tcp) {
+    if (tcp.conn != nullptr) {
+      conns_.erase({tcp.local_port, tcp.conn->remote().ip, tcp.conn->remote().port});
+    }
+  }
+
+  SimClock& clock_;
+  Network& network_;
+  uint32_t ip_;
+  uint16_t next_port_ = 40000;
+  std::map<uint16_t, TcpSock*> listeners_;
+  std::map<std::tuple<uint16_t, uint32_t, uint16_t>, TcpSock*> conns_;
+};
+
+// ---------------------------------------------------------------------------
+// UDP protocol module
+// ---------------------------------------------------------------------------
+
+struct UdpSock : ProtoSocketState {
+  uint16_t local_port = 0;
+  std::deque<std::pair<NetAddr, Bytes>> rx;
+};
+
+class UdpModule : public ProtocolModule {
+ public:
+  UdpModule(Network& network, uint32_t ip) : network_(network), ip_(ip) {}
+
+  uint8_t ProtoId() const override { return kProtoUdp; }
+  std::string Name() const override { return "udp"; }
+
+  std::unique_ptr<ProtoSocketState> NewSocket() override {
+    return std::make_unique<UdpSock>();
+  }
+
+  Status Bind(ProtoSocketState& sock, uint16_t port) override {
+    auto& udp = static_cast<UdpSock&>(sock);
+    if (ports_.count(port) > 0) {
+      return Status::Error(Errno::kEADDRINUSE);
+    }
+    udp.local_port = port;
+    ports_[port] = &udp;
+    return Status::Ok();
+  }
+
+  Status Listen(ProtoSocketState&) override {
+    return Status::Error(Errno::kEPROTONOSUPPORT);
+  }
+  Result<std::unique_ptr<ProtoSocketState>> Accept(ProtoSocketState&) override {
+    return Errno::kEPROTONOSUPPORT;
+  }
+  Status Connect(ProtoSocketState&, NetAddr) override {
+    return Status::Error(Errno::kEPROTONOSUPPORT);
+  }
+  Status Send(ProtoSocketState&, ByteView) override {
+    return Status::Error(Errno::kENOTCONN);
+  }
+  Result<Bytes> Recv(ProtoSocketState&, uint64_t) override { return Errno::kENOTCONN; }
+
+  Status SendTo(ProtoSocketState& sock, NetAddr remote, ByteView data) override {
+    auto& udp = static_cast<UdpSock&>(sock);
+    if (udp.local_port == 0) {
+      udp.local_port = next_port_++;
+      ports_[udp.local_port] = &udp;
+    }
+    Packet pkt;
+    pkt.proto = kProtoUdp;
+    pkt.src_ip = ip_;
+    pkt.src_port = udp.local_port;
+    pkt.dst_ip = remote.ip;
+    pkt.dst_port = remote.port;
+    pkt.payload = data.ToBytes();
+    network_.Send(std::move(pkt));
+    return Status::Ok();
+  }
+
+  Result<std::pair<NetAddr, Bytes>> RecvFrom(ProtoSocketState& sock) override {
+    auto& udp = static_cast<UdpSock&>(sock);
+    if (udp.rx.empty()) {
+      return Errno::kEAGAIN;
+    }
+    auto front = std::move(udp.rx.front());
+    udp.rx.pop_front();
+    return front;
+  }
+
+  Status CloseSocket(ProtoSocketState& sock) override {
+    auto& udp = static_cast<UdpSock&>(sock);
+    ports_.erase(udp.local_port);
+    return Status::Ok();
+  }
+
+  void OnPacket(const Packet& packet) override {
+    auto it = ports_.find(packet.dst_port);
+    if (it != ports_.end()) {
+      it->second->rx.emplace_back(NetAddr{packet.src_ip, packet.src_port}, packet.payload);
+    }
+  }
+
+ private:
+  Network& network_;
+  uint32_t ip_;
+  uint16_t next_port_ = 50000;
+  std::map<uint16_t, UdpSock*> ports_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolModule> MakeTcpModule(SimClock& clock, Network& network, uint32_t ip) {
+  return std::make_unique<TcpModule>(clock, network, ip);
+}
+
+std::unique_ptr<ProtocolModule> MakeUdpModule(Network& network, uint32_t ip) {
+  return std::make_unique<UdpModule>(network, ip);
+}
+
+std::unique_ptr<ModularNetStack> MakeStandardModularStack(SimClock& clock, Network& network,
+                                                          uint32_t ip) {
+  auto stack = std::make_unique<ModularNetStack>(network, ip);
+  SKERN_CHECK(stack->RegisterProtocol(MakeTcpModule(clock, network, ip)).ok());
+  SKERN_CHECK(stack->RegisterProtocol(MakeUdpModule(network, ip)).ok());
+  return stack;
+}
+
+}  // namespace skern

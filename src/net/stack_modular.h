@@ -1,0 +1,67 @@
+// The modular socket layer: generic code with zero protocol knowledge.
+//
+// Every operation resolves the socket's protocol module from the registry and
+// dispatches through the ProtocolModule interface. Compare each method here
+// with its MonoNetStack counterpart: no `if (proto == ...)` anywhere.
+#ifndef SKERN_SRC_NET_STACK_MODULAR_H_
+#define SKERN_SRC_NET_STACK_MODULAR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/proto_module.h"
+#include "src/net/socket_layer.h"
+
+namespace skern {
+
+class ModularNetStack : public SocketLayer {
+ public:
+  ModularNetStack(Network& network, uint32_t ip);
+
+  // Step-1 extensibility: protocols drop in at runtime.
+  Status RegisterProtocol(std::unique_ptr<ProtocolModule> module);
+  std::vector<std::string> ProtocolNames() const;
+
+  Result<SocketId> Socket(uint8_t proto) override;
+  Status Bind(SocketId s, uint16_t port) override;
+  Status Listen(SocketId s) override;
+  Result<SocketId> Accept(SocketId s) override;
+  Status Connect(SocketId s, NetAddr remote) override;
+  Status Send(SocketId s, ByteView data) override;
+  Result<Bytes> Recv(SocketId s, uint64_t max) override;
+  Status SendTo(SocketId s, NetAddr remote, ByteView data) override;
+  Result<std::pair<NetAddr, Bytes>> RecvFrom(SocketId s) override;
+  Status Close(SocketId s) override;
+  std::string Name() const override { return "net-modular"; }
+
+  uint32_t ip() const { return ip_; }
+
+ private:
+  struct Entry {
+    ProtocolModule* module;
+    std::unique_ptr<ProtoSocketState> state;
+  };
+
+  void OnPacket(const Packet& packet);
+  Entry* Find(SocketId s);
+
+  Network& network_;
+  uint32_t ip_;
+  SocketId next_id_ = 1;
+  std::map<uint8_t, std::unique_ptr<ProtocolModule>> registry_;
+  std::map<SocketId, Entry> sockets_;
+};
+
+// Factory helpers for the built-in protocol modules.
+std::unique_ptr<ProtocolModule> MakeTcpModule(SimClock& clock, Network& network, uint32_t ip);
+std::unique_ptr<ProtocolModule> MakeUdpModule(Network& network, uint32_t ip);
+
+// Convenience: a modular stack with TCP and UDP registered.
+std::unique_ptr<ModularNetStack> MakeStandardModularStack(SimClock& clock, Network& network,
+                                                          uint32_t ip);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_STACK_MODULAR_H_

@@ -1,0 +1,263 @@
+#include "src/net/stack_monolithic.h"
+
+#include <tuple>
+
+namespace skern {
+
+MonoNetStack::MonoNetStack(SimClock& clock, Network& network, uint32_t ip)
+    : clock_(clock), network_(network), ip_(ip) {
+  network_.Attach(ip_, [this](const Packet& packet) { OnPacket(packet); });
+}
+
+MonoNetStack::MonoSocket* MonoNetStack::Find(SocketId s) {
+  auto it = sockets_.find(s);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+Result<SocketId> MonoNetStack::Socket(uint8_t proto) {
+  if (proto != kProtoTcp && proto != kProtoUdp) {
+    return Errno::kEPROTONOSUPPORT;
+  }
+  SocketId id = next_id_++;
+  MonoSocket sock;
+  sock.proto = proto;
+  sockets_[id] = std::move(sock);
+  return id;
+}
+
+Status MonoNetStack::Bind(SocketId s, uint16_t port) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  // Generic code branching on protocol: the monolithic smell.
+  if (sock->proto == kProtoTcp) {
+    if (tcp_listeners_.count(port) > 0) {
+      return Status::Error(Errno::kEADDRINUSE);
+    }
+  } else {
+    if (udp_ports_.count(port) > 0) {
+      return Status::Error(Errno::kEADDRINUSE);
+    }
+    udp_ports_[port] = s;
+  }
+  sock->local_port = port;
+  return Status::Ok();
+}
+
+Status MonoNetStack::Listen(SocketId s) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  if (sock->proto != kProtoTcp) {
+    return Status::Error(Errno::kEPROTONOSUPPORT);
+  }
+  if (sock->local_port == 0) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  sock->listening = true;
+  tcp_listeners_[sock->local_port] = s;
+  return Status::Ok();
+}
+
+Result<SocketId> MonoNetStack::Accept(SocketId s) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Errno::kEBADF;
+  }
+  if (!sock->listening) {
+    return Errno::kEINVAL;
+  }
+  // Only hand out sockets whose handshake completed.
+  while (!sock->accept_queue.empty()) {
+    SocketId child_id = sock->accept_queue.front();
+    MonoSocket* child = Find(child_id);
+    if (child == nullptr) {
+      sock->accept_queue.pop_front();
+      continue;
+    }
+    if (child->tcp->state() == TcpState::kEstablished) {
+      sock->accept_queue.pop_front();
+      return child_id;
+    }
+    if (child->tcp->state() == TcpState::kClosed) {
+      sock->accept_queue.pop_front();
+      sockets_.erase(child_id);
+      continue;
+    }
+    return Errno::kEAGAIN;  // still handshaking
+  }
+  return Errno::kEAGAIN;
+}
+
+Status MonoNetStack::Connect(SocketId s, NetAddr remote) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  if (sock->proto != kProtoTcp) {
+    return Status::Error(Errno::kEPROTONOSUPPORT);
+  }
+  if (sock->tcp != nullptr) {
+    return Status::Error(Errno::kEISCONN);
+  }
+  if (sock->local_port == 0) {
+    sock->local_port = AutoPort();
+  }
+  NetAddr local{ip_, sock->local_port};
+  sock->tcp = TcpConnection::Connect(
+      clock_, [this](Packet&& pkt) { network_.Send(std::move(pkt)); }, local, remote);
+  tcp_conns_[{sock->local_port, remote.ip, remote.port}] = s;
+  return Status::Ok();
+}
+
+Status MonoNetStack::Send(SocketId s, ByteView data) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  // Generic send path reaching straight into TCP state.
+  if (sock->proto != kProtoTcp || sock->tcp == nullptr) {
+    return Status::Error(Errno::kENOTCONN);
+  }
+  return sock->tcp->Send(data);
+}
+
+Result<Bytes> MonoNetStack::Recv(SocketId s, uint64_t max) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Errno::kEBADF;
+  }
+  if (sock->proto != kProtoTcp || sock->tcp == nullptr) {
+    return Errno::kENOTCONN;
+  }
+  if (sock->tcp->Available() == 0) {
+    if (sock->tcp->PeerClosed() || sock->tcp->state() == TcpState::kClosed) {
+      return Bytes{};  // EOF
+    }
+    return Errno::kEAGAIN;
+  }
+  return sock->tcp->Recv(max);
+}
+
+Status MonoNetStack::SendTo(SocketId s, NetAddr remote, ByteView data) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  if (sock->proto != kProtoUdp) {
+    return Status::Error(Errno::kEPROTONOSUPPORT);
+  }
+  if (sock->local_port == 0) {
+    sock->local_port = AutoPort();
+    udp_ports_[sock->local_port] = s;
+  }
+  Packet pkt;
+  pkt.proto = kProtoUdp;
+  pkt.src_ip = ip_;
+  pkt.src_port = sock->local_port;
+  pkt.dst_ip = remote.ip;
+  pkt.dst_port = remote.port;
+  pkt.payload = data.ToBytes();
+  network_.Send(std::move(pkt));
+  return Status::Ok();
+}
+
+Result<std::pair<NetAddr, Bytes>> MonoNetStack::RecvFrom(SocketId s) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Errno::kEBADF;
+  }
+  if (sock->proto != kProtoUdp) {
+    return Errno::kEPROTONOSUPPORT;
+  }
+  if (sock->udp_rx.empty()) {
+    return Errno::kEAGAIN;
+  }
+  auto front = std::move(sock->udp_rx.front());
+  sock->udp_rx.pop_front();
+  return front;
+}
+
+Status MonoNetStack::Close(SocketId s) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  // Close path, again protocol-aware in generic code.
+  if (sock->proto == kProtoTcp) {
+    if (sock->listening) {
+      tcp_listeners_.erase(sock->local_port);
+    }
+    if (sock->tcp != nullptr) {
+      sock->tcp->Close();
+      // Connection entry stays in the demux table until fully closed; for
+      // simulation simplicity we drop it now and let stray segments RST.
+      tcp_conns_.erase({sock->local_port, sock->tcp->remote().ip, sock->tcp->remote().port});
+    }
+  } else {
+    udp_ports_.erase(sock->local_port);
+  }
+  sockets_.erase(s);
+  return Status::Ok();
+}
+
+void MonoNetStack::OnPacket(const Packet& packet) {
+  // The demux: one function that knows every protocol's internals.
+  if (packet.proto == kProtoTcp) {
+    auto conn_it = tcp_conns_.find({packet.dst_port, packet.src_ip, packet.src_port});
+    if (conn_it != tcp_conns_.end()) {
+      MonoSocket* sock = Find(conn_it->second);
+      if (sock != nullptr && sock->tcp != nullptr) {
+        sock->tcp->OnSegment(packet);
+      }
+      return;
+    }
+    if (packet.Has(kTcpSyn) && !packet.Has(kTcpAck)) {
+      auto listener_it = tcp_listeners_.find(packet.dst_port);
+      if (listener_it != tcp_listeners_.end()) {
+        MonoSocket* listener = Find(listener_it->second);
+        if (listener != nullptr) {
+          SocketId child_id = next_id_++;
+          MonoSocket child;
+          child.proto = kProtoTcp;
+          child.local_port = packet.dst_port;
+          NetAddr local{ip_, packet.dst_port};
+          child.tcp = TcpConnection::FromSyn(
+              clock_, [this](Packet&& pkt) { network_.Send(std::move(pkt)); }, local, packet);
+          sockets_[child_id] = std::move(child);
+          tcp_conns_[{packet.dst_port, packet.src_ip, packet.src_port}] = child_id;
+          listener->accept_queue.push_back(child_id);
+        }
+        return;
+      }
+    }
+    // No socket: refuse.
+    if (!packet.Has(kTcpRst)) {
+      Packet rst;
+      rst.proto = kProtoTcp;
+      rst.src_ip = ip_;
+      rst.src_port = packet.dst_port;
+      rst.dst_ip = packet.src_ip;
+      rst.dst_port = packet.src_port;
+      rst.flags = kTcpRst;
+      rst.seq = packet.ack;
+      network_.Send(std::move(rst));
+    }
+    return;
+  }
+  if (packet.proto == kProtoUdp) {
+    auto it = udp_ports_.find(packet.dst_port);
+    if (it != udp_ports_.end()) {
+      MonoSocket* sock = Find(it->second);
+      if (sock != nullptr) {
+        sock->udp_rx.emplace_back(NetAddr{packet.src_ip, packet.src_port}, packet.payload);
+      }
+    }
+    return;
+  }
+  // Unknown protocol: dropped on the floor (no registry to consult).
+}
+
+}  // namespace skern

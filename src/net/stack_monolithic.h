@@ -1,0 +1,71 @@
+// The monolithic socket layer: §4.1's "before" picture.
+//
+// One generic socket structure carries the union of every protocol's state —
+// TCP connection state is embedded directly in the generic socket — and the
+// generic code paths (demux, send, receive, close) branch on the protocol
+// inline. Adding a protocol family means editing every one of those
+// functions; that is precisely the retrofitting cost the paper describes.
+#ifndef SKERN_SRC_NET_STACK_MONOLITHIC_H_
+#define SKERN_SRC_NET_STACK_MONOLITHIC_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "src/base/sim_clock.h"
+#include "src/net/network.h"
+#include "src/net/socket_layer.h"
+#include "src/net/tcp.h"
+
+namespace skern {
+
+class MonoNetStack : public SocketLayer {
+ public:
+  MonoNetStack(SimClock& clock, Network& network, uint32_t ip);
+
+  Result<SocketId> Socket(uint8_t proto) override;
+  Status Bind(SocketId s, uint16_t port) override;
+  Status Listen(SocketId s) override;
+  Result<SocketId> Accept(SocketId s) override;
+  Status Connect(SocketId s, NetAddr remote) override;
+  Status Send(SocketId s, ByteView data) override;
+  Result<Bytes> Recv(SocketId s, uint64_t max) override;
+  Status SendTo(SocketId s, NetAddr remote, ByteView data) override;
+  Result<std::pair<NetAddr, Bytes>> RecvFrom(SocketId s) override;
+  Status Close(SocketId s) override;
+  std::string Name() const override { return "net-monolithic"; }
+
+  uint32_t ip() const { return ip_; }
+
+ private:
+  // The entangled generic socket: every protocol's fields in one struct.
+  struct MonoSocket {
+    uint8_t proto = kProtoTcp;
+    uint16_t local_port = 0;
+    bool listening = false;
+    // --- TCP-specific state living inside the generic structure ---
+    std::unique_ptr<TcpConnection> tcp;
+    std::deque<SocketId> accept_queue;
+    // --- UDP-specific state, same structure ---
+    std::deque<std::pair<NetAddr, Bytes>> udp_rx;
+  };
+
+  void OnPacket(const Packet& packet);
+  MonoSocket* Find(SocketId s);
+  uint16_t AutoPort() { return next_port_++; }
+
+  SimClock& clock_;
+  Network& network_;
+  uint32_t ip_;
+  SocketId next_id_ = 1;
+  uint16_t next_port_ = 40000;
+  std::map<SocketId, MonoSocket> sockets_;
+  // Generic demux tables that nevertheless understand TCP tuples directly.
+  std::map<uint16_t, SocketId> tcp_listeners_;
+  std::map<std::tuple<uint16_t, uint32_t, uint16_t>, SocketId> tcp_conns_;
+  std::map<uint16_t, SocketId> udp_ports_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_STACK_MONOLITHIC_H_

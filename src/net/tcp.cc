@@ -1,0 +1,357 @@
+#include "src/net/tcp.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+
+namespace skern {
+
+const char* TcpStateName(TcpState state) {
+  switch (state) {
+    case TcpState::kClosed:
+      return "CLOSED";
+    case TcpState::kListen:
+      return "LISTEN";
+    case TcpState::kSynSent:
+      return "SYN_SENT";
+    case TcpState::kSynRcvd:
+      return "SYN_RCVD";
+    case TcpState::kEstablished:
+      return "ESTABLISHED";
+    case TcpState::kFinWait1:
+      return "FIN_WAIT1";
+    case TcpState::kFinWait2:
+      return "FIN_WAIT2";
+    case TcpState::kCloseWait:
+      return "CLOSE_WAIT";
+    case TcpState::kLastAck:
+      return "LAST_ACK";
+    case TcpState::kTimeWait:
+      return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpConnection::TcpConnection(SimClock& clock, SendFn send, NetAddr local, NetAddr remote)
+    : clock_(clock), send_(std::move(send)), local_(local), remote_(remote) {
+  // Deterministic ISS derived from the 4-tuple keeps runs reproducible.
+  iss_ = 1000 + local.port * 131u + remote.port * 17u;
+  snd_una_ = iss_;
+  snd_nxt_ = iss_;
+}
+
+std::unique_ptr<TcpConnection> TcpConnection::Connect(SimClock& clock, SendFn send,
+                                                      NetAddr local, NetAddr remote) {
+  auto conn =
+      std::unique_ptr<TcpConnection>(new TcpConnection(clock, std::move(send), local, remote));
+  conn->state_ = TcpState::kSynSent;
+  conn->EmitSegment(kTcpSyn, conn->snd_nxt_, ByteView());
+  conn->snd_nxt_ += 1;  // SYN occupies one sequence number
+  conn->ArmTimer();
+  return conn;
+}
+
+std::unique_ptr<TcpConnection> TcpConnection::FromSyn(SimClock& clock, SendFn send,
+                                                      NetAddr local, const Packet& syn) {
+  SKERN_CHECK(syn.Has(kTcpSyn));
+  NetAddr remote{syn.src_ip, syn.src_port};
+  auto conn =
+      std::unique_ptr<TcpConnection>(new TcpConnection(clock, std::move(send), local, remote));
+  conn->state_ = TcpState::kSynRcvd;
+  conn->rcv_nxt_ = syn.seq + 1;
+  conn->EmitSegment(kTcpSyn | kTcpAck, conn->snd_nxt_, ByteView());
+  conn->snd_nxt_ += 1;
+  conn->ArmTimer();
+  return conn;
+}
+
+TcpConnection::~TcpConnection() { CancelTimer(); }
+
+void TcpConnection::EmitSegment(uint8_t flags, uint32_t seq, ByteView payload) {
+  Packet pkt;
+  pkt.proto = kProtoTcp;
+  pkt.src_ip = local_.ip;
+  pkt.src_port = local_.port;
+  pkt.dst_ip = remote_.ip;
+  pkt.dst_port = remote_.port;
+  pkt.seq = seq;
+  pkt.ack = rcv_nxt_;
+  pkt.flags = flags;
+  pkt.payload = payload.ToBytes();
+  ++stats_.segments_sent;
+  stats_.bytes_sent += payload.size();
+  send_(std::move(pkt));
+}
+
+Status TcpConnection::Send(ByteView data) {
+  if (fin_pending_ || fin_sent_) {
+    return Status::Error(Errno::kEPIPE);  // we already shut down our side
+  }
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+    return Status::Error(Errno::kENOTCONN);
+  }
+  pending_.insert(pending_.end(), data.data(), data.data() + data.size());
+  TrySend();
+  return Status::Ok();
+}
+
+Bytes TcpConnection::Recv(size_t max) {
+  size_t take = std::min(max, recv_buf_.size());
+  Bytes out(recv_buf_.begin(), recv_buf_.begin() + take);
+  recv_buf_.erase(recv_buf_.begin(), recv_buf_.begin() + take);
+  return out;
+}
+
+void TcpConnection::Close() {
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kFinWait1;
+      break;
+    case TcpState::kCloseWait:
+      state_ = TcpState::kLastAck;
+      break;
+    case TcpState::kSynSent:
+    case TcpState::kSynRcvd:
+    case TcpState::kListen:
+      state_ = TcpState::kClosed;
+      CancelTimer();
+      return;
+    default:
+      return;  // already closing/closed
+  }
+  fin_pending_ = true;
+  TrySend();
+}
+
+void TcpConnection::Abort() {
+  if (state_ != TcpState::kClosed) {
+    EmitSegment(kTcpRst, snd_nxt_, ByteView());
+  }
+  state_ = TcpState::kClosed;
+  CancelTimer();
+  pending_.clear();
+  inflight_.clear();
+}
+
+void TcpConnection::TrySend() {
+  while (!pending_.empty() && inflight_.size() < kWindow) {
+    size_t n = std::min<size_t>({pending_.size(), kMss, kWindow - inflight_.size()});
+    Bytes chunk(pending_.begin(), pending_.begin() + n);
+    pending_.erase(pending_.begin(), pending_.begin() + n);
+    EmitSegment(kTcpAck, snd_nxt_, ByteView(chunk));
+    inflight_.insert(inflight_.end(), chunk.begin(), chunk.end());
+    snd_nxt_ += n;
+  }
+  if (fin_pending_ && !fin_sent_ && pending_.empty()) {
+    fin_seq_ = snd_nxt_;
+    EmitSegment(kTcpFin | kTcpAck, snd_nxt_, ByteView());
+    snd_nxt_ += 1;
+    fin_sent_ = true;
+  }
+  if (snd_nxt_ != snd_una_) {
+    ArmTimer();
+  }
+}
+
+void TcpConnection::ArmTimer() {
+  if (timer_id_.has_value()) {
+    return;
+  }
+  timer_id_ = clock_.ScheduleAfter(rto_, [this] {
+    timer_id_.reset();
+    OnTimeout();
+  });
+}
+
+void TcpConnection::CancelTimer() {
+  if (timer_id_.has_value()) {
+    clock_.Cancel(*timer_id_);
+    timer_id_.reset();
+  }
+}
+
+void TcpConnection::OnTimeout() {
+  if (state_ == TcpState::kClosed) {
+    return;
+  }
+  if (state_ == TcpState::kTimeWait) {
+    state_ = TcpState::kClosed;
+    return;
+  }
+  if (snd_una_ == snd_nxt_) {
+    return;  // everything acked in the meantime
+  }
+  if (++retries_ > kMaxRetries) {
+    Abort();
+    return;
+  }
+  ++stats_.retransmits;
+  rto_ = std::min<SimTime>(rto_ * 2, 10 * kSecond);
+  // Retransmit from snd_una: control segments first, then the oldest data.
+  if (state_ == TcpState::kSynSent) {
+    EmitSegment(kTcpSyn, iss_, ByteView());
+  } else if (state_ == TcpState::kSynRcvd) {
+    EmitSegment(kTcpSyn | kTcpAck, iss_, ByteView());
+  } else if (!inflight_.empty()) {
+    size_t n = std::min<size_t>(inflight_.size(), kMss);
+    Bytes chunk(inflight_.begin(), inflight_.begin() + n);
+    EmitSegment(kTcpAck, snd_una_, ByteView(chunk));
+  } else if (fin_sent_ && snd_una_ <= fin_seq_) {
+    EmitSegment(kTcpFin | kTcpAck, fin_seq_, ByteView());
+  }
+  ArmTimer();
+}
+
+void TcpConnection::ProcessAck(uint32_t ack) {
+  // Sequence arithmetic is simplified (no wraparound; simulation-scale).
+  if (ack <= snd_una_ || ack > snd_nxt_) {
+    return;
+  }
+  uint32_t newly_acked = ack - snd_una_;
+  // The FIN consumes a sequence number but is not in the inflight buffer.
+  uint32_t data_acked = std::min<uint32_t>(newly_acked, inflight_.size());
+  inflight_.erase(inflight_.begin(), inflight_.begin() + data_acked);
+  snd_una_ = ack;
+  retries_ = 0;
+  rto_ = kInitialRto;
+  CancelTimer();
+  TrySend();
+  if (snd_una_ != snd_nxt_) {
+    ArmTimer();
+  }
+}
+
+void TcpConnection::HandleEstablishedSegment(const Packet& segment) {
+  if (segment.Has(kTcpAck)) {
+    ProcessAck(segment.ack);
+  }
+  if (segment.Has(kTcpSyn)) {
+    // A retransmitted SYN|ACK means our handshake ACK was lost: re-ack so the
+    // peer can leave SYN_RCVD.
+    EmitSegment(kTcpAck, snd_nxt_, ByteView());
+    return;
+  }
+  bool advanced = false;
+  if (!segment.payload.empty()) {
+    if (segment.seq == rcv_nxt_) {
+      recv_buf_.insert(recv_buf_.end(), segment.payload.begin(), segment.payload.end());
+      rcv_nxt_ += segment.payload.size();
+      stats_.bytes_received += segment.payload.size();
+      advanced = true;
+    } else {
+      // Out of order (or duplicate): drop; the duplicate ACK below tells the
+      // sender where we are.
+      ++stats_.out_of_order_drops;
+    }
+  }
+  if (segment.Has(kTcpFin) && segment.seq + segment.payload.size() == rcv_nxt_) {
+    rcv_nxt_ += 1;
+    peer_fin_seen_ = true;
+    advanced = true;
+    if (state_ == TcpState::kEstablished) {
+      state_ = TcpState::kCloseWait;
+    } else if (state_ == TcpState::kFinWait1) {
+      // Simultaneous close; treat as FIN after our FIN was acked handled below.
+      state_ = TcpState::kCloseWait;
+    } else if (state_ == TcpState::kFinWait2) {
+      EnterTimeWait();
+    }
+  }
+  if (advanced || !segment.payload.empty() || segment.Has(kTcpFin)) {
+    EmitSegment(kTcpAck, snd_nxt_, ByteView());
+  }
+}
+
+void TcpConnection::EnterTimeWait() {
+  state_ = TcpState::kTimeWait;
+  EmitSegment(kTcpAck, snd_nxt_, ByteView());
+  CancelTimer();
+  timer_id_ = clock_.ScheduleAfter(2 * kInitialRto, [this] {
+    timer_id_.reset();
+    state_ = TcpState::kClosed;
+  });
+}
+
+void TcpConnection::OnSegment(const Packet& segment) {
+  ++stats_.segments_received;
+  if (segment.Has(kTcpRst)) {
+    state_ = TcpState::kClosed;
+    CancelTimer();
+    return;
+  }
+  switch (state_) {
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      // Listening demux is the stack's job; stray segments get RST.
+      if (!segment.Has(kTcpRst)) {
+        EmitSegment(kTcpRst, segment.ack, ByteView());
+      }
+      return;
+    case TcpState::kSynSent:
+      if (segment.Has(kTcpSyn) && segment.Has(kTcpAck) && segment.ack == snd_nxt_) {
+        rcv_nxt_ = segment.seq + 1;
+        snd_una_ = segment.ack;
+        state_ = TcpState::kEstablished;
+        retries_ = 0;
+        rto_ = kInitialRto;
+        CancelTimer();
+        EmitSegment(kTcpAck, snd_nxt_, ByteView());
+        TrySend();
+      }
+      return;
+    case TcpState::kSynRcvd:
+      if (segment.Has(kTcpAck) && segment.ack == snd_nxt_) {
+        snd_una_ = segment.ack;
+        state_ = TcpState::kEstablished;
+        retries_ = 0;
+        rto_ = kInitialRto;
+        CancelTimer();
+        // The handshake ACK may carry data.
+        if (!segment.payload.empty() || segment.Has(kTcpFin)) {
+          HandleEstablishedSegment(segment);
+        }
+      } else if (segment.Has(kTcpSyn)) {
+        // Duplicate SYN: re-answer.
+        EmitSegment(kTcpSyn | kTcpAck, iss_, ByteView());
+      }
+      return;
+    case TcpState::kEstablished:
+    case TcpState::kCloseWait:
+      HandleEstablishedSegment(segment);
+      return;
+    case TcpState::kFinWait1:
+      HandleEstablishedSegment(segment);
+      if (state_ == TcpState::kCloseWait) {
+        // Peer's FIN arrived; if ours is acked too, go through TIME_WAIT.
+        if (snd_una_ == snd_nxt_) {
+          EnterTimeWait();
+        } else {
+          state_ = TcpState::kLastAck;
+        }
+        return;
+      }
+      if (fin_sent_ && snd_una_ > fin_seq_) {
+        state_ = TcpState::kFinWait2;
+      }
+      return;
+    case TcpState::kFinWait2:
+      HandleEstablishedSegment(segment);
+      return;
+    case TcpState::kLastAck:
+      if (segment.Has(kTcpAck)) {
+        ProcessAck(segment.ack);
+        if (snd_una_ == snd_nxt_) {
+          state_ = TcpState::kClosed;
+          CancelTimer();
+        }
+      }
+      return;
+    case TcpState::kTimeWait:
+      if (segment.Has(kTcpFin)) {
+        EmitSegment(kTcpAck, snd_nxt_, ByteView());  // re-ack a retransmitted FIN
+      }
+      return;
+  }
+}
+
+}  // namespace skern

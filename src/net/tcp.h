@@ -1,0 +1,137 @@
+// Minimal TCP engine: handshake, ordered byte stream with cumulative ACKs,
+// timeout retransmission with exponential backoff, FIN teardown, RST.
+//
+// This is the protocol logic both socket layers share; what §4.1 is about is
+// where this state LIVES — embedded in the generic socket (monolithic) or
+// behind a protocol module (modular). See stack_monolithic.h / stack_modular.h.
+//
+// Simplifications (documented in DESIGN.md): fixed MSS and window, no SACK,
+// out-of-order segments are dropped (cumulative-ACK retransmission recovers
+// them), no delayed ACKs, no congestion control beyond RTO backoff.
+#ifndef SKERN_SRC_NET_TCP_H_
+#define SKERN_SRC_NET_TCP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/base/sim_clock.h"
+#include "src/base/status.h"
+#include "src/net/packet.h"
+
+namespace skern {
+
+enum class TcpState : uint8_t {
+  kClosed = 0,
+  kListen,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kLastAck,
+  kTimeWait,
+};
+
+const char* TcpStateName(TcpState state);
+
+struct TcpStats {
+  uint64_t segments_sent = 0;
+  uint64_t segments_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t retransmits = 0;
+  uint64_t out_of_order_drops = 0;
+};
+
+class TcpConnection {
+ public:
+  using SendFn = std::function<void(Packet&&)>;
+
+  static constexpr uint32_t kMss = 1000;
+  static constexpr uint32_t kWindow = 64 * 1024;
+  static constexpr SimTime kInitialRto = 200 * kMillisecond;
+  static constexpr int kMaxRetries = 8;
+
+  // Active open: immediately sends SYN. (Heap-allocated: the retransmission
+  // timer closure pins the object's address.)
+  static std::unique_ptr<TcpConnection> Connect(SimClock& clock, SendFn send, NetAddr local,
+                                                NetAddr remote);
+
+  // Passive open from a received SYN: immediately sends SYN|ACK.
+  static std::unique_ptr<TcpConnection> FromSyn(SimClock& clock, SendFn send, NetAddr local,
+                                                const Packet& syn);
+
+  TcpConnection(TcpConnection&&) = delete;
+  TcpConnection& operator=(TcpConnection&&) = delete;
+  ~TcpConnection();
+
+  // Queues application data; transmission is driven by ACK clocking and the
+  // retransmission timer.
+  Status Send(ByteView data);
+
+  // Drains up to `max` bytes of in-order received data.
+  Bytes Recv(size_t max);
+  size_t Available() const { return recv_buf_.size(); }
+
+  // True once the peer's FIN has been consumed and the buffer is drained.
+  bool PeerClosed() const { return peer_fin_seen_ && recv_buf_.empty(); }
+
+  // Initiates teardown (FIN after pending data drains).
+  void Close();
+
+  // Hard reset (sends RST, drops state).
+  void Abort();
+
+  void OnSegment(const Packet& segment);
+
+  TcpState state() const { return state_; }
+  const TcpStats& stats() const { return stats_; }
+  NetAddr local() const { return local_; }
+  NetAddr remote() const { return remote_; }
+
+ private:
+  TcpConnection(SimClock& clock, SendFn send, NetAddr local, NetAddr remote);
+
+  void EmitSegment(uint8_t flags, uint32_t seq, ByteView payload);
+  void TrySend();
+  void ArmTimer();
+  void CancelTimer();
+  void OnTimeout();
+  void EnterTimeWait();
+  void HandleEstablishedSegment(const Packet& segment);
+  void ProcessAck(uint32_t ack);
+
+  SimClock& clock_;
+  SendFn send_;
+  NetAddr local_;
+  NetAddr remote_;
+  TcpState state_ = TcpState::kClosed;
+
+  uint32_t iss_ = 0;      // initial send sequence
+  uint32_t snd_una_ = 0;  // oldest unacknowledged
+  uint32_t snd_nxt_ = 0;  // next sequence to send
+  uint32_t rcv_nxt_ = 0;  // next expected from peer
+
+  std::deque<uint8_t> pending_;   // app data not yet transmitted
+  std::deque<uint8_t> inflight_;  // transmitted, unacknowledged [snd_una, snd_nxt)
+  std::deque<uint8_t> recv_buf_;  // in-order data for the app
+
+  bool fin_pending_ = false;  // app closed; FIN not yet sent
+  bool fin_sent_ = false;
+  uint32_t fin_seq_ = 0;
+  bool peer_fin_seen_ = false;
+
+  std::optional<uint64_t> timer_id_;
+  SimTime rto_ = kInitialRto;
+  int retries_ = 0;
+
+  TcpStats stats_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_TCP_H_

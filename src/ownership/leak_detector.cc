@@ -1,0 +1,80 @@
+#include "src/ownership/leak_detector.h"
+
+#include "src/ownership/ownership.h"
+
+namespace skern {
+
+LeakDetector& LeakDetector::Get() {
+  static LeakDetector* detector = new LeakDetector();
+  return *detector;
+}
+
+uint64_t LeakDetector::OnAlloc(const std::string& label, size_t size) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t ticket = next_ticket_++;
+  live_[ticket] = Allocation{label, size};
+  return ticket;
+}
+
+void LeakDetector::OnFree(uint64_t ticket) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  live_.erase(ticket);
+}
+
+size_t LeakDetector::LiveCount() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return live_.size();
+}
+
+size_t LeakDetector::LiveBytes() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  size_t total = 0;
+  for (const auto& [ticket, alloc] : live_) {
+    total += alloc.size;
+  }
+  return total;
+}
+
+std::vector<std::string> LeakDetector::LiveLabels() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<std::string> labels;
+  labels.reserve(live_.size());
+  for (const auto& [ticket, alloc] : live_) {
+    labels.push_back(alloc.label);
+  }
+  return labels;
+}
+
+void LeakDetector::ResetForTesting() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  live_.clear();
+}
+
+LeakScope::LeakScope() {
+  // Watermark: tickets issued before the scope began are outside it.
+  auto& detector = LeakDetector::Get();
+  std::lock_guard<std::mutex> guard(detector.mutex_);
+  watermark_ = detector.next_ticket_;
+}
+
+LeakScope::~LeakScope() {
+  size_t leaks = PendingLeaks();
+  for (size_t i = 0; i < leaks; ++i) {
+    internal::ReportOwnershipViolation(OwnershipViolation::kLeak,
+                                       "allocation outlived its LeakScope");
+  }
+}
+
+size_t LeakScope::PendingLeaks() const {
+  auto& detector = LeakDetector::Get();
+  std::lock_guard<std::mutex> guard(detector.mutex_);
+  size_t count = 0;
+  for (const auto& [ticket, alloc] : detector.live_) {
+    if (ticket >= watermark_) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace skern

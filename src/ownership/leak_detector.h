@@ -1,0 +1,73 @@
+// Allocation-scope leak detection.
+//
+// Ownership safety promises freedom from memory leaks (§3 step 3: "from NULL
+// pointer dereferences to buffer overruns to memory leaks to data races").
+// RAII makes leaks impossible for well-typed code; the legacy module and the
+// fault injector can still leak through raw allocation. The LeakDetector
+// gives both sides a common ledger: allocations registered here must be
+// released before the enclosing LeakScope closes.
+#ifndef SKERN_SRC_OWNERSHIP_LEAK_DETECTOR_H_
+#define SKERN_SRC_OWNERSHIP_LEAK_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace skern {
+
+class LeakDetector {
+ public:
+  static LeakDetector& Get();
+
+  // Registers a live allocation under a label (e.g. "legacyfs.inode").
+  // Returns a ticket to pass to OnFree.
+  uint64_t OnAlloc(const std::string& label, size_t size);
+  void OnFree(uint64_t ticket);
+
+  // Number of currently-live registered allocations.
+  size_t LiveCount() const;
+  size_t LiveBytes() const;
+
+  // Labels of currently-live allocations (for reporting).
+  std::vector<std::string> LiveLabels() const;
+
+  void ResetForTesting();
+
+ private:
+  friend class LeakScope;
+
+  LeakDetector() = default;
+
+  struct Allocation {
+    std::string label;
+    size_t size;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Allocation> live_;
+  uint64_t next_ticket_ = 1;
+};
+
+// RAII scope: captures the live set at construction; anything still live at
+// destruction that was allocated inside the scope is counted as a leak and
+// reported through OwnershipStats (kLeak).
+class LeakScope {
+ public:
+  LeakScope();
+  ~LeakScope();
+
+  LeakScope(const LeakScope&) = delete;
+  LeakScope& operator=(const LeakScope&) = delete;
+
+  // Leaks detected so far if the scope were to close now.
+  size_t PendingLeaks() const;
+
+ private:
+  uint64_t watermark_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_OWNERSHIP_LEAK_DETECTOR_H_

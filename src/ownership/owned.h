@@ -1,0 +1,414 @@
+// Owned<T> and the three ownership-sharing models of §4.3.
+//
+// The paper's interface contracts, restated as the runtime state machine each
+// cell enforces:
+//
+//   model 1  Transferred<T>   "Memory ownership is passed. The caller can no
+//                              longer access the memory. The callee must free
+//                              the memory."
+//   model 2  ExclusiveLend<T> "Exclusive rights to the whole memory region are
+//                              passed. The caller cannot access the memory
+//                              until the call returns. The callee can mutate
+//                              the memory but not free it and cannot access
+//                              the memory after the call returns."
+//   model 3  SharedLend<T>    "Non-exclusive rights ... The caller, callee,
+//                              and others can read the memory, but none can
+//                              mutate the memory until the call returns."
+//
+// None of the models copies the payload — they hand out views into the same
+// cell, which is the paper's "semantically equivalent to message passing ...
+// but share memory for performance" point (measured by bench/ownership_models
+// against a copying baseline).
+//
+// Enforcement mechanics: a cell carries
+//   * a borrow word   (0 free, -1 exclusive lend, n > 0 shared lends),
+//   * a lifecycle     (alive / freed), and
+//   * an owner token  (which Owned handle currently has ownership rights).
+// Handles keep the cell block alive via shared ownership so that the checker
+// can *detect* use-after-free and use-after-transfer instead of committing
+// them itself; "freed" is a lifecycle fact, not a deallocation.
+//
+// Breaching a contract reports an OwnershipViolation: panic in checked mode,
+// counted in recording mode, skipped in unchecked mode (the ablation).
+#ifndef SKERN_SRC_OWNERSHIP_OWNED_H_
+#define SKERN_SRC_OWNERSHIP_OWNED_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "src/base/panic.h"
+#include "src/ownership/ownership.h"
+
+namespace skern {
+
+template <typename T>
+class Transferred;
+template <typename T>
+class ExclusiveLend;
+template <typename T>
+class SharedLend;
+
+namespace internal {
+
+// Process-unique ownership tokens.
+uint64_t NextOwnerToken();
+
+enum class CellLifecycle : uint8_t {
+  kAlive = 0,
+  kFreed = 1,
+};
+
+// Borrow word: 0 = no lends, -1 = exclusive lend, n > 0 = n shared lends.
+inline constexpr int32_t kExclusiveBorrow = -1;
+
+template <typename T>
+struct Cell {
+  template <typename... Args>
+  explicit Cell(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T value;
+  std::atomic<int32_t> borrow{0};
+  std::atomic<CellLifecycle> lifecycle{CellLifecycle::kAlive};
+  std::atomic<uint64_t> owner_token{0};
+};
+
+}  // namespace internal
+
+// The owning handle. Move-only; the destructor releases the payload. All
+// lends and transfers originate here.
+template <typename T>
+class Owned {
+ public:
+  template <typename... Args>
+  static Owned Make(Args&&... args) {
+    auto cell = std::make_shared<internal::Cell<T>>(std::forward<Args>(args)...);
+    uint64_t token = internal::NextOwnerToken();
+    cell->owner_token.store(token, std::memory_order_release);
+    return Owned(std::move(cell), token);
+  }
+
+  explicit Owned(T value) : Owned(Make(std::move(value))) {}
+
+  Owned(Owned&& other) noexcept : cell_(std::move(other.cell_)), token_(other.token_) {}
+  Owned& operator=(Owned&& other) noexcept {
+    if (this != &other) {
+      ReleaseOwnership();
+      cell_ = std::move(other.cell_);
+      token_ = other.token_;
+    }
+    return *this;
+  }
+
+  Owned(const Owned&) = delete;
+  Owned& operator=(const Owned&) = delete;
+
+  ~Owned() { ReleaseOwnership(); }
+
+  // True if this handle currently owns a live cell.
+  bool valid() const {
+    return cell_ != nullptr &&
+           cell_->lifecycle.load(std::memory_order_acquire) == internal::CellLifecycle::kAlive &&
+           cell_->owner_token.load(std::memory_order_acquire) == token_;
+  }
+
+  // Owner read access. Allowed during shared lends; forbidden during an
+  // exclusive lend and after transfer/free.
+  const T& Get() const {
+    SKERN_CHECK_MSG(cell_ != nullptr, "access through a moved-from Owned handle");
+    if (GetOwnershipMode() != OwnershipMode::kUnchecked) {
+      CheckReadable("Owned::Get");
+    }
+    return cell_->value;
+  }
+
+  // Owner mutable access. Forbidden during any lend and after transfer/free.
+  T& GetMut() {
+    SKERN_CHECK_MSG(cell_ != nullptr, "access through a moved-from Owned handle");
+    if (GetOwnershipMode() != OwnershipMode::kUnchecked) {
+      CheckWritable("Owned::GetMut");
+    }
+    return cell_->value;
+  }
+
+  const T& operator*() const { return Get(); }
+  const T* operator->() const { return &Get(); }
+
+  // Model 2: lends exclusive mutate rights for the lend's lifetime.
+  ExclusiveLend<T> LendExclusive();
+
+  // Model 3: lends shared read rights; any number may coexist.
+  SharedLend<T> LendShared() const;
+
+  // Model 1: passes ownership out of this handle. This handle goes stale
+  // (further access is a use-after-transfer violation); the Transferred
+  // value must be Accept()ed by the new owner, who then frees it.
+  Transferred<T> Transfer();
+
+  // Explicitly frees the payload now. Freeing twice is a double-free
+  // violation; freeing with lends outstanding is a use-after-free hazard.
+  void Free() {
+    if (cell_ == nullptr) {
+      return;
+    }
+    if (GetOwnershipMode() == OwnershipMode::kUnchecked) {
+      cell_.reset();
+      return;
+    }
+    auto life = cell_->lifecycle.load(std::memory_order_acquire);
+    if (life == internal::CellLifecycle::kFreed) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kDoubleFree, "Owned::Free");
+      return;
+    }
+    if (cell_->owner_token.load(std::memory_order_acquire) != token_) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterTransfer,
+                                         "Owned::Free after transfer");
+      return;
+    }
+    if (cell_->borrow.load(std::memory_order_acquire) != 0) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterFree,
+                                         "freeing a cell with outstanding lends");
+    }
+    cell_->lifecycle.store(internal::CellLifecycle::kFreed, std::memory_order_release);
+  }
+
+ private:
+  template <typename U>
+  friend class Transferred;
+  template <typename U>
+  friend class ExclusiveLend;
+  template <typename U>
+  friend class SharedLend;
+
+  Owned(std::shared_ptr<internal::Cell<T>> cell, uint64_t token)
+      : cell_(std::move(cell)), token_(token) {}
+
+  // Destructor/assignment path: frees only if this handle still owns.
+  void ReleaseOwnership() {
+    if (cell_ == nullptr) {
+      return;
+    }
+    if (GetOwnershipMode() != OwnershipMode::kUnchecked &&
+        cell_->owner_token.load(std::memory_order_acquire) == token_ &&
+        cell_->lifecycle.load(std::memory_order_acquire) == internal::CellLifecycle::kAlive) {
+      if (cell_->borrow.load(std::memory_order_acquire) != 0) {
+        internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterFree,
+                                           "owner destroyed with outstanding lends");
+      }
+      cell_->lifecycle.store(internal::CellLifecycle::kFreed, std::memory_order_release);
+    }
+    cell_.reset();
+  }
+
+  void CheckReadable(const char* who) const {
+    if (cell_->lifecycle.load(std::memory_order_acquire) == internal::CellLifecycle::kFreed) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterFree, who);
+      return;
+    }
+    if (cell_->owner_token.load(std::memory_order_acquire) != token_) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterTransfer, who);
+      return;
+    }
+    if (cell_->borrow.load(std::memory_order_acquire) == internal::kExclusiveBorrow) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseWhileLentExclusive, who);
+    }
+  }
+
+  void CheckWritable(const char* who) const {
+    if (cell_->lifecycle.load(std::memory_order_acquire) == internal::CellLifecycle::kFreed) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterFree, who);
+      return;
+    }
+    if (cell_->owner_token.load(std::memory_order_acquire) != token_) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterTransfer, who);
+      return;
+    }
+    int32_t borrow = cell_->borrow.load(std::memory_order_acquire);
+    if (borrow == internal::kExclusiveBorrow) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseWhileLentExclusive, who);
+    } else if (borrow > 0) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kMutateWhileShared, who);
+    }
+  }
+
+  std::shared_ptr<internal::Cell<T>> cell_;
+  uint64_t token_ = 0;
+};
+
+// Model 2 handle. RAII: rights return to the owner when the lend dies.
+template <typename T>
+class ExclusiveLend {
+ public:
+  ExclusiveLend(ExclusiveLend&& other) noexcept
+      : cell_(std::move(other.cell_)), holds_(other.holds_) {
+    other.holds_ = false;
+  }
+  ExclusiveLend& operator=(ExclusiveLend&&) = delete;
+  ExclusiveLend(const ExclusiveLend&) = delete;
+  ExclusiveLend& operator=(const ExclusiveLend&) = delete;
+
+  ~ExclusiveLend() {
+    if (holds_) {
+      cell_->borrow.store(0, std::memory_order_release);
+    }
+  }
+
+  T& operator*() const { return cell_->value; }
+  T* operator->() const { return &cell_->value; }
+  T& Get() const { return cell_->value; }
+
+ private:
+  friend class Owned<T>;
+
+  explicit ExclusiveLend(std::shared_ptr<internal::Cell<T>> cell) : cell_(std::move(cell)) {
+    if (GetOwnershipMode() == OwnershipMode::kUnchecked) {
+      return;
+    }
+    int32_t expected = 0;
+    if (cell_->borrow.compare_exchange_strong(expected, internal::kExclusiveBorrow,
+                                              std::memory_order_acq_rel)) {
+      holds_ = true;
+    } else {
+      // Someone else holds rights: a would-be data race, caught here. This
+      // lend proceeds without the reservation (recording mode) so the dtor
+      // must not clobber the real holder's state.
+      internal::ReportOwnershipViolation(
+          expected > 0 ? OwnershipViolation::kMutateWhileShared
+                       : OwnershipViolation::kUseWhileLentExclusive,
+          "ExclusiveLend while other lends outstanding");
+    }
+  }
+
+  std::shared_ptr<internal::Cell<T>> cell_;
+  bool holds_ = false;
+};
+
+// Model 3 handle. Read-only; any number may coexist.
+template <typename T>
+class SharedLend {
+ public:
+  SharedLend(SharedLend&& other) noexcept : cell_(std::move(other.cell_)), holds_(other.holds_) {
+    other.holds_ = false;
+  }
+  SharedLend& operator=(SharedLend&&) = delete;
+  SharedLend(const SharedLend&) = delete;
+  SharedLend& operator=(const SharedLend&) = delete;
+
+  ~SharedLend() {
+    if (holds_) {
+      cell_->borrow.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  const T& operator*() const { return cell_->value; }
+  const T* operator->() const { return &cell_->value; }
+  const T& Get() const { return cell_->value; }
+
+ private:
+  friend class Owned<T>;
+
+  explicit SharedLend(std::shared_ptr<internal::Cell<T>> cell) : cell_(std::move(cell)) {
+    if (GetOwnershipMode() == OwnershipMode::kUnchecked) {
+      return;
+    }
+    for (;;) {
+      int32_t cur = cell_->borrow.load(std::memory_order_acquire);
+      if (cur < 0) {
+        internal::ReportOwnershipViolation(OwnershipViolation::kUseWhileLentExclusive,
+                                           "SharedLend during an exclusive lend");
+        return;  // proceed without a reservation
+      }
+      if (cell_->borrow.compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel)) {
+        holds_ = true;
+        return;
+      }
+    }
+  }
+
+  std::shared_ptr<internal::Cell<T>> cell_;
+  bool holds_ = false;
+};
+
+// Model 1 in-flight value. Must be Accept()ed exactly once; dropping it
+// unconsumed is a violation (the callee, per the contract, was responsible
+// for the memory and never took it).
+template <typename T>
+class Transferred {
+ public:
+  Transferred(Transferred&& other) noexcept
+      : cell_(std::move(other.cell_)), token_(other.token_) {}
+  Transferred& operator=(Transferred&&) = delete;
+  Transferred(const Transferred&) = delete;
+  Transferred& operator=(const Transferred&) = delete;
+
+  ~Transferred() {
+    if (cell_ != nullptr && GetOwnershipMode() != OwnershipMode::kUnchecked) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUnconsumedTransfer,
+                                         "Transferred dropped without Accept()");
+      cell_->lifecycle.store(internal::CellLifecycle::kFreed, std::memory_order_release);
+    }
+  }
+
+  // The new owner takes over; its Owned handle is now responsible for the
+  // payload's lifetime.
+  Owned<T> Accept() {
+    SKERN_CHECK_MSG(cell_ != nullptr, "Accept() on an empty Transferred");
+    return Owned<T>(std::move(cell_), token_);
+  }
+
+ private:
+  friend class Owned<T>;
+
+  Transferred(std::shared_ptr<internal::Cell<T>> cell, uint64_t token)
+      : cell_(std::move(cell)), token_(token) {}
+
+  std::shared_ptr<internal::Cell<T>> cell_;
+  uint64_t token_;
+};
+
+template <typename T>
+ExclusiveLend<T> Owned<T>::LendExclusive() {
+  SKERN_CHECK_MSG(cell_ != nullptr, "lend from a moved-from Owned handle");
+  if (GetOwnershipMode() != OwnershipMode::kUnchecked) {
+    // Lending requires live ownership; the lend ctor handles borrow conflicts.
+    if (cell_->lifecycle.load(std::memory_order_acquire) == internal::CellLifecycle::kFreed) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterFree,
+                                         "Owned::LendExclusive");
+    } else if (cell_->owner_token.load(std::memory_order_acquire) != token_) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterTransfer,
+                                         "Owned::LendExclusive");
+    }
+  }
+  return ExclusiveLend<T>(cell_);
+}
+
+template <typename T>
+SharedLend<T> Owned<T>::LendShared() const {
+  SKERN_CHECK_MSG(cell_ != nullptr, "lend from a moved-from Owned handle");
+  if (GetOwnershipMode() != OwnershipMode::kUnchecked) {
+    if (cell_->lifecycle.load(std::memory_order_acquire) == internal::CellLifecycle::kFreed) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterFree, "Owned::LendShared");
+    } else if (cell_->owner_token.load(std::memory_order_acquire) != token_) {
+      internal::ReportOwnershipViolation(OwnershipViolation::kUseAfterTransfer,
+                                         "Owned::LendShared");
+    }
+  }
+  return SharedLend<T>(cell_);
+}
+
+template <typename T>
+Transferred<T> Owned<T>::Transfer() {
+  SKERN_CHECK_MSG(cell_ != nullptr, "transfer from a moved-from Owned handle");
+  uint64_t new_token = internal::NextOwnerToken();
+  if (GetOwnershipMode() != OwnershipMode::kUnchecked) {
+    CheckWritable("Owned::Transfer");
+  }
+  cell_->owner_token.store(new_token, std::memory_order_release);
+  // This handle keeps a reference (so stale access is detectable and memory-
+  // safe) but no longer matches the owner token.
+  return Transferred<T>(cell_, new_token);
+}
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_OWNERSHIP_OWNED_H_

@@ -1,0 +1,86 @@
+#include "src/ownership/ownership.h"
+
+#include "src/base/panic.h"
+
+namespace skern {
+namespace {
+
+std::atomic<OwnershipMode> g_mode{OwnershipMode::kChecked};
+
+}  // namespace
+
+OwnershipMode GetOwnershipMode() { return g_mode.load(std::memory_order_relaxed); }
+
+void SetOwnershipMode(OwnershipMode mode) { g_mode.store(mode, std::memory_order_relaxed); }
+
+ScopedOwnershipMode::ScopedOwnershipMode(OwnershipMode mode) : previous_(GetOwnershipMode()) {
+  SetOwnershipMode(mode);
+}
+
+ScopedOwnershipMode::~ScopedOwnershipMode() { SetOwnershipMode(previous_); }
+
+const char* OwnershipViolationName(OwnershipViolation v) {
+  switch (v) {
+    case OwnershipViolation::kUseAfterTransfer:
+      return "use-after-transfer";
+    case OwnershipViolation::kUseWhileLentExclusive:
+      return "use-while-lent-exclusive";
+    case OwnershipViolation::kMutateWhileShared:
+      return "mutate-while-shared";
+    case OwnershipViolation::kUseAfterFree:
+      return "use-after-free";
+    case OwnershipViolation::kDoubleFree:
+      return "double-free";
+    case OwnershipViolation::kLeak:
+      return "leak";
+    case OwnershipViolation::kUnconsumedTransfer:
+      return "unconsumed-transfer";
+    case OwnershipViolation::kCount:
+      break;
+  }
+  return "unknown-violation";
+}
+
+OwnershipStats& OwnershipStats::Get() {
+  static OwnershipStats* stats = new OwnershipStats();
+  return *stats;
+}
+
+void OwnershipStats::Record(OwnershipViolation v) {
+  counts_[static_cast<size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t OwnershipStats::Count(OwnershipViolation v) const {
+  return counts_[static_cast<size_t>(v)].load(std::memory_order_relaxed);
+}
+
+uint64_t OwnershipStats::Total() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void OwnershipStats::ResetForTesting() {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace internal {
+
+uint64_t NextOwnerToken() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ReportOwnershipViolation(OwnershipViolation v, const char* detail) {
+  OwnershipStats::Get().Record(v);
+  if (GetOwnershipMode() == OwnershipMode::kChecked) {
+    Panic(std::string("ownership violation: ") + OwnershipViolationName(v) + ": " + detail);
+  }
+}
+
+}  // namespace internal
+}  // namespace skern

@@ -1,0 +1,90 @@
+// Ownership-safety runtime: configuration, violation kinds, statistics.
+//
+// §4.3 proposes interfaces "semantically equivalent to message passing
+// interfaces but [that] share memory for performance reasons", with three
+// sharing models:
+//   (1) ownership is passed: the caller can no longer access the memory and
+//       the callee must free it                      -> Transferred<T>
+//   (2) exclusive rights are passed for the call:    -> ExclusiveLend<T>
+//   (3) non-exclusive read rights are passed:        -> SharedLend<T>
+// (see src/ownership/owned.h).
+//
+// Rust enforces these contracts at compile time. C++ cannot, so skern enforces
+// model 1 at compile time via move-only types and models 2/3 at runtime with
+// per-cell borrow state. A contract breach is an *ownership violation*: by
+// default it panics (the module is "immune to entire classes of bugs" because
+// the bug cannot proceed); the fault-injection harness switches to record-only
+// mode to count what would have been caught.
+//
+// The checks can be compiled down to nothing (release semantics) with
+// SetOwnershipMode(OwnershipMode::kUnchecked) — the ablation measured by
+// bench/ownership_models.
+#ifndef SKERN_SRC_OWNERSHIP_OWNERSHIP_H_
+#define SKERN_SRC_OWNERSHIP_OWNERSHIP_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace skern {
+
+enum class OwnershipMode : uint8_t {
+  kChecked = 0,    // violations panic (production safety posture)
+  kRecording = 1,  // violations are counted but execution continues (harness)
+  kUnchecked = 2,  // checks are skipped entirely (performance ablation)
+};
+
+OwnershipMode GetOwnershipMode();
+void SetOwnershipMode(OwnershipMode mode);
+
+// RAII mode override for tests and the fault-injection harness.
+class ScopedOwnershipMode {
+ public:
+  explicit ScopedOwnershipMode(OwnershipMode mode);
+  ~ScopedOwnershipMode();
+  ScopedOwnershipMode(const ScopedOwnershipMode&) = delete;
+  ScopedOwnershipMode& operator=(const ScopedOwnershipMode&) = delete;
+
+ private:
+  OwnershipMode previous_;
+};
+
+enum class OwnershipViolation : uint8_t {
+  kUseAfterTransfer = 0,   // caller touched memory after model-1 handoff
+  kUseWhileLentExclusive,  // owner touched memory during a model-2 lend
+  kMutateWhileShared,      // anyone mutated during a model-3 lend
+  kUseAfterFree,           // access to a destroyed cell
+  kDoubleFree,             // cell freed twice
+  kLeak,                   // transferred value never consumed/freed
+  kUnconsumedTransfer,     // Transferred<T> dropped without Accept()
+  kCount,                  // sentinel
+};
+
+const char* OwnershipViolationName(OwnershipViolation v);
+
+// Process-wide violation counters, indexed by OwnershipViolation.
+class OwnershipStats {
+ public:
+  static OwnershipStats& Get();
+
+  void Record(OwnershipViolation v);
+  uint64_t Count(OwnershipViolation v) const;
+  uint64_t Total() const;
+  void ResetForTesting();
+
+ private:
+  OwnershipStats() = default;
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(OwnershipViolation::kCount)> counts_{};
+};
+
+namespace internal {
+
+// Reports a violation according to the current mode. Returns normally only in
+// recording/unchecked modes.
+void ReportOwnershipViolation(OwnershipViolation v, const char* detail);
+
+}  // namespace internal
+}  // namespace skern
+
+#endif  // SKERN_SRC_OWNERSHIP_OWNERSHIP_H_

@@ -1,0 +1,397 @@
+#include "src/spec/fs_model.h"
+
+#include <algorithm>
+
+namespace skern {
+namespace specpath {
+
+Result<std::string> Normalize(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Errno::kEINVAL;
+  }
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i <= path.size()) {
+    size_t next = path.find('/', i);
+    if (next == std::string::npos) {
+      next = path.size();
+    }
+    std::string part = path.substr(i, next - i);
+    if (part == "..") {
+      return Errno::kEINVAL;
+    }
+    if (!part.empty() && part != ".") {
+      // Matches the on-disk dirent name capacity (kMaxNameLen in
+      // src/fs/layout.h) so the specification and implementations agree.
+      if (part.size() > 54) {
+        return Errno::kENAMETOOLONG;
+      }
+      parts.push_back(std::move(part));
+    }
+    i = next + 1;
+  }
+  if (parts.empty()) {
+    return std::string("/");
+  }
+  std::string out;
+  for (const auto& part : parts) {
+    out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::string Parent(const std::string& normalized) {
+  if (normalized == "/") {
+    return "/";
+  }
+  size_t pos = normalized.rfind('/');
+  if (pos == 0) {
+    return "/";
+  }
+  return normalized.substr(0, pos);
+}
+
+std::string Basename(const std::string& normalized) {
+  if (normalized == "/") {
+    return "";
+  }
+  size_t pos = normalized.rfind('/');
+  return normalized.substr(pos + 1);
+}
+
+bool IsPrefix(const std::string& prefix, const std::string& path) {
+  if (prefix == path) {
+    return true;
+  }
+  if (prefix == "/") {
+    return true;
+  }
+  return path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+         path[prefix.size()] == '/';
+}
+
+std::string SubstitutePrefix(const std::string& from, const std::string& to,
+                             const std::string& path) {
+  if (path == from) {
+    return to;
+  }
+  // path is underneath from: replace the leading segment.
+  return to + path.substr(from.size());
+}
+
+}  // namespace specpath
+
+FsModel::NodeKind FsModel::KindOf(const FsModelState& s, const std::string& path) const {
+  if (s.dirs.count(path) > 0) {
+    return NodeKind::kDir;
+  }
+  if (s.files.count(path) > 0) {
+    return NodeKind::kFile;
+  }
+  return NodeKind::kMissing;
+}
+
+Status FsModel::CheckPathPrefix(const std::string& path) const {
+  if (path == "/") {
+    return Status::Ok();
+  }
+  // Proper ancestors, shallowest first: for "/a/b/c" check "/a", then "/a/b".
+  size_t pos = 1;
+  for (;;) {
+    size_t next = path.find('/', pos);
+    if (next == std::string::npos) {
+      return Status::Ok();  // final component is not an ancestor
+    }
+    std::string ancestor = path.substr(0, next);
+    switch (KindOf(state_, ancestor)) {
+      case NodeKind::kDir:
+        break;
+      case NodeKind::kFile:
+        return Status::Error(Errno::kENOTDIR);
+      case NodeKind::kMissing:
+        return Status::Error(Errno::kENOENT);
+    }
+    pos = next + 1;
+  }
+}
+
+Status FsModel::Create(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  if (p == "/") {
+    return Status::Error(Errno::kEEXIST);
+  }
+  if (KindOf(state_, p) != NodeKind::kMissing) {
+    return Status::Error(Errno::kEEXIST);
+  }
+  SKERN_RETURN_IF_ERROR(CheckPathPrefix(p));
+  FsModelState next = state_;
+  next.files[p] = Bytes{};
+  state_ = std::move(next);
+  return Status::Ok();
+}
+
+Status FsModel::Mkdir(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  if (p == "/") {
+    return Status::Error(Errno::kEEXIST);
+  }
+  if (KindOf(state_, p) != NodeKind::kMissing) {
+    return Status::Error(Errno::kEEXIST);
+  }
+  SKERN_RETURN_IF_ERROR(CheckPathPrefix(p));
+  FsModelState next = state_;
+  next.dirs.insert(p);
+  state_ = std::move(next);
+  return Status::Ok();
+}
+
+Status FsModel::Unlink(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_RETURN_IF_ERROR(CheckPathPrefix(p));
+  switch (KindOf(state_, p)) {
+    case NodeKind::kMissing:
+      return Status::Error(Errno::kENOENT);
+    case NodeKind::kDir:
+      return Status::Error(Errno::kEISDIR);
+    case NodeKind::kFile:
+      break;
+  }
+  FsModelState next = state_;
+  next.files.erase(p);
+  state_ = std::move(next);
+  return Status::Ok();
+}
+
+Status FsModel::Rmdir(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_RETURN_IF_ERROR(CheckPathPrefix(p));
+  if (p == "/") {
+    return Status::Error(Errno::kEBUSY);
+  }
+  switch (KindOf(state_, p)) {
+    case NodeKind::kMissing:
+      return Status::Error(Errno::kENOENT);
+    case NodeKind::kFile:
+      return Status::Error(Errno::kENOTDIR);
+    case NodeKind::kDir:
+      break;
+  }
+  // Any child (file or dir) under p forbids removal.
+  for (const auto& [file, bytes] : state_.files) {
+    if (specpath::IsPrefix(p, file) && file != p) {
+      return Status::Error(Errno::kENOTEMPTY);
+    }
+  }
+  for (const auto& dir : state_.dirs) {
+    if (specpath::IsPrefix(p, dir) && dir != p) {
+      return Status::Error(Errno::kENOTEMPTY);
+    }
+  }
+  FsModelState next = state_;
+  next.dirs.erase(p);
+  state_ = std::move(next);
+  return Status::Ok();
+}
+
+Status FsModel::Write(const std::string& path, uint64_t offset, ByteView data) {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_RETURN_IF_ERROR(CheckPathPrefix(p));
+  switch (KindOf(state_, p)) {
+    case NodeKind::kMissing:
+      return Status::Error(Errno::kENOENT);
+    case NodeKind::kDir:
+      return Status::Error(Errno::kEISDIR);
+    case NodeKind::kFile:
+      break;
+  }
+  FsModelState next = state_;
+  Bytes& content = next.files[p];
+  uint64_t end = offset + data.size();
+  if (content.size() < end) {
+    content.resize(end, 0);
+  }
+  std::copy(data.data(), data.data() + data.size(), content.begin() + offset);
+  state_ = std::move(next);
+  return Status::Ok();
+}
+
+Result<Bytes> FsModel::Read(const std::string& path, uint64_t offset, uint64_t length) const {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  {
+    Status prefix = CheckPathPrefix(p);
+    if (!prefix.ok()) {
+      return prefix.code();
+    }
+  }
+  switch (KindOf(state_, p)) {
+    case NodeKind::kMissing:
+      return Errno::kENOENT;
+    case NodeKind::kDir:
+      return Errno::kEISDIR;
+    case NodeKind::kFile:
+      break;
+  }
+  const Bytes& content = state_.files.at(p);
+  if (offset >= content.size()) {
+    return Bytes{};
+  }
+  uint64_t avail = content.size() - offset;
+  uint64_t take = std::min(length, avail);
+  return Bytes(content.begin() + offset, content.begin() + offset + take);
+}
+
+Status FsModel::Truncate(const std::string& path, uint64_t new_size) {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_RETURN_IF_ERROR(CheckPathPrefix(p));
+  switch (KindOf(state_, p)) {
+    case NodeKind::kMissing:
+      return Status::Error(Errno::kENOENT);
+    case NodeKind::kDir:
+      return Status::Error(Errno::kEISDIR);
+    case NodeKind::kFile:
+      break;
+  }
+  FsModelState next = state_;
+  next.files[p].resize(new_size, 0);
+  state_ = std::move(next);
+  return Status::Ok();
+}
+
+Status FsModel::Rename(const std::string& from, const std::string& to) {
+  SKERN_ASSIGN_OR_RETURN(std::string f, specpath::Normalize(from));
+  SKERN_ASSIGN_OR_RETURN(std::string t, specpath::Normalize(to));
+  if (f == "/" || t == "/") {
+    return Status::Error(Errno::kEBUSY);
+  }
+  SKERN_RETURN_IF_ERROR(CheckPathPrefix(f));
+  NodeKind fk = KindOf(state_, f);
+  if (fk == NodeKind::kMissing) {
+    return Status::Error(Errno::kENOENT);
+  }
+  if (f == t) {
+    return Status::Ok();
+  }
+  // Renaming a directory into its own subtree is a cycle.
+  if (fk == NodeKind::kDir && specpath::IsPrefix(f, t)) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  SKERN_RETURN_IF_ERROR(CheckPathPrefix(t));
+  NodeKind tk = KindOf(state_, t);
+  if (fk == NodeKind::kFile) {
+    if (tk == NodeKind::kDir) {
+      return Status::Error(Errno::kEISDIR);
+    }
+    FsModelState next = state_;
+    next.files[t] = next.files.at(f);
+    next.files.erase(f);
+    state_ = std::move(next);
+    return Status::Ok();
+  }
+  // Directory rename.
+  if (tk == NodeKind::kFile) {
+    return Status::Error(Errno::kENOTDIR);
+  }
+  if (tk == NodeKind::kDir) {
+    // Target must be empty.
+    for (const auto& [file, bytes] : state_.files) {
+      if (specpath::IsPrefix(t, file) && file != t) {
+        return Status::Error(Errno::kENOTEMPTY);
+      }
+    }
+    for (const auto& dir : state_.dirs) {
+      if (specpath::IsPrefix(t, dir) && dir != t) {
+        return Status::Error(Errno::kENOTEMPTY);
+      }
+    }
+  }
+  // The paper's worked example: "every path key with a given prefix is
+  // substituted with a new prefix". Build the new maps by relation.
+  FsModelState next;
+  next.dirs.clear();
+  for (const auto& dir : state_.dirs) {
+    if (specpath::IsPrefix(f, dir)) {
+      next.dirs.insert(specpath::SubstitutePrefix(f, t, dir));
+    } else if (dir != t) {
+      next.dirs.insert(dir);
+    }
+  }
+  next.dirs.insert("/");
+  for (const auto& [file, bytes] : state_.files) {
+    if (specpath::IsPrefix(f, file)) {
+      next.files[specpath::SubstitutePrefix(f, t, file)] = bytes;
+    } else {
+      next.files[file] = bytes;
+    }
+  }
+  state_ = std::move(next);
+  return Status::Ok();
+}
+
+Result<ModelAttr> FsModel::Stat(const std::string& path) const {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  {
+    Status prefix = CheckPathPrefix(p);
+    if (!prefix.ok()) {
+      return prefix.code();
+    }
+  }
+  switch (KindOf(state_, p)) {
+    case NodeKind::kMissing:
+      return Errno::kENOENT;
+    case NodeKind::kDir:
+      return ModelAttr{true, 0};
+    case NodeKind::kFile:
+      return ModelAttr{false, state_.files.at(p).size()};
+  }
+  return Errno::kEINVAL;
+}
+
+Result<std::vector<std::string>> FsModel::Readdir(const std::string& path) const {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  {
+    Status prefix = CheckPathPrefix(p);
+    if (!prefix.ok()) {
+      return prefix.code();
+    }
+  }
+  switch (KindOf(state_, p)) {
+    case NodeKind::kMissing:
+      return Errno::kENOENT;
+    case NodeKind::kFile:
+      return Errno::kENOTDIR;
+    case NodeKind::kDir:
+      break;
+  }
+  std::vector<std::string> names;
+  auto consider = [&](const std::string& candidate) {
+    if (candidate == p || !specpath::IsPrefix(p, candidate)) {
+      return;
+    }
+    if (specpath::Parent(candidate) == p) {
+      names.push_back(specpath::Basename(candidate));
+    }
+  };
+  for (const auto& [file, bytes] : state_.files) {
+    consider(file);
+  }
+  for (const auto& dir : state_.dirs) {
+    consider(dir);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void FsModel::Sync() { synced_ = state_; }
+
+void FsModel::Crash() { state_ = synced_; }
+
+uint64_t FsModel::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [file, bytes] : state_.files) {
+    total += bytes.size();
+  }
+  return total;
+}
+
+}  // namespace skern

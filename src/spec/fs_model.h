@@ -1,0 +1,127 @@
+// Executable file-system specification (§4.4, "Modeling language").
+//
+// "A file system can be modeled as a map from path strings to file content
+// bytes. Similarly, a crash-safe file system can be modeled as a map of path
+// strings to file content bytes that is guaranteed to recover to the last
+// synced version given any crash."
+//
+// FsModel is exactly that: an abstract state of immutable values (value-
+// semantic maps; every operation produces a new state) plus a remembered
+// synced state. Directory rename is the paper's worked example — "a relation
+// between old and new maps in which every path key with a given prefix is
+// substituted with a new prefix" — implemented literally in Rename().
+//
+// The model is the *specification*: each operation returns what a correct
+// implementation must observe, including the errno for invalid inputs. The
+// refinement checker (refinement.h) compares an implementation's behaviour
+// against this, operation by operation.
+#ifndef SKERN_SRC_SPEC_FS_MODEL_H_
+#define SKERN_SRC_SPEC_FS_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/base/status.h"
+
+namespace skern {
+
+// The abstract state: pure values, no sharing with any implementation.
+struct FsModelState {
+  // Regular files: absolute normalized path -> content bytes.
+  std::map<std::string, Bytes> files;
+  // Directories, always including "/".
+  std::set<std::string> dirs{"/"};
+
+  friend bool operator==(const FsModelState& a, const FsModelState& b) {
+    return a.files == b.files && a.dirs == b.dirs;
+  }
+};
+
+struct ModelAttr {
+  bool is_dir = false;
+  uint64_t size = 0;
+};
+
+// Path helpers shared by the model and the VFS layer. All model paths are
+// absolute and normalized ("/a/b"; "/" for the root; no trailing slash).
+namespace specpath {
+
+// Normalizes a path: collapses duplicate slashes, resolves "." segments.
+// ".." is rejected (the substrate has no symlinks or relative walks).
+// Returns kEINVAL for empty/relative/illegal paths.
+Result<std::string> Normalize(const std::string& path);
+
+// Parent of a normalized path ("/a/b" -> "/a", "/a" -> "/"). "/" has no
+// parent; returns "/".
+std::string Parent(const std::string& normalized);
+
+// Final component ("/a/b" -> "b"); empty for "/".
+std::string Basename(const std::string& normalized);
+
+// True if `path` equals `prefix` or is underneath it.
+bool IsPrefix(const std::string& prefix, const std::string& path);
+
+// Replaces the `from` prefix of `path` with `to` (both normalized dirs).
+std::string SubstitutePrefix(const std::string& from, const std::string& to,
+                             const std::string& path);
+
+}  // namespace specpath
+
+// The specification machine. Operations mutate `state()` by replacing it
+// with a new value and report the specified observable outcome.
+class FsModel {
+ public:
+  FsModel() = default;
+
+  const FsModelState& state() const { return state_; }
+  const FsModelState& synced_state() const { return synced_; }
+
+  // --- specified operations (mirror skern.FileSystem) ---
+  Status Create(const std::string& path);
+  Status Mkdir(const std::string& path);
+  Status Unlink(const std::string& path);
+  Status Rmdir(const std::string& path);
+  // Writes at offset, zero-filling any gap, extending the file.
+  Status Write(const std::string& path, uint64_t offset, ByteView data);
+  // Reads up to `length` bytes from offset; short reads at EOF are specified.
+  Result<Bytes> Read(const std::string& path, uint64_t offset, uint64_t length) const;
+  Status Truncate(const std::string& path, uint64_t new_size);
+  Status Rename(const std::string& from, const std::string& to);
+  Result<ModelAttr> Stat(const std::string& path) const;
+  // Immediate children names, sorted.
+  Result<std::vector<std::string>> Readdir(const std::string& path) const;
+
+  // Durability boundary: everything before a Sync must survive a crash after
+  // it. (specfs journals data as well as metadata, so the crash contract is
+  // exact, not a weaker metadata-only promise.)
+  void Sync();
+
+  // Crash: volatile state is lost; the model state reverts to the synced one.
+  // The crash oracle asserts a recovered implementation equals this.
+  void Crash();
+
+  // Total number of bytes in all files (spec-level df).
+  uint64_t TotalBytes() const;
+
+ private:
+  // Looks up what `path` names in the current state.
+  enum class NodeKind { kMissing, kFile, kDir };
+  NodeKind KindOf(const FsModelState& s, const std::string& path) const;
+
+  // Walks the proper ancestors of `path` shallowest-first, as a real lookup
+  // does: an ancestor that is a file is ENOTDIR, a missing ancestor is
+  // ENOENT. Success implies the immediate parent is an existing directory.
+  Status CheckPathPrefix(const std::string& path) const;
+
+  FsModelState state_;
+  FsModelState synced_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_SPEC_FS_MODEL_H_

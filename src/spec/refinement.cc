@@ -1,0 +1,73 @@
+#include "src/spec/refinement.h"
+
+#include "src/base/panic.h"
+
+namespace skern {
+namespace {
+
+std::atomic<RefinementMode> g_mode{RefinementMode::kEnforcing};
+
+}  // namespace
+
+RefinementMode GetRefinementMode() { return g_mode.load(std::memory_order_relaxed); }
+
+void SetRefinementMode(RefinementMode mode) { g_mode.store(mode, std::memory_order_relaxed); }
+
+ScopedRefinementMode::ScopedRefinementMode(RefinementMode mode) : previous_(GetRefinementMode()) {
+  SetRefinementMode(mode);
+}
+
+ScopedRefinementMode::~ScopedRefinementMode() { SetRefinementMode(previous_); }
+
+RefinementStats& RefinementStats::Get() {
+  static RefinementStats* stats = new RefinementStats();
+  return *stats;
+}
+
+void RefinementStats::RecordMismatch(const RefinementMismatch& m) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  mismatches_.push_back(m);
+}
+
+uint64_t RefinementStats::mismatch_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return mismatches_.size();
+}
+
+std::vector<RefinementMismatch> RefinementStats::Mismatches() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return mismatches_;
+}
+
+void RefinementStats::ResetForTesting() {
+  checks_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> guard(mutex_);
+  mismatches_.clear();
+}
+
+namespace internal {
+
+void ReportRefinementMismatch(const RefinementMismatch& m) {
+  RefinementStats::Get().RecordMismatch(m);
+  if (GetRefinementMode() == RefinementMode::kEnforcing) {
+    Panic("refinement mismatch in " + m.operation + ": spec says " + m.expected +
+          ", implementation did " + m.actual);
+  }
+}
+
+}  // namespace internal
+
+bool CheckRefinement(const std::string& operation, Status specified, Status actual) {
+  if (GetRefinementMode() == RefinementMode::kDisabled) {
+    return true;
+  }
+  RefinementStats::Get().RecordCheck();
+  if (specified == actual) {
+    return true;
+  }
+  internal::ReportRefinementMismatch(
+      RefinementMismatch{operation, specified.ToString(), actual.ToString()});
+  return false;
+}
+
+}  // namespace skern

@@ -1,0 +1,120 @@
+// Refinement checking (§4.4).
+//
+// "Verification shows that each operation performed by the implementation is
+// a valid relation between the before- and after- model interpretations."
+// skern's dynamic analogue: every operation runs against both the
+// implementation and the FsModel; results (value and errno) must agree.
+// Disagreement is a refinement mismatch — either a real bug in the
+// implementation or an erroneous axiom/model, exactly the two possibilities
+// the paper names for a "buggy-looking" verified module.
+#ifndef SKERN_SRC_SPEC_REFINEMENT_H_
+#define SKERN_SRC_SPEC_REFINEMENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+
+namespace skern {
+
+enum class RefinementMode : uint8_t {
+  kEnforcing = 0,  // mismatch panics (unsound to continue)
+  kRecording = 1,  // mismatch recorded (fault-injection harness)
+  kDisabled = 2,   // checks skipped (release configuration; E9 ablation)
+};
+
+RefinementMode GetRefinementMode();
+void SetRefinementMode(RefinementMode mode);
+
+class ScopedRefinementMode {
+ public:
+  explicit ScopedRefinementMode(RefinementMode mode);
+  ~ScopedRefinementMode();
+  ScopedRefinementMode(const ScopedRefinementMode&) = delete;
+  ScopedRefinementMode& operator=(const ScopedRefinementMode&) = delete;
+
+ private:
+  RefinementMode previous_;
+};
+
+struct RefinementMismatch {
+  std::string operation;  // e.g. "write(/a, 0, 16)"
+  std::string expected;   // model's observable outcome
+  std::string actual;     // implementation's outcome
+};
+
+class RefinementStats {
+ public:
+  static RefinementStats& Get();
+
+  void RecordCheck() { checks_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordMismatch(const RefinementMismatch& m);
+
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+  uint64_t mismatch_count() const;
+  std::vector<RefinementMismatch> Mismatches() const;
+
+  void ResetForTesting();
+
+ private:
+  RefinementStats() = default;
+
+  std::atomic<uint64_t> checks_{0};
+  mutable std::mutex mutex_;
+  std::vector<RefinementMismatch> mismatches_;
+};
+
+namespace internal {
+
+// Reports a mismatch per the current mode; panics when enforcing.
+void ReportRefinementMismatch(const RefinementMismatch& m);
+
+}  // namespace internal
+
+// Compares an implementation outcome against the specified one and reports.
+// Returns true when they agree. Statuses compare by code; Results compare by
+// code and, on success, by value (operator== of T).
+bool CheckRefinement(const std::string& operation, Status specified, Status actual);
+
+template <typename T>
+bool CheckRefinement(const std::string& operation, const Result<T>& specified,
+                     const Result<T>& actual) {
+  if (GetRefinementMode() == RefinementMode::kDisabled) {
+    return true;
+  }
+  RefinementStats::Get().RecordCheck();
+  bool agree;
+  if (specified.ok() != actual.ok()) {
+    agree = false;
+  } else if (!specified.ok()) {
+    agree = specified.error() == actual.error();
+  } else {
+    agree = specified.value() == actual.value();
+  }
+  if (!agree) {
+    std::ostringstream expected;
+    std::ostringstream got;
+    if (specified.ok()) {
+      expected << "ok";
+    } else {
+      expected << specified.status();
+    }
+    if (actual.ok()) {
+      got << "ok(value mismatch or status mismatch)";
+    } else {
+      got << actual.status();
+    }
+    internal::ReportRefinementMismatch(
+        RefinementMismatch{operation, expected.str(), got.str()});
+  }
+  return agree;
+}
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_SPEC_REFINEMENT_H_

@@ -1,0 +1,191 @@
+#include "src/spec/trace.h"
+
+#include <sstream>
+
+namespace skern {
+
+const char* FsOpKindName(FsOpKind kind) {
+  switch (kind) {
+    case FsOpKind::kCreate:
+      return "create";
+    case FsOpKind::kMkdir:
+      return "mkdir";
+    case FsOpKind::kUnlink:
+      return "unlink";
+    case FsOpKind::kRmdir:
+      return "rmdir";
+    case FsOpKind::kWrite:
+      return "write";
+    case FsOpKind::kRead:
+      return "read";
+    case FsOpKind::kTruncate:
+      return "truncate";
+    case FsOpKind::kRename:
+      return "rename";
+    case FsOpKind::kStat:
+      return "stat";
+    case FsOpKind::kReaddir:
+      return "readdir";
+    case FsOpKind::kSync:
+      return "sync";
+    case FsOpKind::kFsync:
+      return "fsync";
+  }
+  return "?";
+}
+
+std::string FsOp::Describe() const {
+  std::ostringstream os;
+  os << FsOpKindName(kind) << "(" << path;
+  switch (kind) {
+    case FsOpKind::kWrite:
+      os << ", " << offset << ", " << data.size() << "B";
+      break;
+    case FsOpKind::kRead:
+      os << ", " << offset << ", " << length;
+      break;
+    case FsOpKind::kTruncate:
+      os << ", " << length;
+      break;
+    case FsOpKind::kRename:
+      os << " -> " << path2;
+      break;
+    default:
+      break;
+  }
+  os << ") = " << ErrnoName(observed);
+  return os.str();
+}
+
+Status TracingFs::Create(const std::string& path) {
+  Status s = inner_->Create(path);
+  trace_.push_back(FsOp{FsOpKind::kCreate, path, "", 0, 0, {}, s.code()});
+  return s;
+}
+
+Status TracingFs::Mkdir(const std::string& path) {
+  Status s = inner_->Mkdir(path);
+  trace_.push_back(FsOp{FsOpKind::kMkdir, path, "", 0, 0, {}, s.code()});
+  return s;
+}
+
+Status TracingFs::Unlink(const std::string& path) {
+  Status s = inner_->Unlink(path);
+  trace_.push_back(FsOp{FsOpKind::kUnlink, path, "", 0, 0, {}, s.code()});
+  return s;
+}
+
+Status TracingFs::Rmdir(const std::string& path) {
+  Status s = inner_->Rmdir(path);
+  trace_.push_back(FsOp{FsOpKind::kRmdir, path, "", 0, 0, {}, s.code()});
+  return s;
+}
+
+Status TracingFs::Write(const std::string& path, uint64_t offset, ByteView data) {
+  Status s = inner_->Write(path, offset, data);
+  trace_.push_back(FsOp{FsOpKind::kWrite, path, "", offset, 0, data.ToBytes(), s.code()});
+  return s;
+}
+
+Result<Bytes> TracingFs::Read(const std::string& path, uint64_t offset, uint64_t length) {
+  Result<Bytes> r = inner_->Read(path, offset, length);
+  trace_.push_back(
+      FsOp{FsOpKind::kRead, path, "", offset, length, {}, r.status().code()});
+  return r;
+}
+
+Status TracingFs::Truncate(const std::string& path, uint64_t new_size) {
+  Status s = inner_->Truncate(path, new_size);
+  trace_.push_back(FsOp{FsOpKind::kTruncate, path, "", 0, new_size, {}, s.code()});
+  return s;
+}
+
+Status TracingFs::Rename(const std::string& from, const std::string& to) {
+  Status s = inner_->Rename(from, to);
+  trace_.push_back(FsOp{FsOpKind::kRename, from, to, 0, 0, {}, s.code()});
+  return s;
+}
+
+Result<FileAttr> TracingFs::Stat(const std::string& path) {
+  Result<FileAttr> r = inner_->Stat(path);
+  trace_.push_back(FsOp{FsOpKind::kStat, path, "", 0, 0, {}, r.status().code()});
+  return r;
+}
+
+Result<std::vector<std::string>> TracingFs::Readdir(const std::string& path) {
+  auto r = inner_->Readdir(path);
+  trace_.push_back(FsOp{FsOpKind::kReaddir, path, "", 0, 0, {}, r.status().code()});
+  return r;
+}
+
+Status TracingFs::Sync() {
+  Status s = inner_->Sync();
+  trace_.push_back(FsOp{FsOpKind::kSync, "", "", 0, 0, {}, s.code()});
+  return s;
+}
+
+Status TracingFs::Fsync(const std::string& path) {
+  Status s = inner_->Fsync(path);
+  trace_.push_back(FsOp{FsOpKind::kFsync, path, "", 0, 0, {}, s.code()});
+  return s;
+}
+
+std::vector<ReplayDivergence> Replay(const FsTrace& trace, FileSystem& fs) {
+  std::vector<ReplayDivergence> divergences;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const FsOp& op = trace[i];
+    Errno actual = Errno::kOk;
+    switch (op.kind) {
+      case FsOpKind::kCreate:
+        actual = fs.Create(op.path).code();
+        break;
+      case FsOpKind::kMkdir:
+        actual = fs.Mkdir(op.path).code();
+        break;
+      case FsOpKind::kUnlink:
+        actual = fs.Unlink(op.path).code();
+        break;
+      case FsOpKind::kRmdir:
+        actual = fs.Rmdir(op.path).code();
+        break;
+      case FsOpKind::kWrite:
+        actual = fs.Write(op.path, op.offset, ByteView(op.data)).code();
+        break;
+      case FsOpKind::kRead:
+        actual = fs.Read(op.path, op.offset, op.length).status().code();
+        break;
+      case FsOpKind::kTruncate:
+        actual = fs.Truncate(op.path, op.length).code();
+        break;
+      case FsOpKind::kRename:
+        actual = fs.Rename(op.path, op.path2).code();
+        break;
+      case FsOpKind::kStat:
+        actual = fs.Stat(op.path).status().code();
+        break;
+      case FsOpKind::kReaddir:
+        actual = fs.Readdir(op.path).status().code();
+        break;
+      case FsOpKind::kSync:
+        actual = fs.Sync().code();
+        break;
+      case FsOpKind::kFsync:
+        actual = fs.Fsync(op.path).code();
+        break;
+    }
+    if (actual != op.observed) {
+      divergences.push_back(ReplayDivergence{i, op.Describe(), op.observed, actual});
+    }
+  }
+  return divergences;
+}
+
+std::string RenderTrace(const FsTrace& trace) {
+  std::ostringstream os;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    os << i << ": " << trace[i].Describe() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace skern

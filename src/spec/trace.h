@@ -1,0 +1,95 @@
+// Operation traces: record a FileSystem workload, replay it elsewhere.
+//
+// The recorder is a FileSystem decorator that logs every call and its
+// observed outcome; Replay() re-applies a trace to any implementation and
+// reports where outcomes diverge. This powers the differential tests (every
+// implementation must refine the same specification, so replays must agree)
+// and gives crash investigations a reproducible script — the dynamic
+// equivalent of §4.4's point that an interface you cannot describe is an
+// interface you do not understand.
+#ifndef SKERN_SRC_SPEC_TRACE_H_
+#define SKERN_SRC_SPEC_TRACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/vfs/filesystem.h"
+
+namespace skern {
+
+enum class FsOpKind : uint8_t {
+  kCreate,
+  kMkdir,
+  kUnlink,
+  kRmdir,
+  kWrite,
+  kRead,
+  kTruncate,
+  kRename,
+  kStat,
+  kReaddir,
+  kSync,
+  kFsync,
+};
+
+const char* FsOpKindName(FsOpKind kind);
+
+struct FsOp {
+  FsOpKind kind;
+  std::string path;
+  std::string path2;   // rename target
+  uint64_t offset = 0;
+  uint64_t length = 0;  // read length / truncate size
+  Bytes data;           // write payload
+  Errno observed = Errno::kOk;  // outcome when recorded
+
+  std::string Describe() const;
+};
+
+using FsTrace = std::vector<FsOp>;
+
+// Decorator that records everything passing through it.
+class TracingFs : public FileSystem {
+ public:
+  explicit TracingFs(std::shared_ptr<FileSystem> inner) : inner_(std::move(inner)) {}
+
+  Status Create(const std::string& path) override;
+  Status Mkdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Status Write(const std::string& path, uint64_t offset, ByteView data) override;
+  Result<Bytes> Read(const std::string& path, uint64_t offset, uint64_t length) override;
+  Status Truncate(const std::string& path, uint64_t new_size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<FileAttr> Stat(const std::string& path) override;
+  Result<std::vector<std::string>> Readdir(const std::string& path) override;
+  Status Sync() override;
+  Status Fsync(const std::string& path) override;
+  std::string Name() const override { return "trace(" + inner_->Name() + ")"; }
+
+  const FsTrace& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+ private:
+  std::shared_ptr<FileSystem> inner_;
+  FsTrace trace_;
+};
+
+struct ReplayDivergence {
+  size_t op_index;
+  std::string op;
+  Errno expected;
+  Errno actual;
+};
+
+// Replays a trace onto `fs`; outcomes must match what was recorded.
+std::vector<ReplayDivergence> Replay(const FsTrace& trace, FileSystem& fs);
+
+// Renders a trace as one line per op (debugging aid).
+std::string RenderTrace(const FsTrace& trace);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_SPEC_TRACE_H_

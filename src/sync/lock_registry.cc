@@ -1,0 +1,136 @@
+#include "src/sync/lock_registry.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/base/log.h"
+#include "src/base/panic.h"
+
+namespace skern {
+namespace {
+
+// Guards the registry's shared state. The per-thread held stack needs no lock.
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+thread_local std::vector<LockClassId> t_held_stack;
+
+}  // namespace
+
+LockRegistry& LockRegistry::Get() {
+  static LockRegistry* registry = new LockRegistry();
+  return *registry;
+}
+
+LockClassId LockRegistry::RegisterClass(const std::string& name) {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  auto it = class_by_name_.find(name);
+  if (it != class_by_name_.end()) {
+    return it->second;
+  }
+  LockClassId id = static_cast<LockClassId>(class_names_.size());
+  class_names_.push_back(name);
+  class_by_name_[name] = id;
+  return id;
+}
+
+std::string LockRegistry::ClassName(LockClassId id) const {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  if (id >= class_names_.size()) {
+    return "<unknown>";
+  }
+  return class_names_[id];
+}
+
+bool LockRegistry::CreatesCycleLocked(LockClassId from, LockClassId to) const {
+  // Adding edge from->to creates a cycle iff `from` is reachable from `to`.
+  std::vector<LockClassId> stack{to};
+  std::set<LockClassId> seen;
+  while (!stack.empty()) {
+    LockClassId cur = stack.back();
+    stack.pop_back();
+    if (cur == from) {
+      return true;
+    }
+    if (!seen.insert(cur).second) {
+      continue;
+    }
+    auto it = edges_.find(cur);
+    if (it != edges_.end()) {
+      for (LockClassId next : it->second) {
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void LockRegistry::OnAcquire(LockClassId cls) {
+  bool violated = false;
+  LockOrderViolation violation;
+  {
+    std::lock_guard<std::mutex> guard(RegistryMutex());
+    for (LockClassId held : t_held_stack) {
+      if (held == cls) {
+        continue;  // recursive same-class acquisitions are the lock's concern
+      }
+      if (CreatesCycleLocked(held, cls)) {
+        violated = true;
+        violation = LockOrderViolation{held, cls, class_names_[held], class_names_[cls]};
+        violations_.push_back(violation);
+      } else {
+        edges_[held].insert(cls);
+      }
+    }
+  }
+  t_held_stack.push_back(cls);
+  if (violated) {
+    SKERN_ERROR() << "lock-order violation: " << violation.held_name << " -> "
+                  << violation.acquired_name;
+    bool should_panic;
+    {
+      std::lock_guard<std::mutex> guard(RegistryMutex());
+      should_panic = panic_on_violation_;
+    }
+    if (should_panic) {
+      Panic("lock-order violation: " + violation.held_name + " then " + violation.acquired_name);
+    }
+  }
+}
+
+void LockRegistry::OnRelease(LockClassId cls) {
+  auto it = std::find(t_held_stack.rbegin(), t_held_stack.rend(), cls);
+  SKERN_CHECK_MSG(it != t_held_stack.rend(), "releasing lock class not held by this thread");
+  t_held_stack.erase(std::next(it).base());
+}
+
+bool LockRegistry::CurrentThreadHolds(LockClassId cls) const {
+  return std::find(t_held_stack.begin(), t_held_stack.end(), cls) != t_held_stack.end();
+}
+
+size_t LockRegistry::CurrentThreadHeldCount() const { return t_held_stack.size(); }
+
+std::vector<LockOrderViolation> LockRegistry::Violations() const {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  return violations_;
+}
+
+uint64_t LockRegistry::violation_count() const {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  return violations_.size();
+}
+
+void LockRegistry::set_panic_on_violation(bool value) {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  panic_on_violation_ = value;
+}
+
+void LockRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  edges_.clear();
+  violations_.clear();
+}
+
+}  // namespace skern

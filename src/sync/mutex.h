@@ -1,0 +1,136 @@
+// Tracked synchronization primitives.
+//
+// TrackedMutex / TrackedRwLock wrap the standard primitives and report
+// acquisitions to the LockRegistry so lock ordering is checked and "is this
+// lock held?" assertions (SKERN_ASSERT_HELD) are possible — the machine-
+// checkable version of Linux's lockdep_assert_held.
+#ifndef SKERN_SRC_SYNC_MUTEX_H_
+#define SKERN_SRC_SYNC_MUTEX_H_
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "src/sync/lock_registry.h"
+
+namespace skern {
+
+class TrackedMutex {
+ public:
+  explicit TrackedMutex(const std::string& class_name)
+      : class_id_(LockRegistry::Get().RegisterClass(class_name)) {}
+
+  void Lock() {
+    LockRegistry::Get().OnAcquire(class_id_);
+    mutex_.lock();
+    contended_.fetch_add(0, std::memory_order_relaxed);
+  }
+
+  void Unlock() {
+    mutex_.unlock();
+    LockRegistry::Get().OnRelease(class_id_);
+  }
+
+  bool TryLock() {
+    if (mutex_.try_lock()) {
+      LockRegistry::Get().OnAcquire(class_id_);
+      return true;
+    }
+    return false;
+  }
+
+  bool HeldByCurrentThread() const {
+    return LockRegistry::Get().CurrentThreadHolds(class_id_);
+  }
+
+  LockClassId class_id() const { return class_id_; }
+
+ private:
+  LockClassId class_id_;
+  std::mutex mutex_;
+  std::atomic<uint64_t> contended_{0};
+};
+
+// RAII guard for TrackedMutex.
+class MutexGuard {
+ public:
+  explicit MutexGuard(TrackedMutex& mutex) : mutex_(&mutex) { mutex_->Lock(); }
+  ~MutexGuard() {
+    if (mutex_ != nullptr) {
+      mutex_->Unlock();
+    }
+  }
+
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+  // Releases before scope end (for hand-over-hand patterns).
+  void Release() {
+    mutex_->Unlock();
+    mutex_ = nullptr;
+  }
+
+ private:
+  TrackedMutex* mutex_;
+};
+
+class TrackedRwLock {
+ public:
+  explicit TrackedRwLock(const std::string& class_name)
+      : class_id_(LockRegistry::Get().RegisterClass(class_name)) {}
+
+  void LockShared() {
+    LockRegistry::Get().OnAcquire(class_id_);
+    mutex_.lock_shared();
+  }
+  void UnlockShared() {
+    mutex_.unlock_shared();
+    LockRegistry::Get().OnRelease(class_id_);
+  }
+  void LockExclusive() {
+    LockRegistry::Get().OnAcquire(class_id_);
+    mutex_.lock();
+  }
+  void UnlockExclusive() {
+    mutex_.unlock();
+    LockRegistry::Get().OnRelease(class_id_);
+  }
+
+  bool HeldByCurrentThread() const {
+    return LockRegistry::Get().CurrentThreadHolds(class_id_);
+  }
+
+ private:
+  LockClassId class_id_;
+  std::shared_mutex mutex_;
+};
+
+class ReadGuard {
+ public:
+  explicit ReadGuard(TrackedRwLock& lock) : lock_(lock) { lock_.LockShared(); }
+  ~ReadGuard() { lock_.UnlockShared(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  TrackedRwLock& lock_;
+};
+
+class WriteGuard {
+ public:
+  explicit WriteGuard(TrackedRwLock& lock) : lock_(lock) { lock_.LockExclusive(); }
+  ~WriteGuard() { lock_.UnlockExclusive(); }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+ private:
+  TrackedRwLock& lock_;
+};
+
+}  // namespace skern
+
+// Asserts (in debug builds) that the current thread holds `mutex`.
+#define SKERN_ASSERT_HELD(mutex) SKERN_DCHECK((mutex).HeldByCurrentThread())
+
+#endif  // SKERN_SRC_SYNC_MUTEX_H_

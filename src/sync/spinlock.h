@@ -1,0 +1,43 @@
+// Untracked spinlock, used where a lock is part of a legacy C-style struct
+// (e.g. inode.i_lock) and we deliberately keep Linux's raw semantics.
+#ifndef SKERN_SRC_SYNC_SPINLOCK_H_
+#define SKERN_SRC_SYNC_SPINLOCK_H_
+
+#include <atomic>
+
+namespace skern {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void Lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // spin; this is a simulation, contention is short
+    }
+  }
+
+  void Unlock() { flag_.clear(std::memory_order_release); }
+
+  bool TryLock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinGuard() { lock_.Unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_SYNC_SPINLOCK_H_

@@ -1,0 +1,72 @@
+// The modular, type-safe file-system interface (roadmap steps 1 + 2).
+//
+// Step 1 (modularity): callers — the VFS façade, examples, benchmarks — may
+// only reach a file system through this interface; implementations are
+// swappable via ImplementationSlot without touching callers.
+//
+// Step 2 (type safety): no void pointers cross this boundary and no error
+// values are punned into pointers. Every fallible operation returns Status or
+// Result<T> — "a union type that can hold either valid data or an error"
+// (§4.2). Contrast with legacy_ops.h, the C-style table legacyfs natively
+// implements.
+//
+// The interface is path-based and mirrors the executable specification
+// (src/spec/fs_model.h) operation for operation, which is what makes
+// refinement checking (specfs) a mechanical decorator.
+#ifndef SKERN_SRC_VFS_FILESYSTEM_H_
+#define SKERN_SRC_VFS_FILESYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/base/status.h"
+
+namespace skern {
+
+struct FileAttr {
+  bool is_dir = false;
+  uint64_t size = 0;
+
+  friend bool operator==(const FileAttr& a, const FileAttr& b) {
+    return a.is_dir == b.is_dir && a.size == b.size;
+  }
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // Creates an empty regular file. kEEXIST if anything is already there.
+  virtual Status Create(const std::string& path) = 0;
+  virtual Status Mkdir(const std::string& path) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  virtual Status Rmdir(const std::string& path) = 0;
+
+  // Writes all of `data` at `offset`, zero-filling any gap beyond EOF.
+  virtual Status Write(const std::string& path, uint64_t offset, ByteView data) = 0;
+
+  // Reads up to `length` bytes at `offset`; short reads only at EOF.
+  virtual Result<Bytes> Read(const std::string& path, uint64_t offset, uint64_t length) = 0;
+
+  virtual Status Truncate(const std::string& path, uint64_t new_size) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Result<FileAttr> Stat(const std::string& path) = 0;
+
+  // Immediate children names, sorted.
+  virtual Result<std::vector<std::string>> Readdir(const std::string& path) = 0;
+
+  // Durability: everything completed before Sync survives a crash.
+  virtual Status Sync() = 0;
+  // Per-file durability. (The journaling implementations commit the whole
+  // running transaction, giving at least the requested guarantee.)
+  virtual Status Fsync(const std::string& path) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_VFS_FILESYSTEM_H_

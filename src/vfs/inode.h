@@ -1,0 +1,59 @@
+// The generic in-memory inode, reproduced with Linux's sharing hazards.
+//
+// §4.3's exhibit: "the kernel's generic inode data structure is passed from
+// the VFS layer to the file system on most file system calls. Many of the
+// inode's fields aren't associated with any inode-level synchronization
+// mechanism... Three fields are explicitly protected by the i_lock field,
+// but one of those three, the i_size field, is only *maybe* protected,
+// according to the relevant comment."
+//
+// This struct is used by the legacy (unsafe) file system exactly the way
+// Linux uses struct inode: non-const pointers handed across the boundary,
+// i_private as a void* for fs-specific data, and locking rules that live in
+// comments. The safe file systems do not use it at all — their state is
+// private and typed — which is the migration the paper prescribes.
+#ifndef SKERN_SRC_VFS_INODE_H_
+#define SKERN_SRC_VFS_INODE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/sync/spinlock.h"
+
+namespace skern {
+
+inline constexpr uint32_t kSIfReg = 0x8000;
+inline constexpr uint32_t kSIfDir = 0x4000;
+
+struct LegacyInode {
+  uint64_t i_ino = 0;
+  uint32_t i_mode = 0;  // kSIfReg / kSIfDir plus permission bits
+  uint32_t i_nlink = 0;
+
+  // Protects i_blocks, i_bytes and (maybe) i_size below.
+  Spinlock i_lock;
+
+  // i_size: "Note: i_size is protected by i_lock ... *maybe* — some code
+  // paths update it under i_lock, others rely on being the only writer."
+  // (paraphrasing the fs.h comment the paper cites). legacyfs reproduces
+  // both behaviours; the race between them is one of the injectable bugs.
+  uint64_t i_size = 0;
+
+  uint64_t i_blocks = 0;
+  uint64_t i_mtime = 0;
+  uint64_t i_ctime = 0;
+
+  // Filesystem-private data. The type is known only by convention — the
+  // void* hazard of §4.2/§4.3.
+  void* i_private = nullptr;
+
+  std::atomic<int32_t> i_count{0};  // reference count
+  uint64_t i_generation = 0;
+
+  bool IsDir() const { return (i_mode & kSIfDir) != 0; }
+  bool IsReg() const { return (i_mode & kSIfReg) != 0; }
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_VFS_INODE_H_

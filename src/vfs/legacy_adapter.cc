@@ -1,0 +1,126 @@
+#include "src/vfs/legacy_ops.h"
+
+#include <algorithm>
+
+#include "src/base/err_ptr.h"
+
+namespace skern {
+
+Status LegacyAdapter::Create(const std::string& path) {
+  return FromErr(ops_->create(sb_, path.c_str()));
+}
+
+Status LegacyAdapter::Mkdir(const std::string& path) {
+  return FromErr(ops_->mkdir(sb_, path.c_str()));
+}
+
+Status LegacyAdapter::Unlink(const std::string& path) {
+  return FromErr(ops_->unlink(sb_, path.c_str()));
+}
+
+Status LegacyAdapter::Rmdir(const std::string& path) {
+  return FromErr(ops_->rmdir(sb_, path.c_str()));
+}
+
+Status LegacyAdapter::Write(const std::string& path, uint64_t offset, ByteView data) {
+  void* node = ops_->lookup(sb_, path.c_str());
+  if (IsErr(node)) {
+    return Status::Error(PtrErr(node));
+  }
+  // The write_begin / write_end protocol with its void* cookie.
+  void* fsdata = nullptr;
+  int err = ops_->write_begin(sb_, node, offset, data.size(), &fsdata);
+  if (err < 0) {
+    ops_->put_node(sb_, node);
+    return FromErr(err);
+  }
+  int64_t written = ops_->write(sb_, node, offset,
+                                reinterpret_cast<const char*>(data.data()), data.size());
+  int end_err = ops_->write_end(sb_, node, offset, data.size(), fsdata);
+  ops_->put_node(sb_, node);
+  if (written < 0) {
+    return FromErr(static_cast<int>(written));
+  }
+  if (end_err < 0) {
+    return FromErr(end_err);
+  }
+  if (static_cast<uint64_t>(written) != data.size()) {
+    return Status::Error(Errno::kEIO);  // short write from the legacy layer
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> LegacyAdapter::Read(const std::string& path, uint64_t offset, uint64_t length) {
+  void* node = ops_->lookup(sb_, path.c_str());
+  if (IsErr(node)) {
+    return PtrErr(node);
+  }
+  Bytes out(length, 0);
+  int64_t n = ops_->read(sb_, node, offset, reinterpret_cast<char*>(out.data()), length);
+  ops_->put_node(sb_, node);
+  if (n < 0) {
+    return static_cast<Errno>(-n);
+  }
+  out.resize(static_cast<size_t>(n));
+  return out;
+}
+
+Status LegacyAdapter::Truncate(const std::string& path, uint64_t new_size) {
+  void* node = ops_->lookup(sb_, path.c_str());
+  if (IsErr(node)) {
+    return Status::Error(PtrErr(node));
+  }
+  int err = ops_->truncate(sb_, node, new_size);
+  ops_->put_node(sb_, node);
+  return FromErr(err);
+}
+
+Status LegacyAdapter::Rename(const std::string& from, const std::string& to) {
+  return FromErr(ops_->rename(sb_, from.c_str(), to.c_str()));
+}
+
+Result<FileAttr> LegacyAdapter::Stat(const std::string& path) {
+  void* node = ops_->lookup(sb_, path.c_str());
+  if (IsErr(node)) {
+    return PtrErr(node);
+  }
+  uint32_t mode = 0;
+  uint64_t size = 0;
+  int err = ops_->getattr(sb_, node, &mode, &size);
+  ops_->put_node(sb_, node);
+  if (err < 0) {
+    return static_cast<Errno>(-err);
+  }
+  FileAttr attr;
+  attr.is_dir = (mode & 0x4000) != 0;
+  attr.size = attr.is_dir ? 0 : size;
+  return attr;
+}
+
+Result<std::vector<std::string>> LegacyAdapter::Readdir(const std::string& path) {
+  void* node = ops_->lookup(sb_, path.c_str());
+  if (IsErr(node)) {
+    return PtrErr(node);
+  }
+  std::vector<std::string> names;
+  auto emit = [](void* ctx, const char* name) {
+    static_cast<std::vector<std::string>*>(ctx)->push_back(name);
+  };
+  int err = ops_->readdir(sb_, node, emit, &names);
+  ops_->put_node(sb_, node);
+  if (err < 0) {
+    return static_cast<Errno>(-err);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status LegacyAdapter::Sync() { return FromErr(ops_->sync(sb_)); }
+
+Status LegacyAdapter::Fsync(const std::string& path) {
+  // The legacy layer has no per-file durability; fsync degrades to sync.
+  (void)path;
+  return Sync();
+}
+
+}  // namespace skern

@@ -1,0 +1,94 @@
+// The C-style file-system ops table — the "before" picture of step 2.
+//
+// This is the interface style the paper's §4.2 critiques: void* superblock
+// and node handles whose real types are known only by convention, pointer
+// returns that encode errors via ERR_PTR casting, out-parameters, and int
+// errno returns. legacyfs implements this table natively; LegacyAdapter
+// bridges it onto the typed FileSystem interface so the rest of the kernel
+// can treat legacyfs as just another (unsafe) implementation behind the
+// modular boundary.
+#ifndef SKERN_SRC_VFS_LEGACY_OPS_H_
+#define SKERN_SRC_VFS_LEGACY_OPS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/vfs/filesystem.h"
+
+namespace skern {
+
+// All handles are void*: `sb` is the filesystem's superblock object and
+// `node` an inode-like object; only the implementation knows the real types.
+struct LegacyFsOps {
+  // Returns a node pointer or an ERR_PTR-encoded errno (never null).
+  void* (*lookup)(void* sb, const char* path);
+
+  // Releases a node handle returned by lookup.
+  void (*put_node)(void* sb, void* node);
+
+  // ints are negative errno on failure, like the syscall ABI.
+  int (*create)(void* sb, const char* path);
+  int (*mkdir)(void* sb, const char* path);
+  int (*unlink)(void* sb, const char* path);
+  int (*rmdir)(void* sb, const char* path);
+
+  // Returns bytes transferred or negative errno.
+  int64_t (*read)(void* sb, void* node, uint64_t offset, char* buf, uint64_t len);
+  int64_t (*write)(void* sb, void* node, uint64_t offset, const char* buf, uint64_t len);
+
+  int (*truncate)(void* sb, void* node, uint64_t size);
+  int (*rename)(void* sb, const char* from, const char* to);
+
+  // Fills out-params; returns negative errno.
+  int (*getattr)(void* sb, void* node, uint32_t* mode_out, uint64_t* size_out);
+
+  // Iterates directory entries: calls emit(ctx, name) per entry.
+  int (*readdir)(void* sb, void* node, void (*emit)(void* ctx, const char* name), void* ctx);
+
+  int (*sync)(void* sb);
+
+  // write_begin/write_end: the VFS hands fs-private state between the two
+  // calls through a void** cookie — the exact §4.2 example ("VFS allows a
+  // file system to pass custom data between write_begin and write_end by
+  // passing void pointers to the two functions").
+  int (*write_begin)(void* sb, void* node, uint64_t offset, uint64_t len, void** fsdata);
+  int (*write_end)(void* sb, void* node, uint64_t offset, uint64_t len, void* fsdata);
+};
+
+// Bridges a LegacyFsOps implementation onto the typed FileSystem interface.
+// The adapter performs the casts and ERR_PTR checks in one audited place —
+// the "shim layer ... between every incremental boundary" (§4.4), here at
+// the unsafe->modular edge.
+class LegacyAdapter : public FileSystem {
+ public:
+  LegacyAdapter(const LegacyFsOps* ops, void* sb, std::string name)
+      : ops_(ops), sb_(sb), name_(std::move(name)) {}
+
+  Status Create(const std::string& path) override;
+  Status Mkdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Status Write(const std::string& path, uint64_t offset, ByteView data) override;
+  Result<Bytes> Read(const std::string& path, uint64_t offset, uint64_t length) override;
+  Status Truncate(const std::string& path, uint64_t new_size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<FileAttr> Stat(const std::string& path) override;
+  Result<std::vector<std::string>> Readdir(const std::string& path) override;
+  Status Sync() override;
+  Status Fsync(const std::string& path) override;
+  std::string Name() const override { return name_; }
+
+ private:
+  static Status FromErr(int err) {
+    return err >= 0 ? Status::Ok() : Status::Error(static_cast<Errno>(-err));
+  }
+
+  const LegacyFsOps* ops_;
+  void* sb_;
+  std::string name_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_VFS_LEGACY_OPS_H_

@@ -1,0 +1,300 @@
+#include "src/vfs/vfs.h"
+
+#include "src/spec/fs_model.h"
+
+namespace skern {
+
+Status Vfs::Mount(const std::string& mountpoint, std::shared_ptr<FileSystem> fs) {
+  SKERN_ASSIGN_OR_RETURN(std::string mp, specpath::Normalize(mountpoint));
+  MutexGuard guard(mutex_);
+  if (mounts_.empty() && mp != "/") {
+    return Status::Error(Errno::kEINVAL);  // first mount must be root
+  }
+  if (mounts_.count(mp) > 0) {
+    return Status::Error(Errno::kEBUSY);
+  }
+  mounts_[mp] = std::move(fs);
+  return Status::Ok();
+}
+
+Status Vfs::Unmount(const std::string& mountpoint) {
+  SKERN_ASSIGN_OR_RETURN(std::string mp, specpath::Normalize(mountpoint));
+  MutexGuard guard(mutex_);
+  auto it = mounts_.find(mp);
+  if (it == mounts_.end()) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  // Open files on this mount pin it.
+  for (const auto& [fd, file] : open_files_) {
+    if (file.fs == it->second) {
+      return Status::Error(Errno::kEBUSY);
+    }
+  }
+  mounts_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> Vfs::Mountpoints() const {
+  MutexGuard guard(mutex_);
+  std::vector<std::string> out;
+  out.reserve(mounts_.size());
+  for (const auto& [mp, fs] : mounts_) {
+    out.push_back(mp);
+  }
+  return out;
+}
+
+Result<Vfs::ResolvedPath> Vfs::Resolve(const std::string& path) const {
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  MutexGuard guard(mutex_);
+  // Longest mountpoint that prefixes p wins.
+  const std::string* best = nullptr;
+  std::shared_ptr<FileSystem> fs;
+  for (const auto& [mp, mounted] : mounts_) {
+    if (specpath::IsPrefix(mp, p) && (best == nullptr || mp.size() > best->size())) {
+      best = &mp;
+      fs = mounted;
+    }
+  }
+  if (fs == nullptr) {
+    return Errno::kENODEV;
+  }
+  std::string inner = *best == "/" ? p : p.substr(best->size());
+  if (inner.empty()) {
+    inner = "/";
+  }
+  return ResolvedPath{std::move(fs), std::move(inner)};
+}
+
+Status Vfs::Mkdir(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  ++stats_.dispatches;
+  return r.fs->Mkdir(r.fs_path);
+}
+
+Status Vfs::Rmdir(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  ++stats_.dispatches;
+  return r.fs->Rmdir(r.fs_path);
+}
+
+Status Vfs::Unlink(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  ++stats_.dispatches;
+  return r.fs->Unlink(r.fs_path);
+}
+
+Status Vfs::Rename(const std::string& from, const std::string& to) {
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath rf, Resolve(from));
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath rt, Resolve(to));
+  if (rf.fs != rt.fs) {
+    return Status::Error(Errno::kEXDEV);
+  }
+  ++stats_.dispatches;
+  return rf.fs->Rename(rf.fs_path, rt.fs_path);
+}
+
+Result<FileAttr> Vfs::Stat(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  ++stats_.dispatches;
+  return r.fs->Stat(r.fs_path);
+}
+
+Result<std::vector<std::string>> Vfs::Readdir(const std::string& path) {
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  ++stats_.dispatches;
+  return r.fs->Readdir(r.fs_path);
+}
+
+Status Vfs::Truncate(const std::string& path, uint64_t size) {
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  ++stats_.dispatches;
+  return r.fs->Truncate(r.fs_path, size);
+}
+
+Status Vfs::SyncAll() {
+  std::vector<std::shared_ptr<FileSystem>> all;
+  {
+    MutexGuard guard(mutex_);
+    for (const auto& [mp, fs] : mounts_) {
+      all.push_back(fs);
+    }
+  }
+  for (const auto& fs : all) {
+    ++stats_.dispatches;
+    SKERN_RETURN_IF_ERROR(fs->Sync());
+  }
+  return Status::Ok();
+}
+
+Result<Fd> Vfs::Open(const std::string& path, uint32_t flags) {
+  if ((flags & (kOpenRead | kOpenWrite)) == 0) {
+    return Errno::kEINVAL;
+  }
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  ++stats_.dispatches;
+  auto attr = r.fs->Stat(r.fs_path);
+  if (!attr.ok()) {
+    if (attr.error() != Errno::kENOENT || (flags & kOpenCreate) == 0) {
+      return attr.error();
+    }
+    ++stats_.dispatches;
+    SKERN_RETURN_IF_ERROR(r.fs->Create(r.fs_path));
+    attr = FileAttr{false, 0};
+  }
+  if (attr->is_dir) {
+    return Errno::kEISDIR;
+  }
+  if ((flags & kOpenTrunc) != 0 && (flags & kOpenWrite) != 0) {
+    ++stats_.dispatches;
+    SKERN_RETURN_IF_ERROR(r.fs->Truncate(r.fs_path, 0));
+    attr->size = 0;
+  }
+  MutexGuard guard(mutex_);
+  if (open_files_.size() >= max_open_files_) {
+    return Errno::kEMFILE;
+  }
+  Fd fd = next_fd_++;
+  OpenFile file;
+  file.fs = r.fs;
+  file.fs_path = r.fs_path;
+  file.flags = flags;
+  file.offset = (flags & kOpenAppend) != 0 ? attr->size : 0;
+  open_files_[fd] = std::move(file);
+  ++stats_.opens;
+  return fd;
+}
+
+Status Vfs::Close(Fd fd) {
+  MutexGuard guard(mutex_);
+  return open_files_.erase(fd) > 0 ? Status::Ok() : Status::Error(Errno::kEBADF);
+}
+
+Result<Vfs::OpenFile*> Vfs::FindFd(Fd fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    return Errno::kEBADF;
+  }
+  return &it->second;
+}
+
+Result<Bytes> Vfs::Read(Fd fd, uint64_t length) {
+  std::shared_ptr<FileSystem> fs;
+  std::string path;
+  uint64_t offset;
+  {
+    MutexGuard guard(mutex_);
+    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
+    if ((file->flags & kOpenRead) == 0) {
+      return Errno::kEBADF;
+    }
+    fs = file->fs;
+    path = file->fs_path;
+    offset = file->offset;
+  }
+  ++stats_.dispatches;
+  ++stats_.reads;
+  SKERN_ASSIGN_OR_RETURN(Bytes data, fs->Read(path, offset, length));
+  {
+    MutexGuard guard(mutex_);
+    auto it = open_files_.find(fd);
+    if (it != open_files_.end()) {
+      it->second.offset = offset + data.size();
+    }
+  }
+  return data;
+}
+
+Status Vfs::Write(Fd fd, ByteView data) {
+  std::shared_ptr<FileSystem> fs;
+  std::string path;
+  uint64_t offset;
+  {
+    MutexGuard guard(mutex_);
+    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
+    if ((file->flags & kOpenWrite) == 0) {
+      return Status::Error(Errno::kEBADF);
+    }
+    fs = file->fs;
+    path = file->fs_path;
+    if ((file->flags & kOpenAppend) != 0) {
+      auto attr = fs->Stat(path);
+      if (attr.ok()) {
+        file->offset = attr->size;
+      }
+    }
+    offset = file->offset;
+  }
+  ++stats_.dispatches;
+  ++stats_.writes;
+  SKERN_RETURN_IF_ERROR(fs->Write(path, offset, data));
+  {
+    MutexGuard guard(mutex_);
+    auto it = open_files_.find(fd);
+    if (it != open_files_.end()) {
+      it->second.offset = offset + data.size();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> Vfs::Pread(Fd fd, uint64_t offset, uint64_t length) {
+  std::shared_ptr<FileSystem> fs;
+  std::string path;
+  {
+    MutexGuard guard(mutex_);
+    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
+    if ((file->flags & kOpenRead) == 0) {
+      return Errno::kEBADF;
+    }
+    fs = file->fs;
+    path = file->fs_path;
+  }
+  ++stats_.dispatches;
+  ++stats_.reads;
+  return fs->Read(path, offset, length);
+}
+
+Status Vfs::Pwrite(Fd fd, uint64_t offset, ByteView data) {
+  std::shared_ptr<FileSystem> fs;
+  std::string path;
+  {
+    MutexGuard guard(mutex_);
+    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
+    if ((file->flags & kOpenWrite) == 0) {
+      return Status::Error(Errno::kEBADF);
+    }
+    fs = file->fs;
+    path = file->fs_path;
+  }
+  ++stats_.dispatches;
+  ++stats_.writes;
+  return fs->Write(path, offset, data);
+}
+
+Result<uint64_t> Vfs::Seek(Fd fd, uint64_t offset) {
+  MutexGuard guard(mutex_);
+  SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
+  file->offset = offset;
+  return offset;
+}
+
+Status Vfs::Fsync(Fd fd) {
+  std::shared_ptr<FileSystem> fs;
+  std::string path;
+  {
+    MutexGuard guard(mutex_);
+    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
+    fs = file->fs;
+    path = file->fs_path;
+  }
+  ++stats_.dispatches;
+  return fs->Fsync(path);
+}
+
+size_t Vfs::OpenFileCount() const {
+  MutexGuard guard(mutex_);
+  return open_files_.size();
+}
+
+}  // namespace skern

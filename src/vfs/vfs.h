@@ -1,0 +1,115 @@
+// The VFS façade: mount table, file descriptors, and the syscall-style API.
+//
+// The VFS is deliberately thin: it normalizes paths, resolves the longest-
+// prefix mount, manages descriptors, and dispatches through the modular
+// FileSystem interface. It contains no per-filesystem knowledge — that is the
+// whole point of step 1 (contrast §4.1's observation that Linux "references
+// to TCP state can be found throughout generic socket code"; here the generic
+// layer genuinely knows nothing about its implementations).
+//
+// Divergence from POSIX, documented: files are addressed by path at the
+// FileSystem boundary, so an open descriptor does not pin an unlinked or
+// renamed file (no open-unlink semantics). The executable specification has
+// the same semantics, which keeps refinement exact.
+#ifndef SKERN_SRC_VFS_VFS_H_
+#define SKERN_SRC_VFS_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/sync/mutex.h"
+#include "src/vfs/filesystem.h"
+
+namespace skern {
+
+enum OpenFlags : uint32_t {
+  kOpenRead = 1u << 0,
+  kOpenWrite = 1u << 1,
+  kOpenCreate = 1u << 2,
+  kOpenTrunc = 1u << 3,
+  kOpenAppend = 1u << 4,
+};
+
+using Fd = int32_t;
+
+struct VfsStats {
+  uint64_t opens = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t dispatches = 0;  // FileSystem interface crossings
+};
+
+class Vfs {
+ public:
+  explicit Vfs(size_t max_open_files = 256) : max_open_files_(max_open_files) {}
+
+  // --- mounts ---
+
+  // Mounts `fs` at `mountpoint` (normalized absolute path). The first mount
+  // must be at "/". kEBUSY if something is already mounted there.
+  Status Mount(const std::string& mountpoint, std::shared_ptr<FileSystem> fs);
+  Status Unmount(const std::string& mountpoint);
+  std::vector<std::string> Mountpoints() const;
+
+  // --- path syscalls ---
+
+  Status Mkdir(const std::string& path);
+  Status Rmdir(const std::string& path);
+  Status Unlink(const std::string& path);
+  // Cross-mount renames are rejected with kEXDEV, like Linux.
+  Status Rename(const std::string& from, const std::string& to);
+  Result<FileAttr> Stat(const std::string& path);
+  Result<std::vector<std::string>> Readdir(const std::string& path);
+  Status Truncate(const std::string& path, uint64_t size);
+  // Syncs every mounted file system.
+  Status SyncAll();
+
+  // --- descriptor syscalls ---
+
+  Result<Fd> Open(const std::string& path, uint32_t flags);
+  Status Close(Fd fd);
+  // Sequential read/write advance the file offset.
+  Result<Bytes> Read(Fd fd, uint64_t length);
+  Status Write(Fd fd, ByteView data);
+  // Positional variants do not move the offset.
+  Result<Bytes> Pread(Fd fd, uint64_t offset, uint64_t length);
+  Status Pwrite(Fd fd, uint64_t offset, ByteView data);
+  Result<uint64_t> Seek(Fd fd, uint64_t offset);
+  Status Fsync(Fd fd);
+
+  size_t OpenFileCount() const;
+  const VfsStats& stats() const { return stats_; }
+
+ private:
+  struct OpenFile {
+    std::shared_ptr<FileSystem> fs;
+    std::string fs_path;  // path within the mounted fs
+    uint32_t flags = 0;
+    uint64_t offset = 0;
+  };
+
+  struct ResolvedPath {
+    std::shared_ptr<FileSystem> fs;
+    std::string fs_path;
+  };
+
+  // Longest-prefix mount resolution on a normalized path.
+  Result<ResolvedPath> Resolve(const std::string& path) const;
+  Result<OpenFile*> FindFd(Fd fd);
+
+  size_t max_open_files_;
+  mutable TrackedMutex mutex_{"vfs.lock"};
+  std::map<std::string, std::shared_ptr<FileSystem>> mounts_;
+  std::map<Fd, OpenFile> open_files_;
+  Fd next_fd_ = 3;  // 0-2 reserved, like a real process
+  VfsStats stats_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_VFS_VFS_H_

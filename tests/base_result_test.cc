@@ -1,0 +1,199 @@
+// Tests for Status, Result<T>, and the ERR_PTR emulation — the §4.2 contrast
+// between the unsafe C idiom and its typed replacement.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/err_ptr.h"
+#include "src/base/panic.h"
+#include "src/base/result.h"
+#include "src/base/status.h"
+
+namespace skern {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Errno::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCode) {
+  Status s = Status::Error(Errno::kENOENT);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errno::kENOENT);
+  EXPECT_NE(s.ToString().find("ENOENT"), std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodes) {
+  EXPECT_EQ(Status::Error(Errno::kEIO), Status::Error(Errno::kEIO));
+  EXPECT_NE(Status::Error(Errno::kEIO), Status::Error(Errno::kENOENT));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, AllErrnoValuesHaveNames) {
+  // Every enumerator must map to a distinct, non-placeholder name.
+  const Errno all[] = {
+      Errno::kEPERM,  Errno::kENOENT, Errno::kEIO,     Errno::kEBADF,     Errno::kEAGAIN,
+      Errno::kENOMEM, Errno::kEACCES, Errno::kEFAULT,  Errno::kEBUSY,     Errno::kEEXIST,
+      Errno::kEXDEV,  Errno::kENODEV, Errno::kENOTDIR, Errno::kEISDIR,    Errno::kEINVAL,
+      Errno::kENFILE, Errno::kEMFILE, Errno::kEFBIG,   Errno::kENOSPC,    Errno::kEROFS,
+      Errno::kEPIPE,  Errno::kERANGE, Errno::kENOSYS,  Errno::kENOTEMPTY, Errno::kELOOP,
+  };
+  for (Errno e : all) {
+    EXPECT_STRNE(ErrnoName(e), "E???") << static_cast<int>(e);
+    EXPECT_STRNE(ErrnoMessage(e), "Unknown error") << static_cast<int>(e);
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Errno::kENOENT);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::kENOENT);
+  EXPECT_EQ(r.status().code(), Errno::kENOENT);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok(7);
+  Result<int> err(Errno::kEIO);
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, AccessingWrongAlternativePanics) {
+  ScopedPanicAsException guard;
+  Result<int> err(Errno::kEIO);
+  EXPECT_THROW(err.value(), PanicException);
+  Result<int> ok(1);
+  EXPECT_THROW(ok.error(), PanicException);
+}
+
+TEST(ResultTest, OkStatusCannotBeAnError) {
+  ScopedPanicAsException guard;
+  EXPECT_THROW(Result<int>(Errno::kOk), PanicException);
+}
+
+TEST(ResultTest, MapTransformsSuccess) {
+  Result<int> r(10);
+  Result<std::string> mapped = r.Map([](int v) { return std::to_string(v * 2); });
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped.value(), "20");
+}
+
+TEST(ResultTest, MapPropagatesError) {
+  Result<int> r(Errno::kENOSPC);
+  Result<std::string> mapped = r.Map([](int v) { return std::to_string(v); });
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.error(), Errno::kENOSPC);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status UsesReturnIfError(Status inner, bool* reached_end) {
+  SKERN_RETURN_IF_ERROR(inner);
+  *reached_end = true;
+  return Status::Ok();
+}
+
+TEST(ResultMacrosTest, ReturnIfErrorPropagates) {
+  bool reached = false;
+  Status s = UsesReturnIfError(Status::Error(Errno::kEIO), &reached);
+  EXPECT_EQ(s.code(), Errno::kEIO);
+  EXPECT_FALSE(reached);
+  s = UsesReturnIfError(Status::Ok(), &reached);
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(reached);
+}
+
+Result<int> MakeResult(bool ok) {
+  if (ok) {
+    return 5;
+  }
+  return Errno::kEBADF;
+}
+
+Status UsesAssignOrReturn(bool ok, int* out) {
+  SKERN_ASSIGN_OR_RETURN(int v, MakeResult(ok));
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(ResultMacrosTest, AssignOrReturnUnwrapsAndPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UsesAssignOrReturn(false, &out).code(), Errno::kEBADF);
+}
+
+// --- ERR_PTR emulation: demonstrates the exact hazard the paper describes.
+
+TEST(ErrPtrTest, RoundTripsErrno) {
+  int* p = ErrPtr<int>(Errno::kENOENT);
+  ASSERT_TRUE(IsErr(p));
+  EXPECT_EQ(PtrErr(p), Errno::kENOENT);
+}
+
+TEST(ErrPtrTest, RealPointerIsNotErr) {
+  int x = 0;
+  EXPECT_FALSE(IsErr(&x));
+  EXPECT_FALSE(IsErrOrNull(&x));
+}
+
+TEST(ErrPtrTest, NullHandling) {
+  EXPECT_TRUE(IsErrOrNull(nullptr));
+  EXPECT_FALSE(IsErr(nullptr));
+}
+
+TEST(ErrPtrTest, TheHazardItself) {
+  // Calling PtrErr on a valid pointer yields a garbage "errno": the type
+  // confusion Result<T> makes unrepresentable.
+  int x = 0;
+  Errno garbage = PtrErr(&x);
+  // The value is meaningless; the point is that nothing stopped us.
+  (void)garbage;
+  SUCCEED();
+}
+
+TEST(PanicTest, ScopedHandlerConvertsToException) {
+  ScopedPanicAsException guard;
+  uint64_t before = PanicCount();
+  EXPECT_THROW(Panic("test panic"), PanicException);
+  EXPECT_EQ(PanicCount(), before + 1);
+}
+
+TEST(PanicTest, CheckMacroPassesOnTrue) {
+  SKERN_CHECK(1 + 1 == 2);
+  SUCCEED();
+}
+
+TEST(PanicTest, CheckMacroPanicsOnFalse) {
+  ScopedPanicAsException guard;
+  EXPECT_THROW(SKERN_CHECK(1 + 1 == 3), PanicException);
+}
+
+TEST(PanicTest, CheckMsgIncludesDetail) {
+  ScopedPanicAsException guard;
+  try {
+    SKERN_CHECK_MSG(false, "extra detail");
+    FAIL() << "should have thrown";
+  } catch (const PanicException& e) {
+    EXPECT_NE(std::string(e.what()).find("extra detail"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,384 @@
+// Tests for the deterministic RNG, byte views, simulated clock, intrusive
+// list, and logger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/intrusive_list.h"
+#include "src/base/log.h"
+#include "src/base/panic.h"
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+
+namespace skern {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit in 1000 draws
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0;
+  double sum_sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.NextExponential(2.0);
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.03);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(13);
+  for (double mean : {0.5, 4.0, 30.0, 200.0}) {
+    double sum = 0;
+    constexpr int kN = 5000;
+    for (int i = 0; i < kN; ++i) {
+      sum += static_cast<double>(rng.NextPoisson(mean));
+    }
+    EXPECT_NEAR(sum / kN, mean, mean * 0.1 + 0.1) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(23);
+  constexpr uint64_t kN = 1000;
+  int low = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t r = rng.NextZipf(kN, 1.1);
+    ASSERT_LT(r, kN);
+    if (r < kN / 10) {
+      ++low;
+    }
+  }
+  // With s=1.1, far more than 10% of the mass is in the first decile.
+  EXPECT_GT(low, kDraws / 2);
+}
+
+TEST(RngTest, NamesAndBytes) {
+  Rng rng(31);
+  std::string name = rng.NextName(12);
+  EXPECT_EQ(name.size(), 12u);
+  for (char c : name) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  auto bytes = rng.NextBytes(37);
+  EXPECT_EQ(bytes.size(), 37u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  // Streams should differ from each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --- bytes ---
+
+TEST(BytesTest, ViewOverVector) {
+  Bytes data{1, 2, 3, 4, 5};
+  ByteView view(data);
+  EXPECT_EQ(view.size(), 5u);
+  EXPECT_EQ(view[0], 1);
+  EXPECT_EQ(view[4], 5);
+}
+
+TEST(BytesTest, SubviewBounds) {
+  Bytes data{1, 2, 3, 4, 5};
+  ByteView view(data);
+  ByteView sub = view.Subview(1, 3);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub[0], 2);
+  ScopedPanicAsException guard;
+  EXPECT_THROW(view.Subview(3, 4), PanicException);
+}
+
+TEST(BytesTest, Equality) {
+  Bytes a{1, 2, 3};
+  Bytes b{1, 2, 3};
+  Bytes c{1, 2, 4};
+  EXPECT_TRUE(ByteView(a) == ByteView(b));
+  EXPECT_FALSE(ByteView(a) == ByteView(c));
+  EXPECT_TRUE(ByteView() == ByteView());
+}
+
+TEST(BytesTest, MutableViewCopyAndFill) {
+  Bytes dst(4, 0);
+  Bytes src{9, 8, 7, 6};
+  MutableByteView view(dst);
+  view.CopyFrom(ByteView(src));
+  EXPECT_EQ(dst, src);
+  view.Fill(0xaa);
+  EXPECT_EQ(dst, Bytes(4, 0xaa));
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  std::string s = "hello world";
+  Bytes b = BytesFromString(s);
+  EXPECT_EQ(StringFromBytes(b), s);
+  EXPECT_EQ(ByteView(s).ToString(), s);
+}
+
+// --- sim clock ---
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(SimClockTest, AdvanceMovesTime) {
+  SimClock clock;
+  clock.Advance(5 * kSecond);
+  EXPECT_EQ(clock.now(), 5 * kSecond);
+}
+
+TEST(SimClockTest, TimersFireInOrder) {
+  SimClock clock;
+  std::vector<int> fired;
+  clock.ScheduleAfter(3 * kSecond, [&] { fired.push_back(3); });
+  clock.ScheduleAfter(1 * kSecond, [&] { fired.push_back(1); });
+  clock.ScheduleAfter(2 * kSecond, [&] { fired.push_back(2); });
+  clock.Advance(10 * kSecond);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimClockTest, TimerSeesCorrectNow) {
+  SimClock clock;
+  SimTime observed = 0;
+  clock.ScheduleAfter(2 * kSecond, [&] { observed = clock.now(); });
+  clock.Advance(5 * kSecond);
+  EXPECT_EQ(observed, 2 * kSecond);
+  EXPECT_EQ(clock.now(), 5 * kSecond);
+}
+
+TEST(SimClockTest, CancelPreventsFiring) {
+  SimClock clock;
+  bool fired = false;
+  uint64_t id = clock.ScheduleAfter(kSecond, [&] { fired = true; });
+  EXPECT_TRUE(clock.Cancel(id));
+  EXPECT_FALSE(clock.Cancel(id));  // second cancel fails
+  clock.Advance(2 * kSecond);
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimClockTest, NestedScheduling) {
+  SimClock clock;
+  int count = 0;
+  // A timer that reschedules itself twice.
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 3) {
+      clock.ScheduleAfter(kSecond, tick);
+    }
+  };
+  clock.ScheduleAfter(kSecond, tick);
+  clock.Advance(10 * kSecond);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimClockTest, AdvanceToNextEvent) {
+  SimClock clock;
+  bool fired = false;
+  clock.ScheduleAfter(7 * kSecond, [&] { fired = true; });
+  EXPECT_TRUE(clock.AdvanceToNextEvent());
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(clock.now(), 7 * kSecond);
+  EXPECT_FALSE(clock.AdvanceToNextEvent());
+}
+
+// --- intrusive list ---
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+  ListNode node;
+};
+
+using ItemList = IntrusiveList<Item, &Item::node>;
+
+TEST(IntrusiveListTest, PushPopFifo) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushFrontLifo) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+  list.Clear();
+}
+
+TEST(IntrusiveListTest, RemoveFromMiddle) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(b.node.linked());
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+}
+
+TEST(IntrusiveListTest, MoveToBackIsLruTouch) {
+  ItemList list;
+  Item a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.MoveToBack(&a);
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+  list.Clear();
+}
+
+TEST(IntrusiveListTest, DoubleInsertPanics) {
+  ItemList list;
+  Item a(1);
+  list.PushBack(&a);
+  ScopedPanicAsException guard;
+  EXPECT_THROW(list.PushBack(&a), PanicException);
+  list.Clear();
+}
+
+TEST(IntrusiveListTest, RemoveUnlinkedPanics) {
+  ItemList list;
+  Item a(1);
+  ScopedPanicAsException guard;
+  EXPECT_THROW(list.Remove(&a), PanicException);
+}
+
+TEST(IntrusiveListTest, ContainsAndIteration) {
+  ItemList list;
+  Item a(1), b(2);
+  list.PushBack(&a);
+  EXPECT_TRUE(list.Contains(&a));
+  EXPECT_FALSE(list.Contains(&b));
+  list.PushBack(&b);
+  int sum = 0;
+  for (auto& item : list) {
+    sum += item.value;
+  }
+  EXPECT_EQ(sum, 3);
+  list.Clear();
+}
+
+// --- log ---
+
+TEST(LogTest, LevelGatesCounting) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  uint64_t warns_before = LogCount(LogLevel::kWarn);
+  uint64_t errors_before = LogCount(LogLevel::kError);
+  SKERN_WARN() << "suppressed";
+  SKERN_ERROR() << "emitted";
+  EXPECT_EQ(LogCount(LogLevel::kWarn), warns_before);
+  EXPECT_EQ(LogCount(LogLevel::kError), errors_before + 1);
+  SetLogLevel(old);
+}
+
+TEST(LogTest, NoneSilencesEverything) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kNone);
+  uint64_t errors_before = LogCount(LogLevel::kError);
+  SKERN_ERROR() << "suppressed";
+  EXPECT_EQ(LogCount(LogLevel::kError), errors_before);
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace skern

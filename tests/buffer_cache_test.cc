@@ -1,0 +1,298 @@
+// Tests for buffer_head state validation and the buffer cache.
+#include <gtest/gtest.h>
+
+#include "src/base/panic.h"
+#include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
+#include "src/block/buffer_head.h"
+#include "src/sync/lock_registry.h"
+
+namespace skern {
+namespace {
+
+uint32_t F(BhFlag flag) { return static_cast<uint32_t>(flag); }
+
+// --- state machine validity rules ---
+
+TEST(BufferStateTest, EmptyStateIsValid) { EXPECT_TRUE(ValidateBufferState(0).empty()); }
+
+TEST(BufferStateTest, TypicalCleanStates) {
+  EXPECT_TRUE(ValidateBufferState(F(BhFlag::kMapped)).empty());
+  EXPECT_TRUE(ValidateBufferState(F(BhFlag::kMapped) | F(BhFlag::kUptodate)).empty());
+  EXPECT_TRUE(
+      ValidateBufferState(F(BhFlag::kMapped) | F(BhFlag::kUptodate) | F(BhFlag::kReq)).empty());
+}
+
+TEST(BufferStateTest, DirtyRequiresUptodate) {
+  auto v = ValidateBufferState(F(BhFlag::kDirty) | F(BhFlag::kMapped));
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().rule.find("R1"), std::string::npos);
+}
+
+TEST(BufferStateTest, DirtyRequiresMappingOrDelay) {
+  auto v = ValidateBufferState(F(BhFlag::kDirty) | F(BhFlag::kUptodate));
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().rule.find("R2"), std::string::npos);
+  // Delayed allocation is the sanctioned unmapped-dirty state.
+  EXPECT_TRUE(
+      ValidateBufferState(F(BhFlag::kDirty) | F(BhFlag::kUptodate) | F(BhFlag::kDelay)).empty());
+}
+
+TEST(BufferStateTest, DelayExcludesMapped) {
+  auto v = ValidateBufferState(F(BhFlag::kDelay) | F(BhFlag::kMapped));
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().rule.find("R3"), std::string::npos);
+}
+
+TEST(BufferStateTest, UnwrittenRules) {
+  EXPECT_FALSE(ValidateBufferState(F(BhFlag::kUnwritten)).empty());  // R4
+  auto v = ValidateBufferState(F(BhFlag::kUnwritten) | F(BhFlag::kMapped) | F(BhFlag::kDirty) |
+                               F(BhFlag::kUptodate));
+  ASSERT_FALSE(v.empty());  // R5
+  EXPECT_TRUE(ValidateBufferState(F(BhFlag::kUnwritten) | F(BhFlag::kMapped)).empty());
+}
+
+TEST(BufferStateTest, AsyncIoRequiresLock) {
+  EXPECT_FALSE(ValidateBufferState(F(BhFlag::kAsyncRead)).empty());   // R6
+  EXPECT_FALSE(ValidateBufferState(F(BhFlag::kAsyncWrite)).empty());  // R7
+  EXPECT_TRUE(ValidateBufferState(F(BhFlag::kAsyncRead) | F(BhFlag::kLock)).empty());
+}
+
+TEST(BufferStateTest, SimultaneousAsyncReadWriteInvalid) {
+  auto v =
+      ValidateBufferState(F(BhFlag::kAsyncRead) | F(BhFlag::kAsyncWrite) | F(BhFlag::kLock));
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().rule.find("R8"), std::string::npos);
+}
+
+TEST(BufferStateTest, NewRequiresMapped) {
+  EXPECT_FALSE(ValidateBufferState(F(BhFlag::kNew)).empty());
+  EXPECT_TRUE(ValidateBufferState(F(BhFlag::kNew) | F(BhFlag::kMapped)).empty());
+}
+
+TEST(BufferStateTest, WriteEioRequiresReq) {
+  EXPECT_FALSE(ValidateBufferState(F(BhFlag::kWriteEio)).empty());
+  EXPECT_TRUE(
+      ValidateBufferState(F(BhFlag::kWriteEio) | F(BhFlag::kReq) | F(BhFlag::kMapped)).empty());
+}
+
+TEST(BufferStateTest, ExhaustiveSweepCountsValidStates) {
+  // All 2^16 combinations: the checker must terminate and classify each; the
+  // valid fraction is well under half — most combinations are nonsense,
+  // which is the paper's point about implicit state-flag contracts.
+  int valid = 0;
+  for (uint32_t state = 0; state < (1u << 16); ++state) {
+    if (ValidateBufferState(state).empty()) {
+      ++valid;
+    }
+  }
+  EXPECT_GT(valid, 0);
+  EXPECT_LT(valid, 1 << 15);
+}
+
+TEST(BufferStateTest, ToStringRendersFlags) {
+  EXPECT_EQ(BufferStateToString(0), "(none)");
+  std::string s = BufferStateToString(F(BhFlag::kUptodate) | F(BhFlag::kDirty));
+  EXPECT_NE(s.find("Uptodate"), std::string::npos);
+  EXPECT_NE(s.find("Dirty"), std::string::npos);
+}
+
+TEST(BufferStateTest, AllFlagsHaveNames) {
+  for (int i = 0; i < kBhFlagCount; ++i) {
+    EXPECT_STRNE(BhFlagName(static_cast<BhFlag>(1u << i)), "?") << i;
+  }
+}
+
+// --- buffer cache ---
+
+class BufferCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LockRegistry::Get().ResetForTesting(); }
+};
+
+TEST_F(BufferCacheTest, GetBlockCreatesMapped) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  BufferHead* bh = cache.GetBlock(3);
+  ASSERT_NE(bh, nullptr);
+  EXPECT_EQ(bh->blocknr, 3u);
+  EXPECT_TRUE(bh->Test(BhFlag::kMapped));
+  EXPECT_FALSE(bh->Test(BhFlag::kUptodate));
+  cache.Release(bh);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(BufferCacheTest, SecondGetIsAHit) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  BufferHead* a = cache.GetBlock(3);
+  BufferHead* b = cache.GetBlock(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.Release(a);
+  cache.Release(b);
+}
+
+TEST_F(BufferCacheTest, ReadBlockFetchesFromDevice) {
+  RamDisk disk(16);
+  ASSERT_TRUE(disk.WriteBlock(5, ByteView(Bytes(kBlockSize, 0x5a))).ok());
+  BufferCache cache(disk, 8);
+  auto r = cache.ReadBlock(5);
+  ASSERT_TRUE(r.ok());
+  BufferHead* bh = r.value();
+  EXPECT_TRUE(bh->Test(BhFlag::kUptodate));
+  EXPECT_EQ(bh->data, Bytes(kBlockSize, 0x5a));
+  cache.Release(bh);
+}
+
+TEST_F(BufferCacheTest, CachedReadSkipsDevice) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  auto r1 = cache.ReadBlock(5);
+  ASSERT_TRUE(r1.ok());
+  cache.Release(r1.value());
+  uint64_t reads_before = disk.stats().reads;
+  auto r2 = cache.ReadBlock(5);
+  ASSERT_TRUE(r2.ok());
+  cache.Release(r2.value());
+  EXPECT_EQ(disk.stats().reads, reads_before);
+}
+
+TEST_F(BufferCacheTest, ReadErrorPropagates) {
+  RamDisk disk(16);
+  disk.InjectBlockError(7);
+  BufferCache cache(disk, 8);
+  auto r = cache.ReadBlock(7);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::kEIO);
+}
+
+TEST_F(BufferCacheTest, DirtyWritebackRoundTrip) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  auto r = cache.ReadBlock(2);
+  ASSERT_TRUE(r.ok());
+  BufferHead* bh = r.value();
+  bh->data.assign(kBlockSize, 0x77);
+  cache.MarkDirty(bh);
+  EXPECT_TRUE(bh->Test(BhFlag::kDirty));
+  ASSERT_TRUE(cache.WriteBack(bh).ok());
+  EXPECT_FALSE(bh->Test(BhFlag::kDirty));
+  cache.Release(bh);
+  Bytes out(kBlockSize, 0);
+  ASSERT_TRUE(disk.ReadBlock(2, MutableByteView(out)).ok());
+  EXPECT_EQ(out, Bytes(kBlockSize, 0x77));
+}
+
+TEST_F(BufferCacheTest, MarkDirtyOnNonUptodatePanics) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  BufferHead* bh = cache.GetBlock(1);  // not uptodate
+  ScopedPanicAsException guard;
+  EXPECT_THROW(cache.MarkDirty(bh), PanicException);
+  cache.Release(bh);
+}
+
+TEST_F(BufferCacheTest, SyncAllFlushesEverything) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  for (uint64_t b = 0; b < 4; ++b) {
+    auto r = cache.ReadBlock(b);
+    ASSERT_TRUE(r.ok());
+    r.value()->data.assign(kBlockSize, static_cast<uint8_t>(b + 1));
+    cache.MarkDirty(r.value());
+    cache.Release(r.value());
+  }
+  ASSERT_TRUE(cache.SyncAll().ok());
+  disk.CrashNow(CrashPersistence::kLoseAll);  // synced data must survive
+  for (uint64_t b = 0; b < 4; ++b) {
+    Bytes out(kBlockSize, 0);
+    ASSERT_TRUE(disk.ReadBlock(b, MutableByteView(out)).ok());
+    EXPECT_EQ(out, Bytes(kBlockSize, static_cast<uint8_t>(b + 1)));
+  }
+}
+
+TEST_F(BufferCacheTest, LruEvictionDropsColdBuffers) {
+  RamDisk disk(64);
+  BufferCache cache(disk, 4);
+  for (uint64_t b = 0; b < 8; ++b) {
+    auto r = cache.ReadBlock(b);
+    ASSERT_TRUE(r.ok());
+    cache.Release(r.value());
+  }
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST_F(BufferCacheTest, EvictionWritesBackDirtyVictim) {
+  RamDisk disk(64);
+  BufferCache cache(disk, 2);
+  auto r = cache.ReadBlock(0);
+  ASSERT_TRUE(r.ok());
+  r.value()->data.assign(kBlockSize, 0x99);
+  cache.MarkDirty(r.value());
+  cache.Release(r.value());
+  // Fill the cache to force eviction of block 0.
+  for (uint64_t b = 1; b < 6; ++b) {
+    auto rr = cache.ReadBlock(b);
+    ASSERT_TRUE(rr.ok());
+    cache.Release(rr.value());
+  }
+  ASSERT_TRUE(disk.Flush().ok());
+  Bytes out(kBlockSize, 0);
+  ASSERT_TRUE(disk.ReadBlock(0, MutableByteView(out)).ok());
+  EXPECT_EQ(out, Bytes(kBlockSize, 0x99));
+}
+
+TEST_F(BufferCacheTest, PinnedBuffersSurviveEvictionPressure) {
+  RamDisk disk(64);
+  BufferCache cache(disk, 2);
+  BufferHead* pinned = cache.GetBlock(0);
+  for (uint64_t b = 1; b < 8; ++b) {
+    auto r = cache.ReadBlock(b);
+    ASSERT_TRUE(r.ok());
+    cache.Release(r.value());
+  }
+  // Block 0 must still be present (same pointer on re-get).
+  BufferHead* again = cache.GetBlock(0);
+  EXPECT_EQ(again, pinned);
+  cache.Release(again);
+  cache.Release(pinned);
+}
+
+TEST_F(BufferCacheTest, ReleaseWithoutRefPanics) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  BufferHead* bh = cache.GetBlock(0);
+  cache.Release(bh);
+  ScopedPanicAsException guard;
+  EXPECT_THROW(cache.Release(bh), PanicException);
+}
+
+TEST_F(BufferCacheTest, InvalidateAllDropsCleanBuffers) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  auto r = cache.ReadBlock(1);
+  ASSERT_TRUE(r.ok());
+  cache.Release(r.value());
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(BufferCacheTest, ValidateAllIsCleanInNormalUse) {
+  RamDisk disk(16);
+  BufferCache cache(disk, 8);
+  for (uint64_t b = 0; b < 4; ++b) {
+    auto r = cache.ReadBlock(b);
+    ASSERT_TRUE(r.ok());
+    if (b % 2 == 0) {
+      r.value()->data.assign(kBlockSize, 1);
+      cache.MarkDirty(r.value());
+    }
+    cache.Release(r.value());
+  }
+  EXPECT_TRUE(cache.ValidateAll().empty());
+}
+
+}  // namespace
+}  // namespace skern

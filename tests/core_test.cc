@@ -1,0 +1,233 @@
+// Tests for the modular-framework core: safety levels, module registry,
+// implementation slots, axiomatic shims, and the Figure 1 landscape.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/base/panic.h"
+#include "src/core/landscape.h"
+#include "src/core/migration.h"
+#include "src/core/module.h"
+#include "src/core/safety_level.h"
+#include "src/core/shim.h"
+
+namespace skern {
+namespace {
+
+TEST(SafetyLevelTest, OrderingIsTheLadder) {
+  EXPECT_LT(SafetyLevel::kUnsafe, SafetyLevel::kModular);
+  EXPECT_LT(SafetyLevel::kModular, SafetyLevel::kTypeSafe);
+  EXPECT_LT(SafetyLevel::kTypeSafe, SafetyLevel::kOwnershipSafe);
+  EXPECT_LT(SafetyLevel::kOwnershipSafe, SafetyLevel::kVerified);
+}
+
+TEST(SafetyLevelTest, NamesAndDescriptionsExist) {
+  for (int i = 0; i < kSafetyLevelCount; ++i) {
+    auto level = static_cast<SafetyLevel>(i);
+    EXPECT_STRNE(SafetyLevelName(level), "?");
+    EXPECT_STRNE(SafetyLevelDescription(level), "?");
+  }
+}
+
+class ModuleRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ModuleRegistry::Get().ResetForTesting(); }
+  void TearDown() override { ModuleRegistry::Get().ResetForTesting(); }
+};
+
+TEST_F(ModuleRegistryTest, RegisterAndFind) {
+  ModuleRegistry::Get().Register({"m1", "skern.X", SafetyLevel::kTypeSafe, 100, "test"});
+  auto found = ModuleRegistry::Get().Find("m1");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->interface, "skern.X");
+  EXPECT_EQ(found->level, SafetyLevel::kTypeSafe);
+  EXPECT_FALSE(ModuleRegistry::Get().Find("nope").has_value());
+}
+
+TEST_F(ModuleRegistryTest, ReRegisterUpdates) {
+  ModuleRegistry::Get().Register({"m1", "skern.X", SafetyLevel::kUnsafe, 100, ""});
+  ModuleRegistry::Get().Register({"m1", "skern.X", SafetyLevel::kVerified, 150, ""});
+  auto found = ModuleRegistry::Get().Find("m1");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->level, SafetyLevel::kVerified);
+  EXPECT_EQ(ModuleRegistry::Get().All().size(), 1u);
+}
+
+TEST_F(ModuleRegistryTest, ImplementingFilters) {
+  ModuleRegistry::Get().Register({"a", "skern.FS", SafetyLevel::kUnsafe, 10, ""});
+  ModuleRegistry::Get().Register({"b", "skern.FS", SafetyLevel::kVerified, 20, ""});
+  ModuleRegistry::Get().Register({"c", "skern.Net", SafetyLevel::kUnsafe, 30, ""});
+  EXPECT_EQ(ModuleRegistry::Get().Implementing("skern.FS").size(), 2u);
+  EXPECT_EQ(ModuleRegistry::Get().Implementing("skern.Net").size(), 1u);
+}
+
+TEST_F(ModuleRegistryTest, AggregatesByLevel) {
+  ModuleRegistry::Get().Register({"a", "i", SafetyLevel::kUnsafe, 100, ""});
+  ModuleRegistry::Get().Register({"b", "i", SafetyLevel::kOwnershipSafe, 300, ""});
+  ModuleRegistry::Get().Register({"c", "i", SafetyLevel::kOwnershipSafe, 100, ""});
+  EXPECT_EQ(ModuleRegistry::Get().LinesAtLevel(SafetyLevel::kOwnershipSafe), 400u);
+  EXPECT_EQ(ModuleRegistry::Get().LinesAtLevel(SafetyLevel::kVerified), 0u);
+  EXPECT_DOUBLE_EQ(ModuleRegistry::Get().FractionAtOrAbove(SafetyLevel::kOwnershipSafe), 0.8);
+  EXPECT_DOUBLE_EQ(ModuleRegistry::Get().FractionAtOrAbove(SafetyLevel::kUnsafe), 1.0);
+}
+
+TEST_F(ModuleRegistryTest, BuiltinModulesCoverEveryRung) {
+  RegisterBuiltinModules();
+  // The incremental story needs modules at every rung of the ladder.
+  for (int i = 0; i < kSafetyLevelCount; ++i) {
+    auto level = static_cast<SafetyLevel>(i);
+    bool any = false;
+    for (const auto& m : ModuleRegistry::Get().All()) {
+      if (m.level == level) {
+        any = true;
+      }
+    }
+    EXPECT_TRUE(any) << "no module at level " << SafetyLevelName(level);
+  }
+}
+
+// --- implementation slots (step 1) ---
+
+struct FakeFs {
+  virtual ~FakeFs() = default;
+  virtual int Id() const = 0;
+};
+
+struct FsA : FakeFs {
+  int Id() const override { return 1; }
+};
+struct FsB : FakeFs {
+  int Id() const override { return 2; }
+};
+
+TEST(ImplementationSlotTest, FirstInstallBecomesActive) {
+  ImplementationSlot<FakeFs> slot("skern.FS");
+  slot.Install("a", std::make_shared<FsA>(), SafetyLevel::kUnsafe);
+  slot.Install("b", std::make_shared<FsB>(), SafetyLevel::kVerified);
+  EXPECT_EQ(slot.ActiveName(), "a");
+  EXPECT_EQ(slot.Active()->Id(), 1);
+  EXPECT_EQ(slot.ActiveLevel(), SafetyLevel::kUnsafe);
+}
+
+TEST(ImplementationSlotTest, SwitchSwapsWithoutCallerChanges) {
+  ImplementationSlot<FakeFs> slot("skern.FS");
+  slot.Install("a", std::make_shared<FsA>(), SafetyLevel::kUnsafe);
+  slot.Install("b", std::make_shared<FsB>(), SafetyLevel::kVerified);
+  ASSERT_TRUE(slot.SwitchTo("b").ok());
+  EXPECT_EQ(slot.Active()->Id(), 2);
+  EXPECT_EQ(slot.ActiveLevel(), SafetyLevel::kVerified);
+  EXPECT_EQ(slot.switch_count(), 1u);
+}
+
+TEST(ImplementationSlotTest, SwitchToUnknownFails) {
+  ImplementationSlot<FakeFs> slot("skern.FS");
+  slot.Install("a", std::make_shared<FsA>());
+  EXPECT_EQ(slot.SwitchTo("zzz").code(), Errno::kENODEV);
+  EXPECT_EQ(slot.ActiveName(), "a");
+}
+
+TEST(ImplementationSlotTest, OldHandleSurvivesSwitch) {
+  // "Callers holding the previous shared_ptr keep it alive" — graceful swap.
+  ImplementationSlot<FakeFs> slot("skern.FS");
+  slot.Install("a", std::make_shared<FsA>());
+  slot.Install("b", std::make_shared<FsB>());
+  auto held = slot.Active();
+  ASSERT_TRUE(slot.SwitchTo("b").ok());
+  EXPECT_EQ(held->Id(), 1);  // still usable
+  EXPECT_EQ(slot.Active()->Id(), 2);
+}
+
+TEST(ImplementationSlotTest, NamesLists) {
+  ImplementationSlot<FakeFs> slot("skern.FS");
+  slot.Install("a", std::make_shared<FsA>());
+  slot.Install("b", std::make_shared<FsB>());
+  auto names = slot.Names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+// --- shims (§4.4) ---
+
+class ShimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ShimStats::Get().ResetForTesting();
+    SetShimMode(ShimMode::kEnforcing);
+  }
+  void TearDown() override { SetShimMode(ShimMode::kEnforcing); }
+};
+
+TEST_F(ShimTest, PassingAxiomCountsValidation) {
+  Shim shim("test->block");
+  shim.Check(true, "reads-return-last-write");
+  EXPECT_EQ(ShimStats::Get().validations(), 1u);
+  EXPECT_EQ(ShimStats::Get().violation_count(), 0u);
+}
+
+TEST_F(ShimTest, BrokenAxiomPanicsWhenEnforcing) {
+  Shim shim("test->block");
+  ScopedPanicAsException guard;
+  EXPECT_THROW(shim.Check(false, "reads-return-last-write"), PanicException);
+  EXPECT_EQ(ShimStats::Get().violation_count(), 1u);
+}
+
+TEST_F(ShimTest, RecordingModeContinues) {
+  ScopedShimMode mode(ShimMode::kRecording);
+  Shim shim("test->block");
+  shim.Check(false, "axiom-a", "detail");
+  shim.Check(false, "axiom-b");
+  EXPECT_EQ(ShimStats::Get().violation_count(), 2u);
+  auto violations = ShimStats::Get().Violations();
+  EXPECT_EQ(violations[0].axiom, "axiom-a");
+  EXPECT_EQ(violations[0].detail, "detail");
+  EXPECT_EQ(violations[0].shim, "test->block");
+}
+
+TEST_F(ShimTest, DisabledModeSkipsEvaluation) {
+  ScopedShimMode mode(ShimMode::kDisabled);
+  Shim shim("test->block");
+  shim.Check(false, "would-fail");
+  EXPECT_EQ(ShimStats::Get().validations(), 0u);
+  EXPECT_EQ(ShimStats::Get().violation_count(), 0u);
+  EXPECT_FALSE(Shim::Active());
+}
+
+// --- landscape (Figure 1) ---
+
+TEST(LandscapeTest, PublishedSystemsSpanTheFigure) {
+  auto entries = PublishedLandscape();
+  ASSERT_GE(entries.size(), 8u);
+  // Linux at tens of millions with no guarantees.
+  EXPECT_EQ(entries[0].system, "Linux");
+  EXPECT_GT(entries[0].lines_of_code, 10'000'000u);
+  EXPECT_EQ(entries[0].guarantee, SafetyLevel::kUnsafe);
+  // Verified kernels at thousands.
+  bool found_verified_small = false;
+  for (const auto& e : entries) {
+    if (e.guarantee == SafetyLevel::kVerified && e.lines_of_code < 100'000) {
+      found_verified_small = true;
+    }
+  }
+  EXPECT_TRUE(found_verified_small);
+}
+
+TEST(LandscapeTest, SkernSeriesReflectsRegistry) {
+  ModuleRegistry::Get().ResetForTesting();
+  RegisterBuiltinModules();
+  auto series = SkernLandscape();
+  EXPECT_GE(series.size(), 4u);  // modules at several rungs
+  ModuleRegistry::Get().ResetForTesting();
+}
+
+TEST(LandscapeTest, TableRendersBothSeries) {
+  ModuleRegistry::Get().ResetForTesting();
+  RegisterBuiltinModules();
+  std::string table = RenderLandscapeTable();
+  EXPECT_NE(table.find("Linux"), std::string::npos);
+  EXPECT_NE(table.find("seL4"), std::string::npos);
+  EXPECT_NE(table.find("skern["), std::string::npos);
+  ModuleRegistry::Get().ResetForTesting();
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,185 @@
+// Tests for the CVE corpus generator and analyses: the calibrated aggregates
+// must reproduce the paper's reported numbers for any seed.
+#include <gtest/gtest.h>
+
+#include "src/cve/analysis.h"
+#include "src/cve/corpus.h"
+#include "src/cve/cwe.h"
+
+namespace skern {
+namespace {
+
+TEST(CweTest, EveryClassHasNameAndMapping) {
+  for (int c = 0; c < kCweClassCount; ++c) {
+    auto cls = static_cast<CweClass>(c);
+    EXPECT_STRNE(CweClassName(cls), "?");
+    // Preventability is total.
+    (void)PreventabilityOf(cls);
+  }
+}
+
+TEST(CweTest, PaperMappingSpotChecks) {
+  EXPECT_EQ(PreventabilityOf(CweClass::kUseAfterFree), Preventability::kTypeOwnership);
+  EXPECT_EQ(PreventabilityOf(CweClass::kTypeConfusion), Preventability::kTypeOwnership);
+  EXPECT_EQ(PreventabilityOf(CweClass::kDataRace), Preventability::kTypeOwnership);
+  EXPECT_EQ(PreventabilityOf(CweClass::kLogicError), Preventability::kFunctional);
+  EXPECT_EQ(PreventabilityOf(CweClass::kIntegerOverflow), Preventability::kOther);
+  EXPECT_EQ(PreventabilityOf(CweClass::kPermissionCheck), Preventability::kOther);
+  EXPECT_EQ(RepresentativeCweId(CweClass::kUseAfterFree), 416);
+}
+
+TEST(CorpusParamsTest, MixesAreNormalized) {
+  auto params = DefaultCorpusParams();
+  double cwe_sum = 0;
+  for (double p : params.cwe_mix) {
+    cwe_sum += p;
+  }
+  EXPECT_NEAR(cwe_sum, 1.0, 1e-9);
+  double comp_sum = 0;
+  for (const auto& comp : params.components) {
+    comp_sum += comp.weight;
+  }
+  EXPECT_NEAR(comp_sum, 1.0, 1e-9);
+  // The 2010.. means sum to the paper's corpus size.
+  double since_2010 = 0;
+  for (uint16_t y = 2010; y <= params.last_year; ++y) {
+    since_2010 += params.cves_per_year[y - params.first_year];
+  }
+  EXPECT_NEAR(since_2010, 1475.0, 1e-9);
+}
+
+class CorpusSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorpusSeedTest, TotalSince2010NearPaperCount) {
+  auto corpus = CveCorpus::Generate(DefaultCorpusParams(), GetParam());
+  auto table = Categorize(corpus, 2010);
+  // Poisson noise on 1475: sd ~ 38; allow 4 sigma.
+  EXPECT_NEAR(static_cast<double>(table.total), 1475.0, 160.0);
+}
+
+TEST_P(CorpusSeedTest, PreventabilitySplitMatches42_35_23) {
+  auto corpus = CveCorpus::Generate(DefaultCorpusParams(), GetParam());
+  auto table = Categorize(corpus, 2010);
+  EXPECT_NEAR(table.Fraction(Preventability::kTypeOwnership), 0.42, 0.05);
+  EXPECT_NEAR(table.Fraction(Preventability::kFunctional), 0.35, 0.05);
+  EXPECT_NEAR(table.Fraction(Preventability::kOther), 0.23, 0.05);
+}
+
+TEST_P(CorpusSeedTest, Ext4MedianLatencyAboutSevenYears) {
+  // "50% of CVEs in ext4 were found after 7 years or more of use."
+  auto corpus = CveCorpus::Generate(DefaultCorpusParams(), GetParam());
+  double median = MedianReportLatency(corpus, "ext4");
+  EXPECT_GE(median, 5.0);
+  EXPECT_LE(median, 9.5);
+}
+
+TEST_P(CorpusSeedTest, DeterministicPerSeed) {
+  auto a = CveCorpus::Generate(DefaultCorpusParams(), GetParam());
+  auto b = CveCorpus::Generate(DefaultCorpusParams(), GetParam());
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_EQ(a.records()[i].year, b.records()[i].year);
+    EXPECT_EQ(a.records()[i].component, b.records()[i].component);
+    EXPECT_EQ(static_cast<int>(a.records()[i].cwe), static_cast<int>(b.records()[i].cwe));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSeedTest, ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(CorpusTest, NoComponentBeforeItsRelease) {
+  auto corpus = CveCorpus::Generate(DefaultCorpusParams(), 7);
+  for (const auto& record : corpus.records()) {
+    if (record.component == "ext4") {
+      EXPECT_GE(record.year, 2008);
+    }
+    if (record.component == "overlayfs") {
+      EXPECT_GE(record.year, 2014);
+    }
+    EXPECT_GE(record.years_after_release, 0.0);
+  }
+}
+
+TEST(CorpusTest, PerYearShapeHasThe2017Spike) {
+  auto corpus = CveCorpus::Generate(DefaultCorpusParams(), 11);
+  auto per_year = NewCvesPerYear(corpus);
+  // 2017 is the maximum of the series (mean 295 vs everything < 200).
+  uint64_t max_count = 0;
+  uint16_t max_year = 0;
+  for (const auto& [year, count] : per_year) {
+    if (count > max_count) {
+      max_count = count;
+      max_year = year;
+    }
+  }
+  EXPECT_EQ(max_year, 2017);
+  // Hundreds per year through the 2010s.
+  EXPECT_GT(per_year.at(2016), 80u);
+  EXPECT_GT(per_year.at(2019), 80u);
+  // Early years are small.
+  EXPECT_LT(per_year.at(1999), 40u);
+}
+
+TEST(CorpusTest, LatencyCdfIsMonotonic) {
+  auto corpus = CveCorpus::Generate(DefaultCorpusParams(), 13);
+  auto cdf = ReportLatencyCdf(corpus, "ext4");
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].years_after_release, cdf[i - 1].years_after_release);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_NEAR(cdf.back().fraction, 1.0, 1e-9);
+}
+
+TEST(BugSeriesTest, PlateausNearHalfPercent) {
+  // "Even after 10 years, there are still new bugs (0.5% bugs per line of
+  // code each year) in all three file systems."
+  for (const auto& profile : DefaultBugSeriesProfiles()) {
+    auto series = GenerateBugSeries(profile, 2020, 99);
+    // Average the mature years (age >= 8) where available.
+    double sum = 0;
+    int n = 0;
+    for (const auto& point : series) {
+      if (point.age_years >= 8) {
+        sum += point.bugs_per_loc();
+        ++n;
+      }
+    }
+    if (n > 0) {
+      EXPECT_NEAR(sum / n, 0.005, 0.003) << profile.fs;
+    }
+    // Early years are buggier than the plateau.
+    EXPECT_GT(series.front().bugs_per_loc(), 0.008) << profile.fs;
+  }
+}
+
+TEST(BugSeriesTest, ThreeFileSystemsCovered) {
+  auto profiles = DefaultBugSeriesProfiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].fs, "ext4");
+  EXPECT_EQ(profiles[1].fs, "btrfs");
+  EXPECT_EQ(profiles[2].fs, "overlayfs");
+}
+
+TEST(RenderTest, FiguresRenderNonEmpty) {
+  auto corpus = CveCorpus::Generate(DefaultCorpusParams(), 3);
+  auto per_year = NewCvesPerYear(corpus);
+  EXPECT_NE(RenderCvesPerYear(per_year).find("2017"), std::string::npos);
+  auto cdf = ReportLatencyCdf(corpus, "ext4");
+  EXPECT_NE(RenderLatencyCdf(cdf, "ext4").find("ext4"), std::string::npos);
+  auto table = Categorize(corpus, 2010);
+  std::string rendered = RenderCategorization(table);
+  EXPECT_NE(rendered.find("type+ownership"), std::string::npos);
+  EXPECT_NE(rendered.find("functional"), std::string::npos);
+  EXPECT_NE(RenderBugSeries(DefaultBugSeriesProfiles(), 2020, 1).find("btrfs"),
+            std::string::npos);
+}
+
+TEST(RenderTest, AsciiBarClamps) {
+  EXPECT_EQ(AsciiBar(0, 100, 10), std::string(10, ' '));
+  EXPECT_EQ(AsciiBar(100, 100, 10), std::string(10, '#'));
+  EXPECT_EQ(AsciiBar(200, 100, 10), std::string(10, '#'));  // clamped
+  EXPECT_EQ(AsciiBar(50, 0, 10), std::string(10, ' '));     // degenerate max
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,189 @@
+// Differential testing: legacyfs, safefs, memfs and the specification model
+// must agree operation-for-operation on randomized workloads, because all of
+// them claim to refine the same interface contract. Divergence in any pair
+// is a bug in one of them (or in the spec — §4.4's two possibilities).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
+#include "src/fs/legacyfs/legacyfs.h"
+#include "src/fs/memfs/memfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/spec/trace.h"
+#include "src/sync/lock_registry.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 512;
+constexpr uint64_t kInodes = 96;
+
+// Full-tree comparison via the spec differ: dump one fs against the other's
+// state is not directly possible, so both are compared against memfs's model.
+void ExpectSameTree(FileSystem& fs, const FsModel& reference, const std::string& who) {
+  auto diffs = DiffFsAgainstModel(fs, reference.state());
+  EXPECT_TRUE(diffs.empty()) << who << ": " << diffs.front();
+}
+
+struct DiffParams {
+  uint64_t seed;
+  int ops;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DiffParams> {
+ protected:
+  void SetUp() override { LockRegistry::Get().ResetForTesting(); }
+};
+
+TEST_P(DifferentialTest, AllImplementationsAgreeOnRandomTraces) {
+  const auto params = GetParam();
+
+  // Reference run: memfs records the trace and the expected outcomes.
+  auto memfs = std::make_shared<MemFs>();
+  TracingFs traced(memfs);
+  {
+    Rng rng(params.seed);
+    const std::vector<std::string> pool{"/a", "/b", "/c", "/d", "/d/x", "/d/y", "/e"};
+    for (int i = 0; i < params.ops; ++i) {
+      const std::string& p = pool[rng.NextBelow(pool.size())];
+      const std::string& q = pool[rng.NextBelow(pool.size())];
+      switch (rng.NextBelow(11)) {
+        case 0:
+          (void)traced.Create(p);
+          break;
+        case 1:
+          (void)traced.Mkdir(p);
+          break;
+        case 2:
+          (void)traced.Unlink(p);
+          break;
+        case 3:
+          (void)traced.Rmdir(p);
+          break;
+        case 4:
+        case 5:
+          (void)traced.Write(p, rng.NextBelow(6000),
+                             rng.NextBytes(1 + rng.NextBelow(500)));
+          break;
+        case 6:
+          (void)traced.Truncate(p, rng.NextBelow(8000));
+          break;
+        case 7:
+          (void)traced.Rename(p, q);
+          break;
+        case 8:
+          (void)traced.Read(p, rng.NextBelow(4000), 1 + rng.NextBelow(512));
+          break;
+        case 9:
+          (void)traced.Stat(p);
+          break;
+        case 10:
+          (void)traced.Readdir(p);
+          break;
+      }
+    }
+  }
+  const FsTrace& trace = traced.trace();
+  ASSERT_FALSE(trace.empty());
+
+  // Replay on safefs: every outcome must match.
+  {
+    RamDisk disk(kDiskBlocks, params.seed);
+    auto safefs = SafeFs::Format(disk, kInodes, 64).value();
+    auto divergences = Replay(trace, *safefs);
+    EXPECT_TRUE(divergences.empty())
+        << "safefs diverged at op " << divergences.front().op_index << ": "
+        << divergences.front().op << " expected " << ErrnoName(divergences.front().expected)
+        << " got " << ErrnoName(divergences.front().actual);
+    ExpectSameTree(*safefs, memfs->model(), "safefs");
+  }
+
+  // Replay on legacyfs.
+  {
+    RamDisk disk(kDiskBlocks, params.seed + 1);
+    BufferCache cache(disk, 256);
+    FsGeometry geo = MakeGeometry(kDiskBlocks, kInodes, 0);
+    auto legacy = MakeLegacyFs(cache, &geo, true);
+    auto divergences = Replay(trace, *legacy);
+    EXPECT_TRUE(divergences.empty())
+        << "legacyfs diverged at op " << divergences.front().op_index << ": "
+        << divergences.front().op << " expected " << ErrnoName(divergences.front().expected)
+        << " got " << ErrnoName(divergences.front().actual);
+    ExpectSameTree(*legacy, memfs->model(), "legacyfs");
+  }
+
+  // Replay on a fresh memfs (self-consistency of the trace machinery).
+  {
+    MemFs fresh;
+    auto divergences = Replay(trace, fresh);
+    EXPECT_TRUE(divergences.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(DiffParams{7, 300}, DiffParams{77, 300},
+                                           DiffParams{777, 500}, DiffParams{7777, 500},
+                                           DiffParams{77777, 800}, DiffParams{12, 800},
+                                           DiffParams{123, 1000}, DiffParams{1234, 1000}));
+
+TEST(TraceTest, DescribeAndRender) {
+  auto memfs = std::make_shared<MemFs>();
+  TracingFs traced(memfs);
+  (void)traced.Create("/f");
+  (void)traced.Write("/f", 4, BytesFromString("abc"));
+  (void)traced.Rename("/f", "/g");
+  (void)traced.Unlink("/missing");
+  const FsTrace& trace = traced.trace();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0].Describe(), "create(/f) = OK");
+  EXPECT_NE(trace[1].Describe().find("write(/f, 4, 3B)"), std::string::npos);
+  EXPECT_NE(trace[2].Describe().find("rename(/f -> /g)"), std::string::npos);
+  EXPECT_NE(trace[3].Describe().find("ENOENT"), std::string::npos);
+  std::string rendered = RenderTrace(trace);
+  EXPECT_NE(rendered.find("0: create"), std::string::npos);
+}
+
+TEST(TraceTest, ReplayDetectsDivergence) {
+  // A trace recorded on one tree replayed onto a different tree must report
+  // the mismatch rather than silently passing.
+  auto memfs = std::make_shared<MemFs>();
+  TracingFs traced(memfs);
+  (void)traced.Create("/f");
+  (void)traced.Stat("/f");
+
+  MemFs other;
+  ASSERT_TRUE(other.Create("/f").ok());  // pre-existing file
+  auto divergences = Replay(traced.trace(), other);
+  ASSERT_FALSE(divergences.empty());
+  EXPECT_EQ(divergences.front().op_index, 0u);
+  EXPECT_EQ(divergences.front().expected, Errno::kOk);
+  EXPECT_EQ(divergences.front().actual, Errno::kEEXIST);
+}
+
+TEST(TraceTest, ClearTrace) {
+  auto memfs = std::make_shared<MemFs>();
+  TracingFs traced(memfs);
+  (void)traced.Create("/f");
+  EXPECT_EQ(traced.trace().size(), 1u);
+  traced.ClearTrace();
+  EXPECT_TRUE(traced.trace().empty());
+}
+
+TEST(MemFsTest, BehavesLikeTheModel) {
+  MemFs fs;
+  EXPECT_TRUE(fs.Mkdir("/d").ok());
+  EXPECT_TRUE(fs.Create("/d/f").ok());
+  EXPECT_TRUE(fs.Write("/d/f", 0, BytesFromString("hello")).ok());
+  EXPECT_EQ(StringFromBytes(fs.Read("/d/f", 0, 10).value()), "hello");
+  EXPECT_EQ(fs.Stat("/d/f")->size, 5u);
+  EXPECT_EQ(fs.Create("/d/f").code(), Errno::kEEXIST);
+  EXPECT_TRUE(fs.Sync().ok());
+  EXPECT_EQ(fs.Name(), "memfs");
+}
+
+}  // namespace
+}  // namespace skern

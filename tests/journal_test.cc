@@ -1,0 +1,212 @@
+// Tests for the write-ahead journal: commit protocol, recovery, and the
+// crash-atomicity property under exhaustive and randomized crash points.
+#include <gtest/gtest.h>
+
+#include "src/block/block_device.h"
+#include "src/block/journal.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 64;
+constexpr uint64_t kJournalStart = 48;
+constexpr uint64_t kJournalLen = 16;
+
+Bytes Pattern(uint8_t fill) { return Bytes(kBlockSize, fill); }
+
+Bytes ReadDirect(BlockDevice& dev, uint64_t block) {
+  Bytes out(kBlockSize, 0);
+  EXPECT_TRUE(dev.ReadBlock(block, MutableByteView(out)).ok());
+  return out;
+}
+
+TEST(JournalTest, FormatAndRecoverCleanJournal) {
+  RamDisk disk(kDiskBlocks);
+  Journal journal(disk, kJournalStart, kJournalLen);
+  ASSERT_TRUE(journal.Format().ok());
+  ASSERT_TRUE(journal.Recover().ok());
+  EXPECT_EQ(journal.stats().empty_recoveries, 1u);
+  EXPECT_EQ(journal.sequence(), 1u);
+}
+
+TEST(JournalTest, CommitAppliesToHomeLocations) {
+  RamDisk disk(kDiskBlocks);
+  Journal journal(disk, kJournalStart, kJournalLen);
+  ASSERT_TRUE(journal.Format().ok());
+  auto tx = journal.Begin();
+  tx.AddBlock(3, ByteView(Pattern(0x33)));
+  tx.AddBlock(7, ByteView(Pattern(0x77)));
+  ASSERT_TRUE(journal.Commit(std::move(tx)).ok());
+  EXPECT_EQ(ReadDirect(disk, 3), Pattern(0x33));
+  EXPECT_EQ(ReadDirect(disk, 7), Pattern(0x77));
+  EXPECT_EQ(journal.sequence(), 2u);
+  EXPECT_EQ(journal.stats().commits, 1u);
+  EXPECT_EQ(journal.stats().blocks_journaled, 2u);
+}
+
+TEST(JournalTest, EmptyCommitIsNoop) {
+  RamDisk disk(kDiskBlocks);
+  Journal journal(disk, kJournalStart, kJournalLen);
+  ASSERT_TRUE(journal.Format().ok());
+  ASSERT_TRUE(journal.Commit(journal.Begin()).ok());
+  EXPECT_EQ(journal.stats().commits, 0u);
+  EXPECT_EQ(journal.sequence(), 1u);
+}
+
+TEST(JournalTest, DuplicateBlockCoalesces) {
+  RamDisk disk(kDiskBlocks);
+  Journal journal(disk, kJournalStart, kJournalLen);
+  ASSERT_TRUE(journal.Format().ok());
+  auto tx = journal.Begin();
+  tx.AddBlock(3, ByteView(Pattern(0x01)));
+  tx.AddBlock(3, ByteView(Pattern(0x02)));  // last write wins
+  EXPECT_EQ(tx.BlockCount(), 1u);
+  ASSERT_TRUE(journal.Commit(std::move(tx)).ok());
+  EXPECT_EQ(ReadDirect(disk, 3), Pattern(0x02));
+}
+
+TEST(JournalTest, OversizeTransactionRejected) {
+  RamDisk disk(kDiskBlocks);
+  Journal journal(disk, kJournalStart, 5);  // capacity = 2
+  ASSERT_TRUE(journal.Format().ok());
+  auto tx = journal.Begin();
+  tx.AddBlock(1, ByteView(Pattern(1)));
+  tx.AddBlock(2, ByteView(Pattern(2)));
+  tx.AddBlock(3, ByteView(Pattern(3)));
+  EXPECT_EQ(journal.Commit(std::move(tx)).code(), Errno::kENOSPC);
+  // Home blocks untouched.
+  EXPECT_EQ(ReadDirect(disk, 1), Pattern(0));
+}
+
+TEST(JournalTest, SequenceSurvivesRemount) {
+  RamDisk disk(kDiskBlocks);
+  {
+    Journal journal(disk, kJournalStart, kJournalLen);
+    ASSERT_TRUE(journal.Format().ok());
+    auto tx = journal.Begin();
+    tx.AddBlock(1, ByteView(Pattern(1)));
+    ASSERT_TRUE(journal.Commit(std::move(tx)).ok());
+  }
+  Journal journal2(disk, kJournalStart, kJournalLen);
+  ASSERT_TRUE(journal2.Recover().ok());
+  EXPECT_EQ(journal2.sequence(), 2u);
+}
+
+// The core crash-atomicity property: crash the device at EVERY write position
+// inside a commit; after recovery the home blocks show either none or all of
+// the transaction — never a mix.
+TEST(JournalTest, CrashAtomicityExhaustiveOverCrashPoints) {
+  // A commit of 3 blocks issues: 1 desc + 3 data + 1 commit + 3 home + 1 sb
+  // = 9 writes (plus flushes). Probe each.
+  for (uint64_t crash_at = 1; crash_at <= 9; ++crash_at) {
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      RamDisk disk(kDiskBlocks, seed * 100 + crash_at);
+      Journal setup(disk, kJournalStart, kJournalLen);
+      ASSERT_TRUE(setup.Format().ok());
+      // Established base content.
+      auto base = setup.Begin();
+      base.AddBlock(1, ByteView(Pattern(0xA1)));
+      base.AddBlock(2, ByteView(Pattern(0xA2)));
+      base.AddBlock(3, ByteView(Pattern(0xA3)));
+      ASSERT_TRUE(setup.Commit(std::move(base)).ok());
+
+      disk.ScheduleCrashAfterWrites(crash_at, CrashPersistence::kRandomSubset,
+                                    /*tear_last=*/true);
+      auto tx = setup.Begin();
+      tx.AddBlock(1, ByteView(Pattern(0xB1)));
+      tx.AddBlock(2, ByteView(Pattern(0xB2)));
+      tx.AddBlock(3, ByteView(Pattern(0xB3)));
+      Status s = setup.Commit(std::move(tx));
+      if (s.ok()) {
+        continue;  // crash armed beyond this commit's writes
+      }
+
+      // "Reboot": recover on a fresh journal instance.
+      Journal recovered(disk, kJournalStart, kJournalLen);
+      ASSERT_TRUE(recovered.Recover().ok())
+          << "crash_at=" << crash_at << " seed=" << seed;
+      Bytes b1 = ReadDirect(disk, 1);
+      Bytes b2 = ReadDirect(disk, 2);
+      Bytes b3 = ReadDirect(disk, 3);
+      bool all_old = b1 == Pattern(0xA1) && b2 == Pattern(0xA2) && b3 == Pattern(0xA3);
+      bool all_new = b1 == Pattern(0xB1) && b2 == Pattern(0xB2) && b3 == Pattern(0xB3);
+      EXPECT_TRUE(all_old || all_new)
+          << "crash_at=" << crash_at << " seed=" << seed << ": mixed state after recovery";
+    }
+  }
+}
+
+// Property sweep: randomized multi-transaction histories with a crash at a
+// random write; the recovered state must equal the last committed history
+// prefix.
+struct CrashSweepParams {
+  uint64_t seed;
+  int transactions;
+};
+
+class JournalCrashSweepTest : public ::testing::TestWithParam<CrashSweepParams> {};
+
+TEST_P(JournalCrashSweepTest, RecoversToCommittedPrefix) {
+  const auto params = GetParam();
+  Rng rng(params.seed);
+  RamDisk disk(kDiskBlocks, params.seed);
+  Journal journal(disk, kJournalStart, kJournalLen);
+  ASSERT_TRUE(journal.Format().ok());
+
+  // Expected durable content per home block after each committed txn.
+  std::map<uint64_t, Bytes> committed;
+  uint64_t crash_in = 3 + rng.NextBelow(40);  // crash within the next N writes
+  disk.ScheduleCrashAfterWrites(crash_in, CrashPersistence::kRandomSubset, true);
+
+  std::map<uint64_t, Bytes> pending_snapshot = committed;
+  bool crashed = false;
+  for (int t = 0; t < params.transactions && !crashed; ++t) {
+    auto tx = journal.Begin();
+    std::map<uint64_t, Bytes> txn_content;
+    int blocks = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int b = 0; b < blocks; ++b) {
+      uint64_t home = rng.NextBelow(16);
+      Bytes content = rng.NextBytes(kBlockSize);
+      tx.AddBlock(home, ByteView(content));
+      txn_content[home] = content;
+    }
+    Status s = journal.Commit(std::move(tx));
+    if (s.ok()) {
+      for (auto& [home, content] : txn_content) {
+        committed[home] = content;
+      }
+    } else {
+      crashed = true;
+    }
+  }
+  if (!crashed) {
+    GTEST_SKIP() << "crash point beyond workload; nothing to verify";
+  }
+
+  Journal recovered(disk, kJournalStart, kJournalLen);
+  ASSERT_TRUE(recovered.Recover().ok());
+  // Every block the committed history wrote must hold either its last
+  // committed content, or (only for blocks also touched by the crashed,
+  // uncommitted txn) possibly the crashed txn's content if recovery replayed
+  // it — but replay happens only with a durable commit record, in which case
+  // the txn IS committed. So: check committed contents exactly, allowing the
+  // final in-flight transaction to have been fully applied if its commit
+  // record made it to the replay path.
+  uint64_t replays = recovered.stats().replays;
+  for (const auto& [home, content] : committed) {
+    Bytes actual = ReadDirect(disk, home);
+    if (actual != content) {
+      // Permissible only if a replayed transaction overwrote this block.
+      EXPECT_GT(replays, 0u) << "block " << home << " diverged without any replay";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCrashes, JournalCrashSweepTest,
+                         ::testing::Values(CrashSweepParams{11, 10}, CrashSweepParams{22, 10},
+                                           CrashSweepParams{33, 15}, CrashSweepParams{44, 15},
+                                           CrashSweepParams{55, 20}, CrashSweepParams{66, 20},
+                                           CrashSweepParams{77, 8}, CrashSweepParams{88, 12}));
+
+}  // namespace
+}  // namespace skern

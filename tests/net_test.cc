@@ -1,0 +1,399 @@
+// Tests for the network substrate: TCP engine behaviour, both socket-layer
+// organizations (shared conformance suite), UDP, loss recovery, and the
+// modular stack's drop-in protocol extensibility.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/sim_clock.h"
+#include "src/net/network.h"
+#include "src/net/stack_modular.h"
+#include "src/net/stack_monolithic.h"
+#include "src/net/tcp.h"
+
+namespace skern {
+namespace {
+
+constexpr uint32_t kClientIp = 1;
+constexpr uint32_t kServerIp = 2;
+constexpr uint16_t kPort = 80;
+
+enum class StackKind { kMonolithic, kModular };
+
+// Fixture wiring two stacks of the given kind over one simulated network.
+class TwoHostNet {
+ public:
+  explicit TwoHostNet(StackKind kind, uint64_t seed = 7) : network_(clock_, seed) {
+    if (kind == StackKind::kMonolithic) {
+      client_ = std::make_unique<MonoNetStack>(clock_, network_, kClientIp);
+      server_ = std::make_unique<MonoNetStack>(clock_, network_, kServerIp);
+    } else {
+      client_ = MakeStandardModularStack(clock_, network_, kClientIp);
+      server_ = MakeStandardModularStack(clock_, network_, kServerIp);
+    }
+  }
+
+  void Run(SimTime duration = 100 * kMillisecond) { clock_.Advance(duration); }
+
+  SimClock clock_;
+  Network network_;
+  std::unique_ptr<SocketLayer> client_;
+  std::unique_ptr<SocketLayer> server_;
+};
+
+class SocketLayerConformanceTest : public ::testing::TestWithParam<StackKind> {};
+
+TEST_P(SocketLayerConformanceTest, TcpConnectAcceptEcho) {
+  TwoHostNet net(GetParam());
+  auto ls = net.server_->Socket(kProtoTcp);
+  ASSERT_TRUE(ls.ok());
+  ASSERT_TRUE(net.server_->Bind(*ls, kPort).ok());
+  ASSERT_TRUE(net.server_->Listen(*ls).ok());
+
+  auto cs = net.client_->Socket(kProtoTcp);
+  ASSERT_TRUE(cs.ok());
+  ASSERT_TRUE(net.client_->Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+  net.Run();
+
+  auto conn = net.server_->Accept(*ls);
+  ASSERT_TRUE(conn.ok());
+
+  // Client -> server.
+  ASSERT_TRUE(net.client_->Send(*cs, BytesFromString("ping")).ok());
+  net.Run();
+  auto got = net.server_->Recv(*conn, 64);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(StringFromBytes(got.value()), "ping");
+
+  // Server -> client.
+  ASSERT_TRUE(net.server_->Send(*conn, BytesFromString("pong")).ok());
+  net.Run();
+  auto back = net.client_->Recv(*cs, 64);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(StringFromBytes(back.value()), "pong");
+}
+
+TEST_P(SocketLayerConformanceTest, AcceptBeforeHandshakeIsEagain) {
+  TwoHostNet net(GetParam());
+  auto ls = net.server_->Socket(kProtoTcp);
+  ASSERT_TRUE(ls.ok());
+  ASSERT_TRUE(net.server_->Bind(*ls, kPort).ok());
+  ASSERT_TRUE(net.server_->Listen(*ls).ok());
+  EXPECT_EQ(net.server_->Accept(*ls).error(), Errno::kEAGAIN);
+}
+
+TEST_P(SocketLayerConformanceTest, ConnectionRefusedGetsRst) {
+  TwoHostNet net(GetParam());
+  auto cs = net.client_->Socket(kProtoTcp);
+  ASSERT_TRUE(cs.ok());
+  ASSERT_TRUE(net.client_->Connect(*cs, NetAddr{kServerIp, 9999}).ok());
+  net.Run();
+  // The RST closed the connection; Recv reports EOF/not-connected.
+  auto r = net.client_->Recv(*cs, 16);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_P(SocketLayerConformanceTest, LargeTransferSegmentsAndReassembles) {
+  TwoHostNet net(GetParam());
+  auto ls = net.server_->Socket(kProtoTcp);
+  ASSERT_TRUE(net.server_->Bind(*ls, kPort).ok());
+  ASSERT_TRUE(net.server_->Listen(*ls).ok());
+  auto cs = net.client_->Socket(kProtoTcp);
+  ASSERT_TRUE(net.client_->Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+  net.Run();
+  auto conn = net.server_->Accept(*ls);
+  ASSERT_TRUE(conn.ok());
+
+  Rng rng(99);
+  Bytes blob = rng.NextBytes(10'000);  // 10 segments at MSS 1000
+  ASSERT_TRUE(net.client_->Send(*cs, ByteView(blob)).ok());
+  net.Run(2 * kSecond);
+  Bytes received;
+  for (;;) {
+    auto chunk = net.server_->Recv(*conn, 4096);
+    if (!chunk.ok() || chunk->empty()) {
+      break;
+    }
+    received.insert(received.end(), chunk->begin(), chunk->end());
+  }
+  EXPECT_EQ(received, blob);
+}
+
+TEST_P(SocketLayerConformanceTest, LossyLinkStillDeliversEverything) {
+  TwoHostNet net(GetParam(), /*seed=*/3);
+  net.network_.set_drop_rate(0.2);
+  auto ls = net.server_->Socket(kProtoTcp);
+  ASSERT_TRUE(net.server_->Bind(*ls, kPort).ok());
+  ASSERT_TRUE(net.server_->Listen(*ls).ok());
+  auto cs = net.client_->Socket(kProtoTcp);
+  ASSERT_TRUE(net.client_->Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+  net.Run(10 * kSecond);  // handshake may need retransmits
+
+  auto conn = net.server_->Accept(*ls);
+  ASSERT_TRUE(conn.ok());
+  Rng rng(5);
+  Bytes blob = rng.NextBytes(5'000);
+  ASSERT_TRUE(net.client_->Send(*cs, ByteView(blob)).ok());
+  net.Run(120 * kSecond);  // generous: RTO backoff under 20% loss
+
+  Bytes received;
+  for (;;) {
+    auto chunk = net.server_->Recv(*conn, 4096);
+    if (!chunk.ok() || chunk->empty()) {
+      break;
+    }
+    received.insert(received.end(), chunk->begin(), chunk->end());
+  }
+  EXPECT_EQ(received, blob);
+  EXPECT_GT(net.network_.stats().dropped, 0u);
+}
+
+TEST_P(SocketLayerConformanceTest, CloseDeliversEof) {
+  TwoHostNet net(GetParam());
+  auto ls = net.server_->Socket(kProtoTcp);
+  ASSERT_TRUE(net.server_->Bind(*ls, kPort).ok());
+  ASSERT_TRUE(net.server_->Listen(*ls).ok());
+  auto cs = net.client_->Socket(kProtoTcp);
+  ASSERT_TRUE(net.client_->Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+  net.Run();
+  auto conn = net.server_->Accept(*ls);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(net.client_->Send(*cs, BytesFromString("bye")).ok());
+  ASSERT_TRUE(net.client_->Close(*cs).ok());
+  net.Run();
+  // Data still readable, then EOF.
+  EXPECT_EQ(StringFromBytes(net.server_->Recv(*conn, 16).value()), "bye");
+  auto eof = net.server_->Recv(*conn, 16);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_TRUE(eof->empty());
+}
+
+TEST_P(SocketLayerConformanceTest, UdpDatagrams) {
+  TwoHostNet net(GetParam());
+  auto srv = net.server_->Socket(kProtoUdp);
+  ASSERT_TRUE(srv.ok());
+  ASSERT_TRUE(net.server_->Bind(*srv, 53).ok());
+  auto cli = net.client_->Socket(kProtoUdp);
+  ASSERT_TRUE(cli.ok());
+  ASSERT_TRUE(net.client_->SendTo(*cli, NetAddr{kServerIp, 53}, BytesFromString("query")).ok());
+  net.Run();
+  auto got = net.server_->RecvFrom(*srv);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(StringFromBytes(got->second), "query");
+  EXPECT_EQ(got->first.ip, kClientIp);
+  // Reply to the observed source.
+  ASSERT_TRUE(net.server_->SendTo(*srv, got->first, BytesFromString("answer")).ok());
+  net.Run();
+  auto reply = net.client_->RecvFrom(*cli);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(StringFromBytes(reply->second), "answer");
+}
+
+TEST_P(SocketLayerConformanceTest, UdpIsUnreliableUnderLoss) {
+  TwoHostNet net(GetParam(), /*seed=*/11);
+  net.network_.set_drop_rate(0.5);
+  auto srv = net.server_->Socket(kProtoUdp);
+  ASSERT_TRUE(net.server_->Bind(*srv, 53).ok());
+  auto cli = net.client_->Socket(kProtoUdp);
+  int received = 0;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(net.client_->SendTo(*cli, NetAddr{kServerIp, 53}, BytesFromString("x")).ok());
+  }
+  net.Run();
+  while (net.server_->RecvFrom(*srv).ok()) {
+    ++received;
+  }
+  EXPECT_GT(received, 0);
+  EXPECT_LT(received, 50);  // no retransmission: losses stay lost
+}
+
+TEST_P(SocketLayerConformanceTest, PortConflicts) {
+  TwoHostNet net(GetParam());
+  auto a = net.server_->Socket(kProtoUdp);
+  auto b = net.server_->Socket(kProtoUdp);
+  ASSERT_TRUE(net.server_->Bind(*a, 1000).ok());
+  EXPECT_EQ(net.server_->Bind(*b, 1000).code(), Errno::kEADDRINUSE);
+}
+
+TEST_P(SocketLayerConformanceTest, BadDescriptors) {
+  TwoHostNet net(GetParam());
+  EXPECT_EQ(net.client_->Send(999, BytesFromString("x")).code(), Errno::kEBADF);
+  EXPECT_EQ(net.client_->Recv(999, 1).error(), Errno::kEBADF);
+  EXPECT_EQ(net.client_->Close(999).code(), Errno::kEBADF);
+  EXPECT_EQ(net.client_->Socket(99).error(), Errno::kEPROTONOSUPPORT);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStacks, SocketLayerConformanceTest,
+                         ::testing::Values(StackKind::kMonolithic, StackKind::kModular),
+                         [](const ::testing::TestParamInfo<StackKind>& param_info) {
+                           return param_info.param == StackKind::kMonolithic ? "Monolithic"
+                                                                             : "Modular";
+                         });
+
+// --- TCP engine specifics ---
+
+TEST(TcpEngineTest, RetransmitsOnLoss) {
+  SimClock clock;
+  Network network(clock, 13);
+  network.set_drop_rate(0.3);
+  auto client = MakeStandardModularStack(clock, network, kClientIp);
+  auto server = MakeStandardModularStack(clock, network, kServerIp);
+  auto ls = server->Socket(kProtoTcp);
+  ASSERT_TRUE(server->Bind(*ls, kPort).ok());
+  ASSERT_TRUE(server->Listen(*ls).ok());
+  auto cs = client->Socket(kProtoTcp);
+  ASSERT_TRUE(client->Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+  clock.Advance(10 * kSecond);
+  auto conn = server->Accept(*ls);
+  ASSERT_TRUE(conn.ok());
+  Rng rng(17);
+  Bytes blob = rng.NextBytes(8000);
+  ASSERT_TRUE(client->Send(*cs, ByteView(blob)).ok());
+  clock.Advance(120 * kSecond);
+  Bytes received;
+  for (;;) {
+    auto chunk = server->Recv(*conn, 4096);
+    if (!chunk.ok() || chunk->empty()) {
+      break;
+    }
+    received.insert(received.end(), chunk->begin(), chunk->end());
+  }
+  EXPECT_EQ(received.size(), blob.size());
+  EXPECT_GT(network.stats().dropped, 0u);
+}
+
+TEST(TcpEngineTest, HandshakeTimeoutAborts) {
+  SimClock clock;
+  Network network(clock, 1);
+  network.set_drop_rate(1.0);  // black hole
+  auto client = MakeStandardModularStack(clock, network, kClientIp);
+  auto cs = client->Socket(kProtoTcp);
+  ASSERT_TRUE(client->Connect(*cs, NetAddr{kServerIp, kPort}).ok());
+  clock.Advance(600 * kSecond);  // beyond max retries with backoff
+  auto r = client->Recv(*cs, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());  // connection dead -> EOF semantics
+}
+
+TEST(TcpEngineTest, StateNamesComplete) {
+  for (int i = 0; i <= static_cast<int>(TcpState::kTimeWait); ++i) {
+    EXPECT_STRNE(TcpStateName(static_cast<TcpState>(i)), "?");
+  }
+}
+
+// --- the step-1 payoff on the modular stack: a new protocol drops in ---
+
+// A toy datagram protocol ("reverse echo") implemented without touching any
+// generic stack code.
+class ReverseModule : public ProtocolModule {
+ public:
+  ReverseModule(Network& network, uint32_t ip) : network_(network), ip_(ip) {}
+
+  uint8_t ProtoId() const override { return 200; }
+  std::string Name() const override { return "reverse"; }
+
+  struct Sock : ProtoSocketState {
+    uint16_t port = 0;
+    std::deque<std::pair<NetAddr, Bytes>> rx;
+  };
+
+  std::unique_ptr<ProtoSocketState> NewSocket() override { return std::make_unique<Sock>(); }
+  Status Bind(ProtoSocketState& s, uint16_t port) override {
+    auto& sock = static_cast<Sock&>(s);
+    sock.port = port;
+    ports_[port] = &sock;
+    return Status::Ok();
+  }
+  Status Listen(ProtoSocketState&) override { return Status::Error(Errno::kENOSYS); }
+  Result<std::unique_ptr<ProtoSocketState>> Accept(ProtoSocketState&) override {
+    return Errno::kENOSYS;
+  }
+  Status Connect(ProtoSocketState&, NetAddr) override {
+    return Status::Error(Errno::kENOSYS);
+  }
+  Status Send(ProtoSocketState&, ByteView) override { return Status::Error(Errno::kENOSYS); }
+  Result<Bytes> Recv(ProtoSocketState&, uint64_t) override { return Errno::kENOSYS; }
+
+  Status SendTo(ProtoSocketState& s, NetAddr remote, ByteView data) override {
+    auto& sock = static_cast<Sock&>(s);
+    Packet pkt;
+    pkt.proto = 200;
+    pkt.src_ip = ip_;
+    pkt.src_port = sock.port;
+    pkt.dst_ip = remote.ip;
+    pkt.dst_port = remote.port;
+    pkt.payload = data.ToBytes();
+    network_.Send(std::move(pkt));
+    return Status::Ok();
+  }
+  Result<std::pair<NetAddr, Bytes>> RecvFrom(ProtoSocketState& s) override {
+    auto& sock = static_cast<Sock&>(s);
+    if (sock.rx.empty()) {
+      return Errno::kEAGAIN;
+    }
+    auto front = std::move(sock.rx.front());
+    sock.rx.pop_front();
+    return front;
+  }
+  Status CloseSocket(ProtoSocketState& s) override {
+    ports_.erase(static_cast<Sock&>(s).port);
+    return Status::Ok();
+  }
+  void OnPacket(const Packet& packet) override {
+    auto it = ports_.find(packet.dst_port);
+    if (it != ports_.end()) {
+      // The protocol's quirk: payload arrives reversed.
+      Bytes reversed(packet.payload.rbegin(), packet.payload.rend());
+      it->second->rx.emplace_back(NetAddr{packet.src_ip, packet.src_port},
+                                  std::move(reversed));
+    }
+  }
+
+ private:
+  Network& network_;
+  uint32_t ip_;
+  std::map<uint16_t, Sock*> ports_;
+};
+
+TEST(ModularExtensibilityTest, NewProtocolDropsInWithoutGenericChanges) {
+  SimClock clock;
+  Network network(clock, 2);
+  ModularNetStack a(network, kClientIp);
+  ModularNetStack b(network, kServerIp);
+  ASSERT_TRUE(a.RegisterProtocol(std::make_unique<ReverseModule>(network, kClientIp)).ok());
+  ASSERT_TRUE(b.RegisterProtocol(std::make_unique<ReverseModule>(network, kServerIp)).ok());
+
+  auto srv = b.Socket(200);
+  ASSERT_TRUE(srv.ok());
+  ASSERT_TRUE(b.Bind(*srv, 7).ok());
+  auto cli = a.Socket(200);
+  ASSERT_TRUE(cli.ok());
+  ASSERT_TRUE(a.Bind(*cli, 8).ok());
+  ASSERT_TRUE(a.SendTo(*cli, NetAddr{kServerIp, 7}, BytesFromString("skern")).ok());
+  clock.Advance(kSecond);
+  auto got = b.RecvFrom(*srv);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(StringFromBytes(got->second), "nreks");
+  EXPECT_EQ(b.ProtocolNames().size(), 1u);
+}
+
+TEST(ModularExtensibilityTest, DuplicateRegistrationRejected) {
+  SimClock clock;
+  Network network(clock, 2);
+  ModularNetStack stack(network, kClientIp);
+  ASSERT_TRUE(stack.RegisterProtocol(MakeUdpModule(network, kClientIp)).ok());
+  EXPECT_EQ(stack.RegisterProtocol(MakeUdpModule(network, kClientIp)).code(), Errno::kEEXIST);
+}
+
+// The monolithic stack cannot accept a new protocol at all: the unknown
+// family is rejected at socket creation, and packets for it vanish.
+TEST(ModularExtensibilityTest, MonolithicRejectsUnknownFamily) {
+  SimClock clock;
+  Network network(clock, 2);
+  MonoNetStack stack(clock, network, kClientIp);
+  EXPECT_EQ(stack.Socket(200).error(), Errno::kEPROTONOSUPPORT);
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,194 @@
+// Model-based property test for the ownership runtime: random operation
+// sequences on an Owned<T> cell, with a reference state machine predicting
+// exactly which operations must be flagged and how many times. The checker's
+// verdicts must match the model on every step — the ownership analogue of
+// the file-system refinement tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/ownership/owned.h"
+#include "src/ownership/ownership.h"
+
+namespace skern {
+namespace {
+
+struct Payload {
+  int value = 0;
+};
+
+class OwnershipPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    OwnershipStats::Get().ResetForTesting();
+    SetOwnershipMode(OwnershipMode::kRecording);
+  }
+  void TearDown() override { SetOwnershipMode(OwnershipMode::kChecked); }
+};
+
+TEST_P(OwnershipPropertyTest, CheckerAgreesWithReferenceModel) {
+  Rng rng(GetParam());
+  auto& stats = OwnershipStats::Get();
+
+  for (int episode = 0; episode < 80; ++episode) {
+    auto cell = std::make_unique<Owned<Payload>>(Owned<Payload>::Make(episode));
+
+    // Reference model of the cell, mirroring the checker's semantics:
+    //  * freed        — lifecycle is kFreed;
+    //  * held_shared  — number of shared lends that actually hold a borrow;
+    //  * held_excl    — an exclusive lend actually holds the borrow word.
+    bool freed = false;
+    int held_shared = 0;
+    bool held_excl = false;
+
+    std::vector<SharedLend<Payload>> shared;
+    std::vector<bool> shared_holds;  // parallel: does shared[i] hold a borrow?
+    std::unique_ptr<ExclusiveLend<Payload>> exclusive;
+    bool exclusive_holds = false;
+
+    int steps = 4 + static_cast<int>(rng.NextBelow(14));
+    for (int step = 0; step < steps; ++step) {
+      uint64_t before = stats.Total();
+      uint64_t expected = 0;
+
+      switch (rng.NextBelow(7)) {
+        case 0: {  // owner read: one violation if freed / exclusively lent
+          if (freed || held_excl) {
+            expected = 1;
+          }
+          (void)cell->Get();
+          break;
+        }
+        case 1: {  // owner write: one violation if freed or any lend holds
+          if (freed || held_excl || held_shared > 0) {
+            expected = 1;
+          }
+          cell->GetMut().value += 1;
+          break;
+        }
+        case 2: {  // take a shared lend
+          // LendShared pre-checks freed; the constructor flags an active
+          // exclusive and then refuses the reservation.
+          uint64_t pre = freed ? 1 : 0;
+          uint64_t ctor = held_excl ? 1 : 0;
+          expected = pre + ctor;
+          shared.push_back(cell->LendShared());
+          bool holds = !held_excl;  // reservation succeeds unless exclusive
+          shared_holds.push_back(holds);
+          if (holds) {
+            ++held_shared;
+          }
+          break;
+        }
+        case 3: {  // drop one shared lend (LIFO)
+          if (!shared.empty()) {
+            bool held = shared_holds.back();
+            shared.pop_back();
+            shared_holds.pop_back();
+            if (held) {
+              --held_shared;
+            }
+          }
+          break;
+        }
+        case 4: {  // take the exclusive lend (at most one handle in the test)
+          if (exclusive != nullptr) {
+            break;
+          }
+          uint64_t pre = freed ? 1 : 0;
+          uint64_t ctor = (held_shared > 0 || held_excl) ? 1 : 0;
+          expected = pre + ctor;
+          exclusive = std::make_unique<ExclusiveLend<Payload>>(cell->LendExclusive());
+          exclusive_holds = (ctor == 0);
+          if (exclusive_holds) {
+            held_excl = true;
+          }
+          break;
+        }
+        case 5: {  // drop the exclusive lend
+          if (exclusive != nullptr) {
+            exclusive.reset();
+            if (exclusive_holds) {
+              held_excl = false;
+              exclusive_holds = false;
+            }
+          }
+          break;
+        }
+        case 6: {  // free
+          if (freed) {
+            expected = 1;  // double free
+          } else {
+            if (held_shared > 0 || held_excl) {
+              expected = 1;  // freeing with lends outstanding
+            }
+            freed = true;
+          }
+          cell->Free();
+          break;
+        }
+      }
+
+      uint64_t observed = stats.Total() - before;
+      ASSERT_EQ(observed, expected)
+          << "episode " << episode << " step " << step << ": checker and model disagree";
+    }
+
+    // Tear down in a safe order: lends first, then the owner. The owner's
+    // destructor must raise nothing new (lends are gone; already-freed cells
+    // skip the release path).
+    uint64_t before_teardown = stats.Total();
+    exclusive.reset();
+    shared.clear();
+    cell.reset();
+    EXPECT_EQ(stats.Total(), before_teardown)
+        << "teardown raised unexpected violations in episode " << episode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OwnershipPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// The transfer protocol: after a transfer, every old-handle operation is
+// flagged at least once and new-handle operations are always clean.
+TEST(OwnershipTransferProperty, OldHandleAlwaysFlaggedNewHandleNever) {
+  ScopedOwnershipMode mode(OwnershipMode::kRecording);
+  auto& stats = OwnershipStats::Get();
+  for (int op = 0; op < 4; ++op) {
+    OwnershipStats::Get().ResetForTesting();
+    auto original = Owned<Payload>::Make(1);
+    auto in_flight = original.Transfer();
+    auto new_owner = in_flight.Accept();
+
+    uint64_t before = stats.Total();
+    switch (op) {
+      case 0:
+        (void)original.Get();
+        break;
+      case 1:
+        original.GetMut().value = 9;
+        break;
+      case 2:
+        (void)original.LendShared();
+        break;
+      case 3:
+        original.Free();
+        break;
+    }
+    EXPECT_GE(stats.Total(), before + 1) << "old-handle op " << op << " not flagged";
+
+    before = stats.Total();
+    (void)new_owner.Get();
+    new_owner.GetMut().value = 5;
+    {
+      auto lend = new_owner.LendShared();
+      (void)lend.Get();
+    }
+    EXPECT_EQ(stats.Total(), before) << "new-handle ops were wrongly flagged";
+  }
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,137 @@
+// Tests for procfs: live introspection files, read-only semantics, and
+// mounting under the VFS next to writable file systems.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/block/block_device.h"
+#include "src/core/module.h"
+#include "src/fs/procfs/procfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/ownership/owned.h"
+#include "src/ownership/ownership.h"
+#include "src/sync/lock_registry.h"
+#include "src/vfs/vfs.h"
+
+namespace skern {
+namespace {
+
+class ProcFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LockRegistry::Get().ResetForTesting();
+    OwnershipStats::Get().ResetForTesting();
+  }
+};
+
+TEST_F(ProcFsTest, ListsBuiltinEntries) {
+  ProcFs proc;
+  auto names = proc.Readdir("/");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(),
+            (std::vector<std::string>{"landscape", "locks", "modules", "ownership",
+                                      "refinement", "shims"}));
+}
+
+TEST_F(ProcFsTest, ReadOnlySemantics) {
+  ProcFs proc;
+  EXPECT_EQ(proc.Create("/x").code(), Errno::kEROFS);
+  EXPECT_EQ(proc.Mkdir("/d").code(), Errno::kEROFS);
+  EXPECT_EQ(proc.Unlink("/modules").code(), Errno::kEROFS);
+  EXPECT_EQ(proc.Write("/modules", 0, BytesFromString("x")).code(), Errno::kEROFS);
+  EXPECT_EQ(proc.Rename("/modules", "/m2").code(), Errno::kEROFS);
+  EXPECT_EQ(proc.Truncate("/modules", 0).code(), Errno::kEROFS);
+  EXPECT_TRUE(proc.Sync().ok());
+}
+
+TEST_F(ProcFsTest, ErrorPaths) {
+  ProcFs proc;
+  EXPECT_EQ(proc.Read("/nope", 0, 10).error(), Errno::kENOENT);
+  EXPECT_EQ(proc.Read("/", 0, 10).error(), Errno::kEISDIR);
+  EXPECT_EQ(proc.Stat("/nope").error(), Errno::kENOENT);
+  EXPECT_EQ(proc.Readdir("/modules").error(), Errno::kENOTDIR);
+  EXPECT_EQ(proc.Read("relative", 0, 1).error(), Errno::kEINVAL);
+}
+
+TEST_F(ProcFsTest, OwnershipFileReflectsLiveCounters) {
+  ProcFs proc;
+  auto before = proc.Read("/ownership", 0, 4096);
+  ASSERT_TRUE(before.ok());
+  EXPECT_NE(StringFromBytes(before.value()).find("total 0"), std::string::npos);
+
+  // Cause one recorded violation; the file must change on the next read.
+  {
+    ScopedOwnershipMode mode(OwnershipMode::kRecording);
+    auto cell = Owned<int>::Make(1);
+    auto lend = cell.LendExclusive();
+    (void)cell.Get();
+  }
+  auto after = proc.Read("/ownership", 0, 4096);
+  ASSERT_TRUE(after.ok());
+  std::string text = StringFromBytes(after.value());
+  EXPECT_NE(text.find("use-while-lent-exclusive 1"), std::string::npos) << text;
+}
+
+TEST_F(ProcFsTest, ModulesFileShowsRegistry) {
+  ModuleRegistry::Get().ResetForTesting();
+  RegisterBuiltinModules();
+  ProcFs proc;
+  auto content = proc.Read("/modules", 0, 65536);
+  ASSERT_TRUE(content.ok());
+  std::string text = StringFromBytes(content.value());
+  EXPECT_NE(text.find("safefs"), std::string::npos);
+  EXPECT_NE(text.find("ownership-safe"), std::string::npos);
+  ModuleRegistry::Get().ResetForTesting();
+}
+
+TEST_F(ProcFsTest, StatSizesMatchContent) {
+  ProcFs proc;
+  auto attr = proc.Stat("/locks");
+  ASSERT_TRUE(attr.ok());
+  auto content = proc.Read("/locks", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(attr->size, content->size());
+  EXPECT_FALSE(attr->is_dir);
+  EXPECT_TRUE(proc.Stat("/")->is_dir);
+}
+
+TEST_F(ProcFsTest, OffsetReads) {
+  ProcFs proc;
+  proc.AddEntry("fixed", [] { return std::string("0123456789"); });
+  EXPECT_EQ(StringFromBytes(proc.Read("/fixed", 0, 4).value()), "0123");
+  EXPECT_EQ(StringFromBytes(proc.Read("/fixed", 4, 4).value()), "4567");
+  EXPECT_EQ(StringFromBytes(proc.Read("/fixed", 8, 100).value()), "89");
+  EXPECT_TRUE(proc.Read("/fixed", 100, 4)->empty());
+}
+
+TEST_F(ProcFsTest, MountsUnderVfsBesideWritableFs) {
+  RamDisk disk(256, 9);
+  Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("/", SafeFs::Format(disk, 64, 16).value()).ok());
+  ASSERT_TRUE(vfs.Mkdir("/proc").ok());
+  ASSERT_TRUE(vfs.Mount("/proc", std::make_shared<ProcFs>()).ok());
+
+  // cat /proc/ownership through file descriptors.
+  auto fd = vfs.Open("/proc/ownership", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  auto content = vfs.Read(*fd, 4096);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(StringFromBytes(content.value()).find("use-after-free"), std::string::npos);
+  ASSERT_TRUE(vfs.Close(*fd).ok());
+
+  // Writes are refused with the filesystem's own errno.
+  EXPECT_EQ(vfs.Open("/proc/new", kOpenWrite | kOpenCreate).error(), Errno::kEROFS);
+  // The writable root is unaffected.
+  EXPECT_TRUE(vfs.Open("/real", kOpenWrite | kOpenCreate).ok());
+}
+
+TEST_F(ProcFsTest, CustomEntryGeneratorRunsPerRead) {
+  ProcFs proc;
+  int calls = 0;
+  proc.AddEntry("counter", [&calls] { return std::to_string(++calls); });
+  EXPECT_EQ(StringFromBytes(proc.Read("/counter", 0, 16).value()), "1");
+  EXPECT_EQ(StringFromBytes(proc.Read("/counter", 0, 16).value()), "2");
+}
+
+}  // namespace
+}  // namespace skern

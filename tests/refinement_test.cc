@@ -1,0 +1,85 @@
+// Tests for the refinement checker: agreement, mismatch reporting, and the
+// three modes.
+#include <gtest/gtest.h>
+
+#include "src/base/panic.h"
+#include "src/spec/refinement.h"
+
+namespace skern {
+namespace {
+
+class RefinementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RefinementStats::Get().ResetForTesting();
+    SetRefinementMode(RefinementMode::kEnforcing);
+  }
+  void TearDown() override { SetRefinementMode(RefinementMode::kEnforcing); }
+};
+
+TEST_F(RefinementTest, AgreeingStatusesPass) {
+  EXPECT_TRUE(CheckRefinement("op", Status::Ok(), Status::Ok()));
+  EXPECT_TRUE(
+      CheckRefinement("op", Status::Error(Errno::kENOENT), Status::Error(Errno::kENOENT)));
+  EXPECT_EQ(RefinementStats::Get().checks(), 2u);
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 0u);
+}
+
+TEST_F(RefinementTest, MismatchPanicsWhenEnforcing) {
+  ScopedPanicAsException guard;
+  EXPECT_THROW(CheckRefinement("unlink(/f)", Status::Ok(), Status::Error(Errno::kEIO)),
+               PanicException);
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 1u);
+}
+
+TEST_F(RefinementTest, RecordingModeContinues) {
+  ScopedRefinementMode mode(RefinementMode::kRecording);
+  EXPECT_FALSE(CheckRefinement("op", Status::Ok(), Status::Error(Errno::kEIO)));
+  EXPECT_FALSE(
+      CheckRefinement("op2", Status::Error(Errno::kENOENT), Status::Error(Errno::kEEXIST)));
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 2u);
+  auto mismatches = RefinementStats::Get().Mismatches();
+  EXPECT_EQ(mismatches[0].operation, "op");
+}
+
+TEST_F(RefinementTest, DisabledModeSkips) {
+  ScopedRefinementMode mode(RefinementMode::kDisabled);
+  EXPECT_TRUE(CheckRefinement("op", Status::Ok(), Status::Error(Errno::kEIO)));
+  EXPECT_EQ(RefinementStats::Get().checks(), 0u);
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 0u);
+}
+
+TEST_F(RefinementTest, ResultValueComparison) {
+  ScopedRefinementMode mode(RefinementMode::kRecording);
+  Result<int> spec(42);
+  Result<int> impl_ok(42);
+  Result<int> impl_wrong(41);
+  Result<int> impl_err(Errno::kEIO);
+  EXPECT_TRUE(CheckRefinement("r1", spec, impl_ok));
+  EXPECT_FALSE(CheckRefinement("r2", spec, impl_wrong));
+  EXPECT_FALSE(CheckRefinement("r3", spec, impl_err));
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 2u);
+}
+
+TEST_F(RefinementTest, ResultErrorComparison) {
+  ScopedRefinementMode mode(RefinementMode::kRecording);
+  Result<int> spec(Errno::kENOENT);
+  Result<int> impl_same(Errno::kENOENT);
+  Result<int> impl_diff(Errno::kEEXIST);
+  Result<int> impl_ok(1);
+  EXPECT_TRUE(CheckRefinement("e1", spec, impl_same));
+  EXPECT_FALSE(CheckRefinement("e2", spec, impl_diff));
+  EXPECT_FALSE(CheckRefinement("e3", spec, impl_ok));
+}
+
+TEST_F(RefinementTest, MismatchRecordsBothSides) {
+  ScopedRefinementMode mode(RefinementMode::kRecording);
+  CheckRefinement("write(/f)", Status::Error(Errno::kENOSPC), Status::Ok());
+  auto m = RefinementStats::Get().Mismatches().front();
+  EXPECT_EQ(m.operation, "write(/f)");
+  EXPECT_NE(m.expected.find("ENOSPC"), std::string::npos);
+  EXPECT_NE(m.actual.find("OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,277 @@
+// Tests for safefs: operation semantics, persistence across remount,
+// resource errors, and the crash-recovery contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/block/block_device.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/sync/lock_registry.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 256;
+constexpr uint64_t kInodes = 64;
+constexpr uint64_t kJournalBlocks = 32;
+
+class SafeFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LockRegistry::Get().ResetForTesting();
+    disk_ = std::make_unique<RamDisk>(kDiskBlocks, 42);
+    auto fs = SafeFs::Format(*disk_, kInodes, kJournalBlocks);
+    ASSERT_TRUE(fs.ok());
+    fs_ = fs.value();
+  }
+
+  std::unique_ptr<RamDisk> disk_;
+  std::shared_ptr<SafeFs> fs_;
+};
+
+TEST_F(SafeFsTest, FreshFsHasEmptyRoot) {
+  auto names = fs_->Readdir("/");
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names->empty());
+  auto attr = fs_->Stat("/");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(attr->is_dir);
+}
+
+TEST_F(SafeFsTest, CreateWriteReadRoundTrip) {
+  ASSERT_TRUE(fs_->Create("/hello").ok());
+  ASSERT_TRUE(fs_->Write("/hello", 0, BytesFromString("world")).ok());
+  auto data = fs_->Read("/hello", 0, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(StringFromBytes(data.value()), "world");
+}
+
+TEST_F(SafeFsTest, ErrorSemantics) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_EQ(fs_->Create("/f").code(), Errno::kEEXIST);
+  EXPECT_EQ(fs_->Create("/nope/f").code(), Errno::kENOENT);
+  EXPECT_EQ(fs_->Create("/f/x").code(), Errno::kENOTDIR);
+  EXPECT_EQ(fs_->Unlink("/d").code(), Errno::kEISDIR);
+  EXPECT_EQ(fs_->Rmdir("/f").code(), Errno::kENOTDIR);
+  EXPECT_EQ(fs_->Read("/d", 0, 1).error(), Errno::kEISDIR);
+  EXPECT_EQ(fs_->Write("/d", 0, BytesFromString("x")).code(), Errno::kEISDIR);
+  EXPECT_EQ(fs_->Stat("/missing").error(), Errno::kENOENT);
+  EXPECT_EQ(fs_->Readdir("/f").error(), Errno::kENOTDIR);
+}
+
+TEST_F(SafeFsTest, NestedDirectories) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs_->Create("/a/b/c").ok());
+  auto names = fs_->Readdir("/a/b");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), std::vector<std::string>{"c"});
+  EXPECT_EQ(fs_->Rmdir("/a").code(), Errno::kENOTEMPTY);
+}
+
+TEST_F(SafeFsTest, SparseWriteAndHoles) {
+  ASSERT_TRUE(fs_->Create("/sparse").ok());
+  // Write past several block boundaries, leaving holes.
+  ASSERT_TRUE(fs_->Write("/sparse", 3 * kBlockSize + 100, BytesFromString("tail")).ok());
+  auto attr = fs_->Stat("/sparse");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 3 * kBlockSize + 104);
+  // Holes read as zeroes.
+  auto hole = fs_->Read("/sparse", kBlockSize, 16);
+  ASSERT_TRUE(hole.ok());
+  EXPECT_EQ(hole.value(), Bytes(16, 0));
+  auto tail = fs_->Read("/sparse", 3 * kBlockSize + 100, 10);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(StringFromBytes(tail.value()), "tail");
+}
+
+TEST_F(SafeFsTest, LargeFileThroughIndirectBlocks) {
+  ASSERT_TRUE(fs_->Create("/big").ok());
+  // Past the direct area (10 blocks) into the indirect range.
+  uint64_t offset = (kDirectBlocks + 5) * kBlockSize;
+  ASSERT_TRUE(fs_->Write("/big", offset, BytesFromString("indirect!")).ok());
+  auto back = fs_->Read("/big", offset, 9);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(StringFromBytes(back.value()), "indirect!");
+}
+
+TEST_F(SafeFsTest, FileTooBigRejected) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  uint64_t max = kMaxFileBlocks * kBlockSize;
+  EXPECT_EQ(fs_->Write("/f", max, BytesFromString("x")).code(), Errno::kEFBIG);
+  EXPECT_EQ(fs_->Truncate("/f", max + 1).code(), Errno::kEFBIG);
+  EXPECT_TRUE(fs_->Truncate("/f", max).ok());
+}
+
+TEST_F(SafeFsTest, TruncateShrinkGrowZeroes) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  ASSERT_TRUE(fs_->Write("/f", 0, Bytes(100, 0xaa)).ok());
+  ASSERT_TRUE(fs_->Truncate("/f", 10).ok());
+  ASSERT_TRUE(fs_->Truncate("/f", 100).ok());
+  auto data = fs_->Read("/f", 0, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 100u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((*data)[i], 0xaa) << i;
+  }
+  for (size_t i = 10; i < 100; ++i) {
+    ASSERT_EQ((*data)[i], 0) << i;
+  }
+}
+
+TEST_F(SafeFsTest, TruncateReleasesSpace) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  uint64_t free_before = fs_->FreeDataBlocks();
+  ASSERT_TRUE(fs_->Write("/f", 0, Bytes(8 * kBlockSize, 1)).ok());
+  EXPECT_LT(fs_->FreeDataBlocks(), free_before);
+  ASSERT_TRUE(fs_->Truncate("/f", 0).ok());
+  EXPECT_EQ(fs_->FreeDataBlocks(), free_before);
+}
+
+TEST_F(SafeFsTest, UnlinkReleasesEverything) {
+  // Measure after Create so the root directory's own block (which persists
+  // by design) is not counted against the unlink.
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  uint64_t free_before = fs_->FreeDataBlocks();
+  ASSERT_TRUE(fs_->Write("/f", 0, Bytes(20 * kBlockSize, 1)).ok());  // uses indirect too
+  ASSERT_TRUE(fs_->Unlink("/f").ok());
+  EXPECT_EQ(fs_->FreeDataBlocks(), free_before);
+  EXPECT_EQ(fs_->Stat("/f").error(), Errno::kENOENT);
+}
+
+TEST_F(SafeFsTest, RenameFileAndDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/src").ok());
+  ASSERT_TRUE(fs_->Create("/src/f").ok());
+  ASSERT_TRUE(fs_->Write("/src/f", 0, BytesFromString("data")).ok());
+  ASSERT_TRUE(fs_->Rename("/src", "/dst").ok());
+  EXPECT_EQ(fs_->Stat("/src").error(), Errno::kENOENT);
+  auto data = fs_->Read("/dst/f", 0, 4);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(StringFromBytes(data.value()), "data");
+  // File rename with replacement.
+  ASSERT_TRUE(fs_->Create("/other").ok());
+  ASSERT_TRUE(fs_->Rename("/dst/f", "/other").ok());
+  EXPECT_EQ(StringFromBytes(fs_->Read("/other", 0, 4).value()), "data");
+}
+
+TEST_F(SafeFsTest, RenameRejectsCycles) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  EXPECT_EQ(fs_->Rename("/a", "/a/b/c").code(), Errno::kEINVAL);
+}
+
+TEST_F(SafeFsTest, OutOfSpaceIsAtomic) {
+  RamDisk tiny(32, 7);  // tiny data area
+  auto fs = SafeFs::Format(tiny, 8, 8);
+  ASSERT_TRUE(fs.ok());
+  auto& f = *fs.value();
+  ASSERT_TRUE(f.Create("/f").ok());
+  uint64_t free_blocks = f.FreeDataBlocks();
+  // Ask for more than fits.
+  Status s = f.Write("/f", 0, Bytes((free_blocks + 2) * kBlockSize, 1));
+  EXPECT_EQ(s.code(), Errno::kENOSPC);
+  // Nothing changed: file still empty, space intact.
+  EXPECT_EQ(f.Stat("/f")->size, 0u);
+  EXPECT_EQ(f.FreeDataBlocks(), free_blocks);
+}
+
+TEST_F(SafeFsTest, InodeExhaustion) {
+  RamDisk disk2(128, 9);
+  auto fs = SafeFs::Format(disk2, 4, 8);
+  ASSERT_TRUE(fs.ok());
+  auto& f = *fs.value();
+  ASSERT_TRUE(f.Create("/a").ok());
+  ASSERT_TRUE(f.Create("/b").ok());
+  ASSERT_TRUE(f.Create("/c").ok());
+  EXPECT_EQ(f.Create("/d").code(), Errno::kENOSPC);  // root uses ino 1
+  ASSERT_TRUE(f.Unlink("/a").ok());
+  EXPECT_TRUE(f.Create("/d").ok());  // inode reuse
+}
+
+TEST_F(SafeFsTest, PersistsAcrossRemount) {
+  ASSERT_TRUE(fs_->Mkdir("/docs").ok());
+  ASSERT_TRUE(fs_->Create("/docs/a").ok());
+  ASSERT_TRUE(fs_->Write("/docs/a", 0, BytesFromString("persistent")).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  fs_.reset();
+
+  auto remounted = SafeFs::Mount(*disk_);
+  ASSERT_TRUE(remounted.ok());
+  auto data = remounted.value()->Read("/docs/a", 0, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(StringFromBytes(data.value()), "persistent");
+}
+
+TEST_F(SafeFsTest, CrashBeforeSyncLosesNothingSynced) {
+  ASSERT_TRUE(fs_->Create("/durable").ok());
+  ASSERT_TRUE(fs_->Write("/durable", 0, BytesFromString("safe")).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  // Unsynced changes.
+  ASSERT_TRUE(fs_->Create("/volatile").ok());
+  ASSERT_TRUE(fs_->Write("/durable", 0, BytesFromString("gone")).ok());
+  fs_.reset();
+  disk_->CrashNow(CrashPersistence::kLoseAll);
+
+  auto remounted = SafeFs::Mount(*disk_);
+  ASSERT_TRUE(remounted.ok());
+  auto& f = *remounted.value();
+  EXPECT_EQ(StringFromBytes(f.Read("/durable", 0, 100).value()), "safe");
+  EXPECT_EQ(f.Stat("/volatile").error(), Errno::kENOENT);
+}
+
+TEST_F(SafeFsTest, FsyncIsDurable) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  ASSERT_TRUE(fs_->Write("/f", 0, BytesFromString("fsynced")).ok());
+  ASSERT_TRUE(fs_->Fsync("/f").ok());
+  fs_.reset();
+  disk_->CrashNow(CrashPersistence::kLoseAll);
+  auto remounted = SafeFs::Mount(*disk_);
+  ASSERT_TRUE(remounted.ok());
+  EXPECT_EQ(StringFromBytes(remounted.value()->Read("/f", 0, 100).value()), "fsynced");
+}
+
+TEST_F(SafeFsTest, JournalStatsAdvance) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  EXPECT_GE(fs_->journal_stats().commits, 1u);
+  EXPECT_GE(fs_->stats().syncs, 1u);
+}
+
+TEST_F(SafeFsTest, EmptySyncIsFree) {
+  ASSERT_TRUE(fs_->Sync().ok());
+  uint64_t commits = fs_->journal_stats().commits;
+  ASSERT_TRUE(fs_->Sync().ok());
+  EXPECT_EQ(fs_->journal_stats().commits, commits);
+}
+
+TEST_F(SafeFsTest, NameTooLongRejected) {
+  std::string long_name(60, 'x');
+  EXPECT_EQ(fs_->Create("/" + long_name).code(), Errno::kENAMETOOLONG);
+}
+
+TEST_F(SafeFsTest, ManyFilesInOneDirectory) {
+  // Forces the directory to grow past one block (64 entries per block);
+  // needs its own fs with enough inodes.
+  RamDisk disk(512, 17);
+  auto made = SafeFs::Format(disk, 256, 16);
+  ASSERT_TRUE(made.ok());
+  auto& f = *made.value();
+  ASSERT_TRUE(f.Mkdir("/many").ok());
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(f.Create("/many/f" + std::to_string(i)).ok()) << i;
+  }
+  auto names = f.Readdir("/many");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 150u);
+  // Remove some and reuse slots.
+  for (int i = 0; i < 150; i += 2) {
+    ASSERT_TRUE(f.Unlink("/many/f" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_EQ(f.Readdir("/many")->size(), 75u);
+  ASSERT_TRUE(f.Create("/many/fresh").ok());
+  EXPECT_EQ(f.Readdir("/many")->size(), 76u);
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,368 @@
+// Tests for the executable file-system specification (FsModel), including the
+// paper's worked example: directory rename as prefix substitution over the
+// path map, and the crash/sync contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/spec/fs_model.h"
+
+namespace skern {
+namespace {
+
+Bytes B(const std::string& s) { return BytesFromString(s); }
+
+// --- path normalization ---
+
+TEST(SpecPathTest, NormalizeBasics) {
+  EXPECT_EQ(specpath::Normalize("/").value(), "/");
+  EXPECT_EQ(specpath::Normalize("/a/b").value(), "/a/b");
+  EXPECT_EQ(specpath::Normalize("//a///b/").value(), "/a/b");
+  EXPECT_EQ(specpath::Normalize("/a/./b").value(), "/a/b");
+}
+
+TEST(SpecPathTest, RejectsRelativeAndDotDot) {
+  EXPECT_FALSE(specpath::Normalize("").ok());
+  EXPECT_FALSE(specpath::Normalize("a/b").ok());
+  EXPECT_FALSE(specpath::Normalize("/a/../b").ok());
+}
+
+TEST(SpecPathTest, RejectsOverlongName) {
+  std::string long_name(300, 'x');
+  EXPECT_EQ(specpath::Normalize("/" + long_name).error(), Errno::kENAMETOOLONG);
+}
+
+TEST(SpecPathTest, ParentAndBasename) {
+  EXPECT_EQ(specpath::Parent("/a/b/c"), "/a/b");
+  EXPECT_EQ(specpath::Parent("/a"), "/");
+  EXPECT_EQ(specpath::Parent("/"), "/");
+  EXPECT_EQ(specpath::Basename("/a/b"), "b");
+  EXPECT_EQ(specpath::Basename("/"), "");
+}
+
+TEST(SpecPathTest, PrefixRelation) {
+  EXPECT_TRUE(specpath::IsPrefix("/a", "/a"));
+  EXPECT_TRUE(specpath::IsPrefix("/a", "/a/b"));
+  EXPECT_FALSE(specpath::IsPrefix("/a", "/ab"));
+  EXPECT_TRUE(specpath::IsPrefix("/", "/anything"));
+}
+
+TEST(SpecPathTest, SubstitutePrefix) {
+  EXPECT_EQ(specpath::SubstitutePrefix("/a", "/z", "/a/b/c"), "/z/b/c");
+  EXPECT_EQ(specpath::SubstitutePrefix("/a", "/z", "/a"), "/z");
+}
+
+// --- basic operations ---
+
+TEST(FsModelTest, CreateAndStat) {
+  FsModel m;
+  EXPECT_TRUE(m.Create("/f").ok());
+  auto attr = m.Stat("/f");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_FALSE(attr->is_dir);
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TEST(FsModelTest, CreateErrors) {
+  FsModel m;
+  EXPECT_EQ(m.Create("/f").code(), Errno::kOk);
+  EXPECT_EQ(m.Create("/f").code(), Errno::kEEXIST);
+  EXPECT_EQ(m.Create("/missing/f").code(), Errno::kENOENT);
+  EXPECT_EQ(m.Create("/f/child").code(), Errno::kENOTDIR);
+  EXPECT_EQ(m.Create("/").code(), Errno::kEEXIST);
+  EXPECT_EQ(m.Create("relative").code(), Errno::kEINVAL);
+}
+
+TEST(FsModelTest, MkdirAndNested) {
+  FsModel m;
+  EXPECT_TRUE(m.Mkdir("/d").ok());
+  EXPECT_TRUE(m.Mkdir("/d/e").ok());
+  EXPECT_EQ(m.Mkdir("/d").code(), Errno::kEEXIST);
+  auto attr = m.Stat("/d/e");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(attr->is_dir);
+}
+
+TEST(FsModelTest, WriteReadRoundTrip) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/f").ok());
+  ASSERT_TRUE(m.Write("/f", 0, B("hello")).ok());
+  auto r = m.Read("/f", 0, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(StringFromBytes(r.value()), "hello");
+}
+
+TEST(FsModelTest, WriteAtOffsetZeroFillsGap) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/f").ok());
+  ASSERT_TRUE(m.Write("/f", 4, B("xy")).ok());
+  auto r = m.Read("/f", 0, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 6u);
+  EXPECT_EQ((*r)[0], 0);
+  EXPECT_EQ((*r)[3], 0);
+  EXPECT_EQ((*r)[4], 'x');
+}
+
+TEST(FsModelTest, ReadBeyondEofIsShort) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/f").ok());
+  ASSERT_TRUE(m.Write("/f", 0, B("abc")).ok());
+  EXPECT_EQ(m.Read("/f", 1, 100)->size(), 2u);
+  EXPECT_EQ(m.Read("/f", 3, 100)->size(), 0u);
+  EXPECT_EQ(m.Read("/f", 99, 100)->size(), 0u);
+}
+
+TEST(FsModelTest, ReadWriteErrors) {
+  FsModel m;
+  ASSERT_TRUE(m.Mkdir("/d").ok());
+  EXPECT_EQ(m.Read("/nope", 0, 1).error(), Errno::kENOENT);
+  EXPECT_EQ(m.Read("/d", 0, 1).error(), Errno::kEISDIR);
+  EXPECT_EQ(m.Write("/nope", 0, B("x")).code(), Errno::kENOENT);
+  EXPECT_EQ(m.Write("/d", 0, B("x")).code(), Errno::kEISDIR);
+}
+
+TEST(FsModelTest, TruncateGrowAndShrink) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/f").ok());
+  ASSERT_TRUE(m.Write("/f", 0, B("abcdef")).ok());
+  ASSERT_TRUE(m.Truncate("/f", 3).ok());
+  EXPECT_EQ(StringFromBytes(m.Read("/f", 0, 100).value()), "abc");
+  ASSERT_TRUE(m.Truncate("/f", 5).ok());
+  auto r = m.Read("/f", 0, 100).value();
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[4], 0);
+}
+
+TEST(FsModelTest, UnlinkSemantics) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/f").ok());
+  ASSERT_TRUE(m.Mkdir("/d").ok());
+  EXPECT_EQ(m.Unlink("/d").code(), Errno::kEISDIR);
+  EXPECT_TRUE(m.Unlink("/f").ok());
+  EXPECT_EQ(m.Unlink("/f").code(), Errno::kENOENT);
+  EXPECT_EQ(m.Stat("/f").error(), Errno::kENOENT);
+}
+
+TEST(FsModelTest, RmdirSemantics) {
+  FsModel m;
+  ASSERT_TRUE(m.Mkdir("/d").ok());
+  ASSERT_TRUE(m.Create("/d/f").ok());
+  EXPECT_EQ(m.Rmdir("/d").code(), Errno::kENOTEMPTY);
+  ASSERT_TRUE(m.Unlink("/d/f").ok());
+  EXPECT_TRUE(m.Rmdir("/d").ok());
+  EXPECT_EQ(m.Rmdir("/d").code(), Errno::kENOENT);
+  EXPECT_EQ(m.Rmdir("/").code(), Errno::kEBUSY);
+}
+
+TEST(FsModelTest, ReaddirListsChildren) {
+  FsModel m;
+  ASSERT_TRUE(m.Mkdir("/d").ok());
+  ASSERT_TRUE(m.Create("/d/b").ok());
+  ASSERT_TRUE(m.Create("/d/a").ok());
+  ASSERT_TRUE(m.Mkdir("/d/sub").ok());
+  ASSERT_TRUE(m.Create("/d/sub/deep").ok());  // not an immediate child
+  auto names = m.Readdir("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"a", "b", "sub"}));
+  EXPECT_EQ(m.Readdir("/d/a").error(), Errno::kENOTDIR);
+}
+
+// --- rename: the paper's worked example ---
+
+TEST(FsModelRenameTest, FileRename) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/a").ok());
+  ASSERT_TRUE(m.Write("/a", 0, B("data")).ok());
+  ASSERT_TRUE(m.Rename("/a", "/b").ok());
+  EXPECT_EQ(m.Stat("/a").error(), Errno::kENOENT);
+  EXPECT_EQ(StringFromBytes(m.Read("/b", 0, 100).value()), "data");
+}
+
+TEST(FsModelRenameTest, FileRenameReplacesTarget) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/a").ok());
+  ASSERT_TRUE(m.Write("/a", 0, B("new")).ok());
+  ASSERT_TRUE(m.Create("/b").ok());
+  ASSERT_TRUE(m.Write("/b", 0, B("old")).ok());
+  ASSERT_TRUE(m.Rename("/a", "/b").ok());
+  EXPECT_EQ(StringFromBytes(m.Read("/b", 0, 100).value()), "new");
+}
+
+TEST(FsModelRenameTest, DirectoryRenameSubstitutesEveryPrefixedKey) {
+  // "the directory-rename operation may be modeled as a relation between old
+  // and new maps in which every path key with a given prefix is substituted
+  // with a new prefix" (§4.4).
+  FsModel m;
+  ASSERT_TRUE(m.Mkdir("/old").ok());
+  ASSERT_TRUE(m.Mkdir("/old/sub").ok());
+  ASSERT_TRUE(m.Create("/old/f1").ok());
+  ASSERT_TRUE(m.Create("/old/sub/f2").ok());
+  ASSERT_TRUE(m.Write("/old/sub/f2", 0, B("deep")).ok());
+  ASSERT_TRUE(m.Rename("/old", "/new").ok());
+  EXPECT_EQ(m.Stat("/old").error(), Errno::kENOENT);
+  EXPECT_TRUE(m.Stat("/new").value().is_dir);
+  EXPECT_TRUE(m.Stat("/new/sub").value().is_dir);
+  EXPECT_FALSE(m.Stat("/new/f1").value().is_dir);
+  EXPECT_EQ(StringFromBytes(m.Read("/new/sub/f2", 0, 100).value()), "deep");
+}
+
+TEST(FsModelRenameTest, DirIntoOwnSubtreeRejected) {
+  FsModel m;
+  ASSERT_TRUE(m.Mkdir("/a").ok());
+  ASSERT_TRUE(m.Mkdir("/a/b").ok());
+  EXPECT_EQ(m.Rename("/a", "/a/b/c").code(), Errno::kEINVAL);
+}
+
+TEST(FsModelRenameTest, DirOntoNonEmptyDirRejected) {
+  FsModel m;
+  ASSERT_TRUE(m.Mkdir("/a").ok());
+  ASSERT_TRUE(m.Mkdir("/b").ok());
+  ASSERT_TRUE(m.Create("/b/f").ok());
+  EXPECT_EQ(m.Rename("/a", "/b").code(), Errno::kENOTEMPTY);
+  ASSERT_TRUE(m.Unlink("/b/f").ok());
+  EXPECT_TRUE(m.Rename("/a", "/b").ok());  // empty target dir is replaceable
+}
+
+TEST(FsModelRenameTest, MixedKindsRejected) {
+  FsModel m;
+  ASSERT_TRUE(m.Mkdir("/d").ok());
+  ASSERT_TRUE(m.Create("/f").ok());
+  EXPECT_EQ(m.Rename("/f", "/d").code(), Errno::kEISDIR);
+  EXPECT_EQ(m.Rename("/d", "/f").code(), Errno::kENOTDIR);
+}
+
+TEST(FsModelRenameTest, SelfRenameIsNoop) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/f").ok());
+  ASSERT_TRUE(m.Write("/f", 0, B("x")).ok());
+  EXPECT_TRUE(m.Rename("/f", "/f").ok());
+  EXPECT_EQ(StringFromBytes(m.Read("/f", 0, 10).value()), "x");
+}
+
+TEST(FsModelRenameTest, MissingSourceAndBadTargetParent) {
+  FsModel m;
+  EXPECT_EQ(m.Rename("/nope", "/x").code(), Errno::kENOENT);
+  ASSERT_TRUE(m.Create("/f").ok());
+  EXPECT_EQ(m.Rename("/f", "/missing/x").code(), Errno::kENOENT);
+  ASSERT_TRUE(m.Create("/plain").ok());
+  EXPECT_EQ(m.Rename("/f", "/plain/x").code(), Errno::kENOTDIR);
+}
+
+// --- sync / crash contract ---
+
+TEST(FsModelCrashTest, CrashRevertsToSyncedState) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/durable").ok());
+  ASSERT_TRUE(m.Write("/durable", 0, B("saved")).ok());
+  m.Sync();
+  ASSERT_TRUE(m.Create("/volatile").ok());
+  ASSERT_TRUE(m.Write("/durable", 0, B("UNSAVED!!")).ok());
+  m.Crash();
+  EXPECT_EQ(StringFromBytes(m.Read("/durable", 0, 100).value()), "saved");
+  EXPECT_EQ(m.Stat("/volatile").error(), Errno::kENOENT);
+}
+
+TEST(FsModelCrashTest, CrashBeforeAnySyncIsEmpty) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/f").ok());
+  m.Crash();
+  EXPECT_EQ(m.Stat("/f").error(), Errno::kENOENT);
+  EXPECT_TRUE(m.Readdir("/").value().empty());
+}
+
+TEST(FsModelCrashTest, RepeatedCrashIsIdempotent) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/f").ok());
+  m.Sync();
+  ASSERT_TRUE(m.Create("/g").ok());
+  m.Crash();
+  auto first = m.state();
+  m.Crash();
+  EXPECT_TRUE(m.state() == first);
+}
+
+TEST(FsModelTest, TotalBytesAccounting) {
+  FsModel m;
+  ASSERT_TRUE(m.Create("/a").ok());
+  ASSERT_TRUE(m.Create("/b").ok());
+  ASSERT_TRUE(m.Write("/a", 0, B("12345")).ok());
+  ASSERT_TRUE(m.Write("/b", 10, B("xy")).ok());  // 12 bytes incl. gap
+  EXPECT_EQ(m.TotalBytes(), 17u);
+}
+
+// --- property-style sweep: model invariants under random operations ---
+
+struct SweepParams {
+  uint64_t seed;
+  int ops;
+};
+
+class FsModelSweepTest : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(FsModelSweepTest, InvariantsHoldUnderRandomOps) {
+  const auto params = GetParam();
+  Rng rng(params.seed);
+  FsModel m;
+  std::vector<std::string> pool{"/a", "/b", "/d", "/d/x", "/d/y", "/e", "/e/z"};
+  for (int i = 0; i < params.ops; ++i) {
+    const std::string& p = pool[rng.NextBelow(pool.size())];
+    const std::string& q = pool[rng.NextBelow(pool.size())];
+    switch (rng.NextBelow(9)) {
+      case 0:
+        (void)m.Create(p);
+        break;
+      case 1:
+        (void)m.Mkdir(p);
+        break;
+      case 2:
+        (void)m.Unlink(p);
+        break;
+      case 3:
+        (void)m.Rmdir(p);
+        break;
+      case 4:
+        (void)m.Write(p, rng.NextBelow(64), rng.NextBytes(rng.NextBelow(32)));
+        break;
+      case 5:
+        (void)m.Truncate(p, rng.NextBelow(64));
+        break;
+      case 6:
+        (void)m.Rename(p, q);
+        break;
+      case 7:
+        m.Sync();
+        break;
+      case 8:
+        m.Crash();
+        break;
+    }
+    // Invariant 1: every file's and dir's parent chain consists of dirs.
+    const auto& st = m.state();
+    for (const auto& [file, bytes] : st.files) {
+      EXPECT_EQ(st.files.count(specpath::Parent(file)), 0u) << file;
+      EXPECT_EQ(st.dirs.count(specpath::Parent(file)), 1u) << file;
+    }
+    for (const auto& dir : st.dirs) {
+      if (dir != "/") {
+        EXPECT_EQ(st.dirs.count(specpath::Parent(dir)), 1u) << dir;
+      }
+    }
+    // Invariant 2: nothing is both a file and a directory.
+    for (const auto& [file, bytes] : st.files) {
+      EXPECT_EQ(st.dirs.count(file), 0u) << file;
+    }
+    // Invariant 3: root always exists.
+    EXPECT_EQ(st.dirs.count("/"), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweeps, FsModelSweepTest,
+                         ::testing::Values(SweepParams{1, 300}, SweepParams{2, 300},
+                                           SweepParams{3, 500}, SweepParams{42, 800},
+                                           SweepParams{1234, 1000}));
+
+}  // namespace
+}  // namespace skern

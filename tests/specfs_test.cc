@@ -1,0 +1,287 @@
+// Tests for specfs: lock-step refinement on clean implementations, detection
+// of injected semantic bugs, and the crash oracle under randomized workloads
+// and crash points.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/block/block_device.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/spec/refinement.h"
+#include "src/sync/lock_registry.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 512;
+constexpr uint64_t kInodes = 64;
+constexpr uint64_t kJournalBlocks = 64;
+
+class SpecFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LockRegistry::Get().ResetForTesting();
+    RefinementStats::Get().ResetForTesting();
+    SetRefinementMode(RefinementMode::kEnforcing);
+    disk_ = std::make_unique<RamDisk>(kDiskBlocks, 1);
+    auto fs = SafeFs::Format(*disk_, kInodes, kJournalBlocks);
+    ASSERT_TRUE(fs.ok());
+    safefs_ = fs.value();
+    spec_ = std::make_unique<SpecFs>(safefs_);
+  }
+  void TearDown() override { SetRefinementMode(RefinementMode::kEnforcing); }
+
+  std::unique_ptr<RamDisk> disk_;
+  std::shared_ptr<SafeFs> safefs_;
+  std::unique_ptr<SpecFs> spec_;
+};
+
+TEST_F(SpecFsTest, CleanImplementationPassesChecks) {
+  ASSERT_TRUE(spec_->Mkdir("/d").ok());
+  ASSERT_TRUE(spec_->Create("/d/f").ok());
+  ASSERT_TRUE(spec_->Write("/d/f", 0, BytesFromString("spec")).ok());
+  EXPECT_EQ(StringFromBytes(spec_->Read("/d/f", 0, 10).value()), "spec");
+  ASSERT_TRUE(spec_->Rename("/d/f", "/d/g").ok());
+  ASSERT_TRUE(spec_->Truncate("/d/g", 2).ok());
+  EXPECT_EQ(spec_->Stat("/d/g")->size, 2u);
+  ASSERT_TRUE(spec_->Unlink("/d/g").ok());
+  ASSERT_TRUE(spec_->Rmdir("/d").ok());
+  EXPECT_GE(RefinementStats::Get().checks(), 10u);
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 0u);
+}
+
+TEST_F(SpecFsTest, ErrorsAreCheckedToo) {
+  // Error paths must match the specification's errno exactly.
+  EXPECT_EQ(spec_->Unlink("/missing").code(), Errno::kENOENT);
+  EXPECT_EQ(spec_->Create("/a/b").code(), Errno::kENOENT);
+  ASSERT_TRUE(spec_->Create("/f").ok());
+  EXPECT_EQ(spec_->Mkdir("/f").code(), Errno::kEEXIST);
+  EXPECT_EQ(spec_->Readdir("/f").error(), Errno::kENOTDIR);
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 0u);
+}
+
+// Each semantic fault is invisible to types and ownership but must be caught
+// by refinement. Parameterized over the fault catalogue.
+class SemanticFaultTest : public ::testing::TestWithParam<SafeFsSemanticFault> {};
+
+TEST_P(SemanticFaultTest, RefinementCatchesInjectedBug) {
+  LockRegistry::Get().ResetForTesting();
+  RefinementStats::Get().ResetForTesting();
+  ScopedRefinementMode mode(RefinementMode::kRecording);
+  RamDisk disk(kDiskBlocks, 3);
+  auto fs = SafeFs::Format(disk, kInodes, kJournalBlocks);
+  ASSERT_TRUE(fs.ok());
+  fs.value()->SetSemanticFault(GetParam());
+  SpecFs spec(fs.value());
+
+  // A small workload that exercises every injected path.
+  (void)spec.Mkdir("/d");
+  (void)spec.Create("/d/a");
+  (void)spec.Create("/d/b");
+  (void)spec.Write("/d/a", 0, BytesFromString("0123456789"));
+  (void)spec.Stat("/d/a");
+  (void)spec.Truncate("/d/a", 3);
+  (void)spec.Truncate("/d/a", 10);
+  (void)spec.Read("/d/a", 0, 16);
+  (void)spec.Rename("/d/a", "/d/c");
+  (void)spec.Readdir("/d");
+  (void)spec.Stat("/d/c");
+
+  EXPECT_GT(RefinementStats::Get().mismatch_count(), 0u)
+      << "fault " << static_cast<int>(GetParam()) << " slipped through refinement";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSemanticFaults, SemanticFaultTest,
+                         ::testing::Values(SafeFsSemanticFault::kStatSizeOffByOne,
+                                           SafeFsSemanticFault::kRenameLeavesSource,
+                                           SafeFsSemanticFault::kTruncateSkipsZeroing,
+                                           SafeFsSemanticFault::kReaddirDropsLastEntry,
+                                           SafeFsSemanticFault::kWriteIgnoresTailByte));
+
+TEST_F(SpecFsTest, NoFaultMeansNoMismatch) {
+  ScopedRefinementMode mode(RefinementMode::kRecording);
+  safefs_->SetSemanticFault(SafeFsSemanticFault::kNone);
+  (void)spec_->Create("/x");
+  (void)spec_->Write("/x", 0, BytesFromString("abc"));
+  (void)spec_->Stat("/x");
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 0u);
+}
+
+// --- randomized lock-step refinement ---
+
+struct SweepParams {
+  uint64_t seed;
+  int ops;
+};
+
+class SpecFsSweepTest : public ::testing::TestWithParam<SweepParams> {};
+
+// Applies one random operation to the spec-checked fs. Returns false when the
+// underlying device reported a crash (EIO).
+bool RandomOp(Rng& rng, SpecFs& spec, const std::vector<std::string>& pool) {
+  const std::string& p = pool[rng.NextBelow(pool.size())];
+  const std::string& q = pool[rng.NextBelow(pool.size())];
+  Status s = Status::Ok();
+  switch (rng.NextBelow(10)) {
+    case 0:
+      s = spec.Create(p);
+      break;
+    case 1:
+      s = spec.Mkdir(p);
+      break;
+    case 2:
+      s = spec.Unlink(p);
+      break;
+    case 3:
+      s = spec.Rmdir(p);
+      break;
+    case 4:
+      s = spec.Write(p, rng.NextBelow(3 * kBlockSize), rng.NextBytes(1 + rng.NextBelow(300)));
+      break;
+    case 5:
+      s = spec.Truncate(p, rng.NextBelow(2 * kBlockSize));
+      break;
+    case 6:
+      s = spec.Rename(p, q);
+      break;
+    case 7:
+      s = spec.Read(p, rng.NextBelow(2 * kBlockSize), rng.NextBelow(256)).status();
+      break;
+    case 8:
+      s = spec.Readdir(p).status();
+      break;
+    case 9:
+      s = spec.Sync();
+      break;
+  }
+  return s.code() != Errno::kEIO;
+}
+
+const std::vector<std::string>& PathPool() {
+  static const std::vector<std::string> pool{
+      "/a", "/b", "/c", "/d",     "/d/x",   "/d/y",   "/d/z",
+      "/e", "/e/sub", "/e/sub/w", "/e/sub2", "/f",    "/g"};
+  return pool;
+}
+
+TEST_P(SpecFsSweepTest, RandomWorkloadNeverDiverges) {
+  LockRegistry::Get().ResetForTesting();
+  RefinementStats::Get().ResetForTesting();
+  SetRefinementMode(RefinementMode::kEnforcing);  // any mismatch panics = test failure
+  const auto params = GetParam();
+  Rng rng(params.seed);
+  RamDisk disk(kDiskBlocks, params.seed);
+  auto fs = SafeFs::Format(disk, kInodes, kJournalBlocks);
+  ASSERT_TRUE(fs.ok());
+  SpecFs spec(fs.value());
+  for (int i = 0; i < params.ops; ++i) {
+    ASSERT_TRUE(RandomOp(rng, spec, PathPool())) << "unexpected EIO at op " << i;
+  }
+  // Sync ops emit no per-op check, so the count is slightly below ops.
+  EXPECT_GT(RefinementStats::Get().checks(), static_cast<uint64_t>(params.ops) * 3 / 4);
+  EXPECT_EQ(RefinementStats::Get().mismatch_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, SpecFsSweepTest,
+                         ::testing::Values(SweepParams{101, 400}, SweepParams{202, 400},
+                                           SweepParams{303, 600}, SweepParams{404, 600},
+                                           SweepParams{505, 800}, SweepParams{606, 1000}));
+
+// --- crash oracle ---
+
+TEST_F(SpecFsTest, CleanCrashRecoversToSyncedState) {
+  ASSERT_TRUE(spec_->Create("/keep").ok());
+  ASSERT_TRUE(spec_->Write("/keep", 0, BytesFromString("synced data")).ok());
+  ASSERT_TRUE(spec_->Sync().ok());
+  ASSERT_TRUE(spec_->Create("/lose").ok());
+  ASSERT_TRUE(spec_->Write("/keep", 0, BytesFromString("UNSYNCED")).ok());
+
+  FsModel expected = spec_->model();
+  expected.Crash();
+  safefs_.reset();
+  spec_.reset();
+  disk_->CrashNow(CrashPersistence::kLoseAll);
+
+  auto remounted = SafeFs::Mount(*disk_);
+  ASSERT_TRUE(remounted.ok());
+  auto diffs = DiffFsAgainstModel(*remounted.value(), expected.state());
+  EXPECT_TRUE(diffs.empty()) << diffs.front();
+}
+
+// The full crash-oracle property: random workload with random sync points,
+// crash injected at a random device write (which, for safefs, is always
+// inside a journal commit), remount, and require the recovered tree to equal
+// either the last synced model state or — if the crashed commit's record
+// made it to disk — the model state at the crashed sync.
+struct CrashSweepParams {
+  uint64_t seed;
+  int max_ops;
+  CrashPersistence persistence;
+};
+
+class SpecFsCrashSweepTest : public ::testing::TestWithParam<CrashSweepParams> {};
+
+TEST_P(SpecFsCrashSweepTest, RecoveryMatchesTheOracle) {
+  LockRegistry::Get().ResetForTesting();
+  RefinementStats::Get().ResetForTesting();
+  SetRefinementMode(RefinementMode::kEnforcing);
+  const auto params = GetParam();
+  Rng rng(params.seed);
+  RamDisk disk(kDiskBlocks, params.seed);
+  auto fs = SafeFs::Format(disk, kInodes, kJournalBlocks);
+  ASSERT_TRUE(fs.ok());
+  auto spec = std::make_unique<SpecFs>(fs.value());
+
+  disk.ScheduleCrashAfterWrites(5 + rng.NextBelow(120), params.persistence,
+                                /*tear_last=*/true);
+
+  FsModel at_crashed_sync;  // model state captured entering the failed sync
+  bool crashed = false;
+  for (int i = 0; i < params.max_ops && !crashed; ++i) {
+    // Snapshot the model before each op: if this op is the crashing sync,
+    // its pre-op state is the alternative legal recovery point.
+    FsModel snapshot = spec->model();
+    if (!RandomOp(rng, *spec, PathPool())) {
+      crashed = true;
+      at_crashed_sync = snapshot;
+    }
+  }
+  if (!crashed) {
+    GTEST_SKIP() << "crash point beyond workload";
+  }
+
+  FsModel synced = spec->model();
+  synced.Crash();
+  fs.value().reset();
+  spec.reset();
+  fs = Result<std::shared_ptr<SafeFs>>(Errno::kEINVAL);  // drop old handle
+
+  auto remounted = SafeFs::Mount(disk);
+  ASSERT_TRUE(remounted.ok());
+  auto diff_old = DiffFsAgainstModel(*remounted.value(), synced.state());
+  // The crashed sync would have committed everything dirty at that moment,
+  // i.e. the full model state entering the sync.
+  auto diff_new = DiffFsAgainstModel(*remounted.value(), at_crashed_sync.state());
+  EXPECT_TRUE(diff_old.empty() || diff_new.empty())
+      << "recovered state matches neither pre- nor post-crash sync point: "
+      << (diff_old.empty() ? "" : diff_old.front()) << " / "
+      << (diff_new.empty() ? "" : diff_new.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashPoints, SpecFsCrashSweepTest,
+    ::testing::Values(CrashSweepParams{1, 300, CrashPersistence::kLoseAll},
+                      CrashSweepParams{2, 300, CrashPersistence::kRandomSubset},
+                      CrashSweepParams{3, 300, CrashPersistence::kRandomPrefix},
+                      CrashSweepParams{4, 300, CrashPersistence::kRandomSubset},
+                      CrashSweepParams{5, 300, CrashPersistence::kRandomSubset},
+                      CrashSweepParams{6, 300, CrashPersistence::kLoseAll},
+                      CrashSweepParams{7, 300, CrashPersistence::kRandomPrefix},
+                      CrashSweepParams{8, 300, CrashPersistence::kRandomSubset},
+                      CrashSweepParams{9, 300, CrashPersistence::kRandomSubset},
+                      CrashSweepParams{10, 300, CrashPersistence::kRandomSubset}));
+
+}  // namespace
+}  // namespace skern

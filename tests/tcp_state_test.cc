@@ -1,0 +1,193 @@
+// Engine-level TCP state machine tests: two TcpConnection instances wired
+// directly to each other through the simulated network, with full control of
+// time and loss — handshake states, teardown sequences, retransmission
+// backoff, RST handling, TIME_WAIT.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/sim_clock.h"
+#include "src/net/network.h"
+#include "src/net/tcp.h"
+
+namespace skern {
+namespace {
+
+constexpr uint32_t kAIp = 1;
+constexpr uint32_t kBIp = 2;
+
+// A pair of endpoints with manual SYN plumbing (the stack's demux job,
+// minimized for engine tests).
+struct Pair {
+  Pair() : network(clock, 5) {
+    network.Attach(kAIp, [this](const Packet& pkt) {
+      if (a != nullptr) {
+        a->OnSegment(pkt);
+      }
+    });
+    network.Attach(kBIp, [this](const Packet& pkt) {
+      if (b == nullptr && pkt.Has(kTcpSyn) && !pkt.Has(kTcpAck)) {
+        b = TcpConnection::FromSyn(
+            clock, [this](Packet&& out) { network.Send(std::move(out)); },
+            NetAddr{kBIp, 80}, pkt);
+        return;
+      }
+      if (b != nullptr) {
+        b->OnSegment(pkt);
+      }
+    });
+  }
+
+  void ConnectA() {
+    a = TcpConnection::Connect(
+        clock, [this](Packet&& out) { network.Send(std::move(out)); }, NetAddr{kAIp, 1234},
+        NetAddr{kBIp, 80});
+  }
+
+  void Run(SimTime t = kSecond) { clock.Advance(t); }
+
+  SimClock clock;
+  Network network;
+  std::unique_ptr<TcpConnection> a;
+  std::unique_ptr<TcpConnection> b;
+};
+
+TEST(TcpStateTest, ThreeWayHandshake) {
+  Pair pair;
+  pair.ConnectA();
+  EXPECT_EQ(pair.a->state(), TcpState::kSynSent);
+  pair.Run();
+  ASSERT_NE(pair.b, nullptr);
+  EXPECT_EQ(pair.a->state(), TcpState::kEstablished);
+  EXPECT_EQ(pair.b->state(), TcpState::kEstablished);
+}
+
+TEST(TcpStateTest, DataFlowsBothWays) {
+  Pair pair;
+  pair.ConnectA();
+  pair.Run();
+  ASSERT_TRUE(pair.a->Send(BytesFromString("to-b")).ok());
+  ASSERT_TRUE(pair.b->Send(BytesFromString("to-a")).ok());
+  pair.Run();
+  EXPECT_EQ(StringFromBytes(pair.b->Recv(16)), "to-b");
+  EXPECT_EQ(StringFromBytes(pair.a->Recv(16)), "to-a");
+}
+
+TEST(TcpStateTest, SendBeforeEstablishedRejected) {
+  Pair pair;
+  pair.ConnectA();
+  EXPECT_EQ(pair.a->Send(BytesFromString("early")).code(), Errno::kENOTCONN);
+}
+
+TEST(TcpStateTest, ActiveCloseWalksFinWait) {
+  Pair pair;
+  pair.ConnectA();
+  pair.Run();
+  pair.a->Close();
+  EXPECT_EQ(pair.a->state(), TcpState::kFinWait1);
+  pair.Run();
+  // Peer acked the FIN and hasn't closed yet.
+  EXPECT_EQ(pair.a->state(), TcpState::kFinWait2);
+  EXPECT_EQ(pair.b->state(), TcpState::kCloseWait);
+  EXPECT_TRUE(pair.b->PeerClosed());
+  // Passive side closes.
+  pair.b->Close();
+  EXPECT_EQ(pair.b->state(), TcpState::kLastAck);
+  pair.Run();
+  EXPECT_EQ(pair.b->state(), TcpState::kClosed);
+  // Active side waits out TIME_WAIT, then closes.
+  pair.Run(10 * kSecond);
+  EXPECT_EQ(pair.a->state(), TcpState::kClosed);
+}
+
+TEST(TcpStateTest, CloseWithPendingDataDrainsFirst) {
+  Pair pair;
+  pair.ConnectA();
+  pair.Run();
+  ASSERT_TRUE(pair.a->Send(BytesFromString("last words")).ok());
+  pair.a->Close();
+  pair.Run();
+  EXPECT_EQ(StringFromBytes(pair.b->Recv(32)), "last words");
+  EXPECT_TRUE(pair.b->PeerClosed());
+}
+
+TEST(TcpStateTest, SendAfterCloseIsPipe) {
+  Pair pair;
+  pair.ConnectA();
+  pair.Run();
+  pair.a->Close();
+  EXPECT_EQ(pair.a->Send(BytesFromString("late")).code(), Errno::kEPIPE);
+}
+
+TEST(TcpStateTest, RetransmitBackoffCountsAttempts) {
+  Pair pair;
+  pair.network.set_drop_rate(1.0);  // black hole
+  pair.ConnectA();
+  pair.Run(5 * kSecond);
+  EXPECT_GT(pair.a->stats().retransmits, 2u);
+  EXPECT_EQ(pair.a->state(), TcpState::kSynSent);  // still trying
+  pair.Run(600 * kSecond);
+  EXPECT_EQ(pair.a->state(), TcpState::kClosed);  // gave up after max retries
+}
+
+TEST(TcpStateTest, LossRecoveryDeliversInOrder) {
+  Pair pair;
+  pair.ConnectA();
+  pair.Run();
+  pair.network.set_drop_rate(0.2);
+  Rng rng(21);
+  Bytes blob = rng.NextBytes(40'000);  // 40 segments: data loss is certain at 20%
+  ASSERT_TRUE(pair.a->Send(ByteView(blob)).ok());
+  pair.Run(600 * kSecond);
+  Bytes received = pair.b->Recv(50'000);
+  EXPECT_EQ(received, blob);
+  EXPECT_GT(pair.a->stats().retransmits, 0u);
+}
+
+TEST(TcpStateTest, AbortSendsRst) {
+  Pair pair;
+  pair.ConnectA();
+  pair.Run();
+  pair.a->Abort();
+  EXPECT_EQ(pair.a->state(), TcpState::kClosed);
+  pair.Run();
+  EXPECT_EQ(pair.b->state(), TcpState::kClosed);  // RST tore it down
+}
+
+TEST(TcpStateTest, StatsCountTraffic) {
+  Pair pair;
+  pair.ConnectA();
+  pair.Run();
+  ASSERT_TRUE(pair.a->Send(Bytes(2500, 0x66)).ok());  // 3 segments at MSS 1000
+  pair.Run();
+  EXPECT_EQ(pair.b->stats().bytes_received, 2500u);
+  EXPECT_GE(pair.a->stats().segments_sent, 4u);  // SYN + 3 data
+  EXPECT_EQ(pair.a->stats().bytes_sent, 2500u);
+}
+
+TEST(TcpStateTest, DuplicateDataIsDroppedNotDoubled) {
+  Pair pair;
+  pair.ConnectA();
+  pair.Run();
+  ASSERT_TRUE(pair.a->Send(BytesFromString("once")).ok());
+  pair.Run();
+  // Simulate a duplicated segment arriving again.
+  Packet dup;
+  dup.proto = kProtoTcp;
+  dup.src_ip = kAIp;
+  dup.src_port = 1234;
+  dup.dst_ip = kBIp;
+  dup.dst_port = 80;
+  dup.flags = kTcpAck;
+  // The engine derives ISS deterministically from the 4-tuple; first data
+  // byte is iss + 1 (the SYN consumes one sequence number).
+  dup.seq = 1000 + 1234 * 131 + 80 * 17 + 1;
+  dup.payload = BytesFromString("once");
+  pair.b->OnSegment(dup);
+  EXPECT_EQ(StringFromBytes(pair.b->Recv(16)), "once");
+  EXPECT_TRUE(pair.b->Recv(16).empty());
+  EXPECT_GT(pair.b->stats().out_of_order_drops, 0u);
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,220 @@
+// Tests for the VFS façade: mounts, longest-prefix resolution, descriptors,
+// and the implementation-slot integration (swapping file systems under a
+// running VFS).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/block/block_device.h"
+#include "src/core/migration.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/sync/lock_registry.h"
+#include "src/vfs/vfs.h"
+
+namespace skern {
+namespace {
+
+std::shared_ptr<SafeFs> MakeFs(RamDisk& disk) {
+  auto fs = SafeFs::Format(disk, 64, 16);
+  EXPECT_TRUE(fs.ok());
+  return fs.value();
+}
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LockRegistry::Get().ResetForTesting();
+    disk_ = std::make_unique<RamDisk>(256, 5);
+    vfs_ = std::make_unique<Vfs>();
+    ASSERT_TRUE(vfs_->Mount("/", MakeFs(*disk_)).ok());
+  }
+
+  std::unique_ptr<RamDisk> disk_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(VfsTest, FirstMountMustBeRoot) {
+  Vfs vfs;
+  RamDisk disk(256, 6);
+  EXPECT_EQ(vfs.Mount("/data", MakeFs(disk)).code(), Errno::kEINVAL);
+  EXPECT_TRUE(vfs.Mount("/", MakeFs(disk)).ok());
+}
+
+TEST_F(VfsTest, DoubleMountRejected) {
+  RamDisk disk(256, 7);
+  EXPECT_EQ(vfs_->Mount("/", MakeFs(disk)).code(), Errno::kEBUSY);
+}
+
+TEST_F(VfsTest, PathSyscallsDispatch) {
+  ASSERT_TRUE(vfs_->Mkdir("/dir").ok());
+  auto attr = vfs_->Stat("/dir");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(attr->is_dir);
+  ASSERT_TRUE(vfs_->Rmdir("/dir").ok());
+  EXPECT_EQ(vfs_->Stat("/dir").error(), Errno::kENOENT);
+}
+
+TEST_F(VfsTest, OpenCreateWriteReadClose) {
+  auto fd = vfs_->Open("/file", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, BytesFromString("hello ")).ok());
+  ASSERT_TRUE(vfs_->Write(*fd, BytesFromString("world")).ok());
+  ASSERT_TRUE(vfs_->Seek(*fd, 0).ok());
+  auto data = vfs_->Read(*fd, 64);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(StringFromBytes(data.value()), "hello world");
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  EXPECT_EQ(vfs_->Close(*fd).code(), Errno::kEBADF);
+}
+
+TEST_F(VfsTest, OpenSemantics) {
+  EXPECT_EQ(vfs_->Open("/missing", kOpenRead).error(), Errno::kENOENT);
+  EXPECT_EQ(vfs_->Open("/x", 0).error(), Errno::kEINVAL);
+  ASSERT_TRUE(vfs_->Mkdir("/d").ok());
+  EXPECT_EQ(vfs_->Open("/d", kOpenRead).error(), Errno::kEISDIR);
+}
+
+TEST_F(VfsTest, SequentialOffsetAdvances) {
+  auto fd = vfs_->Open("/f", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, BytesFromString("abcdef")).ok());
+  ASSERT_TRUE(vfs_->Seek(*fd, 2).ok());
+  EXPECT_EQ(StringFromBytes(vfs_->Read(*fd, 2).value()), "cd");
+  EXPECT_EQ(StringFromBytes(vfs_->Read(*fd, 2).value()), "ef");
+  EXPECT_TRUE(vfs_->Read(*fd, 2)->empty());  // EOF
+}
+
+TEST_F(VfsTest, PositionalIoDoesNotMoveOffset) {
+  auto fd = vfs_->Open("/f", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Pwrite(*fd, 4, BytesFromString("pos")).ok());
+  EXPECT_EQ(StringFromBytes(vfs_->Pread(*fd, 4, 3).value()), "pos");
+  // Sequential offset still at 0.
+  auto head = vfs_->Read(*fd, 4);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->size(), 4u);
+  EXPECT_EQ((*head)[0], 0);
+}
+
+TEST_F(VfsTest, TruncateOnOpen) {
+  auto fd = vfs_->Open("/f", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, BytesFromString("0123456789")).ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  auto fd2 = vfs_->Open("/f", kOpenWrite | kOpenTrunc);
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_EQ(vfs_->Stat("/f")->size, 0u);
+  ASSERT_TRUE(vfs_->Close(*fd2).ok());
+}
+
+TEST_F(VfsTest, AppendMode) {
+  auto fd = vfs_->Open("/log", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, BytesFromString("one")).ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  auto fd2 = vfs_->Open("/log", kOpenWrite | kOpenAppend);
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(vfs_->Write(*fd2, BytesFromString("two")).ok());
+  ASSERT_TRUE(vfs_->Close(*fd2).ok());
+  EXPECT_EQ(vfs_->Stat("/log")->size, 6u);
+}
+
+TEST_F(VfsTest, ModeBitsEnforced) {
+  auto ro = vfs_->Open("/f", kOpenRead | kOpenCreate);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(vfs_->Write(*ro, BytesFromString("x")).code(), Errno::kEBADF);
+  auto wo = vfs_->Open("/f", kOpenWrite);
+  ASSERT_TRUE(wo.ok());
+  EXPECT_EQ(vfs_->Read(*wo, 1).error(), Errno::kEBADF);
+}
+
+TEST_F(VfsTest, FdLimit) {
+  Vfs small(2);
+  RamDisk disk(256, 8);
+  ASSERT_TRUE(small.Mount("/", MakeFs(disk)).ok());
+  auto a = small.Open("/a", kOpenWrite | kOpenCreate);
+  auto b = small.Open("/b", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(small.Open("/c", kOpenWrite | kOpenCreate).error(), Errno::kEMFILE);
+}
+
+TEST_F(VfsTest, MultipleMountsLongestPrefixWins) {
+  RamDisk disk2(256, 9);
+  ASSERT_TRUE(vfs_->Mkdir("/data").ok());
+  ASSERT_TRUE(vfs_->Mount("/data", MakeFs(disk2)).ok());
+  // Files under /data land on the second fs.
+  ASSERT_TRUE(vfs_->Mkdir("/data/inner").ok());
+  // The root fs does not see it.
+  auto root_names = vfs_->Readdir("/");
+  ASSERT_TRUE(root_names.ok());
+  // Root lists only the mountpoint directory we made on the root fs.
+  EXPECT_EQ(root_names.value(), std::vector<std::string>{"data"});
+  auto data_names = vfs_->Readdir("/data");
+  ASSERT_TRUE(data_names.ok());
+  EXPECT_EQ(data_names.value(), std::vector<std::string>{"inner"});
+  EXPECT_EQ(vfs_->Mountpoints().size(), 2u);
+}
+
+TEST_F(VfsTest, CrossMountRenameRejected) {
+  RamDisk disk2(256, 10);
+  ASSERT_TRUE(vfs_->Mkdir("/data").ok());
+  ASSERT_TRUE(vfs_->Mount("/data", MakeFs(disk2)).ok());
+  ASSERT_TRUE(vfs_->Open("/file", kOpenWrite | kOpenCreate).ok());
+  EXPECT_EQ(vfs_->Rename("/file", "/data/file").code(), Errno::kEXDEV);
+}
+
+TEST_F(VfsTest, UnmountBusyWithOpenFiles) {
+  RamDisk disk2(256, 12);
+  ASSERT_TRUE(vfs_->Mkdir("/data").ok());
+  ASSERT_TRUE(vfs_->Mount("/data", MakeFs(disk2)).ok());
+  auto fd = vfs_->Open("/data/f", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(vfs_->Unmount("/data").code(), Errno::kEBUSY);
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  EXPECT_TRUE(vfs_->Unmount("/data").ok());
+  EXPECT_EQ(vfs_->Unmount("/data").code(), Errno::kEINVAL);
+}
+
+TEST_F(VfsTest, SyncAllReachesEveryMount) {
+  RamDisk disk2(256, 13);
+  ASSERT_TRUE(vfs_->Mkdir("/data").ok());
+  auto fs2 = MakeFs(disk2);
+  ASSERT_TRUE(vfs_->Mount("/data", fs2).ok());
+  ASSERT_TRUE(vfs_->Open("/data/f", kOpenWrite | kOpenCreate).ok());
+  uint64_t syncs_before = fs2->stats().syncs;
+  ASSERT_TRUE(vfs_->SyncAll().ok());
+  EXPECT_GT(fs2->stats().syncs, syncs_before);
+}
+
+TEST_F(VfsTest, StatsCountDispatches) {
+  uint64_t before = vfs_->stats().dispatches;
+  ASSERT_TRUE(vfs_->Mkdir("/d").ok());
+  (void)vfs_->Stat("/d");
+  EXPECT_GE(vfs_->stats().dispatches, before + 2);
+}
+
+// The step-1 payoff: swap implementations behind a slot without touching the
+// calling code.
+TEST(VfsMigrationTest, SlotSwapsUnderCaller) {
+  LockRegistry::Get().ResetForTesting();
+  RamDisk disk_a(256, 20);
+  RamDisk disk_b(256, 21);
+  ImplementationSlot<FileSystem> slot("skern.FileSystem");
+  auto fs_a = SafeFs::Format(disk_a, 64, 16).value();
+  auto fs_b = SafeFs::Format(disk_b, 64, 16).value();
+  ASSERT_TRUE(fs_a->Create("/on-a").ok());
+  ASSERT_TRUE(fs_b->Create("/on-b").ok());
+  slot.Install("a", fs_a, SafetyLevel::kOwnershipSafe);
+  slot.Install("b", fs_b, SafetyLevel::kVerified);
+
+  auto caller = [&slot](const std::string& path) { return slot.Active()->Stat(path).ok(); };
+  EXPECT_TRUE(caller("/on-a"));
+  EXPECT_FALSE(caller("/on-b"));
+  ASSERT_TRUE(slot.SwitchTo("b").ok());
+  EXPECT_FALSE(caller("/on-a"));
+  EXPECT_TRUE(caller("/on-b"));
+}
+
+}  // namespace
+}  // namespace skern
