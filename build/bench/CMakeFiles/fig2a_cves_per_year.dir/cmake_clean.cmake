@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_cves_per_year.dir/fig2a_cves_per_year.cc.o"
+  "CMakeFiles/fig2a_cves_per_year.dir/fig2a_cves_per_year.cc.o.d"
+  "fig2a_cves_per_year"
+  "fig2a_cves_per_year.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_cves_per_year.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2a_cves_per_year.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_ext4_cdf.dir/fig2b_ext4_cdf.cc.o"
+  "CMakeFiles/fig2b_ext4_cdf.dir/fig2b_ext4_cdf.cc.o.d"
+  "fig2b_ext4_cdf"
+  "fig2b_ext4_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_ext4_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2b_ext4_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2b_ext4_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_bugs_per_loc.dir/fig2c_bugs_per_loc.cc.o"
+  "CMakeFiles/fig2c_bugs_per_loc.dir/fig2c_bugs_per_loc.cc.o.d"
+  "fig2c_bugs_per_loc"
+  "fig2c_bugs_per_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_bugs_per_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

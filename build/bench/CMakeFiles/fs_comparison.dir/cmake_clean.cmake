@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_comparison.dir/fs_comparison.cc.o"
+  "CMakeFiles/fs_comparison.dir/fs_comparison.cc.o.d"
+  "fs_comparison"
+  "fs_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_overhead.dir/modular_overhead.cc.o"
+  "CMakeFiles/modular_overhead.dir/modular_overhead.cc.o.d"
+  "modular_overhead"
+  "modular_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_modularity.dir/net_modularity.cc.o"
+  "CMakeFiles/net_modularity.dir/net_modularity.cc.o.d"
+  "net_modularity"
+  "net_modularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

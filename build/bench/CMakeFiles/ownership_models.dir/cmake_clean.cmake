@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ownership_models.dir/ownership_models.cc.o"
+  "CMakeFiles/ownership_models.dir/ownership_models.cc.o.d"
+  "ownership_models"
+  "ownership_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ownership_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

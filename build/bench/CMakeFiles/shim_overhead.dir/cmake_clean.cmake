@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shim_overhead.dir/shim_overhead.cc.o"
+  "CMakeFiles/shim_overhead.dir/shim_overhead.cc.o.d"
+  "shim_overhead"
+  "shim_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shim_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

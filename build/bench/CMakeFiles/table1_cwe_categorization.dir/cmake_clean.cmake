@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cwe_categorization.dir/table1_cwe_categorization.cc.o"
+  "CMakeFiles/table1_cwe_categorization.dir/table1_cwe_categorization.cc.o.d"
+  "table1_cwe_categorization"
+  "table1_cwe_categorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cwe_categorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typesafe_interfaces.dir/typesafe_interfaces.cc.o"
+  "CMakeFiles/typesafe_interfaces.dir/typesafe_interfaces.cc.o.d"
+  "typesafe_interfaces"
+  "typesafe_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typesafe_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_suites.dir/workload_suites.cc.o"
+  "CMakeFiles/workload_suites.dir/workload_suites.cc.o.d"
+  "workload_suites"
+  "workload_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cve_report.dir/cve_report.cpp.o"
+  "CMakeFiles/example_cve_report.dir/cve_report.cpp.o.d"
+  "cve_report"
+  "cve_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cve_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fs_migration.cpp" "examples/CMakeFiles/example_fs_migration.dir/fs_migration.cpp.o" "gcc" "examples/CMakeFiles/example_fs_migration.dir/fs_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/skern_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/skern_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/skern_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/skern_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/skern_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/ownership/CMakeFiles/skern_ownership.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/skern_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/skern_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fs_migration.dir/fs_migration.cpp.o"
+  "CMakeFiles/example_fs_migration.dir/fs_migration.cpp.o.d"
+  "fs_migration"
+  "fs_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fs_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_introspection.dir/introspection.cpp.o"
+  "CMakeFiles/example_introspection.dir/introspection.cpp.o.d"
+  "introspection"
+  "introspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

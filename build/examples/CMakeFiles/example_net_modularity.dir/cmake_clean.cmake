@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_net_modularity.dir/net_modularity.cpp.o"
+  "CMakeFiles/example_net_modularity.dir/net_modularity.cpp.o.d"
+  "net_modularity"
+  "net_modularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_net_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_base.dir/bytes.cc.o"
+  "CMakeFiles/skern_base.dir/bytes.cc.o.d"
+  "CMakeFiles/skern_base.dir/log.cc.o"
+  "CMakeFiles/skern_base.dir/log.cc.o.d"
+  "CMakeFiles/skern_base.dir/panic.cc.o"
+  "CMakeFiles/skern_base.dir/panic.cc.o.d"
+  "CMakeFiles/skern_base.dir/rng.cc.o"
+  "CMakeFiles/skern_base.dir/rng.cc.o.d"
+  "CMakeFiles/skern_base.dir/sim_clock.cc.o"
+  "CMakeFiles/skern_base.dir/sim_clock.cc.o.d"
+  "CMakeFiles/skern_base.dir/status.cc.o"
+  "CMakeFiles/skern_base.dir/status.cc.o.d"
+  "libskern_base.a"
+  "libskern_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

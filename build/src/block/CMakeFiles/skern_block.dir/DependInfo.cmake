@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/block_device.cc" "src/block/CMakeFiles/skern_block.dir/block_device.cc.o" "gcc" "src/block/CMakeFiles/skern_block.dir/block_device.cc.o.d"
+  "/root/repo/src/block/buffer_cache.cc" "src/block/CMakeFiles/skern_block.dir/buffer_cache.cc.o" "gcc" "src/block/CMakeFiles/skern_block.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/block/buffer_head.cc" "src/block/CMakeFiles/skern_block.dir/buffer_head.cc.o" "gcc" "src/block/CMakeFiles/skern_block.dir/buffer_head.cc.o.d"
+  "/root/repo/src/block/checked_block_device.cc" "src/block/CMakeFiles/skern_block.dir/checked_block_device.cc.o" "gcc" "src/block/CMakeFiles/skern_block.dir/checked_block_device.cc.o.d"
+  "/root/repo/src/block/journal.cc" "src/block/CMakeFiles/skern_block.dir/journal.cc.o" "gcc" "src/block/CMakeFiles/skern_block.dir/journal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/skern_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/skern_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/skern_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_block.dir/block_device.cc.o"
+  "CMakeFiles/skern_block.dir/block_device.cc.o.d"
+  "CMakeFiles/skern_block.dir/buffer_cache.cc.o"
+  "CMakeFiles/skern_block.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/skern_block.dir/buffer_head.cc.o"
+  "CMakeFiles/skern_block.dir/buffer_head.cc.o.d"
+  "CMakeFiles/skern_block.dir/checked_block_device.cc.o"
+  "CMakeFiles/skern_block.dir/checked_block_device.cc.o.d"
+  "CMakeFiles/skern_block.dir/journal.cc.o"
+  "CMakeFiles/skern_block.dir/journal.cc.o.d"
+  "libskern_block.a"
+  "libskern_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/landscape.cc" "src/core/CMakeFiles/skern_core.dir/landscape.cc.o" "gcc" "src/core/CMakeFiles/skern_core.dir/landscape.cc.o.d"
+  "/root/repo/src/core/module.cc" "src/core/CMakeFiles/skern_core.dir/module.cc.o" "gcc" "src/core/CMakeFiles/skern_core.dir/module.cc.o.d"
+  "/root/repo/src/core/safety_level.cc" "src/core/CMakeFiles/skern_core.dir/safety_level.cc.o" "gcc" "src/core/CMakeFiles/skern_core.dir/safety_level.cc.o.d"
+  "/root/repo/src/core/shim.cc" "src/core/CMakeFiles/skern_core.dir/shim.cc.o" "gcc" "src/core/CMakeFiles/skern_core.dir/shim.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/skern_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/skern_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/skern_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

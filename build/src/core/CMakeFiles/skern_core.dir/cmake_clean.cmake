@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_core.dir/landscape.cc.o"
+  "CMakeFiles/skern_core.dir/landscape.cc.o.d"
+  "CMakeFiles/skern_core.dir/module.cc.o"
+  "CMakeFiles/skern_core.dir/module.cc.o.d"
+  "CMakeFiles/skern_core.dir/safety_level.cc.o"
+  "CMakeFiles/skern_core.dir/safety_level.cc.o.d"
+  "CMakeFiles/skern_core.dir/shim.cc.o"
+  "CMakeFiles/skern_core.dir/shim.cc.o.d"
+  "CMakeFiles/skern_core.dir/workload.cc.o"
+  "CMakeFiles/skern_core.dir/workload.cc.o.d"
+  "libskern_core.a"
+  "libskern_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

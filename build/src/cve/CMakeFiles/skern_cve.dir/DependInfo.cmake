@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cve/analysis.cc" "src/cve/CMakeFiles/skern_cve.dir/analysis.cc.o" "gcc" "src/cve/CMakeFiles/skern_cve.dir/analysis.cc.o.d"
+  "/root/repo/src/cve/corpus.cc" "src/cve/CMakeFiles/skern_cve.dir/corpus.cc.o" "gcc" "src/cve/CMakeFiles/skern_cve.dir/corpus.cc.o.d"
+  "/root/repo/src/cve/cwe.cc" "src/cve/CMakeFiles/skern_cve.dir/cwe.cc.o" "gcc" "src/cve/CMakeFiles/skern_cve.dir/cwe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/skern_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

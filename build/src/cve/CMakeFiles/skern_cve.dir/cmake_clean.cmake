@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_cve.dir/analysis.cc.o"
+  "CMakeFiles/skern_cve.dir/analysis.cc.o.d"
+  "CMakeFiles/skern_cve.dir/corpus.cc.o"
+  "CMakeFiles/skern_cve.dir/corpus.cc.o.d"
+  "CMakeFiles/skern_cve.dir/cwe.cc.o"
+  "CMakeFiles/skern_cve.dir/cwe.cc.o.d"
+  "libskern_cve.a"
+  "libskern_cve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_cve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_faultinject.dir/harness.cc.o"
+  "CMakeFiles/skern_faultinject.dir/harness.cc.o.d"
+  "libskern_faultinject.a"
+  "libskern_faultinject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/layout.cc" "src/fs/CMakeFiles/skern_fs.dir/layout.cc.o" "gcc" "src/fs/CMakeFiles/skern_fs.dir/layout.cc.o.d"
+  "/root/repo/src/fs/legacyfs/legacyfs.cc" "src/fs/CMakeFiles/skern_fs.dir/legacyfs/legacyfs.cc.o" "gcc" "src/fs/CMakeFiles/skern_fs.dir/legacyfs/legacyfs.cc.o.d"
+  "/root/repo/src/fs/memfs/memfs.cc" "src/fs/CMakeFiles/skern_fs.dir/memfs/memfs.cc.o" "gcc" "src/fs/CMakeFiles/skern_fs.dir/memfs/memfs.cc.o.d"
+  "/root/repo/src/fs/procfs/procfs.cc" "src/fs/CMakeFiles/skern_fs.dir/procfs/procfs.cc.o" "gcc" "src/fs/CMakeFiles/skern_fs.dir/procfs/procfs.cc.o.d"
+  "/root/repo/src/fs/safefs/safefs.cc" "src/fs/CMakeFiles/skern_fs.dir/safefs/safefs.cc.o" "gcc" "src/fs/CMakeFiles/skern_fs.dir/safefs/safefs.cc.o.d"
+  "/root/repo/src/fs/specfs/specfs.cc" "src/fs/CMakeFiles/skern_fs.dir/specfs/specfs.cc.o" "gcc" "src/fs/CMakeFiles/skern_fs.dir/specfs/specfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/skern_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/skern_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/skern_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ownership/CMakeFiles/skern_ownership.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/skern_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/skern_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/skern_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_fs.dir/layout.cc.o"
+  "CMakeFiles/skern_fs.dir/layout.cc.o.d"
+  "CMakeFiles/skern_fs.dir/legacyfs/legacyfs.cc.o"
+  "CMakeFiles/skern_fs.dir/legacyfs/legacyfs.cc.o.d"
+  "CMakeFiles/skern_fs.dir/memfs/memfs.cc.o"
+  "CMakeFiles/skern_fs.dir/memfs/memfs.cc.o.d"
+  "CMakeFiles/skern_fs.dir/procfs/procfs.cc.o"
+  "CMakeFiles/skern_fs.dir/procfs/procfs.cc.o.d"
+  "CMakeFiles/skern_fs.dir/safefs/safefs.cc.o"
+  "CMakeFiles/skern_fs.dir/safefs/safefs.cc.o.d"
+  "CMakeFiles/skern_fs.dir/specfs/specfs.cc.o"
+  "CMakeFiles/skern_fs.dir/specfs/specfs.cc.o.d"
+  "libskern_fs.a"
+  "libskern_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

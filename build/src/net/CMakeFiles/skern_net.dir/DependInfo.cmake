@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/skern_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/skern_net.dir/network.cc.o.d"
+  "/root/repo/src/net/stack_modular.cc" "src/net/CMakeFiles/skern_net.dir/stack_modular.cc.o" "gcc" "src/net/CMakeFiles/skern_net.dir/stack_modular.cc.o.d"
+  "/root/repo/src/net/stack_monolithic.cc" "src/net/CMakeFiles/skern_net.dir/stack_monolithic.cc.o" "gcc" "src/net/CMakeFiles/skern_net.dir/stack_monolithic.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/skern_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/skern_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/skern_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

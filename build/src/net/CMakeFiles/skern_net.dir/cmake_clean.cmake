@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_net.dir/network.cc.o"
+  "CMakeFiles/skern_net.dir/network.cc.o.d"
+  "CMakeFiles/skern_net.dir/stack_modular.cc.o"
+  "CMakeFiles/skern_net.dir/stack_modular.cc.o.d"
+  "CMakeFiles/skern_net.dir/stack_monolithic.cc.o"
+  "CMakeFiles/skern_net.dir/stack_monolithic.cc.o.d"
+  "CMakeFiles/skern_net.dir/tcp.cc.o"
+  "CMakeFiles/skern_net.dir/tcp.cc.o.d"
+  "libskern_net.a"
+  "libskern_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

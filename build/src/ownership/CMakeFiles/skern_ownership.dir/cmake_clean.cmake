@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_ownership.dir/leak_detector.cc.o"
+  "CMakeFiles/skern_ownership.dir/leak_detector.cc.o.d"
+  "CMakeFiles/skern_ownership.dir/ownership.cc.o"
+  "CMakeFiles/skern_ownership.dir/ownership.cc.o.d"
+  "libskern_ownership.a"
+  "libskern_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for skern_ownership.
+# This may be replaced when dependencies are built.

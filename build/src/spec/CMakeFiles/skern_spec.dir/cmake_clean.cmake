@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_spec.dir/fs_model.cc.o"
+  "CMakeFiles/skern_spec.dir/fs_model.cc.o.d"
+  "CMakeFiles/skern_spec.dir/refinement.cc.o"
+  "CMakeFiles/skern_spec.dir/refinement.cc.o.d"
+  "CMakeFiles/skern_spec.dir/trace.cc.o"
+  "CMakeFiles/skern_spec.dir/trace.cc.o.d"
+  "libskern_spec.a"
+  "libskern_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

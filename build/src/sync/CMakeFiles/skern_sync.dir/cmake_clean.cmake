@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_sync.dir/lock_registry.cc.o"
+  "CMakeFiles/skern_sync.dir/lock_registry.cc.o.d"
+  "libskern_sync.a"
+  "libskern_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

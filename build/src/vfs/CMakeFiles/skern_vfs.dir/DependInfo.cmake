@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/legacy_adapter.cc" "src/vfs/CMakeFiles/skern_vfs.dir/legacy_adapter.cc.o" "gcc" "src/vfs/CMakeFiles/skern_vfs.dir/legacy_adapter.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "src/vfs/CMakeFiles/skern_vfs.dir/vfs.cc.o" "gcc" "src/vfs/CMakeFiles/skern_vfs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/skern_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/skern_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/skern_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

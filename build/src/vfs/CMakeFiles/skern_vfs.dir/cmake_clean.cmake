@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skern_vfs.dir/legacy_adapter.cc.o"
+  "CMakeFiles/skern_vfs.dir/legacy_adapter.cc.o.d"
+  "CMakeFiles/skern_vfs.dir/vfs.cc.o"
+  "CMakeFiles/skern_vfs.dir/vfs.cc.o.d"
+  "libskern_vfs.a"
+  "libskern_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skern_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

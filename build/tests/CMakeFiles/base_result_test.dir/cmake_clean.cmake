@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_result_test.dir/base_result_test.cc.o"
+  "CMakeFiles/base_result_test.dir/base_result_test.cc.o.d"
+  "base_result_test"
+  "base_result_test.pdb"
+  "base_result_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_test.dir/cve_test.cc.o"
+  "CMakeFiles/cve_test.dir/cve_test.cc.o.d"
+  "cve_test"
+  "cve_test.pdb"
+  "cve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

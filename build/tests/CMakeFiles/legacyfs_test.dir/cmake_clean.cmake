@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacyfs_test.dir/legacyfs_test.cc.o"
+  "CMakeFiles/legacyfs_test.dir/legacyfs_test.cc.o.d"
+  "legacyfs_test"
+  "legacyfs_test.pdb"
+  "legacyfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacyfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

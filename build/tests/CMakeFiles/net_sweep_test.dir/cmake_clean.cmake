@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_sweep_test.dir/net_sweep_test.cc.o"
+  "CMakeFiles/net_sweep_test.dir/net_sweep_test.cc.o.d"
+  "net_sweep_test"
+  "net_sweep_test.pdb"
+  "net_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ownership_property_test.dir/ownership_property_test.cc.o"
+  "CMakeFiles/ownership_property_test.dir/ownership_property_test.cc.o.d"
+  "ownership_property_test"
+  "ownership_property_test.pdb"
+  "ownership_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ownership_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

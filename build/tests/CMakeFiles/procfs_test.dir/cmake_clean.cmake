@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procfs_test.dir/procfs_test.cc.o"
+  "CMakeFiles/procfs_test.dir/procfs_test.cc.o.d"
+  "procfs_test"
+  "procfs_test.pdb"
+  "procfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

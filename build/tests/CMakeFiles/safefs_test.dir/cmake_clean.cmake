@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safefs_test.dir/safefs_test.cc.o"
+  "CMakeFiles/safefs_test.dir/safefs_test.cc.o.d"
+  "safefs_test"
+  "safefs_test.pdb"
+  "safefs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safefs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

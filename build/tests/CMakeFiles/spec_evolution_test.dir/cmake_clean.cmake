@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_evolution_test.dir/spec_evolution_test.cc.o"
+  "CMakeFiles/spec_evolution_test.dir/spec_evolution_test.cc.o.d"
+  "spec_evolution_test"
+  "spec_evolution_test.pdb"
+  "spec_evolution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_evolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_fs_model_test.dir/spec_fs_model_test.cc.o"
+  "CMakeFiles/spec_fs_model_test.dir/spec_fs_model_test.cc.o.d"
+  "spec_fs_model_test"
+  "spec_fs_model_test.pdb"
+  "spec_fs_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_fs_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfs_test.dir/specfs_test.cc.o"
+  "CMakeFiles/specfs_test.dir/specfs_test.cc.o.d"
+  "specfs_test"
+  "specfs_test.pdb"
+  "specfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_result_test[1]_include.cmake")
+include("/root/repo/build/tests/base_util_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/ownership_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_fs_model_test[1]_include.cmake")
+include("/root/repo/build/tests/refinement_test[1]_include.cmake")
+include("/root/repo/build/tests/block_device_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/safefs_test[1]_include.cmake")
+include("/root/repo/build/tests/legacyfs_test[1]_include.cmake")
+include("/root/repo/build/tests/specfs_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/cve_test[1]_include.cmake")
+include("/root/repo/build/tests/faultinject_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_state_test[1]_include.cmake")
+include("/root/repo/build/tests/procfs_test[1]_include.cmake")
+include("/root/repo/build/tests/ownership_property_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_evolution_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/net_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_cache_concurrency_test[1]_include.cmake")
