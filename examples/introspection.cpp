@@ -7,11 +7,16 @@
 #include <cstdio>
 
 #include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
 #include "src/block/checked_block_device.h"
 #include "src/core/module.h"
+#include "src/fs/legacyfs/legacyfs.h"
 #include "src/fs/procfs/procfs.h"
 #include "src/fs/safefs/safefs.h"
 #include "src/fs/specfs/specfs.h"
+#include "src/net/network.h"
+#include "src/net/stack_modular.h"
+#include "src/obs/trace.h"
 #include "src/ownership/owned.h"
 #include "src/vfs/vfs.h"
 
@@ -42,6 +47,9 @@ void Cat(Vfs& vfs, const std::string& path) {
 int main() {
   RegisterBuiltinModules();
 
+  // Collect a trace of everything below; /proc/trace shows the merged stream.
+  obs::TraceSession::Get().Start();
+
   // The full checked stack: axiom-shimmed device, safefs, refinement layer.
   RamDisk disk(512, 1);
   CheckedBlockDevice checked(disk);
@@ -53,12 +61,26 @@ int main() {
   SKERN_CHECK(vfs.Mkdir("/proc").ok());
   SKERN_CHECK(vfs.Mount("/proc", std::make_shared<ProcFs>()).ok());
 
+  // A legacy fs rides along at /legacy: its buffer cache feeds the block.*
+  // metrics.
+  RamDisk legacy_disk(256, 2);
+  BufferCache legacy_cache(legacy_disk, 16);
+  FsGeometry geo = MakeGeometry(256, 64, 0);
+  SKERN_CHECK(vfs.Mkdir("/legacy").ok());
+  SKERN_CHECK(vfs.Mount("/legacy", MakeLegacyFs(legacy_cache, &geo, true)).ok());
+
   // Generate some activity for the counters.
   for (int i = 0; i < 10; ++i) {
     std::string path = "/file" + std::to_string(i);
     auto fd = vfs.Open(path, kOpenWrite | kOpenCreate);
     SKERN_CHECK(fd.ok());
     SKERN_CHECK(vfs.Write(*fd, BytesFromString("introspection payload")).ok());
+    SKERN_CHECK(vfs.Close(*fd).ok());
+    std::string legacy_path = "/legacy/file" + std::to_string(i);
+    fd = vfs.Open(legacy_path, kOpenRead | kOpenWrite | kOpenCreate);
+    SKERN_CHECK(fd.ok());
+    SKERN_CHECK(vfs.Write(*fd, BytesFromString("legacy payload")).ok());
+    (void)vfs.Pread(*fd, 0, 16);
     SKERN_CHECK(vfs.Close(*fd).ok());
   }
   SKERN_CHECK(vfs.SyncAll().ok());
@@ -72,11 +94,37 @@ int main() {
     (void)cell.Get();  // owner access during an exclusive lend: flagged
   }
 
+  // Push some packets through the simulated network so the net.* metrics
+  // have live values: one TCP echo over the modular stack.
+  {
+    SimClock clock;
+    Network network(clock);
+    auto client = MakeStandardModularStack(clock, network, /*ip=*/1);
+    auto server = MakeStandardModularStack(clock, network, /*ip=*/2);
+    auto ls = server->Socket(kProtoTcp);
+    SKERN_CHECK(ls.ok() && server->Bind(*ls, 80).ok() && server->Listen(*ls).ok());
+    auto cs = client->Socket(kProtoTcp);
+    SKERN_CHECK(cs.ok() && client->Connect(*cs, NetAddr{2, 80}).ok());
+    clock.Advance(100 * kMillisecond);
+    auto conn = server->Accept(*ls);
+    SKERN_CHECK(conn.ok());
+    SKERN_CHECK(client->Send(*cs, BytesFromString("introspect")).ok());
+    clock.Advance(100 * kMillisecond);
+    auto echoed = server->Recv(*conn, 64);
+    SKERN_CHECK(echoed.ok() && server->Send(*conn, ByteView(echoed.value())).ok());
+    clock.Advance(100 * kMillisecond);
+  }
+
+  obs::TraceSession::Get().Stop();
+
   Cat(vfs, "/proc/modules");
   Cat(vfs, "/proc/ownership");
   Cat(vfs, "/proc/refinement");
   Cat(vfs, "/proc/shims");
   Cat(vfs, "/proc/locks");
+  Cat(vfs, "/proc/metrics");
+  Cat(vfs, "/proc/log");
+  Cat(vfs, "/proc/trace");
 
   std::printf("(writes to /proc are refused: creating /proc/x -> %s)\n",
               vfs.Open("/proc/x", kOpenWrite | kOpenCreate).status().ToString().c_str());

@@ -5,12 +5,25 @@
 #include <cstdio>
 #include <mutex>
 
+#include "src/obs/metrics.h"
+
 namespace skern {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::array<std::atomic<uint64_t>, 4> g_counts{};
 std::mutex g_emit_mutex;
+
+// Per-level emission counters live in the metrics registry ("log.messages.*")
+// so /metrics and /log report the same numbers LogCount() does.
+obs::Counter& LevelCounter(LogLevel level) {
+  static std::array<obs::Counter*, 4> counters = {
+      &obs::MetricsRegistry::Get().GetCounter("log.messages.debug"),
+      &obs::MetricsRegistry::Get().GetCounter("log.messages.info"),
+      &obs::MetricsRegistry::Get().GetCounter("log.messages.warn"),
+      &obs::MetricsRegistry::Get().GetCounter("log.messages.error"),
+  };
+  return *counters[static_cast<size_t>(level)];
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -32,6 +45,22 @@ const char* LevelTag(LogLevel level) {
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kNone:
+      return "none";
+  }
+  return "?";
+}
+
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 uint64_t LogCount(LogLevel level) {
@@ -39,7 +68,7 @@ uint64_t LogCount(LogLevel level) {
   if (idx < 0 || idx > 3) {
     return 0;
   }
-  return g_counts[static_cast<size_t>(idx)].load(std::memory_order_relaxed);
+  return LevelCounter(level).Value();
 }
 
 namespace internal {
@@ -51,7 +80,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 LogMessage::~LogMessage() {
   int idx = static_cast<int>(level_);
   if (idx >= 0 && idx <= 3) {
-    g_counts[static_cast<size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+    LevelCounter(level_).Inc();
   }
   std::lock_guard<std::mutex> guard(g_emit_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());

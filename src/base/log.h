@@ -22,7 +22,12 @@ enum class LogLevel : int8_t {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
-// Counts messages emitted per level (diagnosable in tests).
+// Lowercase level name ("warn"), for /log and diagnostics.
+const char* LogLevelName(LogLevel level);
+
+// Counts messages emitted per level (diagnosable in tests). Backed by the
+// metrics registry ("log.messages.<level>"), so /metrics shows the same
+// numbers.
 uint64_t LogCount(LogLevel level);
 
 namespace internal {

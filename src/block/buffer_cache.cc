@@ -4,6 +4,8 @@
 
 #include "src/base/log.h"
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace skern {
 namespace {
@@ -60,6 +62,8 @@ void BufferCache::EvictIfNeededLocked() {
       }
     }
     ++stats_.evictions;
+    SKERN_COUNTER_INC("block.cache.evictions");
+    SKERN_TRACE("block", "cache_evict", victim->blocknr);
     buffers_.erase(victim->blocknr);
   }
 }
@@ -69,6 +73,8 @@ BufferHead* BufferCache::GetBlock(uint64_t block) {
   auto it = buffers_.find(block);
   if (it != buffers_.end()) {
     ++stats_.hits;
+    SKERN_COUNTER_INC("block.cache.hits");
+    SKERN_TRACE("block", "cache_hit", block);
     BufferHead* bh = it->second.get();
     if (bh->refcount.fetch_add(1, std::memory_order_acq_rel) == 0 && bh->lru_node.linked()) {
       lru_.Remove(bh);
@@ -76,6 +82,8 @@ BufferHead* BufferCache::GetBlock(uint64_t block) {
     return bh;
   }
   ++stats_.misses;
+  SKERN_COUNTER_INC("block.cache.misses");
+  SKERN_TRACE("block", "cache_miss", block);
   EvictIfNeededLocked();
   // A cached buffer always has a disk mapping in this substrate.
   auto bh = std::make_unique<BufferHead>(block, static_cast<uint32_t>(BhFlag::kMapped));
@@ -152,6 +160,8 @@ Status BufferCache::WriteBackLocked(BufferHead* bh) {
   }
   bh->Clear(BhFlag::kWriteEio);
   ++stats_.writebacks;
+  SKERN_COUNTER_INC("block.cache.writebacks");
+  SKERN_TRACE("block", "writeback", bh->blocknr);
   ValidateTransition(bh, "WriteBack/complete");
   return Status::Ok();
 }

@@ -1,6 +1,8 @@
 #include "src/block/journal.h"
 
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace skern {
 namespace {
@@ -76,6 +78,7 @@ Status Journal::Format() {
 }
 
 Status Journal::Commit(Tx&& tx) {
+  SKERN_TIMED_SCOPE("journal.commit.latency_ns");
   if (tx.blocks_.empty()) {
     return Status::Ok();
   }
@@ -134,6 +137,9 @@ Status Journal::Commit(Tx&& tx) {
 
   ++stats_.commits;
   stats_.blocks_journaled += tx.blocks_.size();
+  SKERN_COUNTER_INC("journal.commits");
+  SKERN_COUNTER_ADD("journal.blocks_journaled", tx.blocks_.size());
+  SKERN_TRACE("journal", "commit", txid, tx.blocks_.size());
   return Status::Ok();
 }
 
@@ -195,6 +201,8 @@ Status Journal::Recover() {
   sequence_ = txid + 1;
   SKERN_RETURN_IF_ERROR(WriteSuperblock());
   ++stats_.replays;
+  SKERN_COUNTER_INC("journal.replays");
+  SKERN_TRACE("journal", "replay", txid, count);
   return Status::Ok();
 }
 

@@ -1,6 +1,9 @@
 #include "src/core/shim.h"
 
+#include <atomic>
+
 #include "src/base/panic.h"
+#include "src/obs/trace.h"
 
 namespace skern {
 namespace {
@@ -9,30 +12,41 @@ std::atomic<ShimMode> g_shim_mode{ShimMode::kEnforcing};
 
 }  // namespace
 
+ShimStats::ShimStats()
+    : validations_(obs::MetricsRegistry::Get().GetCounter("shim.validations")),
+      violations_total_(obs::MetricsRegistry::Get().GetCounter("shim.violations")) {}
+
 ShimStats& ShimStats::Get() {
   static ShimStats* stats = new ShimStats();
   return *stats;
 }
 
 void ShimStats::RecordViolation(const ShimViolation& v) {
+  violations_total_.Inc();
   std::lock_guard<std::mutex> guard(mutex_);
+  if (violations_.size() >= kMaxRecordedViolations) {
+    violations_.pop_front();
+    ++dropped_;
+  }
   violations_.push_back(v);
-}
-
-uint64_t ShimStats::violation_count() const {
-  std::lock_guard<std::mutex> guard(mutex_);
-  return violations_.size();
 }
 
 std::vector<ShimViolation> ShimStats::Violations() const {
   std::lock_guard<std::mutex> guard(mutex_);
-  return violations_;
+  return std::vector<ShimViolation>(violations_.begin(), violations_.end());
+}
+
+uint64_t ShimStats::violations_dropped() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return dropped_;
 }
 
 void ShimStats::ResetForTesting() {
-  validations_.store(0, std::memory_order_relaxed);
+  validations_.ResetForTesting();
+  violations_total_.ResetForTesting();
   std::lock_guard<std::mutex> guard(mutex_);
   violations_.clear();
+  dropped_ = 0;
 }
 
 ShimMode GetShimMode() { return g_shim_mode.load(std::memory_order_relaxed); }
@@ -52,6 +66,7 @@ void Shim::Check(bool holds, const char* axiom, const std::string& detail) const
   if (holds) {
     return;
   }
+  SKERN_TRACE("shim", "violation");
   ShimStats::Get().RecordViolation(ShimViolation{name_, axiom, detail});
   if (mode == ShimMode::kEnforcing) {
     Panic("shim '" + name_ + "' axiom broken: " + axiom + (detail.empty() ? "" : ": " + detail));

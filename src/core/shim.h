@@ -15,12 +15,14 @@
 #ifndef SKERN_SRC_CORE_SHIM_H_
 #define SKERN_SRC_CORE_SHIM_H_
 
-#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace skern {
 
@@ -30,26 +32,38 @@ struct ShimViolation {
   std::string detail;
 };
 
-// Process-wide shim accounting.
+// Process-wide shim accounting. Counters live in the metrics registry
+// ("shim.validations" / "shim.violations"), so /metrics reports them too.
+// The recorded violation details are capped at kMaxRecordedViolations —
+// recording mode under sustained violations keeps only the most recent
+// window plus a count of how many were dropped.
 class ShimStats {
  public:
+  // Most recent violation records retained (counters are never capped).
+  static constexpr size_t kMaxRecordedViolations = 64;
+
   static ShimStats& Get();
 
-  void RecordValidation() { validations_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordValidation() { validations_.Inc(); }
   void RecordViolation(const ShimViolation& v);
 
-  uint64_t validations() const { return validations_.load(std::memory_order_relaxed); }
-  uint64_t violation_count() const;
+  uint64_t validations() const { return validations_.Value(); }
+  uint64_t violation_count() const { return violations_total_.Value(); }
+  // The retained window, oldest first (at most kMaxRecordedViolations).
   std::vector<ShimViolation> Violations() const;
+  // Violations whose details were discarded to honor the cap.
+  uint64_t violations_dropped() const;
 
   void ResetForTesting();
 
  private:
-  ShimStats() = default;
+  ShimStats();
 
-  std::atomic<uint64_t> validations_{0};
+  obs::Counter& validations_;
+  obs::Counter& violations_total_;
   mutable std::mutex mutex_;
-  std::vector<ShimViolation> violations_;
+  std::deque<ShimViolation> violations_;
+  uint64_t dropped_ = 0;
 };
 
 enum class ShimMode : uint8_t {

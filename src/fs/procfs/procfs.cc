@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/base/log.h"
 #include "src/core/landscape.h"
 #include "src/core/module.h"
 #include "src/core/shim.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ownership/ownership.h"
 #include "src/spec/fs_model.h"
 #include "src/spec/refinement.h"
@@ -64,6 +67,28 @@ std::string LocksText() {
   return os.str();
 }
 
+std::string MetricsText() { return obs::MetricsRegistry::Get().RenderText(); }
+
+std::string TraceText() {
+  auto& session = obs::TraceSession::Get();
+  std::ostringstream os;
+  os << "session " << (session.active() ? "active" : "stopped") << "\n";
+  os << "dropped " << session.dropped() << "\n";
+  // Peek, don't consume: reading /trace should not race collection away from
+  // a concurrent drainer.
+  os << obs::RenderTraceText(session.Drain(/*consume=*/false));
+  return os.str();
+}
+
+std::string LogText() {
+  std::ostringstream os;
+  os << "level " << LogLevelName(GetLogLevel()) << "\n";
+  for (auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError}) {
+    os << LogLevelName(level) << " " << LogCount(level) << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace
 
 ProcFs::ProcFs() {
@@ -73,6 +98,9 @@ ProcFs::ProcFs() {
   AddEntry("shims", ShimsText);
   AddEntry("locks", LocksText);
   AddEntry("landscape", [] { return RenderLandscapeTable(); });
+  AddEntry("metrics", MetricsText);
+  AddEntry("trace", TraceText);
+  AddEntry("log", LogText);
 }
 
 void ProcFs::AddEntry(const std::string& name, std::function<std::string()> generator) {

@@ -3,6 +3,9 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace skern {
 
 std::string Packet::Describe() const {
@@ -35,18 +38,26 @@ void Network::Attach(uint32_t ip, PacketHandler handler) {
 
 void Network::Send(Packet packet) {
   ++stats_.sent;
+  SKERN_COUNTER_INC("net.wire.packets_sent");
+  SKERN_TRACE("net", "packet_send", packet.proto, packet.dst_port);
   if (drop_rate_ > 0.0 && rng_.NextBool(drop_rate_)) {
     ++stats_.dropped;
+    SKERN_COUNTER_INC("net.wire.packets_dropped");
+    SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
     return;
   }
   auto it = handlers_.find(packet.dst_ip);
   if (it == handlers_.end()) {
     ++stats_.dropped;
+    SKERN_COUNTER_INC("net.wire.packets_dropped");
+    SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
     return;
   }
   PacketHandler& handler = it->second;
   clock_.ScheduleAfter(delay_, [this, &handler, pkt = std::move(packet)]() {
     ++stats_.delivered;
+    SKERN_COUNTER_INC("net.wire.packets_delivered");
+    SKERN_TRACE("net", "packet_deliver", pkt.proto, pkt.dst_port);
     handler(pkt);
   });
 }

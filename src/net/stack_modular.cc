@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "src/net/tcp.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace skern {
 
@@ -84,6 +86,7 @@ Status ModularNetStack::Connect(SocketId s, NetAddr remote) {
 }
 
 Status ModularNetStack::Send(SocketId s, ByteView data) {
+  SKERN_COUNTER_INC("net.modular.socket.sends");
   Entry* e = Find(s);
   if (e == nullptr) {
     return Status::Error(Errno::kEBADF);
@@ -92,6 +95,7 @@ Status ModularNetStack::Send(SocketId s, ByteView data) {
 }
 
 Result<Bytes> ModularNetStack::Recv(SocketId s, uint64_t max) {
+  SKERN_COUNTER_INC("net.modular.socket.recvs");
   Entry* e = Find(s);
   if (e == nullptr) {
     return Errno::kEBADF;
@@ -126,11 +130,15 @@ Status ModularNetStack::Close(SocketId s) {
 }
 
 void ModularNetStack::OnPacket(const Packet& packet) {
+  SKERN_COUNTER_INC("net.modular.dispatch.packets");
   auto it = registry_.find(packet.proto);
   if (it != registry_.end()) {
+    SKERN_TRACE("net", "modular_dispatch", packet.proto, packet.dst_port);
     it->second->OnPacket(packet);
+    return;
   }
   // Unknown protocol: no module registered, silently dropped.
+  SKERN_COUNTER_INC("net.modular.dispatch.unknown_proto");
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,9 @@
 
 #include <tuple>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace skern {
 
 MonoNetStack::MonoNetStack(SimClock& clock, Network& network, uint32_t ip)
@@ -113,6 +116,7 @@ Status MonoNetStack::Connect(SocketId s, NetAddr remote) {
 }
 
 Status MonoNetStack::Send(SocketId s, ByteView data) {
+  SKERN_COUNTER_INC("net.mono.socket.sends");
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Status::Error(Errno::kEBADF);
@@ -125,6 +129,7 @@ Status MonoNetStack::Send(SocketId s, ByteView data) {
 }
 
 Result<Bytes> MonoNetStack::Recv(SocketId s, uint64_t max) {
+  SKERN_COUNTER_INC("net.mono.socket.recvs");
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Errno::kEBADF;
@@ -204,6 +209,8 @@ Status MonoNetStack::Close(SocketId s) {
 }
 
 void MonoNetStack::OnPacket(const Packet& packet) {
+  SKERN_COUNTER_INC("net.mono.dispatch.packets");
+  SKERN_TRACE("net", "mono_dispatch", packet.proto, packet.dst_port);
   // The demux: one function that knows every protocol's internals.
   if (packet.proto == kProtoTcp) {
     auto conn_it = tcp_conns_.find({packet.dst_port, packet.src_ip, packet.src_port});

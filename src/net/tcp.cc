@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace skern {
 
@@ -80,6 +82,7 @@ void TcpConnection::EmitSegment(uint8_t flags, uint32_t seq, ByteView payload) {
   pkt.payload = payload.ToBytes();
   ++stats_.segments_sent;
   stats_.bytes_sent += payload.size();
+  SKERN_COUNTER_INC("net.tcp.segments_sent");
   send_(std::move(pkt));
 }
 
@@ -186,6 +189,8 @@ void TcpConnection::OnTimeout() {
     return;
   }
   ++stats_.retransmits;
+  SKERN_COUNTER_INC("net.tcp.retransmits");
+  SKERN_TRACE("net", "tcp_retransmit", snd_una_, rto_);
   rto_ = std::min<SimTime>(rto_ * 2, 10 * kSecond);
   // Retransmit from snd_una: control segments first, then the oldest data.
   if (state_ == TcpState::kSynSent) {

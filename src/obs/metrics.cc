@@ -1,0 +1,195 @@
+#include "src/obs/metrics.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace skern {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_latency_timing{true};
+
+// Lower bound of bucket b (inclusive). Bucket 0 is the value 0.
+uint64_t BucketLow(size_t b) { return b == 0 ? 0 : (1ull << (b - 1)); }
+
+// Upper bound of bucket b (inclusive, for interpolation purposes).
+uint64_t BucketHigh(size_t b) {
+  if (b == 0) {
+    return 0;
+  }
+  if (b >= 64) {
+    return ~0ull;
+  }
+  return (1ull << b) - 1;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool LatencyTimingEnabled() { return g_latency_timing.load(std::memory_order_relaxed); }
+
+void SetLatencyTimingEnabled(bool enabled) {
+  g_latency_timing.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+uint64_t Histogram::Quantile(const std::array<uint64_t, kBuckets>& buckets,
+                             uint64_t count, double q) {
+  if (count == 0) {
+    return 0;
+  }
+  // Rank of the target observation, 1-based, clamped to [1, count].
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count) + 0.5);
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > count) {
+    rank = count;
+  }
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    if (seen + buckets[b] >= rank) {
+      // Interpolate linearly within the bucket.
+      uint64_t into = rank - seen;  // 1..buckets[b]
+      uint64_t low = BucketLow(b);
+      uint64_t high = BucketHigh(b);
+      double frac = static_cast<double>(into) / static_cast<double>(buckets[b]);
+      return low + static_cast<uint64_t>(frac * static_cast<double>(high - low));
+    }
+    seen += buckets[b];
+  }
+  return BucketHigh(kBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[b];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.p50 = Quantile(snap.buckets, snap.count, 0.50);
+  snap.p95 = Quantile(snap.buckets, snap.count, 0.95);
+  snap.p99 = Quantile(snap.buckets, snap.count, 0.99);
+  return snap;
+}
+
+void Histogram::ResetForTesting() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  // Merge the three kinds into one name-sorted listing.
+  std::map<std::string, std::string> lines;
+  for (const auto& [name, counter] : counters_) {
+    lines[name] = name + " " + std::to_string(counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    lines[name] = name + " " + std::to_string(gauge->Value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    auto snap = hist->GetSnapshot();
+    std::ostringstream os;
+    os << name << " count=" << snap.count << " sum=" << snap.sum << " p50=" << snap.p50
+       << " p95=" << snap.p95 << " p99=" << snap.p99 << " max=" << snap.max;
+    lines[name] = os.str();
+  }
+  std::string out;
+  for (const auto& [name, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::map<std::string, bool> merged;
+  for (const auto& [name, c] : counters_) {
+    merged[name] = true;
+  }
+  for (const auto& [name, g] : gauges_) {
+    merged[name] = true;
+  }
+  for (const auto& [name, h] : histograms_) {
+    merged[name] = true;
+  }
+  std::vector<std::string> names;
+  names.reserve(merged.size());
+  for (const auto& [name, present] : merged) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void MetricsRegistry::ResetAllForTesting() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->ResetForTesting();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->ResetForTesting();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->ResetForTesting();
+  }
+}
+
+}  // namespace obs
+}  // namespace skern

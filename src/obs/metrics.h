@@ -1,0 +1,256 @@
+// Metrics registry: named monotonic counters, gauges, and log2-bucket
+// latency histograms, registered per module.
+//
+// The paper's incremental-safety argument rests on *measuring* a live kernel
+// (CVE rates, bug density, the runtime cost of each safety rung); this is the
+// measurement substrate. Naming convention is `subsys.name`
+// (e.g. "vfs.write.count", "block.cache.hits", "net.tcp.retransmits").
+//
+// Design rules:
+//   - Metric objects have stable addresses for the life of the process.
+//     Hot paths cache a reference once (function-local static) and then pay
+//     one relaxed atomic RMW per event. ResetAllForTesting() zeroes values
+//     but never invalidates references.
+//   - The obs layer sits *below* src/base (it depends only on the standard
+//     library), so even the logger and the lock registry can report into it
+//     without a dependency cycle.
+#ifndef SKERN_SRC_OBS_METRICS_H_
+#define SKERN_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skern {
+namespace obs {
+
+// Monotonic event counter (resettable only for tests).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTesting() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time signed value (queue depths, open fds, cache residency).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void Sub(int64_t d) { value_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTesting() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log2-bucket histogram for latency-like values (nanoseconds).
+//
+// Bucket b holds values in [2^(b-1), 2^b); bucket 0 holds the value 0.
+// Percentiles interpolate linearly inside the bucket that crosses the target
+// rank, so a reported p99 is exact to within one power of two — the same
+// fidelity ftrace's hist triggers and BPF log2 histograms give.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Observe(uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    // max_ is advisory (benign race: two writers may briefly leapfrog).
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+  };
+
+  Snapshot GetSnapshot() const;
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  void ResetForTesting();
+
+  // Index of the bucket holding `value` (exposed for tests). Values at or
+  // above 2^63 share the top bucket so the index never escapes the array.
+  static size_t BucketFor(uint64_t value) {
+    if (value == 0) {
+      return 0;
+    }
+    size_t bucket = 64 - static_cast<size_t>(__builtin_clzll(value));
+    return bucket < kBuckets ? bucket : kBuckets - 1;
+  }
+
+ private:
+  static uint64_t Quantile(const std::array<uint64_t, kBuckets>& buckets,
+                           uint64_t count, double q);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Process-wide registry. Lookup is create-on-first-use and mutex-protected;
+// the returned references stay valid forever (entries are never erased).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // One line per metric, sorted by name:
+  //   vfs.write.count 17
+  //   vfs.write.latency_ns count=17 sum=43210 p50=1536 p95=3800 p99=4000 max=4096
+  std::string RenderText() const;
+
+  // Names registered so far, sorted (all kinds merged).
+  std::vector<std::string> Names() const;
+
+  // Zeroes every metric in place; references remain valid.
+  void ResetAllForTesting();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+namespace internal {
+
+extern std::atomic<bool> g_metrics_enabled;
+
+}  // namespace internal
+
+// Master runtime gate for the SKERN_COUNTER_*/SKERN_HISTOGRAM_*/
+// SKERN_TIMED_SCOPE macros — the software analogue of a kernel static key.
+// Defaults on; when off, each macro site costs one relaxed load and a
+// predicted-taken branch (bench/trace_overhead's "disabled" configuration).
+// Direct Counter/Gauge references (ShimStats and friends) are not gated.
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled);
+
+// Finer switch for latency timing (the two clock reads around a timed
+// scope). Timing defaults on and is switched off by benchmarks measuring
+// counter-only cost.
+bool LatencyTimingEnabled();
+void SetLatencyTimingEnabled(bool enabled);
+
+// Monotonic wall nanoseconds used by timed scopes (steady_clock based).
+uint64_t MonotonicNowNs();
+
+// RAII latency probe: observes elapsed wall nanoseconds into `hist` on scope
+// exit. Costs one relaxed atomic load when timing is disabled; a null
+// histogram (gated-off macro site) degrades to the same no-op.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& hist) : ScopedLatency(&hist) {}
+  explicit ScopedLatency(Histogram* hist)
+      : hist_(hist != nullptr && LatencyTimingEnabled() ? hist : nullptr),
+        start_(hist_ != nullptr ? MonotonicNowNs() : 0) {}
+
+  ~ScopedLatency() {
+    if (hist_ != nullptr) {
+      hist_->Observe(MonotonicNowNs() - start_);
+    }
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+}  // namespace obs
+}  // namespace skern
+
+// SKERN_METRIC_*: cached-reference helpers for hot paths. Each expands to a
+// function-local static lookup (one registry hit ever) plus a relaxed RMW.
+// Compiled out (along with tracepoints) under SKERN_OBS_COMPILED_OUT — the
+// configuration bench/trace_overhead measures against.
+#ifdef SKERN_OBS_COMPILED_OUT
+
+#define SKERN_COUNTER_INC(name) \
+  do {                          \
+  } while (0)
+#define SKERN_COUNTER_ADD(name, n) \
+  do {                             \
+    (void)(n);                     \
+  } while (0)
+#define SKERN_TIMED_SCOPE(name)
+#define SKERN_HISTOGRAM_OBSERVE(name, value) \
+  do {                                       \
+    (void)(value);                           \
+  } while (0)
+
+#else
+
+#define SKERN_COUNTER_INC(name)                                      \
+  do {                                                               \
+    if (::skern::obs::MetricsEnabled()) [[likely]] {                 \
+      static ::skern::obs::Counter& skern_counter_ =                 \
+          ::skern::obs::MetricsRegistry::Get().GetCounter(name);     \
+      skern_counter_.Inc();                                          \
+    }                                                                \
+  } while (0)
+
+#define SKERN_COUNTER_ADD(name, n)                                   \
+  do {                                                               \
+    if (::skern::obs::MetricsEnabled()) [[likely]] {                 \
+      static ::skern::obs::Counter& skern_counter_ =                 \
+          ::skern::obs::MetricsRegistry::Get().GetCounter(name);     \
+      skern_counter_.Inc(n);                                         \
+    }                                                                \
+  } while (0)
+
+// Times the rest of the enclosing scope into histogram `name`.
+#define SKERN_TIMED_SCOPE(name)                                      \
+  ::skern::obs::ScopedLatency skern_timed_scope_(                    \
+      ::skern::obs::MetricsEnabled()                                 \
+          ? []() -> ::skern::obs::Histogram* {                       \
+              static ::skern::obs::Histogram& skern_timed_hist_ =    \
+                  ::skern::obs::MetricsRegistry::Get().GetHistogram(name); \
+              return &skern_timed_hist_;                             \
+            }()                                                      \
+          : nullptr)
+
+#define SKERN_HISTOGRAM_OBSERVE(name, value)                         \
+  do {                                                               \
+    if (::skern::obs::MetricsEnabled()) [[likely]] {                 \
+      static ::skern::obs::Histogram& skern_hist_ =                  \
+          ::skern::obs::MetricsRegistry::Get().GetHistogram(name);   \
+      skern_hist_.Observe(value);                                    \
+    }                                                                \
+  } while (0)
+
+#endif  // SKERN_OBS_COMPILED_OUT
+
+#endif  // SKERN_SRC_OBS_METRICS_H_

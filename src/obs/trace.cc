@@ -1,0 +1,233 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace skern {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<const SimClock*> g_trace_clock{nullptr};
+
+uint64_t TraceNow() {
+  const SimClock* clock = g_trace_clock.load(std::memory_order_relaxed);
+  return clock != nullptr ? clock->now() : MonotonicNowNs();
+}
+
+// ---------------------------------------------------------------------------
+// Event-name interning
+// ---------------------------------------------------------------------------
+
+struct EventTable {
+  std::mutex mutex;
+  std::map<std::pair<std::string, std::string>, uint16_t> ids;
+  std::vector<std::string> names;  // indexed by id, "subsys.event"
+};
+
+EventTable& Events() {
+  static EventTable* table = new EventTable();
+  return *table;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread SPSC ring buffers
+// ---------------------------------------------------------------------------
+
+// One ring per thread: the owning thread is the only writer; the draining
+// session (under the registry mutex) is the only reader. Overflow drops the
+// newest record and counts it, so writers never block and never tear.
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 8192;  // records; power of two
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  explicit TraceRing(uint32_t tid) : tid_(tid) {}
+
+  uint32_t tid() const { return tid_; }
+
+  void Push(uint16_t event_id, uint64_t arg0, uint64_t arg1) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= kCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    TraceRecord& slot = slots_[head & (kCapacity - 1)];
+    slot.ts = TraceNow();
+    slot.tid = tid_;
+    slot.event_id = event_id;
+    slot.reserved = 0;
+    slot.arg0 = arg0;
+    slot.arg1 = arg1;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  // Reader side (one drainer at a time, serialized by the registry mutex).
+  void Read(std::vector<TraceRecord>* out, bool consume) {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (uint64_t i = tail; i != head; ++i) {
+      out->push_back(slots_[i & (kCapacity - 1)]);
+    }
+    if (consume) {
+      tail_.store(head, std::memory_order_release);
+    }
+  }
+
+  void Clear() {
+    tail_.store(head_.load(std::memory_order_acquire), std::memory_order_release);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint32_t tid_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::array<TraceRecord, kCapacity> slots_{};
+};
+
+// Registry of all thread rings. Rings are shared_ptr so a drain stays safe
+// even after the owning thread has exited.
+struct RingRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  uint32_t next_tid = 1;
+};
+
+RingRegistry& Rings() {
+  static RingRegistry* registry = new RingRegistry();
+  return *registry;
+}
+
+TraceRing& ThisThreadRing() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    RingRegistry& registry = Rings();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    auto created = std::make_shared<TraceRing>(registry.next_tid++);
+    registry.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+uint16_t InternTraceEvent(const char* subsys, const char* event) {
+  EventTable& table = Events();
+  std::lock_guard<std::mutex> guard(table.mutex);
+  auto key = std::make_pair(std::string(subsys), std::string(event));
+  auto it = table.ids.find(key);
+  if (it != table.ids.end()) {
+    return it->second;
+  }
+  uint16_t id = static_cast<uint16_t>(table.names.size());
+  table.names.push_back(key.first + "." + key.second);
+  table.ids.emplace(std::move(key), id);
+  return id;
+}
+
+std::string TraceEventName(uint16_t id) {
+  EventTable& table = Events();
+  std::lock_guard<std::mutex> guard(table.mutex);
+  if (id >= table.names.size()) {
+    return "?";
+  }
+  return table.names[id];
+}
+
+void EmitTrace(uint16_t event_id, uint64_t arg0, uint64_t arg1) {
+  if (!TraceEnabled()) {
+    return;
+  }
+  ThisThreadRing().Push(event_id, arg0, arg1);
+}
+
+void SetTraceClock(const SimClock* clock) {
+  g_trace_clock.store(clock, std::memory_order_relaxed);
+}
+
+TraceSession& TraceSession::Get() {
+  static TraceSession* session = new TraceSession();
+  return *session;
+}
+
+void TraceSession::Start() {
+  RingRegistry& registry = Rings();
+  {
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    for (auto& ring : registry.rings) {
+      ring->Clear();
+    }
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::vector<TraceRecord> TraceSession::Drain(bool consume) {
+  std::vector<TraceRecord> records;
+  RingRegistry& registry = Rings();
+  {
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    for (auto& ring : registry.rings) {
+      ring->Read(&records, consume);
+    }
+  }
+  // Per-ring order is emission order; stable sort keeps it within equal
+  // timestamps (a SimClock that does not advance between events).
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.tid < b.tid;
+                   });
+  return records;
+}
+
+uint64_t TraceSession::dropped() const {
+  uint64_t total = 0;
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> guard(registry.mutex);
+  for (const auto& ring : registry.rings) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+void TraceSession::ResetForTesting() {
+  Stop();
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> guard(registry.mutex);
+  for (auto& ring : registry.rings) {
+    ring->Clear();
+  }
+}
+
+std::string RenderTraceText(const std::vector<TraceRecord>& records) {
+  std::ostringstream os;
+  for (const auto& record : records) {
+    os << record.ts << " " << record.tid << " " << TraceEventName(record.event_id) << " "
+       << record.arg0 << " " << record.arg1 << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace skern

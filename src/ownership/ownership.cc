@@ -1,6 +1,7 @@
 #include "src/ownership/ownership.h"
 
 #include "src/base/panic.h"
+#include "src/obs/trace.h"
 
 namespace skern {
 namespace {
@@ -41,30 +42,38 @@ const char* OwnershipViolationName(OwnershipViolation v) {
   return "unknown-violation";
 }
 
+OwnershipStats::OwnershipStats() {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    std::string name = std::string("ownership.") +
+                       OwnershipViolationName(static_cast<OwnershipViolation>(i));
+    counters_[i] = &obs::MetricsRegistry::Get().GetCounter(name);
+  }
+}
+
 OwnershipStats& OwnershipStats::Get() {
   static OwnershipStats* stats = new OwnershipStats();
   return *stats;
 }
 
 void OwnershipStats::Record(OwnershipViolation v) {
-  counts_[static_cast<size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+  counters_[static_cast<size_t>(v)]->Inc();
 }
 
 uint64_t OwnershipStats::Count(OwnershipViolation v) const {
-  return counts_[static_cast<size_t>(v)].load(std::memory_order_relaxed);
+  return counters_[static_cast<size_t>(v)]->Value();
 }
 
 uint64_t OwnershipStats::Total() const {
   uint64_t total = 0;
-  for (const auto& c : counts_) {
-    total += c.load(std::memory_order_relaxed);
+  for (const auto* c : counters_) {
+    total += c->Value();
   }
   return total;
 }
 
 void OwnershipStats::ResetForTesting() {
-  for (auto& c : counts_) {
-    c.store(0, std::memory_order_relaxed);
+  for (auto* c : counters_) {
+    c->ResetForTesting();
   }
 }
 
@@ -76,6 +85,7 @@ uint64_t NextOwnerToken() {
 }
 
 void ReportOwnershipViolation(OwnershipViolation v, const char* detail) {
+  SKERN_TRACE("ownership", "violation", static_cast<uint64_t>(v));
   OwnershipStats::Get().Record(v);
   if (GetOwnershipMode() == OwnershipMode::kChecked) {
     Panic(std::string("ownership violation: ") + OwnershipViolationName(v) + ": " + detail);

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/obs/metrics.h"
+
 namespace skern {
 
 enum class OwnershipMode : uint8_t {
@@ -63,7 +65,9 @@ enum class OwnershipViolation : uint8_t {
 
 const char* OwnershipViolationName(OwnershipViolation v);
 
-// Process-wide violation counters, indexed by OwnershipViolation.
+// Process-wide violation counters, indexed by OwnershipViolation. Each kind
+// is a metrics-registry counter named "ownership.<kind>", so /metrics and
+// /proc/ownership report identical numbers.
 class OwnershipStats {
  public:
   static OwnershipStats& Get();
@@ -74,8 +78,8 @@ class OwnershipStats {
   void ResetForTesting();
 
  private:
-  OwnershipStats() = default;
-  std::array<std::atomic<uint64_t>, static_cast<size_t>(OwnershipViolation::kCount)> counts_{};
+  OwnershipStats();
+  std::array<obs::Counter*, static_cast<size_t>(OwnershipViolation::kCount)> counters_{};
 };
 
 namespace internal {

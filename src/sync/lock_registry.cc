@@ -5,6 +5,8 @@
 
 #include "src/base/log.h"
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace skern {
 namespace {
@@ -68,6 +70,7 @@ bool LockRegistry::CreatesCycleLocked(LockClassId from, LockClassId to) const {
 }
 
 void LockRegistry::OnAcquire(LockClassId cls) {
+  SKERN_COUNTER_INC("sync.lock.acquires");
   bool violated = false;
   LockOrderViolation violation;
   {
@@ -87,6 +90,8 @@ void LockRegistry::OnAcquire(LockClassId cls) {
   }
   t_held_stack.push_back(cls);
   if (violated) {
+    SKERN_COUNTER_INC("sync.lock.order_violations");
+    SKERN_TRACE("sync", "order_violation", violation.held, violation.acquired);
     SKERN_ERROR() << "lock-order violation: " << violation.held_name << " -> "
                   << violation.acquired_name;
     bool should_panic;

@@ -1,5 +1,7 @@
 #include "src/vfs/vfs.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/spec/fs_model.h"
 
 namespace skern {
@@ -67,6 +69,7 @@ Result<Vfs::ResolvedPath> Vfs::Resolve(const std::string& path) const {
 }
 
 Status Vfs::Mkdir(const std::string& path) {
+  SKERN_COUNTER_INC("vfs.mkdir.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
   ++stats_.dispatches;
   return r.fs->Mkdir(r.fs_path);
@@ -79,6 +82,7 @@ Status Vfs::Rmdir(const std::string& path) {
 }
 
 Status Vfs::Unlink(const std::string& path) {
+  SKERN_COUNTER_INC("vfs.unlink.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
   ++stats_.dispatches;
   return r.fs->Unlink(r.fs_path);
@@ -95,6 +99,7 @@ Status Vfs::Rename(const std::string& from, const std::string& to) {
 }
 
 Result<FileAttr> Vfs::Stat(const std::string& path) {
+  SKERN_COUNTER_INC("vfs.stat.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
   ++stats_.dispatches;
   return r.fs->Stat(r.fs_path);
@@ -128,6 +133,9 @@ Status Vfs::SyncAll() {
 }
 
 Result<Fd> Vfs::Open(const std::string& path, uint32_t flags) {
+  SKERN_TIMED_SCOPE("vfs.open.latency_ns");
+  SKERN_COUNTER_INC("vfs.open.count");
+  SKERN_TRACE("vfs", "open", flags);
   if ((flags & (kOpenRead | kOpenWrite)) == 0) {
     return Errno::kEINVAL;
   }
@@ -179,6 +187,9 @@ Result<Vfs::OpenFile*> Vfs::FindFd(Fd fd) {
 }
 
 Result<Bytes> Vfs::Read(Fd fd, uint64_t length) {
+  SKERN_TIMED_SCOPE("vfs.read.latency_ns");
+  SKERN_COUNTER_INC("vfs.read.count");
+  SKERN_TRACE("vfs", "read", static_cast<uint64_t>(fd), length);
   std::shared_ptr<FileSystem> fs;
   std::string path;
   uint64_t offset;
@@ -206,6 +217,9 @@ Result<Bytes> Vfs::Read(Fd fd, uint64_t length) {
 }
 
 Status Vfs::Write(Fd fd, ByteView data) {
+  SKERN_TIMED_SCOPE("vfs.write.latency_ns");
+  SKERN_COUNTER_INC("vfs.write.count");
+  SKERN_TRACE("vfs", "write", static_cast<uint64_t>(fd), data.size());
   std::shared_ptr<FileSystem> fs;
   std::string path;
   uint64_t offset;
@@ -239,6 +253,9 @@ Status Vfs::Write(Fd fd, ByteView data) {
 }
 
 Result<Bytes> Vfs::Pread(Fd fd, uint64_t offset, uint64_t length) {
+  SKERN_TIMED_SCOPE("vfs.read.latency_ns");
+  SKERN_COUNTER_INC("vfs.read.count");
+  SKERN_TRACE("vfs", "pread", static_cast<uint64_t>(fd), length);
   std::shared_ptr<FileSystem> fs;
   std::string path;
   {
@@ -256,6 +273,9 @@ Result<Bytes> Vfs::Pread(Fd fd, uint64_t offset, uint64_t length) {
 }
 
 Status Vfs::Pwrite(Fd fd, uint64_t offset, ByteView data) {
+  SKERN_TIMED_SCOPE("vfs.write.latency_ns");
+  SKERN_COUNTER_INC("vfs.write.count");
+  SKERN_TRACE("vfs", "pwrite", static_cast<uint64_t>(fd), data.size());
   std::shared_ptr<FileSystem> fs;
   std::string path;
   {
@@ -280,6 +300,9 @@ Result<uint64_t> Vfs::Seek(Fd fd, uint64_t offset) {
 }
 
 Status Vfs::Fsync(Fd fd) {
+  SKERN_TIMED_SCOPE("vfs.fsync.latency_ns");
+  SKERN_COUNTER_INC("vfs.fsync.count");
+  SKERN_TRACE("vfs", "fsync", static_cast<uint64_t>(fd));
   std::shared_ptr<FileSystem> fs;
   std::string path;
   {

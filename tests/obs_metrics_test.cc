@@ -1,0 +1,183 @@
+// Unit tests for the metrics registry: counter/gauge semantics, log2-bucket
+// histogram math (bucket mapping and percentile estimation), the text
+// renderer, and reference stability across ResetAllForTesting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace skern {
+namespace obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Get().ResetAllForTesting(); }
+};
+
+TEST_F(MetricsTest, CounterIncrementsAndAdds) {
+  Counter& c = MetricsRegistry::Get().GetCounter("t.counter");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST_F(MetricsTest, GaugeMovesBothWays) {
+  Gauge& g = MetricsRegistry::Get().GetGauge("t.gauge");
+  g.Set(10);
+  g.Add(5);
+  g.Sub(20);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameMetric) {
+  Counter& a = MetricsRegistry::Get().GetCounter("t.same");
+  Counter& b = MetricsRegistry::Get().GetCounter("t.same");
+  EXPECT_EQ(&a, &b);
+  a.Inc();
+  EXPECT_EQ(b.Value(), 1u);
+}
+
+TEST_F(MetricsTest, BucketForIsLog2) {
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(7), 3u);
+  EXPECT_EQ(Histogram::BucketFor(8), 4u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  EXPECT_EQ(Histogram::BucketFor(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST_F(MetricsTest, HistogramTracksCountSumMax) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("t.hist");
+  h.Observe(1);
+  h.Observe(10);
+  h.Observe(100);
+  auto snap = h.GetSnapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 111u);
+  EXPECT_EQ(snap.max, 100u);
+}
+
+TEST_F(MetricsTest, PercentilesOfUniformSpread) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("t.uniform");
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Observe(v);
+  }
+  auto snap = h.GetSnapshot();
+  // Log2 buckets are coarse: accept the estimate within the bucket that
+  // holds the true quantile (a factor-of-two band).
+  EXPECT_GE(snap.p50, 256u);
+  EXPECT_LE(snap.p50, 1024u);
+  EXPECT_GE(snap.p95, 512u);
+  EXPECT_LE(snap.p95, 1024u);
+  EXPECT_GE(snap.p99, 512u);
+  EXPECT_LE(snap.p99, 1024u);
+  EXPECT_GE(snap.p95, snap.p50);
+  EXPECT_GE(snap.p99, snap.p95);
+}
+
+TEST_F(MetricsTest, PercentileOfSingleValueIsExactBucket) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("t.single");
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(64);
+  }
+  auto snap = h.GetSnapshot();
+  // All mass in bucket [64,128): every percentile lands inside it.
+  EXPECT_GE(snap.p50, 64u);
+  EXPECT_LT(snap.p50, 128u);
+  EXPECT_GE(snap.p99, 64u);
+  EXPECT_LT(snap.p99, 128u);
+}
+
+TEST_F(MetricsTest, EmptyHistogramSnapshotIsZero) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("t.empty");
+  auto snap = h.GetSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p50, 0u);
+  EXPECT_EQ(snap.p99, 0u);
+}
+
+TEST_F(MetricsTest, RenderTextOneLinePerMetricSorted) {
+  MetricsRegistry::Get().GetCounter("t.b").Inc(2);
+  MetricsRegistry::Get().GetCounter("t.a").Inc();
+  MetricsRegistry::Get().GetHistogram("t.c").Observe(5);
+  std::string text = MetricsRegistry::Get().RenderText();
+  auto pos_a = text.find("t.a 1\n");
+  auto pos_b = text.find("t.b 2\n");
+  auto pos_c = text.find("t.c count=1");
+  ASSERT_NE(pos_a, std::string::npos) << text;
+  ASSERT_NE(pos_b, std::string::npos) << text;
+  ASSERT_NE(pos_c, std::string::npos) << text;
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_c);
+}
+
+TEST_F(MetricsTest, ResetKeepsReferencesValid) {
+  Counter& c = MetricsRegistry::Get().GetCounter("t.stable");
+  c.Inc(7);
+  MetricsRegistry::Get().ResetAllForTesting();
+  // The registry zeroes in place; cached references (as hot paths hold via
+  // function-local statics) must stay usable.
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  EXPECT_EQ(MetricsRegistry::Get().GetCounter("t.stable").Value(), 1u);
+}
+
+TEST_F(MetricsTest, CountersAreThreadSafe) {
+  Counter& c = MetricsRegistry::Get().GetCounter("t.mt");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Inc();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, ScopedLatencyObservesOnce) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("t.scoped");
+  { ScopedLatency timer(h); }
+  EXPECT_EQ(h.GetSnapshot().count, 1u);
+}
+
+TEST_F(MetricsTest, MacroSitesRespectMasterGate) {
+  Counter& c = MetricsRegistry::Get().GetCounter("t.gate");
+  SetMetricsEnabled(false);
+  SKERN_COUNTER_INC("t.gate");
+  SKERN_HISTOGRAM_OBSERVE("t.gate_hist", 5);
+  EXPECT_EQ(c.Value(), 0u);
+  SetMetricsEnabled(true);
+  SKERN_COUNTER_INC("t.gate");
+  SKERN_HISTOGRAM_OBSERVE("t.gate_hist", 5);
+  EXPECT_EQ(c.Value(), 1u);
+  EXPECT_EQ(MetricsRegistry::Get().GetHistogram("t.gate_hist").Count(), 1u);
+}
+
+TEST_F(MetricsTest, LatencyTimingCanBeDisabled) {
+  Histogram& h = MetricsRegistry::Get().GetHistogram("t.gated");
+  SetLatencyTimingEnabled(false);
+  { ScopedLatency timer(h); }
+  EXPECT_EQ(h.GetSnapshot().count, 0u);
+  SetLatencyTimingEnabled(true);
+  { ScopedLatency timer(h); }
+  EXPECT_EQ(h.GetSnapshot().count, 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace skern

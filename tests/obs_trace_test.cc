@@ -1,0 +1,169 @@
+// Tests for the tracepoint subsystem: session gating, record integrity under
+// concurrent writers, ring overflow accounting, timestamp merging, and the
+// SimClock hookup.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+#include "src/obs/trace.h"
+
+namespace skern {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TraceSession::Get().ResetForTesting(); }
+  void TearDown() override { TraceSession::Get().ResetForTesting(); }
+};
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+  EXPECT_FALSE(TraceSession::Get().active());
+  SKERN_TRACE("test", "ignored", 1, 2);
+  EXPECT_TRUE(TraceSession::Get().Drain().empty());
+}
+
+TEST_F(TraceTest, RecordsCarryEventAndArgs) {
+  TraceSession::Get().Start();
+  SKERN_TRACE("test", "one_arg", 42);
+  SKERN_TRACE("test", "two_args", 7, 9);
+  SKERN_TRACE("test", "no_args");
+  TraceSession::Get().Stop();
+
+  auto records = TraceSession::Get().Drain();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(TraceEventName(records[0].event_id), "test.one_arg");
+  EXPECT_EQ(records[0].arg0, 42u);
+  EXPECT_EQ(records[0].arg1, 0u);
+  EXPECT_EQ(TraceEventName(records[1].event_id), "test.two_args");
+  EXPECT_EQ(records[1].arg0, 7u);
+  EXPECT_EQ(records[1].arg1, 9u);
+  EXPECT_EQ(TraceEventName(records[2].event_id), "test.no_args");
+}
+
+TEST_F(TraceTest, DrainConsumesByDefaultPeekDoesNot) {
+  TraceSession::Get().Start();
+  SKERN_TRACE("test", "once");
+  TraceSession::Get().Stop();
+
+  EXPECT_EQ(TraceSession::Get().Drain(/*consume=*/false).size(), 1u);
+  EXPECT_EQ(TraceSession::Get().Drain().size(), 1u);
+  EXPECT_TRUE(TraceSession::Get().Drain().empty());
+}
+
+TEST_F(TraceTest, StartClearsStaleRecords) {
+  TraceSession::Get().Start();
+  SKERN_TRACE("test", "stale");
+  TraceSession::Get().Stop();
+  TraceSession::Get().Start();  // a session begins empty
+  SKERN_TRACE("test", "fresh");
+  TraceSession::Get().Stop();
+
+  auto records = TraceSession::Get().Drain();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(TraceEventName(records[0].event_id), "test.fresh");
+}
+
+TEST_F(TraceTest, DrainMergesByTimestamp) {
+  SimClock clock;
+  SetTraceClock(&clock);
+  TraceSession::Get().Start();
+  clock.Advance(300);
+  SKERN_TRACE("test", "late");
+  // A second thread's record with an earlier sim timestamp must sort first
+  // even though it is pushed afterwards.
+  // (The clock only moves on the main thread; the worker reads it.)
+  uint64_t worker_ts = 0;
+  {
+    SimClock early_clock;
+    // Emit from another thread at ts=100 by temporarily switching clocks.
+    early_clock.Advance(100);
+    SetTraceClock(&early_clock);
+    std::thread worker([&] { SKERN_TRACE("test", "early"); });
+    worker.join();
+    worker_ts = 100;
+    SetTraceClock(&clock);
+  }
+  TraceSession::Get().Stop();
+  SetTraceClock(nullptr);
+
+  auto records = TraceSession::Get().Drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(TraceEventName(records[0].event_id), "test.early");
+  EXPECT_EQ(records[0].ts, worker_ts);
+  EXPECT_EQ(TraceEventName(records[1].event_id), "test.late");
+  EXPECT_EQ(records[1].ts, 300u);
+}
+
+TEST_F(TraceTest, ConcurrentWritersLoseNothingUnderCapacity) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 1000;  // well under the 8192 ring capacity
+  TraceSession::Get().Start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        SKERN_TRACE("test", "mt", static_cast<uint64_t>(t), i);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  TraceSession::Get().Stop();
+
+  auto records = TraceSession::Get().Drain();
+  EXPECT_EQ(TraceSession::Get().dropped(), 0u);
+  ASSERT_EQ(records.size(), static_cast<size_t>(kThreads) * kPerThread);
+  // No torn records: every (writer, seq) pair arrives exactly once, and each
+  // writer's sequence is intact.
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const auto& r : records) {
+    EXPECT_EQ(TraceEventName(r.event_id), "test.mt");
+    EXPECT_LT(r.arg0, static_cast<uint64_t>(kThreads));
+    EXPECT_LT(r.arg1, kPerThread);
+    EXPECT_TRUE(seen.emplace(r.arg0, r.arg1).second)
+        << "duplicate record " << r.arg0 << "/" << r.arg1;
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST_F(TraceTest, OverflowDropsNewestAndCounts) {
+  TraceSession::Get().Start();
+  constexpr uint64_t kEmit = 20000;  // ring capacity is 8192
+  for (uint64_t i = 0; i < kEmit; ++i) {
+    SKERN_TRACE("test", "flood", i);
+  }
+  TraceSession::Get().Stop();
+
+  auto records = TraceSession::Get().Drain();
+  EXPECT_LT(records.size(), kEmit);
+  EXPECT_EQ(records.size() + TraceSession::Get().dropped(), kEmit);
+  // Drop-newest: the retained records are the oldest ones, in order.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].arg0, i);
+  }
+}
+
+TEST_F(TraceTest, RenderTraceTextFormat) {
+  SimClock clock;
+  SetTraceClock(&clock);
+  TraceSession::Get().Start();
+  clock.Advance(5);
+  SKERN_TRACE("test", "render", 1, 2);
+  TraceSession::Get().Stop();
+  SetTraceClock(nullptr);
+
+  std::string text = RenderTraceText(TraceSession::Get().Drain());
+  EXPECT_NE(text.find("5 "), std::string::npos) << text;
+  EXPECT_NE(text.find("test.render 1 2"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace skern

@@ -4,10 +4,13 @@
 
 #include <memory>
 
+#include "src/base/log.h"
 #include "src/block/block_device.h"
 #include "src/core/module.h"
 #include "src/fs/procfs/procfs.h"
 #include "src/fs/safefs/safefs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ownership/owned.h"
 #include "src/ownership/ownership.h"
 #include "src/sync/lock_registry.h"
@@ -29,8 +32,8 @@ TEST_F(ProcFsTest, ListsBuiltinEntries) {
   auto names = proc.Readdir("/");
   ASSERT_TRUE(names.ok());
   EXPECT_EQ(names.value(),
-            (std::vector<std::string>{"landscape", "locks", "modules", "ownership",
-                                      "refinement", "shims"}));
+            (std::vector<std::string>{"landscape", "locks", "log", "metrics", "modules",
+                                      "ownership", "refinement", "shims", "trace"}));
 }
 
 TEST_F(ProcFsTest, ReadOnlySemantics) {
@@ -123,6 +126,58 @@ TEST_F(ProcFsTest, MountsUnderVfsBesideWritableFs) {
   EXPECT_EQ(vfs.Open("/proc/new", kOpenWrite | kOpenCreate).error(), Errno::kEROFS);
   // The writable root is unaffected.
   EXPECT_TRUE(vfs.Open("/real", kOpenWrite | kOpenCreate).ok());
+}
+
+TEST_F(ProcFsTest, MetricsFileReflectsLiveRegistry) {
+  ProcFs proc;
+  obs::MetricsRegistry::Get().GetCounter("proctest.reads").Inc();
+  obs::MetricsRegistry::Get().GetCounter("proctest.reads").Inc();
+  obs::MetricsRegistry::Get().GetHistogram("proctest.latency_ns").Observe(100);
+
+  auto content = proc.Read("/metrics", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  std::string text = StringFromBytes(content.value());
+  EXPECT_NE(text.find("proctest.reads 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("proctest.latency_ns count=1"), std::string::npos) << text;
+
+  // The file is live: a third increment shows up on the next read.
+  obs::MetricsRegistry::Get().GetCounter("proctest.reads").Inc();
+  content = proc.Read("/metrics", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(StringFromBytes(content.value()).find("proctest.reads 3"), std::string::npos);
+}
+
+TEST_F(ProcFsTest, TraceFileShowsBufferedEvents) {
+  auto& session = obs::TraceSession::Get();
+  session.ResetForTesting();
+  session.Start();
+  SKERN_TRACE("proctest", "ping", 7, 9);
+  session.Stop();
+
+  ProcFs proc;
+  auto content = proc.Read("/trace", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  std::string text = StringFromBytes(content.value());
+  EXPECT_NE(text.find("session stopped"), std::string::npos) << text;
+  EXPECT_NE(text.find("dropped 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("proctest.ping 7 9"), std::string::npos) << text;
+
+  // Reading /trace peeks; the records survive for a second read.
+  content = proc.Read("/trace", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(StringFromBytes(content.value()).find("proctest.ping 7 9"), std::string::npos);
+  session.ResetForTesting();
+}
+
+TEST_F(ProcFsTest, LogFileShowsLevelAndCounts) {
+  ProcFs proc;
+  uint64_t warns_before = LogCount(LogLevel::kWarn);
+  SKERN_WARN() << "procfs log test";
+  auto content = proc.Read("/log", 0, 4096);
+  ASSERT_TRUE(content.ok());
+  std::string text = StringFromBytes(content.value());
+  EXPECT_NE(text.find("level "), std::string::npos) << text;
+  EXPECT_NE(text.find("warn " + std::to_string(warns_before + 1)), std::string::npos) << text;
 }
 
 TEST_F(ProcFsTest, CustomEntryGeneratorRunsPerRead) {
