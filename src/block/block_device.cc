@@ -20,6 +20,7 @@ Status RamDisk::ReadBlock(uint64_t block, MutableByteView out) {
   if (out.size() != kBlockSize) {
     return Status::Error(Errno::kEINVAL);
   }
+  SpinGuard guard(lock_);
   if (error_blocks_.count(block) > 0) {
     ++stats_.injected_errors;
     return Status::Error(Errno::kEIO);
@@ -41,6 +42,7 @@ Status RamDisk::WriteBlock(uint64_t block, ByteView data) {
   if (data.size() != kBlockSize) {
     return Status::Error(Errno::kEINVAL);
   }
+  SpinGuard guard(lock_);
   if (error_blocks_.count(block) > 0) {
     ++stats_.injected_errors;
     return Status::Error(Errno::kEIO);
@@ -50,7 +52,7 @@ Status RamDisk::WriteBlock(uint64_t block, ByteView data) {
   cache_[block] = data.ToBytes();
   if (crash_after_writes_.has_value()) {
     if (--*crash_after_writes_ == 0) {
-      ApplyCrash(crash_persistence_, crash_tear_last_);
+      ApplyCrashLocked(crash_persistence_, crash_tear_last_);
       crash_after_writes_.reset();
       return Status::Error(Errno::kEIO);
     }
@@ -59,6 +61,7 @@ Status RamDisk::WriteBlock(uint64_t block, ByteView data) {
 }
 
 Status RamDisk::Flush() {
+  SpinGuard guard(lock_);
   ++stats_.flushes;
   for (const auto& w : pending_) {
     std::copy(w.data.begin(), w.data.end(), durable_.begin() + w.block * kBlockSize);
@@ -69,10 +72,11 @@ Status RamDisk::Flush() {
 }
 
 void RamDisk::CrashNow(CrashPersistence persistence, bool tear_last) {
-  ApplyCrash(persistence, tear_last);
+  SpinGuard guard(lock_);
+  ApplyCrashLocked(persistence, tear_last);
 }
 
-void RamDisk::ApplyCrash(CrashPersistence persistence, bool tear_last) {
+void RamDisk::ApplyCrashLocked(CrashPersistence persistence, bool tear_last) {
   ++stats_.crashes;
   // Decide which pending writes reached media on their own.
   std::vector<const PendingWrite*> survivors;
@@ -108,14 +112,21 @@ void RamDisk::ApplyCrash(CrashPersistence persistence, bool tear_last) {
 void RamDisk::ScheduleCrashAfterWrites(uint64_t n, CrashPersistence persistence,
                                        bool tear_last) {
   SKERN_CHECK(n > 0);
+  SpinGuard guard(lock_);
   crash_after_writes_ = n;
   crash_persistence_ = persistence;
   crash_tear_last_ = tear_last;
 }
 
-void RamDisk::InjectBlockError(uint64_t block) { error_blocks_[block] = true; }
+void RamDisk::InjectBlockError(uint64_t block) {
+  SpinGuard guard(lock_);
+  error_blocks_[block] = true;
+}
 
-void RamDisk::ClearBlockErrors() { error_blocks_.clear(); }
+void RamDisk::ClearBlockErrors() {
+  SpinGuard guard(lock_);
+  error_blocks_.clear();
+}
 
 ByteView RamDisk::DurableContent(uint64_t block) const {
   SKERN_CHECK(block < block_count_);

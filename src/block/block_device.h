@@ -21,6 +21,7 @@
 #include "src/base/result.h"
 #include "src/base/rng.h"
 #include "src/base/status.h"
+#include "src/sync/spinlock.h"
 
 namespace skern {
 
@@ -58,6 +59,9 @@ struct RamDiskStats {
   uint64_t injected_errors = 0;
 };
 
+// Internally synchronized (a raw device spinlock, like a driver's queue
+// lock): the sharded buffer cache issues reads and writebacks from
+// different shards concurrently, so the device must serialize itself.
 class RamDisk : public BlockDevice {
  public:
   RamDisk(uint64_t block_count, uint64_t seed = 0);
@@ -79,7 +83,10 @@ class RamDisk : public BlockDevice {
   // returns EIO; pending state collapses per `persistence`.
   void ScheduleCrashAfterWrites(uint64_t n, CrashPersistence persistence,
                                 bool tear_last = false);
-  bool crash_armed() const { return crash_after_writes_.has_value(); }
+  bool crash_armed() const {
+    SpinGuard guard(lock_);
+    return crash_after_writes_.has_value();
+  }
 
   // --- error injection ---
 
@@ -87,8 +94,14 @@ class RamDisk : public BlockDevice {
   void InjectBlockError(uint64_t block);
   void ClearBlockErrors();
 
-  const RamDiskStats& stats() const { return stats_; }
-  uint64_t pending_write_count() const { return pending_.size(); }
+  RamDiskStats stats() const {
+    SpinGuard guard(lock_);
+    return stats_;
+  }
+  uint64_t pending_write_count() const {
+    SpinGuard guard(lock_);
+    return pending_.size();
+  }
 
   // Test-only direct view of durable media content.
   ByteView DurableContent(uint64_t block) const;
@@ -99,8 +112,9 @@ class RamDisk : public BlockDevice {
     Bytes data;
   };
 
-  void ApplyCrash(CrashPersistence persistence, bool tear_last);
+  void ApplyCrashLocked(CrashPersistence persistence, bool tear_last);
 
+  mutable Spinlock lock_;
   uint64_t block_count_;
   Bytes durable_;           // media as of last barrier + survived writes
   std::map<uint64_t, Bytes> cache_;  // pending logical content per block

@@ -1,6 +1,9 @@
 #include "src/block/buffer_cache.h"
 
+#include <algorithm>
 #include <atomic>
+#include <string>
+#include <utility>
 
 #include "src/base/log.h"
 #include "src/base/panic.h"
@@ -12,6 +15,40 @@ namespace {
 
 std::atomic<bool> g_state_checking{true};
 
+// A shard over capacity with every buffer pinned overcommits temporarily;
+// past this multiple of the shard's capacity the caller is leaking
+// references and the cache panics instead of growing without bound.
+constexpr size_t kPinnedOvercommitFactor = 2;
+
+// splitmix64 finalizer: cheap, and strong enough that sequential block
+// numbers (the common on-disk layout) spread evenly across shards and
+// across the open-addressed index.
+uint64_t HashBlock(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+size_t PickShardCount(size_t capacity, size_t shard_hint) {
+  size_t n = 1;
+  while (n * 2 <= shard_hint) {
+    n *= 2;  // round the hint down to a power of two
+  }
+  while (n > 1 && capacity / n < BufferCache::kMinBuffersPerShard) {
+    n /= 2;
+  }
+  return n;
+}
+
 }  // namespace
 
 bool GetBufferStateChecking() { return g_state_checking.load(std::memory_order_relaxed); }
@@ -20,78 +57,228 @@ void SetBufferStateChecking(bool enabled) {
   g_state_checking.store(enabled, std::memory_order_relaxed);
 }
 
-BufferCache::BufferCache(BlockDevice& device, size_t capacity)
-    : device_(device), capacity_(capacity), mutex_("buffercache.lock") {
-  SKERN_CHECK(capacity_ > 0);
+// One lock-striped shard: FIFO ticket lock, open-addressed index (linear
+// probing with tombstones) and an LRU of unreferenced buffers. All mutation
+// happens under `lock`; nothing ever holds two shard locks.
+struct BufferCache::Shard {
+  struct Slot {
+    uint64_t block = 0;
+    std::unique_ptr<BufferHead> bh;  // null = empty or tombstone
+    bool tombstone = false;
+  };
+
+  explicit Shard(size_t cap) : lock("buffercache.shard"), capacity(cap) {
+    // Size the table so the shard stays under ~50% load even at full
+    // overcommit; rehashing then only ever fires to purge tombstones.
+    slots.resize(NextPowerOfTwo(
+        std::max<size_t>(16, capacity * kPinnedOvercommitFactor * 2)));
+  }
+
+  BufferHead* Find(uint64_t block) const {
+    size_t mask = slots.size() - 1;
+    for (size_t i = HashBlock(block) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots[i];
+      if (s.bh == nullptr) {
+        if (!s.tombstone) {
+          return nullptr;
+        }
+        continue;
+      }
+      if (s.block == block) {
+        return s.bh.get();
+      }
+    }
+  }
+
+  void Insert(uint64_t block, std::unique_ptr<BufferHead> bh) {
+    MaybeRehash();
+    size_t mask = slots.size() - 1;
+    size_t reuse = slots.size();  // first tombstone seen on the probe path
+    for (size_t i = HashBlock(block) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots[i];
+      if (s.bh == nullptr) {
+        if (s.tombstone) {
+          if (reuse == slots.size()) {
+            reuse = i;
+          }
+          continue;
+        }
+        size_t target = (reuse != slots.size()) ? reuse : i;
+        if (target == i) {
+          ++used;  // claimed a genuinely empty slot
+        } else {
+          slots[target].tombstone = false;
+        }
+        slots[target].block = block;
+        slots[target].bh = std::move(bh);
+        ++count;
+        return;
+      }
+    }
+  }
+
+  std::unique_ptr<BufferHead> Erase(uint64_t block) {
+    size_t mask = slots.size() - 1;
+    for (size_t i = HashBlock(block) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots[i];
+      if (s.bh == nullptr) {
+        if (!s.tombstone) {
+          return nullptr;
+        }
+        continue;
+      }
+      if (s.block == block) {
+        s.tombstone = true;
+        --count;
+        return std::move(s.bh);
+      }
+    }
+  }
+
+  void MaybeRehash() {
+    if ((used + 1) * 4 < slots.size() * 3) {
+      return;  // below 75% of slots consumed (live + tombstones)
+    }
+    std::vector<Slot> old = std::move(slots);
+    slots.clear();
+    slots.resize(NextPowerOfTwo(std::max<size_t>(16, count * 4)));
+    used = 0;
+    size_t mask = slots.size() - 1;
+    for (Slot& s : old) {
+      if (s.bh == nullptr) {
+        continue;
+      }
+      for (size_t i = HashBlock(s.block) & mask;; i = (i + 1) & mask) {
+        if (slots[i].bh == nullptr) {
+          slots[i].block = s.block;
+          slots[i].bh = std::move(s.bh);
+          ++used;
+          break;
+        }
+      }
+    }
+  }
+
+  mutable TrackedSpinLock lock;
+  size_t capacity;
+  size_t count = 0;  // live buffers
+  size_t used = 0;   // slots consumed by live buffers + tombstones
+  std::vector<Slot> slots;
+  IntrusiveList<BufferHead, &BufferHead::lru_node> lru;
+  BufferCacheStats stats;
+};
+
+BufferCache::BufferCache(BlockDevice& device, size_t capacity, size_t shard_hint)
+    : device_(device) {
+  SKERN_CHECK(capacity > 0);
+  SKERN_CHECK(shard_hint > 0);
+  size_t nshards = PickShardCount(capacity, shard_hint);
+  shard_mask_ = nshards - 1;
+  shards_.reserve(nshards);
+  for (size_t i = 0; i < nshards; ++i) {
+    // Split the capacity exactly: the first (capacity % nshards) shards get
+    // one extra buffer, so per-shard capacities always sum to `capacity`.
+    size_t cap = capacity / nshards + (i < capacity % nshards ? 1 : 0);
+    shards_.push_back(std::make_unique<Shard>(cap));
+  }
 }
 
 BufferCache::~BufferCache() {
   // Unpin LRU membership so the intrusive-list debug checks stay quiet.
-  lru_.Clear();
+  for (auto& shard : shards_) {
+    shard->lru.Clear();
+  }
 }
 
-void BufferCache::ValidateTransition(const BufferHead* bh, const char* where) {
+BufferCache::Shard& BufferCache::ShardFor(uint64_t block) const {
+  return *shards_[HashBlock(block) & shard_mask_];
+}
+
+void BufferCache::ValidateTransition(Shard& shard, const BufferHead* bh,
+                                     const char* where) {
   if (!GetBufferStateChecking()) {
     return;
   }
   auto violations = ValidateBufferState(bh->state.load(std::memory_order_acquire));
   if (!violations.empty()) {
-    stats_.state_violations += violations.size();
+    shard.stats.state_violations += violations.size();
     Panic(std::string("buffer_head state invalid at ") + where + ": " +
           violations.front().rule + " [" +
           BufferStateToString(bh->state.load(std::memory_order_relaxed)) + "]");
   }
 }
 
-void BufferCache::EvictIfNeededLocked() {
-  while (buffers_.size() >= capacity_) {
-    BufferHead* victim = lru_.PopFront();
+void BufferCache::EvictIfNeededLocked(Shard& shard) {
+  while (shard.count >= shard.capacity) {
+    BufferHead* victim = shard.lru.PopFront();
     if (victim == nullptr) {
-      // Everything is referenced; the cache cannot shrink. Allow temporary
-      // overcommit rather than deadlocking the caller.
-      SKERN_WARN() << "buffer cache over capacity with all buffers pinned";
+      // Everything is referenced; the shard cannot shrink. Allow temporary
+      // overcommit rather than deadlocking the caller, but a caller that
+      // pins past twice the shard capacity is leaking references.
+      if (shard.count >= shard.capacity * kPinnedOvercommitFactor) {
+        Panic("buffer cache pinned over capacity: shard holds " +
+              std::to_string(shard.count) + " pinned buffers, capacity " +
+              std::to_string(shard.capacity));
+      }
+      SKERN_WARN() << "buffer cache shard over capacity with all buffers pinned";
       return;
     }
     if (victim->Test(BhFlag::kDirty)) {
-      Status s = WriteBackLocked(victim);
+      Status s = WriteBackLocked(shard, victim);
       if (!s.ok()) {
         // Failed writeback: keep the buffer (and its data) around; put it at
         // the hot end so we do not spin on it.
-        lru_.PushBack(victim);
+        shard.lru.PushBack(victim);
         return;
       }
     }
-    ++stats_.evictions;
+    ++shard.stats.evictions;
     SKERN_COUNTER_INC("block.cache.evictions");
     SKERN_TRACE("block", "cache_evict", victim->blocknr);
-    buffers_.erase(victim->blocknr);
+    shard.Erase(victim->blocknr);
   }
 }
 
 BufferHead* BufferCache::GetBlock(uint64_t block) {
-  MutexGuard guard(mutex_);
-  auto it = buffers_.find(block);
-  if (it != buffers_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardFor(block);
+  bool hit;
+  BufferHead* result;
+  {
+    SpinLockGuard guard(shard.lock);
+    ++shard.stats.lookups;
+    BufferHead* bh = shard.Find(block);
+    if (bh != nullptr) {
+      ++shard.stats.hits;
+      hit = true;
+      if (bh->refcount.fetch_add(1, std::memory_order_acq_rel) == 0 &&
+          bh->lru_node.linked()) {
+        shard.lru.Remove(bh);
+      }
+      result = bh;
+    } else {
+      ++shard.stats.misses;
+      hit = false;
+      EvictIfNeededLocked(shard);
+      // A cached buffer always has a disk mapping in this substrate.
+      auto fresh =
+          std::make_unique<BufferHead>(block, static_cast<uint32_t>(BhFlag::kMapped));
+      result = fresh.get();
+      result->refcount.store(1, std::memory_order_release);
+      shard.Insert(block, std::move(fresh));
+      ValidateTransition(shard, result, "GetBlock");
+    }
+  }
+  // Counters and trace are emitted after dropping the shard lock: they have
+  // their own internal synchronization and would otherwise dominate the
+  // critical section on the hit path.
+  if (hit) {
     SKERN_COUNTER_INC("block.cache.hits");
     SKERN_TRACE("block", "cache_hit", block);
-    BufferHead* bh = it->second.get();
-    if (bh->refcount.fetch_add(1, std::memory_order_acq_rel) == 0 && bh->lru_node.linked()) {
-      lru_.Remove(bh);
-    }
-    return bh;
+  } else {
+    SKERN_COUNTER_INC("block.cache.misses");
+    SKERN_TRACE("block", "cache_miss", block);
   }
-  ++stats_.misses;
-  SKERN_COUNTER_INC("block.cache.misses");
-  SKERN_TRACE("block", "cache_miss", block);
-  EvictIfNeededLocked();
-  // A cached buffer always has a disk mapping in this substrate.
-  auto bh = std::make_unique<BufferHead>(block, static_cast<uint32_t>(BhFlag::kMapped));
-  BufferHead* raw = bh.get();
-  raw->refcount.store(1, std::memory_order_release);
-  buffers_[block] = std::move(bh);
-  ValidateTransition(raw, "GetBlock");
-  return raw;
+  return result;
 }
 
 Result<BufferHead*> BufferCache::ReadBlock(uint64_t block) {
@@ -99,17 +286,18 @@ Result<BufferHead*> BufferCache::ReadBlock(uint64_t block) {
   if (bh->Test(BhFlag::kUptodate)) {
     return bh;
   }
-  // Fill under the cache lock so two concurrent fillers of the same buffer
+  // Fill under the shard lock so two concurrent fillers of the same buffer
   // cannot interleave the Lock/AsyncRead transitions (the simulated device
   // read is cheap, so serializing the miss path costs little).
-  MutexGuard guard(mutex_);
+  Shard& shard = ShardFor(block);
+  SpinLockGuard guard(shard.lock);
   if (bh->Test(BhFlag::kUptodate)) {
     return bh;  // another thread filled it while we waited
   }
   // I/O in flight: locked + async read, like block_read_full_page.
   bh->Set(BhFlag::kLock);
   bh->Set(BhFlag::kAsyncRead);
-  ValidateTransition(bh, "ReadBlock/submit");
+  ValidateTransition(shard, bh, "ReadBlock/submit");
   Status s = device_.ReadBlock(block, MutableByteView(bh->data));
   bh->Clear(BhFlag::kAsyncRead);
   bh->Clear(BhFlag::kLock);
@@ -120,16 +308,17 @@ Result<BufferHead*> BufferCache::ReadBlock(uint64_t block) {
   }
   bh->Set(BhFlag::kUptodate);
   bh->Set(BhFlag::kReq);
-  ValidateTransition(bh, "ReadBlock/complete");
+  ValidateTransition(shard, bh, "ReadBlock/complete");
   return bh;
 }
 
 void BufferCache::Release(BufferHead* bh) {
-  MutexGuard guard(mutex_);
+  Shard& shard = ShardFor(bh->blocknr);
+  SpinLockGuard guard(shard.lock);
   int32_t prev = bh->refcount.fetch_sub(1, std::memory_order_acq_rel);
   SKERN_CHECK_MSG(prev > 0, "brelse of unreferenced buffer");
   if (prev == 1) {
-    lru_.PushBack(bh);
+    shard.lru.PushBack(bh);
   }
 }
 
@@ -137,10 +326,12 @@ void BufferCache::MarkDirty(BufferHead* bh) {
   SKERN_CHECK_MSG(bh->Test(BhFlag::kUptodate),
                   "mark_buffer_dirty on a non-uptodate buffer (rule R1)");
   bh->Set(BhFlag::kDirty);
-  ValidateTransition(bh, "MarkDirty");
+  Shard& shard = ShardFor(bh->blocknr);
+  SpinLockGuard guard(shard.lock);
+  ValidateTransition(shard, bh, "MarkDirty");
 }
 
-Status BufferCache::WriteBackLocked(BufferHead* bh) {
+Status BufferCache::WriteBackLocked(Shard& shard, BufferHead* bh) {
   if (!bh->Test(BhFlag::kDirty)) {
     return Status::Ok();
   }
@@ -149,62 +340,98 @@ Status BufferCache::WriteBackLocked(BufferHead* bh) {
   bh->Set(BhFlag::kLock);
   bh->Set(BhFlag::kAsyncWrite);
   bh->Set(BhFlag::kReq);
-  ValidateTransition(bh, "WriteBack/submit");
+  ValidateTransition(shard, bh, "WriteBack/submit");
   Status s = device_.WriteBlock(bh->blocknr, ByteView(bh->data));
   bh->Clear(BhFlag::kAsyncWrite);
   bh->Clear(BhFlag::kLock);
   if (!s.ok()) {
     bh->Set(BhFlag::kWriteEio);
-    ValidateTransition(bh, "WriteBack/error");
+    ValidateTransition(shard, bh, "WriteBack/error");
     return s;
   }
   bh->Clear(BhFlag::kWriteEio);
-  ++stats_.writebacks;
+  ++shard.stats.writebacks;
   SKERN_COUNTER_INC("block.cache.writebacks");
   SKERN_TRACE("block", "writeback", bh->blocknr);
-  ValidateTransition(bh, "WriteBack/complete");
+  ValidateTransition(shard, bh, "WriteBack/complete");
   return Status::Ok();
 }
 
 Status BufferCache::WriteBack(BufferHead* bh) {
-  MutexGuard guard(mutex_);
-  return WriteBackLocked(bh);
+  Shard& shard = ShardFor(bh->blocknr);
+  SpinLockGuard guard(shard.lock);
+  return WriteBackLocked(shard, bh);
 }
 
 Status BufferCache::SyncAll() {
-  {
-    MutexGuard guard(mutex_);
-    for (auto& [block, bh] : buffers_) {
-      SKERN_RETURN_IF_ERROR(WriteBackLocked(bh.get()));
+  for (auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
+    for (auto& slot : shard->slots) {
+      if (slot.bh != nullptr) {
+        SKERN_RETURN_IF_ERROR(WriteBackLocked(*shard, slot.bh.get()));
+      }
     }
   }
   return device_.Flush();
 }
 
 void BufferCache::InvalidateAll() {
-  MutexGuard guard(mutex_);
-  for (auto& [block, bh] : buffers_) {
-    SKERN_CHECK_MSG(bh->refcount.load(std::memory_order_acquire) == 0,
-                    "InvalidateAll with referenced buffers");
-    SKERN_CHECK_MSG(!bh->Test(BhFlag::kDirty), "InvalidateAll with dirty buffers");
+  for (auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
+    for (auto& slot : shard->slots) {
+      if (slot.bh == nullptr) {
+        continue;
+      }
+      SKERN_CHECK_MSG(slot.bh->refcount.load(std::memory_order_acquire) == 0,
+                      "InvalidateAll with referenced buffers");
+      SKERN_CHECK_MSG(!slot.bh->Test(BhFlag::kDirty),
+                      "InvalidateAll with dirty buffers");
+    }
+    shard->lru.Clear();
+    shard->slots.clear();
+    shard->slots.resize(NextPowerOfTwo(
+        std::max<size_t>(16, shard->capacity * kPinnedOvercommitFactor * 2)));
+    shard->count = 0;
+    shard->used = 0;
   }
-  lru_.Clear();
-  buffers_.clear();
 }
 
 std::vector<BufferStateViolation> BufferCache::ValidateAll() const {
-  MutexGuard guard(mutex_);
   std::vector<BufferStateViolation> all;
-  for (const auto& [block, bh] : buffers_) {
-    auto v = ValidateBufferState(bh->state.load(std::memory_order_acquire));
-    all.insert(all.end(), v.begin(), v.end());
+  for (const auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
+    for (const auto& slot : shard->slots) {
+      if (slot.bh == nullptr) {
+        continue;
+      }
+      auto v = ValidateBufferState(slot.bh->state.load(std::memory_order_acquire));
+      all.insert(all.end(), v.begin(), v.end());
+    }
   }
   return all;
 }
 
+BufferCacheStats BufferCache::stats() const {
+  BufferCacheStats total;
+  for (const auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
+    total.lookups += shard->stats.lookups;
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.writebacks += shard->stats.writebacks;
+    total.state_violations += shard->stats.state_violations;
+  }
+  return total;
+}
+
 size_t BufferCache::size() const {
-  MutexGuard guard(mutex_);
-  return buffers_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
+    total += shard->count;
+  }
+  return total;
 }
 
 }  // namespace skern

@@ -5,11 +5,17 @@
 // buffer_head.h; an invalid combination panics, so "must be set correctly and
 // at the right point in the code to prevent data loss or corruption" (§4.4)
 // becomes machine-enforced rather than reviewer-enforced.
+//
+// Concurrency: the cache is lock-striped. Blocks hash onto N independent
+// shards; each shard has its own FIFO ticket lock, open-addressed hash index
+// and LRU list, so lookups of blocks in different shards never contend. No
+// operation ever holds two shard locks, and the block device is the only
+// thing reached from under a shard lock — the device must therefore be
+// internally thread-safe (RamDisk is).
 #ifndef SKERN_SRC_BLOCK_BUFFER_CACHE_H_
 #define SKERN_SRC_BLOCK_BUFFER_CACHE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -26,6 +32,7 @@ bool GetBufferStateChecking();
 void SetBufferStateChecking(bool enabled);
 
 struct BufferCacheStats {
+  uint64_t lookups = 0;  // GetBlock calls; hits + misses == lookups
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
@@ -35,17 +42,27 @@ struct BufferCacheStats {
 
 class BufferCache {
  public:
-  // `capacity` is the maximum number of cached buffers; eviction is LRU over
-  // unreferenced buffers.
-  BufferCache(BlockDevice& device, size_t capacity);
+  // Upper bound on shard count; the constructor rounds the hint down to a
+  // power of two and keeps at least kMinBuffersPerShard buffers per shard,
+  // so small caches degenerate to a single shard and keep exact global-LRU
+  // semantics.
+  static constexpr size_t kDefaultShardHint = 8;
+  static constexpr size_t kMinBuffersPerShard = 4;
+
+  // `capacity` is the maximum number of cached buffers, split across the
+  // shards; eviction is LRU over unreferenced buffers, per shard.
+  BufferCache(BlockDevice& device, size_t capacity,
+              size_t shard_hint = kDefaultShardHint);
   ~BufferCache();
 
   BufferCache(const BufferCache&) = delete;
   BufferCache& operator=(const BufferCache&) = delete;
 
   // getblk: finds or creates the buffer for `block` and takes a reference.
-  // The buffer may not be uptodate. Returns nullptr only if the cache is
-  // completely pinned and over capacity (caller bug) — checked.
+  // The buffer may not be uptodate. Never returns nullptr: a shard over
+  // capacity with every buffer pinned overcommits temporarily, and panics
+  // (caller bug — leaked references) once the overcommit exceeds twice the
+  // shard's capacity.
   BufferHead* GetBlock(uint64_t block);
 
   // bread: GetBlock + ensures the contents are read from the device.
@@ -71,20 +88,23 @@ class BufferCache {
   // Runs the state validator over every cached buffer.
   std::vector<BufferStateViolation> ValidateAll() const;
 
-  const BufferCacheStats& stats() const { return stats_; }
+  // Aggregated across shards; a consistent snapshot per shard (each shard is
+  // read under its lock), so hits + misses == lookups always holds.
+  BufferCacheStats stats() const;
   size_t size() const;
+  size_t shard_count() const { return shards_.size(); }
 
  private:
-  void ValidateTransition(const BufferHead* bh, const char* where);
-  void EvictIfNeededLocked();
-  Status WriteBackLocked(BufferHead* bh);
+  struct Shard;
+
+  Shard& ShardFor(uint64_t block) const;
+  void ValidateTransition(Shard& shard, const BufferHead* bh, const char* where);
+  void EvictIfNeededLocked(Shard& shard);
+  Status WriteBackLocked(Shard& shard, BufferHead* bh);
 
   BlockDevice& device_;
-  size_t capacity_;
-  mutable TrackedMutex mutex_;
-  std::map<uint64_t, std::unique_ptr<BufferHead>> buffers_;
-  IntrusiveList<BufferHead, &BufferHead::lru_node> lru_;  // unreferenced buffers
-  BufferCacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t shard_mask_;  // shard count - 1 (power of two)
 };
 
 }  // namespace skern

@@ -1,5 +1,7 @@
 #include "src/block/journal.h"
 
+#include <utility>
+
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -47,6 +49,11 @@ void Journal::Tx::AddBlock(uint64_t home_block, ByteView content) {
   blocks_[home_block] = content.ToBytes();
 }
 
+Status Journal::FlushDevice() {
+  ++stats_.device_flushes;
+  return device_.Flush();
+}
+
 Status Journal::WriteSuperblock() {
   Bytes sb(kBlockSize, 0);
   MutableByteView view(sb);
@@ -55,7 +62,7 @@ Status Journal::WriteSuperblock() {
   PutU64(view, 16, length_);
   PutU64(view, 24, Fnv1a(ByteView(sb.data(), 24)));
   SKERN_RETURN_IF_ERROR(device_.WriteBlock(start_, ByteView(sb)));
-  return device_.Flush();
+  return FlushDevice();
 }
 
 Status Journal::ReadSuperblock(uint64_t* sequence_out) const {
@@ -77,14 +84,56 @@ Status Journal::Format() {
   return WriteSuperblock();
 }
 
-Status Journal::Commit(Tx&& tx) {
-  SKERN_TIMED_SCOPE("journal.commit.latency_ns");
+void Journal::set_max_batch_txs(size_t n) {
+  SKERN_CHECK_MSG(n > 0, "max batch must allow at least one transaction");
+  max_batch_txs_ = n;
+}
+
+Status Journal::Submit(Tx&& tx) {
   if (tx.blocks_.empty()) {
     return Status::Ok();
   }
   if (tx.blocks_.size() > Capacity()) {
+    // Rejected before touching the pending batch or the device, so a caller
+    // that mis-sizes one transaction cannot damage already-staged work.
     return Status::Error(Errno::kENOSPC);
   }
+  // Count how many of tx's blocks are new to the batch; coalescing rewrites
+  // of an already-staged block costs no capacity.
+  size_t fresh = 0;
+  for (const auto& [home, content] : tx.blocks_) {
+    if (pending_blocks_.find(home) == pending_blocks_.end()) {
+      ++fresh;
+    }
+  }
+  if (pending_blocks_.size() + fresh > Capacity()) {
+    SKERN_RETURN_IF_ERROR(Flush());
+  }
+  for (auto& [home, content] : tx.blocks_) {
+    pending_blocks_[home] = std::move(content);
+  }
+  ++pending_txs_;
+  SKERN_COUNTER_INC("journal.submits");
+  SKERN_TRACE("journal", "submit", sequence_, tx.blocks_.size());
+  if (pending_txs_ >= max_batch_txs_) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status Journal::Flush() {
+  if (pending_blocks_.empty()) {
+    pending_txs_ = 0;
+    return Status::Ok();
+  }
+  SKERN_TIMED_SCOPE("journal.commit.latency_ns");
+  // The batch is consumed whether or not the protocol succeeds: a device
+  // error mid-protocol is a crash from the journal's point of view, and
+  // Recover() decides whether the batch became durable.
+  std::map<uint64_t, Bytes> batch = std::move(pending_blocks_);
+  size_t batch_txs = pending_txs_;
+  pending_blocks_.clear();
+  pending_txs_ = 0;
   uint64_t txid = sequence_;
 
   // Step 1: descriptor + data blocks.
@@ -92,27 +141,29 @@ Status Journal::Commit(Tx&& tx) {
   MutableByteView desc_view(desc);
   PutU64(desc_view, 0, kDescMagic);
   PutU64(desc_view, 8, txid);
-  PutU64(desc_view, 16, tx.blocks_.size());
+  PutU64(desc_view, 16, batch.size());
   {
-    size_t offset = 24;
-    for (const auto& [home, content] : tx.blocks_) {
-      SKERN_CHECK_MSG(offset + 8 <= kBlockSize, "descriptor overflow");
+    size_t offset = kJournalDescHeaderBytes;
+    for (const auto& [home, content] : batch) {
+      SKERN_CHECK_MSG(offset + kJournalDescSlotBytes <= kBlockSize - kJournalChecksumBytes,
+                      "descriptor overflow");
       PutU64(desc_view, offset, home);
-      offset += 8;
+      offset += kJournalDescSlotBytes;
     }
-    PutU64(desc_view, kBlockSize - 8, Fnv1a(ByteView(desc.data(), kBlockSize - 8)));
+    PutU64(desc_view, kBlockSize - kJournalChecksumBytes,
+           Fnv1a(ByteView(desc.data(), kBlockSize - kJournalChecksumBytes)));
   }
   SKERN_RETURN_IF_ERROR(device_.WriteBlock(start_ + 1, ByteView(desc)));
   uint64_t data_checksum = 0xcbf29ce484222325ULL;
   {
     uint64_t slot = start_ + 2;
-    for (const auto& [home, content] : tx.blocks_) {
+    for (const auto& [home, content] : batch) {
       SKERN_RETURN_IF_ERROR(device_.WriteBlock(slot, ByteView(content)));
       data_checksum = Fnv1a(ByteView(content), data_checksum);
       ++slot;
     }
   }
-  SKERN_RETURN_IF_ERROR(device_.Flush());
+  SKERN_RETURN_IF_ERROR(FlushDevice());
 
   // Step 2: commit block.
   Bytes commit(kBlockSize, 0);
@@ -122,25 +173,32 @@ Status Journal::Commit(Tx&& tx) {
   PutU64(commit_view, 16, data_checksum);
   PutU64(commit_view, 24, Fnv1a(ByteView(commit.data(), 24)));
   SKERN_RETURN_IF_ERROR(
-      device_.WriteBlock(start_ + 2 + tx.blocks_.size(), ByteView(commit)));
-  SKERN_RETURN_IF_ERROR(device_.Flush());
+      device_.WriteBlock(start_ + 2 + batch.size(), ByteView(commit)));
+  SKERN_RETURN_IF_ERROR(FlushDevice());
 
   // Step 3: checkpoint — write home locations.
-  for (const auto& [home, content] : tx.blocks_) {
+  for (const auto& [home, content] : batch) {
     SKERN_RETURN_IF_ERROR(device_.WriteBlock(home, ByteView(content)));
   }
-  SKERN_RETURN_IF_ERROR(device_.Flush());
+  SKERN_RETURN_IF_ERROR(FlushDevice());
 
-  // Step 4: retire the transaction.
+  // Step 4: retire the batch.
   sequence_ = txid + 1;
   SKERN_RETURN_IF_ERROR(WriteSuperblock());
 
   ++stats_.commits;
-  stats_.blocks_journaled += tx.blocks_.size();
+  stats_.txs_committed += batch_txs;
+  stats_.blocks_journaled += batch.size();
   SKERN_COUNTER_INC("journal.commits");
-  SKERN_COUNTER_ADD("journal.blocks_journaled", tx.blocks_.size());
-  SKERN_TRACE("journal", "commit", txid, tx.blocks_.size());
+  SKERN_COUNTER_ADD("journal.txs_committed", batch_txs);
+  SKERN_COUNTER_ADD("journal.blocks_journaled", batch.size());
+  SKERN_TRACE("journal", "commit", txid, batch.size());
   return Status::Ok();
+}
+
+Status Journal::Commit(Tx&& tx) {
+  SKERN_RETURN_IF_ERROR(Submit(std::move(tx)));
+  return Flush();
 }
 
 Status Journal::Recover() {
@@ -148,8 +206,8 @@ Status Journal::Recover() {
   SKERN_RETURN_IF_ERROR(ReadSuperblock(&sb_sequence));
   sequence_ = sb_sequence;
 
-  // Read the descriptor slot; if it holds a committed transaction the
-  // superblock has not retired, replay it.
+  // Read the descriptor slot; if it holds a committed batch the superblock
+  // has not retired, replay it.
   Bytes desc(kBlockSize, 0);
   SKERN_RETURN_IF_ERROR(device_.ReadBlock(start_ + 1, MutableByteView(desc)));
   ByteView desc_view(desc);
@@ -157,8 +215,9 @@ Status Journal::Recover() {
     ++stats_.empty_recoveries;
     return Status::Ok();
   }
-  if (GetU64(desc_view, kBlockSize - 8) != Fnv1a(ByteView(desc.data(), kBlockSize - 8))) {
-    ++stats_.empty_recoveries;  // torn descriptor: transaction never committed
+  if (GetU64(desc_view, kBlockSize - kJournalChecksumBytes) !=
+      Fnv1a(ByteView(desc.data(), kBlockSize - kJournalChecksumBytes))) {
+    ++stats_.empty_recoveries;  // torn descriptor: batch never committed
     return Status::Ok();
   }
   uint64_t txid = GetU64(desc_view, 8);
@@ -194,10 +253,10 @@ Status Journal::Recover() {
     return Status::Ok();
   }
   for (uint64_t i = 0; i < count; ++i) {
-    uint64_t home = GetU64(desc_view, 24 + 8 * i);
+    uint64_t home = GetU64(desc_view, kJournalDescHeaderBytes + kJournalDescSlotBytes * i);
     SKERN_RETURN_IF_ERROR(device_.WriteBlock(home, ByteView(payload[i])));
   }
-  SKERN_RETURN_IF_ERROR(device_.Flush());
+  SKERN_RETURN_IF_ERROR(FlushDevice());
   sequence_ = txid + 1;
   SKERN_RETURN_IF_ERROR(WriteSuperblock());
   ++stats_.replays;

@@ -1,20 +1,25 @@
 // Write-ahead journal (jbd2 analogue) providing atomic multi-block updates.
 //
-// The journal owns a dedicated block range on the device. Each transaction is
-// committed with the classic protocol:
+// The journal owns a dedicated block range on the device. Transactions are
+// staged with Submit() into a pending batch (jbd2-style group commit) and the
+// batch is made durable with Flush(), which runs the classic protocol once
+// for the whole batch:
 //   1. descriptor + data blocks        -> flush (barrier)
 //   2. commit block (with checksum)    -> flush
 //   3. checkpoint: write home blocks   -> flush
 //   4. journal superblock sequence advance -> flush
-// A crash at any point either replays the transaction fully (commit block
-// durable and checksummed) or ignores it (commit missing/torn) — never a
-// partial application. Recovery is idempotent.
+// Group commit amortizes those four barriers over every transaction in the
+// batch instead of paying them per transaction. A crash at any point either
+// replays the batch fully (commit block durable and checksummed) or ignores
+// it (commit missing/torn) — never a partial application; since a batch is a
+// single on-disk transaction, "all-or-nothing per batch" is exactly the old
+// per-transaction contract with a coarser grain. Recovery is idempotent.
 //
-// Simplifications vs. jbd2, documented in DESIGN.md: commits are synchronous
-// and checkpoint immediately (at most one transaction lives in the journal),
-// and data is journaled along with metadata (data=journal mode), which makes
-// the crash contract exact: a recovered file system equals the last committed
-// state, which is what the FsModel crash oracle checks.
+// Simplifications vs. jbd2, documented in DESIGN.md: Flush is synchronous and
+// checkpoints immediately (at most one batch lives in the journal), and data
+// is journaled along with metadata (data=journal mode), which makes the crash
+// contract exact: a recovered file system equals the last flushed state,
+// which is what the FsModel crash oracle checks.
 #ifndef SKERN_SRC_BLOCK_JOURNAL_H_
 #define SKERN_SRC_BLOCK_JOURNAL_H_
 
@@ -28,15 +33,28 @@
 
 namespace skern {
 
+// On-disk descriptor-block layout. The descriptor starts with a 24-byte
+// header (magic, txid, block count — three u64s), followed by one 8-byte
+// home block number per journaled block, and ends with an 8-byte FNV-1a
+// checksum over everything before it.
+inline constexpr uint64_t kJournalDescHeaderBytes = 24;
+inline constexpr uint64_t kJournalDescSlotBytes = 8;
+inline constexpr uint64_t kJournalChecksumBytes = 8;
+
 struct JournalStats {
-  uint64_t commits = 0;
+  uint64_t commits = 0;           // on-disk batch commits (Flush with work)
+  uint64_t txs_committed = 0;     // logical transactions made durable
   uint64_t blocks_journaled = 0;
-  uint64_t replays = 0;          // transactions replayed at recovery
+  uint64_t device_flushes = 0;    // barriers this journal issued
+  uint64_t replays = 0;           // batches replayed at recovery
   uint64_t empty_recoveries = 0;  // recoveries with nothing to replay
 };
 
 class Journal {
  public:
+  // Logical transactions per batch before Submit flushes automatically.
+  static constexpr size_t kDefaultMaxBatchTxs = 32;
+
   // The journal occupies device blocks [start, start + length). length must
   // be at least 4 (superblock + descriptor + 1 data + commit).
   Journal(BlockDevice& device, uint64_t start, uint64_t length);
@@ -57,22 +75,43 @@ class Journal {
   Status Format();
 
   // Scans the journal and replays any committed-but-not-checkpointed
-  // transaction (mount path). Safe to call on a clean journal.
+  // batch (mount path). Safe to call on a clean journal.
   Status Recover();
 
   Tx Begin() const { return Tx(); }
 
-  // Runs the four-step commit protocol. An empty transaction is a no-op.
-  // Fails (without corrupting anything) if the transaction exceeds the
-  // journal capacity or the device errors.
+  // Stages `tx` into the pending batch without making it durable. Blocks
+  // staged by different transactions coalesce last-writer-wins, like buffers
+  // re-dirtied across jbd2 transactions in one running batch. Flushes the
+  // current batch first if `tx` would not fit, and flushes after staging if
+  // the batch reaches the max-batch bound. Fails with ENOSPC (nothing
+  // staged, nothing flushed) if `tx` alone exceeds the journal capacity.
+  Status Submit(Tx&& tx);
+
+  // Makes the pending batch durable via the four-step protocol. An empty
+  // batch is a no-op. On device error the batch is discarded (the caller
+  // recovers through Recover(), same as a crash).
+  Status Flush();
+
+  // Submit + Flush: the unbatched commit path. An empty transaction is a
+  // no-op. Fails (without corrupting anything) if the transaction exceeds
+  // the journal capacity or the device errors.
   Status Commit(Tx&& tx);
 
-  // Transaction capacity in home blocks: bounded by the journal area and by
-  // the descriptor block (which lists home block numbers inline).
+  // Batch capacity in home blocks: bounded by the journal area and by the
+  // descriptor block (which lists home block numbers inline after its
+  // header, leaving room for the trailing checksum).
   uint64_t Capacity() const {
-    uint64_t desc_slots = (kBlockSize - 32) / 8;
+    uint64_t desc_slots =
+        (kBlockSize - kJournalDescHeaderBytes - kJournalChecksumBytes) /
+        kJournalDescSlotBytes;
     return length_ - 3 < desc_slots ? length_ - 3 : desc_slots;
   }
+
+  void set_max_batch_txs(size_t n);
+  size_t max_batch_txs() const { return max_batch_txs_; }
+  size_t pending_tx_count() const { return pending_txs_; }
+  size_t pending_block_count() const { return pending_blocks_.size(); }
 
   uint64_t sequence() const { return sequence_; }
   const JournalStats& stats() const { return stats_; }
@@ -80,11 +119,15 @@ class Journal {
  private:
   Status WriteSuperblock();
   Status ReadSuperblock(uint64_t* sequence_out) const;
+  Status FlushDevice();
 
   BlockDevice& device_;
   uint64_t start_;
   uint64_t length_;
-  uint64_t sequence_ = 1;  // next transaction id
+  uint64_t sequence_ = 1;  // next batch id
+  size_t max_batch_txs_ = kDefaultMaxBatchTxs;
+  std::map<uint64_t, Bytes> pending_blocks_;  // staged batch, home -> content
+  size_t pending_txs_ = 0;                    // logical txs in the batch
   JournalStats stats_;
 };
 

@@ -151,6 +151,18 @@ int map_block(legacy_sb* sb, const DiskInode* di, uint64_t index, uint64_t* out)
   return 0;
 }
 
+// getblk for a freshly allocated block: zero-fill and mark uptodate + dirty.
+// Returns the buffer pinned; callers must Release it. GetBlock never returns
+// nullptr (a cache pinned far over capacity panics — see buffer_cache.h), so
+// there is deliberately no error path here.
+BufferHead* get_zeroed_block(BufferCache* cache, uint64_t block) {
+  BufferHead* bh = cache->GetBlock(block);
+  bh->data.assign(kBlockSize, 0);
+  bh->Set(BhFlag::kUptodate);
+  cache->MarkDirty(bh);
+  return bh;
+}
+
 int map_block_for_write(legacy_sb* sb, uint64_t ino, DiskInode* di, uint64_t index,
                         uint64_t* out) {
   if (index < kDirectBlocks) {
@@ -161,11 +173,7 @@ int map_block_for_write(legacy_sb* sb, uint64_t ino, DiskInode* di, uint64_t ind
         return err;
       }
       // Fresh block: zero it via the cache.
-      BufferHead* bh = sb->cache->GetBlock(block);
-      bh->data.assign(kBlockSize, 0);
-      bh->Set(BhFlag::kUptodate);
-      sb->cache->MarkDirty(bh);
-      sb->cache->Release(bh);
+      sb->cache->Release(get_zeroed_block(sb->cache, block));
       di->direct[index] = block;
       int werr = write_disk_inode(sb, ino, di);
       if (werr) {
@@ -185,11 +193,7 @@ int map_block_for_write(legacy_sb* sb, uint64_t ino, DiskInode* di, uint64_t ind
     if (err) {
       return err;
     }
-    BufferHead* bh = sb->cache->GetBlock(iblock);
-    bh->data.assign(kBlockSize, 0);
-    bh->Set(BhFlag::kUptodate);
-    sb->cache->MarkDirty(bh);
-    sb->cache->Release(bh);
+    sb->cache->Release(get_zeroed_block(sb->cache, iblock));
     di->indirect = iblock;
     int werr = write_disk_inode(sb, ino, di);
     if (werr) {
@@ -209,11 +213,7 @@ int map_block_for_write(legacy_sb* sb, uint64_t ino, DiskInode* di, uint64_t ind
       sb->cache->Release(ind);
       return err;
     }
-    BufferHead* bh = sb->cache->GetBlock(block);
-    bh->data.assign(kBlockSize, 0);
-    bh->Set(BhFlag::kUptodate);
-    sb->cache->MarkDirty(bh);
-    sb->cache->Release(bh);
+    sb->cache->Release(get_zeroed_block(sb->cache, block));
     LayoutPutU64(MutableByteView(ind->data), ii * 8, block);
     sb->cache->MarkDirty(ind);
     mapped = block;
@@ -1149,27 +1149,16 @@ void* legacyfs_create_super(BufferCache* cache, const FsGeometry* geo) {
   sb->cache = cache;
   sb->geo = *geo;
   // Superblock block.
-  BufferHead* bh = cache->GetBlock(kSuperblockBlock);
+  BufferHead* bh = get_zeroed_block(cache, kSuperblockBlock);
   SuperblockRec rec;
   rec.geometry = *geo;
-  bh->data.assign(kBlockSize, 0);
   EncodeSuperblock(rec, MutableByteView(bh->data));
-  bh->Set(BhFlag::kUptodate);
-  cache->MarkDirty(bh);
   cache->Release(bh);
   // Empty bitmap.
-  bh = cache->GetBlock(kBitmapBlock);
-  bh->data.assign(kBlockSize, 0);
-  bh->Set(BhFlag::kUptodate);
-  cache->MarkDirty(bh);
-  cache->Release(bh);
+  cache->Release(get_zeroed_block(cache, kBitmapBlock));
   // Zeroed inode table.
   for (uint64_t tb = 0; tb < geo->inode_table_blocks; ++tb) {
-    bh = cache->GetBlock(kInodeTableStart + tb);
-    bh->data.assign(kBlockSize, 0);
-    bh->Set(BhFlag::kUptodate);
-    cache->MarkDirty(bh);
-    cache->Release(bh);
+    cache->Release(get_zeroed_block(cache, kInodeTableStart + tb));
   }
   // Root inode.
   DiskInode root;

@@ -766,6 +766,7 @@ Status SafeFs::SyncLocked() {
     auto lend = cell.LendShared();  // model 3: read-only snapshot, zero copy of rights
     blocks.emplace_back(block, lend.Get());
   }
+  size_t data_end = blocks.size();
   // Inode-table blocks affected by dirty or freed inodes.
   std::set<uint64_t> table_blocks;
   for (uint64_t ino : dirty_inos_) {
@@ -785,23 +786,37 @@ Status SafeFs::SyncLocked() {
     }
     blocks.emplace_back(tb, std::move(block));
   }
+  size_t table_end = blocks.size();
   if (bitmap_dirty_) {
     blocks.emplace_back(kBitmapBlock, bitmap_);
   }
   if (blocks.empty()) {
     return Status::Ok();
   }
+  // Group commit: data, inode-table, and bitmap updates are staged as
+  // separate logical transactions and made durable by one journal Flush()
+  // at the end — one descriptor/commit/checkpoint barrier sequence for the
+  // whole sync instead of one per transaction. Transactions larger than the
+  // journal are chunked; Submit flushes full batches automatically, so the
+  // all-or-nothing grain is the batch, never a partial transaction.
   uint64_t capacity = journal_.Capacity();
-  for (size_t done = 0; done < blocks.size();) {
-    auto tx = journal_.Begin();
-    size_t in_tx = 0;
-    while (done < blocks.size() && in_tx < capacity) {
-      tx.AddBlock(blocks[done].first, ByteView(blocks[done].second));
-      ++done;
-      ++in_tx;
+  auto submit_group = [&](size_t begin, size_t end) -> Status {
+    while (begin < end) {
+      auto tx = journal_.Begin();
+      size_t in_tx = 0;
+      while (begin < end && in_tx < capacity) {
+        tx.AddBlock(blocks[begin].first, ByteView(blocks[begin].second));
+        ++begin;
+        ++in_tx;
+      }
+      SKERN_RETURN_IF_ERROR(journal_.Submit(std::move(tx)));
     }
-    SKERN_RETURN_IF_ERROR(journal_.Commit(std::move(tx)));
-  }
+    return Status::Ok();
+  };
+  SKERN_RETURN_IF_ERROR(submit_group(0, data_end));
+  SKERN_RETURN_IF_ERROR(submit_group(data_end, table_end));
+  SKERN_RETURN_IF_ERROR(submit_group(table_end, blocks.size()));
+  SKERN_RETURN_IF_ERROR(journal_.Flush());
   staged_.clear();
   dirty_inos_.clear();
   cleared_inos_.clear();

@@ -71,6 +71,14 @@ bool LockRegistry::CreatesCycleLocked(LockClassId from, LockClassId to) const {
 
 void LockRegistry::OnAcquire(LockClassId cls) {
   SKERN_COUNTER_INC("sync.lock.acquires");
+  if (t_held_stack.empty()) {
+    // Fast path: no locks held means no ordering edges to record, so the
+    // global registry mutex can be skipped entirely. This is what keeps
+    // independently-striped locks (buffer-cache shards) from serializing on
+    // the registry when acquired from lock-free contexts.
+    t_held_stack.push_back(cls);
+    return;
+  }
   bool violated = false;
   LockOrderViolation violation;
   {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/sync/lock_registry.h"
+#include "src/sync/spinlock.h"
 
 namespace skern {
 
@@ -73,6 +74,67 @@ class MutexGuard {
 
  private:
   TrackedMutex* mutex_;
+};
+
+// Registry-tracked FIFO ticket spinlock, for short critical sections on hot,
+// lock-striped structures (the buffer-cache shards). Same lockdep
+// integration as TrackedMutex; instances sharing one class name form one
+// lock class, so striped siblings never generate ordering edges against each
+// other (they are never nested).
+class TrackedSpinLock {
+ public:
+  explicit TrackedSpinLock(const std::string& class_name)
+      : class_id_(LockRegistry::Get().RegisterClass(class_name)) {}
+
+  void Lock() {
+    LockRegistry::Get().OnAcquire(class_id_);
+    lock_.Lock();
+  }
+
+  void Unlock() {
+    lock_.Unlock();
+    LockRegistry::Get().OnRelease(class_id_);
+  }
+
+  bool TryLock() {
+    if (lock_.TryLock()) {
+      LockRegistry::Get().OnAcquire(class_id_);
+      return true;
+    }
+    return false;
+  }
+
+  bool HeldByCurrentThread() const {
+    return LockRegistry::Get().CurrentThreadHolds(class_id_);
+  }
+
+  LockClassId class_id() const { return class_id_; }
+
+ private:
+  LockClassId class_id_;
+  TicketSpinlock lock_;
+};
+
+// RAII guard for TrackedSpinLock.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(TrackedSpinLock& lock) : lock_(&lock) { lock_->Lock(); }
+  ~SpinLockGuard() {
+    if (lock_ != nullptr) {
+      lock_->Unlock();
+    }
+  }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+  void Release() {
+    lock_->Unlock();
+    lock_ = nullptr;
+  }
+
+ private:
+  TrackedSpinLock* lock_;
 };
 
 class TrackedRwLock {

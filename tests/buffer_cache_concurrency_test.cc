@@ -122,5 +122,60 @@ TEST(BufferCacheConcurrencyTest, EvictionUnderParallelPressure) {
   EXPECT_LE(cache.size(), 16u);  // bounded (temporary overcommit allowed)
 }
 
+TEST(BufferCacheConcurrencyTest, EightThreadContentionKeepsStatsConsistent) {
+  LockRegistry::Get().ResetForTesting();
+  RamDisk disk(512, 4);
+  BufferCache cache(disk, 256, 8);
+  ASSERT_EQ(cache.shard_count(), 8u);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> lookups_issued{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 100);
+      uint64_t local_lookups = 0;
+      for (int i = 0; i < kIters; ++i) {
+        // Alternate between a disjoint per-thread range (uncontended shards)
+        // and a shared hot range every thread hammers (contended shards).
+        uint64_t block = (i % 2 == 0)
+                             ? 64 + static_cast<uint64_t>(t) * 16 + rng.NextBelow(16)
+                             : rng.NextBelow(32);
+        auto r = cache.ReadBlock(block);
+        ++local_lookups;  // ReadBlock always issues exactly one GetBlock
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        BufferHead* bh = r.value();
+        if (bh->blocknr != block) {
+          ++failures;
+        }
+        // Dirty only blocks this thread owns so content is race-free.
+        if (block >= 64) {
+          bh->data[0] = static_cast<uint8_t>(t + 1);
+          cache.MarkDirty(bh);
+        }
+        cache.Release(bh);
+      }
+      lookups_issued.fetch_add(local_lookups);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // Every lookup the clients issued is accounted for as exactly one hit or
+  // one miss — the per-shard counters lost nothing to striping.
+  BufferCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, lookups_issued.load());
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_TRUE(cache.ValidateAll().empty());
+  ASSERT_TRUE(cache.SyncAll().ok());
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 }  // namespace
 }  // namespace skern

@@ -294,5 +294,71 @@ TEST_F(BufferCacheTest, ValidateAllIsCleanInNormalUse) {
   EXPECT_TRUE(cache.ValidateAll().empty());
 }
 
+// --- lock striping ---
+
+TEST_F(BufferCacheTest, ShardCountRespectsSmallCapacities) {
+  RamDisk disk(64);
+  // Small caches degenerate to one shard so per-shard LRU == global LRU.
+  EXPECT_EQ(BufferCache(disk, 4).shard_count(), 1u);
+  EXPECT_EQ(BufferCache(disk, 7).shard_count(), 1u);
+  // Enough capacity for the hinted stripe width.
+  EXPECT_EQ(BufferCache(disk, 8).shard_count(), 2u);
+  EXPECT_EQ(BufferCache(disk, 32).shard_count(), 8u);
+  EXPECT_EQ(BufferCache(disk, 1024).shard_count(), 8u);
+  // Hints round down to a power of two.
+  EXPECT_EQ(BufferCache(disk, 1024, 6).shard_count(), 4u);
+  EXPECT_EQ(BufferCache(disk, 1024, 1).shard_count(), 1u);
+}
+
+TEST_F(BufferCacheTest, StatsAggregateAcrossShards) {
+  RamDisk disk(256);
+  BufferCache cache(disk, 64, 8);
+  ASSERT_EQ(cache.shard_count(), 8u);
+  // Blocks spread over every shard; each gets one miss then one hit.
+  for (uint64_t b = 0; b < 32; ++b) {
+    cache.Release(cache.GetBlock(b));
+    cache.Release(cache.GetBlock(b));
+  }
+  BufferCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 64u);
+  EXPECT_EQ(stats.misses, 32u);
+  EXPECT_EQ(stats.hits, 32u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(cache.size(), 32u);
+}
+
+TEST_F(BufferCacheTest, EvictionKeepsTotalSizeBounded) {
+  RamDisk disk(1024);
+  BufferCache cache(disk, 32, 8);
+  for (uint64_t b = 0; b < 512; ++b) {
+    auto r = cache.ReadBlock(b);
+    ASSERT_TRUE(r.ok());
+    cache.Release(r.value());
+  }
+  // Per-shard capacities sum to the configured total.
+  EXPECT_LE(cache.size(), 32u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_TRUE(cache.ValidateAll().empty());
+}
+
+TEST_F(BufferCacheTest, PinnedFarOverCapacityPanics) {
+  RamDisk disk(256);
+  BufferCache cache(disk, 4);  // one shard of capacity 4
+  ASSERT_EQ(cache.shard_count(), 1u);
+  // Pinning up to twice the capacity is tolerated (temporary overcommit)...
+  std::vector<BufferHead*> pinned;
+  for (uint64_t b = 0; b < 8; ++b) {
+    pinned.push_back(cache.GetBlock(b));
+  }
+  // ...but the next miss with everything pinned is a reference leak: panic.
+  {
+    ScopedPanicAsException guard;
+    EXPECT_THROW(cache.GetBlock(99), PanicException);
+  }
+  for (BufferHead* bh : pinned) {
+    cache.Release(bh);
+  }
+}
+
 }  // namespace
 }  // namespace skern
