@@ -42,7 +42,14 @@ class IntrusiveList {
     head_.prev_ = &head_;
   }
 
-  ~IntrusiveList() { Clear(); }
+  // The sentinel is self-linked while the list exists (that is what makes
+  // empty() work), so it can never satisfy ~ListNode's !linked() check on
+  // its own; sever it explicitly once the elements are gone.
+  ~IntrusiveList() {
+    Clear();
+    head_.next_ = nullptr;
+    head_.prev_ = nullptr;
+  }
 
   IntrusiveList(const IntrusiveList&) = delete;
   IntrusiveList& operator=(const IntrusiveList&) = delete;

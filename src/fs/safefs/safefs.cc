@@ -152,6 +152,15 @@ void SafeFs::FreeDataBlock(uint64_t block) {
   DropStaged(block);
 }
 
+void SafeFs::SetLookupAcceleration(bool enabled) {
+  MutexGuard guard(mutex_);
+  accel_enabled_ = enabled;
+  // Either direction starts from a clean slate: stale acceleration state
+  // must not survive a disable/enable cycle.
+  dcache_.Clear();
+  dir_index_.clear();
+}
+
 uint64_t SafeFs::FreeDataBlocks() const {
   MutexGuard guard(mutex_);
   uint64_t free = 0;
@@ -194,6 +203,12 @@ void SafeFs::FreeInode(uint64_t ino) {
   inodes_.erase(ino);
   dirty_inos_.erase(ino);
   cleared_inos_.insert(ino);
+  // A freed directory's name index must die with it: the inode number can be
+  // reallocated, and the new directory starts empty. (Dentry entries keyed
+  // on the freed ino are already safe — a directory is only freed once every
+  // entry removal has passed through DirRemoveEntry, which overwrites the
+  // cached entry with a negative one.)
+  dir_index_.erase(ino);
 }
 
 // --- file block mapping ---
@@ -310,7 +325,60 @@ Result<SafeFs::WalkResult> SafeFs::Walk(const std::string& normalized) const {
   return result;
 }
 
+// Lazily indexes a directory: one full scan (the price the old linear lookup
+// paid on *every* probe), then every later lookup/insert/remove is O(1).
+Result<SafeFs::DirIndex*> SafeFs::EnsureDirIndex(uint64_t dir_ino) const {
+  auto hit = dir_index_.find(dir_ino);
+  if (hit != dir_index_.end()) {
+    return &hit->second;
+  }
+  const DiskInode& dir = inodes_.at(dir_ino);
+  DirIndex index;
+  uint64_t blocks = BlocksForSize(dir.size);
+  for (uint64_t bi = 0; bi < blocks; ++bi) {
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(dir, bi));
+    if (block == 0) {
+      continue;  // hole: no slots to use (the linear scan skipped it too)
+    }
+    SKERN_ASSIGN_OR_RETURN(Bytes content, LoadBlock(block));
+    for (uint32_t slot = 0; slot < kDirentsPerBlock; ++slot) {
+      Dirent entry = DecodeDirent(ByteView(content), slot);
+      uint64_t linear = bi * kDirentsPerBlock + slot;
+      if (entry.ino == kInvalidIno) {
+        index.free_slots.insert(linear);
+      } else {
+        index.by_name.emplace(std::move(entry.name),
+                              DirSlot{entry.ino, block, linear});
+      }
+    }
+  }
+  auto [pos, inserted] = dir_index_.emplace(dir_ino, std::move(index));
+  SKERN_CHECK(inserted);
+  return &pos->second;
+}
+
 Result<uint64_t> SafeFs::DirLookup(uint64_t dir_ino, const std::string& name) const {
+  if (!accel_enabled_) {
+    return DirLookupScan(dir_ino, name);
+  }
+  DentryCache::LookupResult cached = dcache_.Lookup(dir_ino, name);
+  if (cached.outcome == DentryCache::Outcome::kPositive) {
+    return cached.child_ino;
+  }
+  if (cached.outcome == DentryCache::Outcome::kNegative) {
+    return kInvalidIno;
+  }
+  SKERN_ASSIGN_OR_RETURN(DirIndex * index, EnsureDirIndex(dir_ino));
+  auto it = index->by_name.find(name);
+  if (it == index->by_name.end()) {
+    dcache_.InsertNegative(dir_ino, name);
+    return kInvalidIno;
+  }
+  dcache_.InsertPositive(dir_ino, name, it->second.ino);
+  return it->second.ino;
+}
+
+Result<uint64_t> SafeFs::DirLookupScan(uint64_t dir_ino, const std::string& name) const {
   const DiskInode& dir = inodes_.at(dir_ino);
   uint64_t blocks = BlocksForSize(dir.size);
   for (uint64_t index = 0; index < blocks; ++index) {
@@ -335,6 +403,43 @@ Status SafeFs::DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t i
   }
   DiskInode& dir = InodeRef(dir_ino);
   uint64_t blocks = BlocksForSize(dir.size);
+  if (accel_enabled_) {
+    SKERN_ASSIGN_OR_RETURN(DirIndex * index, EnsureDirIndex(dir_ino));
+    if (!index->free_slots.empty()) {
+      // Lowest free slot — identical placement to the linear scan below, so
+      // accelerated and plain runs write bit-identical directory blocks.
+      uint64_t linear = *index->free_slots.begin();
+      SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(dir, linear / kDirentsPerBlock));
+      SKERN_CHECK_MSG(block != 0, "free dirent slot in an unmapped block");
+      SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
+      {
+        auto lend = cell->LendExclusive();
+        EncodeDirent(Dirent{ino, name}, MutableByteView(lend.Get()),
+                     static_cast<uint32_t>(linear % kDirentsPerBlock));
+      }
+      index->free_slots.erase(index->free_slots.begin());
+      index->by_name.insert_or_assign(name, DirSlot{ino, block, linear});
+      dcache_.InsertPositive(dir_ino, name, ino);
+      return Status::Ok();
+    }
+    // Directory full: extend by one block. Slot 0 takes the entry; the rest
+    // of the fresh block becomes the new free pool.
+    SKERN_ASSIGN_OR_RETURN(uint64_t abs, MapBlockForWrite(dir_ino, blocks));
+    SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(abs, false));
+    {
+      auto lend = cell->LendExclusive();
+      EncodeDirent(Dirent{ino, name}, MutableByteView(lend.Get()), 0);
+    }
+    dir.size = (blocks + 1) * kBlockSize;
+    MarkInodeDirty(dir_ino);
+    uint64_t base = blocks * kDirentsPerBlock;
+    index->by_name.insert_or_assign(name, DirSlot{ino, abs, base});
+    for (uint32_t slot = 1; slot < kDirentsPerBlock; ++slot) {
+      index->free_slots.insert(base + slot);
+    }
+    dcache_.InsertPositive(dir_ino, name, ino);
+    return Status::Ok();
+  }
   // First free slot wins.
   for (uint64_t index = 0; index < blocks; ++index) {
     SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(dir, index));
@@ -364,6 +469,27 @@ Status SafeFs::DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t i
 }
 
 Status SafeFs::DirRemoveEntry(uint64_t dir_ino, const std::string& name) {
+  if (accel_enabled_) {
+    SKERN_ASSIGN_OR_RETURN(DirIndex * index, EnsureDirIndex(dir_ino));
+    auto it = index->by_name.find(name);
+    if (it == index->by_name.end()) {
+      dcache_.InsertNegative(dir_ino, name);
+      return Status::Error(Errno::kENOENT);
+    }
+    const DirSlot slot = it->second;
+    SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(slot.block, false));
+    {
+      auto lend = cell->LendExclusive();
+      EncodeDirent(Dirent{kInvalidIno, ""}, MutableByteView(lend.Get()),
+                   static_cast<uint32_t>(slot.linear % kDirentsPerBlock));
+    }
+    index->by_name.erase(it);
+    index->free_slots.insert(slot.linear);
+    // The negative entry is the invalidation: the next lookup of this name
+    // must miss, and may as well miss cheaply.
+    dcache_.InsertNegative(dir_ino, name);
+    return Status::Ok();
+  }
   const DiskInode& dir = inodes_.at(dir_ino);
   uint64_t blocks = BlocksForSize(dir.size);
   for (uint64_t index = 0; index < blocks; ++index) {
@@ -696,6 +822,13 @@ Status SafeFs::Rename(const std::string& from, const std::string& to) {
   SKERN_RETURN_IF_ERROR(DirAddEntry(wt.parent_ino, wt.leaf, wf.ino));
   if (fault_ != SafeFsSemanticFault::kRenameLeavesSource) {
     SKERN_RETURN_IF_ERROR(DirRemoveEntry(wf.parent_ino, wf.leaf));
+  }
+  if (accel_enabled_) {
+    // Renaming a directory re-homes its whole subtree; rather than walk it
+    // (the walk is what the cache exists to avoid), bump the generation and
+    // let every pre-rename entry die lazily. The name indexes stay exact —
+    // they are keyed by inode, and rename moves dirents, not inodes.
+    dcache_.InvalidateAll();
   }
   return Status::Ok();
 }

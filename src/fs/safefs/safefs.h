@@ -29,6 +29,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/block/block_device.h"
@@ -36,6 +37,7 @@
 #include "src/fs/layout.h"
 #include "src/ownership/owned.h"
 #include "src/sync/mutex.h"
+#include "src/vfs/dcache.h"
 #include "src/vfs/filesystem.h"
 
 namespace skern {
@@ -102,6 +104,18 @@ class SafeFs : public FileSystem {
   const JournalStats& journal_stats() const { return journal_.stats(); }
   uint64_t FreeDataBlocks() const;
 
+  // --- path-resolution fast path ---
+  // Two pure acceleration layers over the directory blocks: the dentry cache
+  // ((parent ino, name) -> child ino with negative entries) and the
+  // per-directory name index (name -> slot, plus a free-slot set so inserts
+  // stop rescanning from block 0). Both are maintained at the same choke
+  // points that mutate dirent blocks, under the same mutex, so disabling them
+  // changes no observable behaviour — tests/dcache_coherence_test.cc holds a
+  // cache-enabled run bit-identical to a disabled run and to the spec model.
+  void SetLookupAcceleration(bool enabled);
+  bool lookup_acceleration_enabled() const { return accel_enabled_; }
+  DcacheStats dcache_stats() const { return dcache_.StatsSnapshot(); }
+
  private:
   SafeFs(BlockDevice& device, const FsGeometry& geometry);
 
@@ -142,6 +156,7 @@ class SafeFs : public FileSystem {
   // Walks a normalized path. Errors: ENOENT/ENOTDIR on bad intermediates.
   Result<WalkResult> Walk(const std::string& normalized) const;
   Result<uint64_t> DirLookup(uint64_t dir_ino, const std::string& name) const;
+  Result<uint64_t> DirLookupScan(uint64_t dir_ino, const std::string& name) const;
   Status DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t ino);
   Status DirRemoveEntry(uint64_t dir_ino, const std::string& name);
   Result<std::vector<Dirent>> DirEntries(uint64_t dir_ino) const;
@@ -175,6 +190,30 @@ class SafeFs : public FileSystem {
   AllocPolicy alloc_policy_ = AllocPolicy::kFirstFit;
   uint64_t alloc_hint_ = 0;  // next-fit scan position
   SafeFsStats stats_;
+
+  // --- lookup acceleration (guarded by mutex_; see SetLookupAcceleration) ---
+  // One dirent slot, addressed linearly (block_index * kDirentsPerBlock +
+  // slot) with the absolute device block remembered so removal can stage it
+  // without re-walking the inode's block map.
+  struct DirSlot {
+    uint64_t ino = kInvalidIno;
+    uint64_t block = 0;    // absolute device block holding the dirent
+    uint64_t linear = 0;   // block_index * kDirentsPerBlock + slot
+  };
+  struct DirIndex {
+    std::unordered_map<std::string, DirSlot> by_name;
+    // Free slots within mapped blocks, ordered: *begin() reproduces exactly
+    // the "first free slot wins" placement of the linear scan, so cached and
+    // uncached runs produce bit-identical disk images.
+    std::set<uint64_t> free_slots;
+  };
+  // Builds (one full scan, amortized over every later O(1) probe) or returns
+  // the index for a directory.
+  Result<DirIndex*> EnsureDirIndex(uint64_t dir_ino) const;
+
+  mutable DentryCache dcache_;
+  mutable std::unordered_map<uint64_t, DirIndex> dir_index_;
+  bool accel_enabled_ = true;
 };
 
 }  // namespace skern

@@ -205,6 +205,14 @@ class ScopedLatency {
   do {                             \
     (void)(n);                     \
   } while (0)
+#define SKERN_GAUGE_SET(name, v) \
+  do {                           \
+    (void)(v);                   \
+  } while (0)
+#define SKERN_GAUGE_ADD(name, d) \
+  do {                           \
+    (void)(d);                   \
+  } while (0)
 #define SKERN_TIMED_SCOPE(name)
 #define SKERN_HISTOGRAM_OBSERVE(name, value) \
   do {                                       \
@@ -228,6 +236,24 @@ class ScopedLatency {
       static ::skern::obs::Counter& skern_counter_ =                 \
           ::skern::obs::MetricsRegistry::Get().GetCounter(name);     \
       skern_counter_.Inc(n);                                         \
+    }                                                                \
+  } while (0)
+
+#define SKERN_GAUGE_SET(name, v)                                     \
+  do {                                                               \
+    if (::skern::obs::MetricsEnabled()) [[likely]] {                 \
+      static ::skern::obs::Gauge& skern_gauge_ =                     \
+          ::skern::obs::MetricsRegistry::Get().GetGauge(name);       \
+      skern_gauge_.Set(v);                                           \
+    }                                                                \
+  } while (0)
+
+#define SKERN_GAUGE_ADD(name, d)                                     \
+  do {                                                               \
+    if (::skern::obs::MetricsEnabled()) [[likely]] {                 \
+      static ::skern::obs::Gauge& skern_gauge_ =                     \
+          ::skern::obs::MetricsRegistry::Get().GetGauge(name);       \
+      skern_gauge_.Add(d);                                           \
     }                                                                \
   } while (0)
 

@@ -5,7 +5,35 @@
 namespace skern {
 namespace specpath {
 
+bool IsNormalized(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return false;
+  }
+  if (path.size() == 1) {
+    return true;  // "/"
+  }
+  size_t start = 1;  // first char of the current component
+  for (size_t i = 1; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      size_t len = i - start;
+      if (len == 0 || len > kMaxComponentLen) {
+        return false;  // "//", trailing slash, or overlong component
+      }
+      if (path[start] == '.' && (len == 1 || (len == 2 && path[start + 1] == '.'))) {
+        return false;  // "." or ".." segment
+      }
+      start = i + 1;
+    }
+  }
+  return true;
+}
+
 Result<std::string> Normalize(const std::string& path) {
+  if (IsNormalized(path)) {
+    // Fast path: canonical inputs (everything below the VFS boundary, which
+    // normalizes once) skip the component parse and its allocations.
+    return path;
+  }
   if (path.empty() || path[0] != '/') {
     return Errno::kEINVAL;
   }
@@ -21,9 +49,7 @@ Result<std::string> Normalize(const std::string& path) {
       return Errno::kEINVAL;
     }
     if (!part.empty() && part != ".") {
-      // Matches the on-disk dirent name capacity (kMaxNameLen in
-      // src/fs/layout.h) so the specification and implementations agree.
-      if (part.size() > 54) {
+      if (part.size() > kMaxComponentLen) {
         return Errno::kENAMETOOLONG;
       }
       parts.push_back(std::move(part));

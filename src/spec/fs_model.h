@@ -51,9 +51,22 @@ struct ModelAttr {
 // absolute and normalized ("/a/b"; "/" for the root; no trailing slash).
 namespace specpath {
 
+// Maximum component length, matching the on-disk dirent name capacity
+// (kMaxNameLen in src/fs/layout.h) so the specification and every
+// implementation agree on ENAMETOOLONG.
+inline constexpr size_t kMaxComponentLen = 54;
+
+// True if `path` is already in canonical form: absolute, no duplicate or
+// trailing slashes, no "."/".." segments, every component within
+// kMaxComponentLen. A path for which this holds is exactly a fixed point of
+// Normalize(); the VFS boundary uses it to skip re-parsing on every op.
+bool IsNormalized(const std::string& path);
+
 // Normalizes a path: collapses duplicate slashes, resolves "." segments.
 // ".." is rejected (the substrate has no symlinks or relative walks).
-// Returns kEINVAL for empty/relative/illegal paths.
+// Returns kEINVAL for empty/relative/illegal paths. Already-canonical inputs
+// (the common case once the VFS has normalized at its boundary) take an
+// allocation-free validation fast path.
 Result<std::string> Normalize(const std::string& path);
 
 // Parent of a normalized path ("/a/b" -> "/a", "/a" -> "/"). "/" has no

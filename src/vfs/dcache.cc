@@ -1,0 +1,299 @@
+#include "src/vfs/dcache.h"
+
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+namespace {
+
+// Same avalanche mix the buffer cache uses for shard selection: adjacent
+// inodes must not land in adjacent shards or siblings of one hot directory
+// would all contend on one lock.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+size_t FloorPow2(size_t v) {
+  size_t p = 1;
+  while (p * 2 <= v) {
+    p *= 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+uint64_t DentryCache::HashKey(uint64_t parent_ino, std::string_view name) {
+  return SplitMix64(parent_ino ^ Fnv1a(name));
+}
+
+struct DentryCache::Shard {
+  struct Key {
+    uint64_t parent;
+    std::string name;
+  };
+  struct KeyView {
+    uint64_t parent;
+    std::string_view name;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(HashKey(k.parent, k.name));
+    }
+    size_t operator()(const KeyView& k) const {
+      return static_cast<size_t>(HashKey(k.parent, k.name));
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const {
+      return a.parent == b.parent && a.name == b.name;
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return a.parent == b.parent && a.name == b.name;
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return a.parent == b.parent && a.name == b.name;
+    }
+  };
+  struct Entry {
+    uint64_t parent;
+    std::string name;
+    uint64_t child;  // 0 (kInvalidIno) marks a negative entry
+    uint64_t gen;    // generation at insert; stale if != current
+  };
+
+  explicit Shard(size_t cap) : lock("dcache.shard"), capacity(cap) {}
+
+  mutable TrackedSpinLock lock;
+  size_t capacity;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEq> index;
+  // Tallies owned by this shard's lock (aggregated by StatsSnapshot).
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t negative_hits = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+
+  void EraseEntry(std::unordered_map<Key, std::list<Entry>::iterator, KeyHash,
+                                     KeyEq>::iterator it) {
+    lru.erase(it->second);
+    index.erase(it);
+  }
+};
+
+DentryCache::DentryCache(size_t capacity, size_t shard_hint) {
+  if (capacity == 0) {
+    capacity = 1;
+  }
+  size_t shards = FloorPow2(shard_hint == 0 ? 1 : shard_hint);
+  while (shards > 1 && capacity / shards < kMinEntriesPerShard) {
+    shards /= 2;
+  }
+  shards_count_ = shards;
+  shard_mask_ = shards - 1;
+  size_t per_shard = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+  // Touch every exported counter once so procfs /metrics lists the dcache
+  // block even before the first lookup (a kernel's slabinfo is never absent
+  // just because a slab is cold).
+  SKERN_COUNTER_ADD("vfs.dcache.hits", 0);
+  SKERN_COUNTER_ADD("vfs.dcache.misses", 0);
+  SKERN_COUNTER_ADD("vfs.dcache.negative_hits", 0);
+  SKERN_COUNTER_ADD("vfs.dcache.inserts", 0);
+  SKERN_COUNTER_ADD("vfs.dcache.invalidations", 0);
+  SKERN_COUNTER_ADD("vfs.dcache.evictions", 0);
+  SKERN_GAUGE_ADD("vfs.dcache.entries", 0);
+}
+
+DentryCache::~DentryCache() {
+  // Return this instance's residency so the process-wide gauge stays honest
+  // across cache lifetimes.
+  int64_t resident = 0;
+  for (auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
+    resident += static_cast<int64_t>(shard->index.size());
+  }
+  SKERN_GAUGE_ADD("vfs.dcache.entries", -resident);
+}
+
+DentryCache::Shard& DentryCache::ShardFor(uint64_t parent_ino,
+                                          std::string_view name) const {
+  return *shards_[HashKey(parent_ino, name) & shard_mask_];
+}
+
+DentryCache::LookupResult DentryCache::Lookup(uint64_t parent_ino,
+                                              std::string_view name) {
+  uint64_t gen = generation_.load(std::memory_order_relaxed);
+  Shard& shard = ShardFor(parent_ino, name);
+  LookupResult result;
+  {
+    SpinLockGuard guard(shard.lock);
+    auto it = shard.index.find(Shard::KeyView{parent_ino, name});
+    if (it == shard.index.end()) {
+      ++shard.misses;
+    } else if (it->second->gen != gen) {
+      // Stale generation: the entry predates an InvalidateAll(). Drop it
+      // lazily here rather than walking the table at invalidation time.
+      shard.EraseEntry(it);
+      SKERN_GAUGE_ADD("vfs.dcache.entries", -1);
+      ++shard.misses;
+    } else {
+      Shard::Entry& entry = *it->second;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (entry.child == 0) {
+        ++shard.negative_hits;
+        result.outcome = Outcome::kNegative;
+      } else {
+        ++shard.hits;
+        result.outcome = Outcome::kPositive;
+        result.child_ino = entry.child;
+      }
+    }
+  }
+  switch (result.outcome) {
+    case Outcome::kPositive:
+      SKERN_COUNTER_INC("vfs.dcache.hits");
+      break;
+    case Outcome::kNegative:
+      SKERN_COUNTER_INC("vfs.dcache.negative_hits");
+      break;
+    case Outcome::kMiss:
+      SKERN_COUNTER_INC("vfs.dcache.misses");
+      SKERN_TRACE("dcache", "miss", parent_ino);
+      break;
+  }
+  return result;
+}
+
+void DentryCache::InsertPositive(uint64_t parent_ino, std::string_view name,
+                                 uint64_t child_ino) {
+  uint64_t gen = generation_.load(std::memory_order_relaxed);
+  Shard& shard = ShardFor(parent_ino, name);
+  int64_t delta = 0;
+  uint64_t evicted_parent = 0;
+  bool evicted = false;
+  {
+    SpinLockGuard guard(shard.lock);
+    auto it = shard.index.find(Shard::KeyView{parent_ino, name});
+    if (it != shard.index.end()) {
+      it->second->child = child_ino;
+      it->second->gen = gen;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(
+          Shard::Entry{parent_ino, std::string(name), child_ino, gen});
+      shard.index.emplace(Shard::Key{parent_ino, std::string(name)},
+                          shard.lru.begin());
+      ++delta;
+      if (shard.index.size() > shard.capacity) {
+        const Shard::Entry& victim = shard.lru.back();
+        evicted_parent = victim.parent;
+        evicted = true;
+        auto victim_it =
+            shard.index.find(Shard::KeyView{victim.parent, victim.name});
+        if (victim_it != shard.index.end()) {
+          shard.index.erase(victim_it);
+        }
+        shard.lru.pop_back();
+        ++shard.evictions;
+        --delta;
+      }
+    }
+    ++shard.inserts;
+  }
+  SKERN_COUNTER_INC("vfs.dcache.inserts");
+  if (delta != 0) {
+    SKERN_GAUGE_ADD("vfs.dcache.entries", delta);
+  }
+  if (evicted) {
+    SKERN_COUNTER_INC("vfs.dcache.evictions");
+    SKERN_TRACE("dcache", "evict", evicted_parent);
+  }
+}
+
+void DentryCache::InsertNegative(uint64_t parent_ino, std::string_view name) {
+  InsertPositive(parent_ino, name, 0);
+}
+
+void DentryCache::Erase(uint64_t parent_ino, std::string_view name) {
+  Shard& shard = ShardFor(parent_ino, name);
+  bool erased = false;
+  {
+    SpinLockGuard guard(shard.lock);
+    auto it = shard.index.find(Shard::KeyView{parent_ino, name});
+    if (it != shard.index.end()) {
+      shard.EraseEntry(it);
+      erased = true;
+    }
+  }
+  if (erased) {
+    SKERN_GAUGE_ADD("vfs.dcache.entries", -1);
+  }
+}
+
+void DentryCache::InvalidateAll() {
+  uint64_t gen = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  SKERN_COUNTER_INC("vfs.dcache.invalidations");
+  SKERN_TRACE("dcache", "invalidate_all", gen);
+}
+
+void DentryCache::Clear() {
+  int64_t dropped = 0;
+  for (auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
+    dropped += static_cast<int64_t>(shard->index.size());
+    shard->index.clear();
+    shard->lru.clear();
+  }
+  if (dropped != 0) {
+    SKERN_GAUGE_ADD("vfs.dcache.entries", -dropped);
+  }
+}
+
+DcacheStats DentryCache::StatsSnapshot() const {
+  DcacheStats stats;
+  uint64_t gen = generation_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.negative_hits += shard->negative_hits;
+    stats.inserts += shard->inserts;
+    stats.evictions += shard->evictions;
+    // Residency counts only live entries; stale generations are dead weight
+    // awaiting lazy reclaim and would overstate the cache's coverage.
+    for (const auto& entry : shard->lru) {
+      if (entry.gen == gen) {
+        ++stats.entries;
+      }
+    }
+  }
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace skern

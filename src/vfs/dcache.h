@@ -1,0 +1,111 @@
+// Dentry cache: the VFS path-resolution fast path.
+//
+// Linux answers "every lookup walks the directory tree" with the dcache; the
+// paper's incremental-safety story needs the same answer inside a safe
+// module, or the safe file system loses the hot path to its legacy rival.
+// DentryCache is that structure, built from the repo's own safe parts: a
+// lock-striped hash table (ticket-spinlock shards, like the buffer cache)
+// keyed on (parent inode, component name) mapping to the child inode.
+//
+//   * Positive entries record name -> child for a component that exists.
+//   * Negative entries (child == kInvalidIno) record that a component does
+//     NOT exist — they make repeated failing lookups (the "stat before
+//     create" idiom) as cheap as hits.
+//   * Each shard runs LRU eviction against its slice of the capacity.
+//   * Invalidation is generation-stamped: every entry records the global
+//     generation at insert; InvalidateAll() bumps the generation, instantly
+//     orphaning every cached entry without walking anything. Rename uses
+//     this — moving a directory re-homes an entire subtree, and a recursive
+//     invalidation walk would cost exactly the tree walk the cache exists to
+//     avoid.
+//
+// Coherence contract: the owner (SafeFs) mutates the cache only while
+// holding the lock that orders its directory mutations, at the same choke
+// points that write dirent blocks. The cache is therefore a pure
+// acceleration layer — dropping it (or disabling it) never changes observable
+// behaviour, which tests/dcache_coherence_test.cc proves against the
+// executable specification and a cache-disabled run.
+#ifndef SKERN_SRC_VFS_DCACHE_H_
+#define SKERN_SRC_VFS_DCACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skern {
+
+// Aggregated view of the cache's counters (per-shard tallies summed).
+struct DcacheStats {
+  uint64_t hits = 0;            // positive entry satisfied a lookup
+  uint64_t misses = 0;          // no entry (or a stale-generation one)
+  uint64_t negative_hits = 0;   // negative entry satisfied a lookup
+  uint64_t inserts = 0;         // positive + negative insertions
+  uint64_t invalidations = 0;   // InvalidateAll() generation bumps
+  uint64_t evictions = 0;       // LRU capacity evictions
+  uint64_t entries = 0;         // current residency (positive + negative)
+};
+
+class DentryCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+  static constexpr size_t kDefaultShardHint = 8;
+  static constexpr size_t kMinEntriesPerShard = 8;
+
+  enum class Outcome : uint8_t { kMiss = 0, kPositive, kNegative };
+  struct LookupResult {
+    Outcome outcome = Outcome::kMiss;
+    uint64_t child_ino = 0;  // valid only for kPositive
+  };
+
+  explicit DentryCache(size_t capacity = kDefaultCapacity,
+                       size_t shard_hint = kDefaultShardHint);
+  ~DentryCache();
+
+  DentryCache(const DentryCache&) = delete;
+  DentryCache& operator=(const DentryCache&) = delete;
+
+  // Probes for (parent_ino, name). A hit refreshes the entry's LRU position;
+  // an entry from a stale generation is dropped and reported as a miss.
+  LookupResult Lookup(uint64_t parent_ino, std::string_view name);
+
+  // Records that `name` exists under `parent_ino` with inode `child_ino`.
+  // Overwrites any existing (including negative) entry for the key.
+  void InsertPositive(uint64_t parent_ino, std::string_view name, uint64_t child_ino);
+
+  // Records that `name` does not exist under `parent_ino`.
+  void InsertNegative(uint64_t parent_ino, std::string_view name);
+
+  // Drops the entry for (parent_ino, name), if any.
+  void Erase(uint64_t parent_ino, std::string_view name);
+
+  // Bumps the generation: every currently cached entry becomes stale at once
+  // (O(1), no walk). Used by rename, which can re-home whole subtrees.
+  void InvalidateAll();
+
+  // Drops every entry immediately (used when acceleration is toggled).
+  void Clear();
+
+  DcacheStats StatsSnapshot() const;
+  size_t shard_count() const { return shards_count_; }
+  uint64_t generation() const { return generation_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(uint64_t parent_ino, std::string_view name) const;
+  static uint64_t HashKey(uint64_t parent_ino, std::string_view name);
+
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  size_t shards_count_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_VFS_DCACHE_H_

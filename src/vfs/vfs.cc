@@ -47,7 +47,18 @@ std::vector<std::string> Vfs::Mountpoints() const {
 }
 
 Result<Vfs::ResolvedPath> Vfs::Resolve(const std::string& path) const {
-  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  // Fast path: most caller-supplied paths (and every internally generated
+  // fs_path) are already canonical, so resolution needs no re-parse — and
+  // because the VFS normalizes here, once, the canonical string it hands
+  // down hits the same fast path in the file system's own Normalize call
+  // instead of being parsed a second time.
+  std::string p;
+  if (specpath::IsNormalized(path)) {
+    SKERN_COUNTER_INC("vfs.resolve.fastpath");
+    p = path;
+  } else {
+    SKERN_ASSIGN_OR_RETURN(p, specpath::Normalize(path));
+  }
   MutexGuard guard(mutex_);
   // Longest mountpoint that prefixes p wins.
   const std::string* best = nullptr;

@@ -1,0 +1,305 @@
+// Coherence tests for the path-resolution fast path: the dentry cache and
+// per-directory name index are pure acceleration, so a cache-enabled SafeFs
+// must stay observably identical to a cache-disabled run and to the spec
+// model on any workload — including the on-disk image, byte for byte,
+// because the accelerated DirAddEntry must pick exactly the slot the linear
+// scan would have picked.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/block/block_device.h"
+#include "src/fs/memfs/memfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/spec/trace.h"
+#include "src/sync/lock_registry.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 512;
+constexpr uint64_t kInodes = 96;
+
+void ExpectSameTree(FileSystem& fs, const FsModel& reference, const std::string& who) {
+  auto diffs = DiffFsAgainstModel(fs, reference.state());
+  EXPECT_TRUE(diffs.empty()) << who << ": " << diffs.front();
+}
+
+// Result::error() asserts on success; fold a Stat outcome to an Errno that
+// is kOk on success so tests can compare outcomes uniformly.
+Errno StatCode(FileSystem& fs, const std::string& path) {
+  auto r = fs.Stat(path);
+  return r.ok() ? Errno::kOk : r.error();
+}
+
+void ExpectNoDivergence(const std::vector<ReplayDivergence>& divergences,
+                        const std::string& who) {
+  EXPECT_TRUE(divergences.empty())
+      << who << " diverged at op " << divergences.front().op_index << ": "
+      << divergences.front().op << " expected "
+      << ErrnoName(divergences.front().expected) << " got "
+      << ErrnoName(divergences.front().actual);
+}
+
+// Every block of both devices must match: acceleration may not change even
+// the *placement* of directory entries, or crash images stop being
+// reproducible across configurations.
+void ExpectIdenticalDisks(RamDisk& a, RamDisk& b) {
+  Bytes ca(kBlockSize, 0);
+  Bytes cb(kBlockSize, 0);
+  for (uint64_t block = 0; block < kDiskBlocks; ++block) {
+    ASSERT_TRUE(a.ReadBlock(block, MutableByteView(ca)).ok());
+    ASSERT_TRUE(b.ReadBlock(block, MutableByteView(cb)).ok());
+    ASSERT_EQ(ca, cb) << "disk images differ at block " << block;
+  }
+}
+
+class DcacheCoherenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LockRegistry::Get().ResetForTesting(); }
+};
+
+// The headline property: a randomized create/unlink/rename/stat/... workload
+// recorded against the model replays onto a cache-enabled and a
+// cache-disabled SafeFs with identical outcomes, identical trees, and
+// bit-identical disk images after sync.
+TEST_F(DcacheCoherenceTest, RandomizedWorkloadIsBitIdenticalToUncachedRun) {
+  for (uint64_t seed : {21u, 212u, 2121u}) {
+    auto memfs = std::make_shared<MemFs>();
+    TracingFs traced(memfs);
+    Rng rng(seed);
+    const std::vector<std::string> pool{"/a",   "/b",   "/d",   "/d/x",
+                                        "/d/y", "/d/z", "/e",   "/e/f",
+                                        "/e/f/g", "/missing"};
+    for (int i = 0; i < 600; ++i) {
+      const std::string& p = pool[rng.NextBelow(pool.size())];
+      const std::string& q = pool[rng.NextBelow(pool.size())];
+      switch (rng.NextBelow(10)) {
+        case 0:
+          (void)traced.Create(p);
+          break;
+        case 1:
+          (void)traced.Mkdir(p);
+          break;
+        case 2:
+          (void)traced.Unlink(p);
+          break;
+        case 3:
+          (void)traced.Rmdir(p);
+          break;
+        case 4:
+          (void)traced.Rename(p, q);
+          break;
+        case 5:
+          (void)traced.Write(p, rng.NextBelow(4000), rng.NextBytes(1 + rng.NextBelow(300)));
+          break;
+        case 6:
+          (void)traced.Truncate(p, rng.NextBelow(6000));
+          break;
+        case 7:
+          (void)traced.Read(p, rng.NextBelow(4000), 1 + rng.NextBelow(256));
+          break;
+        case 8:
+          (void)traced.Readdir(p);
+          break;
+        default:
+          (void)traced.Stat(p);
+          break;
+      }
+    }
+    const FsTrace& trace = traced.trace();
+    ASSERT_FALSE(trace.empty());
+
+    RamDisk disk_accel(kDiskBlocks, seed);
+    auto accel = SafeFs::Format(disk_accel, kInodes, 64).value();
+    ASSERT_TRUE(accel->lookup_acceleration_enabled());
+    ExpectNoDivergence(Replay(trace, *accel), "safefs(dcache on)");
+    ExpectSameTree(*accel, memfs->model(), "safefs(dcache on)");
+
+    RamDisk disk_base(kDiskBlocks, seed);
+    auto base = SafeFs::Format(disk_base, kInodes, 64).value();
+    base->SetLookupAcceleration(false);
+    ExpectNoDivergence(Replay(trace, *base), "safefs(dcache off)");
+    ExpectSameTree(*base, memfs->model(), "safefs(dcache off)");
+
+    ASSERT_TRUE(accel->Sync().ok());
+    ASSERT_TRUE(base->Sync().ok());
+    ExpectIdenticalDisks(disk_accel, disk_base);
+
+    // The cached run must actually have exercised the cache.
+    auto stats = accel->dcache_stats();
+    EXPECT_GT(stats.hits + stats.negative_hits, 0u) << "seed " << seed;
+  }
+}
+
+// Unlink must flip the cached entry to negative, and a later create must
+// flip it back — the classic stale-positive / stale-negative pair.
+TEST_F(DcacheCoherenceTest, UnlinkAndRecreateNeverServeStaleEntries) {
+  RamDisk disk(kDiskBlocks, 31);
+  auto fs = SafeFs::Format(disk, kInodes, 64).value();
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->Create("/d/f").ok());
+  EXPECT_TRUE(fs->Stat("/d/f").ok());   // warm the positive entry
+  EXPECT_TRUE(fs->Stat("/d/f").ok());
+  ASSERT_TRUE(fs->Unlink("/d/f").ok());
+  EXPECT_EQ(StatCode(*fs, "/d/f"), Errno::kENOENT);  // not the stale positive
+  ASSERT_TRUE(fs->Create("/d/f").ok());
+  EXPECT_TRUE(fs->Stat("/d/f").ok());  // not the stale negative
+  auto stats = fs->dcache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.negative_hits, 0u);
+}
+
+// Renaming a directory re-homes its whole subtree: paths under the old name
+// must miss, paths under the new name must resolve, with no per-entry walk.
+TEST_F(DcacheCoherenceTest, DirectoryRenameInvalidatesCachedSubtree) {
+  RamDisk disk(kDiskBlocks, 32);
+  auto fs = SafeFs::Format(disk, kInodes, 64).value();
+  ASSERT_TRUE(fs->Mkdir("/a").ok());
+  ASSERT_TRUE(fs->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs->Create("/a/b/c").ok());
+  // Warm every component of the old path.
+  EXPECT_TRUE(fs->Stat("/a/b/c").ok());
+  EXPECT_TRUE(fs->Stat("/a/b/c").ok());
+  uint64_t invalidations_before = fs->dcache_stats().invalidations;
+  ASSERT_TRUE(fs->Rename("/a", "/z").ok());
+  EXPECT_GT(fs->dcache_stats().invalidations, invalidations_before);
+  EXPECT_EQ(StatCode(*fs, "/a/b/c"), Errno::kENOENT);
+  EXPECT_EQ(StatCode(*fs, "/a"), Errno::kENOENT);
+  EXPECT_TRUE(fs->Stat("/z/b/c").ok());
+  EXPECT_TRUE(fs->Stat("/z/b").ok());
+}
+
+// Rmdir followed by a fresh mkdir of the same name: the negative entry left
+// by rmdir must not shadow the recreated directory, and children of the old
+// incarnation must not leak into the new one.
+TEST_F(DcacheCoherenceTest, RmdirAndRecreateDirectoryStartsEmpty) {
+  RamDisk disk(kDiskBlocks, 33);
+  auto fs = SafeFs::Format(disk, kInodes, 64).value();
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->Create("/d/child").ok());
+  EXPECT_TRUE(fs->Stat("/d/child").ok());
+  ASSERT_TRUE(fs->Unlink("/d/child").ok());
+  ASSERT_TRUE(fs->Rmdir("/d").ok());
+  EXPECT_EQ(StatCode(*fs, "/d"), Errno::kENOENT);
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  EXPECT_TRUE(fs->Stat("/d").ok());
+  EXPECT_EQ(StatCode(*fs, "/d/child"), Errno::kENOENT);
+  auto entries = fs->Readdir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+// Semantic faults are bugs the cache must faithfully mirror, not mask and
+// not amplify: a rename that leaves its source behind looks exactly as
+// broken with acceleration on as off.
+TEST_F(DcacheCoherenceTest, SemanticFaultsLookIdenticalCachedAndUncached) {
+  auto run = [](bool accel) {
+    RamDisk disk(kDiskBlocks, 34);
+    auto fs = SafeFs::Format(disk, kInodes, 64).value();
+    fs->SetLookupAcceleration(accel);
+    EXPECT_TRUE(fs->Create("/src").ok());
+    fs->SetSemanticFault(SafeFsSemanticFault::kRenameLeavesSource);
+    EXPECT_TRUE(fs->Rename("/src", "/dst").ok());
+    fs->SetSemanticFault(SafeFsSemanticFault::kNone);
+    // The buggy rename left both names live; both runs must agree on that.
+    std::pair<Errno, Errno> observed{StatCode(*fs, "/src"), StatCode(*fs, "/dst")};
+    return observed;
+  };
+  auto cached = run(true);
+  auto uncached = run(false);
+  EXPECT_EQ(cached, uncached);
+  EXPECT_EQ(cached.first, Errno::kOk);   // the fault is visible...
+  EXPECT_EQ(cached.second, Errno::kOk);  // ...through the cache too
+}
+
+// Toggling acceleration off mid-flight drops the caches and falls back to
+// the scan path; behaviour stays seamless in both directions.
+TEST_F(DcacheCoherenceTest, TogglingAccelerationMidStreamIsSeamless) {
+  RamDisk disk(kDiskBlocks, 35);
+  auto fs = SafeFs::Format(disk, kInodes, 64).value();
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fs->Create("/d/f" + std::to_string(i)).ok());
+  }
+  EXPECT_TRUE(fs->Stat("/d/f7").ok());
+  fs->SetLookupAcceleration(false);
+  EXPECT_FALSE(fs->lookup_acceleration_enabled());
+  EXPECT_TRUE(fs->Stat("/d/f7").ok());
+  ASSERT_TRUE(fs->Unlink("/d/f7").ok());
+  fs->SetLookupAcceleration(true);
+  EXPECT_EQ(StatCode(*fs, "/d/f7"), Errno::kENOENT);
+  EXPECT_TRUE(fs->Stat("/d/f8").ok());
+}
+
+// Randomized interleaving across threads: each thread hammers its own
+// subtree (create/unlink/rename/stat) concurrently on one cache-enabled
+// SafeFs. Disjoint subtrees make the final logical state
+// interleaving-independent, so the tree must equal the model built by
+// running the same per-thread scripts sequentially.
+TEST_F(DcacheCoherenceTest, ThreadedInterleavingMatchesSequentialModel) {
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 250;
+
+  // One deterministic op script per thread, confined to /tN.
+  auto run_script = [](FileSystem& fs, int t) {
+    Rng rng(5000 + t);
+    const std::string root = "/t" + std::to_string(t);
+    const std::vector<std::string> names{"a", "b", "c", "d", "e"};
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const std::string p = root + "/" + names[rng.NextBelow(names.size())];
+      const std::string q = root + "/" + names[rng.NextBelow(names.size())];
+      switch (rng.NextBelow(5)) {
+        case 0:
+          (void)fs.Create(p);
+          break;
+        case 1:
+          (void)fs.Unlink(p);
+          break;
+        case 2:
+          (void)fs.Rename(p, q);
+          break;
+        case 3:
+          (void)fs.Stat(p);
+          break;
+        default:
+          (void)fs.Readdir(root);
+          break;
+      }
+    }
+  };
+
+  RamDisk disk(kDiskBlocks, 36);
+  auto fs = SafeFs::Format(disk, kInodes, 64).value();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(fs->Mkdir("/t" + std::to_string(t)).ok());
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&fs, &run_script, t] { run_script(*fs, t); });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+
+  // Sequential reference: same scripts, one at a time, on the model.
+  MemFs model;
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(model.Mkdir("/t" + std::to_string(t)).ok());
+    run_script(model, t);
+  }
+  ExpectSameTree(*fs, model.model(), "safefs(threads)");
+
+  // And the cache survived the contention with live traffic accounted for.
+  auto stats = fs->dcache_stats();
+  EXPECT_GT(stats.hits + stats.negative_hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace skern

@@ -147,6 +147,43 @@ TEST_F(ProcFsTest, MetricsFileReflectsLiveRegistry) {
   EXPECT_NE(StringFromBytes(content.value()).find("proctest.reads 3"), std::string::npos);
 }
 
+TEST_F(ProcFsTest, MetricsFileExportsDcacheCounters) {
+  // Drive a SafeFs through the lookup fast path: hits (repeat stats),
+  // negative hits (repeat stats of a missing name), misses (first touches),
+  // and an invalidation (rename). Every dcache counter must then be visible
+  // through /metrics — including the ones still at zero, which the cache
+  // registers eagerly at construction.
+  RamDisk disk(256, 11);
+  auto fs = SafeFs::Format(disk, 64, 16).value();
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->Create("/d/f").ok());
+  EXPECT_TRUE(fs->Stat("/d/f").ok());
+  EXPECT_TRUE(fs->Stat("/d/f").ok());
+  EXPECT_EQ(fs->Stat("/d/missing").error(), Errno::kENOENT);
+  EXPECT_EQ(fs->Stat("/d/missing").error(), Errno::kENOENT);
+  ASSERT_TRUE(fs->Rename("/d/f", "/d/g").ok());
+
+  auto stats = fs->dcache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.negative_hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.invalidations, 0u);
+
+  ProcFs proc;
+  auto content = proc.Read("/metrics", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  std::string text = StringFromBytes(content.value());
+  for (const char* name :
+       {"vfs.dcache.hits ", "vfs.dcache.misses ", "vfs.dcache.negative_hits ",
+        "vfs.dcache.inserts ", "vfs.dcache.invalidations ",
+        "vfs.dcache.evictions ", "vfs.dcache.entries "}) {
+    EXPECT_NE(text.find(name), std::string::npos) << "missing " << name << " in:\n" << text;
+  }
+  // The hot counters carry real traffic, not just their registration zeros.
+  EXPECT_EQ(text.find("vfs.dcache.hits 0"), std::string::npos) << text;
+  EXPECT_EQ(text.find("vfs.dcache.invalidations 0"), std::string::npos) << text;
+}
+
 TEST_F(ProcFsTest, TraceFileShowsBufferedEvents) {
   auto& session = obs::TraceSession::Get();
   session.ResetForTesting();
