@@ -1,0 +1,57 @@
+// Canonical path algebra shared by the specification, the VFS layer, and
+// every file system implementation.
+//
+// All canonical paths are absolute and normalized ("/a/b"; "/" for the root;
+// no trailing slash). The helpers live in src/base (not src/spec) because
+// they are pure string functions with no model state: the VFS boundary, the
+// executable specification, and the implementations all consume them, and the
+// module-layering rules (tools/safety_lint/layers.toml) place the shared
+// vocabulary below all three. The namespace keeps its historical name
+// `specpath` — the *specification* owns the definition of canonical form.
+#ifndef SKERN_SRC_BASE_PATH_H_
+#define SKERN_SRC_BASE_PATH_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/base/result.h"
+
+namespace skern {
+namespace specpath {
+
+// Maximum component length, matching the on-disk dirent name capacity
+// (kMaxNameLen in src/fs/layout.h) so the specification and every
+// implementation agree on ENAMETOOLONG.
+inline constexpr size_t kMaxComponentLen = 54;
+
+// True if `path` is already in canonical form: absolute, no duplicate or
+// trailing slashes, no "."/".." segments, every component within
+// kMaxComponentLen. A path for which this holds is exactly a fixed point of
+// Normalize(); the VFS boundary uses it to skip re-parsing on every op.
+bool IsNormalized(const std::string& path);
+
+// Normalizes a path: collapses duplicate slashes, resolves "." segments.
+// ".." is rejected (the substrate has no symlinks or relative walks).
+// Returns kEINVAL for empty/relative/illegal paths. Already-canonical inputs
+// (the common case once the VFS has normalized at its boundary) take an
+// allocation-free validation fast path.
+Result<std::string> Normalize(const std::string& path);
+
+// Parent of a normalized path ("/a/b" -> "/a", "/a" -> "/"). "/" has no
+// parent; returns "/".
+std::string Parent(const std::string& normalized);
+
+// Final component ("/a/b" -> "b"); empty for "/".
+std::string Basename(const std::string& normalized);
+
+// True if `path` equals `prefix` or is underneath it.
+bool IsPrefix(const std::string& prefix, const std::string& path);
+
+// Replaces the `from` prefix of `path` with `to` (both normalized dirs).
+std::string SubstitutePrefix(const std::string& from, const std::string& to,
+                             const std::string& path);
+
+}  // namespace specpath
+}  // namespace skern
+
+#endif  // SKERN_SRC_BASE_PATH_H_

@@ -11,7 +11,7 @@ uint64_t SimClock::ScheduleAt(SimTime deadline, std::function<void()> fn) {
 }
 
 uint64_t SimClock::ScheduleAfter(SimTime delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+  return ScheduleAt(now() + delay, std::move(fn));
 }
 
 bool SimClock::Cancel(uint64_t timer_id) {
@@ -25,15 +25,15 @@ bool SimClock::Cancel(uint64_t timer_id) {
 }
 
 void SimClock::Advance(SimTime delta) {
-  SimTime target = now_ + delta;
+  SimTime target = now() + delta;
   while (!timers_.empty() && timers_.begin()->first <= target) {
     auto it = timers_.begin();
-    now_ = std::max(now_, it->first);
+    now_.store(std::max(now(), it->first), std::memory_order_relaxed);
     auto fn = std::move(it->second.fn);
     timers_.erase(it);
     fn();
   }
-  now_ = target;
+  now_.store(target, std::memory_order_relaxed);
 }
 
 bool SimClock::AdvanceToNextEvent() {
@@ -41,7 +41,8 @@ bool SimClock::AdvanceToNextEvent() {
     return false;
   }
   SimTime next = timers_.begin()->first;
-  Advance(next > now_ ? next - now_ : 0);
+  SimTime current = now();
+  Advance(next > current ? next - current : 0);
   return true;
 }
 

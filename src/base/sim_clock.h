@@ -6,10 +6,13 @@
 #ifndef SKERN_SRC_BASE_SIM_CLOCK_H_
 #define SKERN_SRC_BASE_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>
+
+#include "src/obs/trace_clock.h"
 
 namespace skern {
 
@@ -20,13 +23,18 @@ inline constexpr SimTime kMicrosecond = 1000;
 inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 inline constexpr SimTime kSecond = 1000 * kMillisecond;
 
-// A discrete-event clock with one-shot timers. Not thread-safe; each
-// simulation owns one clock and advances it explicitly.
-class SimClock {
+// A discrete-event clock with one-shot timers. Timer scheduling is not
+// thread-safe (each simulation owns one clock and advances it explicitly),
+// but now() is an atomic read so the tracer may sample the clock from any
+// thread (SimClock implements obs::TraceClock for deterministic traces).
+class SimClock : public obs::TraceClock {
  public:
   SimClock() = default;
 
-  SimTime now() const { return now_; }
+  SimTime now() const { return now_.load(std::memory_order_relaxed); }
+
+  // obs::TraceClock: trace timestamps are simulated nanoseconds.
+  uint64_t TraceNowNs() const override { return now(); }
 
   // Schedules `fn` to run when the clock reaches `deadline`. Returns a timer
   // id usable with Cancel. Deadlines in the past fire on the next Advance.
@@ -52,7 +60,7 @@ class SimClock {
     std::function<void()> fn;
   };
 
-  SimTime now_ = 0;
+  std::atomic<SimTime> now_{0};
   uint64_t next_id_ = 1;
   std::multimap<SimTime, Timer> timers_;
 };

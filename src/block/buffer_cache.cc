@@ -74,7 +74,7 @@ struct BufferCache::Shard {
         std::max<size_t>(16, capacity * kPinnedOvercommitFactor * 2)));
   }
 
-  BufferHead* Find(uint64_t block) const {
+  BufferHead* Find(uint64_t block) const SKERN_REQUIRES(lock) {
     size_t mask = slots.size() - 1;
     for (size_t i = HashBlock(block) & mask;; i = (i + 1) & mask) {
       const Slot& s = slots[i];
@@ -90,7 +90,7 @@ struct BufferCache::Shard {
     }
   }
 
-  void Insert(uint64_t block, std::unique_ptr<BufferHead> bh) {
+  void Insert(uint64_t block, std::unique_ptr<BufferHead> bh) SKERN_REQUIRES(lock) {
     MaybeRehash();
     size_t mask = slots.size() - 1;
     size_t reuse = slots.size();  // first tombstone seen on the probe path
@@ -117,7 +117,7 @@ struct BufferCache::Shard {
     }
   }
 
-  std::unique_ptr<BufferHead> Erase(uint64_t block) {
+  std::unique_ptr<BufferHead> Erase(uint64_t block) SKERN_REQUIRES(lock) {
     size_t mask = slots.size() - 1;
     for (size_t i = HashBlock(block) & mask;; i = (i + 1) & mask) {
       Slot& s = slots[i];
@@ -135,7 +135,7 @@ struct BufferCache::Shard {
     }
   }
 
-  void MaybeRehash() {
+  void MaybeRehash() SKERN_REQUIRES(lock) {
     if ((used + 1) * 4 < slots.size() * 3) {
       return;  // below 75% of slots consumed (live + tombstones)
     }
@@ -160,12 +160,12 @@ struct BufferCache::Shard {
   }
 
   mutable TrackedSpinLock lock;
-  size_t capacity;
-  size_t count = 0;  // live buffers
-  size_t used = 0;   // slots consumed by live buffers + tombstones
-  std::vector<Slot> slots;
-  IntrusiveList<BufferHead, &BufferHead::lru_node> lru;
-  BufferCacheStats stats;
+  size_t capacity;  // immutable after construction
+  size_t count SKERN_GUARDED_BY(lock) = 0;  // live buffers
+  size_t used SKERN_GUARDED_BY(lock) = 0;   // slots consumed by live buffers + tombstones
+  std::vector<Slot> slots SKERN_GUARDED_BY(lock);
+  IntrusiveList<BufferHead, &BufferHead::lru_node> lru SKERN_GUARDED_BY(lock);
+  BufferCacheStats stats SKERN_GUARDED_BY(lock);
 };
 
 BufferCache::BufferCache(BlockDevice& device, size_t capacity, size_t shard_hint)
@@ -184,8 +184,11 @@ BufferCache::BufferCache(BlockDevice& device, size_t capacity, size_t shard_hint
 }
 
 BufferCache::~BufferCache() {
-  // Unpin LRU membership so the intrusive-list debug checks stay quiet.
+  // Unpin LRU membership so the intrusive-list debug checks stay quiet. The
+  // guard is uncontended by construction (no concurrent users during
+  // destruction) but keeps the guarded-field discipline uniform.
   for (auto& shard : shards_) {
+    SpinLockGuard guard(shard->lock);
     shard->lru.Clear();
   }
 }
@@ -195,7 +198,7 @@ BufferCache::Shard& BufferCache::ShardFor(uint64_t block) const {
 }
 
 void BufferCache::ValidateTransition(Shard& shard, const BufferHead* bh,
-                                     const char* where) {
+                                     const char* where) SKERN_REQUIRES(shard.lock) {
   if (!GetBufferStateChecking()) {
     return;
   }
@@ -208,7 +211,7 @@ void BufferCache::ValidateTransition(Shard& shard, const BufferHead* bh,
   }
 }
 
-void BufferCache::EvictIfNeededLocked(Shard& shard) {
+void BufferCache::EvictIfNeededLocked(Shard& shard) SKERN_REQUIRES(shard.lock) {
   while (shard.count >= shard.capacity) {
     BufferHead* victim = shard.lru.PopFront();
     if (victim == nullptr) {
@@ -331,7 +334,7 @@ void BufferCache::MarkDirty(BufferHead* bh) {
   ValidateTransition(shard, bh, "MarkDirty");
 }
 
-Status BufferCache::WriteBackLocked(Shard& shard, BufferHead* bh) {
+Status BufferCache::WriteBackLocked(Shard& shard, BufferHead* bh) SKERN_REQUIRES(shard.lock) {
   if (!bh->Test(BhFlag::kDirty)) {
     return Status::Ok();
   }

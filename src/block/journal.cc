@@ -49,12 +49,12 @@ void Journal::Tx::AddBlock(uint64_t home_block, ByteView content) {
   blocks_[home_block] = content.ToBytes();
 }
 
-Status Journal::FlushDevice() {
+Status Journal::FlushDevice() SKERN_REQUIRES(mutex_) {
   ++stats_.device_flushes;
   return device_.Flush();
 }
 
-Status Journal::WriteSuperblock() {
+Status Journal::WriteSuperblock() SKERN_REQUIRES(mutex_) {
   Bytes sb(kBlockSize, 0);
   MutableByteView view(sb);
   PutU64(view, 0, kSuperMagic);
@@ -80,16 +80,23 @@ Status Journal::ReadSuperblock(uint64_t* sequence_out) const {
 }
 
 Status Journal::Format() {
+  MutexGuard guard(mutex_);
   sequence_ = 1;
   return WriteSuperblock();
 }
 
 void Journal::set_max_batch_txs(size_t n) {
   SKERN_CHECK_MSG(n > 0, "max batch must allow at least one transaction");
+  MutexGuard guard(mutex_);
   max_batch_txs_ = n;
 }
 
 Status Journal::Submit(Tx&& tx) {
+  MutexGuard guard(mutex_);
+  return SubmitLocked(std::move(tx));
+}
+
+Status Journal::SubmitLocked(Tx&& tx) SKERN_REQUIRES(mutex_) {
   if (tx.blocks_.empty()) {
     return Status::Ok();
   }
@@ -107,7 +114,7 @@ Status Journal::Submit(Tx&& tx) {
     }
   }
   if (pending_blocks_.size() + fresh > Capacity()) {
-    SKERN_RETURN_IF_ERROR(Flush());
+    SKERN_RETURN_IF_ERROR(FlushLocked());
   }
   for (auto& [home, content] : tx.blocks_) {
     pending_blocks_[home] = std::move(content);
@@ -116,12 +123,17 @@ Status Journal::Submit(Tx&& tx) {
   SKERN_COUNTER_INC("journal.submits");
   SKERN_TRACE("journal", "submit", sequence_, tx.blocks_.size());
   if (pending_txs_ >= max_batch_txs_) {
-    return Flush();
+    return FlushLocked();
   }
   return Status::Ok();
 }
 
 Status Journal::Flush() {
+  MutexGuard guard(mutex_);
+  return FlushLocked();
+}
+
+Status Journal::FlushLocked() SKERN_REQUIRES(mutex_) {
   if (pending_blocks_.empty()) {
     pending_txs_ = 0;
     return Status::Ok();
@@ -197,11 +209,13 @@ Status Journal::Flush() {
 }
 
 Status Journal::Commit(Tx&& tx) {
-  SKERN_RETURN_IF_ERROR(Submit(std::move(tx)));
-  return Flush();
+  MutexGuard guard(mutex_);
+  SKERN_RETURN_IF_ERROR(SubmitLocked(std::move(tx)));
+  return FlushLocked();
 }
 
 Status Journal::Recover() {
+  MutexGuard guard(mutex_);
   uint64_t sb_sequence = 0;
   SKERN_RETURN_IF_ERROR(ReadSuperblock(&sb_sequence));
   sequence_ = sb_sequence;

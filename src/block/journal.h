@@ -30,6 +30,7 @@
 #include "src/base/bytes.h"
 #include "src/base/status.h"
 #include "src/block/block_device.h"
+#include "src/sync/mutex.h"
 
 namespace skern {
 
@@ -109,26 +110,50 @@ class Journal {
   }
 
   void set_max_batch_txs(size_t n);
-  size_t max_batch_txs() const { return max_batch_txs_; }
-  size_t pending_tx_count() const { return pending_txs_; }
-  size_t pending_block_count() const { return pending_blocks_.size(); }
+  size_t max_batch_txs() const {
+    MutexGuard guard(mutex_);
+    return max_batch_txs_;
+  }
+  size_t pending_tx_count() const {
+    MutexGuard guard(mutex_);
+    return pending_txs_;
+  }
+  size_t pending_block_count() const {
+    MutexGuard guard(mutex_);
+    return pending_blocks_.size();
+  }
 
-  uint64_t sequence() const { return sequence_; }
-  const JournalStats& stats() const { return stats_; }
+  uint64_t sequence() const {
+    MutexGuard guard(mutex_);
+    return sequence_;
+  }
+  // Consistent snapshot taken under the journal lock.
+  JournalStats stats() const {
+    MutexGuard guard(mutex_);
+    return stats_;
+  }
 
  private:
-  Status WriteSuperblock();
+  Status SubmitLocked(Tx&& tx) SKERN_REQUIRES(mutex_);
+  Status FlushLocked() SKERN_REQUIRES(mutex_);
+  Status WriteSuperblock() SKERN_REQUIRES(mutex_);
   Status ReadSuperblock(uint64_t* sequence_out) const;
-  Status FlushDevice();
+  Status FlushDevice() SKERN_REQUIRES(mutex_);
 
   BlockDevice& device_;
   uint64_t start_;
   uint64_t length_;
-  uint64_t sequence_ = 1;  // next batch id
-  size_t max_batch_txs_ = kDefaultMaxBatchTxs;
-  std::map<uint64_t, Bytes> pending_blocks_;  // staged batch, home -> content
-  size_t pending_txs_ = 0;                    // logical txs in the batch
-  JournalStats stats_;
+  // Serializes the commit protocol and guards the staged batch. SafeFs holds
+  // its big lock above this one (safefs.lock -> journal.lock is a recorded
+  // lockdep edge); nothing is ever acquired while holding the journal lock.
+  mutable TrackedMutex mutex_{"journal.lock"};
+  uint64_t sequence_ SKERN_GUARDED_BY(mutex_) = 1;  // next batch id
+  size_t max_batch_txs_ SKERN_GUARDED_BY(mutex_) = kDefaultMaxBatchTxs;
+  // Staged batch, home -> content.
+  std::map<uint64_t, Bytes> pending_blocks_ SKERN_GUARDED_BY(mutex_);
+  // Logical txs in the batch.
+  size_t pending_txs_ SKERN_GUARDED_BY(mutex_) = 0;
+  JournalStats stats_ SKERN_GUARDED_BY(mutex_);
 };
 
 }  // namespace skern

@@ -10,12 +10,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/core/safety_level.h"
+#include "src/sync/mutex.h"
 
 namespace skern {
 
@@ -31,7 +31,7 @@ class ImplementationSlot {
   // active. Re-registering a name replaces it (and rebinds if active).
   void Install(const std::string& name, std::shared_ptr<Interface> impl,
                SafetyLevel level = SafetyLevel::kModular) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexGuard guard(mutex_);
     impls_[name] = Entry{std::move(impl), level};
     if (active_name_.empty()) {
       active_name_ = name;
@@ -41,7 +41,7 @@ class ImplementationSlot {
   // Switches the active implementation. Callers holding the previous
   // shared_ptr keep it alive until they drop it (graceful handoff).
   Status SwitchTo(const std::string& name) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexGuard guard(mutex_);
     if (impls_.find(name) == impls_.end()) {
       return Status::Error(Errno::kENODEV);
     }
@@ -51,24 +51,24 @@ class ImplementationSlot {
   }
 
   std::shared_ptr<Interface> Active() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexGuard guard(mutex_);
     auto it = impls_.find(active_name_);
     return it == impls_.end() ? nullptr : it->second.impl;
   }
 
   std::string ActiveName() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexGuard guard(mutex_);
     return active_name_;
   }
 
   SafetyLevel ActiveLevel() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexGuard guard(mutex_);
     auto it = impls_.find(active_name_);
     return it == impls_.end() ? SafetyLevel::kUnsafe : it->second.level;
   }
 
   std::vector<std::string> Names() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexGuard guard(mutex_);
     std::vector<std::string> names;
     names.reserve(impls_.size());
     for (const auto& [name, entry] : impls_) {
@@ -78,7 +78,7 @@ class ImplementationSlot {
   }
 
   uint64_t switch_count() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexGuard guard(mutex_);
     return switch_count_;
   }
 
@@ -89,10 +89,10 @@ class ImplementationSlot {
   };
 
   std::string interface_name_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> impls_;
-  std::string active_name_;
-  uint64_t switch_count_ = 0;
+  mutable TrackedMutex mutex_{"core.slot"};
+  std::map<std::string, Entry> impls_ SKERN_GUARDED_BY(mutex_);
+  std::string active_name_ SKERN_GUARDED_BY(mutex_);
+  uint64_t switch_count_ SKERN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace skern

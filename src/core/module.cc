@@ -8,12 +8,12 @@ ModuleRegistry& ModuleRegistry::Get() {
 }
 
 void ModuleRegistry::Register(const ModuleInfo& info) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   modules_[info.name] = info;
 }
 
 std::optional<ModuleInfo> ModuleRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   auto it = modules_.find(name);
   if (it == modules_.end()) {
     return std::nullopt;
@@ -22,7 +22,7 @@ std::optional<ModuleInfo> ModuleRegistry::Find(const std::string& name) const {
 }
 
 std::vector<ModuleInfo> ModuleRegistry::All() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   std::vector<ModuleInfo> out;
   out.reserve(modules_.size());
   for (const auto& [name, info] : modules_) {
@@ -32,7 +32,7 @@ std::vector<ModuleInfo> ModuleRegistry::All() const {
 }
 
 std::vector<ModuleInfo> ModuleRegistry::Implementing(const std::string& interface) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   std::vector<ModuleInfo> out;
   for (const auto& [name, info] : modules_) {
     if (info.interface == interface) {
@@ -43,7 +43,7 @@ std::vector<ModuleInfo> ModuleRegistry::Implementing(const std::string& interfac
 }
 
 size_t ModuleRegistry::LinesAtLevel(SafetyLevel level) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   size_t total = 0;
   for (const auto& [name, info] : modules_) {
     if (info.level == level) {
@@ -54,7 +54,7 @@ size_t ModuleRegistry::LinesAtLevel(SafetyLevel level) const {
 }
 
 double ModuleRegistry::FractionAtOrAbove(SafetyLevel level) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   size_t total = 0;
   size_t at_or_above = 0;
   for (const auto& [name, info] : modules_) {
@@ -67,7 +67,7 @@ double ModuleRegistry::FractionAtOrAbove(SafetyLevel level) const {
 }
 
 void ModuleRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   modules_.clear();
 }
 

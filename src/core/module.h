@@ -9,12 +9,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/safety_level.h"
+#include "src/sync/mutex.h"
 
 namespace skern {
 
@@ -50,8 +50,8 @@ class ModuleRegistry {
  private:
   ModuleRegistry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, ModuleInfo> modules_;
+  mutable TrackedMutex mutex_{"core.module_registry"};
+  std::map<std::string, ModuleInfo> modules_ SKERN_GUARDED_BY(mutex_);
 };
 
 // Registers the built-in skern modules (block, vfs, the three file systems,

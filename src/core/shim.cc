@@ -23,7 +23,7 @@ ShimStats& ShimStats::Get() {
 
 void ShimStats::RecordViolation(const ShimViolation& v) {
   violations_total_.Inc();
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   if (violations_.size() >= kMaxRecordedViolations) {
     violations_.pop_front();
     ++dropped_;
@@ -32,19 +32,19 @@ void ShimStats::RecordViolation(const ShimViolation& v) {
 }
 
 std::vector<ShimViolation> ShimStats::Violations() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   return std::vector<ShimViolation>(violations_.begin(), violations_.end());
 }
 
 uint64_t ShimStats::violations_dropped() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   return dropped_;
 }
 
 void ShimStats::ResetForTesting() {
   validations_.ResetForTesting();
   violations_total_.ResetForTesting();
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   violations_.clear();
   dropped_ = 0;
 }

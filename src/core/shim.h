@@ -18,11 +18,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/sync/mutex.h"
 
 namespace skern {
 
@@ -61,9 +61,9 @@ class ShimStats {
 
   obs::Counter& validations_;
   obs::Counter& violations_total_;
-  mutable std::mutex mutex_;
-  std::deque<ShimViolation> violations_;
-  uint64_t dropped_ = 0;
+  mutable TrackedMutex mutex_{"core.shim_stats"};
+  std::deque<ShimViolation> violations_ SKERN_GUARDED_BY(mutex_);
+  uint64_t dropped_ SKERN_GUARDED_BY(mutex_) = 0;
 };
 
 enum class ShimMode : uint8_t {

@@ -54,11 +54,11 @@ Result<std::shared_ptr<SafeFs>> SafeFs::Format(BlockDevice& device, uint64_t ino
   DiskInode root;
   root.mode = kModeDir;
   root.nlink = 2;
-  fs->inodes_[kRootIno] = root;
-  fs->dirty_inos_.insert(kRootIno);
-  fs->bitmap_dirty_ = true;
   {
     MutexGuard guard(fs->mutex_);
+    fs->inodes_[kRootIno] = root;
+    fs->dirty_inos_.insert(kRootIno);
+    fs->bitmap_dirty_ = true;
     SKERN_RETURN_IF_ERROR(fs->SyncLocked());
   }
   return fs;
@@ -77,6 +77,9 @@ Result<std::shared_ptr<SafeFs>> SafeFs::Mount(BlockDevice& device) {
   // Crash recovery precedes any metadata read.
   SKERN_RETURN_IF_ERROR(fs->journal_.Recover());
 
+  // No other thread can reach a file system that is still mounting, but the
+  // metadata images are guarded fields; hold the lock for the load.
+  MutexGuard guard(fs->mutex_);
   SKERN_RETURN_IF_ERROR(device.ReadBlock(kBitmapBlock, MutableByteView(fs->bitmap_)));
   for (uint64_t tb = 0; tb < sb.geometry.inode_table_blocks; ++tb) {
     Bytes block(kBlockSize, 0);

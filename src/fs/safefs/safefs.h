@@ -96,12 +96,24 @@ class SafeFs : public FileSystem {
   Status Fsync(const std::string& path) override;
   std::string Name() const override { return "safefs"; }
 
-  void SetSemanticFault(SafeFsSemanticFault fault) { fault_ = fault; }
-  void SetAllocPolicy(AllocPolicy policy) { alloc_policy_ = policy; }
-  AllocPolicy alloc_policy() const { return alloc_policy_; }
+  void SetSemanticFault(SafeFsSemanticFault fault) {
+    MutexGuard guard(mutex_);
+    fault_ = fault;
+  }
+  void SetAllocPolicy(AllocPolicy policy) {
+    MutexGuard guard(mutex_);
+    alloc_policy_ = policy;
+  }
+  AllocPolicy alloc_policy() const {
+    MutexGuard guard(mutex_);
+    return alloc_policy_;
+  }
 
-  const SafeFsStats& stats() const { return stats_; }
-  const JournalStats& journal_stats() const { return journal_.stats(); }
+  SafeFsStats stats() const {
+    MutexGuard guard(mutex_);
+    return stats_;
+  }
+  JournalStats journal_stats() const { return journal_.stats(); }
   uint64_t FreeDataBlocks() const;
 
   // --- path-resolution fast path ---
@@ -113,7 +125,10 @@ class SafeFs : public FileSystem {
   // changes no observable behaviour — tests/dcache_coherence_test.cc holds a
   // cache-enabled run bit-identical to a disabled run and to the spec model.
   void SetLookupAcceleration(bool enabled);
-  bool lookup_acceleration_enabled() const { return accel_enabled_; }
+  bool lookup_acceleration_enabled() const {
+    MutexGuard guard(mutex_);
+    return accel_enabled_;
+  }
   DcacheStats dcache_stats() const { return dcache_.StatsSnapshot(); }
 
  private:
@@ -122,30 +137,31 @@ class SafeFs : public FileSystem {
   // --- block staging (the ownership-model surface) ---
 
   // Current content of an absolute block: staged cell if dirty, else device.
-  Result<Bytes> LoadBlock(uint64_t block) const;
+  Result<Bytes> LoadBlock(uint64_t block) const SKERN_REQUIRES(mutex_);
   // Returns the staged cell for `block`, staging current content on first
   // touch (or zeroes with `zero_fill`).
-  Result<Owned<Bytes>*> StageBlock(uint64_t block, bool zero_fill);
-  void DropStaged(uint64_t block);
+  Result<Owned<Bytes>*> StageBlock(uint64_t block, bool zero_fill) SKERN_REQUIRES(mutex_);
+  void DropStaged(uint64_t block) SKERN_REQUIRES(mutex_);
 
   // --- allocator ---
-  Result<uint64_t> AllocDataBlock();
-  void FreeDataBlock(uint64_t block);
+  Result<uint64_t> AllocDataBlock() SKERN_REQUIRES(mutex_);
+  void FreeDataBlock(uint64_t block) SKERN_REQUIRES(mutex_);
 
   // --- inodes ---
-  Result<uint64_t> AllocInode(uint32_t mode);
-  DiskInode& InodeRef(uint64_t ino);
-  void MarkInodeDirty(uint64_t ino);
-  void FreeInode(uint64_t ino);
+  Result<uint64_t> AllocInode(uint32_t mode) SKERN_REQUIRES(mutex_);
+  DiskInode& InodeRef(uint64_t ino) SKERN_REQUIRES(mutex_);
+  void MarkInodeDirty(uint64_t ino) SKERN_REQUIRES(mutex_);
+  void FreeInode(uint64_t ino) SKERN_REQUIRES(mutex_);
 
   // --- file block mapping ---
   // Block index -> absolute device block, 0 if hole/unmapped.
-  Result<uint64_t> MapBlock(const DiskInode& inode, uint64_t index) const;
+  Result<uint64_t> MapBlock(const DiskInode& inode, uint64_t index) const
+      SKERN_REQUIRES(mutex_);
   // Ensures the file block at `index` is mapped, allocating (and staging) as
   // needed. Returns the absolute block.
-  Result<uint64_t> MapBlockForWrite(uint64_t ino, uint64_t index);
+  Result<uint64_t> MapBlockForWrite(uint64_t ino, uint64_t index) SKERN_REQUIRES(mutex_);
   // Frees all blocks at index >= first_kept.
-  Status FreeBlocksFrom(uint64_t ino, uint64_t first_kept);
+  Status FreeBlocksFrom(uint64_t ino, uint64_t first_kept) SKERN_REQUIRES(mutex_);
 
   // --- directories ---
   struct WalkResult {
@@ -154,21 +170,27 @@ class SafeFs : public FileSystem {
     std::string leaf;
   };
   // Walks a normalized path. Errors: ENOENT/ENOTDIR on bad intermediates.
-  Result<WalkResult> Walk(const std::string& normalized) const;
-  Result<uint64_t> DirLookup(uint64_t dir_ino, const std::string& name) const;
-  Result<uint64_t> DirLookupScan(uint64_t dir_ino, const std::string& name) const;
-  Status DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t ino);
-  Status DirRemoveEntry(uint64_t dir_ino, const std::string& name);
-  Result<std::vector<Dirent>> DirEntries(uint64_t dir_ino) const;
-  Result<bool> DirIsEmpty(uint64_t dir_ino) const;
+  Result<WalkResult> Walk(const std::string& normalized) const SKERN_REQUIRES(mutex_);
+  Result<uint64_t> DirLookup(uint64_t dir_ino, const std::string& name) const
+      SKERN_REQUIRES(mutex_);
+  Result<uint64_t> DirLookupScan(uint64_t dir_ino, const std::string& name) const
+      SKERN_REQUIRES(mutex_);
+  Status DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t ino)
+      SKERN_REQUIRES(mutex_);
+  Status DirRemoveEntry(uint64_t dir_ino, const std::string& name) SKERN_REQUIRES(mutex_);
+  Result<std::vector<Dirent>> DirEntries(uint64_t dir_ino) const SKERN_REQUIRES(mutex_);
+  Result<bool> DirIsEmpty(uint64_t dir_ino) const SKERN_REQUIRES(mutex_);
   // True if `ancestor` is on the parent chain of `ino` (cycle check).
-  Result<bool> IsAncestor(uint64_t ancestor, uint64_t ino, const std::string& to_norm) const;
+  Result<bool> IsAncestor(uint64_t ancestor, uint64_t ino, const std::string& to_norm) const
+      SKERN_REQUIRES(mutex_);
 
   // --- data paths ---
-  Status WriteLocked(const std::string& path, uint64_t offset, ByteView data);
-  Result<Bytes> ReadLocked(const std::string& path, uint64_t offset, uint64_t length) const;
-  Status TruncateInode(uint64_t ino, uint64_t new_size);
-  Status SyncLocked();
+  Status WriteLocked(const std::string& path, uint64_t offset, ByteView data)
+      SKERN_REQUIRES(mutex_);
+  Result<Bytes> ReadLocked(const std::string& path, uint64_t offset, uint64_t length) const
+      SKERN_REQUIRES(mutex_);
+  Status TruncateInode(uint64_t ino, uint64_t new_size) SKERN_REQUIRES(mutex_);
+  Status SyncLocked() SKERN_REQUIRES(mutex_);
 
   BlockDevice& device_;
   FsGeometry geo_;
@@ -176,20 +198,22 @@ class SafeFs : public FileSystem {
   mutable TrackedMutex mutex_{"safefs.lock"};
 
   // In-memory metadata images (authoritative between syncs).
-  Bytes bitmap_;                          // data-area allocation bitmap
-  std::map<uint64_t, DiskInode> inodes_;  // in-use inodes
-  uint64_t next_ino_hint_ = kRootIno + 1;
+  Bytes bitmap_ SKERN_GUARDED_BY(mutex_);  // data-area allocation bitmap
+  // In-use inodes.
+  std::map<uint64_t, DiskInode> inodes_ SKERN_GUARDED_BY(mutex_);
+  uint64_t next_ino_hint_ SKERN_GUARDED_BY(mutex_) = kRootIno + 1;
 
-  // Dirty state since the last commit.
-  std::map<uint64_t, Owned<Bytes>> staged_;  // absolute block -> content cell
-  std::set<uint64_t> dirty_inos_;
-  std::set<uint64_t> cleared_inos_;  // freed since last sync
-  bool bitmap_dirty_ = false;
+  // Dirty state since the last commit (absolute block -> content cell).
+  std::map<uint64_t, Owned<Bytes>> staged_ SKERN_GUARDED_BY(mutex_);
+  std::set<uint64_t> dirty_inos_ SKERN_GUARDED_BY(mutex_);
+  // Freed since last sync.
+  std::set<uint64_t> cleared_inos_ SKERN_GUARDED_BY(mutex_);
+  bool bitmap_dirty_ SKERN_GUARDED_BY(mutex_) = false;
 
-  SafeFsSemanticFault fault_ = SafeFsSemanticFault::kNone;
-  AllocPolicy alloc_policy_ = AllocPolicy::kFirstFit;
-  uint64_t alloc_hint_ = 0;  // next-fit scan position
-  SafeFsStats stats_;
+  SafeFsSemanticFault fault_ SKERN_GUARDED_BY(mutex_) = SafeFsSemanticFault::kNone;
+  AllocPolicy alloc_policy_ SKERN_GUARDED_BY(mutex_) = AllocPolicy::kFirstFit;
+  uint64_t alloc_hint_ SKERN_GUARDED_BY(mutex_) = 0;  // next-fit scan position
+  SafeFsStats stats_ SKERN_GUARDED_BY(mutex_);
 
   // --- lookup acceleration (guarded by mutex_; see SetLookupAcceleration) ---
   // One dirent slot, addressed linearly (block_index * kDirentsPerBlock +
@@ -209,11 +233,11 @@ class SafeFs : public FileSystem {
   };
   // Builds (one full scan, amortized over every later O(1) probe) or returns
   // the index for a directory.
-  Result<DirIndex*> EnsureDirIndex(uint64_t dir_ino) const;
+  Result<DirIndex*> EnsureDirIndex(uint64_t dir_ino) const SKERN_REQUIRES(mutex_);
 
-  mutable DentryCache dcache_;
-  mutable std::unordered_map<uint64_t, DirIndex> dir_index_;
-  bool accel_enabled_ = true;
+  mutable DentryCache dcache_;  // internally synchronized (sharded spinlocks)
+  mutable std::unordered_map<uint64_t, DirIndex> dir_index_ SKERN_GUARDED_BY(mutex_);
+  bool accel_enabled_ SKERN_GUARDED_BY(mutex_) = true;
 };
 
 }  // namespace skern

@@ -33,29 +33,44 @@ std::string Packet::Describe() const {
 }
 
 void Network::Attach(uint32_t ip, PacketHandler handler) {
+  MutexGuard guard(mutex_);
   handlers_[ip] = std::move(handler);
 }
 
 void Network::Send(Packet packet) {
-  ++stats_.sent;
   SKERN_COUNTER_INC("net.wire.packets_sent");
   SKERN_TRACE("net", "packet_send", packet.proto, packet.dst_port);
-  if (drop_rate_ > 0.0 && rng_.NextBool(drop_rate_)) {
-    ++stats_.dropped;
-    SKERN_COUNTER_INC("net.wire.packets_dropped");
-    SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
-    return;
+  PacketHandler handler;
+  SimTime delay;
+  {
+    MutexGuard guard(mutex_);
+    ++stats_.sent;
+    if (drop_rate_ > 0.0 && rng_.NextBool(drop_rate_)) {
+      ++stats_.dropped;
+      SKERN_COUNTER_INC("net.wire.packets_dropped");
+      SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
+      return;
+    }
+    auto it = handlers_.find(packet.dst_ip);
+    if (it == handlers_.end()) {
+      ++stats_.dropped;
+      SKERN_COUNTER_INC("net.wire.packets_dropped");
+      SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
+      return;
+    }
+    // Copy the handler out of the map: the delivery lambda runs later and a
+    // reference into handlers_ would dangle across a concurrent Attach
+    // (rehash/overwrite). Invoke it without holding the wire lock so a
+    // handler that calls back into Send cannot self-deadlock.
+    handler = it->second;
+    delay = delay_;
   }
-  auto it = handlers_.find(packet.dst_ip);
-  if (it == handlers_.end()) {
-    ++stats_.dropped;
-    SKERN_COUNTER_INC("net.wire.packets_dropped");
-    SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
-    return;
-  }
-  PacketHandler& handler = it->second;
-  clock_.ScheduleAfter(delay_, [this, &handler, pkt = std::move(packet)]() {
-    ++stats_.delivered;
+  clock_.ScheduleAfter(delay, [this, handler = std::move(handler),
+                               pkt = std::move(packet)]() {
+    {
+      MutexGuard guard(mutex_);
+      ++stats_.delivered;
+    }
     SKERN_COUNTER_INC("net.wire.packets_delivered");
     SKERN_TRACE("net", "packet_deliver", pkt.proto, pkt.dst_port);
     handler(pkt);

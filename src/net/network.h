@@ -10,6 +10,7 @@
 #include "src/base/rng.h"
 #include "src/base/sim_clock.h"
 #include "src/net/packet.h"
+#include "src/sync/mutex.h"
 
 namespace skern {
 
@@ -33,18 +34,28 @@ class Network {
   // (uniformly at `drop_rate`); unknown destinations are dropped.
   void Send(Packet packet);
 
-  void set_delay(SimTime delay) { delay_ = delay; }
-  void set_drop_rate(double rate) { drop_rate_ = rate; }
+  void set_delay(SimTime delay) {
+    MutexGuard guard(mutex_);
+    delay_ = delay;
+  }
+  void set_drop_rate(double rate) {
+    MutexGuard guard(mutex_);
+    drop_rate_ = rate;
+  }
 
-  const NetworkStats& stats() const { return stats_; }
+  NetworkStats stats() const {
+    MutexGuard guard(mutex_);
+    return stats_;
+  }
 
  private:
   SimClock& clock_;
-  Rng rng_;
-  SimTime delay_ = 50 * kMicrosecond;
-  double drop_rate_ = 0.0;
-  std::map<uint32_t, PacketHandler> handlers_;
-  NetworkStats stats_;
+  mutable TrackedMutex mutex_{"net.wire"};
+  Rng rng_ SKERN_GUARDED_BY(mutex_);
+  SimTime delay_ SKERN_GUARDED_BY(mutex_) = 50 * kMicrosecond;
+  double drop_rate_ SKERN_GUARDED_BY(mutex_) = 0.0;
+  std::map<uint32_t, PacketHandler> handlers_ SKERN_GUARDED_BY(mutex_);
+  NetworkStats stats_ SKERN_GUARDED_BY(mutex_);
 };
 
 }  // namespace skern

@@ -27,6 +27,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/sync/annotations.h"
+
 namespace skern {
 namespace obs {
 
@@ -135,9 +137,10 @@ class MetricsRegistry {
   MetricsRegistry() = default;
 
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ SKERN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ SKERN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SKERN_GUARDED_BY(mutex_);
 };
 
 namespace internal {

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/sync/annotations.h"
 
 namespace skern {
 namespace obs {
@@ -21,11 +22,11 @@ std::atomic<bool> g_trace_enabled{false};
 
 namespace {
 
-std::atomic<const SimClock*> g_trace_clock{nullptr};
+std::atomic<const TraceClock*> g_trace_clock{nullptr};
 
 uint64_t TraceNow() {
-  const SimClock* clock = g_trace_clock.load(std::memory_order_relaxed);
-  return clock != nullptr ? clock->now() : MonotonicNowNs();
+  const TraceClock* clock = g_trace_clock.load(std::memory_order_relaxed);
+  return clock != nullptr ? clock->TraceNowNs() : MonotonicNowNs();
 }
 
 // ---------------------------------------------------------------------------
@@ -34,8 +35,9 @@ uint64_t TraceNow() {
 
 struct EventTable {
   std::mutex mutex;
-  std::map<std::pair<std::string, std::string>, uint16_t> ids;
-  std::vector<std::string> names;  // indexed by id, "subsys.event"
+  std::map<std::pair<std::string, std::string>, uint16_t> ids SKERN_GUARDED_BY(mutex);
+  // Indexed by id, "subsys.event".
+  std::vector<std::string> names SKERN_GUARDED_BY(mutex);
 };
 
 EventTable& Events() {
@@ -107,8 +109,8 @@ class TraceRing {
 // even after the owning thread has exited.
 struct RingRegistry {
   std::mutex mutex;
-  std::vector<std::shared_ptr<TraceRing>> rings;
-  uint32_t next_tid = 1;
+  std::vector<std::shared_ptr<TraceRing>> rings SKERN_GUARDED_BY(mutex);
+  uint32_t next_tid SKERN_GUARDED_BY(mutex) = 1;
 };
 
 RingRegistry& Rings() {
@@ -159,7 +161,7 @@ void EmitTrace(uint16_t event_id, uint64_t arg0, uint64_t arg1) {
   ThisThreadRing().Push(event_id, arg0, arg1);
 }
 
-void SetTraceClock(const SimClock* clock) {
+void SetTraceClock(const TraceClock* clock) {
   g_trace_clock.store(clock, std::memory_order_relaxed);
 }
 

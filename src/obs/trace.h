@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "src/base/sim_clock.h"
+#include "src/obs/trace_clock.h"
 
 namespace skern {
 namespace obs {
@@ -64,9 +64,10 @@ std::string TraceEventName(uint16_t id);
 // thread on first use). No-op when tracing is disabled.
 void EmitTrace(uint16_t event_id, uint64_t arg0 = 0, uint64_t arg1 = 0);
 
-// Routes timestamps to a simulation clock (nullptr restores wall time).
-// The clock must outlive tracing; reads are a single inline u64 load.
-void SetTraceClock(const SimClock* clock);
+// Routes timestamps to an alternate clock (nullptr restores wall time).
+// The clock must outlive tracing and its TraceNowNs must tolerate concurrent
+// readers; SimClock implements the interface for deterministic simulations.
+void SetTraceClock(const TraceClock* clock);
 
 // Global trace collection: start/stop/drain. One session per process; the
 // per-thread buffers are created lazily and live for the process lifetime.

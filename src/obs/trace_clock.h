@@ -1,0 +1,27 @@
+// Timestamp source abstraction for the tracer.
+//
+// The obs layer sits at the bottom of the module DAG (layers.toml): it may
+// not reach up into src/base for SimClock. Instead the tracer consumes this
+// minimal interface and clocks that want deterministic traces (SimClock)
+// implement it — the dependency points downward, base -> obs.
+#ifndef SKERN_SRC_OBS_TRACE_CLOCK_H_
+#define SKERN_SRC_OBS_TRACE_CLOCK_H_
+
+#include <cstdint>
+
+namespace skern {
+namespace obs {
+
+// A monotonic nanosecond clock the tracer can sample from any thread.
+// Implementations must make TraceNowNs() safe to call concurrently with
+// whatever advances the clock.
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  virtual uint64_t TraceNowNs() const = 0;
+};
+
+}  // namespace obs
+}  // namespace skern
+
+#endif  // SKERN_SRC_OBS_TRACE_CLOCK_H_

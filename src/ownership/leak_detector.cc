@@ -10,24 +10,24 @@ LeakDetector& LeakDetector::Get() {
 }
 
 uint64_t LeakDetector::OnAlloc(const std::string& label, size_t size) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   uint64_t ticket = next_ticket_++;
   live_[ticket] = Allocation{label, size};
   return ticket;
 }
 
 void LeakDetector::OnFree(uint64_t ticket) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   live_.erase(ticket);
 }
 
 size_t LeakDetector::LiveCount() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   return live_.size();
 }
 
 size_t LeakDetector::LiveBytes() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   size_t total = 0;
   for (const auto& [ticket, alloc] : live_) {
     total += alloc.size;
@@ -36,7 +36,7 @@ size_t LeakDetector::LiveBytes() const {
 }
 
 std::vector<std::string> LeakDetector::LiveLabels() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   std::vector<std::string> labels;
   labels.reserve(live_.size());
   for (const auto& [ticket, alloc] : live_) {
@@ -46,14 +46,14 @@ std::vector<std::string> LeakDetector::LiveLabels() const {
 }
 
 void LeakDetector::ResetForTesting() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   live_.clear();
 }
 
 LeakScope::LeakScope() {
   // Watermark: tickets issued before the scope began are outside it.
   auto& detector = LeakDetector::Get();
-  std::lock_guard<std::mutex> guard(detector.mutex_);
+  MutexGuard guard(detector.mutex_);
   watermark_ = detector.next_ticket_;
 }
 
@@ -67,7 +67,7 @@ LeakScope::~LeakScope() {
 
 size_t LeakScope::PendingLeaks() const {
   auto& detector = LeakDetector::Get();
-  std::lock_guard<std::mutex> guard(detector.mutex_);
+  MutexGuard guard(detector.mutex_);
   size_t count = 0;
   for (const auto& [ticket, alloc] : detector.live_) {
     if (ticket >= watermark_) {

@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/sync/mutex.h"
 
 namespace skern {
 
@@ -45,9 +46,9 @@ class LeakDetector {
     size_t size;
   };
 
-  mutable std::mutex mutex_;
-  std::map<uint64_t, Allocation> live_;
-  uint64_t next_ticket_ = 1;
+  mutable TrackedMutex mutex_{"ownership.leaks"};
+  std::map<uint64_t, Allocation> live_ SKERN_GUARDED_BY(mutex_);
+  uint64_t next_ticket_ SKERN_GUARDED_BY(mutex_) = 1;
 };
 
 // RAII scope: captures the live set at construction; anything still live at

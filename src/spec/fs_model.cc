@@ -3,110 +3,7 @@
 #include <algorithm>
 
 namespace skern {
-namespace specpath {
 
-bool IsNormalized(const std::string& path) {
-  if (path.empty() || path[0] != '/') {
-    return false;
-  }
-  if (path.size() == 1) {
-    return true;  // "/"
-  }
-  size_t start = 1;  // first char of the current component
-  for (size_t i = 1; i <= path.size(); ++i) {
-    if (i == path.size() || path[i] == '/') {
-      size_t len = i - start;
-      if (len == 0 || len > kMaxComponentLen) {
-        return false;  // "//", trailing slash, or overlong component
-      }
-      if (path[start] == '.' && (len == 1 || (len == 2 && path[start + 1] == '.'))) {
-        return false;  // "." or ".." segment
-      }
-      start = i + 1;
-    }
-  }
-  return true;
-}
-
-Result<std::string> Normalize(const std::string& path) {
-  if (IsNormalized(path)) {
-    // Fast path: canonical inputs (everything below the VFS boundary, which
-    // normalizes once) skip the component parse and its allocations.
-    return path;
-  }
-  if (path.empty() || path[0] != '/') {
-    return Errno::kEINVAL;
-  }
-  std::vector<std::string> parts;
-  size_t i = 1;
-  while (i <= path.size()) {
-    size_t next = path.find('/', i);
-    if (next == std::string::npos) {
-      next = path.size();
-    }
-    std::string part = path.substr(i, next - i);
-    if (part == "..") {
-      return Errno::kEINVAL;
-    }
-    if (!part.empty() && part != ".") {
-      if (part.size() > kMaxComponentLen) {
-        return Errno::kENAMETOOLONG;
-      }
-      parts.push_back(std::move(part));
-    }
-    i = next + 1;
-  }
-  if (parts.empty()) {
-    return std::string("/");
-  }
-  std::string out;
-  for (const auto& part : parts) {
-    out += '/';
-    out += part;
-  }
-  return out;
-}
-
-std::string Parent(const std::string& normalized) {
-  if (normalized == "/") {
-    return "/";
-  }
-  size_t pos = normalized.rfind('/');
-  if (pos == 0) {
-    return "/";
-  }
-  return normalized.substr(0, pos);
-}
-
-std::string Basename(const std::string& normalized) {
-  if (normalized == "/") {
-    return "";
-  }
-  size_t pos = normalized.rfind('/');
-  return normalized.substr(pos + 1);
-}
-
-bool IsPrefix(const std::string& prefix, const std::string& path) {
-  if (prefix == path) {
-    return true;
-  }
-  if (prefix == "/") {
-    return true;
-  }
-  return path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
-         path[prefix.size()] == '/';
-}
-
-std::string SubstitutePrefix(const std::string& from, const std::string& to,
-                             const std::string& path) {
-  if (path == from) {
-    return to;
-  }
-  // path is underneath from: replace the leading segment.
-  return to + path.substr(from.size());
-}
-
-}  // namespace specpath
 
 FsModel::NodeKind FsModel::KindOf(const FsModelState& s, const std::string& path) const {
   if (s.dirs.count(path) > 0) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/path.h"
 #include "src/base/result.h"
 #include "src/base/status.h"
 
@@ -47,43 +48,9 @@ struct ModelAttr {
   uint64_t size = 0;
 };
 
-// Path helpers shared by the model and the VFS layer. All model paths are
-// absolute and normalized ("/a/b"; "/" for the root; no trailing slash).
-namespace specpath {
-
-// Maximum component length, matching the on-disk dirent name capacity
-// (kMaxNameLen in src/fs/layout.h) so the specification and every
-// implementation agree on ENAMETOOLONG.
-inline constexpr size_t kMaxComponentLen = 54;
-
-// True if `path` is already in canonical form: absolute, no duplicate or
-// trailing slashes, no "."/".." segments, every component within
-// kMaxComponentLen. A path for which this holds is exactly a fixed point of
-// Normalize(); the VFS boundary uses it to skip re-parsing on every op.
-bool IsNormalized(const std::string& path);
-
-// Normalizes a path: collapses duplicate slashes, resolves "." segments.
-// ".." is rejected (the substrate has no symlinks or relative walks).
-// Returns kEINVAL for empty/relative/illegal paths. Already-canonical inputs
-// (the common case once the VFS has normalized at its boundary) take an
-// allocation-free validation fast path.
-Result<std::string> Normalize(const std::string& path);
-
-// Parent of a normalized path ("/a/b" -> "/a", "/a" -> "/"). "/" has no
-// parent; returns "/".
-std::string Parent(const std::string& normalized);
-
-// Final component ("/a/b" -> "b"); empty for "/".
-std::string Basename(const std::string& normalized);
-
-// True if `path` equals `prefix` or is underneath it.
-bool IsPrefix(const std::string& prefix, const std::string& path);
-
-// Replaces the `from` prefix of `path` with `to` (both normalized dirs).
-std::string SubstitutePrefix(const std::string& from, const std::string& to,
-                             const std::string& path);
-
-}  // namespace specpath
+// Path helpers shared by the model and the VFS layer now live in
+// src/base/path.h (namespace specpath): they are pure string functions and
+// the module layering places them below both the spec and the VFS.
 
 // The specification machine. Operations mutate `state()` by replacing it
 // with a new value and report the specified observable outcome.

@@ -25,23 +25,23 @@ RefinementStats& RefinementStats::Get() {
 }
 
 void RefinementStats::RecordMismatch(const RefinementMismatch& m) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   mismatches_.push_back(m);
 }
 
 uint64_t RefinementStats::mismatch_count() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   return mismatches_.size();
 }
 
 std::vector<RefinementMismatch> RefinementStats::Mismatches() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   return mismatches_;
 }
 
 void RefinementStats::ResetForTesting() {
   checks_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexGuard guard(mutex_);
   mismatches_.clear();
 }
 

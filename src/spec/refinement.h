@@ -12,13 +12,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/base/result.h"
 #include "src/base/status.h"
+#include "src/sync/mutex.h"
 
 namespace skern {
 
@@ -65,8 +65,8 @@ class RefinementStats {
   RefinementStats() = default;
 
   std::atomic<uint64_t> checks_{0};
-  mutable std::mutex mutex_;
-  std::vector<RefinementMismatch> mismatches_;
+  mutable TrackedMutex mutex_{"spec.refinement"};
+  std::vector<RefinementMismatch> mismatches_ SKERN_GUARDED_BY(mutex_);
 };
 
 namespace internal {

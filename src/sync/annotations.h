@@ -1,0 +1,82 @@
+// Lock annotations: compile-time declarations of the locking discipline.
+//
+// §4.3 of the paper: shared kernel state comes "with complicated
+// specifications on which fields can be accessed when ... and when which
+// locks need to be held", enforced today only by code review. These macros
+// turn that prose into checkable structure, twice over:
+//
+//   * Under clang the macros expand to Thread-Safety-Analysis attributes, so
+//     `-Wthread-safety -Werror` (the clang CI job) rejects any access to a
+//     SKERN_GUARDED_BY field outside a critical section of the named lock.
+//   * Under every compiler the in-tree linter (tools/safety_lint) parses the
+//     same annotations and checks each annotated field's access sites against
+//     the guard acquisitions visible in the enclosing function.
+//
+// The spelling follows absl/base/thread_annotations.h; the semantics are
+// clang's (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+//
+// This header is deliberately dependency-free (macros only) and is the one
+// src/sync header the module layering allows everywhere — annotating a field
+// must never create a link-time dependency on the sync layer.
+#ifndef SKERN_SRC_SYNC_ANNOTATIONS_H_
+#define SKERN_SRC_SYNC_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SKERN_TS_ATTR(x) __attribute__((x))
+#else
+#define SKERN_TS_ATTR(x)  // gcc et al.: annotations checked by safety_lint only
+#endif
+
+// --- declaring capabilities (lock types) ---
+
+// Marks a class as a capability ("mutex" in diagnostics).
+#define SKERN_CAPABILITY(name) SKERN_TS_ATTR(capability(name))
+
+// Marks an RAII guard whose constructor acquires and destructor releases.
+#define SKERN_SCOPED_CAPABILITY SKERN_TS_ATTR(scoped_lockable)
+
+// --- annotating data ---
+
+// Field may only be read/written while holding `lock`.
+#define SKERN_GUARDED_BY(lock) SKERN_TS_ATTR(guarded_by(lock))
+
+// Pointer field whose *pointee* is protected by `lock`.
+#define SKERN_PT_GUARDED_BY(lock) SKERN_TS_ATTR(pt_guarded_by(lock))
+
+// --- annotating functions ---
+
+// Function acquires the capability (exclusively / shared) and holds it on
+// return.
+#define SKERN_ACQUIRE(...) SKERN_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define SKERN_ACQUIRE_SHARED(...) SKERN_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability.
+#define SKERN_RELEASE(...) SKERN_TS_ATTR(release_capability(__VA_ARGS__))
+#define SKERN_RELEASE_SHARED(...) SKERN_TS_ATTR(release_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `result`.
+#define SKERN_TRY_ACQUIRE(result, ...) \
+  SKERN_TS_ATTR(try_acquire_capability(result, __VA_ARGS__))
+
+// Caller must already hold the capability (exclusively / shared).
+#define SKERN_REQUIRES(...) SKERN_TS_ATTR(requires_capability(__VA_ARGS__))
+#define SKERN_REQUIRES_SHARED(...) SKERN_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (the function acquires it itself;
+// guards against self-deadlock).
+#define SKERN_EXCLUDES(...) SKERN_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+// Function dynamically checks that the capability is held and faults if not;
+// the analysis assumes it held afterwards. (SKERN_ASSERT_HELD expands to a
+// function annotated with this.)
+#define SKERN_ASSERT_CAPABILITY(...) SKERN_TS_ATTR(assert_capability(__VA_ARGS__))
+
+// Function returns a reference to the given capability.
+#define SKERN_RETURN_CAPABILITY(lock) SKERN_TS_ATTR(lock_returned(lock))
+
+// Escape hatch: disables analysis for one function (init/teardown paths that
+// are single-threaded by construction). Use sparingly; the lint reports a
+// tally so escapes stay visible.
+#define SKERN_NO_TSA SKERN_TS_ATTR(no_thread_safety_analysis)
+
+#endif  // SKERN_SRC_SYNC_ANNOTATIONS_H_

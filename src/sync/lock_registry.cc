@@ -19,6 +19,80 @@ std::mutex& RegistryMutex() {
 
 thread_local std::vector<LockClassId> t_held_stack;
 
+// ---------------------------------------------------------------------------
+// Validated-edge cache
+// ---------------------------------------------------------------------------
+// Once "held before acquired" has been checked against the class graph and
+// found acyclic, the verdict never changes (edges are only ever added, and
+// adding edges cannot make an existing edge newly safe or unsafe — a
+// violating pair is never inserted). So each validated pair is remembered in
+// a fixed-size lock-free open-addressed table; steady-state OnAcquire is a
+// handful of relaxed loads and never touches RegistryMutex(). Violating
+// pairs are deliberately NOT cached: every repetition must re-report.
+
+constexpr size_t kEdgeCacheSlots = 1 << 13;  // 64 KiB of u64 slots
+constexpr size_t kEdgeProbeLimit = 16;
+static_assert((kEdgeCacheSlots & (kEdgeCacheSlots - 1)) == 0);
+
+using EdgeCacheTable = std::array<std::atomic<uint64_t>, kEdgeCacheSlots>;
+
+EdgeCacheTable& EdgeCache() {
+  static EdgeCacheTable* cache = new EdgeCacheTable();  // zero-initialized
+  return *cache;
+}
+
+// 0 is the empty-slot sentinel; +1 on both halves keeps real keys nonzero.
+uint64_t EdgeKey(LockClassId held, LockClassId acquired) {
+  return ((static_cast<uint64_t>(held) + 1) << 32) | (static_cast<uint64_t>(acquired) + 1);
+}
+
+uint64_t MixEdge(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool EdgeSeen(LockClassId held, LockClassId acquired) {
+  EdgeCacheTable& cache = EdgeCache();
+  const uint64_t key = EdgeKey(held, acquired);
+  size_t slot = MixEdge(key) & (kEdgeCacheSlots - 1);
+  for (size_t i = 0; i < kEdgeProbeLimit; ++i) {
+    uint64_t value = cache[(slot + i) & (kEdgeCacheSlots - 1)].load(std::memory_order_relaxed);
+    if (value == key) {
+      return true;
+    }
+    if (value == 0) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void EdgeRemember(LockClassId held, LockClassId acquired) {
+  EdgeCacheTable& cache = EdgeCache();
+  const uint64_t key = EdgeKey(held, acquired);
+  size_t slot = MixEdge(key) & (kEdgeCacheSlots - 1);
+  for (size_t i = 0; i < kEdgeProbeLimit; ++i) {
+    std::atomic<uint64_t>& cell = cache[(slot + i) & (kEdgeCacheSlots - 1)];
+    uint64_t expected = 0;
+    if (cell.compare_exchange_strong(expected, key, std::memory_order_relaxed)) {
+      return;
+    }
+    if (expected == key) {
+      return;  // another thread cached it first
+    }
+  }
+  // Probe window full: skip caching. Correctness is unaffected — the pair
+  // will simply keep taking the slow path.
+}
+
+void EdgeCacheReset() {
+  for (std::atomic<uint64_t>& cell : EdgeCache()) {
+    cell.store(0, std::memory_order_relaxed);
+  }
+}
+
 }  // namespace
 
 LockRegistry& LockRegistry::Get() {
@@ -32,16 +106,19 @@ LockClassId LockRegistry::RegisterClass(const std::string& name) {
   if (it != class_by_name_.end()) {
     return it->second;
   }
-  LockClassId id = static_cast<LockClassId>(class_names_.size());
-  class_names_.push_back(name);
+  uint32_t id = class_count_.load(std::memory_order_relaxed);
+  SKERN_CHECK_MSG(id < kMaxLockClasses, "lock class table full (kMaxLockClasses)");
+  class_names_[id] = name;
   class_by_name_[name] = id;
+  // Publish: a reader that acquire-loads class_count_ > id sees the name.
+  class_count_.store(id + 1, std::memory_order_release);
   return id;
 }
 
-std::string LockRegistry::ClassName(LockClassId id) const {
-  std::lock_guard<std::mutex> guard(RegistryMutex());
-  if (id >= class_names_.size()) {
-    return "<unknown>";
+const std::string& LockRegistry::ClassName(LockClassId id) const {
+  static const std::string kUnknown = "<unknown>";
+  if (id >= class_count_.load(std::memory_order_acquire)) {
+    return kUnknown;
   }
   return class_names_[id];
 }
@@ -69,8 +146,36 @@ bool LockRegistry::CreatesCycleLocked(LockClassId from, LockClassId to) const {
   return false;
 }
 
+void LockRegistry::ReportViolation(const LockOrderViolation& violation) {
+  SKERN_COUNTER_INC("sync.lock.order_violations");
+  SKERN_TRACE("sync", "order_violation", violation.held, violation.acquired);
+  bool should_panic;
+  {
+    std::lock_guard<std::mutex> guard(RegistryMutex());
+    violations_.push_back(violation);
+    should_panic = panic_on_violation_;
+  }
+  const bool self = violation.held == violation.acquired;
+  SKERN_ERROR() << (self ? "lock self-deadlock: re-acquiring " : "lock-order violation: ")
+                << violation.held_name << (self ? "" : " -> " + violation.acquired_name);
+  if (should_panic) {
+    if (self) {
+      Panic("lock self-deadlock: \"" + violation.held_name + "\" re-acquired by holder");
+    }
+    Panic("lock-order violation: " + violation.held_name + " then " + violation.acquired_name);
+  }
+}
+
 void LockRegistry::OnAcquire(LockClassId cls) {
   SKERN_COUNTER_INC("sync.lock.acquires");
+  if (CurrentThreadHolds(cls)) [[unlikely]] {
+    // Re-acquiring a class this thread already holds would block on itself
+    // (these locks are not recursive). Register the hold first so release
+    // bookkeeping stays balanced in record-only mode.
+    t_held_stack.push_back(cls);
+    ReportViolation(LockOrderViolation{cls, cls, ClassName(cls), ClassName(cls)});
+    return;
+  }
   if (t_held_stack.empty()) {
     // Fast path: no locks held means no ordering edges to record, so the
     // global registry mutex can be skipped entirely. This is what keeps
@@ -79,37 +184,40 @@ void LockRegistry::OnAcquire(LockClassId cls) {
     t_held_stack.push_back(cls);
     return;
   }
+  bool all_validated = true;
+  for (LockClassId held : t_held_stack) {
+    if (!EdgeSeen(held, cls)) {
+      all_validated = false;
+      break;
+    }
+  }
+  if (all_validated) {
+    // Every (held, cls) pair has been through the cycle check before; the
+    // verdict is immutable, so nothing to record and no mutex to take.
+    t_held_stack.push_back(cls);
+    return;
+  }
   bool violated = false;
   LockOrderViolation violation;
   {
     std::lock_guard<std::mutex> guard(RegistryMutex());
     for (LockClassId held : t_held_stack) {
-      if (held == cls) {
-        continue;  // recursive same-class acquisitions are the lock's concern
-      }
       if (CreatesCycleLocked(held, cls)) {
         violated = true;
         violation = LockOrderViolation{held, cls, class_names_[held], class_names_[cls]};
-        violations_.push_back(violation);
       } else {
         edges_[held].insert(cls);
       }
     }
   }
+  if (!violated) {
+    for (LockClassId held : t_held_stack) {
+      EdgeRemember(held, cls);
+    }
+  }
   t_held_stack.push_back(cls);
   if (violated) {
-    SKERN_COUNTER_INC("sync.lock.order_violations");
-    SKERN_TRACE("sync", "order_violation", violation.held, violation.acquired);
-    SKERN_ERROR() << "lock-order violation: " << violation.held_name << " -> "
-                  << violation.acquired_name;
-    bool should_panic;
-    {
-      std::lock_guard<std::mutex> guard(RegistryMutex());
-      should_panic = panic_on_violation_;
-    }
-    if (should_panic) {
-      Panic("lock-order violation: " + violation.held_name + " then " + violation.acquired_name);
-    }
+    ReportViolation(violation);
   }
 }
 
@@ -144,6 +252,7 @@ void LockRegistry::ResetForTesting() {
   std::lock_guard<std::mutex> guard(RegistryMutex());
   edges_.clear();
   violations_.clear();
+  EdgeCacheReset();
 }
 
 }  // namespace skern

@@ -10,6 +10,8 @@
 #ifndef SKERN_SRC_SYNC_LOCK_REGISTRY_H_
 #define SKERN_SRC_SYNC_LOCK_REGISTRY_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -21,6 +23,12 @@ namespace skern {
 // Identifies a lock *class* (e.g. "inode.i_lock"), not an instance — the same
 // granularity lockdep uses.
 using LockClassId = uint32_t;
+
+// Upper bound on distinct lock classes. Classes are named by string literals
+// at lock construction sites, so the population is small and fixed; the bound
+// buys a read-mostly name table that OnAcquire/ClassName can use without the
+// registry mutex (lockdep's MAX_LOCKDEP_KEYS plays the same role).
+inline constexpr size_t kMaxLockClasses = 1024;
 
 struct LockOrderViolation {
   LockClassId held;      // class already held
@@ -35,10 +43,17 @@ class LockRegistry {
 
   // Registers (or finds) a lock class by name.
   LockClassId RegisterClass(const std::string& name);
-  std::string ClassName(LockClassId id) const;
+
+  // Name of a registered class. Lock-free: ids are published with release
+  // semantics into an append-only table, so the hot paths (panic messages,
+  // procfs renders) never touch the registry mutex.
+  const std::string& ClassName(LockClassId id) const;
 
   // Called by tracked locks. Records ordering edges from all classes held by
-  // the current thread to `cls`, and flags newly created cycles.
+  // the current thread to `cls`, and flags newly created cycles. Re-acquiring
+  // a class this thread already holds is a self-deadlock violation. Edges
+  // already validated once are remembered in a lock-free cache, so steady
+  // state acquisition never touches the registry mutex.
   void OnAcquire(LockClassId cls);
   void OnRelease(LockClassId cls);
 
@@ -62,11 +77,17 @@ class LockRegistry {
   LockRegistry() = default;
 
   bool CreatesCycleLocked(LockClassId from, LockClassId to) const;
+  // Records `violation`, then panics if strict mode is on.
+  void ReportViolation(const LockOrderViolation& violation);
 
   mutable std::map<LockClassId, std::set<LockClassId>> edges_;  // "from held before to"
   std::vector<LockOrderViolation> violations_;
   std::map<std::string, LockClassId> class_by_name_;
-  std::vector<std::string> class_names_;
+  // Append-only name table: slot [id] is written once under the registry
+  // mutex, then published by the release-store of class_count_; readers that
+  // acquire-load the count may touch any published slot lock-free.
+  std::array<std::string, kMaxLockClasses> class_names_;
+  std::atomic<uint32_t> class_count_{0};
   bool panic_on_violation_ = true;
 };
 

@@ -1,9 +1,13 @@
 // Tracked synchronization primitives.
 //
-// TrackedMutex / TrackedRwLock wrap the standard primitives and report
-// acquisitions to the LockRegistry so lock ordering is checked and "is this
-// lock held?" assertions (SKERN_ASSERT_HELD) are possible — the machine-
-// checkable version of Linux's lockdep_assert_held.
+// TrackedMutex / TrackedSpinLock / TrackedRwLock wrap the standard
+// primitives and report acquisitions to the LockRegistry so lock ordering is
+// checked and "is this lock held?" assertions (SKERN_ASSERT_HELD) are
+// possible — the machine-checkable version of Linux's lockdep_assert_held.
+//
+// Every lock type is a clang Thread-Safety-Analysis capability
+// (src/sync/annotations.h): fields declared SKERN_GUARDED_BY one of these
+// locks are compile-time checked under clang and lint-checked everywhere.
 #ifndef SKERN_SRC_SYNC_MUTEX_H_
 #define SKERN_SRC_SYNC_MUTEX_H_
 
@@ -12,28 +16,37 @@
 #include <shared_mutex>
 #include <string>
 
+#include "src/base/panic.h"
+#include "src/obs/metrics.h"
+#include "src/sync/annotations.h"
 #include "src/sync/lock_registry.h"
 #include "src/sync/spinlock.h"
 
 namespace skern {
 
-class TrackedMutex {
+class SKERN_CAPABILITY("mutex") TrackedMutex {
  public:
   explicit TrackedMutex(const std::string& class_name)
       : class_id_(LockRegistry::Get().RegisterClass(class_name)) {}
 
-  void Lock() {
+  void Lock() SKERN_ACQUIRE() {
     LockRegistry::Get().OnAcquire(class_id_);
-    mutex_.lock();
-    contended_.fetch_add(0, std::memory_order_relaxed);
+    // Uncontended acquisition is the fast path: one try_lock. Only when that
+    // fails — another thread holds the mutex and we are about to block —
+    // does the contention counter move (lockstat's "contentions" column).
+    if (!mutex_.try_lock()) [[unlikely]] {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      SKERN_COUNTER_INC("sync.lock.contended");
+      mutex_.lock();
+    }
   }
 
-  void Unlock() {
+  void Unlock() SKERN_RELEASE() {
     mutex_.unlock();
     LockRegistry::Get().OnRelease(class_id_);
   }
 
-  bool TryLock() {
+  bool TryLock() SKERN_TRY_ACQUIRE(true) {
     if (mutex_.try_lock()) {
       LockRegistry::Get().OnAcquire(class_id_);
       return true;
@@ -47,6 +60,11 @@ class TrackedMutex {
 
   LockClassId class_id() const { return class_id_; }
 
+  // Times this instance found the mutex held and had to block.
+  uint64_t contended_count() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
  private:
   LockClassId class_id_;
   std::mutex mutex_;
@@ -54,10 +72,12 @@ class TrackedMutex {
 };
 
 // RAII guard for TrackedMutex.
-class MutexGuard {
+class SKERN_SCOPED_CAPABILITY MutexGuard {
  public:
-  explicit MutexGuard(TrackedMutex& mutex) : mutex_(&mutex) { mutex_->Lock(); }
-  ~MutexGuard() {
+  explicit MutexGuard(TrackedMutex& mutex) SKERN_ACQUIRE(mutex) : mutex_(&mutex) {
+    mutex_->Lock();
+  }
+  ~MutexGuard() SKERN_RELEASE() {
     if (mutex_ != nullptr) {
       mutex_->Unlock();
     }
@@ -67,7 +87,7 @@ class MutexGuard {
   MutexGuard& operator=(const MutexGuard&) = delete;
 
   // Releases before scope end (for hand-over-hand patterns).
-  void Release() {
+  void Release() SKERN_RELEASE() {
     mutex_->Unlock();
     mutex_ = nullptr;
   }
@@ -81,22 +101,22 @@ class MutexGuard {
 // integration as TrackedMutex; instances sharing one class name form one
 // lock class, so striped siblings never generate ordering edges against each
 // other (they are never nested).
-class TrackedSpinLock {
+class SKERN_CAPABILITY("spinlock") TrackedSpinLock {
  public:
   explicit TrackedSpinLock(const std::string& class_name)
       : class_id_(LockRegistry::Get().RegisterClass(class_name)) {}
 
-  void Lock() {
+  void Lock() SKERN_ACQUIRE() {
     LockRegistry::Get().OnAcquire(class_id_);
     lock_.Lock();
   }
 
-  void Unlock() {
+  void Unlock() SKERN_RELEASE() {
     lock_.Unlock();
     LockRegistry::Get().OnRelease(class_id_);
   }
 
-  bool TryLock() {
+  bool TryLock() SKERN_TRY_ACQUIRE(true) {
     if (lock_.TryLock()) {
       LockRegistry::Get().OnAcquire(class_id_);
       return true;
@@ -116,10 +136,12 @@ class TrackedSpinLock {
 };
 
 // RAII guard for TrackedSpinLock.
-class SpinLockGuard {
+class SKERN_SCOPED_CAPABILITY SpinLockGuard {
  public:
-  explicit SpinLockGuard(TrackedSpinLock& lock) : lock_(&lock) { lock_->Lock(); }
-  ~SpinLockGuard() {
+  explicit SpinLockGuard(TrackedSpinLock& lock) SKERN_ACQUIRE(lock) : lock_(&lock) {
+    lock_->Lock();
+  }
+  ~SpinLockGuard() SKERN_RELEASE() {
     if (lock_ != nullptr) {
       lock_->Unlock();
     }
@@ -128,7 +150,7 @@ class SpinLockGuard {
   SpinLockGuard(const SpinLockGuard&) = delete;
   SpinLockGuard& operator=(const SpinLockGuard&) = delete;
 
-  void Release() {
+  void Release() SKERN_RELEASE() {
     lock_->Unlock();
     lock_ = nullptr;
   }
@@ -137,24 +159,24 @@ class SpinLockGuard {
   TrackedSpinLock* lock_;
 };
 
-class TrackedRwLock {
+class SKERN_CAPABILITY("rwlock") TrackedRwLock {
  public:
   explicit TrackedRwLock(const std::string& class_name)
       : class_id_(LockRegistry::Get().RegisterClass(class_name)) {}
 
-  void LockShared() {
+  void LockShared() SKERN_ACQUIRE_SHARED() {
     LockRegistry::Get().OnAcquire(class_id_);
     mutex_.lock_shared();
   }
-  void UnlockShared() {
+  void UnlockShared() SKERN_RELEASE_SHARED() {
     mutex_.unlock_shared();
     LockRegistry::Get().OnRelease(class_id_);
   }
-  void LockExclusive() {
+  void LockExclusive() SKERN_ACQUIRE() {
     LockRegistry::Get().OnAcquire(class_id_);
     mutex_.lock();
   }
-  void UnlockExclusive() {
+  void UnlockExclusive() SKERN_RELEASE() {
     mutex_.unlock();
     LockRegistry::Get().OnRelease(class_id_);
   }
@@ -163,15 +185,19 @@ class TrackedRwLock {
     return LockRegistry::Get().CurrentThreadHolds(class_id_);
   }
 
+  LockClassId class_id() const { return class_id_; }
+
  private:
   LockClassId class_id_;
   std::shared_mutex mutex_;
 };
 
-class ReadGuard {
+class SKERN_SCOPED_CAPABILITY ReadGuard {
  public:
-  explicit ReadGuard(TrackedRwLock& lock) : lock_(lock) { lock_.LockShared(); }
-  ~ReadGuard() { lock_.UnlockShared(); }
+  explicit ReadGuard(TrackedRwLock& lock) SKERN_ACQUIRE_SHARED(lock) : lock_(lock) {
+    lock_.LockShared();
+  }
+  ~ReadGuard() SKERN_RELEASE() { lock_.UnlockShared(); }
   ReadGuard(const ReadGuard&) = delete;
   ReadGuard& operator=(const ReadGuard&) = delete;
 
@@ -179,10 +205,12 @@ class ReadGuard {
   TrackedRwLock& lock_;
 };
 
-class WriteGuard {
+class SKERN_SCOPED_CAPABILITY WriteGuard {
  public:
-  explicit WriteGuard(TrackedRwLock& lock) : lock_(lock) { lock_.LockExclusive(); }
-  ~WriteGuard() { lock_.UnlockExclusive(); }
+  explicit WriteGuard(TrackedRwLock& lock) SKERN_ACQUIRE(lock) : lock_(lock) {
+    lock_.LockExclusive();
+  }
+  ~WriteGuard() SKERN_RELEASE() { lock_.UnlockExclusive(); }
   WriteGuard(const WriteGuard&) = delete;
   WriteGuard& operator=(const WriteGuard&) = delete;
 
@@ -190,9 +218,35 @@ class WriteGuard {
   TrackedRwLock& lock_;
 };
 
+// Always-on held assertions (lockdep_assert_held): panic if the calling
+// thread does not hold `lock`. Under clang TSA the assertion also teaches
+// the analysis that the capability is held from here on, which is how
+// lock-assumed private helpers (SKERN_REQUIRES) can be called from paths the
+// analysis cannot see through.
+inline void AssertHeld(const TrackedMutex& lock) SKERN_ASSERT_CAPABILITY(lock) {
+  if (!lock.HeldByCurrentThread()) [[unlikely]] {
+    Panic("SKERN_ASSERT_HELD: \"" + LockRegistry::Get().ClassName(lock.class_id()) +
+          "\" not held by current thread");
+  }
+}
+
+inline void AssertHeld(const TrackedSpinLock& lock) SKERN_ASSERT_CAPABILITY(lock) {
+  if (!lock.HeldByCurrentThread()) [[unlikely]] {
+    Panic("SKERN_ASSERT_HELD: \"" + LockRegistry::Get().ClassName(lock.class_id()) +
+          "\" not held by current thread");
+  }
+}
+
+inline void AssertHeld(const TrackedRwLock& lock) SKERN_ASSERT_CAPABILITY(lock) {
+  if (!lock.HeldByCurrentThread()) [[unlikely]] {
+    Panic("SKERN_ASSERT_HELD: \"" + LockRegistry::Get().ClassName(lock.class_id()) +
+          "\" not held by current thread");
+  }
+}
+
 }  // namespace skern
 
-// Asserts (in debug builds) that the current thread holds `mutex`.
-#define SKERN_ASSERT_HELD(mutex) SKERN_DCHECK((mutex).HeldByCurrentThread())
+// Asserts (always, debug and release) that the current thread holds `mutex`.
+#define SKERN_ASSERT_HELD(mutex) ::skern::AssertHeld(mutex)
 
 #endif  // SKERN_SRC_SYNC_MUTEX_H_

@@ -84,18 +84,20 @@ struct DentryCache::Shard {
   explicit Shard(size_t cap) : lock("dcache.shard"), capacity(cap) {}
 
   mutable TrackedSpinLock lock;
-  size_t capacity;
-  std::list<Entry> lru;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEq> index;
+  size_t capacity;  // immutable after construction
+  // front = most recently used
+  std::list<Entry> lru SKERN_GUARDED_BY(lock);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEq> index
+      SKERN_GUARDED_BY(lock);
   // Tallies owned by this shard's lock (aggregated by StatsSnapshot).
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t negative_hits = 0;
-  uint64_t inserts = 0;
-  uint64_t evictions = 0;
+  uint64_t hits SKERN_GUARDED_BY(lock) = 0;
+  uint64_t misses SKERN_GUARDED_BY(lock) = 0;
+  uint64_t negative_hits SKERN_GUARDED_BY(lock) = 0;
+  uint64_t inserts SKERN_GUARDED_BY(lock) = 0;
+  uint64_t evictions SKERN_GUARDED_BY(lock) = 0;
 
   void EraseEntry(std::unordered_map<Key, std::list<Entry>::iterator, KeyHash,
-                                     KeyEq>::iterator it) {
+                                     KeyEq>::iterator it) SKERN_REQUIRES(lock) {
     lru.erase(it->second);
     index.erase(it);
   }

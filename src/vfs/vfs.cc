@@ -1,8 +1,8 @@
 #include "src/vfs/vfs.h"
 
+#include "src/base/path.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
-#include "src/spec/fs_model.h"
 
 namespace skern {
 

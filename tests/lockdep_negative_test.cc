@@ -1,0 +1,154 @@
+// Negative tests for the lock-order checker: the cases where lockdep MUST
+// fire. The positive paths (clean nesting, striped siblings) live in
+// sync_test.cc; these tests pin down the failure behavior — panic messages,
+// violation records, and the always-on SKERN_ASSERT_HELD — so a regression
+// that silently stops detecting deadlocks cannot land.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/base/panic.h"
+#include "src/obs/metrics.h"
+#include "src/sync/lock_registry.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+namespace {
+
+class LockdepNegativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LockRegistry::Get().ResetForTesting();
+    LockRegistry::Get().set_panic_on_violation(false);
+  }
+  void TearDown() override {
+    LockRegistry::Get().ResetForTesting();
+    LockRegistry::Get().set_panic_on_violation(true);
+  }
+};
+
+TEST_F(LockdepNegativeTest, AbThenBaCyclePanicsInStrictMode) {
+  LockRegistry::Get().set_panic_on_violation(true);
+  TrackedMutex a("lockdepneg.cycle.a");
+  TrackedMutex b("lockdepneg.cycle.b");
+  {
+    MutexGuard ga(a);
+    MutexGuard gb(b);  // records a -> b
+  }
+  ScopedPanicAsException panic_guard;
+  b.Lock();
+  EXPECT_THROW(a.Lock(), PanicException);  // b -> a closes the cycle
+  // The failed acquire registered the hold before panicking and never locked
+  // the underlying mutex; rebalance by hand.
+  LockRegistry::Get().OnRelease(a.class_id());
+  b.Unlock();
+
+  ASSERT_GE(LockRegistry::Get().violation_count(), 1u);
+  const LockOrderViolation v = LockRegistry::Get().Violations().front();
+  EXPECT_EQ(v.held_name, "lockdepneg.cycle.b");
+  EXPECT_EQ(v.acquired_name, "lockdepneg.cycle.a");
+}
+
+TEST_F(LockdepNegativeTest, CycleIsRecordedInRecordOnlyMode) {
+  TrackedMutex a("lockdepneg.record.a");
+  TrackedMutex b("lockdepneg.record.b");
+  {
+    MutexGuard ga(a);
+    MutexGuard gb(b);
+  }
+  {
+    MutexGuard gb(b);
+    MutexGuard ga(a);  // violation, but no panic
+  }
+  EXPECT_EQ(LockRegistry::Get().violation_count(), 1u);
+}
+
+TEST_F(LockdepNegativeTest, SelfDeadlockReacquirePanics) {
+  LockRegistry::Get().set_panic_on_violation(true);
+  TrackedMutex m("lockdepneg.self");
+  ScopedPanicAsException panic_guard;
+  m.Lock();
+  EXPECT_THROW(m.Lock(), PanicException);  // re-acquire by holder = deadlock
+  LockRegistry::Get().OnRelease(m.class_id());
+  m.Unlock();
+
+  ASSERT_GE(LockRegistry::Get().violation_count(), 1u);
+  const LockOrderViolation v = LockRegistry::Get().Violations().front();
+  EXPECT_EQ(v.held, v.acquired);
+  EXPECT_EQ(v.held_name, "lockdepneg.self");
+}
+
+TEST_F(LockdepNegativeTest, SelfDeadlockDetectedAcrossInstancesOfOneClass) {
+  // Two instances sharing a class name are one lock class (striped locks);
+  // holding one while acquiring the other is flagged like a re-acquire.
+  TrackedMutex a("lockdepneg.striped");
+  TrackedMutex b("lockdepneg.striped");
+  a.Lock();
+  b.Lock();  // record-only: violation logged, acquisition proceeds
+  EXPECT_GE(LockRegistry::Get().violation_count(), 1u);
+  b.Unlock();
+  a.Unlock();
+}
+
+TEST_F(LockdepNegativeTest, AssertHeldPanicsWhenNotHeld) {
+  TrackedMutex m("lockdepneg.assert.mutex");
+  ScopedPanicAsException panic_guard;
+  EXPECT_THROW(SKERN_ASSERT_HELD(m), PanicException);
+  {
+    MutexGuard guard(m);
+    SKERN_ASSERT_HELD(m);  // held: must not panic
+  }
+  EXPECT_THROW(SKERN_ASSERT_HELD(m), PanicException);  // released again
+}
+
+TEST_F(LockdepNegativeTest, AssertHeldCoversSpinAndRwLocks) {
+  TrackedSpinLock spin("lockdepneg.assert.spin");
+  TrackedRwLock rw("lockdepneg.assert.rw");
+  ScopedPanicAsException panic_guard;
+  EXPECT_THROW(SKERN_ASSERT_HELD(spin), PanicException);
+  EXPECT_THROW(SKERN_ASSERT_HELD(rw), PanicException);
+  {
+    SpinLockGuard guard(spin);
+    SKERN_ASSERT_HELD(spin);
+  }
+  {
+    ReadGuard guard(rw);
+    SKERN_ASSERT_HELD(rw);
+  }
+}
+
+// Satellite check for the contention counter fix: an uncontended Lock() must
+// not count, an acquisition that found the mutex held must.
+TEST_F(LockdepNegativeTest, ContendedCounterCountsOnlyBlockingAcquires) {
+  TrackedMutex m("lockdepneg.contended");
+  for (int i = 0; i < 100; ++i) {
+    MutexGuard guard(m);
+  }
+  EXPECT_EQ(m.contended_count(), 0u) << "uncontended acquires must not count";
+
+  // Force real contention: hold the lock while another thread acquires.
+  // The window between `attempting` and the blocked try_lock is not
+  // observable, so retry with a small grace sleep until the counter moves.
+  for (int attempt = 0; attempt < 100 && m.contended_count() == 0; ++attempt) {
+    std::atomic<bool> attempting{false};
+    m.Lock();
+    std::thread contender([&] {
+      attempting.store(true);
+      MutexGuard guard(m);
+    });
+    while (!attempting.load()) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    m.Unlock();
+    contender.join();
+  }
+  EXPECT_GE(m.contended_count(), 1u);
+  // The aggregate metric (exported through procfs /metrics) moved too.
+  EXPECT_GE(obs::MetricsRegistry::Get().GetCounter("sync.lock.contended").Value(), 1u);
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,887 @@
+#include "tools/safety_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace skern {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+bool IsIdentCharRaw(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Blanks comments and string/char literal contents, preserving newlines (so
+// token line numbers match the file) and the quote characters themselves.
+// Also records, per line, whether the line *started* inside a block comment
+// (those lines are skipped by the raw-line include scan).
+std::string StripCommentsAndStrings(const std::string& src, std::vector<bool>* line_in_comment) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  line_in_comment->clear();
+  line_in_comment->push_back(false);
+  for (size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        state = State::kCode;
+      }
+      out.push_back('\n');
+      line_in_comment->push_back(state == State::kBlockComment);
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out.append("  ");
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out.append("  ");
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out.push_back('"');
+        } else if (c == '\'') {
+          if (i > 0 && IsIdentCharRaw(src[i - 1]) && IsIdentCharRaw(next)) {
+            out.push_back(' ');  // C++14 digit separator (0x1234'5678)
+          } else {
+            state = State::kChar;
+            out.push_back('\'');
+          }
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        out.push_back(' ');
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out.append("  ");
+          ++i;
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out.append("  ");
+          ++i;
+          if (next == '\n') {
+            out.back() = '\n';
+            line_in_comment->push_back(false);
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back('"');
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out.append("  ");
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back('\'');
+        } else {
+          out.push_back(' ');
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+std::vector<Token> Tokenize(const std::string& stripped) {
+  std::vector<Token> tokens;
+  int line = 1;
+  for (size_t i = 0; i < stripped.size();) {
+    char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < stripped.size() && IsIdentChar(stripped[j])) {
+        ++j;
+      }
+      tokens.push_back({stripped.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the rules care about.
+    if (c == ':' && i + 1 < stripped.size() && stripped[i + 1] == ':') {
+      tokens.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < stripped.size() && stripped[i + 1] == '>') {
+      tokens.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool HasPrefixIn(const std::string& path, const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (StartsWith(path, prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// "src/fs/safefs/safefs.cc" -> "src/fs"; "" if not under src/.
+std::string ModuleOf(const std::string& path) {
+  if (!StartsWith(path, "src/")) {
+    return "";
+  }
+  size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) {
+    return "";
+  }
+  return path.substr(0, slash);
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Include extraction (raw lines; directives never span lines in this tree)
+// ---------------------------------------------------------------------------
+
+struct Include {
+  std::string target;
+  bool angled = false;
+  int line = 0;
+};
+
+std::vector<Include> ExtractIncludes(const std::string& src, const std::vector<bool>& line_in_comment) {
+  std::vector<Include> includes;
+  std::istringstream is(src);
+  std::string raw;
+  int line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    if (static_cast<size_t>(line - 1) < line_in_comment.size() && line_in_comment[line - 1]) {
+      continue;
+    }
+    size_t cut = raw.find("//");
+    std::string text = Trim(cut == std::string::npos ? raw : raw.substr(0, cut));
+    if (text.empty() || text[0] != '#') {
+      continue;
+    }
+    std::string body = Trim(text.substr(1));
+    if (!StartsWith(body, "include")) {
+      continue;
+    }
+    body = Trim(body.substr(7));
+    if (body.size() < 2) {
+      continue;
+    }
+    char open = body[0];
+    char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+    if (close == '\0') {
+      continue;
+    }
+    size_t end = body.find(close, 1);
+    if (end == std::string::npos) {
+      continue;
+    }
+    includes.push_back({body.substr(1, end - 1), open == '<', line});
+  }
+  return includes;
+}
+
+// ---------------------------------------------------------------------------
+// Function-span scanner
+// ---------------------------------------------------------------------------
+// Token-level brace tracking, enough to answer: is token i inside a function
+// body, and what did that function's header say (SKERN_REQUIRES /
+// SKERN_NO_TSA / constructor-or-destructor)? Namespace and class scopes are
+// distinguished from function bodies by the statement window preceding `{`.
+
+struct FunctionSpan {
+  size_t header_start = 0;  // first token of the declaration statement
+  size_t body_start = 0;    // index of the opening `{`
+  size_t body_end = 0;      // index of the matching `}` (exclusive span)
+  std::string name;         // unqualified function name, "" if not found
+  bool has_requires = false;
+  bool has_no_tsa = false;
+  bool is_ctor_dtor = false;
+};
+
+// Scope kinds for the context stack.
+enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind;
+  std::string name;       // class name for kClass
+  size_t function_index;  // into spans, for kFunction
+};
+
+// Does the statement window contain a top-level `=` (i.e. outside parens /
+// angle brackets)? A `=` means "initializer", not a function definition —
+// but default arguments (`int x = 3` inside the parameter list) must not
+// count.
+bool HasTopLevelAssign(const std::vector<Token>& tokens, size_t begin, size_t end) {
+  int paren = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[") {
+      ++paren;
+    } else if (t == ")" || t == "]") {
+      --paren;
+    } else if (t == "=" && paren == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WindowContains(const std::vector<Token>& tokens, size_t begin, size_t end,
+                    const std::string& word) {
+  for (size_t i = begin; i < end; ++i) {
+    if (tokens[i].text == word) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Analyzes the declaration window [header_start, body_open) of a function.
+void AnalyzeHeader(const std::vector<Token>& tokens, size_t header_start, size_t body_open,
+                   const std::string& enclosing_class, FunctionSpan* span) {
+  span->has_requires = WindowContains(tokens, header_start, body_open, "SKERN_REQUIRES") ||
+                       WindowContains(tokens, header_start, body_open, "SKERN_REQUIRES_SHARED");
+  span->has_no_tsa = WindowContains(tokens, header_start, body_open, "SKERN_NO_TSA");
+  // Constructor / destructor detection: `X::X(`, `X::~X(`, or — inside class
+  // X — `X(` / `~X(` as the identifier directly before the parameter list.
+  for (size_t i = header_start; i + 1 < body_open; ++i) {
+    if (tokens[i].text != "(") {
+      continue;
+    }
+    // Identifier before the first `(` is the function name.
+    if (i == header_start || !tokens[i - 1].is_ident) {
+      break;
+    }
+    const std::string& name = tokens[i - 1].text;
+    span->name = name;
+    bool dtor = i >= 2 && tokens[i - 2].text == "~";
+    size_t qual = dtor ? 3 : 2;  // tokens back to a possible `::`
+    if (i >= qual && tokens[i - qual].text == "::" && i >= qual + 1 &&
+        tokens[i - qual - 1].text == name) {
+      span->is_ctor_dtor = true;  // X::X( or X::~X(
+    } else if (!enclosing_class.empty() && name == enclosing_class) {
+      span->is_ctor_dtor = true;  // in-class X( or ~X(
+    }
+    break;
+  }
+}
+
+// Walks the token stream and produces every function body span. Also leaves
+// class names on a side map so G001 can skip constructors.
+std::vector<FunctionSpan> FindFunctions(const std::vector<Token>& tokens) {
+  std::vector<FunctionSpan> spans;
+  std::vector<Scope> stack;
+  int function_depth = 0;
+  size_t stmt_start = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == ";" && function_depth == 0) {
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t == "{") {
+      ScopeKind kind = ScopeKind::kBlock;
+      std::string name;
+      size_t function_index = 0;
+      if (function_depth > 0) {
+        kind = ScopeKind::kBlock;  // any brace inside a function body
+      } else if (WindowContains(tokens, stmt_start, i, "namespace")) {
+        kind = ScopeKind::kNamespace;
+      } else if (WindowContains(tokens, stmt_start, i, "class") ||
+                 WindowContains(tokens, stmt_start, i, "struct") ||
+                 WindowContains(tokens, stmt_start, i, "union") ||
+                 WindowContains(tokens, stmt_start, i, "enum")) {
+        kind = ScopeKind::kClass;
+        // Class name: last identifier before `{`, `:` or `final`.
+        for (size_t j = i; j > stmt_start; --j) {
+          const Token& tok = tokens[j - 1];
+          if (tok.is_ident && tok.text != "final" && tok.text != "public" &&
+              tok.text != "private" && tok.text != "protected" && tok.text != "virtual") {
+            name = tok.text;
+            break;
+          }
+          if (tok.text == ":") {
+            continue;
+          }
+        }
+        // `enum class X {` has no member functions; treat uniformly.
+      } else if (WindowContains(tokens, stmt_start, i, "(") &&
+                 !HasTopLevelAssign(tokens, stmt_start, i)) {
+        kind = ScopeKind::kFunction;
+        std::string enclosing_class;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          if (it->kind == ScopeKind::kClass) {
+            enclosing_class = it->name;
+            break;
+          }
+        }
+        FunctionSpan span;
+        span.header_start = stmt_start;
+        span.body_start = i;
+        AnalyzeHeader(tokens, stmt_start, i, enclosing_class, &span);
+        function_index = spans.size();
+        spans.push_back(span);
+        ++function_depth;
+      }
+      stack.push_back({kind, name, function_index});
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t == "}") {
+      if (!stack.empty()) {
+        if (stack.back().kind == ScopeKind::kFunction) {
+          --function_depth;
+          spans[stack.back().function_index].body_end = i;
+        }
+        stack.pop_back();
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+  }
+  // Unterminated spans (truncated input) close at EOF.
+  for (FunctionSpan& span : spans) {
+    if (span.body_end == 0) {
+      span.body_end = tokens.size();
+    }
+  }
+  return spans;
+}
+
+const FunctionSpan* EnclosingFunction(const std::vector<FunctionSpan>& spans, size_t index) {
+  const FunctionSpan* best = nullptr;
+  for (const FunctionSpan& span : spans) {
+    if (span.body_start < index && index < span.body_end) {
+      if (best == nullptr || span.body_start > best->body_start) {
+        best = &span;  // innermost (lambdas nest)
+      }
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// G001 support
+// ---------------------------------------------------------------------------
+
+const char* const kGuardTypes[] = {"MutexGuard", "SpinLockGuard", "ReadGuard",   "WriteGuard",
+                                   "lock_guard", "unique_lock",   "shared_lock", "scoped_lock"};
+
+bool IsGuardType(const std::string& text) {
+  for (const char* guard : kGuardTypes) {
+    if (text == guard) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Any identifier inside the (...) group starting at `open` equals `name`?
+bool ParenGroupMentions(const std::vector<Token>& tokens, size_t open, const std::string& name) {
+  if (open >= tokens.size() || tokens[open].text != "(") {
+    return false;
+  }
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "(") {
+      ++depth;
+    } else if (tokens[i].text == ")") {
+      if (--depth == 0) {
+        return false;
+      }
+    } else if (tokens[i].is_ident && tokens[i].text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Is the named lock visibly acquired between `begin` and `access` (function
+// body scan)? Recognizes RAII guards, direct Lock() calls, and held-lock
+// assertions.
+bool LockVisiblyHeld(const std::vector<Token>& tokens, size_t begin, size_t access,
+                     const std::string& lock) {
+  for (size_t i = begin; i < access; ++i) {
+    const Token& tok = tokens[i];
+    if (!tok.is_ident) {
+      continue;
+    }
+    if (IsGuardType(tok.text)) {
+      // GuardType name(lock-expr)  /  GuardType<..> name(lock-expr)
+      for (size_t j = i + 1; j < std::min(access, i + 10); ++j) {
+        if (tokens[j].text == "(") {
+          if (ParenGroupMentions(tokens, j, lock)) {
+            return true;
+          }
+          break;
+        }
+        if (tokens[j].text == ";") {
+          break;
+        }
+      }
+      continue;
+    }
+    if ((tok.text == "SKERN_ASSERT_HELD" || tok.text == "AssertHeld") && i + 1 < access &&
+        ParenGroupMentions(tokens, i + 1, lock)) {
+      return true;
+    }
+    if (tok.text == lock && i + 2 < access && (tokens[i + 1].text == "." || tokens[i + 1].text == "->")) {
+      const std::string& method = tokens[i + 2].text;
+      if (method == "Lock" || method == "lock" || method == "LockExclusive" ||
+          method == "LockShared" || method == "lock_shared") {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Last identifier inside the (...) group at `open` — the lock name of a
+// SKERN_GUARDED_BY(fs->mutex_) annotation.
+std::string LastIdentInParenGroup(const std::vector<Token>& tokens, size_t open) {
+  if (open >= tokens.size() || tokens[open].text != "(") {
+    return "";
+  }
+  std::string last;
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "(") {
+      ++depth;
+    } else if (tokens[i].text == ")") {
+      if (--depth == 0) {
+        break;
+      }
+    } else if (tokens[i].is_ident) {
+      last = tokens[i].text;
+    }
+  }
+  return last;
+}
+
+// Function names carrying SKERN_REQUIRES on this declaration/definition:
+// `ReturnType Name(args) [const] SKERN_REQUIRES(lock)`. Walks back from the
+// macro over the qualifier tokens and the balanced parameter list.
+std::set<std::string> CollectRequiresFromTokens(const std::vector<Token>& tokens) {
+  std::set<std::string> methods;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text != "SKERN_REQUIRES" && tokens[i].text != "SKERN_REQUIRES_SHARED") {
+      continue;
+    }
+    size_t j = i;
+    while (j > 0 && (tokens[j - 1].text == "const" || tokens[j - 1].text == "noexcept" ||
+                     tokens[j - 1].text == "override" || tokens[j - 1].text == "final")) {
+      --j;
+    }
+    if (j == 0 || tokens[j - 1].text != ")") {
+      continue;  // e.g. the macro's own #define
+    }
+    int depth = 0;
+    size_t open = 0;
+    for (size_t k = j; k > 0; --k) {
+      if (tokens[k - 1].text == ")") {
+        ++depth;
+      } else if (tokens[k - 1].text == "(") {
+        if (--depth == 0) {
+          open = k - 1;
+          break;
+        }
+      }
+    }
+    if (open > 0 && tokens[open - 1].is_ident) {
+      methods.insert(tokens[open - 1].text);
+    }
+  }
+  return methods;
+}
+
+std::vector<GuardedField> CollectGuardedFromTokens(const std::vector<Token>& tokens) {
+  std::vector<GuardedField> fields;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text != "SKERN_GUARDED_BY" && tokens[i].text != "SKERN_PT_GUARDED_BY") {
+      continue;
+    }
+    // Field name: identifier immediately before the macro.
+    if (i == 0 || !tokens[i - 1].is_ident) {
+      continue;
+    }
+    std::string lock = LastIdentInParenGroup(tokens, i + 1);
+    if (lock.empty()) {
+      continue;
+    }
+    fields.push_back({tokens[i - 1].text, lock, tokens[i].line});
+  }
+  return fields;
+}
+
+// ---------------------------------------------------------------------------
+// Ban-rule allowances
+// ---------------------------------------------------------------------------
+
+// Start of the statement containing token i (previous `;`, `{` or `}`).
+size_t StatementStart(const std::vector<Token>& tokens, size_t i) {
+  for (size_t j = i; j > 0; --j) {
+    const std::string& t = tokens[j - 1].text;
+    if (t == ";" || t == "{" || t == "}") {
+      return j;
+    }
+  }
+  return 0;
+}
+
+// `static Foo* x = new Foo(...)` — the leaked-singleton idiom (never
+// destroyed, so no shutdown-order use-after-free; allowed).
+bool IsLeakedSingleton(const std::vector<Token>& tokens, size_t i) {
+  size_t start = StatementStart(tokens, i);
+  return WindowContains(tokens, start, i, "static");
+}
+
+// `unique_ptr<T>(new T...)` / `shared_ptr<T>(new T...)`: ownership is
+// adopted on the same expression, so the raw pointer never escapes.
+bool IsSmartPointerAdoption(const std::vector<Token>& tokens, size_t i) {
+  size_t start = i > 10 ? i - 10 : 0;
+  for (size_t j = i; j > start; --j) {
+    const std::string& t = tokens[j - 1].text;
+    if (t == "unique_ptr" || t == "shared_ptr" || t == "make_unique" || t == "make_shared" ||
+        t == "WrapUnique") {
+      return true;
+    }
+    if (t == ";" || t == "{" || t == "}") {
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.file << ":" << finding.line << ": [" << finding.rule << "] " << finding.message;
+  if (!finding.hint.empty()) {
+    os << " (fix: " << finding.hint << ")";
+  }
+  return os.str();
+}
+
+bool ParseConfig(const std::string& text, Config* config, std::string* error) {
+  std::istringstream is(text);
+  std::string raw;
+  std::string section;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "layers.toml:" + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  auto unquote = [](std::string s) {
+    s = Trim(s);
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+      return s.substr(1, s.size() - 2);
+    }
+    return s;
+  };
+  while (std::getline(is, raw)) {
+    ++line_no;
+    size_t hash = raw.find('#');
+    std::string text_line = Trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (text_line.empty()) {
+      continue;
+    }
+    if (text_line.front() == '[') {
+      if (text_line.back() != ']') {
+        return fail("unterminated section header");
+      }
+      section = Trim(text_line.substr(1, text_line.size() - 2));
+      continue;
+    }
+    size_t eq = text_line.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key = value");
+    }
+    std::string key = unquote(text_line.substr(0, eq));
+    std::string value = Trim(text_line.substr(eq + 1));
+    if (section == "layers") {
+      try {
+        config->layers[key] = std::stoi(value);
+      } catch (...) {
+        return fail("layer value must be an integer");
+      }
+    } else if (section == "allow") {
+      if (value.empty() || value.front() != '[' || value.back() != ']') {
+        return fail("allow values must be string arrays");
+      }
+      std::vector<std::string> items;
+      std::string inner = value.substr(1, value.size() - 2);
+      std::istringstream item_stream(inner);
+      std::string item;
+      while (std::getline(item_stream, item, ',')) {
+        std::string cleaned = unquote(item);
+        if (!cleaned.empty()) {
+          items.push_back(cleaned);
+        }
+      }
+      if (key == "include_everywhere") {
+        config->include_everywhere.insert(items.begin(), items.end());
+      } else if (key == "mutex_include") {
+        config->mutex_include_allowed = items;
+      } else if (key == "grandfathered") {
+        config->grandfathered = items;
+      } else {
+        return fail("unknown allow key: " + key);
+      }
+    } else {
+      return fail("unknown section: " + section);
+    }
+  }
+  if (config->layers.empty()) {
+    line_no = 0;
+    return fail("no [layers] entries");
+  }
+  return true;
+}
+
+std::string LintAsOverride(const std::string& content) {
+  const std::string kDirective = "// lint-as:";
+  size_t pos = content.find(kDirective);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  size_t end = content.find('\n', pos);
+  std::string rest = content.substr(pos + kDirective.size(),
+                                    end == std::string::npos ? std::string::npos
+                                                             : end - pos - kDirective.size());
+  return Trim(rest);
+}
+
+std::vector<GuardedField> CollectGuardedFields(const std::string& content) {
+  std::vector<bool> line_in_comment;
+  std::string stripped = StripCommentsAndStrings(content, &line_in_comment);
+  return CollectGuardedFromTokens(Tokenize(stripped));
+}
+
+std::set<std::string> CollectRequiresMethods(const std::string& content) {
+  std::vector<bool> line_in_comment;
+  std::string stripped = StripCommentsAndStrings(content, &line_in_comment);
+  return CollectRequiresFromTokens(Tokenize(stripped));
+}
+
+std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
+                              const Config& config,
+                              const std::vector<GuardedField>& companion_fields,
+                              const std::set<std::string>& companion_requires,
+                              int* no_tsa_escapes) {
+  std::vector<Finding> findings;
+  std::vector<bool> line_in_comment;
+  std::string stripped = StripCommentsAndStrings(content, &line_in_comment);
+  std::vector<Token> tokens = Tokenize(stripped);
+
+  const bool in_src = StartsWith(virtual_path, "src/");
+  const bool grandfathered = HasPrefixIn(virtual_path, config.grandfathered);
+  const std::string module = ModuleOf(virtual_path);
+
+  // --- include-driven rules (L001, S001) ---
+  for (const Include& inc : ExtractIncludes(content, line_in_comment)) {
+    if (!inc.angled && in_src && StartsWith(inc.target, "src/") &&
+        config.include_everywhere.count(inc.target) == 0) {
+      std::string target_module = ModuleOf(inc.target);
+      auto from = config.layers.find(module);
+      auto to = config.layers.find(target_module);
+      if (from != config.layers.end() && to != config.layers.end() && module != target_module &&
+          to->second >= from->second) {
+        findings.push_back(
+            {virtual_path, inc.line, "L001",
+             "layering violation: " + module + " (layer " + std::to_string(from->second) +
+                 ") may not include " + target_module + " (layer " + std::to_string(to->second) +
+                 ")",
+             "depend only on lower layers; lift the shared type into a lower module"});
+      }
+    }
+    if (inc.angled && (inc.target == "mutex" || inc.target == "shared_mutex") && in_src &&
+        !grandfathered && !HasPrefixIn(virtual_path, config.mutex_include_allowed)) {
+      findings.push_back({virtual_path, inc.line, "S001",
+                          "direct #include <" + inc.target + "> outside the sync layer",
+                          "use skern::TrackedMutex / TrackedRwLock from src/sync/mutex.h"});
+    }
+  }
+
+  // --- token-driven primitive bans (P00x) ---
+  const bool ban_alloc = in_src && !grandfathered && module != "src/base" &&
+                         module != "src/ownership";
+  const bool ban_thread = in_src && !grandfathered;
+  const bool ban_memfns = in_src && !grandfathered && virtual_path != "src/base/bytes.h";
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (!tok.is_ident) {
+      continue;
+    }
+    if (no_tsa_escapes != nullptr && tok.text == "SKERN_NO_TSA" && i > 0 &&
+        tokens[i - 1].text == ")") {
+      ++*no_tsa_escapes;  // used on a declaration (not the macro definition)
+    }
+    const std::string& prev = i > 0 ? tokens[i - 1].text : std::string();
+    if (ban_alloc && tok.text == "new" && prev != "::" && !IsLeakedSingleton(tokens, i) &&
+        !IsSmartPointerAdoption(tokens, i)) {
+      findings.push_back({virtual_path, tok.line, "P001",
+                          "raw `new` outside src/base and src/ownership",
+                          "adopt into Owned<T>/std::unique_ptr on the same expression"});
+    }
+    if (ban_alloc && tok.text == "delete" && prev != "=" && prev != "::" &&
+        !IsLeakedSingleton(tokens, i)) {
+      findings.push_back({virtual_path, tok.line, "P001",
+                          "raw `delete` outside src/base and src/ownership",
+                          "let Owned<T>/std::unique_ptr destroy the object"});
+    }
+    if (ban_alloc &&
+        (tok.text == "malloc" || tok.text == "calloc" || tok.text == "realloc" ||
+         tok.text == "free") &&
+        prev != "." && prev != "->" && i + 1 < tokens.size() && tokens[i + 1].text == "(") {
+      findings.push_back({virtual_path, tok.line, "P002",
+                          "C allocator call `" + tok.text + "` in kernel module code",
+                          "use Bytes (src/base/bytes.h) or an owning container"});
+    }
+    if (ban_thread && (tok.text == "thread" || tok.text == "jthread") && prev == "::" && i >= 2 &&
+        tokens[i - 2].text == "std") {
+      findings.push_back({virtual_path, tok.line, "P003",
+                          "raw std::" + tok.text + " inside a kernel module",
+                          "kernel modules must not spawn threads; drive concurrency from "
+                          "tests/bench harnesses"});
+    }
+    if (ban_memfns && (tok.text == "memcpy" || tok.text == "memmove" || tok.text == "memset") &&
+        prev != "." && prev != "->") {
+      findings.push_back({virtual_path, tok.line, "P004",
+                          "raw " + tok.text + " outside src/base/bytes.h",
+                          "go through Bytes/MutableByteView so sizes stay checked"});
+    }
+  }
+
+  // --- G001: guarded-field access checking ---
+  std::vector<GuardedField> fields = CollectGuardedFromTokens(tokens);
+  fields.insert(fields.end(), companion_fields.begin(), companion_fields.end());
+  if (!fields.empty()) {
+    // field name -> set of lock names that guard it (collisions across
+    // classes merge; holding any of them satisfies the access).
+    std::map<std::string, std::set<std::string>> guard_of;
+    for (const GuardedField& field : fields) {
+      guard_of[field.field].insert(field.lock);
+    }
+    std::vector<FunctionSpan> spans = FindFunctions(tokens);
+    std::set<std::string> requires_methods = CollectRequiresFromTokens(tokens);
+    requires_methods.insert(companion_requires.begin(), companion_requires.end());
+    for (FunctionSpan& span : spans) {
+      if (!span.name.empty() && requires_methods.count(span.name) != 0) {
+        span.has_requires = true;  // attribute declared on another redeclaration
+      }
+    }
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& tok = tokens[i];
+      if (!tok.is_ident) {
+        continue;
+      }
+      auto it = guard_of.find(tok.text);
+      if (it == guard_of.end()) {
+        continue;
+      }
+      if (i > 0 && tokens[i - 1].text == "::") {
+        continue;  // qualified name, not a member access
+      }
+      if (i + 1 < tokens.size() &&
+          (tokens[i + 1].text == "SKERN_GUARDED_BY" || tokens[i + 1].text == "SKERN_PT_GUARDED_BY")) {
+        continue;  // the declaration itself
+      }
+      const FunctionSpan* fn = EnclosingFunction(spans, i);
+      if (fn == nullptr) {
+        continue;  // class scope (default member init) or global
+      }
+      if (fn->has_requires || fn->has_no_tsa || fn->is_ctor_dtor) {
+        continue;
+      }
+      bool held = false;
+      for (const std::string& lock : it->second) {
+        if (LockVisiblyHeld(tokens, fn->body_start, i, lock)) {
+          held = true;
+          break;
+        }
+      }
+      if (!held) {
+        const std::string& lock = *it->second.begin();
+        findings.push_back({virtual_path, tok.line, "G001",
+                            "field `" + tok.text + "` is SKERN_GUARDED_BY(" + lock +
+                                ") but no acquisition of `" + lock +
+                                "` is visible in this function",
+                            "take MutexGuard/SpinLockGuard on `" + lock +
+                                "`, add SKERN_REQUIRES to the function, or SKERN_ASSERT_HELD"});
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace skern

@@ -1,0 +1,99 @@
+// In-tree safety linter: module layering, raw-primitive bans, and
+// lock-annotation checking, with no compiler dependency.
+//
+// The paper argues for "incremental" safety: rules that can be adopted and
+// *enforced* on an existing C/C++ tree today, without waiting for a rewrite.
+// This linter is that enforcement point. It is deliberately a plain
+// tokenizer + per-file rule engine (no libclang): it runs anywhere the tree
+// builds, in milliseconds, as a tier-1 test and a CI gate. Under clang the
+// same annotations are additionally checked by -Wthread-safety; the lint is
+// the floor every compiler gets.
+//
+// Rules (stable ids, printed in findings):
+//   L001  module layering: a src/ module may include only itself or modules
+//         in strictly lower layers (tools/safety_lint/layers.toml).
+//   S001  direct <mutex>/<shared_mutex> include outside the allow-listed
+//         low-level modules (everything else uses src/sync wrappers).
+//   P001  raw new/delete outside src/base and src/ownership.
+//   P002  malloc/calloc/realloc/free anywhere in src/.
+//   P003  raw std::thread construction inside src/ modules.
+//   P004  memcpy/memmove/memset outside src/base/bytes.h.
+//   G001  access to a SKERN_GUARDED_BY field with no visible acquisition of
+//         the named lock in the enclosing function.
+//
+// Fixture files may carry a `// lint-as: src/...` directive naming the path
+// the rules should pretend the file lives at (testdata snippets).
+#ifndef SKERN_TOOLS_SAFETY_LINT_LINT_H_
+#define SKERN_TOOLS_SAFETY_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace skern {
+namespace lint {
+
+struct Finding {
+  std::string file;  // virtual (lint-as) path
+  int line = 0;
+  std::string rule;  // "L001", ...
+  std::string message;
+  std::string hint;  // one-line fix suggestion
+};
+
+// Renders "path:line: [RULE] message (fix: hint)".
+std::string FormatFinding(const Finding& finding);
+
+struct Config {
+  // Module path ("src/fs") -> layer number. Higher layers include lower.
+  std::map<std::string, int> layers;
+  // Exact header paths includable from any module (macro-only headers).
+  std::set<std::string> include_everywhere;
+  // Module prefixes allowed to include <mutex>/<shared_mutex> directly.
+  std::vector<std::string> mutex_include_allowed;
+  // Path prefixes exempt from primitive bans (the deliberately-unsafe
+  // legacy/fault-demo code the paper measures against).
+  std::vector<std::string> grandfathered;
+};
+
+// Parses the minimal TOML subset layers.toml uses: [section] headers,
+// `"key" = int` and `key = ["a", "b"]` entries. Returns false and sets
+// *error on malformed input.
+bool ParseConfig(const std::string& text, Config* config, std::string* error);
+
+// A field declared SKERN_GUARDED_BY(lock). `lock` is the final identifier of
+// the annotation argument (`fs->mutex_` -> "mutex_").
+struct GuardedField {
+  std::string field;
+  std::string lock;
+  int line = 0;
+};
+
+// Scans declarations in `content` for SKERN_GUARDED_BY annotations.
+std::vector<GuardedField> CollectGuardedFields(const std::string& content);
+
+// Names of functions declared with SKERN_REQUIRES / SKERN_REQUIRES_SHARED.
+// Clang merges attributes across redeclarations, so a .cc definition of a
+// header-annotated method is lock-assumed without restating the attribute;
+// the lint honors the same rule via this set.
+std::set<std::string> CollectRequiresMethods(const std::string& content);
+
+// Lints one file. `virtual_path` is the repo-relative path rules key off
+// (after any lint-as override). `companion_fields` supplies annotated fields
+// declared in the matching header so a .cc is checked against its .h's
+// annotations. `no_tsa_escapes`, if non-null, is incremented per
+// SKERN_NO_TSA seen (the visibility tally for the escape hatch).
+std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
+                              const Config& config,
+                              const std::vector<GuardedField>& companion_fields,
+                              const std::set<std::string>& companion_requires = {},
+                              int* no_tsa_escapes = nullptr);
+
+// Extracts a `// lint-as: path` directive, or "" if absent.
+std::string LintAsOverride(const std::string& content);
+
+}  // namespace lint
+}  // namespace skern
+
+#endif  // SKERN_TOOLS_SAFETY_LINT_LINT_H_

@@ -1,0 +1,181 @@
+// Self-tests for the safety linter: the shipped config parses, every
+// known-bad fixture is flagged with the expected rule, and the allowance
+// fixture stays clean.
+#include "tools/safety_lint/lint.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skern {
+namespace lint {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Config ShippedConfig() {
+  Config config;
+  std::string error;
+  EXPECT_TRUE(ParseConfig(ReadFileOrDie(SAFETY_LINT_CONFIG), &config, &error)) << error;
+  return config;
+}
+
+// Lints one testdata fixture and returns rule-id -> count.
+std::map<std::string, int> LintFixture(const std::string& name) {
+  std::string content = ReadFileOrDie(std::string(SAFETY_LINT_TESTDATA) + "/" + name);
+  std::string virtual_path = LintAsOverride(content);
+  EXPECT_FALSE(virtual_path.empty()) << name << " is missing its // lint-as: directive";
+  Config config = ShippedConfig();
+  std::map<std::string, int> counts;
+  for (const Finding& finding : LintFile(virtual_path, content, config, {})) {
+    EXPECT_EQ(finding.file, virtual_path);
+    EXPECT_GT(finding.line, 0);
+    EXPECT_FALSE(finding.message.empty());
+    EXPECT_FALSE(finding.hint.empty()) << finding.rule << " must carry a fix hint";
+    ++counts[finding.rule];
+  }
+  return counts;
+}
+
+TEST(SafetyLintConfig, ShippedConfigParses) {
+  Config config = ShippedConfig();
+  EXPECT_GE(config.layers.size(), 10u);
+  EXPECT_EQ(config.layers.at("src/obs"), 0);
+  EXPECT_LT(config.layers.at("src/block"), config.layers.at("src/fs"));
+  EXPECT_EQ(config.include_everywhere.count("src/sync/annotations.h"), 1u);
+  EXPECT_FALSE(config.mutex_include_allowed.empty());
+  EXPECT_FALSE(config.grandfathered.empty());
+}
+
+TEST(SafetyLintConfig, RejectsMalformedInput) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(ParseConfig("[layers]\n\"src/fs\" = seven\n", &config, &error));
+  EXPECT_NE(error.find("integer"), std::string::npos);
+  Config empty;
+  EXPECT_FALSE(ParseConfig("# nothing\n", &empty, &error));
+}
+
+TEST(SafetyLintFixtures, LayeringViolationFlagged) {
+  auto counts = LintFixture("bad_layering.cc");
+  EXPECT_EQ(counts["L001"], 1);
+}
+
+TEST(SafetyLintFixtures, DirectMutexIncludeFlagged) {
+  auto counts = LintFixture("bad_mutex_include.cc");
+  EXPECT_EQ(counts["S001"], 2);
+}
+
+TEST(SafetyLintFixtures, RawNewDeleteFlagged) {
+  auto counts = LintFixture("bad_new.cc");
+  EXPECT_EQ(counts["P001"], 2);
+}
+
+TEST(SafetyLintFixtures, CAllocatorFlagged) {
+  auto counts = LintFixture("bad_malloc.cc");
+  EXPECT_EQ(counts["P002"], 2);
+}
+
+TEST(SafetyLintFixtures, RawThreadFlagged) {
+  auto counts = LintFixture("bad_thread.cc");
+  EXPECT_EQ(counts["P003"], 1);
+}
+
+TEST(SafetyLintFixtures, RawMemcpyFlagged) {
+  auto counts = LintFixture("bad_memcpy.cc");
+  EXPECT_EQ(counts["P004"], 1);
+}
+
+TEST(SafetyLintFixtures, UnguardedFieldAccessFlagged) {
+  auto counts = LintFixture("bad_guarded.cc");
+  // Exactly the one BadRead access; the guarded/asserted/REQUIRES methods
+  // must all pass.
+  EXPECT_EQ(counts["G001"], 1);
+  EXPECT_EQ(counts.size(), 1u) << "only G001 expected";
+}
+
+TEST(SafetyLintFixtures, AllowancesStayClean) {
+  auto counts = LintFixture("good_clean.cc");
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(SafetyLintCore, GuardedFieldCollectionSeesLockName) {
+  auto fields = CollectGuardedFields(
+      "class C {\n"
+      "  int depth_ SKERN_GUARDED_BY(fs->mutex_);\n"
+      "};\n");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].field, "depth_");
+  EXPECT_EQ(fields[0].lock, "mutex_");
+  EXPECT_EQ(fields[0].line, 2);
+}
+
+TEST(SafetyLintCore, CompanionHeaderFieldsApplyToSource) {
+  Config config = ShippedConfig();
+  std::vector<GuardedField> companion = {{"table_", "mutex_", 1}};
+  auto findings = LintFile("src/fs/widget.cc",
+                           "int Widget::Count() const { return table_; }\n", config, companion);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "G001");
+}
+
+TEST(SafetyLintCore, HeaderRequiresCoversSourceDefinition) {
+  // The header declares `Count` with SKERN_REQUIRES; clang merges attributes
+  // across redeclarations, so the .cc definition is lock-assumed.
+  Config config = ShippedConfig();
+  std::vector<GuardedField> companion = {{"table_", "mutex_", 1}};
+  std::set<std::string> companion_requires = {"Count"};
+  auto findings =
+      LintFile("src/fs/widget.cc", "int Widget::Count() const { return table_; }\n", config,
+               companion, companion_requires);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SafetyLintCore, RequiresMethodCollection) {
+  auto methods = CollectRequiresMethods(
+      "class J {\n"
+      "  Status FlushLocked() SKERN_REQUIRES(mutex_);\n"
+      "  uint64_t Read(int n) const SKERN_REQUIRES_SHARED(mutex_);\n"
+      "};\n");
+  EXPECT_EQ(methods.size(), 2u);
+  EXPECT_EQ(methods.count("FlushLocked"), 1u);
+  EXPECT_EQ(methods.count("Read"), 1u);
+}
+
+TEST(SafetyLintCore, CommentsAndStringsNeverFire) {
+  Config config = ShippedConfig();
+  auto findings = LintFile("src/fs/widget.cc",
+                           "// new delete malloc(1) memcpy std::thread\n"
+                           "const char* kText = \"new delete std::thread\";\n"
+                           "/* #include <mutex> */\n",
+                           config, {});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SafetyLintCore, FindingFormatIsStable) {
+  Finding finding{"src/fs/x.cc", 12, "P001", "raw `new`", "adopt it"};
+  EXPECT_EQ(FormatFinding(finding), "src/fs/x.cc:12: [P001] raw `new` (fix: adopt it)");
+}
+
+TEST(SafetyLintCore, NoTsaEscapesAreTallied) {
+  Config config = ShippedConfig();
+  int escapes = 0;
+  LintFile("src/fs/widget.cc", "void Init() SKERN_NO_TSA;\nvoid Shutdown() SKERN_NO_TSA;\n",
+           config, {}, {}, &escapes);
+  EXPECT_EQ(escapes, 2);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace skern

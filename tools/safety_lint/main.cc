@@ -1,0 +1,145 @@
+// safety_lint: tree-wide safety linter (see lint.h for the rule set).
+//
+// Usage:
+//   safety_lint --root <repo> [--config <layers.toml>] [files...]
+//
+// With no explicit files, scans src/, bench/ and tests/ under --root. Exits
+// 0 when clean, 1 when any rule fires, 2 on usage/config errors. Findings
+// print as `path:line: [RULE] message (fix: hint)`.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/safety_lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path config_path;
+  std::vector<fs::path> explicit_files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: safety_lint --root <repo> [--config <layers.toml>] [files...]\n";
+      return 0;
+    } else {
+      explicit_files.emplace_back(arg);
+    }
+  }
+  if (config_path.empty()) {
+    config_path = root / "tools" / "safety_lint" / "layers.toml";
+  }
+
+  std::string config_text;
+  if (!ReadFile(config_path, &config_text)) {
+    std::cerr << "safety_lint: cannot read config " << config_path << "\n";
+    return 2;
+  }
+  skern::lint::Config config;
+  std::string error;
+  if (!skern::lint::ParseConfig(config_text, &config, &error)) {
+    std::cerr << "safety_lint: " << error << "\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files = explicit_files;
+  if (files.empty()) {
+    for (const char* dir : {"src", "bench", "tests"}) {
+      fs::path base = root / dir;
+      if (!fs::exists(base)) {
+        continue;
+      }
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+  }
+
+  // Pass 1: contents + virtual paths + per-file guarded-field tables, so a
+  // .cc can be checked against annotations declared in its header.
+  struct FileInput {
+    std::string virtual_path;
+    std::string content;
+  };
+  std::vector<FileInput> inputs;
+  std::map<std::string, std::vector<skern::lint::GuardedField>> fields_by_path;
+  std::map<std::string, std::set<std::string>> requires_by_path;
+  for (const fs::path& path : files) {
+    std::string content;
+    if (!ReadFile(path, &content)) {
+      std::cerr << "safety_lint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::string virtual_path = skern::lint::LintAsOverride(content);
+    if (virtual_path.empty()) {
+      virtual_path = fs::relative(path, root).generic_string();
+    }
+    fields_by_path[virtual_path] = skern::lint::CollectGuardedFields(content);
+    requires_by_path[virtual_path] = skern::lint::CollectRequiresMethods(content);
+    inputs.push_back({std::move(virtual_path), std::move(content)});
+  }
+
+  // Pass 2: rules.
+  int finding_count = 0;
+  int no_tsa_escapes = 0;
+  for (const FileInput& input : inputs) {
+    std::vector<skern::lint::GuardedField> companion;
+    std::set<std::string> companion_requires;
+    if (input.virtual_path.size() > 3 &&
+        input.virtual_path.compare(input.virtual_path.size() - 3, 3, ".cc") == 0) {
+      const std::string header =
+          input.virtual_path.substr(0, input.virtual_path.size() - 3) + ".h";
+      auto it = fields_by_path.find(header);
+      if (it != fields_by_path.end()) {
+        companion = it->second;
+      }
+      auto rit = requires_by_path.find(header);
+      if (rit != requires_by_path.end()) {
+        companion_requires = rit->second;
+      }
+    }
+    for (const skern::lint::Finding& finding :
+         skern::lint::LintFile(input.virtual_path, input.content, config, companion,
+                               companion_requires, &no_tsa_escapes)) {
+      std::cout << skern::lint::FormatFinding(finding) << "\n";
+      ++finding_count;
+    }
+  }
+
+  std::cerr << "safety_lint: checked " << inputs.size() << " files: " << finding_count
+            << " finding(s), " << no_tsa_escapes << " SKERN_NO_TSA escape(s)\n";
+  return finding_count == 0 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// lint-as: src/fs/bad_guarded.cc
+// Fixture: one unguarded access to a SKERN_GUARDED_BY field; every other
+// method satisfies the lock discipline a different legal way.
+// Expect: G001 once (in BadRead).
+#include "src/sync/mutex.h"
+
+class GuardedCounter {
+ public:
+  int BadRead() const { return value_; }
+
+  int GoodGuardedRead() const {
+    skern::MutexGuard guard(mutex_);
+    return value_;
+  }
+
+  void GoodAssertedWrite() {
+    SKERN_ASSERT_HELD(mutex_);
+    ++value_;
+  }
+
+  void GoodRequiresWrite() SKERN_REQUIRES(mutex_) { ++value_; }
+
+ private:
+  mutable skern::TrackedMutex mutex_{"fixture.guarded_counter"};
+  int value_ SKERN_GUARDED_BY(mutex_) = 0;
+};

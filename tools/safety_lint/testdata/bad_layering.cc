@@ -1,0 +1,6 @@
+// lint-as: src/fs/bad_layering.cc
+// Fixture: a file-system module reaching *up* into the network layer.
+// Expect: L001 on the include below.
+#include "src/net/network.h"
+
+void UseTheWire() {}

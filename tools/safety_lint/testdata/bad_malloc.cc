@@ -1,0 +1,7 @@
+// lint-as: src/block/bad_malloc.cc
+// Fixture: C allocator calls in kernel module code.
+// Expect: P002 twice.
+
+void* GrabBuffer(unsigned long n) { return malloc(n); }
+
+void ReleaseBuffer(void* p) { free(p); }

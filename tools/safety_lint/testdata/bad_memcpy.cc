@@ -1,0 +1,12 @@
+// lint-as: src/vfs/bad_memcpy.cc
+// Fixture: memcpy into a typed struct outside src/base/bytes.h.
+// Expect: P004 once.
+
+struct WireHeader {
+  unsigned magic;
+  unsigned length;
+};
+
+void FillHeader(WireHeader* header, const void* raw) {
+  memcpy(header, raw, sizeof(*header));
+}

@@ -1,0 +1,7 @@
+// lint-as: src/vfs/bad_mutex_include.cc
+// Fixture: direct standard-mutex includes outside the sync layer.
+// Expect: S001 twice.
+#include <mutex>
+#include <shared_mutex>
+
+void UsesNothing() {}

@@ -1,0 +1,7 @@
+// lint-as: src/net/bad_new.cc
+// Fixture: raw new/delete in a kernel module (no adoption, no singleton).
+// Expect: P001 twice.
+
+int* MakeCounter() { return new int(7); }
+
+void DestroyCounter(int* counter) { delete counter; }

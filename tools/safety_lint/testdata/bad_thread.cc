@@ -1,0 +1,9 @@
+// lint-as: src/fs/bad_thread.cc
+// Fixture: raw std::thread spawned inside a kernel module.
+// Expect: P003 once.
+#include <thread>
+
+void SpawnWorker() {
+  std::thread worker([] {});
+  worker.join();
+}

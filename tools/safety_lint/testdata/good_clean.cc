@@ -1,0 +1,26 @@
+// lint-as: src/fs/good_clean.cc
+// Fixture: every allowance in one file — must produce zero findings.
+//   - includes a *lower*-layer module and the everywhere-exempt header
+//   - leaked-singleton `static X* = new X()` idiom
+//   - `new` adopted by a smart pointer on the same expression
+//   - `= delete` for a deleted special member
+#include "src/block/buffer_cache.h"
+#include "src/sync/annotations.h"
+
+#include <memory>
+
+class LeakedSingleton {
+ public:
+  LeakedSingleton(const LeakedSingleton&) = delete;
+  LeakedSingleton& operator=(const LeakedSingleton&) = delete;
+
+  static LeakedSingleton& Get() {
+    static LeakedSingleton* instance = new LeakedSingleton();
+    return *instance;
+  }
+
+ private:
+  LeakedSingleton() = default;
+};
+
+std::unique_ptr<int> MakeAdopted() { return std::unique_ptr<int>(new int(3)); }
