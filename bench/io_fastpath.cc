@@ -1,0 +1,330 @@
+// File data-plane fast path: inode-handle I/O + per-inode locking +
+// block-map cache + read-ahead.
+//
+// The question, answered with JSON on stdout: what does handle-based
+// descriptor I/O (Vfs::SetHandleAcceleration, SafeFs's ReadAt/WriteAt fast
+// path) buy over the path-dispatch baseline on the workload it was built
+// for — steady-state reads and writes of already-open files? The baseline
+// re-walks an 8-component path and takes the filesystem-wide lock for every
+// chunk; the accelerated plane resolves once at open, then serves warm
+// reads under a shared per-inode rwlock from the sharded read cache.
+//
+//   * seq_read / rand_read: warm 1 KiB reads through open descriptors,
+//     acceleration on vs. off, at 1 thread (one file) and 8 threads (eight
+//     256 KiB files, aggregate).
+//   * seq_write / rand_write: 1 KiB overwrites through the same
+//     descriptors. Writes stay on the global-lock slow path in both modes
+//     (journaled staging needs it); the delta isolates what skipping the
+//     per-op path walk is worth.
+//
+// Run:  ./build/bench/io_fastpath [--smoke]
+// --smoke shortens the measurement windows to fit a CI budget and exits
+// non-zero if acceleration stops paying for itself (warm seq read speedup
+// < 1.5x at 1 thread or < 2.5x aggregate at 8 threads). The committed
+// full-mode run shows >= 2x at 1 thread and >= 4x at 8 threads.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/rng.h"
+#include "src/block/block_device.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/vfs/vfs.h"
+
+using namespace skern;
+
+namespace {
+
+uint64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr uint64_t kDeviceBlocks = 8192;
+constexpr uint64_t kInodeCount = 128;
+constexpr uint64_t kJournalBlocks = 64;
+constexpr int kDepth = 8;             // directory components above each file
+constexpr int kFiles = 8;             // one per thread at full width
+// 256 KiB per file keeps the 8-file working set inside the last-level cache
+// so the numbers isolate per-op dispatch cost (path walk + global lock vs.
+// handle lookup + per-inode rwlock), not memcpy bandwidth. 1 KiB ops for the
+// same reason: the small-read regime is where dispatch overhead dominates.
+constexpr uint64_t kFileBytes = 256 * 1024;
+constexpr uint64_t kChunk = 1024;     // per-op transfer size
+constexpr uint64_t kFileChunks = kFileBytes / kChunk;
+
+struct Bench {
+  std::shared_ptr<SafeFs> fs;
+  Vfs vfs;
+  std::vector<std::string> files;  // deep canonical paths, one per thread
+};
+
+// Builds the 8-deep directory chain with kFiles 256 KiB files at the bottom,
+// so the path-dispatch baseline pays a real resolution per op. The file
+// bodies are written through descriptors and synced, leaving every inode
+// clean (fast-read eligible) at measurement start.
+std::unique_ptr<Bench> BuildBench(RamDisk& disk) {
+  auto bench = std::make_unique<Bench>();
+  auto fs = SafeFs::Format(disk, kInodeCount, kJournalBlocks);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "format failed\n");
+    std::exit(1);
+  }
+  bench->fs = fs.value();
+  if (!bench->vfs.Mount("/", bench->fs).ok()) {
+    std::fprintf(stderr, "mount failed\n");
+    std::exit(1);
+  }
+  std::string dir;
+  for (int level = 0; level < kDepth; ++level) {
+    dir += "/d" + std::to_string(level);
+    if (!bench->vfs.Mkdir(dir).ok()) {
+      std::fprintf(stderr, "mkdir %s failed\n", dir.c_str());
+      std::exit(1);
+    }
+  }
+  Rng rng(4242);
+  for (int f = 0; f < kFiles; ++f) {
+    std::string path = dir + "/f" + std::to_string(f);
+    auto fd = bench->vfs.Open(path, kOpenRead | kOpenWrite | kOpenCreate);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "create %s failed: %s\n", path.c_str(), ErrnoName(fd.error()));
+      std::exit(1);
+    }
+    for (uint64_t off = 0; off < kFileBytes; off += 64 * 1024) {
+      Bytes chunk = rng.NextBytes(64 * 1024);
+      if (!bench->vfs.Pwrite(fd.value(), off, ByteView(chunk)).ok()) {
+        std::fprintf(stderr, "pwrite %s failed\n", path.c_str());
+        std::exit(1);
+      }
+    }
+    if (!bench->vfs.Close(fd.value()).ok() || !bench->fs->Sync().ok()) {
+      std::fprintf(stderr, "close/sync %s failed\n", path.c_str());
+      std::exit(1);
+    }
+    bench->files.push_back(std::move(path));
+  }
+  return bench;
+}
+
+enum class IoOp { kSeqRead, kRandRead, kSeqWrite, kRandWrite };
+
+bool IsRead(IoOp op) { return op == IoOp::kSeqRead || op == IoOp::kRandRead; }
+
+// Steady-state ops/sec for one (mode, op, width) cell. Thread t hammers its
+// own file through its own descriptor — kChunk-sized ops, sequential
+// wrap-around or uniform random. Reads run against clean, pre-warmed inodes
+// (one full sweep per descriptor before the clock starts); writes leave the
+// files dirty, so the cell syncs on the way out.
+double MeasureThroughput(Bench& bench, bool accel, IoOp op, int threads,
+                         int duration_ms) {
+  bench.vfs.SetHandleAcceleration(accel);
+  std::vector<Fd> fds;
+  for (int t = 0; t < threads; ++t) {
+    auto fd = bench.vfs.Open(bench.files[t % kFiles], kOpenRead | kOpenWrite);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", ErrnoName(fd.error()));
+      std::exit(1);
+    }
+    fds.push_back(fd.value());
+  }
+  if (IsRead(op)) {
+    if (!bench.vfs.SyncAll().ok()) {
+      std::fprintf(stderr, "pre-read sync failed\n");
+      std::exit(1);
+    }
+    for (Fd fd : fds) {
+      for (uint64_t off = 0; off < kFileBytes; off += kChunk) {
+        auto chunk = bench.vfs.Pread(fd, off, kChunk);
+        if (!chunk.ok() || chunk->size() != kChunk) {
+          std::fprintf(stderr, "warmup read failed\n");
+          std::exit(1);
+        }
+      }
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> go{false};
+  std::vector<uint64_t> ops(threads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(9000 + t);
+      Bytes payload = rng.NextBytes(kChunk);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      uint64_t i = 0;
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t index = (op == IoOp::kSeqRead || op == IoOp::kSeqWrite)
+                             ? i % kFileChunks
+                             : rng.NextBelow(kFileChunks);
+        uint64_t offset = index * kChunk;
+        if (IsRead(op)) {
+          auto chunk = bench.vfs.Pread(fds[t], offset, kChunk);
+          if (!chunk.ok() || chunk->size() != kChunk) {
+            std::fprintf(stderr, "read failed\n");
+            std::exit(1);
+          }
+        } else {
+          if (!bench.vfs.Pwrite(fds[t], offset, ByteView(payload)).ok()) {
+            std::fprintf(stderr, "write failed\n");
+            std::exit(1);
+          }
+        }
+        ++i;
+        ++local;
+      }
+      ops[t] = local;
+    });
+  }
+  uint64_t start = NowNs();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  uint64_t elapsed = NowNs() - start;
+  for (Fd fd : fds) {
+    (void)bench.vfs.Close(fd);
+  }
+  if (!IsRead(op) && !bench.vfs.SyncAll().ok()) {
+    std::fprintf(stderr, "post-write sync failed\n");
+    std::exit(1);
+  }
+  uint64_t total = 0;
+  for (uint64_t o : ops) {
+    total += o;
+  }
+  return static_cast<double>(total) * 1e9 / static_cast<double>(elapsed);
+}
+
+struct CellResults {
+  double accel_t1 = 0;
+  double accel_t8 = 0;
+  double base_t1 = 0;
+  double base_t8 = 0;
+  double SpeedupT1() const { return base_t1 <= 0 ? 0 : accel_t1 / base_t1; }
+  double SpeedupT8() const { return base_t8 <= 0 ? 0 : accel_t8 / base_t8; }
+};
+
+// Best of `trials` runs per cell: on an oversubscribed host, scheduler
+// interference only ever subtracts throughput, so the max is the least-noisy
+// estimate of what each configuration can actually sustain.
+double MeasureBest(Bench& bench, bool accel, IoOp op, int threads, int duration_ms,
+                   int trials) {
+  double best = 0;
+  for (int i = 0; i < trials; ++i) {
+    best = std::max(best, MeasureThroughput(bench, accel, op, threads, duration_ms));
+  }
+  return best;
+}
+
+CellResults MeasureCell(Bench& bench, IoOp op, int duration_ms, int trials) {
+  CellResults r;
+  r.accel_t1 = MeasureBest(bench, true, op, 1, duration_ms, trials);
+  r.accel_t8 = MeasureBest(bench, true, op, kFiles, duration_ms, trials);
+  r.base_t1 = MeasureBest(bench, false, op, 1, duration_ms, trials);
+  r.base_t8 = MeasureBest(bench, false, op, kFiles, duration_ms, trials);
+  return r;
+}
+
+void PrintCell(const char* name, const CellResults& r, bool trailing_comma) {
+  std::printf("  \"%s\": {\n", name);
+  std::printf("    \"accel_threads1_ops_per_sec\": %.0f,\n", r.accel_t1);
+  std::printf("    \"accel_threads8_ops_per_sec\": %.0f,\n", r.accel_t8);
+  std::printf("    \"base_threads1_ops_per_sec\": %.0f,\n", r.base_t1);
+  std::printf("    \"base_threads8_ops_per_sec\": %.0f,\n", r.base_t8);
+  std::printf("    \"speedup_threads1\": %.2f,\n", r.SpeedupT1());
+  std::printf("    \"speedup_threads8\": %.2f\n", r.SpeedupT8());
+  std::printf("  }%s\n", trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  // Idle instrumentation: measure the data plane, not counter traffic. The
+  // JSON's counter section below reads SafeFs's always-on internal tallies.
+  obs::TraceSession::Get().Stop();
+  obs::SetMetricsEnabled(false);
+  obs::SetLatencyTimingEnabled(false);
+
+  int duration_ms = smoke ? 60 : 250;
+  int trials = smoke ? 1 : 5;
+
+  RamDisk disk(kDeviceBlocks, /*seed=*/42);
+  auto bench = BuildBench(disk);
+
+  CellResults seq_read = MeasureCell(*bench, IoOp::kSeqRead, duration_ms, trials);
+  CellResults rand_read = MeasureCell(*bench, IoOp::kRandRead, duration_ms, trials);
+  CellResults seq_write = MeasureCell(*bench, IoOp::kSeqWrite, duration_ms, trials);
+  CellResults rand_write = MeasureCell(*bench, IoOp::kRandWrite, duration_ms, trials);
+
+  SafeFsIoStats io = bench->fs->io_stats();
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"io_fastpath\",\n");
+  std::printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::printf("  \"config\": {\n");
+  std::printf("    \"files\": %d,\n", kFiles);
+  std::printf("    \"file_bytes\": %llu,\n", static_cast<unsigned long long>(kFileBytes));
+  std::printf("    \"chunk_bytes\": %llu,\n", static_cast<unsigned long long>(kChunk));
+  std::printf("    \"dir_depth\": %d,\n", kDepth);
+  std::printf("    \"duration_ms_per_config\": %d\n", duration_ms);
+  std::printf("  },\n");
+  PrintCell("seq_read", seq_read, /*trailing_comma=*/true);
+  PrintCell("rand_read", rand_read, /*trailing_comma=*/true);
+  PrintCell("seq_write", seq_write, /*trailing_comma=*/true);
+  PrintCell("rand_write", rand_write, /*trailing_comma=*/true);
+  std::printf("  \"io\": {\n");
+  std::printf("    \"fast_reads\": %llu,\n", static_cast<unsigned long long>(io.fast_reads));
+  std::printf("    \"slow_reads\": %llu,\n", static_cast<unsigned long long>(io.slow_reads));
+  std::printf("    \"readahead_issued\": %llu,\n",
+              static_cast<unsigned long long>(io.readahead_issued));
+  std::printf("    \"readahead_hits\": %llu,\n",
+              static_cast<unsigned long long>(io.readahead_hits));
+  std::printf("    \"blockmap_hits\": %llu,\n",
+              static_cast<unsigned long long>(io.blockmap_hits));
+  std::printf("    \"blockmap_misses\": %llu,\n",
+              static_cast<unsigned long long>(io.blockmap_misses));
+  std::printf("    \"inode_lock_contended\": %llu\n",
+              static_cast<unsigned long long>(io.inode_lock_contended));
+  std::printf("  }\n");
+  std::printf("}\n");
+
+  if (smoke) {
+    // Loud perf-regression gate for CI, with noise headroom under the
+    // committed full-run ratios.
+    bool ok = true;
+    if (seq_read.SpeedupT1() < 1.5) {
+      std::fprintf(stderr, "FAIL: warm seq read speedup %.2fx < 1.5x at 1 thread\n",
+                   seq_read.SpeedupT1());
+      ok = false;
+    }
+    if (seq_read.SpeedupT8() < 2.5) {
+      std::fprintf(stderr, "FAIL: warm seq read speedup %.2fx < 2.5x at 8 threads\n",
+                   seq_read.SpeedupT8());
+      ok = false;
+    }
+    if (io.fast_reads == 0) {
+      std::fprintf(stderr, "FAIL: the accelerated runs never took the fast path\n");
+      ok = false;
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -315,6 +315,34 @@ Result<BufferHead*> BufferCache::ReadBlock(uint64_t block) {
   return bh;
 }
 
+Status BufferCache::AppendFromBlock(uint64_t block, uint64_t offset, uint64_t length,
+                                    Bytes& out) {
+  SKERN_CHECK_MSG(offset + length <= kBlockSize, "AppendFromBlock out of bounds");
+  Shard& shard = ShardFor(block);
+  {
+    SpinLockGuard guard(shard.lock);
+    BufferHead* bh = shard.Find(block);
+    if (bh != nullptr && bh->Test(BhFlag::kUptodate)) {
+      ++shard.stats.lookups;
+      ++shard.stats.hits;
+      out.insert(out.end(), bh->data.begin() + offset,
+                 bh->data.begin() + offset + length);
+      return Status::Ok();
+    }
+    // Not resident (or mid-fill): take the pin-based path below, which does
+    // its own lookup accounting — this probe stays uncounted so hits +
+    // misses == lookups still holds.
+  }
+  Result<BufferHead*> bh = ReadBlock(block);
+  if (!bh.ok()) {
+    return bh.status();
+  }
+  out.insert(out.end(), (*bh)->data.begin() + offset,
+             (*bh)->data.begin() + offset + length);
+  Release(*bh);
+  return Status::Ok();
+}
+
 void BufferCache::Release(BufferHead* bh) {
   Shard& shard = ShardFor(bh->blocknr);
   SpinLockGuard guard(shard.lock);
@@ -397,6 +425,26 @@ void BufferCache::InvalidateAll() {
     shard->count = 0;
     shard->used = 0;
   }
+}
+
+void BufferCache::Invalidate(uint64_t block) {
+  Shard& shard = ShardFor(block);
+  SpinLockGuard guard(shard.lock);
+  BufferHead* bh = shard.Find(block);
+  if (bh == nullptr) {
+    return;
+  }
+  SKERN_CHECK_MSG(!bh->Test(BhFlag::kDirty), "Invalidate of a dirty buffer");
+  if (bh->refcount.load(std::memory_order_acquire) != 0) {
+    // Pinned: the holder keeps its buffer, but the stale contents must not
+    // satisfy the next lookup.
+    bh->Clear(BhFlag::kUptodate);
+    return;
+  }
+  if (bh->lru_node.linked()) {
+    shard.lru.Remove(bh);
+  }
+  shard.Erase(block);
 }
 
 std::vector<BufferStateViolation> BufferCache::ValidateAll() const {

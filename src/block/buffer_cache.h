@@ -68,6 +68,14 @@ class BufferCache {
   // bread: GetBlock + ensures the contents are read from the device.
   Result<BufferHead*> ReadBlock(uint64_t block);
 
+  // Appends `length` bytes starting at byte `offset` of `block` to `out`.
+  // When the block is resident and uptodate this is a single shard-lock hold
+  // (no pin/release round-trip, no LRU churn) — the warm read fast path.
+  // Otherwise it falls back to ReadBlock + copy + Release. The caller should
+  // reserve `out` up front: growing the vector under the shard lock would
+  // put an allocation inside the critical section.
+  Status AppendFromBlock(uint64_t block, uint64_t offset, uint64_t length, Bytes& out);
+
   // brelse: drops the reference taken by GetBlock/ReadBlock.
   void Release(BufferHead* bh);
 
@@ -84,6 +92,13 @@ class BufferCache {
   // stale cache contents don't survive the "reboot"). Dirty or referenced
   // buffers panic — a crashed cache must not hold pinned state.
   void InvalidateAll();
+
+  // Drops one block's buffer if it is cached, clean and unreferenced (used
+  // by read-only caches layered above a store that just superseded the
+  // block's contents elsewhere). A referenced buffer is left in place but
+  // marked not-uptodate, so the next ReadBlock re-reads the device; a dirty
+  // buffer panics — invalidating unwritten data is a caller bug.
+  void Invalidate(uint64_t block);
 
   // Runs the state validator over every cached buffer.
   std::vector<BufferStateViolation> ValidateAll() const;

@@ -3,10 +3,14 @@
 #include <algorithm>
 
 #include "src/base/panic.h"
+#include "src/obs/metrics.h"
 #include "src/spec/fs_model.h"
 
 namespace skern {
 namespace {
+
+// Blocks prefetched ahead of a detected sequential stream.
+constexpr uint64_t kReadAheadBlocks = 8;
 
 // Splits a normalized absolute path into components ("/a/b" -> {"a","b"}).
 std::vector<std::string> Components(const std::string& normalized) {
@@ -31,7 +35,25 @@ SafeFs::SafeFs(BlockDevice& device, const FsGeometry& geometry)
     : device_(device),
       geo_(geometry),
       journal_(device, geometry.journal_start, geometry.journal_blocks),
-      bitmap_(kBlockSize, 0) {}
+      bitmap_(kBlockSize, 0) {
+  // Size the read cache to the data area (bounded): at the scales this
+  // substrate runs (RAM disks up to a few thousand blocks) a warm working
+  // set should never thrash its own LRU.
+  // A generous shard hint: this cache is read-mostly and shared by every
+  // concurrent fast reader, so shard-lock collisions are pure overhead.
+  read_cache_ = std::make_unique<BufferCache>(
+      device, std::clamp<size_t>(geometry.data_blocks, 64, 4096),
+      /*shard_hint=*/64);
+  // Eagerly register the data-plane counters so procfs /metrics lists them
+  // even before the first fast-path operation.
+  SKERN_COUNTER_ADD("safefs.io.fast_reads", 0);
+  SKERN_COUNTER_ADD("safefs.io.slow_reads", 0);
+  SKERN_COUNTER_ADD("safefs.readahead.issued", 0);
+  SKERN_COUNTER_ADD("safefs.readahead.hits", 0);
+  SKERN_COUNTER_ADD("safefs.blockmap.hits", 0);
+  SKERN_COUNTER_ADD("safefs.blockmap.misses", 0);
+  SKERN_COUNTER_ADD("sync.rwlock.contended", 0);
+}
 
 Result<std::shared_ptr<SafeFs>> SafeFs::Format(BlockDevice& device, uint64_t inode_count,
                                                uint64_t journal_blocks) {
@@ -91,6 +113,9 @@ Result<std::shared_ptr<SafeFs>> SafeFs::Mount(BlockDevice& device) {
       }
       DiskInode inode = DecodeInode(ByteView(block), slot);
       if (inode.InUse()) {
+        if (!inode.IsDir()) {
+          fs->data_state_.emplace(ino, std::make_shared<InodeDataState>(ino));
+        }
         fs->inodes_[ino] = inode;
       }
     }
@@ -122,6 +147,9 @@ Result<Owned<Bytes>*> SafeFs::StageBlock(uint64_t block, bool zero_fill) {
   }
   auto [inserted, ok] = staged_.emplace(block, Owned<Bytes>(std::move(content)));
   SKERN_CHECK(ok);
+  // The staged cell now supersedes the device image; a read-cache copy of
+  // the old content must not satisfy any later fast read.
+  read_cache_->Invalidate(block);
   return &inserted->second;
 }
 
@@ -153,6 +181,9 @@ void SafeFs::FreeDataBlock(uint64_t block) {
   bitmap_dirty_ = true;
   ++stats_.blocks_freed;
   DropStaged(block);
+  // The block may be reallocated to another file before the next sync; its
+  // old content must leave the read cache with it.
+  read_cache_->Invalidate(block);
 }
 
 void SafeFs::SetLookupAcceleration(bool enabled) {
@@ -188,6 +219,9 @@ Result<uint64_t> SafeFs::AllocInode(uint32_t mode) {
       dirty_inos_.insert(ino);
       cleared_inos_.erase(ino);
       next_ino_hint_ = ino + 1;
+      if ((mode & kModeDir) == 0) {
+        data_state_.emplace(ino, std::make_shared<InodeDataState>(ino));
+      }
       return ino;
     }
   }
@@ -212,6 +246,21 @@ void SafeFs::FreeInode(uint64_t ino) {
   // entry removal has passed through DirRemoveEntry, which overwrites the
   // cached entry with a negative one.)
   dir_index_.erase(ino);
+  // A freed file's data state becomes a dead husk: handles still holding the
+  // shared_ptr bounce off `dead`, revalidate, and fail like a fresh walk.
+  // Taking the write lock here also fences any in-flight fast reader out
+  // before the caller's block frees can take effect.
+  auto it = data_state_.find(ino);
+  if (it != data_state_.end()) {
+    std::shared_ptr<InodeDataState> ds = it->second;
+    data_state_.erase(it);
+    WriteGuard guard(ds->rwlock);
+    ds->dead = true;
+    ds->warmed = false;
+    ds->block_map.clear();
+    ds->cached_size = 0;
+  }
+  ns_generation_.fetch_add(1, std::memory_order_release);
 }
 
 // --- file block mapping ---
@@ -423,6 +472,7 @@ Status SafeFs::DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t i
       index->free_slots.erase(index->free_slots.begin());
       index->by_name.insert_or_assign(name, DirSlot{ino, block, linear});
       dcache_.InsertPositive(dir_ino, name, ino);
+      ns_generation_.fetch_add(1, std::memory_order_release);
       return Status::Ok();
     }
     // Directory full: extend by one block. Slot 0 takes the entry; the rest
@@ -441,6 +491,7 @@ Status SafeFs::DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t i
       index->free_slots.insert(base + slot);
     }
     dcache_.InsertPositive(dir_ino, name, ino);
+    ns_generation_.fetch_add(1, std::memory_order_release);
     return Status::Ok();
   }
   // First free slot wins.
@@ -455,6 +506,7 @@ Status SafeFs::DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t i
         SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
         auto lend = cell->LendExclusive();
         EncodeDirent(Dirent{ino, name}, MutableByteView(lend.Get()), slot);
+        ns_generation_.fetch_add(1, std::memory_order_release);
         return Status::Ok();
       }
     }
@@ -468,6 +520,7 @@ Status SafeFs::DirAddEntry(uint64_t dir_ino, const std::string& name, uint64_t i
   }
   dir.size = (blocks + 1) * kBlockSize;
   MarkInodeDirty(dir_ino);
+  ns_generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -491,6 +544,7 @@ Status SafeFs::DirRemoveEntry(uint64_t dir_ino, const std::string& name) {
     // The negative entry is the invalidation: the next lookup of this name
     // must miss, and may as well miss cheaply.
     dcache_.InsertNegative(dir_ino, name);
+    ns_generation_.fetch_add(1, std::memory_order_release);
     return Status::Ok();
   }
   const DiskInode& dir = inodes_.at(dir_ino);
@@ -507,6 +561,7 @@ Status SafeFs::DirRemoveEntry(uint64_t dir_ino, const std::string& name) {
         SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
         auto lend = cell->LendExclusive();
         EncodeDirent(Dirent{kInvalidIno, ""}, MutableByteView(lend.Get()), slot);
+        ns_generation_.fetch_add(1, std::memory_order_release);
         return Status::Ok();
       }
     }
@@ -644,6 +699,17 @@ Status SafeFs::WriteLocked(const std::string& path, uint64_t offset, ByteView da
   if (w.ino == kInvalidIno) {
     return Status::Error(Errno::kENOENT);
   }
+  auto ds = data_state_.find(w.ino);
+  SKERN_CHECK_MSG(ds != data_state_.end(), "regular file without data state");
+  return WriteInodeLocked(w.ino, *ds->second, offset, data);
+}
+
+// The post-resolution write core, shared by the path API and WriteAt. Runs
+// under mutex_ (allocator, staging) plus the inode's write lock, which both
+// fences concurrent fast readers out and keeps the block-map/size mirrors
+// coherent with the inode.
+Status SafeFs::WriteInodeLocked(uint64_t ino, InodeDataState& ds, uint64_t offset,
+                                ByteView data) {
   uint64_t length = data.size();
   if (fault_ == SafeFsSemanticFault::kWriteIgnoresTailByte && length > 0) {
     length -= 1;  // a functional bug: silently drops the last byte
@@ -658,7 +724,7 @@ Status SafeFs::WriteLocked(const std::string& path, uint64_t offset, ByteView da
   }
   // Pre-flight the allocation so a failed write changes nothing.
   {
-    const DiskInode& inode = inodes_.at(w.ino);
+    const DiskInode& inode = inodes_.at(ino);
     uint64_t first = offset / kBlockSize;
     uint64_t last = (end - 1) / kBlockSize;
     uint64_t needed = 0;
@@ -682,13 +748,18 @@ Status SafeFs::WriteLocked(const std::string& path, uint64_t offset, ByteView da
       return Status::Error(Errno::kENOSPC);
     }
   }
+  WriteGuard wg(ds.rwlock);
+  // Mark the inode dirty-for-fast-reads *before* staging anything, so even a
+  // write that fails half way leaves readers on the staged-aware slow path.
+  ds.write_epoch = syncs_completed_.load(std::memory_order_relaxed) + 1;
+  uint64_t old_size = inodes_.at(ino).size;
   uint64_t written = 0;
   while (written < length) {
     uint64_t pos = offset + written;
     uint64_t index = pos / kBlockSize;
     uint64_t in_block = pos % kBlockSize;
     uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, length - written);
-    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlockForWrite(w.ino, index));
+    SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlockForWrite(ino, index));
     SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
     {
       // Model 2: exclusive rights for the mutation, returned at scope exit.
@@ -696,12 +767,23 @@ Status SafeFs::WriteLocked(const std::string& path, uint64_t offset, ByteView da
       std::copy(data.data() + written, data.data() + written + chunk,
                 lend.Get().begin() + in_block);
     }
+    if (ds.warmed) {
+      ds.block_map.insert_or_assign(index, block);
+    }
     written += chunk;
   }
-  DiskInode& inode = InodeRef(w.ino);
+  DiskInode& inode = InodeRef(ino);
   if (end > inode.size) {
     inode.size = end;
-    MarkInodeDirty(w.ino);
+    MarkInodeDirty(ino);
+  }
+  if (ds.warmed) {
+    // Keep the map complete: any gap blocks between the old EOF and the
+    // written range are holes the warm invariant must still cover.
+    for (uint64_t i = BlocksForSize(old_size); i < BlocksForSize(inode.size); ++i) {
+      ds.block_map.try_emplace(i, 0);
+    }
+    ds.cached_size = inode.size;
   }
   return Status::Ok();
 }
@@ -722,7 +804,16 @@ Result<Bytes> SafeFs::ReadLocked(const std::string& path, uint64_t offset,
   if (w.ino == kInvalidIno) {
     return Errno::kENOENT;
   }
-  const DiskInode& inode = inodes_.at(w.ino);
+  return ReadInodeLocked(w.ino, offset, length);
+}
+
+// The post-resolution read core, shared by the path API and ReadAt's slow
+// path. EOF clamping happens *before* the output buffer is sized, so a read
+// straddling or past EOF never allocates (or zero-fills) more than the
+// readable span.
+Result<Bytes> SafeFs::ReadInodeLocked(uint64_t ino, uint64_t offset,
+                                      uint64_t length) const {
+  const DiskInode& inode = inodes_.at(ino);
   if (offset >= inode.size) {
     return Bytes{};
   }
@@ -763,7 +854,15 @@ Status SafeFs::TruncateInode(uint64_t ino, uint64_t new_size) {
   if (new_size > kMaxFileBlocks * kBlockSize) {
     return Status::Error(Errno::kEFBIG);
   }
+  auto ds_it = data_state_.find(ino);
+  SKERN_CHECK_MSG(ds_it != data_state_.end(), "regular file without data state");
+  InodeDataState& ds = *ds_it->second;
+  // The write lock fences fast readers out for the whole shrink (block frees
+  // included) and covers the mirror updates below.
+  WriteGuard wg(ds.rwlock);
+  ds.write_epoch = syncs_completed_.load(std::memory_order_relaxed) + 1;
   DiskInode& inode = InodeRef(ino);
+  uint64_t old_size = inode.size;
   if (new_size < inode.size) {
     SKERN_RETURN_IF_ERROR(FreeBlocksFrom(ino, BlocksForSize(new_size)));
     // Zero the tail of the last kept block so a later grow reads zeroes.
@@ -780,6 +879,16 @@ Status SafeFs::TruncateInode(uint64_t ino, uint64_t new_size) {
   // Growing just moves size: unmapped tail blocks are holes and read zero.
   inode.size = new_size;
   MarkInodeDirty(ino);
+  if (ds.warmed) {
+    uint64_t keep = BlocksForSize(new_size);
+    for (auto it = ds.block_map.begin(); it != ds.block_map.end();) {
+      it = it->first >= keep ? ds.block_map.erase(it) : std::next(it);
+    }
+    for (uint64_t i = BlocksForSize(old_size); i < keep; ++i) {
+      ds.block_map.try_emplace(i, 0);  // a growing truncate adds holes
+    }
+    ds.cached_size = new_size;
+  }
   return Status::Ok();
 }
 
@@ -958,7 +1067,340 @@ Status SafeFs::SyncLocked() {
   cleared_inos_.clear();
   bitmap_dirty_ = false;
   ++stats_.syncs;
+  // Everything staged is now checkpointed to its home location; inodes whose
+  // write_epoch is <= this value are fast-read clean again.
+  syncs_completed_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
+}
+
+// --- handle-based data plane ---
+
+std::shared_ptr<SafeFs::HandleRec> SafeFs::LookupHandle(InodeHandle handle) const {
+  ReadGuard guard(handle_lock_);
+  auto it = handles_.find(handle);
+  return it == handles_.end() ? nullptr : it->second;
+}
+
+bool SafeFs::HandleCurrent(const HandleRec& rec) const {
+  SpinLockGuard guard(rec.hlock);
+  return rec.res_gen == ns_generation_.load(std::memory_order_acquire);
+}
+
+void SafeFs::RevalidateHandleLocked(HandleRec& rec) {
+  // All generation bumps happen under mutex_, which we hold, so the walk
+  // below cannot race with the generation we stamp.
+  uint64_t gen = ns_generation_.load(std::memory_order_acquire);
+  Errno err = Errno::kOk;
+  uint64_t ino = kInvalidIno;
+  std::shared_ptr<InodeDataState> ds;
+  Result<WalkResult> w = Walk(rec.path);
+  if (!w.ok()) {
+    err = w.error();
+  } else if (rec.path == "/" || (w->ino != kInvalidIno && inodes_.at(w->ino).IsDir())) {
+    err = Errno::kEISDIR;
+  } else if (w->ino == kInvalidIno) {
+    err = Errno::kENOENT;
+  } else {
+    ino = w->ino;
+    auto it = data_state_.find(ino);
+    SKERN_CHECK_MSG(it != data_state_.end(), "regular file without data state");
+    ds = it->second;
+  }
+  SpinLockGuard guard(rec.hlock);
+  rec.res_gen = gen;
+  rec.res_ino = ino;
+  rec.res_err = err;
+  rec.res_data = std::move(ds);
+}
+
+std::optional<Bytes> SafeFs::TryFastRead(InodeDataState& ds, uint64_t offset,
+                                         uint64_t length) const {
+  ReadGuard guard(ds.rwlock);
+  if (ds.dead) {
+    return std::nullopt;
+  }
+  if (!ds.warmed) {
+    io_.blockmap_misses.fetch_add(1, std::memory_order_relaxed);
+    SKERN_COUNTER_INC("safefs.blockmap.misses");
+    return std::nullopt;
+  }
+  if (ds.write_epoch > syncs_completed_.load(std::memory_order_acquire)) {
+    // Staged data the device image does not show yet: only the slow path
+    // (which reads through staged_) can serve it.
+    return std::nullopt;
+  }
+  if (offset >= ds.cached_size) {
+    return Bytes{};
+  }
+  uint64_t take = std::min(length, ds.cached_size - offset);
+  // Reserve + append, not a sized construction: value-initializing the
+  // buffer would touch every byte twice (zero-fill, then copy).
+  Bytes out;
+  out.reserve(take);
+  uint64_t done = 0;
+  while (done < take) {
+    uint64_t pos = offset + done;
+    uint64_t index = pos / kBlockSize;
+    uint64_t in_block = pos % kBlockSize;
+    uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, take - done);
+    auto it = ds.block_map.find(index);
+    if (it == ds.block_map.end()) {
+      // Defensive: the warm invariant covers every index < cached_size.
+      io_.blockmap_misses.fetch_add(1, std::memory_order_relaxed);
+      SKERN_COUNTER_INC("safefs.blockmap.misses");
+      return std::nullopt;
+    }
+    io_.blockmap_hits.fetch_add(1, std::memory_order_relaxed);
+    SKERN_COUNTER_INC("safefs.blockmap.hits");
+    if (it->second != 0) {
+      // Single shard-lock hold per block on the warm path: no pin/release
+      // round-trip, which matters when many readers stream concurrently.
+      if (!read_cache_->AppendFromBlock(it->second, in_block, chunk, out).ok()) {
+        return std::nullopt;
+      }
+    } else {
+      out.insert(out.end(), chunk, 0);  // holes read zero
+    }
+    done += chunk;
+  }
+  // Sequential-access detection and read-ahead accounting. These hints are
+  // racy between concurrent readers on purpose: a lost update costs one
+  // missed (or one redundant) read-ahead, never correctness.
+  if (offset < ds.ra_end.load(std::memory_order_relaxed) &&
+      offset + take > ds.ra_start.load(std::memory_order_relaxed)) {
+    io_.readahead_hits.fetch_add(1, std::memory_order_relaxed);
+    SKERN_COUNTER_INC("safefs.readahead.hits");
+  }
+  if (offset == ds.next_seq_offset.load(std::memory_order_relaxed)) {
+    uint64_t streak = ds.seq_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (streak >= 2) {
+      MaybeReadAhead(ds, offset + take);
+    }
+  } else {
+    ds.seq_streak.store(0, std::memory_order_relaxed);
+  }
+  ds.next_seq_offset.store(offset + take, std::memory_order_relaxed);
+  return out;
+}
+
+void SafeFs::MaybeReadAhead(InodeDataState& ds, uint64_t from) const {
+  uint64_t first = from / kBlockSize;
+  uint64_t last = std::min(first + kReadAheadBlocks, BlocksForSize(ds.cached_size));
+  if (first >= last) {
+    return;  // at EOF
+  }
+  // Skip whatever the current window already covers; only the uncovered tail
+  // is worth touching. (Without this, a wrapping sequential scan re-issues
+  // its whole window on every read — 16 shard-lock hits per op.)
+  uint64_t ra_start = ds.ra_start.load(std::memory_order_relaxed);
+  uint64_t ra_end = ds.ra_end.load(std::memory_order_relaxed);
+  if (first * kBlockSize >= ra_start && last * kBlockSize <= ra_end) {
+    return;  // window fully covered
+  }
+  uint64_t new_start = first * kBlockSize;
+  if (first * kBlockSize >= ra_start && first * kBlockSize < ra_end) {
+    first = ra_end / kBlockSize;  // extend the window instead of re-reading it
+    new_start = ra_start;
+  }
+  uint64_t issued = 0;
+  for (uint64_t index = first; index < last; ++index) {
+    auto it = ds.block_map.find(index);
+    if (it == ds.block_map.end() || it->second == 0) {
+      continue;  // holes read zero without device traffic
+    }
+    Result<BufferHead*> bh = read_cache_->ReadBlock(it->second);
+    if (!bh.ok()) {
+      break;  // device trouble: the foreground read will surface it
+    }
+    read_cache_->Release(*bh);
+    ++issued;
+  }
+  if (issued > 0) {
+    io_.readahead_issued.fetch_add(issued, std::memory_order_relaxed);
+    SKERN_COUNTER_ADD("safefs.readahead.issued", issued);
+    ds.ra_start.store(new_start, std::memory_order_relaxed);
+    ds.ra_end.store(last * kBlockSize, std::memory_order_relaxed);
+  }
+}
+
+void SafeFs::WarmBlockMapLocked(uint64_t ino, InodeDataState& ds) const {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) {
+    return;
+  }
+  const DiskInode& inode = it->second;
+  WriteGuard guard(ds.rwlock);
+  if (ds.dead) {
+    return;
+  }
+  ds.block_map.clear();
+  for (uint64_t index = 0; index < BlocksForSize(inode.size); ++index) {
+    Result<uint64_t> block = MapBlock(inode, index);
+    if (!block.ok()) {
+      ds.block_map.clear();
+      ds.warmed = false;
+      return;
+    }
+    ds.block_map.emplace(index, *block);
+  }
+  ds.cached_size = inode.size;
+  ds.warmed = true;
+}
+
+Result<InodeHandle> SafeFs::OpenByPath(const std::string& path) {
+  MutexGuard guard(mutex_);
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  auto rec = std::make_shared<HandleRec>(std::move(p));
+  RevalidateHandleLocked(*rec);
+  {
+    SpinLockGuard hguard(rec->hlock);
+    if (rec->res_err != Errno::kOk) {
+      return rec->res_err;
+    }
+  }
+  WriteGuard hguard(handle_lock_);
+  InodeHandle handle = next_handle_++;
+  handles_.emplace(handle, std::move(rec));
+  return handle;
+}
+
+void SafeFs::CloseHandle(InodeHandle handle) {
+  WriteGuard guard(handle_lock_);
+  handles_.erase(handle);
+}
+
+Result<Bytes> SafeFs::ReadAt(InodeHandle handle, uint64_t offset, uint64_t length) {
+  std::shared_ptr<HandleRec> rec = LookupHandle(handle);
+  if (rec == nullptr) {
+    return Errno::kEBADF;
+  }
+  uint64_t gen = ns_generation_.load(std::memory_order_acquire);
+  Errno err = Errno::kOk;
+  uint64_t ino = kInvalidIno;
+  std::shared_ptr<InodeDataState> ds;
+  bool current = false;
+  {
+    SpinLockGuard hguard(rec->hlock);
+    current = rec->res_gen == gen;
+    err = rec->res_err;
+    ino = rec->res_ino;
+    ds = rec->res_data;
+  }
+  if (current) {
+    // A cached resolution error (e.g. the name was already gone when the
+    // handle last revalidated) is as current as a cached success.
+    if (err != Errno::kOk) {
+      return err;
+    }
+    std::optional<Bytes> fast = TryFastRead(*ds, offset, length);
+    if (fast.has_value()) {
+      io_.fast_reads.fetch_add(1, std::memory_order_relaxed);
+      SKERN_COUNTER_INC("safefs.io.fast_reads");
+      return std::move(*fast);
+    }
+  }
+  // Slow path: global lock, staged-aware read, then warm the block map so
+  // the next read of this inode can go fast.
+  MutexGuard guard(mutex_);
+  if (!HandleCurrent(*rec)) {
+    RevalidateHandleLocked(*rec);
+  }
+  {
+    SpinLockGuard hguard(rec->hlock);
+    err = rec->res_err;
+    ino = rec->res_ino;
+    ds = rec->res_data;
+  }
+  if (err != Errno::kOk) {
+    return err;
+  }
+  io_.slow_reads.fetch_add(1, std::memory_order_relaxed);
+  SKERN_COUNTER_INC("safefs.io.slow_reads");
+  Result<Bytes> out = ReadInodeLocked(ino, offset, length);
+  if (out.ok() && ds != nullptr) {
+    WarmBlockMapLocked(ino, *ds);
+  }
+  return out;
+}
+
+Status SafeFs::WriteAt(InodeHandle handle, uint64_t offset, ByteView data) {
+  std::shared_ptr<HandleRec> rec = LookupHandle(handle);
+  if (rec == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  MutexGuard guard(mutex_);
+  if (!HandleCurrent(*rec)) {
+    RevalidateHandleLocked(*rec);
+  }
+  Errno err = Errno::kOk;
+  uint64_t ino = kInvalidIno;
+  std::shared_ptr<InodeDataState> ds;
+  {
+    SpinLockGuard hguard(rec->hlock);
+    err = rec->res_err;
+    ino = rec->res_ino;
+    ds = rec->res_data;
+  }
+  if (err != Errno::kOk) {
+    return Status::Error(err);
+  }
+  return WriteInodeLocked(ino, *ds, offset, data);
+}
+
+Result<FileAttr> SafeFs::StatHandle(InodeHandle handle) {
+  std::shared_ptr<HandleRec> rec = LookupHandle(handle);
+  if (rec == nullptr) {
+    return Errno::kEBADF;
+  }
+  MutexGuard guard(mutex_);
+  if (!HandleCurrent(*rec)) {
+    RevalidateHandleLocked(*rec);
+  }
+  Errno err = Errno::kOk;
+  uint64_t ino = kInvalidIno;
+  {
+    SpinLockGuard hguard(rec->hlock);
+    err = rec->res_err;
+    ino = rec->res_ino;
+  }
+  if (err != Errno::kOk) {
+    return err;
+  }
+  // Handles only ever pin regular files; mirror Stat's regular-file branch,
+  // injected fault included.
+  FileAttr attr;
+  attr.is_dir = false;
+  attr.size = inodes_.at(ino).size;
+  if (fault_ == SafeFsSemanticFault::kStatSizeOffByOne) {
+    attr.size += 1;
+  }
+  return attr;
+}
+
+Status SafeFs::FsyncHandle(InodeHandle handle) {
+  std::shared_ptr<HandleRec> rec = LookupHandle(handle);
+  if (rec == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  // Path Fsync ignores its path argument (the journal commits the whole
+  // running transaction), so the handle's resolution is irrelevant here too.
+  MutexGuard guard(mutex_);
+  return SyncLocked();
+}
+
+SafeFsIoStats SafeFs::io_stats() const {
+  SafeFsIoStats s;
+  s.fast_reads = io_.fast_reads.load(std::memory_order_relaxed);
+  s.slow_reads = io_.slow_reads.load(std::memory_order_relaxed);
+  s.readahead_issued = io_.readahead_issued.load(std::memory_order_relaxed);
+  s.readahead_hits = io_.readahead_hits.load(std::memory_order_relaxed);
+  s.blockmap_hits = io_.blockmap_hits.load(std::memory_order_relaxed);
+  s.blockmap_misses = io_.blockmap_misses.load(std::memory_order_relaxed);
+  MutexGuard guard(mutex_);
+  for (const auto& [ino, ds] : data_state_) {
+    s.inode_lock_contended += ds->rwlock.contended_count();
+  }
+  return s;
 }
 
 }  // namespace skern

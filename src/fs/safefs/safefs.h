@@ -25,14 +25,17 @@
 #ifndef SKERN_SRC_FS_SAFEFS_SAFEFS_H_
 #define SKERN_SRC_FS_SAFEFS_SAFEFS_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/block/block_device.h"
+#include "src/block/buffer_cache.h"
 #include "src/block/journal.h"
 #include "src/fs/layout.h"
 #include "src/ownership/owned.h"
@@ -58,6 +61,18 @@ struct SafeFsStats {
   uint64_t blocks_allocated = 0;
   uint64_t blocks_freed = 0;
   uint64_t syncs = 0;
+};
+
+// Data-plane fast-path counters (always on — the bench reads these with the
+// obs registry disabled; procfs mirrors carry the same names).
+struct SafeFsIoStats {
+  uint64_t fast_reads = 0;        // ReadAt served lock-free of mutex_
+  uint64_t slow_reads = 0;        // ReadAt that fell back to the global lock
+  uint64_t readahead_issued = 0;  // blocks prefetched into the read cache
+  uint64_t readahead_hits = 0;    // reads that landed in a prefetched window
+  uint64_t blockmap_hits = 0;     // file blocks resolved from the map cache
+  uint64_t blockmap_misses = 0;   // fast reads bounced for lack of a warm map
+  uint64_t inode_lock_contended = 0;  // per-inode rwlock contention events
 };
 
 // Block-allocation policy: an implementation detail deliberately *below* the
@@ -95,6 +110,29 @@ class SafeFs : public FileSystem {
   Status Sync() override;
   Status Fsync(const std::string& path) override;
   std::string Name() const override { return "safefs"; }
+
+  // --- handle-based data plane (FileSystem optional block) ---
+  // A handle pins the opened path's *resolution* (ino + per-inode data
+  // state), revalidated against a namespace generation counter whenever any
+  // dirent changes — so handle I/O is observably identical to the path API
+  // (no open-unlink semantics) while the steady state skips the walk, the
+  // global lock, and one full copy per block:
+  //   * reads of clean inodes run under a per-inode rwlock in shared mode
+  //     (8 readers of 8 files — or of one file — proceed concurrently),
+  //   * the file-offset→disk-block map is cached per inode so steady-state
+  //     reads do zero indirect-block walks,
+  //   * sequential access triggers read-ahead into a private sharded
+  //     BufferCache, and the hit path does one copy: cache buffer → caller.
+  // Writes and cold/dirty reads take mutex_ exactly like the path API.
+  bool SupportsHandleIo() const override { return true; }
+  Result<InodeHandle> OpenByPath(const std::string& path) override;
+  void CloseHandle(InodeHandle handle) override;
+  Result<Bytes> ReadAt(InodeHandle handle, uint64_t offset, uint64_t length) override;
+  Status WriteAt(InodeHandle handle, uint64_t offset, ByteView data) override;
+  Result<FileAttr> StatHandle(InodeHandle handle) override;
+  Status FsyncHandle(InodeHandle handle) override;
+
+  SafeFsIoStats io_stats() const;
 
   void SetSemanticFault(SafeFsSemanticFault fault) {
     MutexGuard guard(mutex_);
@@ -184,10 +222,69 @@ class SafeFs : public FileSystem {
   Result<bool> IsAncestor(uint64_t ancestor, uint64_t ino, const std::string& to_norm) const
       SKERN_REQUIRES(mutex_);
 
+  // --- data-plane fast path (see the public handle-API comment) ---
+  // Per-regular-file concurrency + cache state. Lifetime: created with the
+  // inode (AllocInode/Mount), shared with open handles, marked `dead` and
+  // dropped from data_state_ when the inode is freed — a handle that
+  // outlives the file sees `dead`, falls to the slow path, revalidates, and
+  // fails exactly like a fresh path walk.
+  struct InodeDataState {
+    explicit InodeDataState(uint64_t inode_no) : ino(inode_no) {}
+    const uint64_t ino;
+    mutable TrackedRwLock rwlock{"safefs.inode"};
+    // file block index -> absolute device block (0 = hole). When `warmed`,
+    // complete for every index < BlocksForSize(cached_size).
+    std::unordered_map<uint64_t, uint64_t> block_map SKERN_GUARDED_BY(rwlock);
+    uint64_t cached_size SKERN_GUARDED_BY(rwlock) = 0;
+    bool warmed SKERN_GUARDED_BY(rwlock) = false;
+    // Epoch the inode's staged data joins at the next successful sync; while
+    // write_epoch > syncs_completed_ the device image is stale and reads
+    // must go through staged_ under mutex_.
+    uint64_t write_epoch SKERN_GUARDED_BY(rwlock) = 0;
+    bool dead SKERN_GUARDED_BY(rwlock) = false;
+    // Sequential-access detection + read-ahead window (monotonic hints; the
+    // races between concurrent readers only cost accuracy, never safety).
+    std::atomic<uint64_t> next_seq_offset{0};
+    std::atomic<uint64_t> seq_streak{0};
+    std::atomic<uint64_t> ra_start{0};
+    std::atomic<uint64_t> ra_end{0};
+  };
+
+  // One open handle: the pinned path plus its cached resolution, stamped
+  // with the namespace generation it was computed under.
+  struct HandleRec {
+    explicit HandleRec(std::string normalized) : path(std::move(normalized)) {}
+    const std::string path;
+    mutable TrackedSpinLock hlock{"safefs.handle"};
+    uint64_t res_gen SKERN_GUARDED_BY(hlock) = 0;
+    uint64_t res_ino SKERN_GUARDED_BY(hlock) = kInvalidIno;
+    Errno res_err SKERN_GUARDED_BY(hlock) = Errno::kOk;
+    std::shared_ptr<InodeDataState> res_data SKERN_GUARDED_BY(hlock);
+  };
+
+  std::shared_ptr<HandleRec> LookupHandle(InodeHandle handle) const;
+  // Re-walks rec.path and stores the fresh resolution (or its error).
+  void RevalidateHandleLocked(HandleRec& rec) SKERN_REQUIRES(mutex_);
+  bool HandleCurrent(const HandleRec& rec) const;
+  // The lock-free read: per-inode rwlock shared, block map + read cache.
+  // nullopt = fall back to the slow path (cold map, dirty data, dead inode).
+  std::optional<Bytes> TryFastRead(InodeDataState& ds, uint64_t offset,
+                                   uint64_t length) const;
+  void MaybeReadAhead(InodeDataState& ds, uint64_t from) const
+      SKERN_REQUIRES_SHARED(ds.rwlock);
+  // Populates block_map/cached_size from the inode after a slow read.
+  void WarmBlockMapLocked(uint64_t ino, InodeDataState& ds) const SKERN_REQUIRES(mutex_);
+
   // --- data paths ---
   Status WriteLocked(const std::string& path, uint64_t offset, ByteView data)
       SKERN_REQUIRES(mutex_);
   Result<Bytes> ReadLocked(const std::string& path, uint64_t offset, uint64_t length) const
+      SKERN_REQUIRES(mutex_);
+  // Post-resolution cores shared by the path and handle APIs, so both modes
+  // run byte-identical logic (including semantic-fault behaviour).
+  Status WriteInodeLocked(uint64_t ino, InodeDataState& ds, uint64_t offset, ByteView data)
+      SKERN_REQUIRES(mutex_);
+  Result<Bytes> ReadInodeLocked(uint64_t ino, uint64_t offset, uint64_t length) const
       SKERN_REQUIRES(mutex_);
   Status TruncateInode(uint64_t ino, uint64_t new_size) SKERN_REQUIRES(mutex_);
   Status SyncLocked() SKERN_REQUIRES(mutex_);
@@ -238,6 +335,36 @@ class SafeFs : public FileSystem {
   mutable DentryCache dcache_;  // internally synchronized (sharded spinlocks)
   mutable std::unordered_map<uint64_t, DirIndex> dir_index_ SKERN_GUARDED_BY(mutex_);
   bool accel_enabled_ SKERN_GUARDED_BY(mutex_) = true;
+
+  // --- data-plane fast path state ---
+  // Bumped (under mutex_) by every dirent mutation and inode free; handle
+  // resolutions stamped with an older generation must re-walk.
+  std::atomic<uint64_t> ns_generation_{0};
+  // Count of successful syncs; an inode with write_epoch > this has staged
+  // data the device image does not show yet.
+  std::atomic<uint64_t> syncs_completed_{0};
+  // Every live regular file's data state (directories have none).
+  std::unordered_map<uint64_t, std::shared_ptr<InodeDataState>> data_state_
+      SKERN_GUARDED_BY(mutex_);
+  // Open handles, under a dedicated leaf lock so Close never waits on I/O.
+  // A rwlock, not a spinlock: every ReadAt/WriteAt resolves its handle here,
+  // so concurrent fast readers must not serialize (or FIFO-queue) on it.
+  mutable TrackedRwLock handle_lock_{"safefs.handles"};
+  std::unordered_map<InodeHandle, std::shared_ptr<HandleRec>> handles_
+      SKERN_GUARDED_BY(handle_lock_);
+  InodeHandle next_handle_ SKERN_GUARDED_BY(handle_lock_) = 1;
+  // Read-only cache of clean file data blocks (sharded; see DESIGN.md §4f).
+  // Entries are invalidated at the two choke points that supersede a
+  // block's device content: StageBlock (block goes dirty) and FreeDataBlock.
+  std::unique_ptr<BufferCache> read_cache_;
+  mutable struct {
+    std::atomic<uint64_t> fast_reads{0};
+    std::atomic<uint64_t> slow_reads{0};
+    std::atomic<uint64_t> readahead_issued{0};
+    std::atomic<uint64_t> readahead_hits{0};
+    std::atomic<uint64_t> blockmap_hits{0};
+    std::atomic<uint64_t> blockmap_misses{0};
+  } io_;
 };
 
 }  // namespace skern

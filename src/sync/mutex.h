@@ -166,7 +166,13 @@ class SKERN_CAPABILITY("rwlock") TrackedRwLock {
 
   void LockShared() SKERN_ACQUIRE_SHARED() {
     LockRegistry::Get().OnAcquire(class_id_);
-    mutex_.lock_shared();
+    // Same lockstat idiom as TrackedMutex: the counter only moves when the
+    // acquisition actually has to wait (here: a writer holds or is queued).
+    if (!mutex_.try_lock_shared()) [[unlikely]] {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      SKERN_COUNTER_INC("sync.rwlock.contended");
+      mutex_.lock_shared();
+    }
   }
   void UnlockShared() SKERN_RELEASE_SHARED() {
     mutex_.unlock_shared();
@@ -174,7 +180,11 @@ class SKERN_CAPABILITY("rwlock") TrackedRwLock {
   }
   void LockExclusive() SKERN_ACQUIRE() {
     LockRegistry::Get().OnAcquire(class_id_);
-    mutex_.lock();
+    if (!mutex_.try_lock()) [[unlikely]] {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      SKERN_COUNTER_INC("sync.rwlock.contended");
+      mutex_.lock();
+    }
   }
   void UnlockExclusive() SKERN_RELEASE() {
     mutex_.unlock();
@@ -187,9 +197,15 @@ class SKERN_CAPABILITY("rwlock") TrackedRwLock {
 
   LockClassId class_id() const { return class_id_; }
 
+  // Times this instance found the lock unavailable and had to block.
+  uint64_t contended_count() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
  private:
   LockClassId class_id_;
   std::shared_mutex mutex_;
+  std::atomic<uint64_t> contended_{0};
 };
 
 class SKERN_SCOPED_CAPABILITY ReadGuard {

@@ -35,6 +35,16 @@ struct FileAttr {
   }
 };
 
+// Opaque per-open handle for the fd data plane. A handle pins the *path* the
+// descriptor was opened with — not the inode — so handle I/O stays observably
+// identical to the path API: if the name is unlinked or renamed away, handle
+// operations fail exactly like a fresh path walk would (this VFS has no
+// open-unlink semantics; see src/vfs/vfs.h). What the handle buys is the
+// steady state: while the namespace is quiet, I/O through it never walks the
+// path again.
+using InodeHandle = uint64_t;
+inline constexpr InodeHandle kInvalidHandle = 0;
+
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
@@ -65,6 +75,51 @@ class FileSystem {
   virtual Status Fsync(const std::string& path) = 0;
 
   virtual std::string Name() const = 0;
+
+  // ---- Handle-based data plane (optional acceleration) -------------------
+  //
+  // Implementations that can pin an open file may override this block; the
+  // defaults keep every path-only file system (memfs, legacyfs shim, procfs,
+  // specfs) source-compatible. Callers must treat kENOSYS as "use the path
+  // API" — Vfs::Open does exactly that and falls back silently.
+  //
+  // Contract: every handle operation is observably identical to the
+  // corresponding path operation on the opened path, including error codes
+  // and injected semantic faults. Acceleration may change timing only.
+
+  virtual bool SupportsHandleIo() const { return false; }
+
+  // Pins `path` (a normalized absolute path to an existing regular file) and
+  // returns a handle for it. kEISDIR for directories.
+  virtual Result<InodeHandle> OpenByPath(const std::string& path) {
+    (void)path;
+    return Errno::kENOSYS;
+  }
+
+  // Releases a handle. Unknown handles are ignored (close is idempotent).
+  virtual void CloseHandle(InodeHandle handle) { (void)handle; }
+
+  // Reads up to `length` bytes at `offset`; short reads only at EOF.
+  virtual Result<Bytes> ReadAt(InodeHandle handle, uint64_t offset, uint64_t length) {
+    (void)handle, (void)offset, (void)length;
+    return Errno::kENOSYS;
+  }
+
+  // Writes all of `data` at `offset`, zero-filling any gap beyond EOF.
+  virtual Status WriteAt(InodeHandle handle, uint64_t offset, ByteView data) {
+    (void)handle, (void)offset, (void)data;
+    return Status::Error(Errno::kENOSYS);
+  }
+
+  virtual Result<FileAttr> StatHandle(InodeHandle handle) {
+    (void)handle;
+    return Errno::kENOSYS;
+  }
+
+  virtual Status FsyncHandle(InodeHandle handle) {
+    (void)handle;
+    return Status::Error(Errno::kENOSYS);
+  }
 };
 
 }  // namespace skern

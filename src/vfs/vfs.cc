@@ -28,7 +28,7 @@ Status Vfs::Unmount(const std::string& mountpoint) {
   }
   // Open files on this mount pin it.
   for (const auto& [fd, file] : open_files_) {
-    if (file.fs == it->second) {
+    if (file->fs == it->second) {
       return Status::Error(Errno::kEBUSY);
     }
   }
@@ -82,20 +82,20 @@ Result<Vfs::ResolvedPath> Vfs::Resolve(const std::string& path) const {
 Status Vfs::Mkdir(const std::string& path) {
   SKERN_COUNTER_INC("vfs.mkdir.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
-  ++stats_.dispatches;
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Mkdir(r.fs_path);
 }
 
 Status Vfs::Rmdir(const std::string& path) {
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
-  ++stats_.dispatches;
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Rmdir(r.fs_path);
 }
 
 Status Vfs::Unlink(const std::string& path) {
   SKERN_COUNTER_INC("vfs.unlink.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
-  ++stats_.dispatches;
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Unlink(r.fs_path);
 }
 
@@ -105,26 +105,26 @@ Status Vfs::Rename(const std::string& from, const std::string& to) {
   if (rf.fs != rt.fs) {
     return Status::Error(Errno::kEXDEV);
   }
-  ++stats_.dispatches;
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return rf.fs->Rename(rf.fs_path, rt.fs_path);
 }
 
 Result<FileAttr> Vfs::Stat(const std::string& path) {
   SKERN_COUNTER_INC("vfs.stat.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
-  ++stats_.dispatches;
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Stat(r.fs_path);
 }
 
 Result<std::vector<std::string>> Vfs::Readdir(const std::string& path) {
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
-  ++stats_.dispatches;
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Readdir(r.fs_path);
 }
 
 Status Vfs::Truncate(const std::string& path, uint64_t size) {
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
-  ++stats_.dispatches;
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Truncate(r.fs_path, size);
 }
 
@@ -137,7 +137,7 @@ Status Vfs::SyncAll() {
     }
   }
   for (const auto& fs : all) {
-    ++stats_.dispatches;
+    counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
     SKERN_RETURN_IF_ERROR(fs->Sync());
   }
   return Status::Ok();
@@ -151,13 +151,13 @@ Result<Fd> Vfs::Open(const std::string& path, uint32_t flags) {
     return Errno::kEINVAL;
   }
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
-  ++stats_.dispatches;
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   auto attr = r.fs->Stat(r.fs_path);
   if (!attr.ok()) {
     if (attr.error() != Errno::kENOENT || (flags & kOpenCreate) == 0) {
       return attr.error();
     }
-    ++stats_.dispatches;
+    counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
     SKERN_RETURN_IF_ERROR(r.fs->Create(r.fs_path));
     attr = FileAttr{false, 0};
   }
@@ -165,64 +165,123 @@ Result<Fd> Vfs::Open(const std::string& path, uint32_t flags) {
     return Errno::kEISDIR;
   }
   if ((flags & kOpenTrunc) != 0 && (flags & kOpenWrite) != 0) {
-    ++stats_.dispatches;
+    counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
     SKERN_RETURN_IF_ERROR(r.fs->Truncate(r.fs_path, 0));
     attr->size = 0;
   }
-  MutexGuard guard(mutex_);
-  if (open_files_.size() >= max_open_files_) {
-    return Errno::kEMFILE;
+  // Pin an inode handle for the data plane. Failure is not an error: the
+  // path was stat-able a moment ago, so either the fs has no handle support
+  // (kENOSYS) or a concurrent namespace change raced us — both mean "use
+  // path dispatch", which is always correct.
+  InodeHandle handle = kInvalidHandle;
+  if (handle_accel_.load(std::memory_order_relaxed) && r.fs->SupportsHandleIo()) {
+    counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+    auto opened = r.fs->OpenByPath(r.fs_path);
+    if (opened.ok()) {
+      handle = *opened;
+    }
   }
-  Fd fd = next_fd_++;
-  OpenFile file;
-  file.fs = r.fs;
-  file.fs_path = r.fs_path;
-  file.flags = flags;
-  file.offset = (flags & kOpenAppend) != 0 ? attr->size : 0;
-  open_files_[fd] = std::move(file);
-  ++stats_.opens;
-  return fd;
+  auto file = std::make_shared<OpenFile>();
+  file->fs = r.fs;
+  file->fs_path = r.fs_path;
+  file->flags = flags;
+  file->handle = handle;
+  {
+    SpinLockGuard pos(file->pos_lock);
+    file->cursor = (flags & kOpenAppend) != 0 ? attr->size : 0;
+  }
+  {
+    MutexGuard guard(mutex_);
+    if (open_files_.size() < max_open_files_) {
+      Fd fd = next_fd_++;
+      open_files_.emplace(fd, std::move(file));
+      counters_.opens.fetch_add(1, std::memory_order_relaxed);
+      return fd;
+    }
+  }
+  if (handle != kInvalidHandle) {
+    counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+    r.fs->CloseHandle(handle);
+  }
+  return Errno::kEMFILE;
 }
 
 Status Vfs::Close(Fd fd) {
-  MutexGuard guard(mutex_);
-  return open_files_.erase(fd) > 0 ? Status::Ok() : Status::Error(Errno::kEBADF);
+  std::shared_ptr<OpenFile> file;
+  {
+    MutexGuard guard(mutex_);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end()) {
+      return Status::Error(Errno::kEBADF);
+    }
+    file = std::move(it->second);
+    open_files_.erase(it);
+  }
+  if (file->handle != kInvalidHandle) {
+    counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+    file->fs->CloseHandle(file->handle);
+  }
+  return Status::Ok();
 }
 
-Result<Vfs::OpenFile*> Vfs::FindFd(Fd fd) {
+Result<std::shared_ptr<Vfs::OpenFile>> Vfs::FindFd(Fd fd) const {
+  MutexGuard guard(mutex_);
   auto it = open_files_.find(fd);
   if (it == open_files_.end()) {
     return Errno::kEBADF;
   }
-  return &it->second;
+  return it->second;
+}
+
+Result<Bytes> Vfs::DispatchRead(OpenFile& file, uint64_t offset, uint64_t length) {
+  if (file.handle != kInvalidHandle) {
+    auto out = file.fs->ReadAt(file.handle, offset, length);
+    if (out.ok() || out.error() != Errno::kENOSYS) {
+      return out;
+    }
+  }
+  return file.fs->Read(file.fs_path, offset, length);
+}
+
+Status Vfs::DispatchWrite(OpenFile& file, uint64_t offset, ByteView data) {
+  if (file.handle != kInvalidHandle) {
+    Status out = file.fs->WriteAt(file.handle, offset, data);
+    if (out.ok() || out.code() != Errno::kENOSYS) {
+      return out;
+    }
+  }
+  return file.fs->Write(file.fs_path, offset, data);
+}
+
+Result<FileAttr> Vfs::DispatchStat(OpenFile& file) {
+  if (file.handle != kInvalidHandle) {
+    auto out = file.fs->StatHandle(file.handle);
+    if (out.ok() || out.error() != Errno::kENOSYS) {
+      return out;
+    }
+  }
+  return file.fs->Stat(file.fs_path);
 }
 
 Result<Bytes> Vfs::Read(Fd fd, uint64_t length) {
   SKERN_TIMED_SCOPE("vfs.read.latency_ns");
   SKERN_COUNTER_INC("vfs.read.count");
   SKERN_TRACE("vfs", "read", static_cast<uint64_t>(fd), length);
-  std::shared_ptr<FileSystem> fs;
-  std::string path;
-  uint64_t offset;
-  {
-    MutexGuard guard(mutex_);
-    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
-    if ((file->flags & kOpenRead) == 0) {
-      return Errno::kEBADF;
-    }
-    fs = file->fs;
-    path = file->fs_path;
-    offset = file->offset;
+  SKERN_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, FindFd(fd));
+  if ((file->flags & kOpenRead) == 0) {
+    return Errno::kEBADF;
   }
-  ++stats_.dispatches;
-  ++stats_.reads;
-  SKERN_ASSIGN_OR_RETURN(Bytes data, fs->Read(path, offset, length));
+  uint64_t offset = 0;
   {
-    MutexGuard guard(mutex_);
-    auto it = open_files_.find(fd);
-    if (it != open_files_.end()) {
-      it->second.offset = offset + data.size();
-    }
+    SpinLockGuard pos(file->pos_lock);
+    offset = file->cursor;
+  }
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  counters_.reads.fetch_add(1, std::memory_order_relaxed);
+  SKERN_ASSIGN_OR_RETURN(Bytes data, DispatchRead(*file, offset, length));
+  {
+    SpinLockGuard pos(file->pos_lock);
+    file->cursor = offset + data.size();
   }
   return data;
 }
@@ -231,34 +290,31 @@ Status Vfs::Write(Fd fd, ByteView data) {
   SKERN_TIMED_SCOPE("vfs.write.latency_ns");
   SKERN_COUNTER_INC("vfs.write.count");
   SKERN_TRACE("vfs", "write", static_cast<uint64_t>(fd), data.size());
-  std::shared_ptr<FileSystem> fs;
-  std::string path;
-  uint64_t offset;
-  {
-    MutexGuard guard(mutex_);
-    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
-    if ((file->flags & kOpenWrite) == 0) {
-      return Status::Error(Errno::kEBADF);
-    }
-    fs = file->fs;
-    path = file->fs_path;
-    if ((file->flags & kOpenAppend) != 0) {
-      auto attr = fs->Stat(path);
-      if (attr.ok()) {
-        file->offset = attr->size;
-      }
-    }
-    offset = file->offset;
+  SKERN_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, FindFd(fd));
+  if ((file->flags & kOpenWrite) == 0) {
+    return Status::Error(Errno::kEBADF);
   }
-  ++stats_.dispatches;
-  ++stats_.writes;
-  SKERN_RETURN_IF_ERROR(fs->Write(path, offset, data));
-  {
-    MutexGuard guard(mutex_);
-    auto it = open_files_.find(fd);
-    if (it != open_files_.end()) {
-      it->second.offset = offset + data.size();
+  uint64_t offset = 0;
+  if ((file->flags & kOpenAppend) != 0) {
+    // Re-stat so appends land at the current EOF even if someone else grew
+    // the file; a failed stat keeps the last cursor (mirrors the path-era
+    // behaviour). The fs call happens before pos_lock — never under it.
+    auto attr = DispatchStat(*file);
+    SpinLockGuard pos(file->pos_lock);
+    if (attr.ok()) {
+      file->cursor = attr->size;
     }
+    offset = file->cursor;
+  } else {
+    SpinLockGuard pos(file->pos_lock);
+    offset = file->cursor;
+  }
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  SKERN_RETURN_IF_ERROR(DispatchWrite(*file, offset, data));
+  {
+    SpinLockGuard pos(file->pos_lock);
+    file->cursor = offset + data.size();
   }
   return Status::Ok();
 }
@@ -267,46 +323,32 @@ Result<Bytes> Vfs::Pread(Fd fd, uint64_t offset, uint64_t length) {
   SKERN_TIMED_SCOPE("vfs.read.latency_ns");
   SKERN_COUNTER_INC("vfs.read.count");
   SKERN_TRACE("vfs", "pread", static_cast<uint64_t>(fd), length);
-  std::shared_ptr<FileSystem> fs;
-  std::string path;
-  {
-    MutexGuard guard(mutex_);
-    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
-    if ((file->flags & kOpenRead) == 0) {
-      return Errno::kEBADF;
-    }
-    fs = file->fs;
-    path = file->fs_path;
+  SKERN_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, FindFd(fd));
+  if ((file->flags & kOpenRead) == 0) {
+    return Errno::kEBADF;
   }
-  ++stats_.dispatches;
-  ++stats_.reads;
-  return fs->Read(path, offset, length);
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  counters_.reads.fetch_add(1, std::memory_order_relaxed);
+  return DispatchRead(*file, offset, length);
 }
 
 Status Vfs::Pwrite(Fd fd, uint64_t offset, ByteView data) {
   SKERN_TIMED_SCOPE("vfs.write.latency_ns");
   SKERN_COUNTER_INC("vfs.write.count");
   SKERN_TRACE("vfs", "pwrite", static_cast<uint64_t>(fd), data.size());
-  std::shared_ptr<FileSystem> fs;
-  std::string path;
-  {
-    MutexGuard guard(mutex_);
-    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
-    if ((file->flags & kOpenWrite) == 0) {
-      return Status::Error(Errno::kEBADF);
-    }
-    fs = file->fs;
-    path = file->fs_path;
+  SKERN_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, FindFd(fd));
+  if ((file->flags & kOpenWrite) == 0) {
+    return Status::Error(Errno::kEBADF);
   }
-  ++stats_.dispatches;
-  ++stats_.writes;
-  return fs->Write(path, offset, data);
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  return DispatchWrite(*file, offset, data);
 }
 
 Result<uint64_t> Vfs::Seek(Fd fd, uint64_t offset) {
-  MutexGuard guard(mutex_);
-  SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
-  file->offset = offset;
+  SKERN_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, FindFd(fd));
+  SpinLockGuard pos(file->pos_lock);
+  file->cursor = offset;
   return offset;
 }
 
@@ -314,21 +356,29 @@ Status Vfs::Fsync(Fd fd) {
   SKERN_TIMED_SCOPE("vfs.fsync.latency_ns");
   SKERN_COUNTER_INC("vfs.fsync.count");
   SKERN_TRACE("vfs", "fsync", static_cast<uint64_t>(fd));
-  std::shared_ptr<FileSystem> fs;
-  std::string path;
-  {
-    MutexGuard guard(mutex_);
-    SKERN_ASSIGN_OR_RETURN(OpenFile * file, FindFd(fd));
-    fs = file->fs;
-    path = file->fs_path;
+  SKERN_ASSIGN_OR_RETURN(std::shared_ptr<OpenFile> file, FindFd(fd));
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  if (file->handle != kInvalidHandle) {
+    Status out = file->fs->FsyncHandle(file->handle);
+    if (out.ok() || out.code() != Errno::kENOSYS) {
+      return out;
+    }
   }
-  ++stats_.dispatches;
-  return fs->Fsync(path);
+  return file->fs->Fsync(file->fs_path);
 }
 
 size_t Vfs::OpenFileCount() const {
   MutexGuard guard(mutex_);
   return open_files_.size();
+}
+
+VfsStats Vfs::stats() const {
+  VfsStats s;
+  s.opens = counters_.opens.load(std::memory_order_relaxed);
+  s.reads = counters_.reads.load(std::memory_order_relaxed);
+  s.writes = counters_.writes.load(std::memory_order_relaxed);
+  s.dispatches = counters_.dispatches.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace skern

@@ -14,6 +14,7 @@
 #ifndef SKERN_SRC_VFS_VFS_H_
 #define SKERN_SRC_VFS_VFS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -82,15 +83,32 @@ class Vfs {
   Result<uint64_t> Seek(Fd fd, uint64_t offset);
   Status Fsync(Fd fd);
 
+  // When enabled (the default) Open also opens an inode handle on file
+  // systems that support handle I/O, and the descriptor data plane goes
+  // through ReadAt/WriteAt/FsyncHandle instead of re-walking the path on
+  // every call. Affects descriptors opened after the call; used by the
+  // differential tests and benchmarks to pit the two planes against each
+  // other on identical workloads.
+  void SetHandleAcceleration(bool enabled) {
+    handle_accel_.store(enabled, std::memory_order_relaxed);
+  }
+
   size_t OpenFileCount() const;
-  const VfsStats& stats() const { return stats_; }
+  VfsStats stats() const;
 
  private:
+  // Per-descriptor state, heap-allocated and shared with in-flight syscalls
+  // so the data plane never touches the VFS-wide lock: FindFd copies the
+  // shared_ptr out under mutex_, and from there on only the descriptor's own
+  // pos_lock (a leaf — nothing else is ever acquired under it) serializes
+  // the sequential cursor.
   struct OpenFile {
     std::shared_ptr<FileSystem> fs;
     std::string fs_path;  // path within the mounted fs
     uint32_t flags = 0;
-    uint64_t offset = 0;
+    InodeHandle handle = kInvalidHandle;  // kInvalidHandle = path dispatch
+    mutable TrackedSpinLock pos_lock{"vfs.fd"};
+    uint64_t cursor SKERN_GUARDED_BY(pos_lock) = 0;
   };
 
   struct ResolvedPath {
@@ -100,14 +118,28 @@ class Vfs {
 
   // Longest-prefix mount resolution on a normalized path.
   Result<ResolvedPath> Resolve(const std::string& path) const;
-  Result<OpenFile*> FindFd(Fd fd);
+  Result<std::shared_ptr<OpenFile>> FindFd(Fd fd) const;
+
+  // Data-plane dispatch: handle ops when the descriptor carries one, path
+  // ops otherwise (kENOSYS from a handle op also falls back to the path).
+  Result<Bytes> DispatchRead(OpenFile& file, uint64_t offset, uint64_t length);
+  Status DispatchWrite(OpenFile& file, uint64_t offset, ByteView data);
+  Result<FileAttr> DispatchStat(OpenFile& file);
 
   size_t max_open_files_;
   mutable TrackedMutex mutex_{"vfs.lock"};
-  std::map<std::string, std::shared_ptr<FileSystem>> mounts_;
-  std::map<Fd, OpenFile> open_files_;
-  Fd next_fd_ = 3;  // 0-2 reserved, like a real process
-  VfsStats stats_;
+  std::map<std::string, std::shared_ptr<FileSystem>> mounts_ SKERN_GUARDED_BY(mutex_);
+  std::map<Fd, std::shared_ptr<OpenFile>> open_files_ SKERN_GUARDED_BY(mutex_);
+  Fd next_fd_ SKERN_GUARDED_BY(mutex_) = 3;  // 0-2 reserved, like a real process
+  std::atomic<bool> handle_accel_{true};
+  // Monotonic syscall counters; atomics so the data plane can bump them
+  // without any lock (stats() snapshots them into a plain VfsStats).
+  mutable struct {
+    std::atomic<uint64_t> opens{0};
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> dispatches{0};
+  } counters_;
 };
 
 }  // namespace skern

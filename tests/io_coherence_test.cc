@@ -1,0 +1,444 @@
+// Coherence tests for the file data-plane fast path: handle-based I/O, the
+// per-inode block-map cache and read-ahead are pure acceleration, so a
+// handle-accelerated Vfs-over-SafeFs stack must stay observably identical —
+// per-op error codes, returned bytes, final tree, and the on-disk image byte
+// for byte — to the path-dispatch baseline and to the in-memory model on any
+// workload, including namespace churn under open descriptors and injected
+// semantic faults.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/block/block_device.h"
+#include "src/fs/memfs/memfs.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/fs/specfs/specfs.h"
+#include "src/sync/lock_registry.h"
+#include "src/vfs/vfs.h"
+
+namespace skern {
+namespace {
+
+constexpr uint64_t kDiskBlocks = 512;
+constexpr uint64_t kInodes = 96;
+
+void ExpectSameTree(FileSystem& fs, const FsModel& reference, const std::string& who) {
+  auto diffs = DiffFsAgainstModel(fs, reference.state());
+  EXPECT_TRUE(diffs.empty()) << who << ": " << diffs.front();
+}
+
+// Every block of both devices must match: handle dispatch may not change
+// even the placement of data or metadata, or crash images stop being
+// reproducible across configurations.
+void ExpectIdenticalDisks(RamDisk& a, RamDisk& b) {
+  Bytes ca(kBlockSize, 0);
+  Bytes cb(kBlockSize, 0);
+  for (uint64_t block = 0; block < kDiskBlocks; ++block) {
+    ASSERT_TRUE(a.ReadBlock(block, MutableByteView(ca)).ok());
+    ASSERT_TRUE(b.ReadBlock(block, MutableByteView(cb)).ok());
+    ASSERT_EQ(ca, cb) << "disk images differ at block " << block;
+  }
+}
+
+// Folds returned data into a short discriminating digest so op logs stay
+// comparable without storing every byte.
+std::string Digest(const Bytes& data) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : data) {
+    h = (h ^ b) * 1099511628211ull;
+  }
+  return std::to_string(data.size()) + ":" + std::to_string(h);
+}
+
+std::string Code(const Status& s) { return ErrnoName(s.code()); }
+
+// One deterministic fd-level workload: opens, closes, sequential and
+// positional I/O, seeks, fsyncs, and namespace churn (unlink / truncate /
+// rename) under live descriptors. Every op's observable outcome is logged;
+// two stacks behave identically iff their logs match line for line.
+std::vector<std::string> RunFdScript(Vfs& vfs, uint64_t seed) {
+  std::vector<std::string> log;
+  Rng rng(seed);
+  const std::vector<std::string> pool{"/f0", "/f1", "/f2", "/f3",
+                                      "/d/g0", "/d/g1", "/d/g2"};
+  (void)vfs.Mkdir("/d");
+  std::vector<Fd> fds;
+  for (int i = 0; i < 700; ++i) {
+    const std::string& p = pool[rng.NextBelow(pool.size())];
+    const std::string& q = pool[rng.NextBelow(pool.size())];
+    switch (rng.NextBelow(12)) {
+      case 0: {  // open
+        uint32_t flags = kOpenRead | kOpenWrite | kOpenCreate;
+        switch (rng.NextBelow(4)) {
+          case 0:
+            flags |= kOpenAppend;
+            break;
+          case 1:
+            flags |= kOpenTrunc;
+            break;
+          case 2:
+            flags = kOpenRead;  // read-only, no create
+            break;
+          default:
+            break;
+        }
+        auto fd = vfs.Open(p, flags);
+        if (fd.ok()) {
+          fds.push_back(*fd);
+        }
+        log.push_back("open " + p + " -> " +
+                      (fd.ok() ? std::to_string(*fd) : ErrnoName(fd.error())));
+        break;
+      }
+      case 1: {  // close
+        if (!fds.empty()) {
+          size_t at = rng.NextBelow(fds.size());
+          log.push_back("close -> " + Code(vfs.Close(fds[at])));
+          fds.erase(fds.begin() + at);
+        }
+        break;
+      }
+      case 2:
+      case 3: {  // sequential read
+        if (!fds.empty()) {
+          auto out = vfs.Read(fds[rng.NextBelow(fds.size())], 1 + rng.NextBelow(5000));
+          log.push_back("read -> " + (out.ok() ? Digest(*out) : ErrnoName(out.error())));
+        }
+        break;
+      }
+      case 4: {  // sequential write
+        if (!fds.empty()) {
+          Bytes data = rng.NextBytes(1 + rng.NextBelow(3000));
+          log.push_back("write -> " +
+                        Code(vfs.Write(fds[rng.NextBelow(fds.size())], ByteView(data))));
+        }
+        break;
+      }
+      case 5: {  // positional read
+        if (!fds.empty()) {
+          auto out = vfs.Pread(fds[rng.NextBelow(fds.size())], rng.NextBelow(20000),
+                               1 + rng.NextBelow(4096));
+          log.push_back("pread -> " + (out.ok() ? Digest(*out) : ErrnoName(out.error())));
+        }
+        break;
+      }
+      case 6: {  // positional write
+        if (!fds.empty()) {
+          Bytes data = rng.NextBytes(1 + rng.NextBelow(2000));
+          log.push_back("pwrite -> " + Code(vfs.Pwrite(fds[rng.NextBelow(fds.size())],
+                                                       rng.NextBelow(16000), ByteView(data))));
+        }
+        break;
+      }
+      case 7: {  // seek
+        if (!fds.empty()) {
+          auto out = vfs.Seek(fds[rng.NextBelow(fds.size())], rng.NextBelow(20000));
+          log.push_back("seek -> " +
+                        (out.ok() ? std::to_string(*out) : ErrnoName(out.error())));
+        }
+        break;
+      }
+      case 8: {  // fsync — also re-enables the clean fast path
+        if (!fds.empty() && rng.NextBelow(3) == 0) {
+          log.push_back("fsync -> " + Code(vfs.Fsync(fds[rng.NextBelow(fds.size())])));
+        }
+        break;
+      }
+      case 9:  // namespace churn under open descriptors
+        log.push_back("unlink " + p + " -> " + Code(vfs.Unlink(p)));
+        break;
+      case 10:
+        log.push_back("trunc " + p + " -> " +
+                      Code(vfs.Truncate(p, rng.NextBelow(20000))));
+        break;
+      default:
+        log.push_back("rename " + p + " " + q + " -> " + Code(vfs.Rename(p, q)));
+        break;
+    }
+  }
+  while (!fds.empty()) {
+    (void)vfs.Close(fds.back());
+    fds.pop_back();
+  }
+  return log;
+}
+
+void ExpectSameLog(const std::vector<std::string>& a, const std::vector<std::string>& b,
+                   const std::string& who, uint64_t seed) {
+  ASSERT_EQ(a.size(), b.size()) << who << " seed " << seed;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << who << " diverged at op " << i << " (seed " << seed << ")";
+  }
+}
+
+class IoCoherenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LockRegistry::Get().ResetForTesting(); }
+};
+
+// The headline property: a randomized fd-level workload behaves identically
+// on the handle-accelerated stack, the path-dispatch stack, and the
+// in-memory model — per-op outcomes, final trees, and (between the two
+// SafeFs runs) bit-identical disk images after sync.
+TEST_F(IoCoherenceTest, RandomizedFdWorkloadIsBitIdenticalToPathPlane) {
+  uint64_t total_fast_reads = 0;
+  for (uint64_t seed : {41u, 412u, 4121u}) {
+    auto memfs = std::make_shared<MemFs>();
+    Vfs model_vfs;
+    ASSERT_TRUE(model_vfs.Mount("/", memfs).ok());
+    auto model_log = RunFdScript(model_vfs, seed);
+    ASSERT_FALSE(model_log.empty());
+
+    RamDisk disk_accel(kDiskBlocks, seed);
+    auto accel = SafeFs::Format(disk_accel, kInodes, 64).value();
+    Vfs accel_vfs;
+    ASSERT_TRUE(accel_vfs.Mount("/", accel).ok());
+    auto accel_log = RunFdScript(accel_vfs, seed);
+    ExpectSameLog(accel_log, model_log, "vfs(handles on) vs model", seed);
+    ExpectSameTree(*accel, memfs->model(), "safefs(handles on)");
+
+    RamDisk disk_base(kDiskBlocks, seed);
+    auto base = SafeFs::Format(disk_base, kInodes, 64).value();
+    Vfs base_vfs;
+    base_vfs.SetHandleAcceleration(false);
+    ASSERT_TRUE(base_vfs.Mount("/", base).ok());
+    auto base_log = RunFdScript(base_vfs, seed);
+    ExpectSameLog(base_log, model_log, "vfs(handles off) vs model", seed);
+    ExpectSameTree(*base, memfs->model(), "safefs(handles off)");
+
+    ASSERT_TRUE(accel_vfs.SyncAll().ok());
+    ASSERT_TRUE(base_vfs.SyncAll().ok());
+    ExpectIdenticalDisks(disk_accel, disk_base);
+
+    total_fast_reads += accel->io_stats().fast_reads;
+    EXPECT_EQ(base->io_stats().fast_reads, 0u) << "seed " << seed;
+  }
+  // The accelerated runs must actually have exercised the fast path.
+  EXPECT_GT(total_fast_reads, 0u);
+}
+
+// A handle pins the path, not the inode: once the name is gone (unlink,
+// rename-away) descriptor I/O must fail exactly like a fresh path walk, and
+// once a new file takes the name, the descriptor must see the new file.
+TEST_F(IoCoherenceTest, StaleHandlesFailAndRebindLikePathWalks) {
+  auto run = [](bool accel) {
+    std::vector<std::string> log;
+    RamDisk disk(kDiskBlocks, 51);
+    auto fs = SafeFs::Format(disk, kInodes, 64).value();
+    Vfs vfs;
+    vfs.SetHandleAcceleration(accel);
+    EXPECT_TRUE(vfs.Mount("/", fs).ok());
+
+    auto observe = [&log](const char* tag, const Result<Bytes>& r) {
+      log.push_back(std::string(tag) + " -> " +
+                    (r.ok() ? Digest(*r) : ErrnoName(r.error())));
+    };
+
+    auto fd = vfs.Open("/victim", kOpenRead | kOpenWrite | kOpenCreate);
+    EXPECT_TRUE(fd.ok());
+    EXPECT_TRUE(vfs.Write(*fd, BytesFromString("original content")).ok());
+    EXPECT_TRUE(vfs.Fsync(*fd).ok());
+    observe("read-live", vfs.Pread(*fd, 0, 64));
+
+    // Unlink under the open descriptor: no open-unlink semantics, so the
+    // descriptor fails like the path would.
+    EXPECT_TRUE(vfs.Unlink("/victim").ok());
+    observe("read-unlinked", vfs.Pread(*fd, 0, 64));
+    log.push_back("write-unlinked -> " + Code(vfs.Pwrite(*fd, 0, BytesFromString("x"))));
+
+    // Recreate the name: the descriptor rebinds to the new (empty) file.
+    EXPECT_TRUE(vfs.Open("/victim", kOpenWrite | kOpenCreate).ok());
+    observe("read-recreated", vfs.Pread(*fd, 0, 64));
+
+    // Replace via rename: the descriptor sees the file now carrying the name.
+    auto fd2 = vfs.Open("/other", kOpenWrite | kOpenCreate);
+    EXPECT_TRUE(fd2.ok());
+    EXPECT_TRUE(vfs.Write(*fd2, BytesFromString("replacement")).ok());
+    EXPECT_TRUE(vfs.Close(*fd2).ok());
+    EXPECT_TRUE(vfs.Rename("/other", "/victim").ok());
+    observe("read-replaced", vfs.Pread(*fd, 0, 64));
+
+    // Rename the name away again: back to ENOENT.
+    EXPECT_TRUE(vfs.Rename("/victim", "/elsewhere").ok());
+    observe("read-renamed-away", vfs.Pread(*fd, 0, 64));
+
+    // Truncate under the descriptor: reads clamp to the new EOF.
+    auto fd3 = vfs.Open("/elsewhere", kOpenRead | kOpenWrite);
+    EXPECT_TRUE(fd3.ok());
+    EXPECT_TRUE(vfs.Fsync(*fd3).ok());
+    observe("read-before-trunc", vfs.Pread(*fd3, 0, 64));
+    EXPECT_TRUE(vfs.Truncate("/elsewhere", 5).ok());
+    observe("read-after-trunc", vfs.Pread(*fd3, 0, 64));
+    return log;
+  };
+  auto accel = run(true);
+  auto base = run(false);
+  ASSERT_EQ(accel.size(), base.size());
+  for (size_t i = 0; i < accel.size(); ++i) {
+    EXPECT_EQ(accel[i], base[i]) << "diverged at step " << i;
+  }
+  // Spot-check the semantics themselves, not just agreement.
+  EXPECT_EQ(accel[1], "read-unlinked -> ENOENT");
+  EXPECT_EQ(accel[2], "write-unlinked -> ENOENT");
+  EXPECT_EQ(accel[3], "read-recreated -> " + Digest(Bytes{}));
+  EXPECT_EQ(accel[4], "read-replaced -> " + Digest(BytesFromString("replacement")));
+  EXPECT_EQ(accel[5], "read-renamed-away -> ENOENT");
+}
+
+// Semantic faults are bugs the fast path must faithfully mirror, not mask
+// and not amplify: a write that drops its tail byte and a stat that lies
+// about size look exactly as broken through handles as through paths.
+TEST_F(IoCoherenceTest, SemanticFaultsLookIdenticalThroughHandles) {
+  auto run = [](bool accel) {
+    std::vector<std::string> log;
+    RamDisk disk(kDiskBlocks, 52);
+    auto fs = SafeFs::Format(disk, kInodes, 64).value();
+    Vfs vfs;
+    vfs.SetHandleAcceleration(accel);
+    EXPECT_TRUE(vfs.Mount("/", fs).ok());
+
+    auto fd = vfs.Open("/buggy", kOpenRead | kOpenWrite | kOpenCreate);
+    EXPECT_TRUE(fd.ok());
+    fs->SetSemanticFault(SafeFsSemanticFault::kWriteIgnoresTailByte);
+    log.push_back("write -> " + Code(vfs.Write(*fd, BytesFromString("abcdef"))));
+    fs->SetSemanticFault(SafeFsSemanticFault::kNone);
+    auto out = vfs.Pread(*fd, 0, 64);
+    log.push_back("read -> " + (out.ok() ? Digest(*out) : ErrnoName(out.error())));
+
+    // kStatSizeOffByOne feeds the append cursor through StatHandle/Stat; the
+    // appended byte must land at the same (wrong) offset on both planes.
+    fs->SetSemanticFault(SafeFsSemanticFault::kStatSizeOffByOne);
+    auto fda = vfs.Open("/buggy", kOpenWrite | kOpenAppend);
+    EXPECT_TRUE(fda.ok());
+    log.push_back("append -> " + Code(vfs.Write(*fda, BytesFromString("Z"))));
+    fs->SetSemanticFault(SafeFsSemanticFault::kNone);
+    auto after = vfs.Pread(*fd, 0, 64);
+    log.push_back("after -> " + (after.ok() ? Digest(*after) : ErrnoName(after.error())));
+    return log;
+  };
+  auto accel = run(true);
+  auto base = run(false);
+  EXPECT_EQ(accel, base);
+  // The first fault is visible through the handle plane: the tail byte is
+  // gone, so only "abcde" came back.
+  EXPECT_EQ(accel[1], "read -> " + Digest(BytesFromString("abcde")));
+}
+
+// Warm sequential reads must be served by the fast path with read-ahead
+// actually engaging — and return exactly the written bytes.
+TEST_F(IoCoherenceTest, SequentialReadsEngageReadAheadAndStayCorrect) {
+  RamDisk disk(kDiskBlocks, 53);
+  auto fs = SafeFs::Format(disk, kInodes, 64).value();
+  Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("/", fs).ok());
+
+  constexpr uint64_t kFileBlocks = 24;
+  Rng rng(530);
+  Bytes content = rng.NextBytes(kFileBlocks * kBlockSize);
+  auto fd = vfs.Open("/seq", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.Pwrite(*fd, 0, ByteView(content)).ok());
+  ASSERT_TRUE(vfs.Fsync(*fd).ok());  // checkpoint: the inode is clean again
+
+  ASSERT_TRUE(vfs.Seek(*fd, 0).ok());
+  Bytes reread;
+  reread.reserve(content.size());
+  for (;;) {
+    auto chunk = vfs.Read(*fd, kBlockSize);
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->empty()) {
+      break;
+    }
+    reread.insert(reread.end(), chunk->begin(), chunk->end());
+  }
+  EXPECT_EQ(reread, content);
+
+  auto stats = fs->io_stats();
+  EXPECT_GT(stats.fast_reads, 0u);
+  EXPECT_GT(stats.blockmap_hits, 0u);
+  EXPECT_GT(stats.readahead_issued, 0u);
+  EXPECT_GT(stats.readahead_hits, 0u);
+}
+
+// Randomized interleaving across threads: each thread hammers its own file
+// through its own descriptor on one shared accelerated stack. Disjoint
+// files make the final logical state interleaving-independent, so the tree
+// must equal the model built by running the same per-thread scripts
+// sequentially. Run under TSAN in CI.
+TEST_F(IoCoherenceTest, EightThreadFdStressMatchesSequentialModel) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 150;
+
+  auto run_script = [](Vfs& vfs, int t) {
+    Rng rng(7000 + t);
+    const std::string path = "/t" + std::to_string(t) + "/f";
+    auto fd = vfs.Open(path, kOpenRead | kOpenWrite | kOpenCreate);
+    ASSERT_TRUE(fd.ok());
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      switch (rng.NextBelow(6)) {
+        case 0: {
+          Bytes data = rng.NextBytes(1 + rng.NextBelow(2000));
+          (void)vfs.Pwrite(*fd, rng.NextBelow(12000), ByteView(data));
+          break;
+        }
+        case 1:
+          (void)vfs.Pread(*fd, rng.NextBelow(16000), 1 + rng.NextBelow(4096));
+          break;
+        case 2:
+          (void)vfs.Read(*fd, 1 + rng.NextBelow(4096));
+          break;
+        case 3: {
+          Bytes data = rng.NextBytes(1 + rng.NextBelow(1000));
+          (void)vfs.Write(*fd, ByteView(data));
+          break;
+        }
+        case 4:
+          (void)vfs.Seek(*fd, rng.NextBelow(12000));
+          break;
+        default:
+          if (rng.NextBelow(8) == 0) {
+            (void)vfs.Fsync(*fd);
+          }
+          break;
+      }
+    }
+    ASSERT_TRUE(vfs.Close(*fd).ok());
+  };
+
+  RamDisk disk(kDiskBlocks, 54);
+  auto fs = SafeFs::Format(disk, kInodes, 64).value();
+  Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("/", fs).ok());
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(vfs.Mkdir("/t" + std::to_string(t)).ok());
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&vfs, &run_script, t] { run_script(vfs, t); });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+
+  // Sequential reference: same scripts, one at a time, on the model stack.
+  auto memfs = std::make_shared<MemFs>();
+  Vfs model_vfs;
+  ASSERT_TRUE(model_vfs.Mount("/", memfs).ok());
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(model_vfs.Mkdir("/t" + std::to_string(t)).ok());
+    run_script(model_vfs, t);
+  }
+  ExpectSameTree(*fs, memfs->model(), "safefs(8-thread fd stress)");
+
+  // The stress run must have touched both planes of the machinery.
+  auto stats = fs->io_stats();
+  EXPECT_GT(stats.fast_reads + stats.slow_reads, 0u);
+}
+
+}  // namespace
+}  // namespace skern

@@ -184,6 +184,49 @@ TEST_F(ProcFsTest, MetricsFileExportsDcacheCounters) {
   EXPECT_EQ(text.find("vfs.dcache.invalidations 0"), std::string::npos) << text;
 }
 
+TEST_F(ProcFsTest, MetricsFileExportsIoFastpathCounters) {
+  // Drive the handle data plane: write + fsync (clean inode), one slow read
+  // (warms the block map), then sequential fast reads that trigger
+  // read-ahead. Every data-plane counter must then be visible through
+  // /metrics — including the ones still at zero, which SafeFs registers
+  // eagerly at construction.
+  RamDisk disk(256, 12);
+  auto fs = SafeFs::Format(disk, 64, 16).value();
+  ASSERT_TRUE(fs->Create("/hot").ok());
+  auto handle = fs->OpenByPath("/hot");
+  ASSERT_TRUE(handle.ok());
+  Bytes data(8 * kBlockSize, 0xab);  // long enough that a sequential streak
+                                     // still has blocks ahead to prefetch
+  ASSERT_TRUE(fs->WriteAt(*handle, 0, ByteView(data)).ok());
+  ASSERT_TRUE(fs->FsyncHandle(*handle).ok());
+  for (uint64_t offset = 0; offset < data.size(); offset += kBlockSize) {
+    auto chunk = fs->ReadAt(*handle, offset, kBlockSize);
+    ASSERT_TRUE(chunk.ok());
+    ASSERT_EQ(chunk->size(), kBlockSize);
+  }
+  fs->CloseHandle(*handle);
+
+  auto io = fs->io_stats();
+  EXPECT_GT(io.fast_reads, 0u);
+  EXPECT_GT(io.slow_reads, 0u);
+  EXPECT_GT(io.blockmap_hits, 0u);
+  EXPECT_GT(io.readahead_issued, 0u);
+
+  ProcFs proc;
+  auto content = proc.Read("/metrics", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  std::string text = StringFromBytes(content.value());
+  for (const char* name :
+       {"safefs.io.fast_reads ", "safefs.io.slow_reads ", "safefs.readahead.issued ",
+        "safefs.readahead.hits ", "safefs.blockmap.hits ", "safefs.blockmap.misses ",
+        "sync.rwlock.contended "}) {
+    EXPECT_NE(text.find(name), std::string::npos) << "missing " << name << " in:\n" << text;
+  }
+  // The hot counters carry real traffic, not just their registration zeros.
+  EXPECT_EQ(text.find("safefs.io.fast_reads 0"), std::string::npos) << text;
+  EXPECT_EQ(text.find("safefs.blockmap.hits 0"), std::string::npos) << text;
+}
+
 TEST_F(ProcFsTest, TraceFileShowsBufferedEvents) {
   auto& session = obs::TraceSession::Get();
   session.ResetForTesting();

@@ -273,5 +273,69 @@ TEST_F(SafeFsTest, ManyFilesInOneDirectory) {
   EXPECT_EQ(f.Readdir("/many")->size(), 76u);
 }
 
+// Regression guard for the read EOF clamp: reads that straddle EOF return
+// exactly the readable span, reads at or past EOF return empty, and a huge
+// requested length never inflates the result — on both the path plane and
+// the handle plane, which share the post-resolution read core.
+TEST_F(SafeFsTest, ReadClampsAtEofOnBothPlanes) {
+  ASSERT_TRUE(fs_->Create("/clamp").ok());
+  Bytes data(kBlockSize + 100, 0x5a);  // EOF mid-way into the second block
+  ASSERT_TRUE(fs_->Write("/clamp", 0, ByteView(data)).ok());
+  auto handle = fs_->OpenByPath("/clamp");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(fs_->Sync().ok());  // let the handle plane go fast too
+
+  struct Case {
+    uint64_t offset;
+    uint64_t length;
+    uint64_t expect;
+  };
+  const Case cases[] = {
+      {0, data.size(), data.size()},            // exact
+      {0, data.size() + 1, data.size()},        // one past
+      {0, 1u << 30, data.size()},               // huge length
+      {kBlockSize, kBlockSize, 100},            // straddles EOF
+      {data.size() - 1, 4096, 1},               // last byte
+      {data.size(), 1, 0},                      // at EOF
+      {data.size() + 4096, 4096, 0},            // far past EOF
+      {1u << 30, 1u << 30, 0},                  // absurdly past EOF
+  };
+  for (const Case& c : cases) {
+    auto via_path = fs_->Read("/clamp", c.offset, c.length);
+    ASSERT_TRUE(via_path.ok()) << c.offset << "+" << c.length;
+    EXPECT_EQ(via_path->size(), c.expect) << c.offset << "+" << c.length;
+    auto via_handle = fs_->ReadAt(*handle, c.offset, c.length);
+    ASSERT_TRUE(via_handle.ok()) << c.offset << "+" << c.length;
+    EXPECT_EQ(*via_handle, *via_path) << c.offset << "+" << c.length;
+  }
+  fs_->CloseHandle(*handle);
+}
+
+// The clamp must track truncation immediately: shrinking moves EOF for the
+// very next read, growing exposes zero-filled bytes, on both planes.
+TEST_F(SafeFsTest, ReadClampFollowsTruncate) {
+  ASSERT_TRUE(fs_->Create("/moving").ok());
+  ASSERT_TRUE(fs_->Write("/moving", 0, Bytes(3000, 0x77)).ok());
+  auto handle = fs_->OpenByPath("/moving");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  EXPECT_EQ(fs_->ReadAt(*handle, 0, 1 << 20)->size(), 3000u);
+
+  ASSERT_TRUE(fs_->Truncate("/moving", 1000).ok());
+  EXPECT_EQ(fs_->Read("/moving", 0, 1 << 20)->size(), 1000u);
+  EXPECT_EQ(fs_->ReadAt(*handle, 0, 1 << 20)->size(), 1000u);
+  EXPECT_TRUE(fs_->ReadAt(*handle, 1000, 16)->empty());
+
+  ASSERT_TRUE(fs_->Truncate("/moving", 5000).ok());
+  auto grown = fs_->ReadAt(*handle, 0, 1 << 20);
+  ASSERT_TRUE(grown.ok());
+  ASSERT_EQ(grown->size(), 5000u);
+  EXPECT_EQ((*grown)[999], 0x77);
+  EXPECT_EQ((*grown)[1000], 0);  // the re-exposed tail reads zero
+  EXPECT_EQ((*grown)[4999], 0);
+  EXPECT_EQ(*grown, *fs_->Read("/moving", 0, 1 << 20));
+  fs_->CloseHandle(*handle);
+}
+
 }  // namespace
 }  // namespace skern
