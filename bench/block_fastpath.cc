@@ -32,6 +32,7 @@
 #include "src/block/block_device.h"
 #include "src/block/buffer_cache.h"
 #include "src/block/journal.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -217,6 +218,7 @@ int main(int argc, char** argv) {
   obs::TraceSession::Get().Stop();
   obs::SetMetricsEnabled(false);
   obs::SetLatencyTimingEnabled(false);
+  obs::SetFlightRecorderEnabled(false);
 
   int duration_ms = smoke ? 100 : 250;
   int commit_repeats = smoke ? 1 : 3;

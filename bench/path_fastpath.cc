@@ -34,6 +34,7 @@
 #include "src/base/bytes.h"
 #include "src/block/block_device.h"
 #include "src/fs/safefs/safefs.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/vfs/vfs.h"
@@ -256,6 +257,7 @@ int main(int argc, char** argv) {
   obs::TraceSession::Get().Stop();
   obs::SetMetricsEnabled(false);
   obs::SetLatencyTimingEnabled(false);
+  obs::SetFlightRecorderEnabled(false);
 
   int duration_ms = smoke ? 60 : 250;
   int cold_rounds = smoke ? 3 : 10;

@@ -2,11 +2,14 @@
 //
 // This file builds twice:
 //   - trace_overhead (instrumented): the normal libraries, tracepoints and
-//     metrics compiled in. Measures four configurations — "disabled" (every
+//     metrics compiled in. Measures five configurations — "disabled" (every
 //     runtime gate off: the residue is one relaxed load and predicted branch
 //     per site), "counters" (counter increments on, timing off), "metrics"
-//     (latency histograms also on, the default production shape), and
-//     "enabled" (a live trace session).
+//     (latency histograms also on), "flight" (the flight recorder too — the
+//     default production shape), and "enabled" (a live trace session).
+//     Every cell also reports "span_ns_per_op": the cost of one SKERN_SPAN
+//     bracket (begin+end) with an empty body, the microcost the span-tracing
+//     plane adds to an instrumented operation under that configuration.
 //   - trace_overhead_baseline (SKERN_OBS_COMPILED_OUT): the same workloads
 //     over hot-path sources recompiled with every macro erased — the true
 //     zero-instrumentation floor.
@@ -17,11 +20,17 @@
 // stays within 5% of compiled-out.
 //
 // Run:  ./build/bench/trace_overhead [baseline-path]
+//       ./build/bench/trace_overhead --smoke
+// --smoke measures only the span microcosts and exits nonzero if the
+// disabled-span residue exceeds a relaxed-load floor plus noise, or a fully
+// enabled span bracket exceeds its nanosecond budget (the CI gate).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,7 +39,9 @@
 #include "src/base/bytes.h"
 #include "src/net/network.h"
 #include "src/net/stack_modular.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/vfs/vfs.h"
 
@@ -121,7 +132,51 @@ struct PathTimes {
   double vfs_write_ns = 0;
   double vfs_read_ns = 0;
   double net_udp_ns = 0;
+  double span_ns = 0;
 };
+
+constexpr int kSpanProbeOps = 1 << 20;
+
+// The floor a dormant span site is allowed to cost: one relaxed atomic load
+// and a predicted not-taken branch, measured with the same loop shape as the
+// span probe. Only the compiler stands between this and zero, and it treats
+// the atomic load as opaque the same way it treats the span gate.
+#ifndef SKERN_OBS_COMPILED_OUT
+std::atomic<uint32_t> g_floor_gate{0};
+
+double RelaxedLoadNsPerOp() {
+  std::vector<double> xs;
+  uint32_t acc = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    uint64_t start = NowNs();
+    for (int i = 0; i < kSpanProbeOps; ++i) {
+      if (g_floor_gate.load(std::memory_order_relaxed) != 0) {
+        ++acc;
+      }
+    }
+    xs.push_back(static_cast<double>(NowNs() - start) / kSpanProbeOps);
+  }
+  if (acc != 0) {
+    std::fprintf(stderr, "floor gate fired\n");  // keeps `acc` observable
+  }
+  return Best(xs);
+}
+#endif  // SKERN_OBS_COMPILED_OUT
+
+// One empty SKERN_SPAN bracket per iteration: the begin/end pair is the
+// entire body, so this is the microcost a span adds to whatever operation it
+// wraps under the currently active gates.
+double SpanNsPerOp() {
+  std::vector<double> xs;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    uint64_t start = NowNs();
+    for (int i = 0; i < kSpanProbeOps; ++i) {
+      SKERN_SPAN("bench", "span_probe");
+    }
+    xs.push_back(static_cast<double>(NowNs() - start) / kSpanProbeOps);
+  }
+  return Best(xs);
+}
 
 // One repeat of each workload; returns ns/op per path.
 PathTimes RunOnce() {
@@ -184,13 +239,14 @@ PathTimes RunConfig() {
     r.push_back(t.vfs_read_ns);
     n.push_back(t.net_udp_ns);
   }
-  return PathTimes{Best(w), Best(r), Best(n)};
+  return PathTimes{Best(w), Best(r), Best(n), SpanNsPerOp()};
 }
 
 void PrintTimes(const char* indent, const PathTimes& t) {
   std::printf("%s\"vfs_write_ns_per_op\": %.1f,\n", indent, t.vfs_write_ns);
   std::printf("%s\"vfs_read_ns_per_op\": %.1f,\n", indent, t.vfs_read_ns);
-  std::printf("%s\"net_udp_ns_per_op\": %.1f\n", indent, t.net_udp_ns);
+  std::printf("%s\"net_udp_ns_per_op\": %.1f,\n", indent, t.net_udp_ns);
+  std::printf("%s\"span_ns_per_op\": %.2f\n", indent, t.span_ns);
 }
 
 }  // namespace
@@ -236,6 +292,7 @@ bool RunBaseline(const std::string& path, PathTimes* out) {
   out->vfs_write_ns = ParseField(text, "vfs_write_ns_per_op");
   out->vfs_read_ns = ParseField(text, "vfs_read_ns_per_op");
   out->net_udp_ns = ParseField(text, "net_udp_ns_per_op");
+  out->span_ns = ParseField(text, "span_ns_per_op");
   return out->vfs_write_ns > 0;
 }
 
@@ -247,6 +304,51 @@ void MergeMin(PathTimes* acc, const PathTimes& t) {
   acc->vfs_write_ns = std::min(acc->vfs_write_ns, t.vfs_write_ns);
   acc->vfs_read_ns = std::min(acc->vfs_read_ns, t.vfs_read_ns);
   acc->net_udp_ns = std::min(acc->net_udp_ns, t.net_udp_ns);
+  acc->span_ns = std::min(acc->span_ns, t.span_ns);
+}
+
+// Budgets for the span microcosts, enforced by --smoke in CI. The dormant
+// bracket must stay within scheduler/timer noise of a bare relaxed load; a
+// fully lit bracket (session + flight + histograms) gets a 100 ns budget —
+// two clock reads, two ring pushes, one histogram observe.
+constexpr double kDisabledSpanNoiseNs = 3.0;
+constexpr double kEnabledSpanBudgetNs = 100.0;
+
+int RunSpanSmoke() {
+  obs::TraceSession::Get().Stop();
+  obs::SetMetricsEnabled(false);
+  obs::SetLatencyTimingEnabled(false);
+  obs::SetFlightRecorderEnabled(false);
+  double floor_ns = RelaxedLoadNsPerOp();
+  double disabled_ns = SpanNsPerOp();
+
+  obs::SetMetricsEnabled(true);
+  obs::SetLatencyTimingEnabled(true);
+  obs::SetFlightRecorderEnabled(true);
+  obs::TraceSession::Get().Start();
+  double enabled_ns = SpanNsPerOp();
+  obs::TraceSession::Get().Stop();
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"trace_overhead\",\n");
+  std::printf("  \"mode\": \"smoke\",\n");
+  std::printf("  \"relaxed_load_ns_per_op\": %.2f,\n", floor_ns);
+  std::printf("  \"span_disabled_ns_per_op\": %.2f,\n", disabled_ns);
+  std::printf("  \"span_enabled_ns_per_op\": %.2f\n", enabled_ns);
+  std::printf("}\n");
+
+  bool ok = true;
+  if (disabled_ns > floor_ns + kDisabledSpanNoiseNs) {
+    std::fprintf(stderr, "FAIL: disabled span %.2f ns/op exceeds relaxed-load floor %.2f + %.1f ns\n",
+                 disabled_ns, floor_ns, kDisabledSpanNoiseNs);
+    ok = false;
+  }
+  if (enabled_ns > kEnabledSpanBudgetNs) {
+    std::fprintf(stderr, "FAIL: enabled span %.2f ns/op exceeds %.0f ns budget\n", enabled_ns,
+                 kEnabledSpanBudgetNs);
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }
 
 void PrintOverhead(const char* indent, const PathTimes& t, const PathTimes& base) {
@@ -258,6 +360,9 @@ void PrintOverhead(const char* indent, const PathTimes& t, const PathTimes& base
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return RunSpanSmoke();
+  }
   std::string baseline_path;
   if (argc > 1) {
     baseline_path = argv[1];
@@ -276,10 +381,12 @@ int main(int argc, char** argv) {
   bool have_baseline = RunBaseline(baseline_path, &base);
 
   // "disabled": every runtime gate off — the cost of having instrumentation
-  // compiled in but dormant (the acceptance configuration).
+  // compiled in but dormant (the acceptance configuration). The flight
+  // recorder defaults on, so it must be gated off explicitly here.
   obs::TraceSession::Get().Stop();
   obs::SetMetricsEnabled(false);
   obs::SetLatencyTimingEnabled(false);
+  obs::SetFlightRecorderEnabled(false);
   PathTimes disabled = RunConfig();
 
   // "counters": event counters on, latency timing off.
@@ -293,9 +400,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  // "metrics": latency histograms on (default production configuration).
+  // "metrics": latency histograms on.
   obs::SetLatencyTimingEnabled(true);
   PathTimes metrics = RunConfig();
+
+  // "flight": the always-on last-breath ring too — the production default.
+  obs::SetFlightRecorderEnabled(true);
+  PathTimes flight = RunConfig();
 
   // "enabled": live trace session. The ring saturates under this much
   // traffic, so this measures sustained-collection cost with drops.
@@ -329,6 +440,9 @@ int main(int argc, char** argv) {
   std::printf("    \"metrics\": {\n");
   PrintTimes("      ", metrics);
   std::printf("    },\n");
+  std::printf("    \"flight\": {\n");
+  PrintTimes("      ", flight);
+  std::printf("    },\n");
   std::printf("    \"enabled\": {\n");
   PrintTimes("      ", enabled);
   std::printf("    }\n");
@@ -343,6 +457,9 @@ int main(int argc, char** argv) {
     std::printf("    },\n");
     std::printf("    \"metrics\": {\n");
     PrintOverhead("      ", metrics, base);
+    std::printf("    },\n");
+    std::printf("    \"flight\": {\n");
+    PrintOverhead("      ", flight, base);
     std::printf("    },\n");
     std::printf("    \"enabled\": {\n");
     PrintOverhead("      ", enabled, base);

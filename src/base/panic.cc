@@ -5,14 +5,21 @@
 #include <cstdlib>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
+
 namespace skern {
 namespace {
 
 std::atomic<uint64_t> g_panic_count{0};
 
 // The default handler prints and aborts, like a kernel oops with panic_on_oops.
+// Before dying it dumps the flight recorder — the always-on last-N-events
+// ring — so the abort ships its causal event history (the moral equivalent
+// of ftrace_dump_on_oops). Replaced handlers (ScopedPanicAsException) skip
+// the dump: a recovered panic is a test fixture, not a death.
 void DefaultPanicHandler(const std::string& message) {
   std::fprintf(stderr, "skern panic: %s\n", message.c_str());
+  obs::DumpFlightRecorder();
   std::abort();
 }
 

@@ -8,6 +8,7 @@
 #include "src/base/log.h"
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 
 namespace skern {
@@ -318,9 +319,11 @@ Result<BufferHead*> BufferCache::ReadBlock(uint64_t block) {
 Status BufferCache::AppendFromBlock(uint64_t block, uint64_t offset, uint64_t length,
                                     Bytes& out) {
   SKERN_CHECK_MSG(offset + length <= kBlockSize, "AppendFromBlock out of bounds");
+  SKERN_SPAN_LOCKED("block", "append_from_block");
   Shard& shard = ShardFor(block);
   {
     SpinLockGuard guard(shard.lock);
+    skern_span_scope_.set_plane(obs::SpanPlane::kFast);
     BufferHead* bh = shard.Find(block);
     if (bh != nullptr && bh->Test(BhFlag::kUptodate)) {
       ++shard.stats.lookups;
@@ -333,6 +336,7 @@ Status BufferCache::AppendFromBlock(uint64_t block, uint64_t offset, uint64_t le
     // its own lookup accounting — this probe stays uncounted so hits +
     // misses == lookups still holds.
   }
+  skern_span_scope_.set_plane(obs::SpanPlane::kSlow);
   Result<BufferHead*> bh = ReadBlock(block);
   if (!bh.ok()) {
     return bh.status();

@@ -4,6 +4,7 @@
 
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 
 namespace skern {
@@ -209,6 +210,7 @@ Status Journal::FlushLocked() SKERN_REQUIRES(mutex_) {
 }
 
 Status Journal::Commit(Tx&& tx) {
+  SKERN_SPAN_LOCKED("journal", "commit");
   MutexGuard guard(mutex_);
   SKERN_RETURN_IF_ERROR(SubmitLocked(std::move(tx)));
   return FlushLocked();

@@ -1,7 +1,10 @@
 #include "src/fs/procfs/procfs.h"
 
 #include <algorithm>
+#include <array>
+#include <map>
 #include <sstream>
+#include <string_view>
 
 #include "src/base/log.h"
 #include "src/core/landscape.h"
@@ -69,6 +72,83 @@ std::string LocksText() {
 
 std::string MetricsText() { return obs::MetricsRegistry::Get().RenderText(); }
 
+// /spans: every per-site span latency histogram (span.<subsys>.<op>[.plane].ns
+// plus the .lock_wait_ns attribution histograms), one line each with count and
+// tail quantiles. Raw per-plane view; /latency shows the per-op rollup.
+std::string SpansText() {
+  std::ostringstream os;
+  for (const auto& [name, snap] : obs::MetricsRegistry::Get().HistogramSnapshots("span.")) {
+    if (snap.count == 0) {
+      continue;
+    }
+    os << name << " count=" << snap.count << " p50=" << snap.p50 << " p95=" << snap.p95
+       << " p99=" << snap.p99 << " max=" << snap.max << "\n";
+  }
+  return os.str();
+}
+
+// /latency: per-(subsys.op) latency attribution. Plane-split histograms
+// (.fast.ns / .slow.ns) are merged bucket-wise with the unsplit .ns series so
+// each operation gets one line of whole-population quantiles; lock-wait
+// histograms are attribution detail and stay out of the rollup (see /spans).
+std::string LatencyText() {
+  struct Merged {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, obs::Histogram::kBuckets> buckets{};
+  };
+  std::map<std::string, Merged> by_op;
+  for (const auto& [name, snap] : obs::MetricsRegistry::Get().HistogramSnapshots("span.")) {
+    std::string_view key = name;
+    if (key.ends_with(".lock_wait_ns")) {
+      continue;
+    }
+    key.remove_prefix(std::string_view("span.").size());
+    if (key.ends_with(".fast.ns")) {
+      key.remove_suffix(std::string_view(".fast.ns").size());
+    } else if (key.ends_with(".slow.ns")) {
+      key.remove_suffix(std::string_view(".slow.ns").size());
+    } else if (key.ends_with(".ns")) {
+      key.remove_suffix(std::string_view(".ns").size());
+    }
+    Merged& m = by_op[std::string(key)];
+    m.count += snap.count;
+    m.sum += snap.sum;
+    m.max = std::max(m.max, snap.max);
+    for (size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+      m.buckets[i] += snap.buckets[i];
+    }
+  }
+  std::ostringstream os;
+  for (const auto& [op, m] : by_op) {
+    if (m.count == 0) {
+      continue;
+    }
+    os << op << " count=" << m.count
+       << " p50=" << obs::Histogram::QuantileFromBuckets(m.buckets, m.count, 0.50)
+       << " p95=" << obs::Histogram::QuantileFromBuckets(m.buckets, m.count, 0.95)
+       << " p99=" << obs::Histogram::QuantileFromBuckets(m.buckets, m.count, 0.99)
+       << " max=" << m.max << "\n";
+  }
+  return os.str();
+}
+
+// /contention: the top-N lock classes by total wall time spent blocked
+// (lockstat's "waittime-total" sort), with wait-time tail quantiles so a hot
+// lock with rare long stalls is distinguishable from uniform churn.
+std::string ContentionText() {
+  auto top = LockRegistry::Get().TopContended(10);
+  std::ostringstream os;
+  os << "classes " << top.size() << "\n";
+  for (const auto& c : top) {
+    os << c.name << " count=" << c.count << " total_ns=" << c.total_wait_ns
+       << " max_ns=" << c.max_wait_ns << " p50=" << c.p50_ns << " p95=" << c.p95_ns
+       << " p99=" << c.p99_ns << "\n";
+  }
+  return os.str();
+}
+
 std::string TraceText() {
   auto& session = obs::TraceSession::Get();
   std::ostringstream os;
@@ -101,6 +181,9 @@ ProcFs::ProcFs() {
   AddEntry("metrics", MetricsText);
   AddEntry("trace", TraceText);
   AddEntry("log", LogText);
+  AddEntry("spans", SpansText);
+  AddEntry("latency", LatencyText);
+  AddEntry("contention", ContentionText);
 }
 
 void ProcFs::AddEntry(const std::string& name, std::function<std::string()> generator) {

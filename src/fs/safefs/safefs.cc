@@ -4,6 +4,8 @@
 
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace.h"
 #include "src/spec/fs_model.h"
 
 namespace skern {
@@ -685,6 +687,7 @@ Status SafeFs::Rmdir(const std::string& path) {
 }
 
 Status SafeFs::Write(const std::string& path, uint64_t offset, ByteView data) {
+  SKERN_SPAN_LOCKED("safefs", "write");
   MutexGuard guard(mutex_);
   ++stats_.ops;
   return WriteLocked(path, offset, data);
@@ -789,6 +792,7 @@ Status SafeFs::WriteInodeLocked(uint64_t ino, InodeDataState& ds, uint64_t offse
 }
 
 Result<Bytes> SafeFs::Read(const std::string& path, uint64_t offset, uint64_t length) {
+  SKERN_SPAN_LOCKED("safefs", "read");
   MutexGuard guard(mutex_);
   ++stats_.ops;
   return ReadLocked(path, offset, length);
@@ -1090,6 +1094,7 @@ void SafeFs::RevalidateHandleLocked(HandleRec& rec) {
   // All generation bumps happen under mutex_, which we hold, so the walk
   // below cannot race with the generation we stamp.
   uint64_t gen = ns_generation_.load(std::memory_order_acquire);
+  SKERN_TRACE("safefs", "handle_reval", gen);
   Errno err = Errno::kOk;
   uint64_t ino = kInvalidIno;
   std::shared_ptr<InodeDataState> ds;
@@ -1184,6 +1189,7 @@ std::optional<Bytes> SafeFs::TryFastRead(InodeDataState& ds, uint64_t offset,
 }
 
 void SafeFs::MaybeReadAhead(InodeDataState& ds, uint64_t from) const {
+  SKERN_SPAN("safefs", "readahead");
   uint64_t first = from / kBlockSize;
   uint64_t last = std::min(first + kReadAheadBlocks, BlocksForSize(ds.cached_size));
   if (first >= last) {
@@ -1218,17 +1224,20 @@ void SafeFs::MaybeReadAhead(InodeDataState& ds, uint64_t from) const {
   if (issued > 0) {
     io_.readahead_issued.fetch_add(issued, std::memory_order_relaxed);
     SKERN_COUNTER_ADD("safefs.readahead.issued", issued);
+    SKERN_TRACE("safefs", "readahead", from, issued);
     ds.ra_start.store(new_start, std::memory_order_relaxed);
     ds.ra_end.store(last * kBlockSize, std::memory_order_relaxed);
   }
 }
 
 void SafeFs::WarmBlockMapLocked(uint64_t ino, InodeDataState& ds) const {
+  SKERN_SPAN_LOCKED("safefs", "warm_blockmap");
   auto it = inodes_.find(ino);
   if (it == inodes_.end()) {
     return;
   }
   const DiskInode& inode = it->second;
+  SKERN_TRACE("safefs", "blockmap_warm", ino, BlocksForSize(inode.size));
   WriteGuard guard(ds.rwlock);
   if (ds.dead) {
     return;
@@ -1248,6 +1257,7 @@ void SafeFs::WarmBlockMapLocked(uint64_t ino, InodeDataState& ds) const {
 }
 
 Result<InodeHandle> SafeFs::OpenByPath(const std::string& path) {
+  SKERN_SPAN_LOCKED("safefs", "open_handle");
   MutexGuard guard(mutex_);
   SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
   auto rec = std::make_shared<HandleRec>(std::move(p));
@@ -1261,15 +1271,18 @@ Result<InodeHandle> SafeFs::OpenByPath(const std::string& path) {
   WriteGuard hguard(handle_lock_);
   InodeHandle handle = next_handle_++;
   handles_.emplace(handle, std::move(rec));
+  SKERN_TRACE("safefs", "open_handle", handle);
   return handle;
 }
 
 void SafeFs::CloseHandle(InodeHandle handle) {
+  SKERN_TRACE("safefs", "close_handle", handle);
   WriteGuard guard(handle_lock_);
   handles_.erase(handle);
 }
 
 Result<Bytes> SafeFs::ReadAt(InodeHandle handle, uint64_t offset, uint64_t length) {
+  SKERN_SPAN_LOCKED("safefs", "read_at");
   std::shared_ptr<HandleRec> rec = LookupHandle(handle);
   if (rec == nullptr) {
     return Errno::kEBADF;
@@ -1296,6 +1309,8 @@ Result<Bytes> SafeFs::ReadAt(InodeHandle handle, uint64_t offset, uint64_t lengt
     if (fast.has_value()) {
       io_.fast_reads.fetch_add(1, std::memory_order_relaxed);
       SKERN_COUNTER_INC("safefs.io.fast_reads");
+      SKERN_TRACE("safefs", "read_fast", ino, length);
+      skern_span_scope_.set_plane(obs::SpanPlane::kFast);
       return std::move(*fast);
     }
   }
@@ -1316,6 +1331,8 @@ Result<Bytes> SafeFs::ReadAt(InodeHandle handle, uint64_t offset, uint64_t lengt
   }
   io_.slow_reads.fetch_add(1, std::memory_order_relaxed);
   SKERN_COUNTER_INC("safefs.io.slow_reads");
+  SKERN_TRACE("safefs", "read_slow", ino, length);
+  skern_span_scope_.set_plane(obs::SpanPlane::kSlow);
   Result<Bytes> out = ReadInodeLocked(ino, offset, length);
   if (out.ok() && ds != nullptr) {
     WarmBlockMapLocked(ino, *ds);
@@ -1324,10 +1341,12 @@ Result<Bytes> SafeFs::ReadAt(InodeHandle handle, uint64_t offset, uint64_t lengt
 }
 
 Status SafeFs::WriteAt(InodeHandle handle, uint64_t offset, ByteView data) {
+  SKERN_SPAN_LOCKED("safefs", "write_at");
   std::shared_ptr<HandleRec> rec = LookupHandle(handle);
   if (rec == nullptr) {
     return Status::Error(Errno::kEBADF);
   }
+  SKERN_TRACE("safefs", "write_at", handle, data.size());
   MutexGuard guard(mutex_);
   if (!HandleCurrent(*rec)) {
     RevalidateHandleLocked(*rec);
@@ -1378,6 +1397,7 @@ Result<FileAttr> SafeFs::StatHandle(InodeHandle handle) {
 }
 
 Status SafeFs::FsyncHandle(InodeHandle handle) {
+  SKERN_SPAN_LOCKED("safefs", "fsync_handle");
   std::shared_ptr<HandleRec> rec = LookupHandle(handle);
   if (rec == nullptr) {
     return Status::Error(Errno::kEBADF);

@@ -1,0 +1,30 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cstdio>
+#include <string>
+
+namespace skern {
+namespace obs {
+
+// FlightRecorderEnabled / SetFlightRecorderEnabled / FlightSnapshot /
+// FlightSnapshotForPanic / ResetFlightForTesting live in trace.cc with the
+// ring registry; only the dump formatter lives here.
+
+void DumpFlightRecorder(size_t max_events) {
+  std::vector<TraceRecord> records = FlightSnapshotForPanic();
+  if (records.size() > max_events) {
+    records.erase(records.begin(),
+                  records.begin() + static_cast<ptrdiff_t>(records.size() - max_events));
+  }
+  std::fprintf(stderr, "=== skern flight recorder: last %zu event(s) ===\n", records.size());
+  // One fprintf per line rather than one giant string: if the allocator is
+  // the thing that is broken, partial output still reaches stderr.
+  for (const TraceRecord& record : records) {
+    std::string line = RenderTraceText({record});
+    std::fputs(line.c_str(), stderr);
+  }
+  std::fprintf(stderr, "=== end flight recorder ===\n");
+}
+
+}  // namespace obs
+}  // namespace skern

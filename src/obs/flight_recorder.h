@@ -1,0 +1,56 @@
+// Flight recorder: always-on last-breath event history.
+//
+// Every SKERN_TRACE / SKERN_SPAN record is mirrored into a small per-thread
+// overwrite-oldest ring (512 records/thread) that runs independently of
+// TraceSession start/stop — it is recording before main() and keeps
+// recording until the process dies. When a panic reaches the default
+// handler, the merged tail of those rings is dumped to stderr, so every CI
+// abort ships the causal event history that led to it, the way a kernel
+// oops prints the ftrace buffer with ftrace_dump_on_oops.
+//
+// The rings are built from relaxed atomic words: a panicking thread can
+// snapshot them while every other thread is still writing, data-race-free.
+// A record caught mid-overwrite may mix fields from two events; the dump is
+// diagnostics, not a ledger, and tolerates that.
+//
+// Cost: one extra SPSC ring push per trace record (the sink check is folded
+// into the tracepoint's single gate load). SetFlightRecorderEnabled(false)
+// turns the mirror off for overhead experiments; SKERN_OBS_COMPILED_OUT
+// removes it entirely.
+#ifndef SKERN_SRC_OBS_FLIGHT_RECORDER_H_
+#define SKERN_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace skern {
+namespace obs {
+
+// The flight sink defaults on; disabling stops the mirror but keeps
+// already-buffered history snapshottable.
+bool FlightRecorderEnabled();
+void SetFlightRecorderEnabled(bool enabled);
+
+// Merged snapshot of every thread's flight ring, ordered by (ts, tid).
+std::vector<TraceRecord> FlightSnapshot();
+
+// As FlightSnapshot, but try-locks the ring registry: if another thread
+// holds it (mid-registration) while this thread is dying, returns empty
+// rather than deadlocking the abort.
+std::vector<TraceRecord> FlightSnapshotForPanic();
+
+// Dumps the last `max_events` flight records to stderr in RenderTraceText
+// format, bracketed by "=== skern flight recorder ===" markers. Called by
+// the default panic handler; safe to call manually.
+void DumpFlightRecorder(size_t max_events = 128);
+
+// Forgets buffered flight history (test isolation); the sink stays in its
+// current enabled/disabled state.
+void ResetFlightForTesting();
+
+}  // namespace obs
+}  // namespace skern
+
+#endif  // SKERN_SRC_OBS_FLIGHT_RECORDER_H_

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/sync/annotations.h"
@@ -102,10 +103,14 @@ class Histogram {
     return bucket < kBuckets ? bucket : kBuckets - 1;
   }
 
- private:
-  static uint64_t Quantile(const std::array<uint64_t, kBuckets>& buckets,
-                           uint64_t count, double q);
+  // Quantile over a raw bucket array (linear interpolation inside the
+  // crossing bucket). Public so aggregators that merge several histograms'
+  // buckets (procfs /latency's per-layer rollup) report the same quantile
+  // semantics as a single histogram.
+  static uint64_t QuantileFromBuckets(const std::array<uint64_t, kBuckets>& buckets,
+                                      uint64_t count, double q);
 
+ private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
@@ -129,6 +134,12 @@ class MetricsRegistry {
 
   // Names registered so far, sorted (all kinds merged).
   std::vector<std::string> Names() const;
+
+  // Name + snapshot of every histogram whose name starts with `prefix`
+  // (pass "" for all), name-sorted. The span/latency procfs views are built
+  // from this without holding the registry mutex across rendering.
+  std::vector<std::pair<std::string, Histogram::Snapshot>> HistogramSnapshots(
+      std::string_view prefix) const;
 
   // Zeroes every metric in place; references remain valid.
   void ResetAllForTesting();

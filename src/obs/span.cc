@@ -1,0 +1,136 @@
+#include "src/obs/span.h"
+
+#include <string>
+
+namespace skern {
+namespace obs {
+
+namespace internal {
+
+// Defaults match the process defaults: the flight recorder sink is on and
+// metrics + latency timing are on, so spans are live from the first
+// instruction without waiting for a recompute.
+std::atomic<uint32_t> g_span_gate{kSpanGateTrace | kSpanGateLatency};
+
+void RecomputeSpanGate() {
+  uint32_t gate = 0;
+  if (TraceActive()) {
+    gate |= kSpanGateTrace;
+  }
+  if (MetricsEnabled() && LatencyTimingEnabled()) {
+    gate |= kSpanGateLatency;
+  }
+  g_span_gate.store(gate, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+namespace {
+
+thread_local SpanScope* t_current_span = nullptr;
+// Per-thread span id counter; ids are unique per (tid, id) — records carry
+// the tid, and parent links never cross threads (parenting rides the call
+// stack), so a process-global counter would buy nothing.
+thread_local uint64_t t_next_span_id = 0;
+
+const char* PlaneSuffix(SpanPlane plane) {
+  switch (plane) {
+    case SpanPlane::kFast:
+      return ".fast";
+    case SpanPlane::kSlow:
+      return ".slow";
+    case SpanPlane::kNone:
+      break;
+  }
+  return "";
+}
+
+}  // namespace
+
+uint16_t SpanSite::EventId() {
+  int32_t id = event_id.load(std::memory_order_relaxed);
+  if (id < 0) [[unlikely]] {
+    // Benign race: interning is idempotent, both winners store the same id.
+    id = InternTraceEvent(subsys, op);
+    event_id.store(id, std::memory_order_relaxed);
+  }
+  return static_cast<uint16_t>(id);
+}
+
+Histogram& SpanSite::LatencyHist(SpanPlane plane) {
+  std::atomic<Histogram*>& slot = latency_hist[static_cast<size_t>(plane)];
+  Histogram* hist = slot.load(std::memory_order_acquire);
+  if (hist == nullptr) [[unlikely]] {
+    std::string name = std::string("span.") + subsys + "." + op + PlaneSuffix(plane) + ".ns";
+    hist = &MetricsRegistry::Get().GetHistogram(name);
+    slot.store(hist, std::memory_order_release);
+  }
+  return *hist;
+}
+
+Histogram& SpanSite::LockWaitHist() {
+  Histogram* hist = lock_wait_hist.load(std::memory_order_acquire);
+  if (hist == nullptr) [[unlikely]] {
+    std::string name = std::string("span.") + subsys + "." + op + ".lock_wait_ns";
+    hist = &MetricsRegistry::Get().GetHistogram(name);
+    lock_wait_hist.store(hist, std::memory_order_release);
+  }
+  return *hist;
+}
+
+void SpanScope::Open(SpanSite& site, uint16_t extra_flags, uint32_t gate) {
+  site_ = &site;
+  gate_ = gate;
+  parent_ = t_current_span;
+  uint16_t depth = 0;
+  if (parent_ != nullptr) {
+    depth = parent_->depth();
+    if (depth < kSpanDepthMask) {
+      ++depth;
+    }
+  }
+  flags_ = static_cast<uint16_t>(extra_flags | depth);
+  id_ = ++t_next_span_id;
+  t_current_span = this;
+  start_ns_ = MonotonicNowNs();
+  if (gate & internal::kSpanGateTrace) {
+    EmitTraceFlagsAt(start_ns_, site.EventId(), static_cast<uint16_t>(kSpanBegin | flags_), id_,
+                     parent_ != nullptr ? parent_->id_ : 0);
+  }
+}
+
+void SpanScope::Close() {
+  const uint64_t end_ns = MonotonicNowNs();
+  const uint64_t duration_ns = end_ns - start_ns_;
+  t_current_span = parent_;
+  uint16_t plane_flag = 0;
+  if (plane_ == SpanPlane::kFast) {
+    plane_flag = kSpanPlaneFast;
+  } else if (plane_ == SpanPlane::kSlow) {
+    plane_flag = kSpanPlaneSlow;
+  }
+  // The cached gate keeps begin/end balanced even if a session starts or
+  // stops while the span is open.
+  if (gate_ & internal::kSpanGateTrace) {
+    EmitTraceFlagsAt(end_ns, site_->EventId(), static_cast<uint16_t>(kSpanEnd | plane_flag | flags_),
+                     id_, duration_ns);
+  }
+  if (gate_ & internal::kSpanGateLatency) {
+    site_->LatencyHist(plane_).Observe(duration_ns);
+    if (lock_wait_ns_ > 0) {
+      site_->LockWaitHist().Observe(lock_wait_ns_);
+    }
+  }
+}
+
+void CurrentSpanAddLockWait(uint64_t wait_ns) {
+  SpanScope* span = t_current_span;
+  if (span != nullptr) {
+    span->lock_wait_ns_ += wait_ns;
+  }
+}
+
+SpanScope* CurrentSpan() { return t_current_span; }
+
+}  // namespace obs
+}  // namespace skern

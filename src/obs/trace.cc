@@ -8,7 +8,9 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sync/annotations.h"
 
 namespace skern {
@@ -16,7 +18,9 @@ namespace obs {
 
 namespace internal {
 
-std::atomic<bool> g_trace_enabled{false};
+// The flight recorder is an always-on sink: it starts recording before
+// main() so the first panic of a process's life already has history.
+std::atomic<uint32_t> g_trace_sinks{kSinkFlight};
 
 }  // namespace internal
 
@@ -27,6 +31,15 @@ std::atomic<const TraceClock*> g_trace_clock{nullptr};
 uint64_t TraceNow() {
   const TraceClock* clock = g_trace_clock.load(std::memory_order_relaxed);
   return clock != nullptr ? clock->TraceNowNs() : MonotonicNowNs();
+}
+
+void SetSink(uint32_t sink, bool enabled) {
+  if (enabled) {
+    internal::g_trace_sinks.fetch_or(sink, std::memory_order_relaxed);
+  } else {
+    internal::g_trace_sinks.fetch_and(~sink, std::memory_order_relaxed);
+  }
+  internal::RecomputeSpanGate();
 }
 
 // ---------------------------------------------------------------------------
@@ -46,12 +59,12 @@ EventTable& Events() {
 }
 
 // ---------------------------------------------------------------------------
-// Per-thread SPSC ring buffers
+// Per-thread ring buffers
 // ---------------------------------------------------------------------------
 
-// One ring per thread: the owning thread is the only writer; the draining
-// session (under the registry mutex) is the only reader. Overflow drops the
-// newest record and counts it, so writers never block and never tear.
+// Session ring: the owning thread is the only writer; the draining session
+// (under the registry mutex) is the only reader. Overflow drops the newest
+// record and counts it, so writers never block and never tear.
 class TraceRing {
  public:
   static constexpr size_t kCapacity = 8192;  // records; power of two
@@ -59,9 +72,7 @@ class TraceRing {
 
   explicit TraceRing(uint32_t tid) : tid_(tid) {}
 
-  uint32_t tid() const { return tid_; }
-
-  void Push(uint16_t event_id, uint64_t arg0, uint64_t arg1) {
+  void Push(uint64_t ts, uint16_t event_id, uint16_t flags, uint64_t arg0, uint64_t arg1) {
     uint64_t head = head_.load(std::memory_order_relaxed);
     uint64_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail >= kCapacity) {
@@ -69,10 +80,10 @@ class TraceRing {
       return;
     }
     TraceRecord& slot = slots_[head & (kCapacity - 1)];
-    slot.ts = TraceNow();
+    slot.ts = ts;
     slot.tid = tid_;
     slot.event_id = event_id;
-    slot.reserved = 0;
+    slot.reserved = flags;
     slot.arg0 = arg0;
     slot.arg1 = arg1;
     head_.store(head + 1, std::memory_order_release);
@@ -105,11 +116,78 @@ class TraceRing {
   std::array<TraceRecord, kCapacity> slots_{};
 };
 
+// Flight ring: always-on last-N-events buffer, overwrite-oldest. Slots are
+// four relaxed atomic words so a panic-time snapshot racing the owning
+// thread's overwrite is data-race-free; a record caught mid-overwrite may
+// mix fields from two events, which last-breath diagnostics tolerate.
+class FlightRing {
+ public:
+  static constexpr size_t kCapacity = 512;  // records; power of two
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  void Push(uint64_t ts, uint32_t tid, uint16_t event_id, uint16_t flags, uint64_t arg0,
+            uint64_t arg1) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[head & (kCapacity - 1)];
+    slot.ts.store(ts, std::memory_order_relaxed);
+    slot.meta.store((static_cast<uint64_t>(tid) << 32) |
+                        (static_cast<uint64_t>(event_id) << 16) | flags,
+                    std::memory_order_relaxed);
+    slot.arg0.store(arg0, std::memory_order_relaxed);
+    slot.arg1.store(arg1, std::memory_order_relaxed);
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  void Snapshot(std::vector<TraceRecord>* out) const {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t lo = tail_.load(std::memory_order_relaxed);
+    if (head > kCapacity && head - kCapacity > lo) {
+      lo = head - kCapacity;
+    }
+    for (uint64_t i = lo; i < head; ++i) {
+      const Slot& slot = slots_[i & (kCapacity - 1)];
+      uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      TraceRecord record;
+      record.ts = slot.ts.load(std::memory_order_relaxed);
+      record.tid = static_cast<uint32_t>(meta >> 32);
+      record.event_id = static_cast<uint16_t>((meta >> 16) & 0xffff);
+      record.reserved = static_cast<uint16_t>(meta & 0xffff);
+      record.arg0 = slot.arg0.load(std::memory_order_relaxed);
+      record.arg1 = slot.arg1.load(std::memory_order_relaxed);
+      out->push_back(record);
+    }
+  }
+
+  // Forgets buffered history (test isolation). Safe against a concurrent
+  // writer: only the snapshot lower bound moves.
+  void Clear() { tail_.store(head_.load(std::memory_order_relaxed), std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> ts{0};
+    std::atomic<uint64_t> meta{0};  // tid<<32 | event_id<<16 | flags
+    std::atomic<uint64_t> arg0{0};
+    std::atomic<uint64_t> arg1{0};
+  };
+
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+  std::array<Slot, kCapacity> slots_{};
+};
+
+// Both sinks for one thread, registered together on first trace.
+struct ThreadRings {
+  explicit ThreadRings(uint32_t tid_in) : tid(tid_in), session(tid_in) {}
+  const uint32_t tid;
+  TraceRing session;
+  FlightRing flight;
+};
+
 // Registry of all thread rings. Rings are shared_ptr so a drain stays safe
 // even after the owning thread has exited.
 struct RingRegistry {
   std::mutex mutex;
-  std::vector<std::shared_ptr<TraceRing>> rings SKERN_GUARDED_BY(mutex);
+  std::vector<std::shared_ptr<ThreadRings>> threads SKERN_GUARDED_BY(mutex);
   uint32_t next_tid SKERN_GUARDED_BY(mutex) = 1;
 };
 
@@ -118,15 +196,24 @@ RingRegistry& Rings() {
   return *registry;
 }
 
-TraceRing& ThisThreadRing() {
-  thread_local std::shared_ptr<TraceRing> ring = [] {
+ThreadRings& ThisThreadRings() {
+  thread_local std::shared_ptr<ThreadRings> rings = [] {
     RingRegistry& registry = Rings();
     std::lock_guard<std::mutex> guard(registry.mutex);
-    auto created = std::make_shared<TraceRing>(registry.next_tid++);
-    registry.rings.push_back(created);
+    auto created = std::make_shared<ThreadRings>(registry.next_tid++);
+    registry.threads.push_back(created);
     return created;
   }();
-  return *ring;
+  return *rings;
+}
+
+void SortByTimestamp(std::vector<TraceRecord>* records) {
+  // Per-ring order is emission order; stable sort keeps it within equal
+  // timestamps (a SimClock that does not advance between events).
+  std::stable_sort(records->begin(), records->end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.tid < b.tid;
+                   });
 }
 
 }  // namespace
@@ -155,10 +242,29 @@ std::string TraceEventName(uint16_t id) {
 }
 
 void EmitTrace(uint16_t event_id, uint64_t arg0, uint64_t arg1) {
-  if (!TraceEnabled()) {
+  EmitTraceFlags(event_id, 0, arg0, arg1);
+}
+
+void EmitTraceFlags(uint16_t event_id, uint16_t flags, uint64_t arg0, uint64_t arg1) {
+  if (internal::g_trace_sinks.load(std::memory_order_relaxed) == 0) {
     return;
   }
-  ThisThreadRing().Push(event_id, arg0, arg1);
+  EmitTraceFlagsAt(TraceNow(), event_id, flags, arg0, arg1);
+}
+
+void EmitTraceFlagsAt(uint64_t ts, uint16_t event_id, uint16_t flags, uint64_t arg0,
+                      uint64_t arg1) {
+  uint32_t sinks = internal::g_trace_sinks.load(std::memory_order_relaxed);
+  if (sinks == 0) {
+    return;
+  }
+  ThreadRings& rings = ThisThreadRings();
+  if (sinks & internal::kSinkSession) {
+    rings.session.Push(ts, event_id, flags, arg0, arg1);
+  }
+  if (sinks & internal::kSinkFlight) {
+    rings.flight.Push(ts, rings.tid, event_id, flags, arg0, arg1);
+  }
 }
 
 void SetTraceClock(const TraceClock* clock) {
@@ -174,32 +280,25 @@ void TraceSession::Start() {
   RingRegistry& registry = Rings();
   {
     std::lock_guard<std::mutex> guard(registry.mutex);
-    for (auto& ring : registry.rings) {
-      ring->Clear();
+    for (auto& rings : registry.threads) {
+      rings->session.Clear();
     }
   }
-  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+  SetSink(internal::kSinkSession, true);
 }
 
-void TraceSession::Stop() {
-  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
-}
+void TraceSession::Stop() { SetSink(internal::kSinkSession, false); }
 
 std::vector<TraceRecord> TraceSession::Drain(bool consume) {
   std::vector<TraceRecord> records;
   RingRegistry& registry = Rings();
   {
     std::lock_guard<std::mutex> guard(registry.mutex);
-    for (auto& ring : registry.rings) {
-      ring->Read(&records, consume);
+    for (auto& rings : registry.threads) {
+      rings->session.Read(&records, consume);
     }
   }
-  // Per-ring order is emission order; stable sort keeps it within equal
-  // timestamps (a SimClock that does not advance between events).
-  std::stable_sort(records.begin(), records.end(),
-                   [](const TraceRecord& a, const TraceRecord& b) {
-                     return a.ts != b.ts ? a.ts < b.ts : a.tid < b.tid;
-                   });
+  SortByTimestamp(&records);
   return records;
 }
 
@@ -207,8 +306,8 @@ uint64_t TraceSession::dropped() const {
   uint64_t total = 0;
   RingRegistry& registry = Rings();
   std::lock_guard<std::mutex> guard(registry.mutex);
-  for (const auto& ring : registry.rings) {
-    total += ring->dropped();
+  for (const auto& rings : registry.threads) {
+    total += rings->session.dropped();
   }
   return total;
 }
@@ -217,16 +316,81 @@ void TraceSession::ResetForTesting() {
   Stop();
   RingRegistry& registry = Rings();
   std::lock_guard<std::mutex> guard(registry.mutex);
-  for (auto& ring : registry.rings) {
-    ring->Clear();
+  for (auto& rings : registry.threads) {
+    rings->session.Clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (declared in src/obs/flight_recorder.h; lives here with
+// the ring registry)
+// ---------------------------------------------------------------------------
+
+bool FlightRecorderEnabled() {
+  return (internal::g_trace_sinks.load(std::memory_order_relaxed) &
+          internal::kSinkFlight) != 0;
+}
+
+void SetFlightRecorderEnabled(bool enabled) { SetSink(internal::kSinkFlight, enabled); }
+
+std::vector<TraceRecord> FlightSnapshot() {
+  std::vector<TraceRecord> records;
+  RingRegistry& registry = Rings();
+  {
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    for (const auto& rings : registry.threads) {
+      rings->flight.Snapshot(&records);
+    }
+  }
+  SortByTimestamp(&records);
+  return records;
+}
+
+std::vector<TraceRecord> FlightSnapshotForPanic() {
+  std::vector<TraceRecord> records;
+  RingRegistry& registry = Rings();
+  // try_lock: if the registry mutex is held (a thread mid-registration while
+  // another panics), a partial dump beats a deadlocked abort. The ring
+  // vector only grows, and shared_ptr targets never move, so walking it
+  // without the mutex would still be *mostly* safe — but don't.
+  std::unique_lock<std::mutex> guard(registry.mutex, std::try_to_lock);
+  if (!guard.owns_lock()) {
+    return records;
+  }
+  for (const auto& rings : registry.threads) {
+    rings->flight.Snapshot(&records);
+  }
+  SortByTimestamp(&records);
+  return records;
+}
+
+void ResetFlightForTesting() {
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> guard(registry.mutex);
+  for (auto& rings : registry.threads) {
+    rings->flight.Clear();
   }
 }
 
 std::string RenderTraceText(const std::vector<TraceRecord>& records) {
   std::ostringstream os;
   for (const auto& record : records) {
-    os << record.ts << " " << record.tid << " " << TraceEventName(record.event_id) << " "
-       << record.arg0 << " " << record.arg1 << "\n";
+    os << record.ts << " " << record.tid << " " << TraceEventName(record.event_id);
+    if (record.reserved & kSpanBegin) {
+      os << " B d=" << (record.reserved & kSpanDepthMask) << " id=" << record.arg0
+         << " parent=" << record.arg1;
+    } else if (record.reserved & kSpanEnd) {
+      os << " E d=" << (record.reserved & kSpanDepthMask) << " id=" << record.arg0
+         << " dur=" << record.arg1;
+      if (record.reserved & kSpanPlaneFast) {
+        os << " plane=fast";
+      } else if (record.reserved & kSpanPlaneSlow) {
+        os << " plane=slow";
+      }
+    } else {
+      os << " " << record.arg0 << " " << record.arg1;
+    }
+    os << "\n";
   }
   return os.str();
 }

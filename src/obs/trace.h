@@ -3,13 +3,19 @@
 //   SKERN_TRACE("vfs", "write", fd, bytes);
 //
 // Each macro site interns its (subsys, event) pair once, then writes a
-// fixed-size 32-byte record into a per-thread lock-free ring buffer. A global
-// TraceSession can start/stop collection and drain every thread's buffer into
-// one stream merged by timestamp.
+// fixed-size 32-byte record into a per-thread lock-free ring buffer. Two
+// sinks consume the stream:
+//
+//   - the TraceSession ring (8192 records/thread, start/stop/drain, the
+//     trace_pipe analogue), and
+//   - the flight recorder ring (last 512 records/thread, always on,
+//     overwrite-oldest) that the panic path dumps to stderr as the process
+//     dies — see src/obs/flight_recorder.h.
 //
 // Cost model (the property bench/trace_overhead verifies):
-//   - disabled: one relaxed atomic load and a predicted-untaken branch;
-//   - enabled: timestamp read + one SPSC ring push (no locks, no allocation);
+//   - no sink active: one relaxed atomic load and a predicted-untaken branch;
+//   - active: timestamp read + one SPSC ring push per sink (no locks, no
+//     allocation);
 //   - compiled out (SKERN_OBS_COMPILED_OUT): nothing.
 //
 // Timestamps default to monotonic wall nanoseconds. Simulations that want
@@ -35,22 +41,44 @@ struct TraceRecord {
   uint64_t ts;        // nanoseconds (wall-monotonic or SimClock)
   uint32_t tid;       // small per-thread id assigned at first trace
   uint16_t event_id;  // interned (subsys, event)
-  uint16_t reserved;  // padding, always 0
-  uint64_t arg0;
-  uint64_t arg1;
+  uint16_t reserved;  // 0 for plain events; span flags + depth for spans
+  uint64_t arg0;      // spans: span id
+  uint64_t arg1;      // spans: parent id (begin) / duration ns (end)
 };
 static_assert(sizeof(TraceRecord) == 32, "trace records must stay fixed-size");
 
+// TraceRecord::reserved bit layout for span records (src/obs/span.h). Plain
+// SKERN_TRACE events keep reserved == 0, so `reserved != 0` identifies a
+// span record without widening the format.
+inline constexpr uint16_t kSpanBegin = 1u << 15;      // span-open record
+inline constexpr uint16_t kSpanEnd = 1u << 14;        // span-close record
+inline constexpr uint16_t kSpanPlaneFast = 1u << 13;  // served by fast plane
+inline constexpr uint16_t kSpanPlaneSlow = 1u << 12;  // fell back to slow plane
+inline constexpr uint16_t kSpanLocked = 1u << 11;     // scope covers a lock acquisition
+inline constexpr uint16_t kSpanDepthMask = 0x00ff;    // nesting depth, saturating
+
 namespace internal {
 
-extern std::atomic<bool> g_trace_enabled;
+// Bitmask of active trace sinks. The flight recorder bit is set by default
+// (always-on last-breath diagnostics); the session bit follows
+// TraceSession::Start/Stop.
+inline constexpr uint32_t kSinkSession = 1u << 0;
+inline constexpr uint32_t kSinkFlight = 1u << 1;
+extern std::atomic<uint32_t> g_trace_sinks;
 
 }  // namespace internal
 
-// True if a trace session is collecting. This is the whole disabled-path
-// cost: one relaxed load, then the caller's branch.
+// True if a trace session is collecting. One relaxed load.
 inline bool TraceEnabled() {
-  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  return (internal::g_trace_sinks.load(std::memory_order_relaxed) &
+          internal::kSinkSession) != 0;
+}
+
+// True if any sink (session or flight recorder) wants records. This is the
+// whole disabled-path cost of a tracepoint: one relaxed load, then the
+// caller's branch.
+inline bool TraceActive() {
+  return internal::g_trace_sinks.load(std::memory_order_relaxed) != 0;
 }
 
 // Interns a (subsys, event) name pair; returns a dense id. Called once per
@@ -60,9 +88,19 @@ uint16_t InternTraceEvent(const char* subsys, const char* event);
 // "subsys.event" for an interned id ("?" if unknown).
 std::string TraceEventName(uint16_t id);
 
-// Appends one record to the calling thread's ring buffer (registering the
-// thread on first use). No-op when tracing is disabled.
+// Appends one record to the calling thread's active ring(s) (registering the
+// thread on first use). No-op when no sink is active.
 void EmitTrace(uint16_t event_id, uint64_t arg0 = 0, uint64_t arg1 = 0);
+
+// As EmitTrace, with an explicit `reserved` word — the span machinery's
+// entry point for begin/end records.
+void EmitTraceFlags(uint16_t event_id, uint16_t flags, uint64_t arg0, uint64_t arg1);
+
+// As EmitTraceFlags, with a caller-supplied timestamp. Span brackets already
+// read the clock for duration accounting; reusing that reading here keeps a
+// fully lit span at two clock reads instead of four.
+void EmitTraceFlagsAt(uint64_t ts, uint16_t event_id, uint16_t flags, uint64_t arg0,
+                      uint64_t arg1);
 
 // Routes timestamps to an alternate clock (nullptr restores wall time).
 // The clock must outlive tracing and its TraceNowNs must tolerate concurrent
@@ -76,7 +114,8 @@ class TraceSession {
   static TraceSession& Get();
 
   // Starts collecting (idempotent). Records emitted before Start are gone —
-  // buffers are drained/cleared here so a session begins empty.
+  // buffers are drained/cleared here so a session begins empty. The flight
+  // recorder's rings are unaffected.
   void Start();
 
   // Stops collecting (idempotent); already-buffered records stay drainable.
@@ -92,11 +131,15 @@ class TraceSession {
   // Records dropped on ring overflow since the last Start (all threads).
   uint64_t dropped() const;
 
-  // Stops tracing, empties all buffers, zeroes drop counters.
+  // Stops tracing, empties all session buffers, zeroes drop counters.
   void ResetForTesting();
 };
 
-// Human-readable dump: "ts tid subsys.event arg0 arg1" per line.
+// Human-readable dump, one record per line:
+//   plain event:  "ts tid subsys.event arg0 arg1"
+//   span begin:   "ts tid subsys.op B d=<depth> id=<id> parent=<id>"
+//   span end:     "ts tid subsys.op E d=<depth> id=<id> dur=<ns>[ plane=fast|slow]"
+// tools/traceview parses exactly this format.
 std::string RenderTraceText(const std::vector<TraceRecord>& records);
 
 }  // namespace obs
@@ -114,7 +157,7 @@ std::string RenderTraceText(const std::vector<TraceRecord>& records);
 
 #define SKERN_TRACE(subsys, event, ...)                                  \
   do {                                                                   \
-    if (::skern::obs::TraceEnabled()) [[unlikely]] {                     \
+    if (::skern::obs::TraceActive()) [[unlikely]] {                      \
       static const uint16_t skern_trace_id_ =                            \
           ::skern::obs::InternTraceEvent(subsys, event);                 \
       ::skern::obs::EmitTrace(skern_trace_id_ __VA_OPT__(, ) __VA_ARGS__); \

@@ -1,6 +1,7 @@
 #include "src/sync/lock_registry.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 
 #include "src/base/log.h"
@@ -90,6 +91,53 @@ void EdgeRemember(LockClassId held, LockClassId acquired) {
 void EdgeCacheReset() {
   for (std::atomic<uint64_t>& cell : EdgeCache()) {
     cell.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-class contention profiles
+// ---------------------------------------------------------------------------
+// Indexed by class id, allocated lazily on a class's first blocking
+// acquisition (most classes never block). Slots are published with a CAS and
+// never freed, so OnContended and TopContended read them lock-free.
+
+struct ClassContention {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> total_ns{0};
+  std::atomic<uint64_t> max_ns{0};
+  obs::Histogram wait_hist;
+};
+
+using ContentionTable = std::array<std::atomic<ClassContention*>, kMaxLockClasses>;
+
+ContentionTable& Contention() {
+  static ContentionTable* table = new ContentionTable();  // zero-initialized
+  return *table;
+}
+
+ClassContention& ContentionSlot(LockClassId cls) {
+  std::atomic<ClassContention*>& slot = Contention()[cls];
+  ClassContention* existing = slot.load(std::memory_order_acquire);
+  if (existing != nullptr) {
+    return *existing;
+  }
+  auto fresh = std::make_unique<ClassContention>();
+  ClassContention* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(), std::memory_order_acq_rel)) {
+    return *fresh.release();
+  }
+  return *expected;  // another thread won; `fresh` is discarded
+}
+
+void ContentionReset() {
+  for (std::atomic<ClassContention*>& slot : Contention()) {
+    ClassContention* c = slot.load(std::memory_order_acquire);
+    if (c != nullptr) {
+      c->count.store(0, std::memory_order_relaxed);
+      c->total_ns.store(0, std::memory_order_relaxed);
+      c->max_ns.store(0, std::memory_order_relaxed);
+      c->wait_hist.ResetForTesting();
+    }
   }
 }
 
@@ -221,6 +269,55 @@ void LockRegistry::OnAcquire(LockClassId cls) {
   }
 }
 
+void LockRegistry::OnContended(LockClassId cls, uint64_t wait_ns) {
+  if (cls >= kMaxLockClasses) {
+    return;
+  }
+  ClassContention& c = ContentionSlot(cls);
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.total_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  uint64_t seen = c.max_ns.load(std::memory_order_relaxed);
+  while (wait_ns > seen &&
+         !c.max_ns.compare_exchange_weak(seen, wait_ns, std::memory_order_relaxed)) {
+  }
+  c.wait_hist.Observe(wait_ns);
+  SKERN_TRACE("sync", "lock_wait", cls, wait_ns);
+}
+
+std::vector<LockContentionSnapshot> LockRegistry::TopContended(size_t n) const {
+  std::vector<LockContentionSnapshot> out;
+  const uint32_t classes = class_count_.load(std::memory_order_acquire);
+  for (LockClassId cls = 0; cls < classes; ++cls) {
+    ClassContention* c = Contention()[cls].load(std::memory_order_acquire);
+    if (c == nullptr) {
+      continue;
+    }
+    uint64_t count = c->count.load(std::memory_order_relaxed);
+    if (count == 0) {
+      continue;
+    }
+    LockContentionSnapshot snap;
+    snap.cls = cls;
+    snap.name = class_names_[cls];
+    snap.count = count;
+    snap.total_wait_ns = c->total_ns.load(std::memory_order_relaxed);
+    snap.max_wait_ns = c->max_ns.load(std::memory_order_relaxed);
+    obs::Histogram::Snapshot hist = c->wait_hist.GetSnapshot();
+    snap.p50_ns = hist.p50;
+    snap.p95_ns = hist.p95;
+    snap.p99_ns = hist.p99;
+    out.push_back(std::move(snap));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LockContentionSnapshot& a, const LockContentionSnapshot& b) {
+                     return a.total_wait_ns > b.total_wait_ns;
+                   });
+  if (out.size() > n) {
+    out.resize(n);
+  }
+  return out;
+}
+
 void LockRegistry::OnRelease(LockClassId cls) {
   auto it = std::find(t_held_stack.rbegin(), t_held_stack.rend(), cls);
   SKERN_CHECK_MSG(it != t_held_stack.rend(), "releasing lock class not held by this thread");
@@ -253,6 +350,7 @@ void LockRegistry::ResetForTesting() {
   edges_.clear();
   violations_.clear();
   EdgeCacheReset();
+  ContentionReset();
 }
 
 }  // namespace skern

@@ -37,6 +37,20 @@ struct LockOrderViolation {
   std::string acquired_name;
 };
 
+// One lock class's contention profile (lockstat's waittime columns): how
+// often acquirers of this class actually blocked, and for how long.
+// Quantiles come from a per-class log2 wait-time histogram.
+struct LockContentionSnapshot {
+  LockClassId cls = 0;
+  std::string name;
+  uint64_t count = 0;          // blocking acquisitions
+  uint64_t total_wait_ns = 0;  // summed wall time spent blocked
+  uint64_t max_wait_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+};
+
 class LockRegistry {
  public:
   static LockRegistry& Get();
@@ -57,6 +71,17 @@ class LockRegistry {
   void OnAcquire(LockClassId cls);
   void OnRelease(LockClassId cls);
 
+  // Called by tracked locks after a blocking acquisition completes: records
+  // `wait_ns` of wall time spent blocked on class `cls` into the per-class
+  // contention profile, and emits a "sync.lock_wait" trace event so span
+  // trees can show which lock an operation stalled on. Lock-free (relaxed
+  // counters + a lazily allocated per-class histogram).
+  void OnContended(LockClassId cls, uint64_t wait_ns);
+
+  // The `n` most contended classes by total wait, descending (procfs
+  // /contention). Classes that never blocked are omitted.
+  std::vector<LockContentionSnapshot> TopContended(size_t n) const;
+
   // True if the current thread holds any lock of class `cls`.
   bool CurrentThreadHolds(LockClassId cls) const;
   // Number of locks currently held by this thread (any class).
@@ -70,7 +95,8 @@ class LockRegistry {
   // recorded. The fault-injection harness runs in record-only mode.
   void set_panic_on_violation(bool value);
 
-  // Drops the recorded edge graph and violations (test isolation).
+  // Drops the recorded edge graph, violations, and contention profiles
+  // (test isolation).
   void ResetForTesting();
 
  private:

@@ -18,11 +18,36 @@
 
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/sync/annotations.h"
 #include "src/sync/lock_registry.h"
 #include "src/sync/spinlock.h"
 
 namespace skern {
+
+namespace sync_internal {
+
+// Shared tail of every blocking-lock contended path: profile the wait into
+// the per-class histogram (lockstat) and charge it to the enclosing span, if
+// one is open, so a p99 outlier names the lock it stalled on. `BlockingLock`
+// is the primitive's blocking acquire, timed only on this already-slow path.
+// Compiled out with the rest of the obs plane: the baseline configuration
+// falls back to the plain blocking call.
+template <typename BlockingLock>
+inline void ContendedLock(LockClassId cls, BlockingLock&& block) {
+#ifndef SKERN_OBS_COMPILED_OUT
+  const uint64_t wait_start = obs::MonotonicNowNs();
+  block();
+  const uint64_t wait_ns = obs::MonotonicNowNs() - wait_start;
+  LockRegistry::Get().OnContended(cls, wait_ns);
+  obs::CurrentSpanAddLockWait(wait_ns);
+#else
+  (void)cls;
+  block();
+#endif
+}
+
+}  // namespace sync_internal
 
 class SKERN_CAPABILITY("mutex") TrackedMutex {
  public:
@@ -37,7 +62,7 @@ class SKERN_CAPABILITY("mutex") TrackedMutex {
     if (!mutex_.try_lock()) [[unlikely]] {
       contended_.fetch_add(1, std::memory_order_relaxed);
       SKERN_COUNTER_INC("sync.lock.contended");
-      mutex_.lock();
+      sync_internal::ContendedLock(class_id_, [this] { mutex_.lock(); });
     }
   }
 
@@ -171,7 +196,7 @@ class SKERN_CAPABILITY("rwlock") TrackedRwLock {
     if (!mutex_.try_lock_shared()) [[unlikely]] {
       contended_.fetch_add(1, std::memory_order_relaxed);
       SKERN_COUNTER_INC("sync.rwlock.contended");
-      mutex_.lock_shared();
+      sync_internal::ContendedLock(class_id_, [this] { mutex_.lock_shared(); });
     }
   }
   void UnlockShared() SKERN_RELEASE_SHARED() {
@@ -183,7 +208,7 @@ class SKERN_CAPABILITY("rwlock") TrackedRwLock {
     if (!mutex_.try_lock()) [[unlikely]] {
       contended_.fetch_add(1, std::memory_order_relaxed);
       SKERN_COUNTER_INC("sync.rwlock.contended");
-      mutex_.lock();
+      sync_internal::ContendedLock(class_id_, [this] { mutex_.lock(); });
     }
   }
   void UnlockExclusive() SKERN_RELEASE() {

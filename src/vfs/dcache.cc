@@ -253,6 +253,7 @@ void DentryCache::Erase(uint64_t parent_ino, std::string_view name) {
   }
   if (erased) {
     SKERN_GAUGE_ADD("vfs.dcache.entries", -1);
+    SKERN_TRACE("dcache", "invalidate_entry", parent_ino);
   }
 }
 

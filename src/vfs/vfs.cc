@@ -2,6 +2,7 @@
 
 #include "src/base/path.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 
 namespace skern {
@@ -144,6 +145,7 @@ Status Vfs::SyncAll() {
 }
 
 Result<Fd> Vfs::Open(const std::string& path, uint32_t flags) {
+  SKERN_SPAN_LOCKED("vfs", "open");
   SKERN_TIMED_SCOPE("vfs.open.latency_ns");
   SKERN_COUNTER_INC("vfs.open.count");
   SKERN_TRACE("vfs", "open", flags);
@@ -264,6 +266,7 @@ Result<FileAttr> Vfs::DispatchStat(OpenFile& file) {
 }
 
 Result<Bytes> Vfs::Read(Fd fd, uint64_t length) {
+  SKERN_SPAN_LOCKED("vfs", "read");
   SKERN_TIMED_SCOPE("vfs.read.latency_ns");
   SKERN_COUNTER_INC("vfs.read.count");
   SKERN_TRACE("vfs", "read", static_cast<uint64_t>(fd), length);
@@ -287,6 +290,7 @@ Result<Bytes> Vfs::Read(Fd fd, uint64_t length) {
 }
 
 Status Vfs::Write(Fd fd, ByteView data) {
+  SKERN_SPAN_LOCKED("vfs", "write");
   SKERN_TIMED_SCOPE("vfs.write.latency_ns");
   SKERN_COUNTER_INC("vfs.write.count");
   SKERN_TRACE("vfs", "write", static_cast<uint64_t>(fd), data.size());
@@ -320,6 +324,7 @@ Status Vfs::Write(Fd fd, ByteView data) {
 }
 
 Result<Bytes> Vfs::Pread(Fd fd, uint64_t offset, uint64_t length) {
+  SKERN_SPAN("vfs", "pread");
   SKERN_TIMED_SCOPE("vfs.read.latency_ns");
   SKERN_COUNTER_INC("vfs.read.count");
   SKERN_TRACE("vfs", "pread", static_cast<uint64_t>(fd), length);
@@ -333,6 +338,7 @@ Result<Bytes> Vfs::Pread(Fd fd, uint64_t offset, uint64_t length) {
 }
 
 Status Vfs::Pwrite(Fd fd, uint64_t offset, ByteView data) {
+  SKERN_SPAN("vfs", "pwrite");
   SKERN_TIMED_SCOPE("vfs.write.latency_ns");
   SKERN_COUNTER_INC("vfs.write.count");
   SKERN_TRACE("vfs", "pwrite", static_cast<uint64_t>(fd), data.size());
@@ -353,6 +359,7 @@ Result<uint64_t> Vfs::Seek(Fd fd, uint64_t offset) {
 }
 
 Status Vfs::Fsync(Fd fd) {
+  SKERN_SPAN("vfs", "fsync");
   SKERN_TIMED_SCOPE("vfs.fsync.latency_ns");
   SKERN_COUNTER_INC("vfs.fsync.count");
   SKERN_TRACE("vfs", "fsync", static_cast<uint64_t>(fd));

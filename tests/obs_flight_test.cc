@@ -1,0 +1,169 @@
+// Flight-recorder tests: the always-on last-N-events ring must collect
+// without a trace session, survive overwrite, and — the whole point — be
+// dumped to stderr by the panic path so an abort ships its recent history.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace.h"
+
+namespace skern {
+namespace {
+
+// Records from this process-wide ring filtered down to one test's events.
+std::vector<obs::TraceRecord> SnapshotOf(const char* name) {
+  std::vector<obs::TraceRecord> out;
+  for (const auto& record : obs::FlightSnapshot()) {
+    if (obs::TraceEventName(record.event_id) == name) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::ResetFlightForTesting(); }
+  void TearDown() override {
+    obs::SetFlightRecorderEnabled(true);  // restore the process default
+    obs::ResetFlightForTesting();
+  }
+};
+
+TEST_F(FlightRecorderTest, CollectsWithoutTraceSession) {
+  ASSERT_FALSE(obs::TraceSession::Get().active());
+  ASSERT_TRUE(obs::FlightRecorderEnabled());
+  SKERN_TRACE("flighttest", "always_on", 11, 22);
+  auto records = SnapshotOf("flighttest.always_on");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].arg0, 11u);
+  EXPECT_EQ(records[0].arg1, 22u);
+  // And the session stayed empty: flight collection is not a trace session.
+  EXPECT_TRUE(obs::TraceSession::Get().Drain().empty());
+}
+
+TEST_F(FlightRecorderTest, DisableStopsCollection) {
+  obs::SetFlightRecorderEnabled(false);
+  EXPECT_FALSE(obs::FlightRecorderEnabled());
+  SKERN_TRACE("flighttest", "while_off", 1);
+  EXPECT_TRUE(SnapshotOf("flighttest.while_off").empty());
+  obs::SetFlightRecorderEnabled(true);
+  SKERN_TRACE("flighttest", "while_on", 2);
+  EXPECT_EQ(SnapshotOf("flighttest.while_on").size(), 1u);
+}
+
+TEST_F(FlightRecorderTest, OverwritesOldestKeepsNewest) {
+  // Push far more than one ring holds; the survivors must be the most
+  // recent writes, contiguous up to the last one.
+  constexpr uint64_t kWrites = 4096;
+  for (uint64_t i = 0; i < kWrites; ++i) {
+    SKERN_TRACE("flighttest", "wrap", i);
+  }
+  auto records = SnapshotOf("flighttest.wrap");
+  ASSERT_FALSE(records.empty());
+  ASSERT_LT(records.size(), kWrites);  // bounded: it is a last-N ring
+  uint64_t lo = records.front().arg0;
+  uint64_t hi = records.front().arg0;
+  for (const auto& record : records) {
+    lo = std::min(lo, record.arg0);
+    hi = std::max(hi, record.arg0);
+  }
+  EXPECT_EQ(hi, kWrites - 1);                    // newest survived
+  EXPECT_EQ(hi - lo + 1, records.size());        // a contiguous tail
+  EXPECT_GT(lo, 0u);                             // oldest were overwritten
+}
+
+TEST_F(FlightRecorderTest, EightThreadStressSnapshotsStayWellFormed) {
+  // 8 writers hammer the always-on ring while the main thread snapshots
+  // concurrently — the TSan-facing test: no data races, and every observed
+  // record is structurally sane (the documented tolerance is a torn record's
+  // *payload* mixing two writes, never an out-of-range value).
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        SKERN_TRACE("flighttest", "stress", static_cast<uint64_t>(t), i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (int round = 0; round < 50; ++round) {
+    for (const auto& record : SnapshotOf("flighttest.stress")) {
+      EXPECT_LT(record.arg0, static_cast<uint64_t>(kThreads));
+      EXPECT_LT(record.arg1, kPerThread);
+    }
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  auto records = SnapshotOf("flighttest.stress");
+  EXPECT_FALSE(records.empty());
+}
+
+TEST_F(FlightRecorderTest, PanicSnapshotMatchesRegularSnapshot) {
+  SKERN_TRACE("flighttest", "lastbreath", 7);
+  auto panic_view = obs::FlightSnapshotForPanic();
+  bool found = false;
+  for (const auto& record : panic_view) {
+    if (obs::TraceEventName(record.event_id) == "flighttest.lastbreath") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+using FlightRecorderDeathTest = FlightRecorderTest;
+
+TEST_F(FlightRecorderDeathTest, CheckFailureDumpsRecentEvents) {
+  // The acceptance property: a CHECK-triggered abort must dump the flight
+  // ring, and the dump must contain the events emitted just before death.
+  EXPECT_DEATH(
+      {
+        SKERN_TRACE("flighttest", "predeath", 41, 42);
+        SKERN_TRACE("flighttest", "predeath", 43, 44);
+        SKERN_CHECK(1 + 1 == 3);
+      },
+      "skern flight recorder");
+  EXPECT_DEATH(
+      {
+        SKERN_TRACE("flighttest", "predeath", 41, 42);
+        SKERN_CHECK_MSG(false, "flight death test");
+      },
+      "flighttest.predeath 41 42");
+}
+
+#ifndef NDEBUG
+TEST_F(FlightRecorderDeathTest, DcheckFailureDumpsRecentEvents) {
+  EXPECT_DEATH(
+      {
+        SKERN_TRACE("flighttest", "dcheck_predeath", 5, 6);
+        SKERN_DCHECK(false);
+      },
+      "flighttest.dcheck_predeath 5 6");
+}
+#endif
+
+TEST_F(FlightRecorderDeathTest, DisabledRecorderDumpsNothing) {
+  EXPECT_DEATH(
+      {
+        SKERN_TRACE("flighttest", "predeath", 1, 2);
+        obs::SetFlightRecorderEnabled(false);
+        obs::ResetFlightForTesting();
+        SKERN_CHECK(false);
+      },
+      "last 0 event");
+}
+
+}  // namespace
+}  // namespace skern

@@ -1,0 +1,244 @@
+// Span-tracing tests: begin/end emission, per-thread ids and parenting,
+// gating, latency-histogram feeding, plane tagging, and lock-wait
+// attribution from real contended TrackedMutex acquisitions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceSession::Get().ResetForTesting();
+    obs::MetricsRegistry::Get().ResetAllForTesting();
+  }
+  void TearDown() override {
+    obs::TraceSession::Get().ResetForTesting();
+    obs::SetMetricsEnabled(true);
+    obs::SetLatencyTimingEnabled(true);
+    obs::SetFlightRecorderEnabled(true);
+  }
+};
+
+std::vector<obs::TraceRecord> DrainSession() { return obs::TraceSession::Get().Drain(); }
+
+// Separate functions, as in real layered code — and they keep an inner
+// bracket's variables from shadowing an outer one's.
+void RunInnerSpan() { SKERN_SPAN("spantest", "inner"); }
+void RunWorkerRootSpan() { SKERN_SPAN("spantest", "worker_root"); }
+
+TEST_F(SpanTest, EmitsBalancedBeginEndWithNesting) {
+  obs::TraceSession::Get().Start();
+  {
+    SKERN_SPAN("spantest", "outer");
+    RunInnerSpan();
+  }
+  obs::TraceSession::Get().Stop();
+  auto records = DrainSession();
+  ASSERT_EQ(records.size(), 4u);
+
+  const auto& outer_begin = records[0];
+  const auto& inner_begin = records[1];
+  const auto& inner_end = records[2];
+  const auto& outer_end = records[3];
+
+  EXPECT_TRUE(outer_begin.reserved & obs::kSpanBegin);
+  EXPECT_TRUE(inner_begin.reserved & obs::kSpanBegin);
+  EXPECT_TRUE(inner_end.reserved & obs::kSpanEnd);
+  EXPECT_TRUE(outer_end.reserved & obs::kSpanEnd);
+
+  // Parenting: inner's parent is outer's id; outer is a root (parent 0).
+  EXPECT_EQ(outer_begin.arg1, 0u);
+  EXPECT_EQ(inner_begin.arg1, outer_begin.arg0);
+  // Ids pair begin with end.
+  EXPECT_EQ(outer_begin.arg0, outer_end.arg0);
+  EXPECT_EQ(inner_begin.arg0, inner_end.arg0);
+  EXPECT_NE(outer_begin.arg0, inner_begin.arg0);
+  // Depth grows with nesting (roots are depth 0).
+  EXPECT_EQ(outer_begin.reserved & obs::kSpanDepthMask, 0u);
+  EXPECT_EQ(inner_begin.reserved & obs::kSpanDepthMask, 1u);
+  // Names intern as subsys.op.
+  EXPECT_EQ(obs::TraceEventName(outer_begin.event_id), "spantest.outer");
+  EXPECT_EQ(obs::TraceEventName(inner_begin.event_id), "spantest.inner");
+}
+
+TEST_F(SpanTest, SequentialSpansGetDistinctIds) {
+  obs::TraceSession::Get().Start();
+  for (int i = 0; i < 3; ++i) {
+    SKERN_SPAN("spantest", "seq");
+  }
+  obs::TraceSession::Get().Stop();
+  auto records = DrainSession();
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_NE(records[0].arg0, records[2].arg0);
+  EXPECT_NE(records[2].arg0, records[4].arg0);
+}
+
+TEST_F(SpanTest, ParentingNeverCrossesThreads) {
+  obs::TraceSession::Get().Start();
+  {
+    SKERN_SPAN("spantest", "main_outer");
+    std::thread worker(RunWorkerRootSpan);
+    worker.join();
+  }
+  obs::TraceSession::Get().Stop();
+  for (const auto& record : DrainSession()) {
+    if ((record.reserved & obs::kSpanBegin) &&
+        obs::TraceEventName(record.event_id) == "spantest.worker_root") {
+      // The worker's span is a root even though main had a span open.
+      EXPECT_EQ(record.arg1, 0u);
+      EXPECT_EQ(record.reserved & obs::kSpanDepthMask, 0u);
+    }
+  }
+}
+
+TEST_F(SpanTest, LockedVariantCarriesFlag) {
+  obs::TraceSession::Get().Start();
+  {
+    SKERN_SPAN_LOCKED("spantest", "locked_op");
+  }
+  obs::TraceSession::Get().Stop();
+  auto records = DrainSession();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].reserved & obs::kSpanLocked);
+  EXPECT_TRUE(records[1].reserved & obs::kSpanLocked);
+}
+
+TEST_F(SpanTest, PlaneTagRidesTheEndRecord) {
+  obs::TraceSession::Get().Start();
+  {
+    SKERN_SPAN("spantest", "fastpath");
+    skern_span_scope_.set_plane(obs::SpanPlane::kFast);
+  }
+  {
+    SKERN_SPAN("spantest", "slowpath");
+    skern_span_scope_.set_plane(obs::SpanPlane::kSlow);
+  }
+  obs::TraceSession::Get().Stop();
+  auto records = DrainSession();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_FALSE(records[0].reserved & obs::kSpanPlaneFast);  // begin: not yet known
+  EXPECT_TRUE(records[1].reserved & obs::kSpanPlaneFast);
+  EXPECT_TRUE(records[3].reserved & obs::kSpanPlaneSlow);
+}
+
+TEST_F(SpanTest, FullyGatedSpanEmitsAndObservesNothing) {
+  // All sinks and metrics off: the span must leave no record and no
+  // histogram sample — the "disabled span is one relaxed load" contract's
+  // observable half.
+  obs::SetFlightRecorderEnabled(false);
+  obs::SetMetricsEnabled(false);
+  {
+    SKERN_SPAN("spantest", "gated");
+  }
+  obs::SetMetricsEnabled(true);
+  obs::SetFlightRecorderEnabled(true);
+  EXPECT_TRUE(DrainSession().empty());
+  EXPECT_TRUE(
+      obs::MetricsRegistry::Get().HistogramSnapshots("span.spantest.gated").empty());
+}
+
+TEST_F(SpanTest, LatencyOnlyGateFeedsHistogramWithoutRecords) {
+  // Metrics on, every trace sink off: close still observes the latency
+  // histogram but no begin/end records exist anywhere.
+  obs::SetFlightRecorderEnabled(false);
+  {
+    SKERN_SPAN("spantest", "latency_only");
+  }
+  obs::SetFlightRecorderEnabled(true);
+  EXPECT_TRUE(DrainSession().empty());
+  auto snaps = obs::MetricsRegistry::Get().HistogramSnapshots("span.spantest.latency_only");
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].first, "span.spantest.latency_only.ns");
+  EXPECT_EQ(snaps[0].second.count, 1u);
+}
+
+TEST_F(SpanTest, PlaneSplitsLatencySeries) {
+  {
+    SKERN_SPAN("spantest", "planes");
+    skern_span_scope_.set_plane(obs::SpanPlane::kFast);
+  }
+  {
+    SKERN_SPAN("spantest", "planes");
+    skern_span_scope_.set_plane(obs::SpanPlane::kSlow);
+  }
+  {
+    SKERN_SPAN("spantest", "planes");
+  }
+  auto snaps = obs::MetricsRegistry::Get().HistogramSnapshots("span.spantest.planes");
+  ASSERT_EQ(snaps.size(), 3u);  // .fast.ns, .ns, .slow.ns
+  for (const auto& [name, snap] : snaps) {
+    EXPECT_EQ(snap.count, 1u) << name;
+  }
+}
+
+TEST_F(SpanTest, ContendedMutexChargesTheEnclosingSpan) {
+  // Real contention end-to-end: a worker holds the mutex while this thread,
+  // inside a span, blocks on it. The wait must land in the span's
+  // lock_wait_ns histogram AND in the per-class contention profile that
+  // procfs /contention reports.
+  LockRegistry::Get().ResetForTesting();
+  TrackedMutex mutex("spantest.contended_mutex");
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    mutex.Lock();
+    held.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    mutex.Unlock();
+  });
+  while (!held.load(std::memory_order_acquire)) {
+  }
+  {
+    SKERN_SPAN_LOCKED("spantest", "contended_op");
+    mutex.Lock();  // the holder is mid-sleep: this blocks
+    mutex.Unlock();
+  }
+  holder.join();
+
+  auto snaps = obs::MetricsRegistry::Get().HistogramSnapshots(
+      "span.spantest.contended_op.lock_wait_ns");
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].second.count, 1u);
+  EXPECT_GT(snaps[0].second.sum, 0u);
+
+  auto top = LockRegistry::Get().TopContended(10);
+  bool found = false;
+  for (const auto& entry : top) {
+    if (entry.name == "spantest.contended_mutex") {
+      found = true;
+      EXPECT_GE(entry.count, 1u);
+      EXPECT_GT(entry.total_wait_ns, 0u);
+      // Quantiles are log2-bucket upper-bound estimates, so only check that
+      // they are populated and ordered, not against the exact max.
+      EXPECT_GT(entry.p50_ns, 0u);
+      EXPECT_GE(entry.p99_ns, entry.p50_ns);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SpanTest, UncontendedLockChargesNothing) {
+  TrackedMutex mutex("spantest.quiet_mutex");
+  {
+    SKERN_SPAN_LOCKED("spantest", "quiet_op");
+    mutex.Lock();
+    mutex.Unlock();
+  }
+  EXPECT_TRUE(obs::MetricsRegistry::Get()
+                  .HistogramSnapshots("span.spantest.quiet_op.lock_wait_ns")
+                  .empty());
+}
+
+}  // namespace
+}  // namespace skern

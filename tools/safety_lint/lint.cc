@@ -610,6 +610,31 @@ bool IsSmartPointerAdoption(const std::vector<Token>& tokens, size_t i) {
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// O001 support
+// ---------------------------------------------------------------------------
+
+// Does [begin, end) visibly acquire any lock: a RAII guard construction or a
+// direct blocking-acquire method call (`x.Lock()`, `x->LockShared()`, ...)?
+bool AcquiresAnyLock(const std::vector<Token>& tokens, size_t begin, size_t end) {
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (!tok.is_ident) {
+      continue;
+    }
+    if (IsGuardType(tok.text)) {
+      return true;
+    }
+    if ((tok.text == "Lock" || tok.text == "LockExclusive" || tok.text == "LockShared" ||
+         tok.text == "lock" || tok.text == "lock_shared") &&
+        i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->") &&
+        i + 1 < tokens.size() && tokens[i + 1].text == "(") {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -814,6 +839,42 @@ std::vector<Finding> LintFile(const std::string& virtual_path, const std::string
       findings.push_back({virtual_path, tok.line, "P004",
                           "raw " + tok.text + " outside src/base/bytes.h",
                           "go through Bytes/MutableByteView so sizes stay checked"});
+    }
+  }
+
+  // --- O001: observability-plane hygiene ---
+  // Outside the obs plane itself: (a) a plain SKERN_SPAN whose scope goes on
+  // to acquire a lock must be SKERN_SPAN_LOCKED, so lock-wait attribution and
+  // the contention profile see the span; (b) the raw emit entry points are
+  // reserved for src/obs — everything else goes through SKERN_TRACE /
+  // SKERN_SPAN, which intern the site and gate on the sink mask.
+  if (!StartsWith(virtual_path, "src/obs/") && !grandfathered) {
+    std::vector<FunctionSpan> obs_spans = FindFunctions(tokens);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& tok = tokens[i];
+      if (!tok.is_ident) {
+        continue;
+      }
+      if ((tok.text == "EmitTrace" || tok.text == "EmitTraceFlags") && i + 1 < tokens.size() &&
+          tokens[i + 1].text == "(") {
+        findings.push_back({virtual_path, tok.line, "O001",
+                            "raw " + tok.text + " call outside src/obs",
+                            "emit through SKERN_TRACE / SKERN_SPAN so the site is interned "
+                            "and gated"});
+        continue;
+      }
+      if (tok.text == "SKERN_SPAN" && i + 1 < tokens.size() && tokens[i + 1].text == "(") {
+        const FunctionSpan* fn = EnclosingFunction(obs_spans, i);
+        // The span scope runs to the end of the enclosing function body; a
+        // lock acquired anywhere after it is inside the span's scope.
+        if (fn != nullptr && AcquiresAnyLock(tokens, i, fn->body_end)) {
+          findings.push_back({virtual_path, tok.line, "O001",
+                              "SKERN_SPAN scope covers a lock acquisition without the "
+                              "locked annotation",
+                              "use SKERN_SPAN_LOCKED(subsys, op) so contention is "
+                              "attributed to the span"});
+        }
+      }
     }
   }
 

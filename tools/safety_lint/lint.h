@@ -20,6 +20,9 @@
 //   P004  memcpy/memmove/memset outside src/base/bytes.h.
 //   G001  access to a SKERN_GUARDED_BY field with no visible acquisition of
 //         the named lock in the enclosing function.
+//   O001  observability hygiene: a plain SKERN_SPAN in a function that goes
+//         on to acquire a lock (use SKERN_SPAN_LOCKED), or a raw
+//         EmitTrace/EmitTraceFlags call outside src/obs.
 //
 // Fixture files may carry a `// lint-as: src/...` directive naming the path
 // the rules should pretend the file lives at (testdata snippets).

@@ -105,6 +105,17 @@ TEST(SafetyLintFixtures, UnguardedFieldAccessFlagged) {
   EXPECT_EQ(counts.size(), 1u) << "only G001 expected";
 }
 
+TEST(SafetyLintFixtures, SpanOverLockFlagged) {
+  auto counts = LintFixture("bad_span_lock.cc");
+  EXPECT_EQ(counts["O001"], 2);  // guard form + direct Lock() form; the
+                                 // annotated and lock-free functions pass
+}
+
+TEST(SafetyLintFixtures, RawEmitTraceFlagged) {
+  auto counts = LintFixture("bad_emittrace.cc");
+  EXPECT_EQ(counts["O001"], 2);  // EmitTrace + EmitTraceFlags; SKERN_TRACE passes
+}
+
 TEST(SafetyLintFixtures, AllowancesStayClean) {
   auto counts = LintFixture("good_clean.cc");
   EXPECT_TRUE(counts.empty());

@@ -1,0 +1,25 @@
+// lint-as: src/fs/bad_emittrace.cc
+// Known-bad fixture for O001: raw trace-emission entry points called outside
+// src/obs. Kernel code must go through SKERN_TRACE / SKERN_SPAN, which intern
+// the site once and gate on the sink mask.
+
+#include "src/obs/trace.h"
+
+namespace skern {
+
+void EmitsRaw() {
+  // BAD: bypasses site interning and the enabled-check.
+  obs::EmitTrace(7, 1, 2);
+}
+
+void EmitsRawFlags() {
+  // BAD: the flags entry point is the span machinery's, not ours.
+  obs::EmitTraceFlags(7, 0x8000, 3, 4);
+}
+
+void EmitsProperly() {
+  // OK: the macro is the sanctioned path.
+  SKERN_TRACE("fixture", "proper", 5, 6);
+}
+
+}  // namespace skern

@@ -1,0 +1,45 @@
+// lint-as: src/vfs/bad_span_lock.cc
+// Known-bad fixture for O001: plain SKERN_SPAN in functions that acquire a
+// lock inside the span's scope. Both the RAII-guard and the direct Lock()
+// forms must be flagged; the properly annotated and lock-free functions must
+// not be.
+
+#include "src/obs/span.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+
+struct BadSpanLock {
+  TrackedMutex mutex_{"fixture.mutex"};
+  int value_ = 0;
+
+  // BAD: the span is open across a MutexGuard acquisition.
+  int ReadWithGuard() {
+    SKERN_SPAN("fixture", "read_guarded");
+    MutexGuard guard(mutex_);
+    return value_;
+  }
+
+  // BAD: direct Lock() call inside the span scope.
+  void WriteWithDirectLock(int v) {
+    SKERN_SPAN("fixture", "write_locked");
+    mutex_.Lock();
+    value_ = v;
+    mutex_.Unlock();
+  }
+
+  // OK: the locked variant announces the acquisition.
+  int ReadAnnotated() {
+    SKERN_SPAN_LOCKED("fixture", "read_annotated");
+    MutexGuard guard(mutex_);
+    return value_;
+  }
+
+  // OK: no lock anywhere in the span's scope.
+  int ReadLockFree() const {
+    SKERN_SPAN("fixture", "read_lockfree");
+    return 42;
+  }
+};
+
+}  // namespace skern

@@ -1,0 +1,73 @@
+// traceview CLI: reconstruct span trees from a drained trace stream.
+//
+//   traceview [--tree|--latency|--contention] [file]
+//
+// Reads RenderTraceText output (procfs /trace body, or a saved drain) from
+// `file` or stdin and prints the selected view. All three views come from
+// the same parse, so piping one stream through each mode is cheap.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "tools/traceview/traceview.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: traceview [--tree|--latency|--contention] [file]\n"
+               "  --tree        span forest with nested durations (default)\n"
+               "  --latency     per-span-name latency rollup\n"
+               "  --contention  lock-wait rollup from sync.lock_wait events\n"
+               "reads trace text (RenderTraceText format) from file or stdin\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "--tree";
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--tree" || arg == "--latency" || arg == "--contention") {
+      mode = arg;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ostringstream buffer;
+  if (path.empty()) {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "traceview: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    buffer << in.rdbuf();
+  }
+
+  auto events = skern::traceview::ParseText(buffer.str());
+  if (mode == "--contention") {
+    std::cout << skern::traceview::RenderContention(events);
+    return 0;
+  }
+  auto forest = skern::traceview::BuildSpans(events);
+  if (mode == "--latency") {
+    std::cout << skern::traceview::RenderLatencySummary(forest);
+  } else {
+    std::cout << skern::traceview::RenderTree(forest);
+  }
+  return 0;
+}

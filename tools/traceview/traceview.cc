@@ -1,0 +1,344 @@
+#include "tools/traceview/traceview.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace skern {
+namespace traceview {
+namespace {
+
+// Parses "key=value" returning true and the integer value on match.
+bool KeyedU64(std::string_view token, std::string_view key, uint64_t* out) {
+  if (token.size() <= key.size() + 1 || token.substr(0, key.size()) != key ||
+      token[key.size()] != '=') {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : token.substr(key.size() + 1)) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+std::vector<std::string_view> SplitWs(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      tokens.push_back(line.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+// A span currently open during reconstruction: node index plus position in
+// the per-thread open stack.
+struct OpenSpan {
+  size_t node = 0;
+};
+
+void RenderNode(const SpanForest& forest, size_t index, int indent, std::ostringstream& os) {
+  const SpanNode& node = forest.nodes[index];
+  for (int i = 0; i < indent; ++i) {
+    os << "  ";
+  }
+  os << node.name << " id=" << node.id;
+  if (node.closed) {
+    os << " dur=" << node.dur_ns << "ns";
+  } else {
+    os << " UNCLOSED";
+  }
+  if (!node.plane.empty()) {
+    os << " plane=" << node.plane;
+  }
+  os << "\n";
+  // Children and interior events interleave by timestamp so the printed
+  // order matches execution order.
+  size_t child = 0;
+  size_t event = 0;
+  while (child < node.children.size() || event < node.events.size()) {
+    bool take_child =
+        event >= node.events.size() ||
+        (child < node.children.size() &&
+         forest.nodes[node.children[child]].start_ts <= node.events[event].ts);
+    if (take_child) {
+      RenderNode(forest, node.children[child], indent + 1, os);
+      ++child;
+    } else {
+      for (int i = 0; i < indent + 1; ++i) {
+        os << "  ";
+      }
+      os << "- " << node.events[event].name << " " << node.events[event].arg0 << " "
+         << node.events[event].arg1 << "\n";
+      ++event;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Event> FromRecords(const std::vector<obs::TraceRecord>& records) {
+  std::vector<Event> events;
+  events.reserve(records.size());
+  for (const auto& record : records) {
+    Event event;
+    event.ts = record.ts;
+    event.tid = record.tid;
+    event.name = obs::TraceEventName(record.event_id);
+    if (record.reserved & obs::kSpanBegin) {
+      event.kind = Event::Kind::kBegin;
+      event.depth = record.reserved & obs::kSpanDepthMask;
+      event.id = record.arg0;
+      event.parent = record.arg1;
+    } else if (record.reserved & obs::kSpanEnd) {
+      event.kind = Event::Kind::kEnd;
+      event.depth = record.reserved & obs::kSpanDepthMask;
+      event.id = record.arg0;
+      event.dur_ns = record.arg1;
+      if (record.reserved & obs::kSpanPlaneFast) {
+        event.plane = "fast";
+      } else if (record.reserved & obs::kSpanPlaneSlow) {
+        event.plane = "slow";
+      }
+    } else {
+      event.kind = Event::Kind::kPlain;
+      event.arg0 = record.arg0;
+      event.arg1 = record.arg1;
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<Event> ParseText(std::string_view text) {
+  std::vector<Event> events;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    auto tokens = SplitWs(line);
+    // Minimum shape: "ts tid name ..." with numeric ts/tid.
+    Event event;
+    uint64_t tid64 = 0;
+    if (tokens.size() < 4 || !ParseU64(tokens[0], &event.ts) || !ParseU64(tokens[1], &tid64)) {
+      continue;
+    }
+    event.tid = static_cast<uint32_t>(tid64);
+    event.name = std::string(tokens[2]);
+    if (tokens[3] == "B" || tokens[3] == "E") {
+      uint64_t depth = 0;
+      bool ok = tokens.size() >= 6 && KeyedU64(tokens[4], "d", &depth) &&
+                KeyedU64(tokens[5], "id", &event.id);
+      if (!ok) {
+        continue;
+      }
+      event.depth = static_cast<uint32_t>(depth);
+      if (tokens[3] == "B") {
+        if (tokens.size() < 7 || !KeyedU64(tokens[6], "parent", &event.parent)) {
+          continue;
+        }
+        event.kind = Event::Kind::kBegin;
+      } else {
+        if (tokens.size() < 7 || !KeyedU64(tokens[6], "dur", &event.dur_ns)) {
+          continue;
+        }
+        event.kind = Event::Kind::kEnd;
+        if (tokens.size() >= 8 && tokens[7] == "plane=fast") {
+          event.plane = "fast";
+        } else if (tokens.size() >= 8 && tokens[7] == "plane=slow") {
+          event.plane = "slow";
+        }
+      }
+    } else {
+      if (tokens.size() != 5 || !ParseU64(tokens[3], &event.arg0) ||
+          !ParseU64(tokens[4], &event.arg1)) {
+        continue;
+      }
+      event.kind = Event::Kind::kPlain;
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+SpanForest BuildSpans(const std::vector<Event>& events) {
+  SpanForest forest;
+  // (tid, id) -> node index for open spans; per-tid stack of open spans for
+  // plain-event attribution.
+  std::map<std::pair<uint32_t, uint64_t>, size_t> open;
+  std::map<uint32_t, std::vector<size_t>> stacks;
+  for (const auto& event : events) {
+    switch (event.kind) {
+      case Event::Kind::kBegin: {
+        SpanNode node;
+        node.name = event.name;
+        node.tid = event.tid;
+        node.id = event.id;
+        node.parent_id = event.parent;
+        node.depth = event.depth;
+        node.start_ts = event.ts;
+        size_t index = forest.nodes.size();
+        forest.nodes.push_back(std::move(node));
+        auto parent = open.find({event.tid, event.parent});
+        if (event.parent != 0 && parent != open.end()) {
+          forest.nodes[parent->second].children.push_back(index);
+        } else {
+          forest.roots.push_back(index);
+        }
+        open[{event.tid, event.id}] = index;
+        stacks[event.tid].push_back(index);
+        break;
+      }
+      case Event::Kind::kEnd: {
+        auto it = open.find({event.tid, event.id});
+        if (it == open.end()) {
+          break;  // end without begin: the ring overwrote the open record
+        }
+        SpanNode& node = forest.nodes[it->second];
+        node.end_ts = event.ts;
+        node.dur_ns = event.dur_ns;
+        node.plane = event.plane;
+        node.closed = true;
+        auto& stack = stacks[event.tid];
+        // Spans close LIFO per thread; tolerate a missing-end hole by
+        // popping through it.
+        while (!stack.empty()) {
+          size_t top = stack.back();
+          stack.pop_back();
+          if (top == it->second) {
+            break;
+          }
+        }
+        open.erase(it);
+        break;
+      }
+      case Event::Kind::kPlain: {
+        auto& stack = stacks[event.tid];
+        if (stack.empty()) {
+          forest.orphan_events.push_back(event);
+        } else {
+          forest.nodes[stack.back()].events.push_back(event);
+        }
+        break;
+      }
+    }
+  }
+  return forest;
+}
+
+std::string RenderTree(const SpanForest& forest) {
+  std::ostringstream os;
+  uint32_t current_tid = 0;
+  bool first = true;
+  for (size_t root : forest.roots) {
+    if (first || forest.nodes[root].tid != current_tid) {
+      current_tid = forest.nodes[root].tid;
+      os << "[tid " << current_tid << "]\n";
+      first = false;
+    }
+    RenderNode(forest, root, 1, os);
+  }
+  if (!forest.orphan_events.empty()) {
+    os << "[unattributed]\n";
+    for (const auto& event : forest.orphan_events) {
+      os << "  - " << event.name << " " << event.arg0 << " " << event.arg1 << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderLatencySummary(const SpanForest& forest) {
+  struct Agg {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+    uint64_t fast = 0;
+    uint64_t slow = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const auto& node : forest.nodes) {
+    if (!node.closed) {
+      continue;
+    }
+    Agg& agg = by_name[node.name];
+    ++agg.count;
+    agg.total_ns += node.dur_ns;
+    agg.max_ns = std::max(agg.max_ns, node.dur_ns);
+    if (node.plane == "fast") {
+      ++agg.fast;
+    } else if (node.plane == "slow") {
+      ++agg.slow;
+    }
+  }
+  std::ostringstream os;
+  for (const auto& [name, agg] : by_name) {
+    os << name << " count=" << agg.count << " total_ns=" << agg.total_ns
+       << " avg_ns=" << agg.total_ns / agg.count << " max_ns=" << agg.max_ns;
+    if (agg.fast + agg.slow > 0) {
+      os << " fast=" << agg.fast << " slow=" << agg.slow;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderContention(const std::vector<Event>& events) {
+  struct Agg {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  std::map<uint64_t, Agg> by_class;  // lock class id -> waits
+  for (const auto& event : events) {
+    if (event.kind != Event::Kind::kPlain || event.name != "sync.lock_wait") {
+      continue;
+    }
+    Agg& agg = by_class[event.arg0];
+    ++agg.count;
+    agg.total_ns += event.arg1;
+    agg.max_ns = std::max(agg.max_ns, event.arg1);
+  }
+  std::vector<std::pair<uint64_t, Agg>> sorted(by_class.begin(), by_class.end());
+  std::stable_sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  std::ostringstream os;
+  for (const auto& [cls, agg] : sorted) {
+    os << "class=" << cls << " count=" << agg.count << " total_ns=" << agg.total_ns
+       << " max_ns=" << agg.max_ns << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace traceview
+}  // namespace skern

@@ -1,0 +1,93 @@
+// traceview: offline span-tree reconstruction for skern trace streams.
+//
+// The kernel's tracer emits a flat, time-ordered record stream (SKERN_TRACE
+// plain events plus SKERN_SPAN begin/end pairs — src/obs/trace.h). This
+// library rebuilds the cross-layer structure from that stream: which VFS
+// operation contained which SafeFs handle-plane call contained which buffer
+// cache fill, what each level cost, and which locks the operation stalled
+// on. It consumes either in-process TraceRecord vectors (tier-1 tests) or
+// the text form produced by RenderTraceText / procfs /trace (the CLI).
+//
+// Reconstruction rules mirror the emitter (src/obs/span.cc):
+//   - span ids are unique per thread; (tid, id) keys a span instance;
+//   - parent=0 marks a root span; parenting never crosses threads;
+//   - a plain event belongs to the innermost span open on its thread at
+//     emission time, else it is an orphan;
+//   - a begin with no matching end stays in the tree, marked unclosed
+//     (flight-recorder dumps routinely truncate mid-operation).
+#ifndef SKERN_TOOLS_TRACEVIEW_TRACEVIEW_H_
+#define SKERN_TOOLS_TRACEVIEW_TRACEVIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace skern {
+namespace traceview {
+
+// One parsed trace line / record, the common input currency.
+struct Event {
+  enum class Kind { kPlain, kBegin, kEnd };
+  Kind kind = Kind::kPlain;
+  uint64_t ts = 0;
+  uint32_t tid = 0;
+  std::string name;     // "subsys.event"
+  uint32_t depth = 0;   // spans only
+  uint64_t id = 0;      // spans only
+  uint64_t parent = 0;  // begin only; 0 = root
+  uint64_t dur_ns = 0;  // end only
+  std::string plane;    // end only: "", "fast", "slow"
+  uint64_t arg0 = 0;    // plain only
+  uint64_t arg1 = 0;    // plain only
+};
+
+// One reconstructed span with its children and interior plain events.
+struct SpanNode {
+  std::string name;
+  uint32_t tid = 0;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  uint32_t depth = 0;
+  uint64_t start_ts = 0;
+  uint64_t end_ts = 0;
+  uint64_t dur_ns = 0;
+  std::string plane;    // "", "fast", "slow"
+  bool closed = false;  // end record seen
+  std::vector<size_t> children;  // indices into SpanForest::nodes
+  std::vector<Event> events;     // plain events emitted inside this span
+};
+
+struct SpanForest {
+  std::vector<SpanNode> nodes;
+  std::vector<size_t> roots;         // indices of parentless spans
+  std::vector<Event> orphan_events;  // plain events outside any span
+};
+
+// Converts drained TraceRecords (already (ts, tid)-ordered) to events.
+std::vector<Event> FromRecords(const std::vector<obs::TraceRecord>& records);
+
+// Parses RenderTraceText output, one event per line. Unparseable lines
+// (e.g. the "session active" / "dropped N" header of procfs /trace) are
+// skipped.
+std::vector<Event> ParseText(std::string_view text);
+
+// Rebuilds the span forest from a time-ordered event stream.
+SpanForest BuildSpans(const std::vector<Event>& events);
+
+// Indented per-thread span tree with durations, planes, and interior events.
+std::string RenderTree(const SpanForest& forest);
+
+// Per-span-name latency rollup: count, total/avg/max ns, fast/slow split.
+std::string RenderLatencySummary(const SpanForest& forest);
+
+// Lock-contention rollup from "sync.lock_wait" events (class id, wait ns):
+// per-class count, total, and max wait, sorted by total descending.
+std::string RenderContention(const std::vector<Event>& events);
+
+}  // namespace traceview
+}  // namespace skern
+
+#endif  // SKERN_TOOLS_TRACEVIEW_TRACEVIEW_H_

@@ -1,0 +1,201 @@
+// traceview self-tests: parsing, span-forest reconstruction, render modes,
+// and the cross-layer integration check — a real Vfs::Pread over SafeFs must
+// reconstruct to the VFS -> handle-plane -> buffer-cache span chain.
+#include "tools/traceview/traceview.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/block/block_device.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/obs/span.h"
+#include "src/obs/trace.h"
+#include "src/vfs/vfs.h"
+
+namespace skern {
+namespace traceview {
+namespace {
+
+TEST(TraceviewParse, PlainSpanAndHeaderLines) {
+  const char* text =
+      "session stopped\n"
+      "dropped 0\n"
+      "100 1 vfs.pread B d=1 id=7 parent=0\n"
+      "110 1 block.cache_hit 42 0\n"
+      "150 1 vfs.pread E d=1 id=7 dur=50 plane=fast\n";
+  auto events = ParseText(text);
+  ASSERT_EQ(events.size(), 3u);  // both header lines skipped
+  EXPECT_EQ(events[0].kind, Event::Kind::kBegin);
+  EXPECT_EQ(events[0].name, "vfs.pread");
+  EXPECT_EQ(events[0].id, 7u);
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_EQ(events[1].kind, Event::Kind::kPlain);
+  EXPECT_EQ(events[1].arg0, 42u);
+  EXPECT_EQ(events[2].kind, Event::Kind::kEnd);
+  EXPECT_EQ(events[2].dur_ns, 50u);
+  EXPECT_EQ(events[2].plane, "fast");
+}
+
+TEST(TraceviewBuild, NestsByParentIdAndAttributesEvents) {
+  const char* text =
+      "100 1 vfs.pread B d=1 id=1 parent=0\n"
+      "110 1 safefs.read_at B d=2 id=2 parent=1\n"
+      "120 1 block.cache_hit 9 0\n"
+      "130 1 safefs.read_at E d=2 id=2 dur=20 plane=fast\n"
+      "140 1 vfs.pread E d=1 id=1 dur=40\n";
+  auto forest = BuildSpans(ParseText(text));
+  ASSERT_EQ(forest.roots.size(), 1u);
+  const SpanNode& root = forest.nodes[forest.roots[0]];
+  EXPECT_EQ(root.name, "vfs.pread");
+  EXPECT_TRUE(root.closed);
+  EXPECT_EQ(root.dur_ns, 40u);
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanNode& child = forest.nodes[root.children[0]];
+  EXPECT_EQ(child.name, "safefs.read_at");
+  EXPECT_EQ(child.plane, "fast");
+  ASSERT_EQ(child.events.size(), 1u);  // cache_hit landed inside the leaf
+  EXPECT_EQ(child.events[0].name, "block.cache_hit");
+  EXPECT_TRUE(root.events.empty());
+  EXPECT_TRUE(forest.orphan_events.empty());
+}
+
+TEST(TraceviewBuild, ThreadsStayIndependent) {
+  // Same span ids on two threads must not cross-link.
+  const char* text =
+      "100 1 vfs.read B d=1 id=1 parent=0\n"
+      "101 2 vfs.write B d=1 id=1 parent=0\n"
+      "110 2 vfs.write E d=1 id=1 dur=9\n"
+      "120 1 vfs.read E d=1 id=1 dur=20\n";
+  auto forest = BuildSpans(ParseText(text));
+  ASSERT_EQ(forest.roots.size(), 2u);
+  EXPECT_EQ(forest.nodes[forest.roots[0]].tid, 1u);
+  EXPECT_EQ(forest.nodes[forest.roots[1]].tid, 2u);
+  EXPECT_TRUE(forest.nodes[forest.roots[0]].children.empty());
+  EXPECT_TRUE(forest.nodes[forest.roots[1]].children.empty());
+}
+
+TEST(TraceviewBuild, UnclosedSpansAndOrphansSurvive) {
+  const char* text =
+      "90 1 dcache.miss 5 0\n"
+      "100 1 vfs.open B d=1 id=3 parent=0\n";
+  auto forest = BuildSpans(ParseText(text));
+  ASSERT_EQ(forest.roots.size(), 1u);
+  EXPECT_FALSE(forest.nodes[forest.roots[0]].closed);
+  ASSERT_EQ(forest.orphan_events.size(), 1u);
+  EXPECT_EQ(forest.orphan_events[0].name, "dcache.miss");
+  std::string tree = RenderTree(forest);
+  EXPECT_NE(tree.find("UNCLOSED"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("[unattributed]"), std::string::npos) << tree;
+}
+
+TEST(TraceviewRender, LatencySummaryAggregatesAcrossPlanes) {
+  const char* text =
+      "100 1 safefs.read_at B d=1 id=1 parent=0\n"
+      "110 1 safefs.read_at E d=1 id=1 dur=10 plane=fast\n"
+      "200 1 safefs.read_at B d=1 id=2 parent=0\n"
+      "230 1 safefs.read_at E d=1 id=2 dur=30 plane=slow\n";
+  auto summary = RenderLatencySummary(BuildSpans(ParseText(text)));
+  EXPECT_NE(summary.find("safefs.read_at count=2 total_ns=40 avg_ns=20 max_ns=30 "
+                         "fast=1 slow=1"),
+            std::string::npos)
+      << summary;
+}
+
+TEST(TraceviewRender, ContentionSortsByTotalWait) {
+  const char* text =
+      "100 1 sync.lock_wait 4 500\n"
+      "110 1 sync.lock_wait 9 10000\n"
+      "120 2 sync.lock_wait 4 700\n";
+  auto report = RenderContention(ParseText(text));
+  size_t hot = report.find("class=9 count=1 total_ns=10000 max_ns=10000");
+  size_t warm = report.find("class=4 count=2 total_ns=1200 max_ns=700");
+  ASSERT_NE(hot, std::string::npos) << report;
+  ASSERT_NE(warm, std::string::npos) << report;
+  EXPECT_LT(hot, warm) << report;
+}
+
+// Walks the forest looking for a path root->...->leaf matching `names`.
+bool HasChain(const SpanForest& forest, size_t index, const std::vector<std::string>& names,
+              size_t at) {
+  if (forest.nodes[index].name != names[at]) {
+    return false;
+  }
+  if (at + 1 == names.size()) {
+    return true;
+  }
+  for (size_t child : forest.nodes[index].children) {
+    if (HasChain(forest, child, names, at + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ForestHasChain(const SpanForest& forest, const std::vector<std::string>& names) {
+  for (size_t i = 0; i < forest.nodes.size(); ++i) {
+    if (HasChain(forest, i, names, 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(TraceviewIntegration, ReconstructsMultiLayerPreadTree) {
+  // The acceptance scenario: Vfs::Pread over SafeFs must reconstruct as
+  // vfs.pread -> safefs.read_at -> block.append_from_block once the warm
+  // fast path serves reads through the buffer cache. The first read is the
+  // cold slow path (block map not yet warmed) and must carry the slow-plane
+  // tag; the second is the fast path that traverses the cache.
+  RamDisk disk(256, 21);
+  Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("/", SafeFs::Format(disk, 64, 16).value()).ok());
+  auto fd = vfs.Open("/spanfile", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  Bytes data(2 * kBlockSize, 0x5a);
+  ASSERT_TRUE(vfs.Pwrite(*fd, 0, ByteView(data)).ok());
+  ASSERT_TRUE(vfs.Fsync(*fd).ok());
+
+  auto& session = obs::TraceSession::Get();
+  session.ResetForTesting();
+  session.Start();
+  auto cold = vfs.Pread(*fd, 0, kBlockSize);
+  auto warm = vfs.Pread(*fd, 0, kBlockSize);
+  session.Stop();
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->size(), kBlockSize);
+  ASSERT_TRUE(vfs.Close(*fd).ok());
+
+  // Exercise both input paths: raw records and the rendered text round-trip.
+  auto records = session.Drain();
+  session.ResetForTesting();
+  ASSERT_FALSE(records.empty());
+  auto from_records = BuildSpans(FromRecords(records));
+  auto from_text = BuildSpans(ParseText(obs::RenderTraceText(records)));
+
+  const std::vector<std::string> chain = {"vfs.pread", "safefs.read_at",
+                                          "block.append_from_block"};
+  EXPECT_TRUE(ForestHasChain(from_records, chain)) << RenderTree(from_records);
+  EXPECT_TRUE(ForestHasChain(from_text, chain)) << RenderTree(from_text);
+
+  // Plane attribution: the cold read fell back to the slow path, the warm
+  // one was served fast.
+  bool saw_slow_read_at = false;
+  bool saw_fast_read_at = false;
+  for (const auto& node : from_records.nodes) {
+    if (node.name == "safefs.read_at" && node.closed) {
+      saw_slow_read_at = saw_slow_read_at || node.plane == "slow";
+      saw_fast_read_at = saw_fast_read_at || node.plane == "fast";
+    }
+  }
+  EXPECT_TRUE(saw_slow_read_at) << RenderTree(from_records);
+  EXPECT_TRUE(saw_fast_read_at) << RenderTree(from_records);
+
+  auto summary = RenderLatencySummary(from_records);
+  EXPECT_NE(summary.find("vfs.pread count=2"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace traceview
+}  // namespace skern
