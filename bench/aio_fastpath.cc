@@ -1,0 +1,376 @@
+// Async submission/completion plane: batched aio + buffered write-back +
+// concurrent journal transactions.
+//
+// The question, answered with JSON on stdout: what do the PR's three write
+// optimizations buy, separately and together, on steady-state 1 KiB
+// overwrites of already-open files?
+//
+//   * base:       path dispatch, synchronous writes (handle accel off,
+//                 write-back off) — the pre-handle-plane baseline.
+//   * sync:       handle-accelerated synchronous writes (write-back off) —
+//                 the PR-5 plane this PR starts from. The gate's denominator.
+//   * wb:         handle-accelerated buffered writes (write-back on): each
+//                 Pwrite lands in the dirty-inode overlay under the shared
+//                 per-inode rwlock, allocation deferred to the drain.
+//   * aio:        write-back plus ring batching through an inline AioQueue:
+//                 one descriptor resolution and one submit/harvest round
+//                 per 32 ops instead of one VFS crossing per op.
+//   * aio_engine: the same rings bound to a shared 3-worker AioEngine —
+//                 submitters overlap with execution (the io_uring shape).
+//
+// A separate fsync_mixed cell batches a durability barrier in with every
+// 64 writes, exercising group commit + concurrent journal transactions
+// under the async plane vs. the synchronous Pwrite+Fsync loop.
+//
+// Run:  ./build/bench/aio_fastpath [--smoke]
+// --smoke shortens the windows for CI and exits non-zero if batched async
+// writes stop paying: aio must beat the synchronous accel write path by
+// >= 1.5x and the base path plane by >= 3x at 8 threads (noise headroom
+// under the committed full-run ratios of >= 2x and >= 5x).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/aio/aio.h"
+#include "src/base/bytes.h"
+#include "src/base/rng.h"
+#include "src/block/block_device.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/vfs/vfs.h"
+
+using namespace skern;
+
+namespace {
+
+uint64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr uint64_t kDeviceBlocks = 32768;
+constexpr uint64_t kInodeCount = 128;
+constexpr uint64_t kJournalBlocks = 64;
+constexpr int kDepth = 8;    // directory components above each file
+constexpr int kFiles = 8;    // one per thread at full width
+constexpr uint64_t kFileBytes = 256 * 1024;
+constexpr uint64_t kChunk = 1024;  // per-op transfer size
+constexpr uint64_t kFileChunks = kFileBytes / kChunk;
+constexpr size_t kBatch = 32;        // aio ops per submit/harvest round
+constexpr size_t kEngineWorkers = 3; // aio_engine mode worker pool
+constexpr uint64_t kFsyncEvery = 64; // fsync_mixed: barrier cadence
+
+struct Bench {
+  std::shared_ptr<SafeFs> fs;
+  Vfs vfs;
+  std::vector<std::string> files;  // deep canonical paths, one per thread
+};
+
+// Same topology as bench/io_fastpath: an 8-deep directory chain with kFiles
+// 256 KiB files, bodies written and synced so every inode starts clean.
+std::unique_ptr<Bench> BuildBench(RamDisk& disk) {
+  auto bench = std::make_unique<Bench>();
+  auto fs = SafeFs::Format(disk, kInodeCount, kJournalBlocks);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "format failed\n");
+    std::exit(1);
+  }
+  bench->fs = fs.value();
+  if (!bench->vfs.Mount("/", bench->fs).ok()) {
+    std::fprintf(stderr, "mount failed\n");
+    std::exit(1);
+  }
+  std::string dir;
+  for (int level = 0; level < kDepth; ++level) {
+    dir += "/d" + std::to_string(level);
+    if (!bench->vfs.Mkdir(dir).ok()) {
+      std::fprintf(stderr, "mkdir %s failed\n", dir.c_str());
+      std::exit(1);
+    }
+  }
+  Rng rng(4242);
+  for (int f = 0; f < kFiles; ++f) {
+    std::string path = dir + "/f" + std::to_string(f);
+    auto fd = bench->vfs.Open(path, kOpenRead | kOpenWrite | kOpenCreate);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "create %s failed: %s\n", path.c_str(), ErrnoName(fd.error()));
+      std::exit(1);
+    }
+    for (uint64_t off = 0; off < kFileBytes; off += 64 * 1024) {
+      Bytes chunk = rng.NextBytes(64 * 1024);
+      if (!bench->vfs.Pwrite(fd.value(), off, ByteView(chunk)).ok()) {
+        std::fprintf(stderr, "pwrite %s failed\n", path.c_str());
+        std::exit(1);
+      }
+    }
+    if (!bench->vfs.Close(fd.value()).ok() || !bench->fs->Sync().ok()) {
+      std::fprintf(stderr, "close/sync %s failed\n", path.c_str());
+      std::exit(1);
+    }
+    bench->files.push_back(std::move(path));
+  }
+  return bench;
+}
+
+enum class Mode { kBase, kSync, kWb, kAio, kAioEngine };
+
+bool UsesAio(Mode m) { return m == Mode::kAio || m == Mode::kAioEngine; }
+
+// Steady-state write ops/sec for one (mode, width) cell. Thread t hammers
+// its own file with kChunk random-offset overwrites through its own
+// descriptor (and, in the aio modes, its own ring pair). With
+// `fsync_every > 0` a durability barrier joins the stream at that cadence —
+// batched in-ring for aio, a synchronous Fsync otherwise.
+double MeasureWrites(Bench& bench, Mode mode, int threads, int duration_ms,
+                     uint64_t fsync_every, AioEngine* engine) {
+  bench.vfs.SetHandleAcceleration(mode != Mode::kBase);
+  bench.fs->SetWriteBack(mode != Mode::kBase && mode != Mode::kSync);
+  std::vector<Fd> fds;
+  for (int t = 0; t < threads; ++t) {
+    auto fd = bench.vfs.Open(bench.files[t % kFiles], kOpenRead | kOpenWrite);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", ErrnoName(fd.error()));
+      std::exit(1);
+    }
+    fds.push_back(fd.value());
+    // One warm write per descriptor so the fast-write plane starts warm in
+    // every mode, mirroring the warm-read convention in io_fastpath.
+    Bytes warm(kChunk, 0x5a);
+    if (!bench.vfs.Pwrite(fd.value(), 0, ByteView(warm)).ok()) {
+      std::fprintf(stderr, "warm write failed\n");
+      std::exit(1);
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> go{false};
+  std::vector<uint64_t> ops(threads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(9000 + t);
+      Bytes payload = rng.NextBytes(kChunk);
+      std::unique_ptr<AioQueue> queue;
+      if (UsesAio(mode)) {
+        queue = engine != nullptr
+                    ? std::make_unique<AioQueue>(bench.vfs, 2 * kBatch, *engine)
+                    : std::make_unique<AioQueue>(bench.vfs, 2 * kBatch);
+      }
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      uint64_t since_fsync = 0;
+      uint64_t local = 0;
+      std::vector<AioCompletion> done;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (queue != nullptr) {
+          size_t staged = 0;
+          for (size_t i = 0; i < kBatch; ++i) {
+            AioOp op;
+            if (fsync_every > 0 && ++since_fsync >= fsync_every) {
+              since_fsync = 0;
+              op.kind = AioOpKind::kFsync;
+            } else {
+              op.kind = AioOpKind::kWrite;
+              op.offset = rng.NextBelow(kFileChunks) * kChunk;
+              // Borrowed payload (registered-buffer idiom): the buffer
+              // outlives the batch, which is fully harvested before reuse.
+              op.view = ByteView(payload);
+            }
+            op.fd = fds[t];
+            op.user_data = i;
+            if (!queue->Enqueue(std::move(op))) {
+              break;
+            }
+            ++staged;
+          }
+          if (queue->Submit() != staged) {
+            std::fprintf(stderr, "submit lost ops\n");
+            std::exit(1);
+          }
+          done.clear();
+          if (queue->HarvestBlocking(done, staged) != staged) {
+            std::fprintf(stderr, "harvest fell short\n");
+            std::exit(1);
+          }
+          for (const auto& c : done) {
+            if (c.error != Errno::kOk) {
+              std::fprintf(stderr, "aio op failed: %s\n", ErrnoName(c.error));
+              std::exit(1);
+            }
+          }
+          local += staged;
+        } else {
+          uint64_t offset = rng.NextBelow(kFileChunks) * kChunk;
+          Status st;
+          if (fsync_every > 0 && ++since_fsync >= fsync_every) {
+            since_fsync = 0;
+            st = bench.vfs.Fsync(fds[t]);
+          } else {
+            st = bench.vfs.Pwrite(fds[t], offset, ByteView(payload));
+          }
+          if (!st.ok()) {
+            std::fprintf(stderr, "write failed: %s\n", ErrnoName(st.code()));
+            std::exit(1);
+          }
+          ++local;
+        }
+      }
+      ops[t] = local;
+    });
+  }
+  uint64_t start = NowNs();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  uint64_t elapsed = NowNs() - start;
+  for (Fd fd : fds) {
+    (void)bench.vfs.Close(fd);
+  }
+  if (!bench.vfs.SyncAll().ok()) {
+    std::fprintf(stderr, "post-write sync failed\n");
+    std::exit(1);
+  }
+  uint64_t total = 0;
+  for (uint64_t o : ops) {
+    total += o;
+  }
+  return static_cast<double>(total) * 1e9 / static_cast<double>(elapsed);
+}
+
+// Best of `trials`: interference only subtracts throughput, so the max is
+// the least-noisy estimate (same convention as the other fastpath benches).
+double MeasureBest(Bench& bench, Mode mode, int threads, int duration_ms,
+                   int trials, uint64_t fsync_every) {
+  double best = 0;
+  for (int i = 0; i < trials; ++i) {
+    std::unique_ptr<AioEngine> engine;
+    if (mode == Mode::kAioEngine) {
+      engine = std::make_unique<AioEngine>(kEngineWorkers);
+    }
+    best = std::max(best, MeasureWrites(bench, mode, threads, duration_ms,
+                                        fsync_every, engine.get()));
+  }
+  return best;
+}
+
+struct ModeResults {
+  double t1 = 0;
+  double t8 = 0;
+};
+
+void PrintMode(const char* name, const ModeResults& r, bool trailing_comma) {
+  std::printf("    \"%s\": { \"threads1_ops_per_sec\": %.0f, \"threads8_ops_per_sec\": %.0f }%s\n",
+              name, r.t1, r.t8, trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  // Idle instrumentation: measure the data plane, not counter traffic.
+  obs::TraceSession::Get().Stop();
+  obs::SetMetricsEnabled(false);
+  obs::SetLatencyTimingEnabled(false);
+  obs::SetFlightRecorderEnabled(false);
+
+  int duration_ms = smoke ? 60 : 250;
+  int trials = smoke ? 1 : 5;
+
+  RamDisk disk(kDeviceBlocks, /*seed=*/42);
+  auto bench = BuildBench(disk);
+
+  auto measure = [&](Mode mode, uint64_t fsync_every) {
+    ModeResults r;
+    r.t1 = MeasureBest(*bench, mode, 1, duration_ms, trials, fsync_every);
+    r.t8 = MeasureBest(*bench, mode, kFiles, duration_ms, trials, fsync_every);
+    return r;
+  };
+
+  ModeResults base = measure(Mode::kBase, 0);
+  ModeResults sync = measure(Mode::kSync, 0);
+  ModeResults wb = measure(Mode::kWb, 0);
+  ModeResults aio = measure(Mode::kAio, 0);
+  ModeResults aio_engine = measure(Mode::kAioEngine, 0);
+  ModeResults sync_fsync = measure(Mode::kSync, kFsyncEvery);
+  ModeResults aio_fsync = measure(Mode::kAio, kFsyncEvery);
+
+  SafeFsIoStats io = bench->fs->io_stats();
+  double vs_sync_t8 = sync.t8 <= 0 ? 0 : aio.t8 / sync.t8;
+  double vs_base_t8 = base.t8 <= 0 ? 0 : aio.t8 / base.t8;
+  double vs_sync_t1 = sync.t1 <= 0 ? 0 : aio.t1 / sync.t1;
+  double fsync_vs_sync_t8 = sync_fsync.t8 <= 0 ? 0 : aio_fsync.t8 / sync_fsync.t8;
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"aio_fastpath\",\n");
+  std::printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::printf("  \"config\": {\n");
+  std::printf("    \"files\": %d,\n", kFiles);
+  std::printf("    \"file_bytes\": %llu,\n", static_cast<unsigned long long>(kFileBytes));
+  std::printf("    \"chunk_bytes\": %llu,\n", static_cast<unsigned long long>(kChunk));
+  std::printf("    \"batch_ops\": %llu,\n", static_cast<unsigned long long>(kBatch));
+  std::printf("    \"engine_workers\": %llu,\n",
+              static_cast<unsigned long long>(kEngineWorkers));
+  std::printf("    \"fsync_every\": %llu,\n", static_cast<unsigned long long>(kFsyncEvery));
+  std::printf("    \"duration_ms_per_config\": %d\n", duration_ms);
+  std::printf("  },\n");
+  std::printf("  \"write\": {\n");
+  PrintMode("base", base, true);
+  PrintMode("sync", sync, true);
+  PrintMode("wb", wb, true);
+  PrintMode("aio", aio, true);
+  PrintMode("aio_engine", aio_engine, false);
+  std::printf("  },\n");
+  std::printf("  \"fsync_mixed\": {\n");
+  PrintMode("sync", sync_fsync, true);
+  PrintMode("aio", aio_fsync, false);
+  std::printf("  },\n");
+  std::printf("  \"speedups\": {\n");
+  std::printf("    \"aio_vs_sync_threads1\": %.2f,\n", vs_sync_t1);
+  std::printf("    \"aio_vs_sync_threads8\": %.2f,\n", vs_sync_t8);
+  std::printf("    \"aio_vs_base_threads8\": %.2f,\n", vs_base_t8);
+  std::printf("    \"aio_vs_sync_fsync_mixed_threads8\": %.2f\n", fsync_vs_sync_t8);
+  std::printf("  },\n");
+  std::printf("  \"io\": {\n");
+  std::printf("    \"fast_writes\": %llu,\n", static_cast<unsigned long long>(io.fast_writes));
+  std::printf("    \"slow_writes\": %llu,\n", static_cast<unsigned long long>(io.slow_writes));
+  std::printf("    \"wb_drains\": %llu,\n", static_cast<unsigned long long>(io.wb_drains));
+  std::printf("    \"wb_drained_cells\": %llu\n",
+              static_cast<unsigned long long>(io.wb_drained_cells));
+  std::printf("  }\n");
+  std::printf("}\n");
+
+  if (smoke) {
+    // Loud perf-regression gate for CI, with noise headroom under the
+    // committed full-run ratios (>= 2x vs sync, >= 5x vs base).
+    bool ok = true;
+    if (vs_sync_t8 < 1.5) {
+      std::fprintf(stderr, "FAIL: batched aio writes %.2fx < 1.5x over sync at 8 threads\n",
+                   vs_sync_t8);
+      ok = false;
+    }
+    if (vs_base_t8 < 3.0) {
+      std::fprintf(stderr, "FAIL: batched aio writes %.2fx < 3x over base at 8 threads\n",
+                   vs_base_t8);
+      ok = false;
+    }
+    if (io.fast_writes == 0) {
+      std::fprintf(stderr, "FAIL: the buffered runs never took the fast-write path\n");
+      ok = false;
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

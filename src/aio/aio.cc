@@ -1,0 +1,326 @@
+#include "src/aio/aio.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/base/panic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace.h"
+
+namespace skern {
+
+// --- AioQueue ---
+
+AioQueue::AioQueue(Vfs& vfs, size_t depth)
+    : vfs_(vfs), depth_(depth), sq_(depth), cq_(2 * depth) {
+  SKERN_CHECK_MSG(depth > 0, "aio queue needs a nonzero depth");
+  // Eager registration: the async plane's counters show up in /metrics from
+  // the first queue, not the first op.
+  SKERN_COUNTER_ADD("aio.submit", 0);
+  SKERN_COUNTER_ADD("aio.harvest", 0);
+  SKERN_COUNTER_ADD("aio.ops", 0);
+  SKERN_GAUGE_SET("aio.queue_depth", 0);
+}
+
+AioQueue::AioQueue(Vfs& vfs, size_t depth, AioEngine& engine) : AioQueue(vfs, depth) {
+  engine_ = &engine;
+  worker_slot_ = engine.Bind(this);
+}
+
+AioQueue::~AioQueue() {
+  if (engine_ != nullptr) {
+    engine_->Unbind(this, worker_slot_);
+  }
+}
+
+bool AioQueue::Enqueue(AioOp op) {
+  // Budget check: everything already in flight plus this batch must fit the
+  // completion ring, or the executor could stall on a full cq.
+  uint64_t budget = outstanding_.load(std::memory_order_acquire) +
+                    staged_.load(std::memory_order_relaxed);
+  if (budget >= cq_.Capacity() || !sq_.TryPush(std::move(op))) {
+    sq_full_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  staged_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t AioQueue::Submit() {
+  SKERN_SPAN("aio", "submit");
+  size_t batch = static_cast<size_t>(staged_.exchange(0, std::memory_order_relaxed));
+  if (batch == 0) {
+    return 0;
+  }
+  outstanding_.fetch_add(batch, std::memory_order_release);
+  submitted_.fetch_add(batch, std::memory_order_relaxed);
+  SKERN_COUNTER_INC("aio.submit");
+  SKERN_COUNTER_ADD("aio.ops", batch);
+  SKERN_GAUGE_SET("aio.queue_depth", outstanding_.load(std::memory_order_relaxed));
+  SKERN_TRACE("aio", "submit", batch);
+  if (engine_ != nullptr) {
+    engine_->Kick(worker_slot_);
+  } else {
+    ExecuteReady();
+  }
+  return batch;
+}
+
+void AioQueue::ExecuteReady() {
+  // One executor at a time (inline Submit or the bound worker — by
+  // construction never both, but the lock makes the invariant local).
+  SpinLockGuard guard(executor_lock_);
+  BatchFds batch_fds;
+  exec_ops_.clear();
+  {
+    AioOp op;
+    while (sq_.TryPop(op)) {
+      exec_ops_.push_back(std::move(op));
+    }
+  }
+  size_t i = 0;
+  while (i < exec_ops_.size()) {
+    // Coalesce a run of writes on one descriptor into a vectored dispatch:
+    // one descriptor resolution, one handle resolution, and one lock
+    // round-trip inside the file system cover the whole run — the "no
+    // per-op round trip" the submission ring exists for.
+    if (exec_ops_[i].kind == AioOpKind::kWrite) {
+      size_t end = i + 1;
+      while (end < exec_ops_.size() && exec_ops_[end].kind == AioOpKind::kWrite &&
+             exec_ops_[end].fd == exec_ops_[i].fd) {
+        ++end;
+      }
+      Vfs::OpenFile* file = nullptr;
+      if (end - i > 1) {
+        file = ResolveFd(exec_ops_[i].fd, batch_fds);
+      }
+      if (file != nullptr && (file->flags & kOpenWrite) != 0) {
+        exec_slices_.clear();
+        for (size_t k = i; k < end; ++k) {
+          exec_slices_.push_back({exec_ops_[k].offset, exec_ops_[k].WritePayload()});
+        }
+        size_t applied =
+            vfs_.DispatchWriteBatch(*file, exec_slices_.data(), exec_slices_.size());
+        vfs_.counters_.dispatches.fetch_add(applied, std::memory_order_relaxed);
+        vfs_.counters_.writes.fetch_add(applied, std::memory_order_relaxed);
+        for (size_t k = 0; k < applied; ++k) {
+          AioCompletion done;
+          done.user_data = exec_ops_[i + k].user_data;
+          Complete(std::move(done));
+        }
+        i += applied;
+        if (i == end) {
+          continue;
+        }
+        // The slice at `i` left the batched fast path; it (and anything
+        // after it) executes per-op below, reproducing the per-op result.
+      }
+    }
+    Complete(Execute(exec_ops_[i], batch_fds));
+    ++i;
+  }
+  exec_ops_.clear();
+  if (engine_ != nullptr) {
+    engine_->SignalCompletion();
+  }
+}
+
+void AioQueue::Complete(AioCompletion done) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  SKERN_CHECK_MSG(cq_.TryPush(std::move(done)),
+                  "aio completion ring overflow despite budget");
+}
+
+Vfs::OpenFile* AioQueue::ResolveFd(Fd fd, BatchFds& batch_fds) {
+  // Resolve the descriptor once per batch; later ops on the same fd reuse
+  // the resolution (the whole point of batching: one table lookup, one
+  // shared_ptr copy, N operations).
+  for (const auto& [cached_fd, resolved] : batch_fds) {
+    if (cached_fd == fd) {
+      return resolved.get();
+    }
+  }
+  std::shared_ptr<Vfs::OpenFile> file;
+  auto found = vfs_.FindFd(fd);
+  if (found.ok()) {
+    file = *found;
+  }
+  batch_fds.emplace_back(fd, std::move(file));
+  return batch_fds.back().second.get();
+}
+
+AioCompletion AioQueue::Execute(const AioOp& op, BatchFds& batch_fds) {
+  AioCompletion done;
+  done.user_data = op.user_data;
+  Vfs::OpenFile* file = ResolveFd(op.fd, batch_fds);
+  if (file == nullptr) {
+    done.error = Errno::kEBADF;
+    return done;
+  }
+  vfs_.counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  switch (op.kind) {
+    case AioOpKind::kRead: {
+      if ((file->flags & kOpenRead) == 0) {
+        done.error = Errno::kEBADF;
+        return done;
+      }
+      vfs_.counters_.reads.fetch_add(1, std::memory_order_relaxed);
+      auto out = vfs_.DispatchRead(*file, op.offset, op.length);
+      if (out.ok()) {
+        done.data = std::move(*out);
+      } else {
+        done.error = out.error();
+      }
+      return done;
+    }
+    case AioOpKind::kWrite: {
+      if ((file->flags & kOpenWrite) == 0) {
+        done.error = Errno::kEBADF;
+        return done;
+      }
+      vfs_.counters_.writes.fetch_add(1, std::memory_order_relaxed);
+      Status out = vfs_.DispatchWrite(*file, op.offset, op.WritePayload());
+      done.error = out.code();
+      return done;
+    }
+    case AioOpKind::kFsync: {
+      Status out;
+      if (file->handle != kInvalidHandle) {
+        out = file->fs->FsyncHandle(file->handle);
+        if (out.ok() || out.code() != Errno::kENOSYS) {
+          done.error = out.code();
+          return done;
+        }
+      }
+      done.error = file->fs->Fsync(file->fs_path).code();
+      return done;
+    }
+  }
+  done.error = Errno::kEINVAL;
+  return done;
+}
+
+size_t AioQueue::Harvest(std::vector<AioCompletion>& out, size_t max) {
+  SKERN_SPAN("aio", "harvest");
+  size_t drained = 0;
+  AioCompletion done;
+  while (drained < max && cq_.TryPop(done)) {
+    out.push_back(std::move(done));
+    ++drained;
+  }
+  if (drained > 0) {
+    outstanding_.fetch_sub(drained, std::memory_order_release);
+    harvested_.fetch_add(drained, std::memory_order_relaxed);
+    SKERN_COUNTER_ADD("aio.harvest", drained);
+    SKERN_GAUGE_SET("aio.queue_depth", outstanding_.load(std::memory_order_relaxed));
+    SKERN_TRACE("aio", "harvest", drained);
+  }
+  return drained;
+}
+
+size_t AioQueue::HarvestBlocking(std::vector<AioCompletion>& out, size_t min) {
+  size_t drained = 0;
+  while (true) {
+    drained += Harvest(out, min > drained ? min - drained : 0);
+    if (drained >= min) {
+      return drained;
+    }
+    if (engine_ == nullptr) {
+      // Inline mode completes everything inside Submit; if the rings are
+      // empty there is nothing left to wait for.
+      if (outstanding_.load(std::memory_order_acquire) == 0) {
+        return drained;
+      }
+      continue;
+    }
+    if (!engine_->WaitCompletion()) {
+      // Timeout tick: re-check outstanding_ so a raced shutdown or an
+      // already-drained queue cannot hang the caller.
+      if (outstanding_.load(std::memory_order_acquire) == 0) {
+        return drained;
+      }
+    }
+  }
+}
+
+AioQueueStats AioQueue::stats() const {
+  AioQueueStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.harvested = harvested_.load(std::memory_order_relaxed);
+  s.sq_full = sq_full_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- AioEngine ---
+
+AioEngine::AioEngine(size_t workers) {
+  SKERN_CHECK_MSG(workers > 0, "aio engine needs at least one worker");
+  state_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    state_.push_back(std::make_unique<WorkerState>());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    WorkerState* ws = state_[i].get();
+    workers_.emplace_back("aio-worker", [ws](const std::atomic<bool>& stop) {
+      std::vector<AioQueue*> local;
+      while (!stop.load(std::memory_order_acquire)) {
+        ws->doorbell.ConsumeFor(std::chrono::milliseconds(5));
+        if (stop.load(std::memory_order_acquire)) {
+          return;
+        }
+        MutexGuard pass(ws->pass_lock);
+        {
+          SpinLockGuard guard(ws->lock);
+          local = ws->queues;
+        }
+        for (AioQueue* q : local) {
+          q->ExecuteReady();
+        }
+      }
+    });
+  }
+}
+
+AioEngine::~AioEngine() {
+  for (auto& worker : workers_) {
+    worker.RequestStop();
+  }
+  for (auto& ws : state_) {
+    ws->doorbell.Signal();
+  }
+  for (auto& worker : workers_) {
+    worker.Stop();
+  }
+}
+
+size_t AioEngine::Bind(AioQueue* queue) {
+  size_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed) % state_.size();
+  SpinLockGuard guard(state_[slot]->lock);
+  state_[slot]->queues.push_back(queue);
+  return slot;
+}
+
+void AioEngine::Unbind(AioQueue* queue, size_t slot) {
+  {
+    SpinLockGuard guard(state_[slot]->lock);
+    auto& qs = state_[slot]->queues;
+    qs.erase(std::remove(qs.begin(), qs.end(), queue), qs.end());
+  }
+  // The worker may still be mid-pass over a snapshot that contains the
+  // queue; one pass_lock round-trip fences that pass out before the queue's
+  // destructor continues.
+  MutexGuard drain(state_[slot]->pass_lock);
+}
+
+void AioEngine::Kick(size_t slot) { state_[slot]->doorbell.Signal(); }
+
+void AioEngine::SignalCompletion() { completion_event_.Signal(); }
+
+bool AioEngine::WaitCompletion() {
+  return completion_event_.ConsumeFor(std::chrono::milliseconds(1));
+}
+
+}  // namespace skern

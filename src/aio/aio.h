@@ -1,0 +1,206 @@
+// Asynchronous submission/completion plane over the VFS.
+//
+// The synchronous syscall surface costs one full VFS crossing per operation:
+// descriptor lookup, flag check, dispatch, return. An AioQueue amortizes
+// that the way io_uring does — the application batches operations into a
+// per-thread submission ring, rings the doorbell once (Submit), and later
+// drains finished operations from a completion ring (Harvest). Within one
+// submitted batch the executor resolves each descriptor exactly once and
+// reuses the resolution for every operation on that descriptor.
+//
+// Two execution modes:
+//   * inline (no engine): Submit executes the batch on the calling thread,
+//     in submission order. Deterministic, zero extra threads — what the
+//     differential tests run against the synchronous plane.
+//   * engine: Submit wakes the AioEngine worker the queue is bound to; the
+//     worker executes batches from all its queues and the application
+//     overlaps its own work with the I/O. Per-queue submission order is
+//     still preserved (one worker owns a queue's executor side).
+//
+// Ordering contract: operations within a queue execute in submission order;
+// operations in different queues race exactly like concurrent syscalls. An
+// AioFsync completes only after every earlier operation on its queue — and,
+// because SafeFs's Fsync drains buffered write-back and commits the journal,
+// only after that data is durable.
+#ifndef SKERN_SRC_AIO_AIO_H_
+#define SKERN_SRC_AIO_AIO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/aio/ring.h"
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/sync/kthread.h"
+#include "src/sync/mutex.h"
+#include "src/vfs/vfs.h"
+
+namespace skern {
+
+enum class AioOpKind : uint8_t {
+  kRead,   // positional read: fd, offset, length
+  kWrite,  // positional write: fd, offset, data
+  kFsync,  // completes after all earlier ops on this queue are durable
+};
+
+struct AioOp {
+  AioOpKind kind = AioOpKind::kRead;
+  Fd fd = -1;
+  uint64_t offset = 0;
+  uint64_t length = 0;  // reads only; writes carry the payload's size
+  Bytes data;           // owned write payload (copied in by the caller)
+  // Borrowed write payload — the registered-buffer idiom: no copy at
+  // Enqueue, but the caller's buffer must stay valid until this op's
+  // completion is harvested. When non-empty it takes precedence over
+  // `data`.
+  ByteView view;
+  uint64_t user_data = 0;  // opaque cookie, returned in the completion
+
+  ByteView WritePayload() const { return view.empty() ? ByteView(data) : view; }
+};
+
+struct AioCompletion {
+  uint64_t user_data = 0;
+  Errno error = Errno::kOk;
+  Bytes data;  // read payload (empty for writes/fsyncs and on error)
+};
+
+struct AioQueueStats {
+  uint64_t submitted = 0;  // ops handed to the executor
+  uint64_t completed = 0;  // ops finished (success or error)
+  uint64_t harvested = 0;  // completions returned to the application
+  uint64_t sq_full = 0;    // Enqueue rejections (submission backpressure)
+};
+
+class AioEngine;
+
+// One submission/completion ring pair. Single-threaded application side:
+// exactly one thread may call Enqueue/Submit/Harvest on a given queue (the
+// per-thread-queue discipline every ring-based interface imposes).
+class AioQueue {
+ public:
+  // `depth` bounds the operations in flight: Enqueue rejects when the
+  // submission ring is full or when completing everything outstanding could
+  // overflow the completion ring (sized 2x depth, so a full new batch fits
+  // behind a full unharvested one).
+  AioQueue(Vfs& vfs, size_t depth);
+  // Engine mode: the queue binds to one of the engine's workers for its
+  // whole lifetime. The engine must outlive the queue.
+  AioQueue(Vfs& vfs, size_t depth, AioEngine& engine);
+  ~AioQueue();
+
+  AioQueue(const AioQueue&) = delete;
+  AioQueue& operator=(const AioQueue&) = delete;
+
+  // Stages one operation. Returns false under backpressure (ring full or
+  // too many unharvested completions); the caller should Submit + Harvest
+  // and retry.
+  bool Enqueue(AioOp op);
+
+  // Makes everything enqueued since the last Submit visible to the executor
+  // and (inline mode) runs it now, or (engine mode) wakes the bound worker.
+  // Returns the number of operations submitted.
+  size_t Submit();
+
+  // Drains up to `max` completions into `out` (appending). Never blocks.
+  size_t Harvest(std::vector<AioCompletion>& out, size_t max);
+
+  // Blocks until at least `min` completions have been drained into `out`
+  // (spinning via the engine's completion signal; inline mode never needs
+  // to wait). Returns the number drained.
+  size_t HarvestBlocking(std::vector<AioCompletion>& out, size_t min);
+
+  size_t depth() const { return depth_; }
+  AioQueueStats stats() const;
+
+ private:
+  friend class AioEngine;
+
+  // Executor side: drains the submission ring, executing each op and
+  // pushing its completion. Called by Submit (inline) or the bound engine
+  // worker — never both; `executor_lock_` documents and enforces the
+  // single-executor invariant cheaply.
+  void ExecuteReady();
+
+  // Per-batch descriptor cache: fd -> resolution (null = EBADF, cached
+  // too, so a bad fd costs one lookup per batch, same as one syscall).
+  using BatchFds = std::vector<std::pair<Fd, std::shared_ptr<Vfs::OpenFile>>>;
+
+  // Cached resolution as a raw pointer (ownership stays in batch_fds for
+  // the rest of the batch); null = EBADF.
+  Vfs::OpenFile* ResolveFd(Fd fd, BatchFds& batch_fds);
+
+  AioCompletion Execute(const AioOp& op, BatchFds& batch_fds);
+  void Complete(AioCompletion done);
+
+  Vfs& vfs_;
+  size_t depth_;
+  SpscRing<AioOp> sq_;
+  SpscRing<AioCompletion> cq_;
+  // Executor scratch, reused across batches (guarded by executor_lock_).
+  std::vector<AioOp> exec_ops_ SKERN_GUARDED_BY(executor_lock_);
+  std::vector<WriteSlice> exec_slices_ SKERN_GUARDED_BY(executor_lock_);
+  // Ops enqueued but not yet made visible by Submit. Application-thread
+  // only, but atomic so stats() can read it from elsewhere.
+  std::atomic<uint64_t> staged_{0};
+  // Submitted-but-unharvested budget, bounded by cq_.Capacity().
+  std::atomic<uint64_t> outstanding_{0};
+  mutable TrackedSpinLock executor_lock_{"aio.executor"};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> harvested_{0};
+  std::atomic<uint64_t> sq_full_{0};
+  AioEngine* engine_ = nullptr;  // null = inline mode
+  size_t worker_slot_ = 0;       // engine mode: bound worker index
+};
+
+// A pool of kernel worker threads executing submitted batches. Queues bind
+// to workers round-robin at construction; a worker loops over its bound
+// queues, sleeping on an Event until a Submit doorbell rings.
+class AioEngine {
+ public:
+  explicit AioEngine(size_t workers);
+  ~AioEngine();
+
+  AioEngine(const AioEngine&) = delete;
+  AioEngine& operator=(const AioEngine&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  friend class AioQueue;
+
+  // Round-robin binding; returns the chosen worker slot.
+  size_t Bind(AioQueue* queue);
+  void Unbind(AioQueue* queue, size_t slot);
+  // Doorbell from AioQueue::Submit.
+  void Kick(size_t slot);
+  // Completion-side signal, so HarvestBlocking can sleep instead of spin.
+  void SignalCompletion();
+  bool WaitCompletion();
+
+  struct WorkerState {
+    Event doorbell;
+    mutable TrackedSpinLock lock{"aio.engine"};
+    std::vector<AioQueue*> queues SKERN_GUARDED_BY(lock);
+    // Held by the worker for one whole execution pass. Unbind removes the
+    // queue from `queues`, then acquires this once: afterwards no pass can
+    // still be running against a stale snapshot containing the dying queue.
+    TrackedMutex pass_lock{"aio.pass"};
+  };
+
+  std::atomic<size_t> next_slot_{0};
+  Event completion_event_;
+  // Deques of non-movable state need stable addresses; unique_ptr keeps the
+  // vector movable during construction.
+  std::vector<std::unique_ptr<WorkerState>> state_;
+  std::vector<KThread> workers_;  // declared last: stops before state dies
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_AIO_AIO_H_

@@ -1,0 +1,82 @@
+// A bounded single-producer/single-consumer ring.
+//
+// The asynchronous I/O plane pairs two of these per queue (submission and
+// completion), io_uring-style: the application thread produces submission
+// entries and consumes completions; the executor (inline, or a bound engine
+// worker) consumes submissions and produces completions. Each side of a ring
+// is touched by exactly one thread, so the only synchronization is one
+// acquire/release edge per direction — no locks, no CAS loops, no waiting.
+#ifndef SKERN_SRC_AIO_RING_H_
+#define SKERN_SRC_AIO_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace skern {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two so the head/tail counters can
+  // run free and index with a mask (no modulo, no wraparound handling).
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t Capacity() const { return slots_.size(); }
+
+  // Producer side. Returns false if the ring is full.
+  bool TryPush(T&& item) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false if the ring is empty.
+  bool TryPop(T& out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Racy by construction (either index may move right after the loads);
+  // callers use it for backpressure heuristics and gauges only.
+  size_t SizeApprox() const {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Separate cache lines so the producer's tail stores never invalidate the
+  // consumer's head line (and vice versa).
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_AIO_RING_H_

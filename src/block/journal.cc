@@ -1,5 +1,6 @@
 #include "src/block/journal.h"
 
+#include <optional>
 #include <utility>
 
 #include "src/base/panic.h"
@@ -13,6 +14,7 @@ namespace {
 constexpr uint64_t kSuperMagic = 0x534b4a53'55504231ULL;   // "SKJSUPB1"
 constexpr uint64_t kDescMagic = 0x534b4a44'45534331ULL;    // "SKJDESC1"
 constexpr uint64_t kCommitMagic = 0x534b4a43'4d4d5431ULL;  // "SKJCMMT1"
+constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
 
 void PutU64(MutableByteView block, size_t offset, uint64_t value) {
   for (int i = 0; i < 8; ++i) {
@@ -28,7 +30,7 @@ uint64_t GetU64(ByteView block, size_t offset) {
   return value;
 }
 
-uint64_t Fnv1a(ByteView data, uint64_t seed = 0xcbf29ce484222325ULL) {
+uint64_t Fnv1a(ByteView data, uint64_t seed = kFnvSeed) {
   uint64_t hash = seed;
   for (size_t i = 0; i < data.size(); ++i) {
     hash ^= data[i];
@@ -40,9 +42,19 @@ uint64_t Fnv1a(ByteView data, uint64_t seed = 0xcbf29ce484222325ULL) {
 }  // namespace
 
 Journal::Journal(BlockDevice& device, uint64_t start, uint64_t length)
-    : device_(device), start_(start), length_(length) {
+    : device_(device), start_(start), length_(length), head_(start + 1) {
   SKERN_CHECK_MSG(length_ >= 4, "journal needs at least 4 blocks");
   SKERN_CHECK_MSG(start_ + length_ <= device_.BlockCount(), "journal exceeds device");
+  // Eagerly register the journal's counters so procfs /metrics lists them
+  // even before the first transaction (a lazy-checkpoint journal may not
+  // checkpoint for a long time).
+  SKERN_COUNTER_ADD("journal.submits", 0);
+  SKERN_COUNTER_ADD("journal.commits", 0);
+  SKERN_COUNTER_ADD("journal.txs_committed", 0);
+  SKERN_COUNTER_ADD("journal.blocks_journaled", 0);
+  SKERN_COUNTER_ADD("journal.checkpoints", 0);
+  SKERN_COUNTER_ADD("journal.replays", 0);
+  SKERN_GAUGE_SET("journal.txs_open", 0);
 }
 
 void Journal::Tx::AddBlock(uint64_t home_block, ByteView content) {
@@ -50,12 +62,34 @@ void Journal::Tx::AddBlock(uint64_t home_block, ByteView content) {
   blocks_[home_block] = content.ToBytes();
 }
 
-Status Journal::FlushDevice() SKERN_REQUIRES(mutex_) {
+void Journal::Tx::Close() {
+  if (journal_ != nullptr) {
+    journal_->OnTxClosed();
+    journal_ = nullptr;
+  }
+}
+
+Journal::Tx Journal::Begin() {
+  OnTxOpened();
+  return Tx(this);
+}
+
+void Journal::OnTxOpened() {
+  uint64_t n = txs_open_.fetch_add(1, std::memory_order_relaxed) + 1;
+  SKERN_GAUGE_SET("journal.txs_open", static_cast<int64_t>(n));
+}
+
+void Journal::OnTxClosed() {
+  uint64_t n = txs_open_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  SKERN_GAUGE_SET("journal.txs_open", static_cast<int64_t>(n));
+}
+
+Status Journal::FlushDevice() SKERN_REQUIRES(commit_lock_) {
   ++stats_.device_flushes;
   return device_.Flush();
 }
 
-Status Journal::WriteSuperblock() SKERN_REQUIRES(mutex_) {
+Status Journal::WriteSuperblock() SKERN_REQUIRES(commit_lock_) {
   Bytes sb(kBlockSize, 0);
   MutableByteView view(sb);
   PutU64(view, 0, kSuperMagic);
@@ -81,75 +115,153 @@ Status Journal::ReadSuperblock(uint64_t* sequence_out) const {
 }
 
 Status Journal::Format() {
-  MutexGuard guard(mutex_);
+  MutexGuard stage(stage_lock_);
+  MutexGuard commit(commit_lock_);
+  {
+    SpinLockGuard qg(queue_lock_);
+    queue_.clear();
+    results_.clear();
+    next_ticket_ = 1;
+  }
+  pending_blocks_.clear();
+  pending_txs_ = 0;
+  {
+    WriteGuard og(overlay_lock_);
+    overlay_.clear();
+    overlay_count_.store(0, std::memory_order_release);
+  }
   sequence_ = 1;
+  head_ = start_ + 1;
+  needs_reset_ = false;
   return WriteSuperblock();
 }
 
 void Journal::set_max_batch_txs(size_t n) {
   SKERN_CHECK_MSG(n > 0, "max batch must allow at least one transaction");
-  MutexGuard guard(mutex_);
+  MutexGuard guard(stage_lock_);
   max_batch_txs_ = n;
 }
 
-Status Journal::Submit(Tx&& tx) {
-  MutexGuard guard(mutex_);
-  return SubmitLocked(std::move(tx));
+Status Journal::ReadHome(uint64_t block, MutableByteView out) const {
+  if (overlay_count_.load(std::memory_order_acquire) != 0) {
+    ReadGuard guard(overlay_lock_);
+    auto it = overlay_.find(block);
+    if (it != overlay_.end()) {
+      out.CopyFrom(ByteView(it->second));
+      return Status::Ok();
+    }
+  }
+  return device_.ReadBlock(block, out);
 }
 
-Status Journal::SubmitLocked(Tx&& tx) SKERN_REQUIRES(mutex_) {
-  if (tx.blocks_.empty()) {
+uint64_t Journal::TakeBatchLocked() SKERN_REQUIRES(stage_lock_) {
+  if (pending_blocks_.empty()) {
+    pending_txs_ = 0;
+    return 0;
+  }
+  SpinLockGuard qg(queue_lock_);
+  uint64_t ticket = next_ticket_++;
+  QueuedBatch batch;
+  batch.ticket = ticket;
+  batch.blocks = std::move(pending_blocks_);
+  batch.txs = pending_txs_;
+  queue_.push_back(std::move(batch));
+  pending_blocks_.clear();
+  pending_txs_ = 0;
+  return ticket;
+}
+
+Status Journal::Submit(Tx&& tx) {
+  Tx t(std::move(tx));  // gauge: closes when staged (or on early return)
+  if (t.blocks_.empty()) {
     return Status::Ok();
   }
-  if (tx.blocks_.size() > Capacity()) {
+  if (t.blocks_.size() > Capacity()) {
     // Rejected before touching the pending batch or the device, so a caller
     // that mis-sizes one transaction cannot damage already-staged work.
     return Status::Error(Errno::kENOSPC);
   }
-  // Count how many of tx's blocks are new to the batch; coalescing rewrites
-  // of an already-staged block costs no capacity.
-  size_t fresh = 0;
-  for (const auto& [home, content] : tx.blocks_) {
-    if (pending_blocks_.find(home) == pending_blocks_.end()) {
-      ++fresh;
+  uint64_t pre_ticket = 0;
+  uint64_t post_ticket = 0;
+  {
+    MutexGuard guard(stage_lock_);
+    // Count how many of tx's blocks are new to the batch; coalescing
+    // rewrites of an already-staged block costs no capacity.
+    size_t fresh = 0;
+    for (const auto& [home, content] : t.blocks_) {
+      if (pending_blocks_.find(home) == pending_blocks_.end()) {
+        ++fresh;
+      }
+    }
+    if (pending_blocks_.size() + fresh > Capacity()) {
+      pre_ticket = TakeBatchLocked();
+    }
+    for (auto& [home, content] : t.blocks_) {
+      pending_blocks_[home] = std::move(content);
+    }
+    ++pending_txs_;
+    SKERN_COUNTER_INC("journal.submits");
+    SKERN_TRACE("journal", "submit", pending_txs_, t.blocks_.size());
+    if (pending_txs_ >= max_batch_txs_) {
+      post_ticket = TakeBatchLocked();
     }
   }
-  if (pending_blocks_.size() + fresh > Capacity()) {
-    SKERN_RETURN_IF_ERROR(FlushLocked());
+  if (pre_ticket != 0) {
+    SKERN_RETURN_IF_ERROR(DrainQueueFor(pre_ticket));
   }
-  for (auto& [home, content] : tx.blocks_) {
-    pending_blocks_[home] = std::move(content);
-  }
-  ++pending_txs_;
-  SKERN_COUNTER_INC("journal.submits");
-  SKERN_TRACE("journal", "submit", sequence_, tx.blocks_.size());
-  if (pending_txs_ >= max_batch_txs_) {
-    return FlushLocked();
+  if (post_ticket != 0) {
+    return DrainQueueFor(post_ticket);
   }
   return Status::Ok();
 }
 
 Status Journal::Flush() {
-  MutexGuard guard(mutex_);
-  return FlushLocked();
-}
-
-Status Journal::FlushLocked() SKERN_REQUIRES(mutex_) {
-  if (pending_blocks_.empty()) {
-    pending_txs_ = 0;
+  uint64_t ticket = 0;
+  {
+    MutexGuard guard(stage_lock_);
+    ticket = TakeBatchLocked();
+  }
+  if (ticket == 0) {
     return Status::Ok();
   }
-  SKERN_TIMED_SCOPE("journal.commit.latency_ns");
-  // The batch is consumed whether or not the protocol succeeds: a device
-  // error mid-protocol is a crash from the journal's point of view, and
-  // Recover() decides whether the batch became durable.
-  std::map<uint64_t, Bytes> batch = std::move(pending_blocks_);
-  size_t batch_txs = pending_txs_;
-  pending_blocks_.clear();
-  pending_txs_ = 0;
-  uint64_t txid = sequence_;
+  return DrainQueueFor(ticket);
+}
 
-  // Step 1: descriptor + data blocks.
+Status Journal::DrainQueueFor(uint64_t ticket) {
+  SKERN_SPAN_LOCKED("journal", "flush");
+  MutexGuard guard(commit_lock_);
+  for (;;) {
+    std::optional<QueuedBatch> next;
+    {
+      SpinLockGuard qg(queue_lock_);
+      auto it = results_.find(ticket);
+      if (it != results_.end()) {
+        // Another flusher committed our batch while we waited for the
+        // commit lock ("joined the next batch"): consume the result.
+        Status s = it->second;
+        results_.erase(it);
+        return s;
+      }
+      if (!queue_.empty()) {
+        next.emplace(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (!next.has_value()) {
+      return Status::Ok();
+    }
+    Status s = CommitBatchLocked(std::move(next->blocks), next->txs);
+    if (next->ticket == ticket) {
+      return s;
+    }
+    SpinLockGuard qg(queue_lock_);
+    results_.emplace(next->ticket, s);
+  }
+}
+
+Status Journal::WriteBatchRecordLocked(const std::map<uint64_t, Bytes>& batch,
+                                       uint64_t txid) SKERN_REQUIRES(commit_lock_) {
+  // Step 1: descriptor + data blocks, one barrier.
   Bytes desc(kBlockSize, 0);
   MutableByteView desc_view(desc);
   PutU64(desc_view, 0, kDescMagic);
@@ -166,10 +278,10 @@ Status Journal::FlushLocked() SKERN_REQUIRES(mutex_) {
     PutU64(desc_view, kBlockSize - kJournalChecksumBytes,
            Fnv1a(ByteView(desc.data(), kBlockSize - kJournalChecksumBytes)));
   }
-  SKERN_RETURN_IF_ERROR(device_.WriteBlock(start_ + 1, ByteView(desc)));
-  uint64_t data_checksum = 0xcbf29ce484222325ULL;
+  SKERN_RETURN_IF_ERROR(device_.WriteBlock(head_, ByteView(desc)));
+  uint64_t data_checksum = kFnvSeed;
   {
-    uint64_t slot = start_ + 2;
+    uint64_t slot = head_ + 1;
     for (const auto& [home, content] : batch) {
       SKERN_RETURN_IF_ERROR(device_.WriteBlock(slot, ByteView(content)));
       data_checksum = Fnv1a(ByteView(content), data_checksum);
@@ -178,106 +290,205 @@ Status Journal::FlushLocked() SKERN_REQUIRES(mutex_) {
   }
   SKERN_RETURN_IF_ERROR(FlushDevice());
 
-  // Step 2: commit block.
+  // Step 2: commit block, one barrier. After this returns the batch is
+  // durable: recovery will replay it whether or not it was checkpointed.
   Bytes commit(kBlockSize, 0);
   MutableByteView commit_view(commit);
   PutU64(commit_view, 0, kCommitMagic);
   PutU64(commit_view, 8, txid);
   PutU64(commit_view, 16, data_checksum);
   PutU64(commit_view, 24, Fnv1a(ByteView(commit.data(), 24)));
-  SKERN_RETURN_IF_ERROR(
-      device_.WriteBlock(start_ + 2 + batch.size(), ByteView(commit)));
-  SKERN_RETURN_IF_ERROR(FlushDevice());
+  SKERN_RETURN_IF_ERROR(device_.WriteBlock(head_ + 1 + batch.size(), ByteView(commit)));
+  return FlushDevice();
+}
 
-  // Step 3: checkpoint — write home locations.
-  for (const auto& [home, content] : batch) {
-    SKERN_RETURN_IF_ERROR(device_.WriteBlock(home, ByteView(content)));
+Status Journal::CommitBatchLocked(std::map<uint64_t, Bytes>&& batch, size_t txs)
+    SKERN_REQUIRES(commit_lock_) {
+  if (batch.empty()) {
+    return Status::Ok();
   }
-  SKERN_RETURN_IF_ERROR(FlushDevice());
-
-  // Step 4: retire the batch.
+  SKERN_TIMED_SCOPE("journal.commit.latency_ns");
+  // A torn record from an earlier failed commit would sit in front of this
+  // batch and end recovery's chain scan early; reset the area first.
+  if (needs_reset_) {
+    SKERN_RETURN_IF_ERROR(CheckpointLocked());
+  }
+  size_t count = batch.size();
+  if (head_ + count + 2 > start_ + length_) {
+    // Journal area full: reclaim it by checkpointing everything committed.
+    SKERN_RETURN_IF_ERROR(CheckpointLocked());
+  }
+  uint64_t txid = sequence_;
+  Status record = WriteBatchRecordLocked(batch, txid);
+  if (!record.ok()) {
+    // A device error mid-protocol is a crash from the journal's point of
+    // view: the batch is discarded and the area reset before the next
+    // commit; Recover() decides whether the record became durable.
+    needs_reset_ = true;
+    return record;
+  }
+  {
+    WriteGuard og(overlay_lock_);
+    for (auto& [home, content] : batch) {
+      overlay_[home] = std::move(content);
+    }
+    overlay_count_.store(overlay_.size(), std::memory_order_release);
+  }
+  head_ += count + 2;
   sequence_ = txid + 1;
-  SKERN_RETURN_IF_ERROR(WriteSuperblock());
-
   ++stats_.commits;
-  stats_.txs_committed += batch_txs;
-  stats_.blocks_journaled += batch.size();
+  stats_.txs_committed += txs;
+  stats_.blocks_journaled += count;
   SKERN_COUNTER_INC("journal.commits");
-  SKERN_COUNTER_ADD("journal.txs_committed", batch_txs);
-  SKERN_COUNTER_ADD("journal.blocks_journaled", batch.size());
-  SKERN_TRACE("journal", "commit", txid, batch.size());
+  SKERN_COUNTER_ADD("journal.txs_committed", txs);
+  SKERN_COUNTER_ADD("journal.blocks_journaled", count);
+  SKERN_TRACE("journal", "commit", txid, count);
+  if (!lazy_checkpoint_.load(std::memory_order_relaxed)) {
+    SKERN_RETURN_IF_ERROR(CheckpointLocked());
+  }
   return Status::Ok();
 }
 
 Status Journal::Commit(Tx&& tx) {
   SKERN_SPAN_LOCKED("journal", "commit");
-  MutexGuard guard(mutex_);
-  SKERN_RETURN_IF_ERROR(SubmitLocked(std::move(tx)));
-  return FlushLocked();
+  SKERN_RETURN_IF_ERROR(Submit(std::move(tx)));
+  return Flush();
+}
+
+Status Journal::Checkpoint() {
+  MutexGuard guard(commit_lock_);
+  return CheckpointLocked();
+}
+
+Status Journal::CheckpointLocked() SKERN_REQUIRES(commit_lock_) {
+  if (!needs_reset_ && head_ == start_ + 1 &&
+      overlay_count_.load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  SKERN_TIMED_SCOPE("journal.checkpoint.latency_ns");
+  {
+    // Commit-lock holders are the only overlay writers, so a read guard is
+    // enough to pin the contents while they stream to their home slots
+    // (concurrent ReadHome readers keep flowing).
+    ReadGuard og(overlay_lock_);
+    for (const auto& [home, content] : overlay_) {
+      SKERN_RETURN_IF_ERROR(device_.WriteBlock(home, ByteView(content)));
+    }
+    if (!overlay_.empty()) {
+      SKERN_RETURN_IF_ERROR(FlushDevice());
+    }
+  }
+  SKERN_RETURN_IF_ERROR(WriteSuperblock());
+  {
+    WriteGuard og(overlay_lock_);
+    overlay_.clear();
+    overlay_count_.store(0, std::memory_order_release);
+  }
+  head_ = start_ + 1;
+  needs_reset_ = false;
+  ++stats_.checkpoints;
+  SKERN_COUNTER_INC("journal.checkpoints");
+  SKERN_TRACE("journal", "checkpoint", sequence_);
+  return Status::Ok();
 }
 
 Status Journal::Recover() {
-  MutexGuard guard(mutex_);
+  MutexGuard stage(stage_lock_);
+  MutexGuard commit(commit_lock_);
+  {
+    SpinLockGuard qg(queue_lock_);
+    queue_.clear();
+    results_.clear();
+  }
+  pending_blocks_.clear();
+  pending_txs_ = 0;
+  {
+    WriteGuard og(overlay_lock_);
+    overlay_.clear();
+    overlay_count_.store(0, std::memory_order_release);
+  }
+  head_ = start_ + 1;
+  needs_reset_ = false;
+
   uint64_t sb_sequence = 0;
   SKERN_RETURN_IF_ERROR(ReadSuperblock(&sb_sequence));
   sequence_ = sb_sequence;
 
-  // Read the descriptor slot; if it holds a committed batch the superblock
-  // has not retired, replay it.
-  Bytes desc(kBlockSize, 0);
-  SKERN_RETURN_IF_ERROR(device_.ReadBlock(start_ + 1, MutableByteView(desc)));
-  ByteView desc_view(desc);
-  if (GetU64(desc_view, 0) != kDescMagic) {
+  // Walk the chain of batch records from the front of the area. Each must
+  // be consecutively sequenced and fully checksum-valid (descriptor, commit
+  // record, payload); the first torn, stale, or missing record ends the
+  // chain — everything before it was durably committed, everything after it
+  // never finished.
+  struct ReplayBatch {
+    std::vector<uint64_t> homes;
+    std::vector<Bytes> payload;
+  };
+  std::vector<ReplayBatch> chain;
+  uint64_t pos = start_ + 1;
+  uint64_t expected = sb_sequence;
+  for (;;) {
+    if (pos + 2 > start_ + length_) {
+      break;  // no room for another descriptor + commit pair
+    }
+    Bytes desc(kBlockSize, 0);
+    SKERN_RETURN_IF_ERROR(device_.ReadBlock(pos, MutableByteView(desc)));
+    ByteView desc_view(desc);
+    if (GetU64(desc_view, 0) != kDescMagic) {
+      break;
+    }
+    if (GetU64(desc_view, kBlockSize - kJournalChecksumBytes) !=
+        Fnv1a(ByteView(desc.data(), kBlockSize - kJournalChecksumBytes))) {
+      break;  // torn descriptor: batch never committed
+    }
+    if (GetU64(desc_view, 8) != expected) {
+      break;  // stale record from before the last checkpoint
+    }
+    uint64_t count = GetU64(desc_view, 16);
+    if (count == 0 || count > Capacity() || pos + 2 + count > start_ + length_) {
+      break;
+    }
+    Bytes commit_block(kBlockSize, 0);
+    SKERN_RETURN_IF_ERROR(device_.ReadBlock(pos + 1 + count, MutableByteView(commit_block)));
+    ByteView commit_view(commit_block);
+    if (GetU64(commit_view, 0) != kCommitMagic || GetU64(commit_view, 8) != expected ||
+        GetU64(commit_view, 24) != Fnv1a(ByteView(commit_block.data(), 24))) {
+      break;  // no durable commit record: discard
+    }
+    ReplayBatch batch;
+    uint64_t data_checksum = kFnvSeed;
+    for (uint64_t i = 0; i < count; ++i) {
+      Bytes payload(kBlockSize, 0);
+      SKERN_RETURN_IF_ERROR(device_.ReadBlock(pos + 1 + i, MutableByteView(payload)));
+      data_checksum = Fnv1a(ByteView(payload), data_checksum);
+      batch.homes.push_back(
+          GetU64(desc_view, kJournalDescHeaderBytes + kJournalDescSlotBytes * i));
+      batch.payload.push_back(std::move(payload));
+    }
+    if (data_checksum != GetU64(commit_view, 16)) {
+      break;  // payload torn despite commit record: discard
+    }
+    chain.push_back(std::move(batch));
+    pos += count + 2;
+    ++expected;
+  }
+
+  if (chain.empty()) {
     ++stats_.empty_recoveries;
     return Status::Ok();
   }
-  if (GetU64(desc_view, kBlockSize - kJournalChecksumBytes) !=
-      Fnv1a(ByteView(desc.data(), kBlockSize - kJournalChecksumBytes))) {
-    ++stats_.empty_recoveries;  // torn descriptor: batch never committed
-    return Status::Ok();
-  }
-  uint64_t txid = GetU64(desc_view, 8);
-  uint64_t count = GetU64(desc_view, 16);
-  if (txid < sb_sequence) {
-    ++stats_.empty_recoveries;  // already checkpointed and retired
-    return Status::Ok();
-  }
-  if (count == 0 || count > Capacity()) {
-    ++stats_.empty_recoveries;
-    return Status::Ok();
-  }
-
-  // Validate the commit block.
-  Bytes commit(kBlockSize, 0);
-  SKERN_RETURN_IF_ERROR(device_.ReadBlock(start_ + 2 + count, MutableByteView(commit)));
-  ByteView commit_view(commit);
-  if (GetU64(commit_view, 0) != kCommitMagic || GetU64(commit_view, 8) != txid ||
-      GetU64(commit_view, 24) != Fnv1a(ByteView(commit.data(), 24))) {
-    ++stats_.empty_recoveries;  // no durable commit record: discard
-    return Status::Ok();
-  }
-
-  // Validate data payload checksum, then replay.
-  std::vector<Bytes> payload(count, Bytes(kBlockSize, 0));
-  uint64_t data_checksum = 0xcbf29ce484222325ULL;
-  for (uint64_t i = 0; i < count; ++i) {
-    SKERN_RETURN_IF_ERROR(device_.ReadBlock(start_ + 2 + i, MutableByteView(payload[i])));
-    data_checksum = Fnv1a(ByteView(payload[i]), data_checksum);
-  }
-  if (data_checksum != GetU64(commit_view, 16)) {
-    ++stats_.empty_recoveries;  // payload torn despite commit record: discard
-    return Status::Ok();
-  }
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t home = GetU64(desc_view, kJournalDescHeaderBytes + kJournalDescSlotBytes * i);
-    SKERN_RETURN_IF_ERROR(device_.WriteBlock(home, ByteView(payload[i])));
+  // Replay in commit order (later batches overwrite earlier ones' blocks),
+  // then retire the whole chain with one superblock advance.
+  for (const auto& batch : chain) {
+    for (size_t i = 0; i < batch.homes.size(); ++i) {
+      SKERN_RETURN_IF_ERROR(device_.WriteBlock(batch.homes[i], ByteView(batch.payload[i])));
+    }
   }
   SKERN_RETURN_IF_ERROR(FlushDevice());
-  sequence_ = txid + 1;
+  sequence_ = expected;
   SKERN_RETURN_IF_ERROR(WriteSuperblock());
-  ++stats_.replays;
-  SKERN_COUNTER_INC("journal.replays");
-  SKERN_TRACE("journal", "replay", txid, count);
+  stats_.replays += chain.size();
+  SKERN_COUNTER_ADD("journal.replays", chain.size());
+  SKERN_TRACE("journal", "replay", expected - 1, chain.size());
   return Status::Ok();
 }
 

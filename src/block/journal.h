@@ -2,28 +2,47 @@
 //
 // The journal owns a dedicated block range on the device. Transactions are
 // staged with Submit() into a pending batch (jbd2-style group commit) and the
-// batch is made durable with Flush(), which runs the classic protocol once
-// for the whole batch:
-//   1. descriptor + data blocks        -> flush (barrier)
-//   2. commit block (with checksum)    -> flush
-//   3. checkpoint: write home blocks   -> flush
-//   4. journal superblock sequence advance -> flush
-// Group commit amortizes those four barriers over every transaction in the
-// batch instead of paying them per transaction. A crash at any point either
-// replays the batch fully (commit block durable and checksummed) or ignores
-// it (commit missing/torn) — never a partial application; since a batch is a
-// single on-disk transaction, "all-or-nothing per batch" is exactly the old
-// per-transaction contract with a coarser grain. Recovery is idempotent.
+// batch is made durable with Flush(). A committed batch is written as a
+// contiguous record in the journal area:
+//   descriptor block | data blocks... | commit block (checksummed)
+// and the commit protocol costs two barriers: one after descriptor + data,
+// one after the commit block. Batches append after each other, so several
+// committed-but-not-checkpointed batches can live in the area at once
+// (concurrent open transactions relaxing the single group-commit barrier of
+// the original design). Checkpointing — writing home blocks and advancing the
+// journal superblock — is decoupled:
+//   * eager mode (the default, the original contract): every commit
+//     checkpoints immediately, so the device's home blocks are always
+//     current after Flush() returns;
+//   * lazy mode (SetLazyCheckpoint(true), used by SafeFs's write-back
+//     plane): commits only append to the journal; home blocks go stale and
+//     reads must consult the committed-but-not-checkpointed overlay via
+//     ReadHome(). Checkpoint happens when the area fills, at an explicit
+//     Checkpoint() call, or during Recover(). The overlay is bounded by the
+//     journal area: a batch cannot commit without space, and space is
+//     reclaimed only by checkpointing.
+// Recovery scans the area from the front, replaying the longest chain of
+// consecutively-sequenced, checksum-valid batches (descriptor + commit block
+// + payload checksum must all validate) and checkpointing them; the first
+// torn or stale record ends the chain. A crash at any point either replays a
+// committed batch fully or ignores it — never a partial application.
 //
-// Simplifications vs. jbd2, documented in DESIGN.md: Flush is synchronous and
-// checkpoints immediately (at most one batch lives in the journal), and data
-// is journaled along with metadata (data=journal mode), which makes the crash
-// contract exact: a recovered file system equals the last flushed state,
-// which is what the FsModel crash oracle checks.
+// Locking: submitters stage under `stage_lock_` and never wait on device
+// barriers; the device protocol serializes under `commit_lock_`. A submitter
+// arriving while a flush is in flight stages into the next batch and
+// returns — the only threads that wait on `commit_lock_` are the ones with a
+// batch to make durable, and that wait is charged to the lock-contention
+// registry (procfs /contention) like every TrackedMutex.
+//
+// Data is journaled along with metadata (data=journal mode), which keeps the
+// crash contract exact: a recovered file system equals the last flushed
+// state, which is what the FsModel crash oracle checks.
 #ifndef SKERN_SRC_BLOCK_JOURNAL_H_
 #define SKERN_SRC_BLOCK_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -47,6 +66,7 @@ struct JournalStats {
   uint64_t txs_committed = 0;     // logical transactions made durable
   uint64_t blocks_journaled = 0;
   uint64_t device_flushes = 0;    // barriers this journal issued
+  uint64_t checkpoints = 0;       // home-block writeback passes
   uint64_t replays = 0;           // batches replayed at recovery
   uint64_t empty_recoveries = 0;  // recoveries with nothing to replay
 };
@@ -62,24 +82,48 @@ class Journal {
 
   // A transaction under construction. Blocks added twice coalesce (last
   // content wins), like buffers re-dirtied inside one jbd2 transaction.
+  // A Tx counts as "open" (journal.txs_open gauge) from Begin() until it is
+  // submitted or destroyed.
   class Tx {
    public:
+    Tx() = default;
+    ~Tx() { Close(); }
+    Tx(Tx&& other) noexcept : journal_(other.journal_), blocks_(std::move(other.blocks_)) {
+      other.journal_ = nullptr;
+    }
+    Tx& operator=(Tx&& other) noexcept {
+      if (this != &other) {
+        Close();
+        journal_ = other.journal_;
+        blocks_ = std::move(other.blocks_);
+        other.journal_ = nullptr;
+      }
+      return *this;
+    }
+    Tx(const Tx&) = delete;
+    Tx& operator=(const Tx&) = delete;
+
     void AddBlock(uint64_t home_block, ByteView content);
     size_t BlockCount() const { return blocks_.size(); }
 
    private:
     friend class Journal;
+    explicit Tx(Journal* journal) : journal_(journal) {}
+    void Close();
+
+    Journal* journal_ = nullptr;
     std::map<uint64_t, Bytes> blocks_;
   };
 
   // Initializes the journal superblock (mkfs path).
   Status Format();
 
-  // Scans the journal and replays any committed-but-not-checkpointed
-  // batch (mount path). Safe to call on a clean journal.
+  // Scans the journal and replays every committed-but-not-checkpointed
+  // batch (mount path). Safe to call on a clean journal. Leaves the journal
+  // fully checkpointed (empty overlay, reset area).
   Status Recover();
 
-  Tx Begin() const { return Tx(); }
+  Tx Begin();
 
   // Stages `tx` into the pending batch without making it durable. Blocks
   // staged by different transactions coalesce last-writer-wins, like buffers
@@ -89,15 +133,37 @@ class Journal {
   // staged, nothing flushed) if `tx` alone exceeds the journal capacity.
   Status Submit(Tx&& tx);
 
-  // Makes the pending batch durable via the four-step protocol. An empty
-  // batch is a no-op. On device error the batch is discarded (the caller
-  // recovers through Recover(), same as a crash).
+  // Makes the pending batch durable (two barriers; plus a checkpoint in
+  // eager mode). An empty batch is a no-op. On device error the batch is
+  // discarded and the journal area is reset before the next commit (the
+  // caller recovers through Recover(), same as a crash).
   Status Flush();
 
   // Submit + Flush: the unbatched commit path. An empty transaction is a
   // no-op. Fails (without corrupting anything) if the transaction exceeds
   // the journal capacity or the device errors.
   Status Commit(Tx&& tx);
+
+  // Writes every committed-but-not-checkpointed block to its home location,
+  // advances the journal superblock, and resets the journal area. A no-op
+  // when nothing is outstanding.
+  Status Checkpoint();
+
+  // Lazy-checkpoint mode: see the file comment. Off by default (commits
+  // checkpoint immediately, the original contract).
+  void SetLazyCheckpoint(bool lazy) {
+    lazy_checkpoint_.store(lazy, std::memory_order_relaxed);
+  }
+
+  // True if committed batches exist whose home blocks are stale on device.
+  bool HasUncheckpointed() const {
+    return overlay_count_.load(std::memory_order_acquire) != 0;
+  }
+
+  // Current content of a home block: the committed-but-not-checkpointed
+  // overlay if present, else the device. This is the read path every client
+  // of a lazy-checkpoint journal must use for journaled blocks.
+  Status ReadHome(uint64_t block, MutableByteView out) const;
 
   // Batch capacity in home blocks: bounded by the journal area and by the
   // descriptor block (which lists home block numbers inline after its
@@ -111,49 +177,127 @@ class Journal {
 
   void set_max_batch_txs(size_t n);
   size_t max_batch_txs() const {
-    MutexGuard guard(mutex_);
+    MutexGuard guard(stage_lock_);
     return max_batch_txs_;
   }
   size_t pending_tx_count() const {
-    MutexGuard guard(mutex_);
+    MutexGuard guard(stage_lock_);
     return pending_txs_;
   }
   size_t pending_block_count() const {
-    MutexGuard guard(mutex_);
+    MutexGuard guard(stage_lock_);
     return pending_blocks_.size();
+  }
+  size_t overlay_block_count() const {
+    return overlay_count_.load(std::memory_order_acquire);
+  }
+  uint64_t open_tx_count() const {
+    return txs_open_.load(std::memory_order_relaxed);
   }
 
   uint64_t sequence() const {
-    MutexGuard guard(mutex_);
+    MutexGuard guard(commit_lock_);
     return sequence_;
   }
-  // Consistent snapshot taken under the journal lock.
+  // Consistent snapshot taken under the commit lock.
   JournalStats stats() const {
-    MutexGuard guard(mutex_);
+    MutexGuard guard(commit_lock_);
     return stats_;
   }
 
  private:
-  Status SubmitLocked(Tx&& tx) SKERN_REQUIRES(mutex_);
-  Status FlushLocked() SKERN_REQUIRES(mutex_);
-  Status WriteSuperblock() SKERN_REQUIRES(mutex_);
+  // A batch taken out of the staging area, ticketed so concurrent flushers
+  // commit in exactly the order the batches were staged (coalescing across
+  // batches makes commit order content-bearing).
+  struct QueuedBatch {
+    uint64_t ticket = 0;
+    std::map<uint64_t, Bytes> blocks;
+    size_t txs = 0;
+  };
+
+  void OnTxOpened();
+  void OnTxClosed();
+
+  // Moves the staged batch into the commit queue; returns its ticket (0 if
+  // the batch was empty and nothing was queued).
+  uint64_t TakeBatchLocked() SKERN_REQUIRES(stage_lock_);
+  // Commits queued batches in ticket order until `ticket`'s result is known.
+  Status DrainQueueFor(uint64_t ticket);
+  Status CommitBatchLocked(std::map<uint64_t, Bytes>&& blocks, size_t txs)
+      SKERN_REQUIRES(commit_lock_);
+  Status WriteBatchRecordLocked(const std::map<uint64_t, Bytes>& batch, uint64_t txid)
+      SKERN_REQUIRES(commit_lock_);
+  Status CheckpointLocked() SKERN_REQUIRES(commit_lock_);
+  Status WriteSuperblock() SKERN_REQUIRES(commit_lock_);
   Status ReadSuperblock(uint64_t* sequence_out) const;
-  Status FlushDevice() SKERN_REQUIRES(mutex_);
+  Status FlushDevice() SKERN_REQUIRES(commit_lock_);
 
   BlockDevice& device_;
   uint64_t start_;
   uint64_t length_;
-  // Serializes the commit protocol and guards the staged batch. SafeFs holds
-  // its big lock above this one (safefs.lock -> journal.lock is a recorded
-  // lockdep edge); nothing is ever acquired while holding the journal lock.
-  mutable TrackedMutex mutex_{"journal.lock"};
-  uint64_t sequence_ SKERN_GUARDED_BY(mutex_) = 1;  // next batch id
-  size_t max_batch_txs_ SKERN_GUARDED_BY(mutex_) = kDefaultMaxBatchTxs;
+
+  // Staging plane: submitters only ever touch this lock, so staging a
+  // transaction never waits behind a device barrier. SafeFs holds its big
+  // lock above both journal locks (safefs.lock -> journal.* are recorded
+  // lockdep edges); nothing is ever acquired above the queue spinlock.
+  mutable TrackedMutex stage_lock_{"journal.stage"};
+  size_t max_batch_txs_ SKERN_GUARDED_BY(stage_lock_) = kDefaultMaxBatchTxs;
   // Staged batch, home -> content.
-  std::map<uint64_t, Bytes> pending_blocks_ SKERN_GUARDED_BY(mutex_);
+  std::map<uint64_t, Bytes> pending_blocks_ SKERN_GUARDED_BY(stage_lock_);
   // Logical txs in the batch.
-  size_t pending_txs_ SKERN_GUARDED_BY(mutex_) = 0;
-  JournalStats stats_ SKERN_GUARDED_BY(mutex_);
+  size_t pending_txs_ SKERN_GUARDED_BY(stage_lock_) = 0;
+
+  // Hand-off queue between the staging and commit planes (leaf lock).
+  mutable TrackedSpinLock queue_lock_{"journal.queue"};
+  uint64_t next_ticket_ SKERN_GUARDED_BY(queue_lock_) = 1;
+  std::deque<QueuedBatch> queue_ SKERN_GUARDED_BY(queue_lock_);
+  // Results of batches committed on behalf of another thread, consumed by
+  // the owning flusher (bounded: every push is paired with one read).
+  std::map<uint64_t, Status> results_ SKERN_GUARDED_BY(queue_lock_);
+
+  // Commit plane: serializes the on-device protocol.
+  mutable TrackedMutex commit_lock_{"journal.commit"};
+  uint64_t sequence_ SKERN_GUARDED_BY(commit_lock_) = 1;  // next batch id
+  // Next free slot in the journal area (batches append contiguously).
+  uint64_t head_ SKERN_GUARDED_BY(commit_lock_) = 0;
+  // Set when a commit died mid-protocol: the area may hold a torn record in
+  // front of nothing, so it must be reset (checkpointed) before the next
+  // batch lands.
+  bool needs_reset_ SKERN_GUARDED_BY(commit_lock_) = false;
+  JournalStats stats_ SKERN_GUARDED_BY(commit_lock_);
+
+  // Committed-but-not-checkpointed home content. Writers publish under the
+  // commit lock + overlay write lock; ReadHome takes the read lock only when
+  // the atomic count says the overlay is non-empty.
+  mutable TrackedRwLock overlay_lock_{"journal.overlay"};
+  std::map<uint64_t, Bytes> overlay_ SKERN_GUARDED_BY(overlay_lock_);
+  std::atomic<uint64_t> overlay_count_{0};
+
+  std::atomic<bool> lazy_checkpoint_{false};
+  std::atomic<uint64_t> txs_open_{0};
+};
+
+// BlockDevice view of a lazy-checkpoint journal's device: reads go through
+// the committed-but-not-checkpointed overlay (ReadHome), writes and barriers
+// pass through. SafeFs mounts its read cache on this so a cache miss after a
+// lazy commit observes committed content, not the stale home block.
+class JournalHomeDevice : public BlockDevice {
+ public:
+  JournalHomeDevice(Journal& journal, BlockDevice& device)
+      : journal_(journal), device_(device) {}
+
+  Status ReadBlock(uint64_t block, MutableByteView out) override {
+    return journal_.ReadHome(block, out);
+  }
+  Status WriteBlock(uint64_t block, ByteView data) override {
+    return device_.WriteBlock(block, data);
+  }
+  Status Flush() override { return device_.Flush(); }
+  uint64_t BlockCount() const override { return device_.BlockCount(); }
+
+ private:
+  Journal& journal_;
+  BlockDevice& device_;
 };
 
 }  // namespace skern

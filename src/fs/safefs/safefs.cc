@@ -1,6 +1,7 @@
 #include "src/fs/safefs/safefs.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
@@ -13,6 +14,15 @@ namespace {
 
 // Blocks prefetched ahead of a detected sequential stream.
 constexpr uint64_t kReadAheadBlocks = 8;
+
+// Dirty-cell count that wakes the background flusher. Kept well above a hot
+// working set's size: draining buys no durability (only Sync/Fsync journal),
+// so an early drain just discards the coalescing a re-dirtied cell would have
+// enjoyed. The flusher exists to bound memory, not to push bytes eagerly.
+constexpr uint64_t kWbFlushWakeCells = 2048;
+// Dirty-cell cap: a fast write pushing past this drains inline
+// (backpressure), bounding write-back memory at ~cap * kBlockSize.
+constexpr uint64_t kWbMaxDirtyCells = 8192;
 
 // Splits a normalized absolute path into components ("/a/b" -> {"a","b"}).
 std::vector<std::string> Components(const std::string& normalized) {
@@ -37,24 +47,52 @@ SafeFs::SafeFs(BlockDevice& device, const FsGeometry& geometry)
     : device_(device),
       geo_(geometry),
       journal_(device, geometry.journal_start, geometry.journal_blocks),
+      home_device_(journal_, device),
       bitmap_(kBlockSize, 0) {
+  // SafeFs opts into lazy checkpointing: commits append to the journal area
+  // (two barriers) and home blocks catch up when the area fills, at
+  // recovery, or at an explicit checkpoint. All content reads below the
+  // staged plane go through home_device_ / ReadHome so the overlay is
+  // always visible.
+  journal_.SetLazyCheckpoint(true);
   // Size the read cache to the data area (bounded): at the scales this
   // substrate runs (RAM disks up to a few thousand blocks) a warm working
   // set should never thrash its own LRU.
   // A generous shard hint: this cache is read-mostly and shared by every
   // concurrent fast reader, so shard-lock collisions are pure overhead.
   read_cache_ = std::make_unique<BufferCache>(
-      device, std::clamp<size_t>(geometry.data_blocks, 64, 4096),
+      home_device_, std::clamp<size_t>(geometry.data_blocks, 64, 4096),
       /*shard_hint=*/64);
   // Eagerly register the data-plane counters so procfs /metrics lists them
   // even before the first fast-path operation.
   SKERN_COUNTER_ADD("safefs.io.fast_reads", 0);
   SKERN_COUNTER_ADD("safefs.io.slow_reads", 0);
+  SKERN_COUNTER_ADD("safefs.io.fast_writes", 0);
+  SKERN_COUNTER_ADD("safefs.io.slow_writes", 0);
   SKERN_COUNTER_ADD("safefs.readahead.issued", 0);
   SKERN_COUNTER_ADD("safefs.readahead.hits", 0);
   SKERN_COUNTER_ADD("safefs.blockmap.hits", 0);
   SKERN_COUNTER_ADD("safefs.blockmap.misses", 0);
+  SKERN_COUNTER_ADD("safefs.writeback.fast_writes", 0);
+  SKERN_COUNTER_ADD("safefs.writeback.drains", 0);
+  SKERN_COUNTER_ADD("safefs.writeback.drained_cells", 0);
+  SKERN_GAUGE_SET("safefs.writeback.dirty_cells", 0);
   SKERN_COUNTER_ADD("sync.rwlock.contended", 0);
+  // The background flusher moves write-back state into the staged plane when
+  // enough accumulates; it never journals, so durability stays exactly
+  // "what the last Sync/Fsync made durable".
+  wb_flusher_ = KThread("safefs-wb", [this](const std::atomic<bool>& stop) {
+    while (!stop.load(std::memory_order_acquire)) {
+      wb_event_.ConsumeFor(std::chrono::milliseconds(10));
+      if (stop.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (wb_dirty_cells_.load(std::memory_order_acquire) >= kWbFlushWakeCells) {
+        MutexGuard guard(mutex_);
+        (void)DrainWriteBackLocked();
+      }
+    }
+  });
 }
 
 Result<std::shared_ptr<SafeFs>> SafeFs::Format(BlockDevice& device, uint64_t inode_count,
@@ -84,6 +122,7 @@ Result<std::shared_ptr<SafeFs>> SafeFs::Format(BlockDevice& device, uint64_t ino
     fs->dirty_inos_.insert(kRootIno);
     fs->bitmap_dirty_ = true;
     SKERN_RETURN_IF_ERROR(fs->SyncLocked());
+    fs->RecomputeAvailLocked();
   }
   return fs;
 }
@@ -122,6 +161,7 @@ Result<std::shared_ptr<SafeFs>> SafeFs::Mount(BlockDevice& device) {
       }
     }
   }
+  fs->RecomputeAvailLocked();
   return fs;
 }
 
@@ -134,7 +174,7 @@ Result<Bytes> SafeFs::LoadBlock(uint64_t block) const {
     return lend.Get();
   }
   Bytes content(kBlockSize, 0);
-  SKERN_RETURN_IF_ERROR(device_.ReadBlock(block, MutableByteView(content)));
+  SKERN_RETURN_IF_ERROR(journal_.ReadHome(block, MutableByteView(content)));
   return content;
 }
 
@@ -145,7 +185,7 @@ Result<Owned<Bytes>*> SafeFs::StageBlock(uint64_t block, bool zero_fill) {
   }
   Bytes content(kBlockSize, 0);
   if (!zero_fill) {
-    SKERN_RETURN_IF_ERROR(device_.ReadBlock(block, MutableByteView(content)));
+    SKERN_RETURN_IF_ERROR(journal_.ReadHome(block, MutableByteView(content)));
   }
   auto [inserted, ok] = staged_.emplace(block, Owned<Bytes>(std::move(content)));
   SKERN_CHECK(ok);
@@ -170,6 +210,13 @@ Result<uint64_t> SafeFs::AllocDataBlock() {
       bitmap_dirty_ = true;
       ++stats_.blocks_allocated;
       alloc_hint_ = (i + 1) % geo_.data_blocks;
+      if (wb_replay_active_) {
+        // A drain allocation consumes a reservation that already left
+        // avail_; the drain refunds any over-reservation afterwards.
+        ++wb_replay_allocs_;
+      } else {
+        avail_.fetch_sub(1, std::memory_order_relaxed);
+      }
       return geo_.data_start + i;
     }
   }
@@ -182,6 +229,7 @@ void SafeFs::FreeDataBlock(uint64_t block) {
   bitmap_[i / 8] &= static_cast<uint8_t>(~(1u << (i % 8)));
   bitmap_dirty_ = true;
   ++stats_.blocks_freed;
+  avail_.fetch_add(1, std::memory_order_relaxed);
   DropStaged(block);
   // The block may be reallocated to another file before the next sync; its
   // old content must leave the read cache with it.
@@ -206,6 +254,39 @@ uint64_t SafeFs::FreeDataBlocks() const {
     }
   }
   return free;
+}
+
+void SafeFs::RecomputeAvailLocked() {
+  int64_t free = 0;
+  for (uint64_t i = 0; i < geo_.data_blocks; ++i) {
+    if ((bitmap_[i / 8] & (1u << (i % 8))) == 0) {
+      ++free;
+    }
+  }
+  avail_.store(free, std::memory_order_relaxed);
+}
+
+bool SafeFs::ReserveBlocks(uint64_t n) {
+  int64_t cur = avail_.load(std::memory_order_relaxed);
+  while (cur >= static_cast<int64_t>(n)) {
+    if (avail_.compare_exchange_weak(cur, cur - static_cast<int64_t>(n),
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SafeFs::SetWriteBack(bool enabled) {
+  if (!enabled) {
+    // Disabling must not strand buffered writes: drain first, then stop
+    // accepting new fast writes.
+    MutexGuard guard(mutex_);
+    (void)DrainWriteBackLocked();
+    writeback_enabled_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  writeback_enabled_.store(true, std::memory_order_relaxed);
 }
 
 // --- inodes ---
@@ -601,6 +682,7 @@ Result<bool> SafeFs::DirIsEmpty(uint64_t dir_ino) const {
 Status SafeFs::Create(const std::string& path) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
   if (p == "/") {
     return Status::Error(Errno::kEEXIST);
@@ -621,6 +703,7 @@ Status SafeFs::Create(const std::string& path) {
 Status SafeFs::Mkdir(const std::string& path) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
   if (p == "/") {
     return Status::Error(Errno::kEEXIST);
@@ -643,6 +726,7 @@ Status SafeFs::Mkdir(const std::string& path) {
 Status SafeFs::Unlink(const std::string& path) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
   if (p == "/") {
     return Status::Error(Errno::kEISDIR);
@@ -663,6 +747,7 @@ Status SafeFs::Unlink(const std::string& path) {
 Status SafeFs::Rmdir(const std::string& path) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
   if (p == "/") {
     return Status::Error(Errno::kEBUSY);
@@ -690,6 +775,7 @@ Status SafeFs::Write(const std::string& path, uint64_t offset, ByteView data) {
   SKERN_SPAN_LOCKED("safefs", "write");
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   return WriteLocked(path, offset, data);
 }
 
@@ -714,7 +800,8 @@ Status SafeFs::WriteLocked(const std::string& path, uint64_t offset, ByteView da
 Status SafeFs::WriteInodeLocked(uint64_t ino, InodeDataState& ds, uint64_t offset,
                                 ByteView data) {
   uint64_t length = data.size();
-  if (fault_ == SafeFsSemanticFault::kWriteIgnoresTailByte && length > 0) {
+  if (fault_.load(std::memory_order_relaxed) == SafeFsSemanticFault::kWriteIgnoresTailByte &&
+      length > 0) {
     length -= 1;  // a functional bug: silently drops the last byte
   }
   if (length == 0) {
@@ -787,6 +874,7 @@ Status SafeFs::WriteInodeLocked(uint64_t ino, InodeDataState& ds, uint64_t offse
       ds.block_map.try_emplace(i, 0);
     }
     ds.cached_size = inode.size;
+    ds.has_indirect = inode.indirect != 0;
   }
   return Status::Ok();
 }
@@ -795,6 +883,7 @@ Result<Bytes> SafeFs::Read(const std::string& path, uint64_t offset, uint64_t le
   SKERN_SPAN_LOCKED("safefs", "read");
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   return ReadLocked(path, offset, length);
 }
 
@@ -843,6 +932,7 @@ Result<Bytes> SafeFs::ReadInodeLocked(uint64_t ino, uint64_t offset,
 Status SafeFs::Truncate(const std::string& path, uint64_t new_size) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
   SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
   if (p == "/" || (w.ino != kInvalidIno && inodes_.at(w.ino).IsDir())) {
@@ -871,7 +961,8 @@ Status SafeFs::TruncateInode(uint64_t ino, uint64_t new_size) {
     SKERN_RETURN_IF_ERROR(FreeBlocksFrom(ino, BlocksForSize(new_size)));
     // Zero the tail of the last kept block so a later grow reads zeroes.
     uint64_t tail = new_size % kBlockSize;
-    if (tail != 0 && fault_ != SafeFsSemanticFault::kTruncateSkipsZeroing) {
+    if (tail != 0 &&
+        fault_.load(std::memory_order_relaxed) != SafeFsSemanticFault::kTruncateSkipsZeroing) {
       SKERN_ASSIGN_OR_RETURN(uint64_t block, MapBlock(inode, new_size / kBlockSize));
       if (block != 0) {
         SKERN_ASSIGN_OR_RETURN(Owned<Bytes> * cell, StageBlock(block, false));
@@ -892,6 +983,7 @@ Status SafeFs::TruncateInode(uint64_t ino, uint64_t new_size) {
       ds.block_map.try_emplace(i, 0);  // a growing truncate adds holes
     }
     ds.cached_size = new_size;
+    ds.has_indirect = inode.indirect != 0;
   }
   return Status::Ok();
 }
@@ -899,6 +991,7 @@ Status SafeFs::TruncateInode(uint64_t ino, uint64_t new_size) {
 Status SafeFs::Rename(const std::string& from, const std::string& to) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   SKERN_ASSIGN_OR_RETURN(std::string f, specpath::Normalize(from));
   SKERN_ASSIGN_OR_RETURN(std::string t, specpath::Normalize(to));
   if (f == "/" || t == "/") {
@@ -936,7 +1029,7 @@ Status SafeFs::Rename(const std::string& from, const std::string& to) {
     FreeInode(wt.ino);
   }
   SKERN_RETURN_IF_ERROR(DirAddEntry(wt.parent_ino, wt.leaf, wf.ino));
-  if (fault_ != SafeFsSemanticFault::kRenameLeavesSource) {
+  if (fault_.load(std::memory_order_relaxed) != SafeFsSemanticFault::kRenameLeavesSource) {
     SKERN_RETURN_IF_ERROR(DirRemoveEntry(wf.parent_ino, wf.leaf));
   }
   if (accel_enabled_) {
@@ -952,6 +1045,7 @@ Status SafeFs::Rename(const std::string& from, const std::string& to) {
 Result<FileAttr> SafeFs::Stat(const std::string& path) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
   SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
   if (w.ino == kInvalidIno) {
@@ -961,7 +1055,8 @@ Result<FileAttr> SafeFs::Stat(const std::string& path) {
   FileAttr attr;
   attr.is_dir = inode.IsDir();
   attr.size = attr.is_dir ? 0 : inode.size;
-  if (!attr.is_dir && fault_ == SafeFsSemanticFault::kStatSizeOffByOne) {
+  if (!attr.is_dir &&
+      fault_.load(std::memory_order_relaxed) == SafeFsSemanticFault::kStatSizeOffByOne) {
     attr.size += 1;
   }
   return attr;
@@ -970,6 +1065,7 @@ Result<FileAttr> SafeFs::Stat(const std::string& path) {
 Result<std::vector<std::string>> SafeFs::Readdir(const std::string& path) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
   SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
   if (w.ino == kInvalidIno) {
@@ -985,7 +1081,8 @@ Result<std::vector<std::string>> SafeFs::Readdir(const std::string& path) {
     names.push_back(entry.name);
   }
   std::sort(names.begin(), names.end());
-  if (fault_ == SafeFsSemanticFault::kReaddirDropsLastEntry && !names.empty()) {
+  if (fault_.load(std::memory_order_relaxed) == SafeFsSemanticFault::kReaddirDropsLastEntry &&
+      !names.empty()) {
     names.pop_back();
   }
   return names;
@@ -994,15 +1091,24 @@ Result<std::vector<std::string>> SafeFs::Readdir(const std::string& path) {
 Status SafeFs::Sync() {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   return SyncLocked();
 }
 
 Status SafeFs::Fsync(const std::string& path) {
   MutexGuard guard(mutex_);
   ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   // Committing the running transaction gives at least per-file durability.
   (void)path;
   return SyncLocked();
+}
+
+Status SafeFs::Checkpoint() {
+  MutexGuard guard(mutex_);
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
+  SKERN_RETURN_IF_ERROR(SyncLocked());
+  return journal_.Checkpoint();
 }
 
 Status SafeFs::SyncLocked() {
@@ -1074,6 +1180,287 @@ Status SafeFs::SyncLocked() {
   // Everything staged is now checkpointed to its home location; inodes whose
   // write_epoch is <= this value are fast-read clean again.
   syncs_completed_.fetch_add(1, std::memory_order_release);
+  return Status::Ok();
+}
+
+// --- write-back plane ---
+
+// Replays all buffered write-back into the staged plane. Three phases:
+//   1. extract: under each inode's write lock, move its dirty cells out and
+//      stamp the inode staged-dirty (write_epoch) so fast reads defer to the
+//      staged plane until the next sync;
+//   2. replay: walk every cell in global first-dirty (`seq`) order, mapping
+//      (and first-fit allocating, exactly where the synchronous path would
+//      have) each block, then landing the content;
+//   3. settle: apply file sizes and refresh the per-inode mirrors.
+// Every mutex_ operation calls this first: partial drains would permute
+// allocation order relative to a synchronous run of the same op sequence.
+Status SafeFs::DrainWriteBackLocked() {
+  if (wb_dirty_cells_.load(std::memory_order_acquire) == 0) {
+    return Status::Ok();
+  }
+  SKERN_SPAN_LOCKED("safefs", "wb_drain");
+  std::vector<std::shared_ptr<InodeDataState>> list;
+  {
+    SpinLockGuard lg(wb_list_lock_);
+    list.swap(wb_list_);
+  }
+  struct ReplayCell {
+    uint64_t seq;
+    uint64_t ino;
+    uint64_t index;
+    std::shared_ptr<InodeDataState> ds;
+    WbDirtyBlock cell;
+  };
+  struct SizeRec {
+    std::shared_ptr<InodeDataState> ds;
+    uint64_t ino;
+    uint64_t size_after;
+  };
+  std::vector<ReplayCell> cells;
+  std::vector<SizeRec> sizes;
+  uint64_t reserved_total = 0;
+  uint64_t extracted = 0;
+  for (auto& dsp : list) {
+    WriteGuard wg(dsp->rwlock);
+    dsp->wb_registered = false;
+    reserved_total += dsp->wb_reserved_blocks;
+    dsp->wb_reserved_blocks = 0;
+    dsp->wb_indirect_reserved = false;
+    extracted += dsp->wb_dirty.size();
+    if (dsp->dead) {
+      // The file raced an unlink: the buffered data dies with it (same
+      // outcome as the write landing just before the unlink); the refund
+      // below returns its reservations.
+      dsp->wb_dirty.clear();
+      continue;
+    }
+    for (auto& [index, cell] : dsp->wb_dirty) {
+      cells.push_back({cell.seq, dsp->ino, index, dsp, std::move(cell)});
+    }
+    dsp->wb_dirty.clear();
+    dsp->write_epoch = syncs_completed_.load(std::memory_order_relaxed) + 1;
+    sizes.push_back({dsp, dsp->ino, dsp->cached_size});
+  }
+  wb_dirty_cells_.fetch_sub(extracted, std::memory_order_release);
+  SKERN_GAUGE_SET("safefs.writeback.dirty_cells",
+                  wb_dirty_cells_.load(std::memory_order_relaxed));
+  std::sort(cells.begin(), cells.end(),
+            [](const ReplayCell& a, const ReplayCell& b) { return a.seq < b.seq; });
+  wb_replay_active_ = true;
+  wb_replay_allocs_ = 0;
+  Status st = Status::Ok();
+  for (auto& c : cells) {
+    Result<uint64_t> block = MapBlockForWrite(c.ino, c.index);
+    if (!block.ok()) {
+      st = Status::Error(block.error());
+      break;
+    }
+    // Fully-dirty cells stage zero-filled (no read): the buffered bytes
+    // cover the whole block, matching what the synchronous path's
+    // read-then-overwrite would have produced.
+    Result<Owned<Bytes>*> staged = StageBlock(*block, /*zero_fill=*/c.cell.full);
+    if (!staged.ok()) {
+      st = Status::Error(staged.error());
+      break;
+    }
+    {
+      auto lend = (*staged)->LendExclusive();
+      Bytes& dst = lend.Get();
+      if (c.cell.full) {
+        std::copy(c.cell.data.begin(), c.cell.data.end(), dst.begin());
+      } else {
+        for (const WbExtent& ext : c.cell.extents) {
+          std::copy(c.cell.data.begin() + ext.begin, c.cell.data.begin() + ext.end,
+                    dst.begin() + ext.begin);
+        }
+      }
+    }
+    WriteGuard wg(c.ds->rwlock);
+    if (c.ds->warmed && !c.ds->dead) {
+      c.ds->block_map.insert_or_assign(c.index, *block);
+    }
+  }
+  for (auto& s : sizes) {
+    if (!st.ok()) {
+      break;
+    }
+    DiskInode& inode = InodeRef(s.ino);
+    if (s.size_after > inode.size) {
+      inode.size = s.size_after;
+      MarkInodeDirty(s.ino);
+    }
+    WriteGuard wg(s.ds->rwlock);
+    if (s.ds->warmed && !s.ds->dead) {
+      s.ds->has_indirect = inode.indirect != 0;
+      s.ds->cached_size = inode.size;
+    }
+  }
+  wb_replay_active_ = false;
+  // Reservations not consumed by replay allocations (racing writers double-
+  // reserving around a drain, or cells that died with their inode) flow back.
+  avail_.fetch_add(static_cast<int64_t>(reserved_total) -
+                       static_cast<int64_t>(wb_replay_allocs_),
+                   std::memory_order_relaxed);
+  io_.wb_drains.fetch_add(1, std::memory_order_relaxed);
+  io_.wb_drained_cells.fetch_add(extracted, std::memory_order_relaxed);
+  SKERN_COUNTER_INC("safefs.writeback.drains");
+  SKERN_COUNTER_ADD("safefs.writeback.drained_cells", extracted);
+  SKERN_TRACE("safefs", "wb_drain", extracted);
+  return st;
+}
+
+std::optional<Status> SafeFs::TryFastWrite(const std::shared_ptr<InodeDataState>& dsp,
+                                           uint64_t offset, ByteView data) {
+  std::optional<Status> fast;
+  {
+    WriteGuard wg(dsp->rwlock);
+    fast = TryFastWriteLocked(dsp, *dsp, offset, data);
+  }
+  if (!fast.has_value() || !fast->ok()) {
+    return fast;
+  }
+  Status finish = FinishFastWrites(1);
+  if (!finish.ok()) {
+    return finish;
+  }
+  return fast;
+}
+
+std::optional<Status> SafeFs::TryFastWriteLocked(const std::shared_ptr<InodeDataState>& dsp,
+                                                 InodeDataState& ds, uint64_t offset,
+                                                 ByteView data) {
+  uint64_t length = data.size();
+  if (fault_.load(std::memory_order_relaxed) == SafeFsSemanticFault::kWriteIgnoresTailByte &&
+      length > 0) {
+    length -= 1;  // the same functional bug the slow path injects
+  }
+  if (length == 0) {
+    return Status::Ok();
+  }
+  uint64_t end = offset + length;
+  if (end > kMaxFileBlocks * kBlockSize) {
+    return Status::Error(Errno::kEFBIG);
+  }
+  {
+    if (ds.dead || !ds.warmed) {
+      return std::nullopt;  // cold map: the slow path warms it
+    }
+    uint64_t first = offset / kBlockSize;
+    uint64_t last = (end - 1) / kBlockSize;
+    // Delayed-allocation pre-flight: one reservation per unmapped block not
+    // already covered by a dirty cell, plus the indirect block on first
+    // need. avail_ equals what the synchronous path's bitmap scan would see
+    // at this point in the op order, so success/failure matches exactly;
+    // on failure the slow path reproduces the precise ENOSPC behaviour.
+    uint64_t need = 0;
+    for (uint64_t index = first; index <= last; ++index) {
+      if (ds.wb_dirty.find(index) != ds.wb_dirty.end()) {
+        continue;
+      }
+      auto mit = ds.block_map.find(index);
+      if (mit == ds.block_map.end() || mit->second == 0) {
+        ++need;
+      }
+    }
+    bool want_indirect =
+        last >= kDirectBlocks && !ds.has_indirect && !ds.wb_indirect_reserved;
+    if (want_indirect) {
+      ++need;
+    }
+    if (need > 0 && !ReserveBlocks(need)) {
+      return std::nullopt;
+    }
+    ds.wb_reserved_blocks += need;
+    if (want_indirect) {
+      ds.wb_indirect_reserved = true;
+    }
+    uint64_t new_cells = 0;
+    uint64_t written = 0;
+    while (written < length) {
+      uint64_t pos = offset + written;
+      uint64_t index = pos / kBlockSize;
+      uint64_t in_block = pos % kBlockSize;
+      uint64_t chunk = std::min<uint64_t>(kBlockSize - in_block, length - written);
+      auto [it, inserted] = ds.wb_dirty.try_emplace(index);
+      WbDirtyBlock& cell = it->second;
+      if (inserted) {
+        ++new_cells;
+        cell.seq = wb_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+        auto mit = ds.block_map.find(index);
+        cell.was_mapped = mit != ds.block_map.end() && mit->second != 0;
+        cell.data.assign(kBlockSize, 0);
+        // A fresh (unmapped) block starts as zeroes — exactly the zero_fill
+        // staging the synchronous path performs — so it is authoritative
+        // from the first byte.
+        cell.full = !cell.was_mapped;
+        if (!cell.was_mapped) {
+          ds.block_map.try_emplace(index, 0);  // reads overlay the cell on a hole
+        }
+      }
+      std::copy(data.data() + written, data.data() + written + chunk,
+                cell.data.begin() + in_block);
+      if (!cell.full) {
+        // Merge [in_block, in_block + chunk) into the sorted extent list.
+        WbExtent nw{static_cast<uint32_t>(in_block),
+                    static_cast<uint32_t>(in_block + chunk)};
+        std::vector<WbExtent>& v = cell.extents;
+        std::vector<WbExtent> merged;
+        merged.reserve(v.size() + 1);
+        size_t i = 0;
+        while (i < v.size() && v[i].end < nw.begin) {
+          merged.push_back(v[i++]);
+        }
+        while (i < v.size() && v[i].begin <= nw.end) {
+          nw.begin = std::min(nw.begin, v[i].begin);
+          nw.end = std::max(nw.end, v[i].end);
+          ++i;
+        }
+        merged.push_back(nw);
+        while (i < v.size()) {
+          merged.push_back(v[i++]);
+        }
+        v = std::move(merged);
+        if (v.size() == 1 && v[0].begin == 0 && v[0].end == kBlockSize) {
+          cell.full = true;
+          v.clear();
+        }
+      }
+      written += chunk;
+    }
+    if (end > ds.cached_size) {
+      for (uint64_t i = BlocksForSize(ds.cached_size); i < BlocksForSize(end); ++i) {
+        ds.block_map.try_emplace(i, 0);  // growth holes keep the map complete
+      }
+      ds.cached_size = end;
+    }
+    if (new_cells > 0) {
+      wb_dirty_cells_.fetch_add(new_cells, std::memory_order_release);
+      if (!ds.wb_registered) {
+        ds.wb_registered = true;
+        SpinLockGuard lg(wb_list_lock_);
+        wb_list_.push_back(dsp);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status SafeFs::FinishFastWrites(uint64_t applied) {
+  io_.fast_writes.fetch_add(applied, std::memory_order_relaxed);
+  SKERN_COUNTER_ADD("safefs.writeback.fast_writes", applied);
+  uint64_t cells = wb_dirty_cells_.load(std::memory_order_acquire);
+  SKERN_GAUGE_SET("safefs.writeback.dirty_cells", cells);
+  if (cells >= kWbMaxDirtyCells) {
+    // Backpressure: the writer that breaches the cap pays for the drain.
+    // Runs with no per-inode lock held — the drain acquires mutex_ first and
+    // then each inode's rwlock, the same order as every slow-path op.
+    MutexGuard guard(mutex_);
+    return DrainWriteBackLocked();
+  }
+  if (cells >= kWbFlushWakeCells) {
+    wb_event_.Signal();
+  }
   return Status::Ok();
 }
 
@@ -1157,6 +1544,18 @@ std::optional<Bytes> SafeFs::TryFastRead(InodeDataState& ds, uint64_t offset,
     }
     io_.blockmap_hits.fetch_add(1, std::memory_order_relaxed);
     SKERN_COUNTER_INC("safefs.blockmap.hits");
+    // Buffered write-back overlays the clean underlying image: a fully
+    // dirty cell is authoritative on its own; a partial one patches its
+    // extents over whatever the block (or hole) reads as.
+    auto dit = ds.wb_dirty.find(index);
+    const WbDirtyBlock* dirty = dit == ds.wb_dirty.end() ? nullptr : &dit->second;
+    if (dirty != nullptr && dirty->full) {
+      out.insert(out.end(), dirty->data.begin() + in_block,
+                 dirty->data.begin() + in_block + chunk);
+      done += chunk;
+      continue;
+    }
+    size_t base_pos = out.size();
     if (it->second != 0) {
       // Single shard-lock hold per block on the warm path: no pin/release
       // round-trip, which matters when many readers stream concurrently.
@@ -1165,6 +1564,16 @@ std::optional<Bytes> SafeFs::TryFastRead(InodeDataState& ds, uint64_t offset,
       }
     } else {
       out.insert(out.end(), chunk, 0);  // holes read zero
+    }
+    if (dirty != nullptr) {
+      for (const WbExtent& ext : dirty->extents) {
+        uint64_t b = std::max<uint64_t>(ext.begin, in_block);
+        uint64_t e = std::min<uint64_t>(ext.end, in_block + chunk);
+        if (b < e) {
+          std::copy(dirty->data.begin() + b, dirty->data.begin() + e,
+                    out.begin() + base_pos + (b - in_block));
+        }
+      }
     }
     done += chunk;
   }
@@ -1253,6 +1662,7 @@ void SafeFs::WarmBlockMapLocked(uint64_t ino, InodeDataState& ds) const {
     ds.block_map.emplace(index, *block);
   }
   ds.cached_size = inode.size;
+  ds.has_indirect = inode.indirect != 0;
   ds.warmed = true;
 }
 
@@ -1317,6 +1727,7 @@ Result<Bytes> SafeFs::ReadAt(InodeHandle handle, uint64_t offset, uint64_t lengt
   // Slow path: global lock, staged-aware read, then warm the block map so
   // the next read of this inode can go fast.
   MutexGuard guard(mutex_);
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   if (!HandleCurrent(*rec)) {
     RevalidateHandleLocked(*rec);
   }
@@ -1335,7 +1746,16 @@ Result<Bytes> SafeFs::ReadAt(InodeHandle handle, uint64_t offset, uint64_t lengt
   skern_span_scope_.set_plane(obs::SpanPlane::kSlow);
   Result<Bytes> out = ReadInodeLocked(ino, offset, length);
   if (out.ok() && ds != nullptr) {
-    WarmBlockMapLocked(ino, *ds);
+    bool map_warm;
+    {
+      ReadGuard rg(ds->rwlock);
+      map_warm = ds->warmed;
+    }
+    // A warm map is kept current by every mutation under the global lock;
+    // re-deriving it per slow op would turn O(1) maintenance into O(blocks).
+    if (!map_warm) {
+      WarmBlockMapLocked(ino, *ds);
+    }
   }
   return out;
 }
@@ -1347,7 +1767,34 @@ Status SafeFs::WriteAt(InodeHandle handle, uint64_t offset, ByteView data) {
     return Status::Error(Errno::kEBADF);
   }
   SKERN_TRACE("safefs", "write_at", handle, data.size());
+  if (writeback_enabled_.load(std::memory_order_acquire)) {
+    uint64_t gen = ns_generation_.load(std::memory_order_acquire);
+    Errno err = Errno::kOk;
+    std::shared_ptr<InodeDataState> ds;
+    bool current = false;
+    {
+      SpinLockGuard hguard(rec->hlock);
+      current = rec->res_gen == gen;
+      err = rec->res_err;
+      ds = rec->res_data;
+    }
+    if (current) {
+      if (err != Errno::kOk) {
+        return Status::Error(err);  // a cached resolution error is current too
+      }
+      std::optional<Status> fast = TryFastWrite(ds, offset, data);
+      if (fast.has_value()) {
+        SKERN_COUNTER_INC("safefs.io.fast_writes");
+        SKERN_TRACE("safefs", "write_fast", handle, data.size());
+        skern_span_scope_.set_plane(obs::SpanPlane::kFast);
+        return *fast;
+      }
+    }
+  }
+  // Slow path: global lock, drain (so the synchronous write lands in global
+  // op order), then warm the block map so the next write can buffer.
   MutexGuard guard(mutex_);
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   if (!HandleCurrent(*rec)) {
     RevalidateHandleLocked(*rec);
   }
@@ -1363,7 +1810,80 @@ Status SafeFs::WriteAt(InodeHandle handle, uint64_t offset, ByteView data) {
   if (err != Errno::kOk) {
     return Status::Error(err);
   }
-  return WriteInodeLocked(ino, *ds, offset, data);
+  io_.slow_writes.fetch_add(1, std::memory_order_relaxed);
+  SKERN_COUNTER_INC("safefs.io.slow_writes");
+  SKERN_TRACE("safefs", "write_slow", handle, data.size());
+  skern_span_scope_.set_plane(obs::SpanPlane::kSlow);
+  Status st = WriteInodeLocked(ino, *ds, offset, data);
+  if (st.ok() && ds != nullptr) {
+    bool map_warm;
+    {
+      ReadGuard rg(ds->rwlock);
+      map_warm = ds->warmed;
+    }
+    if (!map_warm) {
+      WarmBlockMapLocked(ino, *ds);
+    }
+  }
+  return st;
+}
+
+Result<size_t> SafeFs::WriteAtBatch(InodeHandle handle, const WriteSlice* slices,
+                                    size_t count) {
+  if (count == 0) {
+    return static_cast<size_t>(0);
+  }
+  if (!writeback_enabled_.load(std::memory_order_acquire)) {
+    // Synchronous plane: per-op WriteAt keeps the global-lock op ordering.
+    return Errno::kENOSYS;
+  }
+  SKERN_SPAN_LOCKED("safefs", "write_at_batch");
+  std::shared_ptr<HandleRec> rec = LookupHandle(handle);
+  if (rec == nullptr) {
+    return Errno::kEBADF;
+  }
+  SKERN_TRACE("safefs", "write_at_batch", handle, count);
+  uint64_t gen = ns_generation_.load(std::memory_order_acquire);
+  Errno err = Errno::kOk;
+  std::shared_ptr<InodeDataState> ds;
+  bool current = false;
+  {
+    SpinLockGuard hguard(rec->hlock);
+    current = rec->res_gen == gen;
+    err = rec->res_err;
+    ds = rec->res_data;
+  }
+  if (!current || err != Errno::kOk || ds == nullptr) {
+    // Stale or failed resolution: hand the whole run back so the per-op
+    // path revalidates (and reports a cached error) exactly once per op.
+    return static_cast<size_t>(0);
+  }
+  size_t applied = 0;
+  {
+    WriteGuard wg(ds->rwlock);
+    while (applied < count) {
+      const WriteSlice& s = slices[applied];
+      std::optional<Status> fast = TryFastWriteLocked(ds, *ds, s.offset, s.data);
+      if (!fast.has_value() || !fast->ok()) {
+        // Cold map, reservation failure, or a validation error: stop here.
+        // The caller re-runs this slice through WriteAt, which reproduces
+        // the same result (nothing was mutated for it).
+        break;
+      }
+      ++applied;
+    }
+  }
+  if (applied > 0) {
+    skern_span_scope_.set_plane(obs::SpanPlane::kFast);
+    SKERN_COUNTER_ADD("safefs.io.fast_writes", applied);
+    Status finish = FinishFastWrites(applied);
+    if (!finish.ok()) {
+      // Backpressure drain failed; the buffered slices are applied, so
+      // surface the device error rather than an applied count.
+      return finish.code();
+    }
+  }
+  return applied;
 }
 
 Result<FileAttr> SafeFs::StatHandle(InodeHandle handle) {
@@ -1371,7 +1891,35 @@ Result<FileAttr> SafeFs::StatHandle(InodeHandle handle) {
   if (rec == nullptr) {
     return Errno::kEBADF;
   }
+  // Fast path: a current handle with a warm mirror answers from cached_size
+  // (which tracks buffered write-back growth) without the global lock.
+  {
+    uint64_t gen = ns_generation_.load(std::memory_order_acquire);
+    Errno err = Errno::kOk;
+    std::shared_ptr<InodeDataState> ds;
+    bool current = false;
+    {
+      SpinLockGuard hguard(rec->hlock);
+      current = rec->res_gen == gen;
+      err = rec->res_err;
+      ds = rec->res_data;
+    }
+    if (current && err == Errno::kOk && ds != nullptr) {
+      ReadGuard rg(ds->rwlock);
+      if (!ds->dead && ds->warmed) {
+        FileAttr attr;
+        attr.is_dir = false;
+        attr.size = ds->cached_size;
+        if (fault_.load(std::memory_order_relaxed) ==
+            SafeFsSemanticFault::kStatSizeOffByOne) {
+          attr.size += 1;
+        }
+        return attr;
+      }
+    }
+  }
   MutexGuard guard(mutex_);
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   if (!HandleCurrent(*rec)) {
     RevalidateHandleLocked(*rec);
   }
@@ -1390,7 +1938,7 @@ Result<FileAttr> SafeFs::StatHandle(InodeHandle handle) {
   FileAttr attr;
   attr.is_dir = false;
   attr.size = inodes_.at(ino).size;
-  if (fault_ == SafeFsSemanticFault::kStatSizeOffByOne) {
+  if (fault_.load(std::memory_order_relaxed) == SafeFsSemanticFault::kStatSizeOffByOne) {
     attr.size += 1;
   }
   return attr;
@@ -1405,6 +1953,7 @@ Status SafeFs::FsyncHandle(InodeHandle handle) {
   // Path Fsync ignores its path argument (the journal commits the whole
   // running transaction), so the handle's resolution is irrelevant here too.
   MutexGuard guard(mutex_);
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
   return SyncLocked();
 }
 
@@ -1416,6 +1965,10 @@ SafeFsIoStats SafeFs::io_stats() const {
   s.readahead_hits = io_.readahead_hits.load(std::memory_order_relaxed);
   s.blockmap_hits = io_.blockmap_hits.load(std::memory_order_relaxed);
   s.blockmap_misses = io_.blockmap_misses.load(std::memory_order_relaxed);
+  s.fast_writes = io_.fast_writes.load(std::memory_order_relaxed);
+  s.slow_writes = io_.slow_writes.load(std::memory_order_relaxed);
+  s.wb_drains = io_.wb_drains.load(std::memory_order_relaxed);
+  s.wb_drained_cells = io_.wb_drained_cells.load(std::memory_order_relaxed);
   MutexGuard guard(mutex_);
   for (const auto& [ino, ds] : data_state_) {
     s.inode_lock_contended += ds->rwlock.contended_count();

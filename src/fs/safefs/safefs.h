@@ -39,6 +39,7 @@
 #include "src/block/journal.h"
 #include "src/fs/layout.h"
 #include "src/ownership/owned.h"
+#include "src/sync/kthread.h"
 #include "src/sync/mutex.h"
 #include "src/vfs/dcache.h"
 #include "src/vfs/filesystem.h"
@@ -68,10 +69,14 @@ struct SafeFsStats {
 struct SafeFsIoStats {
   uint64_t fast_reads = 0;        // ReadAt served lock-free of mutex_
   uint64_t slow_reads = 0;        // ReadAt that fell back to the global lock
+  uint64_t fast_writes = 0;       // WriteAt buffered into write-back, no mutex_
+  uint64_t slow_writes = 0;       // WriteAt that took the global lock
   uint64_t readahead_issued = 0;  // blocks prefetched into the read cache
   uint64_t readahead_hits = 0;    // reads that landed in a prefetched window
   uint64_t blockmap_hits = 0;     // file blocks resolved from the map cache
   uint64_t blockmap_misses = 0;   // fast reads bounced for lack of a warm map
+  uint64_t wb_drains = 0;         // write-back drain passes
+  uint64_t wb_drained_cells = 0;  // dirty block cells replayed by drains
   uint64_t inode_lock_contended = 0;  // per-inode rwlock contention events
 };
 
@@ -129,14 +134,39 @@ class SafeFs : public FileSystem {
   void CloseHandle(InodeHandle handle) override;
   Result<Bytes> ReadAt(InodeHandle handle, uint64_t offset, uint64_t length) override;
   Status WriteAt(InodeHandle handle, uint64_t offset, ByteView data) override;
+  // Vectored fast-path writes: one handle resolution and one per-inode lock
+  // round-trip cover the whole run. Applies slices in order while each one
+  // takes the write-back fast path; returns the count applied (the caller
+  // finishes the remainder through WriteAt). kENOSYS when write-back is off —
+  // per-op WriteAt keeps the synchronous plane's global op ordering.
+  Result<size_t> WriteAtBatch(InodeHandle handle, const WriteSlice* slices,
+                              size_t count) override;
   Result<FileAttr> StatHandle(InodeHandle handle) override;
   Status FsyncHandle(InodeHandle handle) override;
 
   SafeFsIoStats io_stats() const;
 
+  // --- write-back switch ---
+  // On (the default): WriteAt buffers dirty block cells per inode with
+  // delayed allocation and no global lock; dirty state drains to the staged
+  // plane at every path-API/slow-path operation, at Sync/Fsync, when the
+  // background flusher wakes, or when the dirty-cell cap applies
+  // backpressure. Off: every write takes mutex_ and stages synchronously
+  // (the PR-5 behaviour; the bench's comparison cell).
+  void SetWriteBack(bool enabled);
+  bool write_back_enabled() const {
+    return writeback_enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Quiesce: drain buffered write-back, commit everything, and fold the
+  // journal into the home locations (the journal checkpoints lazily on the
+  // hot path, so after a plain Sync committed data may live only in the
+  // ring). After this returns Ok the raw device image equals the logical
+  // state — what unmount or an offline inspection wants.
+  Status Checkpoint();
+
   void SetSemanticFault(SafeFsSemanticFault fault) {
-    MutexGuard guard(mutex_);
-    fault_ = fault;
+    fault_.store(fault, std::memory_order_relaxed);
   }
   void SetAllocPolicy(AllocPolicy policy) {
     MutexGuard guard(mutex_);
@@ -228,6 +258,26 @@ class SafeFs : public FileSystem {
   // dropped from data_state_ when the inode is freed — a handle that
   // outlives the file sees `dead`, falls to the slow path, revalidates, and
   // fails exactly like a fresh path walk.
+  // One dirty byte range within a write-back block cell.
+  struct WbExtent {
+    uint32_t begin = 0;
+    uint32_t end = 0;  // exclusive
+  };
+  // Write-back state for one file block: the bytes written since the last
+  // drain, stamped with the *global* order of the cell's first dirtying.
+  // Delayed allocation contract: a cell whose block was unmapped at first
+  // dirty reserved its block from `avail_` but allocation happens only at
+  // drain, replayed across all inodes in `seq` order — exactly the first-fit
+  // order the synchronous path would have produced, so write-back and
+  // synchronous runs of one op sequence stay block-for-block identical.
+  struct WbDirtyBlock {
+    uint64_t seq = 0;        // global first-dirty order (wb_seq_)
+    bool was_mapped = false; // block had a mapping when first dirtied
+    bool full = false;       // `data` is authoritative for the whole block
+    Bytes data;              // kBlockSize; zero-initialized for fresh blocks
+    std::vector<WbExtent> extents;  // sorted, merged; unused when `full`
+  };
+
   struct InodeDataState {
     explicit InodeDataState(uint64_t inode_no) : ino(inode_no) {}
     const uint64_t ino;
@@ -242,6 +292,16 @@ class SafeFs : public FileSystem {
     // must go through staged_ under mutex_.
     uint64_t write_epoch SKERN_GUARDED_BY(rwlock) = 0;
     bool dead SKERN_GUARDED_BY(rwlock) = false;
+    // --- write-back plane (all under rwlock; fast writes hold it exclusive,
+    // fast reads overlay wb_dirty on the underlying content in shared mode,
+    // drains empty it under mutex_ + rwlock) ---
+    std::map<uint64_t, WbDirtyBlock> wb_dirty SKERN_GUARDED_BY(rwlock);
+    uint64_t wb_reserved_blocks SKERN_GUARDED_BY(rwlock) = 0;
+    bool wb_indirect_reserved SKERN_GUARDED_BY(rwlock) = false;
+    bool wb_registered SKERN_GUARDED_BY(rwlock) = false;
+    // Mirror of inode.indirect != 0 (valid while warmed), so the fast write
+    // can reserve the indirect block without touching mutex_.
+    bool has_indirect SKERN_GUARDED_BY(rwlock) = false;
     // Sequential-access detection + read-ahead window (monotonic hints; the
     // races between concurrent readers only cost accuracy, never safety).
     std::atomic<uint64_t> next_seq_offset{0};
@@ -275,6 +335,34 @@ class SafeFs : public FileSystem {
   // Populates block_map/cached_size from the inode after a slow read.
   void WarmBlockMapLocked(uint64_t ino, InodeDataState& ds) const SKERN_REQUIRES(mutex_);
 
+  // --- write-back plane ---
+  // The lock-free write: buffers the payload into per-inode dirty cells with
+  // delayed allocation. nullopt = fall back to the slow path (cold map, dead
+  // inode, reservation failure). A returned Status is final (Ok, or a
+  // validation error like EFBIG that the slow path would also produce).
+  std::optional<Status> TryFastWrite(const std::shared_ptr<InodeDataState>& ds,
+                                     uint64_t offset, ByteView data);
+  // The buffering core, with ds.rwlock already held exclusively — what a
+  // vectored batch loops over so one lock round-trip covers the run. `dsp`
+  // is the same state (kept for wb_list_ registration); the caller publishes
+  // stats and runs the wake/backpressure check afterwards.
+  std::optional<Status> TryFastWriteLocked(const std::shared_ptr<InodeDataState>& dsp,
+                                           InodeDataState& ds, uint64_t offset,
+                                           ByteView data) SKERN_REQUIRES(ds.rwlock);
+  // Post-buffering bookkeeping shared by the single and vectored fast paths:
+  // stats, the dirty-cells gauge, and the flusher wake / inline backpressure
+  // decision. `applied` is the number of ops just buffered.
+  Status FinishFastWrites(uint64_t applied);
+  // Reserves n data blocks against avail_; false if the file system cannot
+  // commit to them (the caller falls to the slow path for exact ENOSPC).
+  bool ReserveBlocks(uint64_t n);
+  // Replays every pending write-back cell (all inodes, global seq order)
+  // into the staged plane: allocation first-fit in first-dirty order, then
+  // content, then sizes. Every mutex_ operation calls this first, so the
+  // slow path always observes fully-applied state.
+  Status DrainWriteBackLocked() SKERN_REQUIRES(mutex_);
+  void RecomputeAvailLocked() SKERN_REQUIRES(mutex_);
+
   // --- data paths ---
   Status WriteLocked(const std::string& path, uint64_t offset, ByteView data)
       SKERN_REQUIRES(mutex_);
@@ -292,6 +380,10 @@ class SafeFs : public FileSystem {
   BlockDevice& device_;
   FsGeometry geo_;
   Journal journal_;
+  // The journal runs lazy checkpoints for SafeFs, so a committed batch may
+  // live only in the journal area + overlay; every content read below the
+  // staged plane must go through this view, never raw device blocks.
+  JournalHomeDevice home_device_;
   mutable TrackedMutex mutex_{"safefs.lock"};
 
   // In-memory metadata images (authoritative between syncs).
@@ -307,7 +399,10 @@ class SafeFs : public FileSystem {
   std::set<uint64_t> cleared_inos_ SKERN_GUARDED_BY(mutex_);
   bool bitmap_dirty_ SKERN_GUARDED_BY(mutex_) = false;
 
-  SafeFsSemanticFault fault_ SKERN_GUARDED_BY(mutex_) = SafeFsSemanticFault::kNone;
+  // Atomic (not mutex-guarded): the write-back fast path must apply write
+  // faults without the global lock, and a fault switch mid-run only needs to
+  // be seen by operations that start after it.
+  std::atomic<SafeFsSemanticFault> fault_{SafeFsSemanticFault::kNone};
   AllocPolicy alloc_policy_ SKERN_GUARDED_BY(mutex_) = AllocPolicy::kFirstFit;
   uint64_t alloc_hint_ SKERN_GUARDED_BY(mutex_) = 0;  // next-fit scan position
   SafeFsStats stats_ SKERN_GUARDED_BY(mutex_);
@@ -360,11 +455,39 @@ class SafeFs : public FileSystem {
   mutable struct {
     std::atomic<uint64_t> fast_reads{0};
     std::atomic<uint64_t> slow_reads{0};
+    std::atomic<uint64_t> fast_writes{0};
+    std::atomic<uint64_t> slow_writes{0};
     std::atomic<uint64_t> readahead_issued{0};
     std::atomic<uint64_t> readahead_hits{0};
     std::atomic<uint64_t> blockmap_hits{0};
     std::atomic<uint64_t> blockmap_misses{0};
+    std::atomic<uint64_t> wb_drains{0};
+    std::atomic<uint64_t> wb_drained_cells{0};
   } io_;
+
+  // --- write-back plane state ---
+  std::atomic<bool> writeback_enabled_{true};
+  // Global first-dirty order across all inodes; drains replay allocation in
+  // this order to reproduce the synchronous path's first-fit placement.
+  std::atomic<uint64_t> wb_seq_{0};
+  // Blocks the file system can still commit to: bitmap free count minus
+  // outstanding write-back reservations. Fast writes CAS-reserve here;
+  // synchronous allocations (always post-drain) decrement; frees increment.
+  std::atomic<int64_t> avail_{0};
+  std::atomic<uint64_t> wb_dirty_cells_{0};
+  // Inodes with pending write-back, under a dedicated leaf lock so a fast
+  // write registers without touching mutex_.
+  mutable TrackedSpinLock wb_list_lock_{"safefs.wb_list"};
+  std::vector<std::shared_ptr<InodeDataState>> wb_list_ SKERN_GUARDED_BY(wb_list_lock_);
+  // While a drain replays reserved allocations, AllocDataBlock must not
+  // double-charge avail_; the drain refunds any over-reservation at the end.
+  bool wb_replay_active_ SKERN_GUARDED_BY(mutex_) = false;
+  uint64_t wb_replay_allocs_ SKERN_GUARDED_BY(mutex_) = 0;
+  // Background flusher: drains write-back into the staged plane (never the
+  // journal — crash-visible state still moves only at Sync/Fsync). Declared
+  // last so it stops before any state it touches is destroyed.
+  Event wb_event_;
+  KThread wb_flusher_;
 };
 
 }  // namespace skern

@@ -1,0 +1,132 @@
+// Kernel threads and completion events.
+//
+// Kernel modules never construct std::thread directly (safety_lint P003):
+// background work runs on a KThread, which gives every worker a name, a
+// guaranteed join (the destructor requests stop and joins rather than
+// detaching), and a standard stop handshake. Event is
+// the matching wakeup primitive — a binary condition a flusher sleeps on
+// with a timeout so a stop request or a burst of dirty state wakes it
+// immediately instead of at the next poll tick.
+//
+// This header is the single allow-listed spawner in layers.toml
+// (`thread_spawn`); everything above src/sync drives concurrency through
+// it or from test/bench harnesses.
+#ifndef SKERN_SRC_SYNC_KTHREAD_H_
+#define SKERN_SRC_SYNC_KTHREAD_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace skern {
+
+// Binary event: Signal() wakes every current and future waiter until the
+// event is Reset(). Built on std:: primitives directly (not TrackedMutex)
+// because waiting on a condition variable is a scheduling point, not lock
+// contention — charging a flusher's idle sleep to /contention would drown
+// the real signal.
+class Event {
+ public:
+  void Signal() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      signaled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    signaled_ = false;
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> guard(mutex_);
+    cv_.wait(guard, [this] { return signaled_; });
+  }
+
+  // Returns true if the event was signaled, false on timeout.
+  bool WaitFor(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> guard(mutex_);
+    return cv_.wait_for(guard, timeout, [this] { return signaled_; });
+  }
+
+  // Wait, then atomically consume the signal so the next Wait blocks.
+  bool ConsumeFor(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> guard(mutex_);
+    bool fired = cv_.wait_for(guard, timeout, [this] { return signaled_; });
+    signaled_ = false;
+    return fired;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool signaled_ = false;
+};
+
+// A named kernel thread. The body receives the thread's stop token and is
+// expected to poll it (or wait on an Event the stopper signals). Stop()
+// requests shutdown and joins; the destructor does the same, so a KThread
+// owner can never leak a running worker.
+class KThread {
+ public:
+  KThread() = default;
+
+  KThread(std::string name, std::function<void(const std::atomic<bool>& stop)> body)
+      : name_(std::move(name)), stop_(std::make_shared<std::atomic<bool>>(false)) {
+    thread_ = std::thread([stop = stop_, fn = std::move(body)] { fn(*stop); });
+  }
+
+  ~KThread() { Stop(); }
+
+  KThread(KThread&& other) noexcept { *this = std::move(other); }
+  KThread& operator=(KThread&& other) noexcept {
+    if (this != &other) {
+      Stop();
+      name_ = std::move(other.name_);
+      thread_ = std::move(other.thread_);
+      stop_ = std::move(other.stop_);
+    }
+    return *this;
+  }
+  KThread(const KThread&) = delete;
+  KThread& operator=(const KThread&) = delete;
+
+  bool Running() const { return thread_.joinable(); }
+  const std::string& name() const { return name_; }
+
+  // Raises the stop flag. The body sees it at its next poll; pair with an
+  // Event signal if the body sleeps.
+  void RequestStop() {
+    if (stop_ != nullptr) {
+      stop_->store(true, std::memory_order_release);
+    }
+  }
+
+  // Requests stop and joins. Safe to call repeatedly or on an empty thread.
+  void Stop() {
+    RequestStop();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    stop_.reset();
+  }
+
+ private:
+  std::string name_;
+  std::thread thread_;
+  // Shared with the running body so the flag keeps a stable address across
+  // moves of the owning KThread.
+  std::shared_ptr<std::atomic<bool>> stop_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_SYNC_KTHREAD_H_

@@ -45,6 +45,13 @@ struct FileAttr {
 using InodeHandle = uint64_t;
 inline constexpr InodeHandle kInvalidHandle = 0;
 
+// One positional write in a vectored batch (WriteAtBatch). The view borrows
+// the caller's buffer; it must stay valid for the duration of the call.
+struct WriteSlice {
+  uint64_t offset = 0;
+  ByteView data;
+};
+
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
@@ -109,6 +116,19 @@ class FileSystem {
   virtual Status WriteAt(InodeHandle handle, uint64_t offset, ByteView data) {
     (void)handle, (void)offset, (void)data;
     return Status::Error(Errno::kENOSYS);
+  }
+
+  // Vectored writes: applies `slices` in order, exactly as consecutive
+  // WriteAt calls would, and returns how many were fully applied. An
+  // implementation may stop early at any slice it cannot take on its fast
+  // path (or that fails) — the caller finishes the remainder op by op
+  // through WriteAt, which reproduces the per-op result. This is purely an
+  // amortization surface for the async submission plane: one handle
+  // resolution and one lock round-trip cover a whole submission-ring run.
+  virtual Result<size_t> WriteAtBatch(InodeHandle handle, const WriteSlice* slices,
+                                      size_t count) {
+    (void)handle, (void)slices, (void)count;
+    return Errno::kENOSYS;
   }
 
   virtual Result<FileAttr> StatHandle(InodeHandle handle) {

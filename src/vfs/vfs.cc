@@ -255,6 +255,14 @@ Status Vfs::DispatchWrite(OpenFile& file, uint64_t offset, ByteView data) {
   return file.fs->Write(file.fs_path, offset, data);
 }
 
+size_t Vfs::DispatchWriteBatch(OpenFile& file, const WriteSlice* slices, size_t count) {
+  if (file.handle == kInvalidHandle) {
+    return 0;
+  }
+  auto applied = file.fs->WriteAtBatch(file.handle, slices, count);
+  return applied.ok() ? *applied : 0;
+}
+
 Result<FileAttr> Vfs::DispatchStat(OpenFile& file) {
   if (file.handle != kInvalidHandle) {
     auto out = file.fs->StatHandle(file.handle);

@@ -28,6 +28,8 @@
 
 namespace skern {
 
+class AioQueue;
+
 enum OpenFlags : uint32_t {
   kOpenRead = 1u << 0,
   kOpenWrite = 1u << 1,
@@ -97,6 +99,12 @@ class Vfs {
   VfsStats stats() const;
 
  private:
+  // The async plane (src/aio) is the one other door into the descriptor
+  // table: an AioQueue resolves fds and dispatches batched operations
+  // through the same FindFd/Dispatch* internals, so its semantics cannot
+  // drift from the syscalls'.
+  friend class AioQueue;
+
   // Per-descriptor state, heap-allocated and shared with in-flight syscalls
   // so the data plane never touches the VFS-wide lock: FindFd copies the
   // shared_ptr out under mutex_, and from there on only the descriptor's own
@@ -124,6 +132,10 @@ class Vfs {
   // ops otherwise (kENOSYS from a handle op also falls back to the path).
   Result<Bytes> DispatchRead(OpenFile& file, uint64_t offset, uint64_t length);
   Status DispatchWrite(OpenFile& file, uint64_t offset, ByteView data);
+  // Vectored variant for the async plane: how many leading slices the file
+  // system applied through its batched fast path (0 when unsupported or on
+  // any error — the caller finishes per-op, reproducing exact results).
+  size_t DispatchWriteBatch(OpenFile& file, const WriteSlice* slices, size_t count);
   Result<FileAttr> DispatchStat(OpenFile& file);
 
   size_t max_open_files_;

@@ -187,11 +187,12 @@ TEST_F(ProcFsTest, MetricsFileExportsDcacheCounters) {
 }
 
 TEST_F(ProcFsTest, MetricsFileExportsIoFastpathCounters) {
-  // Drive the handle data plane: write + fsync (clean inode), one slow read
-  // (warms the block map), then sequential fast reads that trigger
-  // read-ahead. Every data-plane counter must then be visible through
-  // /metrics — including the ones still at zero, which SafeFs registers
-  // eagerly at construction.
+  // Drive the handle data plane: a cold write (slow, warms the mirrors), a
+  // buffered fast write, fsync (drains write-back), then sequential fast
+  // reads that trigger read-ahead — plus one read of a path-API-written file
+  // whose block map is still cold, which must take the slow path. Every
+  // data-plane counter must then be visible through /metrics — including the
+  // ones still at zero, which SafeFs registers eagerly at construction.
   RamDisk disk(256, 12);
   auto fs = SafeFs::Format(disk, 64, 16).value();
   ASSERT_TRUE(fs->Create("/hot").ok());
@@ -199,7 +200,8 @@ TEST_F(ProcFsTest, MetricsFileExportsIoFastpathCounters) {
   ASSERT_TRUE(handle.ok());
   Bytes data(8 * kBlockSize, 0xab);  // long enough that a sequential streak
                                      // still has blocks ahead to prefetch
-  ASSERT_TRUE(fs->WriteAt(*handle, 0, ByteView(data)).ok());
+  ASSERT_TRUE(fs->WriteAt(*handle, 0, ByteView(data)).ok());  // cold: slow write
+  ASSERT_TRUE(fs->WriteAt(*handle, 0, ByteView(data)).ok());  // warm: buffered
   ASSERT_TRUE(fs->FsyncHandle(*handle).ok());
   for (uint64_t offset = 0; offset < data.size(); offset += kBlockSize) {
     auto chunk = fs->ReadAt(*handle, offset, kBlockSize);
@@ -207,12 +209,23 @@ TEST_F(ProcFsTest, MetricsFileExportsIoFastpathCounters) {
     ASSERT_EQ(chunk->size(), kBlockSize);
   }
   fs->CloseHandle(*handle);
+  ASSERT_TRUE(fs->Create("/cold").ok());
+  ASSERT_TRUE(fs->Write("/cold", 0, Bytes(kBlockSize, 0xcd)).ok());
+  auto cold_handle = fs->OpenByPath("/cold");
+  ASSERT_TRUE(cold_handle.ok());
+  auto cold_read = fs->ReadAt(*cold_handle, 0, kBlockSize);
+  ASSERT_TRUE(cold_read.ok());
+  fs->CloseHandle(*cold_handle);
 
   auto io = fs->io_stats();
   EXPECT_GT(io.fast_reads, 0u);
   EXPECT_GT(io.slow_reads, 0u);
   EXPECT_GT(io.blockmap_hits, 0u);
   EXPECT_GT(io.readahead_issued, 0u);
+  EXPECT_GT(io.fast_writes, 0u);
+  EXPECT_GT(io.slow_writes, 0u);
+  EXPECT_GT(io.wb_drains, 0u);
+  EXPECT_GT(io.wb_drained_cells, 0u);
 
   ProcFs proc;
   auto content = proc.Read("/metrics", 0, 1 << 20);
@@ -221,12 +234,17 @@ TEST_F(ProcFsTest, MetricsFileExportsIoFastpathCounters) {
   for (const char* name :
        {"safefs.io.fast_reads ", "safefs.io.slow_reads ", "safefs.readahead.issued ",
         "safefs.readahead.hits ", "safefs.blockmap.hits ", "safefs.blockmap.misses ",
-        "sync.rwlock.contended "}) {
+        "safefs.io.fast_writes ", "safefs.io.slow_writes ",
+        "safefs.writeback.fast_writes ", "safefs.writeback.drains ",
+        "safefs.writeback.drained_cells ", "safefs.writeback.dirty_cells ",
+        "journal.txs_open ", "journal.checkpoints ", "sync.rwlock.contended "}) {
     EXPECT_NE(text.find(name), std::string::npos) << "missing " << name << " in:\n" << text;
   }
   // The hot counters carry real traffic, not just their registration zeros.
   EXPECT_EQ(text.find("safefs.io.fast_reads 0"), std::string::npos) << text;
   EXPECT_EQ(text.find("safefs.blockmap.hits 0"), std::string::npos) << text;
+  EXPECT_EQ(text.find("safefs.writeback.fast_writes 0"), std::string::npos) << text;
+  EXPECT_EQ(text.find("safefs.writeback.drains 0"), std::string::npos) << text;
 }
 
 TEST_F(ProcFsTest, TraceFileShowsBufferedEvents) {

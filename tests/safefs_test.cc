@@ -337,5 +337,108 @@ TEST_F(SafeFsTest, ReadClampFollowsTruncate) {
   fs_->CloseHandle(*handle);
 }
 
+// --- the write-back plane ---
+
+TEST_F(SafeFsTest, BufferedWritesAreCoherentThroughEveryReadPath) {
+  ASSERT_TRUE(fs_->Create("/wb").ok());
+  auto handle = fs_->OpenByPath("/wb");
+  ASSERT_TRUE(handle.ok());
+
+  // First write takes the slow path (cold inode) and warms the block map;
+  // later writes buffer into write-back without touching the global lock.
+  Bytes first(kBlockSize, 0x11);
+  ASSERT_TRUE(fs_->WriteAt(*handle, 0, ByteView(first)).ok());
+  Bytes second(1000, 0x22);
+  ASSERT_TRUE(fs_->WriteAt(*handle, 100, ByteView(second)).ok());
+  Bytes third(500, 0x33);
+  ASSERT_TRUE(fs_->WriteAt(*handle, kBlockSize + 50, ByteView(third)).ok());
+  EXPECT_GT(fs_->io_stats().fast_writes, 0u);
+
+  Bytes expect(kBlockSize + 50 + 500, 0);
+  std::fill(expect.begin(), expect.begin() + kBlockSize, 0x11);
+  std::fill(expect.begin() + 100, expect.begin() + 1100, 0x22);
+  std::fill(expect.begin() + kBlockSize + 50, expect.end(), 0x33);
+
+  // Fast reads patch the dirty overlay over cached blocks; path reads drain
+  // first. Both must see the same bytes.
+  auto via_handle = fs_->ReadAt(*handle, 0, 1 << 20);
+  ASSERT_TRUE(via_handle.ok());
+  EXPECT_EQ(*via_handle, expect);
+  auto via_path = fs_->Read("/wb", 0, 1 << 20);
+  ASSERT_TRUE(via_path.ok());
+  EXPECT_EQ(*via_path, expect);
+  EXPECT_GT(fs_->io_stats().wb_drains, 0u);
+  fs_->CloseHandle(*handle);
+}
+
+TEST_F(SafeFsTest, PathStatAndHandleStatSeeBufferedGrowth) {
+  ASSERT_TRUE(fs_->Create("/grow").ok());
+  auto handle = fs_->OpenByPath("/grow");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(fs_->WriteAt(*handle, 0, Bytes(64, 1)).ok());       // warms
+  ASSERT_TRUE(fs_->WriteAt(*handle, 7000, Bytes(100, 2)).ok());   // buffers
+  ASSERT_EQ(fs_->io_stats().fast_writes, 1u);
+
+  // StatHandle answers from the cached size without draining; path Stat
+  // drains first. Both must report the buffered growth.
+  auto via_handle = fs_->StatHandle(*handle);
+  ASSERT_TRUE(via_handle.ok());
+  EXPECT_EQ(via_handle->size, 7100u);
+  uint64_t drains_before = fs_->io_stats().wb_drains;
+  auto via_path = fs_->Stat("/grow");
+  ASSERT_TRUE(via_path.ok());
+  EXPECT_EQ(via_path->size, 7100u);
+  EXPECT_GT(fs_->io_stats().wb_drains, drains_before);
+  fs_->CloseHandle(*handle);
+}
+
+// ENOSPC parity: delayed allocation must not change *when* a write fails or
+// what the file looks like afterwards. The same overflowing script runs on a
+// buffered stack and a synchronous stack; per-op codes and final content
+// must match exactly (reservations make buffered acceptance = sync success).
+TEST_F(SafeFsTest, DelayedAllocationKeepsEnospcParityWithSyncPlane) {
+  auto run = [](bool write_back, std::vector<Errno>& codes) {
+    RamDisk tiny(48, 9);
+    auto fs = SafeFs::Format(tiny, 16, 16).value();
+    fs->SetWriteBack(write_back);
+    EXPECT_TRUE(fs->Create("/big").ok());
+    auto handle = fs->OpenByPath("/big");
+    EXPECT_TRUE(handle.ok());
+    for (uint64_t i = 0; i < 40; ++i) {
+      Bytes chunk(kBlockSize, static_cast<uint8_t>(i + 1));
+      codes.push_back(fs->WriteAt(*handle, i * kBlockSize, ByteView(chunk)).code());
+    }
+    auto content = fs->Read("/big", 0, 1 << 22);
+    EXPECT_TRUE(content.ok());
+    fs->CloseHandle(*handle);
+    return *content;
+  };
+
+  std::vector<Errno> wb_codes;
+  std::vector<Errno> sync_codes;
+  Bytes wb_content = run(true, wb_codes);
+  Bytes sync_content = run(false, sync_codes);
+  ASSERT_EQ(wb_codes.size(), sync_codes.size());
+  for (size_t i = 0; i < wb_codes.size(); ++i) {
+    EXPECT_EQ(wb_codes[i], sync_codes[i]) << "write " << i;
+  }
+  EXPECT_EQ(wb_content, sync_content);
+  // The script must actually have hit the wall.
+  EXPECT_NE(std::find(wb_codes.begin(), wb_codes.end(), Errno::kENOSPC),
+            wb_codes.end());
+}
+
+TEST_F(SafeFsTest, DisablingWriteBackRestoresSynchronousWrites) {
+  fs_->SetWriteBack(false);
+  ASSERT_TRUE(fs_->Create("/sync").ok());
+  auto handle = fs_->OpenByPath("/sync");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(fs_->WriteAt(*handle, 0, Bytes(100, 1)).ok());
+  ASSERT_TRUE(fs_->WriteAt(*handle, 100, Bytes(100, 2)).ok());
+  EXPECT_EQ(fs_->io_stats().fast_writes, 0u);
+  EXPECT_EQ(fs_->io_stats().slow_writes, 2u);
+  fs_->CloseHandle(*handle);
+}
+
 }  // namespace
 }  // namespace skern

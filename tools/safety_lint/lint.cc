@@ -712,6 +712,8 @@ bool ParseConfig(const std::string& text, Config* config, std::string* error) {
         config->include_everywhere.insert(items.begin(), items.end());
       } else if (key == "mutex_include") {
         config->mutex_include_allowed = items;
+      } else if (key == "thread_spawn") {
+        config->thread_spawn_allowed = items;
       } else if (key == "grandfathered") {
         config->grandfathered = items;
       } else {
@@ -795,7 +797,8 @@ std::vector<Finding> LintFile(const std::string& virtual_path, const std::string
   // --- token-driven primitive bans (P00x) ---
   const bool ban_alloc = in_src && !grandfathered && module != "src/base" &&
                          module != "src/ownership";
-  const bool ban_thread = in_src && !grandfathered;
+  const bool ban_thread =
+      in_src && !grandfathered && !HasPrefixIn(virtual_path, config.thread_spawn_allowed);
   const bool ban_memfns = in_src && !grandfathered && virtual_path != "src/base/bytes.h";
   for (size_t i = 0; i < tokens.size(); ++i) {
     const Token& tok = tokens[i];

@@ -16,7 +16,8 @@
 //         low-level modules (everything else uses src/sync wrappers).
 //   P001  raw new/delete outside src/base and src/ownership.
 //   P002  malloc/calloc/realloc/free anywhere in src/.
-//   P003  raw std::thread construction inside src/ modules.
+//   P003  raw std::thread construction inside src/ modules (outside the
+//         allow-listed kernel-thread wrapper).
 //   P004  memcpy/memmove/memset outside src/base/bytes.h.
 //   G001  access to a SKERN_GUARDED_BY field with no visible acquisition of
 //         the named lock in the enclosing function.
@@ -55,6 +56,10 @@ struct Config {
   std::set<std::string> include_everywhere;
   // Module prefixes allowed to include <mutex>/<shared_mutex> directly.
   std::vector<std::string> mutex_include_allowed;
+  // Path prefixes allowed to construct std::thread (P003). Normally only the
+  // src/sync kernel-thread wrapper; everything else drives concurrency
+  // through it or from test/bench harnesses.
+  std::vector<std::string> thread_spawn_allowed;
   // Path prefixes exempt from primitive bans (the deliberately-unsafe
   // legacy/fault-demo code the paper measures against).
   std::vector<std::string> grandfathered;

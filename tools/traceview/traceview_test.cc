@@ -144,17 +144,25 @@ bool ForestHasChain(const SpanForest& forest, const std::vector<std::string>& na
 TEST(TraceviewIntegration, ReconstructsMultiLayerPreadTree) {
   // The acceptance scenario: Vfs::Pread over SafeFs must reconstruct as
   // vfs.pread -> safefs.read_at -> block.append_from_block once the warm
-  // fast path serves reads through the buffer cache. The first read is the
-  // cold slow path (block map not yet warmed) and must carry the slow-plane
-  // tag; the second is the fast path that traverses the cache.
+  // fast path serves reads through the buffer cache. The writer warms the
+  // inode's mirrors, so the cold state comes from a fresh mount: its first
+  // read is the slow path (block map not yet warmed) and must carry the
+  // slow-plane tag; the second is the fast path that traverses the cache.
   RamDisk disk(256, 21);
+  {
+    Vfs writer_vfs;
+    ASSERT_TRUE(writer_vfs.Mount("/", SafeFs::Format(disk, 64, 16).value()).ok());
+    auto wfd = writer_vfs.Open("/spanfile", kOpenRead | kOpenWrite | kOpenCreate);
+    ASSERT_TRUE(wfd.ok());
+    Bytes data(2 * kBlockSize, 0x5a);
+    ASSERT_TRUE(writer_vfs.Pwrite(*wfd, 0, ByteView(data)).ok());
+    ASSERT_TRUE(writer_vfs.Fsync(*wfd).ok());
+    ASSERT_TRUE(writer_vfs.Close(*wfd).ok());
+  }
   Vfs vfs;
-  ASSERT_TRUE(vfs.Mount("/", SafeFs::Format(disk, 64, 16).value()).ok());
-  auto fd = vfs.Open("/spanfile", kOpenRead | kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(vfs.Mount("/", SafeFs::Mount(disk).value()).ok());
+  auto fd = vfs.Open("/spanfile", kOpenRead);
   ASSERT_TRUE(fd.ok());
-  Bytes data(2 * kBlockSize, 0x5a);
-  ASSERT_TRUE(vfs.Pwrite(*fd, 0, ByteView(data)).ok());
-  ASSERT_TRUE(vfs.Fsync(*fd).ok());
 
   auto& session = obs::TraceSession::Get();
   session.ResetForTesting();
