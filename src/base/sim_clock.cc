@@ -5,6 +5,7 @@
 namespace skern {
 
 uint64_t SimClock::ScheduleAt(SimTime deadline, std::function<void()> fn) {
+  std::lock_guard<std::mutex> guard(mu_);
   uint64_t id = next_id_++;
   timers_.emplace(deadline, Timer{id, std::move(fn)});
   return id;
@@ -15,6 +16,7 @@ uint64_t SimClock::ScheduleAfter(SimTime delay, std::function<void()> fn) {
 }
 
 bool SimClock::Cancel(uint64_t timer_id) {
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto it = timers_.begin(); it != timers_.end(); ++it) {
     if (it->second.id == timer_id) {
       timers_.erase(it);
@@ -26,21 +28,33 @@ bool SimClock::Cancel(uint64_t timer_id) {
 
 void SimClock::Advance(SimTime delta) {
   SimTime target = now() + delta;
-  while (!timers_.empty() && timers_.begin()->first <= target) {
-    auto it = timers_.begin();
-    now_.store(std::max(now(), it->first), std::memory_order_relaxed);
-    auto fn = std::move(it->second.fn);
-    timers_.erase(it);
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      auto it = timers_.begin();
+      if (it == timers_.end() || it->first > target) {
+        break;
+      }
+      now_.store(std::max(now(), it->first), std::memory_order_relaxed);
+      fn = std::move(it->second.fn);
+      timers_.erase(it);
+    }
+    // Fire outside the lock: the body may schedule or cancel timers.
     fn();
   }
-  now_.store(target, std::memory_order_relaxed);
+  now_.store(std::max(now(), target), std::memory_order_relaxed);
 }
 
 bool SimClock::AdvanceToNextEvent() {
-  if (timers_.empty()) {
-    return false;
+  SimTime next;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (timers_.empty()) {
+      return false;
+    }
+    next = timers_.begin()->first;
   }
-  SimTime next = timers_.begin()->first;
   SimTime current = now();
   Advance(next > current ? next - current : 0);
   return true;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/obs/trace_clock.h"
@@ -23,10 +24,19 @@ inline constexpr SimTime kMicrosecond = 1000;
 inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 inline constexpr SimTime kSecond = 1000 * kMillisecond;
 
-// A discrete-event clock with one-shot timers. Timer scheduling is not
-// thread-safe (each simulation owns one clock and advances it explicitly),
-// but now() is an atomic read so the tracer may sample the clock from any
-// thread (SimClock implements obs::TraceClock for deterministic traces).
+// A discrete-event clock with one-shot timers. now() is an atomic read so
+// the tracer may sample the clock from any thread (SimClock implements
+// obs::TraceClock for deterministic traces). Timer scheduling and
+// cancellation are thread-safe: the sharded network stack arms
+// retransmission timers from whichever thread drives a socket, while one
+// driver thread advances time. Timers fire outside the internal lock, so a
+// timer body may freely schedule or cancel other timers; single-threaded
+// simulations behave exactly as before (equal deadlines fire in insertion
+// order, preserved by the multimap).
+//
+// This is a plain std::mutex, not a TrackedMutex: SimClock sits below
+// src/sync (the lock registry itself schedules nothing, but base must not
+// depend upward), and the critical sections are a handful of map operations.
 class SimClock : public obs::TraceClock {
  public:
   SimClock() = default;
@@ -45,14 +55,18 @@ class SimClock : public obs::TraceClock {
   bool Cancel(uint64_t timer_id);
 
   // Advances time by `delta`, firing due timers in deadline order. Timers
-  // scheduled by running timers fire in the same Advance if due.
+  // scheduled by running timers fire in the same Advance if due. Callbacks
+  // run on the advancing thread with no clock lock held.
   void Advance(SimTime delta);
 
   // Advances directly to the next pending deadline (no-op if none).
   // Returns true if a timer fired.
   bool AdvanceToNextEvent();
 
-  size_t pending_timers() const { return timers_.size(); }
+  size_t pending_timers() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return timers_.size();
+  }
 
  private:
   struct Timer {
@@ -61,8 +75,9 @@ class SimClock : public obs::TraceClock {
   };
 
   std::atomic<SimTime> now_{0};
-  uint64_t next_id_ = 1;
-  std::multimap<SimTime, Timer> timers_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;                    // guarded by mu_
+  std::multimap<SimTime, Timer> timers_;    // guarded by mu_
 };
 
 }  // namespace skern

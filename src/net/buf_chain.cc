@@ -1,0 +1,263 @@
+#include "src/net/buf_chain.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/sync/mutex.h"
+#include "src/obs/metrics.h"
+
+namespace skern {
+
+namespace {
+
+std::atomic<bool> g_zero_copy{true};
+
+// Tallies feed the bench's before/after deltas and the net.buf.* counters,
+// not any control flow — but they sit on the per-packet fast path, where
+// even a relaxed fetch_add on a shared cache line shows up in the profile.
+// So each thread tallies into its own plain-integer block; readers aggregate
+// across blocks. The leaked registry owns every block, and blocks are
+// deliberately never freed (they are a few words each, and a bounded number
+// of threads ever touch the net data plane), so aggregation never chases a
+// dangling pointer after a thread exits.
+struct TlBufStats {
+  uint64_t bytes_copied = 0;
+  uint64_t bytes_shared = 0;
+  uint64_t segments_allocated = 0;
+  uint64_t storage_moves = 0;
+};
+
+struct TlBufStatsRegistry {
+  TrackedMutex mu{"net.buf.stats"};
+  std::vector<std::unique_ptr<TlBufStats>> blocks;
+
+  static TlBufStatsRegistry& Get() {
+    static TlBufStatsRegistry* reg = new TlBufStatsRegistry();
+    return *reg;
+  }
+};
+
+TlBufStats& Stats() {
+  thread_local TlBufStats* block = [] {
+    auto owned = std::make_unique<TlBufStats>();
+    TlBufStats* b = owned.get();
+    TlBufStatsRegistry& reg = TlBufStatsRegistry::Get();
+    MutexGuard guard(reg.mu);
+    reg.blocks.push_back(std::move(owned));
+    return b;
+  }();
+  return *block;
+}
+
+void CountCopied(uint64_t n) {
+  Stats().bytes_copied += n;
+  SKERN_COUNTER_ADD("net.buf.bytes_copied", n);
+}
+
+void CountShared(uint64_t n) {
+  Stats().bytes_shared += n;
+  SKERN_COUNTER_ADD("net.buf.bytes_shared", n);
+}
+
+}  // namespace
+
+void SetNetZeroCopy(bool enabled) { g_zero_copy.store(enabled, std::memory_order_relaxed); }
+
+bool NetZeroCopyEnabled() { return g_zero_copy.load(std::memory_order_relaxed); }
+
+// Aggregation tears against in-flight writers by a few counts — the readers
+// (bench deltas, tests that quiesce traffic first) don't care.
+BufChainStats GetBufChainStats() {
+  BufChainStats out;
+  TlBufStatsRegistry& reg = TlBufStatsRegistry::Get();
+  MutexGuard guard(reg.mu);
+  for (const auto& b : reg.blocks) {
+    out.bytes_copied += b->bytes_copied;
+    out.bytes_shared += b->bytes_shared;
+    out.segments_allocated += b->segments_allocated;
+    out.storage_moves += b->storage_moves;
+  }
+  return out;
+}
+
+void ResetBufChainStats() {
+  TlBufStatsRegistry& reg = TlBufStatsRegistry::Get();
+  MutexGuard guard(reg.mu);
+  for (const auto& b : reg.blocks) {
+    *b = TlBufStats{};
+  }
+}
+
+BufChain BufChain::ShareOrCopy(const BufChain& chain) {
+  BufChain out;
+  if (NetZeroCopyEnabled()) {
+    out.Append(chain);
+  } else {
+    chain.ForEachView([&out](ByteView view) { out.AppendCopy(view); });
+  }
+  return out;
+}
+
+void BufChain::Append(const BufChain& other) {
+  segs_.append(other.segs_);
+  size_ += other.size_;
+  CountShared(other.size_);
+}
+
+void BufChain::Append(BufChain&& other) {
+  CountShared(other.size_);
+  if (segs_.empty()) {
+    segs_ = std::move(other.segs_);
+    size_ = other.size_;
+  } else {
+    segs_.append(std::move(other.segs_));
+    size_ += other.size_;
+  }
+  other.segs_.clear();
+  other.size_ = 0;
+}
+
+void BufChain::AppendCopy(ByteView view) {
+  if (view.empty()) {
+    return;
+  }
+  auto storage = std::make_shared<Bytes>(view.data(), view.data() + view.size());
+  size_ += storage->size();
+  segs_.push_back(Seg{std::move(storage), 0, view.size()});
+  ++Stats().segments_allocated;
+  SKERN_COUNTER_INC("net.buf.segments_allocated");
+  CountCopied(view.size());
+}
+
+void BufChain::AppendOwned(Bytes&& owned) {
+  if (owned.empty()) {
+    return;
+  }
+  size_t len = owned.size();
+  auto storage = std::make_shared<Bytes>(std::move(owned));
+  segs_.push_back(Seg{std::move(storage), 0, len});
+  size_ += len;
+  ++Stats().segments_allocated;
+  SKERN_COUNTER_INC("net.buf.segments_allocated");
+}
+
+BufChain BufChain::Slice(size_t off, size_t len) const {
+  SKERN_CHECK(off <= size_ && len <= size_ - off);
+  BufChain out;
+  size_t remaining_skip = off;
+  size_t remaining_take = len;
+  for (const Seg& seg : segs_) {
+    if (remaining_take == 0) {
+      break;
+    }
+    if (remaining_skip >= seg.len) {
+      remaining_skip -= seg.len;
+      continue;
+    }
+    size_t seg_off = seg.off + remaining_skip;
+    size_t avail = seg.len - remaining_skip;
+    remaining_skip = 0;
+    size_t take = std::min(avail, remaining_take);
+    out.segs_.push_back(Seg{seg.data, seg_off, take});
+    out.size_ += take;
+    remaining_take -= take;
+  }
+  CountShared(out.size_);
+  return out;
+}
+
+void BufChain::Consume(size_t n) {
+  SKERN_CHECK(n <= size_);
+  size_ -= n;
+  while (n > 0) {
+    Seg& front = segs_.front();
+    if (n >= front.len) {
+      n -= front.len;
+      segs_.pop_front();
+    } else {
+      front.off += n;
+      front.len -= n;
+      n = 0;
+    }
+  }
+}
+
+Bytes BufChain::ToBytes() const {
+  Bytes out;
+  out.reserve(size_);
+  for (const Seg& seg : segs_) {
+    out.insert(out.end(), seg.data->begin() + seg.off, seg.data->begin() + seg.off + seg.len);
+  }
+  CountCopied(size_);
+  return out;
+}
+
+void BufChain::CopyTo(MutableByteView dst) const {
+  SKERN_CHECK(dst.size() == size_);
+  size_t at = 0;
+  for (const Seg& seg : segs_) {
+    dst.Subview(at, seg.len).CopyFrom(ByteView(seg.data->data() + seg.off, seg.len));
+    at += seg.len;
+  }
+  CountCopied(size_);
+}
+
+Bytes BufChain::PopBytes(size_t max) {
+  size_t take = std::min(max, size_);
+  if (take == 0) {
+    return Bytes{};
+  }
+  Seg& front = segs_.front();
+  // Move-out fast path: sole owner, view covers the whole storage, and the
+  // caller wants at least that much. This is where the zero-copy receive
+  // path pays: the buffer the peer's Send() allocated is the very vector the
+  // application receives.
+  if (NetZeroCopyEnabled() && front.data.use_count() == 1 && front.off == 0 &&
+      front.len == front.data->size() && front.len <= take) {
+    Bytes out = std::move(*front.data);
+    size_ -= out.size();
+    segs_.pop_front();
+    ++Stats().storage_moves;
+    SKERN_COUNTER_INC("net.buf.storage_moves");
+    return out;
+  }
+  Bytes out;
+  out.reserve(take);
+  size_t remaining = take;
+  for (const Seg& seg : segs_) {
+    if (remaining == 0) {
+      break;
+    }
+    size_t n = std::min(seg.len, remaining);
+    out.insert(out.end(), seg.data->begin() + seg.off, seg.data->begin() + seg.off + n);
+    remaining -= n;
+  }
+  CountCopied(out.size());
+  Consume(out.size());
+  return out;
+}
+
+BufChain BufChain::PopChain(size_t max) {
+  size_t take = std::min(max, size_);
+  BufChain out = Slice(0, take);
+  Consume(take);
+  return out;
+}
+
+bool BufChain::EqualsBytes(ByteView view) const {
+  if (view.size() != size_) {
+    return false;
+  }
+  size_t at = 0;
+  for (const Seg& seg : segs_) {
+    if (!(ByteView(seg.data->data() + seg.off, seg.len) == view.Subview(at, seg.len))) {
+      return false;
+    }
+    at += seg.len;
+  }
+  return true;
+}
+
+}  // namespace skern

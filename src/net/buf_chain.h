@@ -1,0 +1,288 @@
+// BufChain: a refcounted chain of byte segments — the network data plane's
+// zero-copy currency.
+//
+// The paper's §4.3 claim is that interfaces equivalent to message passing
+// can still share memory under an ownership model. BufChain is that model
+// for packet payloads: a payload is a sequence of (segment, offset, length)
+// views onto immutable refcounted storage. "Sending" a chain shares the
+// segments (refcount bump, no byte copies); slicing for TCP segmentation or
+// retransmission shares subranges of the same storage; the receive path
+// hands the bytes back out by moving the storage when it is the last owner.
+//
+// Ownership rules (checked by safety_lint rule B001 and the net tests):
+//   1. Segment storage is immutable after it enters a chain. Mutation
+//      happens before Wrap()/append, never after — every sharer sees a
+//      frozen byte range.
+//   2. Consumers outside src/net use the view API only: ToBytes(), CopyTo(),
+//      ForEachView(), PopBytes(). RawSegment() exposes the backing storage
+//      for the stack's internal splice paths and is banned outside src/net
+//      (no raw segment pointers escape the module).
+//   3. PopBytes() may *move* the backing storage out — legal only because
+//      uniqueness is checked at runtime (sole owner, full coverage);
+//      otherwise it degrades to a copy.
+//
+// The global zero-copy switch (SetNetZeroCopy) is the ablation lever the
+// bench uses: with it off, ShareOrCopy() deep-copies at every hop, which is
+// exactly the seed stack's full-copy behavior.
+#ifndef SKERN_SRC_NET_BUF_CHAIN_H_
+#define SKERN_SRC_NET_BUF_CHAIN_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/base/bytes.h"
+
+namespace skern {
+
+// Ablation switch: true (default) shares segments through the stack; false
+// deep-copies at every hop, reproducing the seed's copy-per-layer behavior.
+void SetNetZeroCopy(bool enabled);
+bool NetZeroCopyEnabled();
+
+// Running tallies for the bench / obs plane (also exported as net.buf.*
+// counters when the obs plane is compiled in).
+struct BufChainStats {
+  uint64_t bytes_copied = 0;
+  uint64_t bytes_shared = 0;
+  uint64_t segments_allocated = 0;
+  uint64_t storage_moves = 0;
+};
+BufChainStats GetBufChainStats();
+void ResetBufChainStats();
+
+class BufChain {
+ public:
+  // One view into refcounted immutable storage.
+  struct Seg {
+    std::shared_ptr<Bytes> data;
+    size_t off = 0;
+    size_t len = 0;
+  };
+
+  BufChain() = default;
+
+  // Implicit conversions from Bytes keep `pkt.payload = data.ToBytes()`
+  // call sites (tests, drop-in protocol modules) compiling unchanged.
+  BufChain(const Bytes& bytes) { AppendCopy(ByteView(bytes)); }
+  BufChain(Bytes&& bytes) { AppendOwned(std::move(bytes)); }
+
+  static BufChain CopyOf(ByteView view) {
+    BufChain chain;
+    chain.AppendCopy(view);
+    return chain;
+  }
+
+  // Adopts `owned` as a single segment without copying.
+  static BufChain Wrap(Bytes&& owned) {
+    BufChain chain;
+    chain.AppendOwned(std::move(owned));
+    return chain;
+  }
+
+  // Shares `chain`'s segments when zero-copy is enabled, deep-copies them
+  // otherwise. The one call sites use at layer-crossing hops.
+  static BufChain ShareOrCopy(const BufChain& chain);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t segment_count() const { return segs_.size(); }
+
+  void Clear() {
+    segs_.clear();
+    size_ = 0;
+  }
+
+  // Appends by sharing `other`'s segments (refcount bump, no byte copies).
+  void Append(const BufChain& other);
+  void Append(BufChain&& other);
+
+  // Appends a fresh segment holding a copy of `view`.
+  void AppendCopy(ByteView view);
+
+  // Appends `owned` as a new segment without copying its bytes.
+  void AppendOwned(Bytes&& owned);
+
+  // A chain viewing [off, off+len) of this chain's bytes; segments shared.
+  BufChain Slice(size_t off, size_t len) const;
+
+  // Drops the first `n` bytes (whole leading segments are released; a
+  // partially consumed segment advances its offset).
+  void Consume(size_t n);
+
+  // Flattens to an owning buffer (always copies).
+  Bytes ToBytes() const;
+
+  // Copies the whole chain into `dst`; dst.size() must equal size().
+  void CopyTo(MutableByteView dst) const;
+
+  // Removes and returns up to `max` leading bytes. When the first segment is
+  // fully covered, uniquely owned, and fits in `max`, the storage is moved
+  // out instead of copied — the zero-copy receive path. Honors the global
+  // zero-copy switch (off → always copies).
+  Bytes PopBytes(size_t max);
+
+  // Removes and returns up to `max` leading bytes as a chain (shared, no
+  // copies). The segmented counterpart of PopBytes.
+  BufChain PopChain(size_t max);
+
+  // Invokes fn(ByteView) for each segment in order. The views borrow the
+  // chain's storage: they are valid only while this chain is alive and
+  // unmodified.
+  template <typename Fn>
+  void ForEachView(Fn&& fn) const {
+    for (const Seg& seg : segs_) {
+      fn(ByteView(seg.data->data() + seg.off, seg.len));
+    }
+  }
+
+  // Byte-wise equality against a flat view (no flattening allocation).
+  bool EqualsBytes(ByteView view) const;
+
+  // Raw segment access — src/net internal (safety_lint B001 bans use
+  // outside the module; everything else goes through the view API above).
+  const Seg& RawSegment(size_t i) const { return segs_[i]; }
+
+ private:
+  // Small-vector for the segment list. The data plane's hottest chains are
+  // single-segment packet payloads that get moved several times per hop, so
+  // the inline capacity is kept small: big enough that per-packet chains
+  // never touch the allocator (they used to cost a malloc/free pair each),
+  // small enough that a Packet move stays a couple of pointer steals.
+  // Multi-segment aggregates (send/receive queues) spill to the heap
+  // vector once and then retain its capacity across Consume/push cycles,
+  // so per-connection chains amortize the spill over their lifetime.
+  class SegVec {
+   public:
+    static constexpr size_t kInlineSegs = 2;
+
+    SegVec() = default;
+    SegVec(const SegVec& other) { append(other); }
+    SegVec& operator=(const SegVec& other) {
+      if (this != &other) {
+        clear();
+        append(other);
+      }
+      return *this;
+    }
+    SegVec(SegVec&& other) noexcept { MoveFrom(std::move(other)); }
+    SegVec& operator=(SegVec&& other) noexcept {
+      if (this != &other) {
+        clear();
+        MoveFrom(std::move(other));
+      }
+      return *this;
+    }
+
+    size_t size() const { return spilled_ ? spill_.size() : count_; }
+    bool empty() const { return size() == 0; }
+    const Seg* begin() const { return spilled_ ? spill_.data() : inline_.data(); }
+    const Seg* end() const { return begin() + size(); }
+    Seg* begin() { return spilled_ ? spill_.data() : inline_.data(); }
+    Seg* end() { return begin() + size(); }
+    const Seg& operator[](size_t i) const { return begin()[i]; }
+    Seg& front() { return *begin(); }
+
+    void push_back(Seg seg) {
+      if (!spilled_) {
+        if (count_ < kInlineSegs) {
+          inline_[count_++] = std::move(seg);
+          return;
+        }
+        Spill();
+      }
+      spill_.push_back(std::move(seg));
+    }
+
+    void append(const SegVec& other) {
+      for (const Seg& seg : other) {
+        push_back(seg);
+      }
+    }
+
+    void append(SegVec&& other) {
+      for (Seg& seg : other) {
+        push_back(std::move(seg));
+      }
+      other.clear();
+    }
+
+    void pop_front() {
+      if (spilled_) {
+        spill_.erase(spill_.begin());
+        return;
+      }
+      for (size_t i = 1; i < count_; ++i) {
+        inline_[i - 1] = std::move(inline_[i]);
+      }
+      if (count_ > 0) {
+        --count_;
+        inline_[count_] = Seg{};  // release the storage reference now
+      }
+    }
+
+    void clear() {
+      // A spilled SegVec stays spilled: its vector keeps its capacity, so a
+      // long-lived aggregate chain (send queue, receive queue) pays for its
+      // spill once and reuses the storage for the rest of its life.
+      if (spilled_) {
+        spill_.clear();
+        return;
+      }
+      for (size_t i = 0; i < count_; ++i) {
+        inline_[i] = Seg{};
+      }
+      count_ = 0;
+    }
+
+   private:
+    void Spill() {
+      spill_.reserve(kInlineSegs * 2);
+      for (size_t i = 0; i < count_; ++i) {
+        spill_.push_back(std::move(inline_[i]));
+        inline_[i] = Seg{};
+      }
+      count_ = 0;
+      spilled_ = true;
+    }
+
+    // Precondition: *this is empty (fresh or just cleared — it may still be
+    // in the spilled state holding retained capacity).
+    void MoveFrom(SegVec&& other) {
+      if (other.spilled_) {
+        spill_ = std::move(other.spill_);
+        spilled_ = true;
+        count_ = 0;
+        other.spill_.clear();
+        other.spilled_ = false;
+      } else if (spilled_) {
+        for (size_t i = 0; i < other.count_; ++i) {
+          spill_.push_back(std::move(other.inline_[i]));
+          other.inline_[i] = Seg{};
+        }
+        other.count_ = 0;
+      } else {
+        for (size_t i = 0; i < other.count_; ++i) {
+          inline_[i] = std::move(other.inline_[i]);
+          other.inline_[i] = Seg{};
+        }
+        count_ = other.count_;
+        other.count_ = 0;
+      }
+    }
+
+    std::array<Seg, kInlineSegs> inline_;
+    size_t count_ = 0;  // valid only while !spilled_
+    std::vector<Seg> spill_;
+    bool spilled_ = false;
+  };
+
+  SegVec segs_;
+  size_t size_ = 0;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_BUF_CHAIN_H_

@@ -1,0 +1,53 @@
+#include "src/net/net_txq.h"
+
+#include <deque>
+#include <utility>
+
+#include "src/net/network.h"
+
+namespace skern {
+namespace netq {
+
+namespace {
+
+struct Staged {
+  Network* net;
+  Packet pkt;
+};
+
+thread_local std::deque<Staged>* t_queue = nullptr;
+thread_local bool t_draining = false;
+
+std::deque<Staged>& Queue() {
+  if (t_queue == nullptr) {
+    // Leaked per-thread queue: trivially small, and the alternative (a
+    // destructor running during thread teardown while a flush is active)
+    // is exactly the shutdown-order hazard the leak avoids.
+    static thread_local std::deque<Staged> queue;
+    t_queue = &queue;
+  }
+  return *t_queue;
+}
+
+}  // namespace
+
+void Stage(Network* net, Packet&& pkt) { Queue().push_back(Staged{net, std::move(pkt)}); }
+
+void Flush() {
+  if (t_draining) {
+    return;  // the outer flush's loop will pick up what we staged
+  }
+  std::deque<Staged>& queue = Queue();
+  t_draining = true;
+  while (!queue.empty()) {
+    Staged item = std::move(queue.front());
+    queue.pop_front();
+    item.net->Send(std::move(item.pkt));
+  }
+  t_draining = false;
+}
+
+bool Draining() { return t_draining; }
+
+}  // namespace netq
+}  // namespace skern

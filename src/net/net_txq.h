@@ -1,0 +1,41 @@
+// Per-thread staged transmit queue for the network data plane.
+//
+// Lock discipline: no thread may call Network::Send while holding a socket
+// or table lock. A TCP socket processing an inbound segment holds its own
+// "net.sock" mutex; if it sent the ACK inline, delivery (delay 0) would run
+// the peer's handler on this thread and take another "net.sock" — a
+// same-class nested acquisition the lock registry rightly panics on.
+//
+// Instead, everything a socket emits while locked is *staged* here, and
+// flushed by the outermost stack entry point after every lock is released.
+// Flush() is reentrancy-safe: a flush triggered inside an inline delivery
+// (which is itself running under the outer flush) is a no-op, and the
+// packets it staged drain in the outer loop. FIFO order is preserved, so
+// single-threaded simulations emit the exact packet sequence the seed stack
+// did.
+#ifndef SKERN_SRC_NET_NET_TXQ_H_
+#define SKERN_SRC_NET_NET_TXQ_H_
+
+#include "src/net/packet.h"
+
+namespace skern {
+
+class Network;
+
+namespace netq {
+
+// Queues `pkt` for transmission on `net` from this thread.
+void Stage(Network* net, Packet&& pkt);
+
+// Drains this thread's staged packets through Network::Send, including any
+// staged by inline deliveries the drain itself triggers. Must be called with
+// no net-layer locks held. No-op when already draining on this thread.
+void Flush();
+
+// True while this thread is inside Flush (i.e. inside an inline delivery).
+bool Draining();
+
+}  // namespace netq
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_NET_TXQ_H_

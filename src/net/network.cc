@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/base/panic.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -33,47 +34,76 @@ std::string Packet::Describe() const {
 }
 
 void Network::Attach(uint32_t ip, PacketHandler handler) {
-  MutexGuard guard(mutex_);
-  handlers_[ip] = std::move(handler);
+  MutexGuard guard(attach_lock_);
+  size_t count = route_count_.load(std::memory_order_relaxed);
+  SKERN_CHECK_MSG(count < kMaxRoutes, "Network::Attach: route table full");
+  routes_[count].ip = ip;
+  routes_[count].handler = std::move(handler);
+  route_count_.store(count + 1, std::memory_order_release);
 }
 
 void Network::Send(Packet packet) {
   SKERN_COUNTER_INC("net.wire.packets_sent");
   SKERN_TRACE("net", "packet_send", packet.proto, packet.dst_port);
-  PacketHandler handler;
-  SimTime delay;
-  {
-    MutexGuard guard(mutex_);
-    ++stats_.sent;
-    if (drop_rate_ > 0.0 && rng_.NextBool(drop_rate_)) {
-      ++stats_.dropped;
-      SKERN_COUNTER_INC("net.wire.packets_dropped");
-      SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  // Same decision order as the seed (drop roll before routing) so loss
+  // traces replay identically on both stacks.
+  if (seed_funnel_.load(std::memory_order_relaxed)) [[unlikely]] {
+    // Seed compat: the whole Send — routing decision AND handler dispatch —
+    // serializes on the wire mutex, exactly like the seed's single-threaded
+    // clock drain. Replies staged during delivery re-enter Send on the
+    // delivering thread; the seed processed those serially inside the same
+    // drain, so they run inside the already-held funnel section instead of
+    // re-acquiring (which would self-deadlock).
+    thread_local bool tl_in_funnel = false;
+    if (!tl_in_funnel) {
+      MutexGuard guard(funnel_mu_);
+      tl_in_funnel = true;
+      Route(packet);
+      tl_in_funnel = false;
       return;
     }
-    auto it = handlers_.find(packet.dst_ip);
-    if (it == handlers_.end()) {
-      ++stats_.dropped;
-      SKERN_COUNTER_INC("net.wire.packets_dropped");
-      SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
-      return;
-    }
-    // Copy the handler out of the map: the delivery lambda runs later and a
-    // reference into handlers_ would dangle across a concurrent Attach
-    // (rehash/overwrite). Invoke it without holding the wire lock so a
-    // handler that calls back into Send cannot self-deadlock.
-    handler = it->second;
-    delay = delay_;
+    Route(packet);
+    return;
   }
-  clock_.ScheduleAfter(delay, [this, handler = std::move(handler),
-                               pkt = std::move(packet)]() {
-    {
-      MutexGuard guard(mutex_);
-      ++stats_.delivered;
-    }
+  Route(packet);
+}
+
+void Network::Route(Packet& packet) {
+  bool drop = RollDrop();
+  const RouteSlot* route = drop ? nullptr : FindRoute(packet.dst_ip);
+  if (drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    SKERN_COUNTER_INC("net.wire.packets_dropped");
+    SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
+    return;
+  }
+  if (route == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_unroutable_.fetch_add(1, std::memory_order_relaxed);
+    SKERN_COUNTER_INC("net.wire.packets_dropped");
+    SKERN_COUNTER_INC("net.wire.dropped_unroutable");
+    SKERN_TRACE("net", "packet_drop", packet.proto, packet.dst_port);
+    return;
+  }
+  SimTime delay = delay_.load(std::memory_order_relaxed);
+  if (delay == 0) {
+    // Fast path: deliver on the sending thread. The caller is guaranteed
+    // lock-free at this point (staged-send discipline), so the receiving
+    // stack can take its own locks without ordering hazards.
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    SKERN_COUNTER_INC("net.wire.packets_delivered");
+    SKERN_TRACE("net", "packet_deliver", packet.proto, packet.dst_port);
+    route->handler(packet);
+    return;
+  }
+  // Route slots are immutable once published and live as long as the
+  // Network, so the delayed closure can hold the pointer directly.
+  clock_.ScheduleAfter(delay, [this, route, pkt = std::move(packet)]() {
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     SKERN_COUNTER_INC("net.wire.packets_delivered");
     SKERN_TRACE("net", "packet_deliver", pkt.proto, pkt.dst_port);
-    handler(pkt);
+    route->handler(pkt);
   });
 }
 

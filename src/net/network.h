@@ -1,11 +1,26 @@
 // The simulated wire: routes packets between attached stacks with
 // configurable delay and loss, driven by the SimClock.
+//
+// Concurrency: the seed funneled every Send through one "net.wire" mutex —
+// with N threads echoing on independent connections that lock, not the
+// protocol work, was the bottleneck. Now the handler table is an
+// append-only array published by an atomic count (Attach is setup-time
+// only; Send scans lock-free), config knobs are atomics, stats are
+// per-field atomics, and the loss RNG — the only genuinely serial piece —
+// hides behind a spinlock that Send takes only when loss is configured.
+//
+// With delay == 0 delivery is synchronous inside Send (no clock traffic at
+// all); the C10M bench runs in this mode. Callers must therefore never hold
+// a socket or table lock across Send — see net_txq.h for the staging
+// discipline that guarantees this.
 #ifndef SKERN_SRC_NET_NETWORK_H_
 #define SKERN_SRC_NET_NETWORK_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 
 #include "src/base/rng.h"
 #include "src/base/sim_clock.h"
@@ -20,42 +35,104 @@ struct NetworkStats {
   uint64_t sent = 0;
   uint64_t delivered = 0;
   uint64_t dropped = 0;
+  uint64_t dropped_unroutable = 0;  // subset of dropped: no handler for dst_ip
 };
 
 class Network {
  public:
-  explicit Network(SimClock& clock, uint64_t seed = 7)
-      : clock_(clock), rng_(seed) {}
+  explicit Network(SimClock& clock, uint64_t seed = 7) : clock_(clock), rng_(seed) {}
 
   // Registers the handler invoked for packets addressed to `ip`.
   void Attach(uint32_t ip, PacketHandler handler);
 
-  // Schedules delivery after the configured delay. Packets may be dropped
-  // (uniformly at `drop_rate`); unknown destinations are dropped.
+  // Delivers after the configured delay — synchronously, inside Send, when
+  // the delay is zero. Packets may be dropped (uniformly at `drop_rate`);
+  // unknown destinations are dropped and counted as unroutable.
   void Send(Packet packet);
 
-  void set_delay(SimTime delay) {
-    MutexGuard guard(mutex_);
-    delay_ = delay;
-  }
-  void set_drop_rate(double rate) {
-    MutexGuard guard(mutex_);
-    drop_rate_ = rate;
-  }
+  void set_delay(SimTime delay) { delay_.store(delay, std::memory_order_relaxed); }
+  void set_drop_rate(double rate) { drop_rate_.store(rate, std::memory_order_relaxed); }
+
+  // Seed-compat mode: every Send — routing decision and handler dispatch —
+  // funnels through the one "net.wire" mutex, exactly like the pre-refactor
+  // wire whose clock drain delivered packets one at a time. The bench's
+  // baseline cell runs in this mode so "seed single-lock stack" includes
+  // the seed's wire serialization, not just its socket-layer lock. Replies
+  // staged during delivery re-enter Send on the delivering thread and run
+  // inside the already-held funnel section (see Network::Send).
+  void EnableSeedWireFunnel() { seed_funnel_.store(true, std::memory_order_relaxed); }
 
   NetworkStats stats() const {
-    MutexGuard guard(mutex_);
-    return stats_;
+    NetworkStats out;
+    out.sent = sent_.load(std::memory_order_relaxed);
+    out.delivered = delivered_.load(std::memory_order_relaxed);
+    out.dropped = dropped_.load(std::memory_order_relaxed);
+    out.dropped_unroutable = dropped_unroutable_.load(std::memory_order_relaxed);
+    return out;
   }
 
  private:
   SimClock& clock_;
-  mutable TrackedMutex mutex_{"net.wire"};
-  Rng rng_ SKERN_GUARDED_BY(mutex_);
-  SimTime delay_ SKERN_GUARDED_BY(mutex_) = 50 * kMicrosecond;
-  double drop_rate_ SKERN_GUARDED_BY(mutex_) = 0.0;
-  std::map<uint32_t, PacketHandler> handlers_ SKERN_GUARDED_BY(mutex_);
-  NetworkStats stats_ SKERN_GUARDED_BY(mutex_);
+
+  // Loss decisions must come from one deterministic stream, so the RNG keeps
+  // a lock — but a leaf spinlock touched only when drop_rate > 0.
+  TrackedSpinLock rng_lock_{"net.wire.rng"};
+  Rng rng_ SKERN_GUARDED_BY(rng_lock_);
+
+  std::atomic<SimTime> delay_{50 * kMicrosecond};
+  std::atomic<double> drop_rate_{0.0};
+
+  std::atomic<bool> seed_funnel_{false};
+  TrackedMutex funnel_mu_{"net.wire"};
+
+  // Rolls the loss decision; the RNG stream is shared so the order of calls
+  // (one per Send, before routing) is part of the wire's determinism
+  // contract.
+  bool RollDrop() {
+    double drop_rate = drop_rate_.load(std::memory_order_relaxed);
+    if (drop_rate <= 0.0) {
+      return false;
+    }
+    SpinLockGuard guard(rng_lock_);
+    return rng_.NextBool(drop_rate);
+  }
+
+  // The route table is append-only: Attach fills the next slot, then
+  // release-stores the count; Send acquire-loads the count and scans the
+  // published prefix with no lock and no refcount traffic. Slots are never
+  // mutated after publication — re-attaching an ip appends a new slot, and
+  // lookup scans newest-first so the latest registration wins. This is the
+  // per-packet routing fast path: the previous rwlock + std::map lookup was
+  // ~10% of the echo profile.
+  struct RouteSlot {
+    uint32_t ip = 0;
+    PacketHandler handler;
+  };
+  static constexpr size_t kMaxRoutes = 64;
+  TrackedMutex attach_lock_{"net.wire.attach"};  // serializes writers only
+  std::array<RouteSlot, kMaxRoutes> routes_;
+  std::atomic<size_t> route_count_{0};
+
+  // Drop roll + routing + delivery; Send wraps this in the funnel when
+  // seed-compat mode is on. Takes the packet by reference to spare a move
+  // on the per-packet fast path; the delayed-delivery branch moves out of
+  // it into the scheduled closure.
+  void Route(Packet& packet);
+
+  const RouteSlot* FindRoute(uint32_t ip) const {
+    size_t count = route_count_.load(std::memory_order_acquire);
+    for (size_t i = count; i-- > 0;) {
+      if (routes_[i].ip == ip) {
+        return &routes_[i];
+      }
+    }
+    return nullptr;
+  }
+
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> dropped_unroutable_{0};
 };
 
 }  // namespace skern

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/base/bytes.h"
+#include "src/net/buf_chain.h"
 
 namespace skern {
 
@@ -32,6 +33,10 @@ enum TcpFlag : uint8_t {
 };
 
 // One wire packet. TCP fields are meaningful only when proto == kProtoTcp.
+// The payload is a BufChain: copying a Packet shares the payload segments
+// (refcount bump), so a packet crossing Send → wire → Recv carries views of
+// the sender's buffers, never byte copies. Assigning a Bytes still works
+// (implicit conversion) for drop-in protocol modules and tests.
 struct Packet {
   uint8_t proto = kProtoTcp;
   uint32_t src_ip = 0;
@@ -41,7 +46,7 @@ struct Packet {
   uint32_t seq = 0;
   uint32_t ack = 0;
   uint8_t flags = 0;
-  Bytes payload;
+  BufChain payload;
 
   bool Has(TcpFlag flag) const { return (flags & flag) != 0; }
   std::string Describe() const;

@@ -1,0 +1,179 @@
+#include "src/net/poller.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace skern {
+
+EventPoller::~EventPoller() {
+  std::vector<std::pair<SocketId, std::shared_ptr<SockCtl>>> watched;
+  {
+    MutexGuard guard(mu_);
+    for (auto& [sock, reg] : regs_) {
+      if (std::shared_ptr<SockCtl> ctl = reg.ctl.lock()) {
+        watched.emplace_back(sock, std::move(ctl));
+      }
+    }
+    regs_.clear();
+    ready_.clear();
+  }
+  // Unhook outside mu_: RemoveWatch takes the socket's watch spinlock.
+  for (auto& [sock, ctl] : watched) {
+    ctl->RemoveWatch(this, sock);
+  }
+}
+
+Status EventPoller::Register(SocketId s, uint32_t mask, TriggerMode mode) {
+  std::shared_ptr<SockCtl> ctl = stack_.ControlBlock(s);
+  if (ctl == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  {
+    MutexGuard guard(mu_);
+    auto [it, inserted] = regs_.emplace(s, Reg{ctl, mask, mode, false});
+    if (!inserted) {
+      return Status::Error(Errno::kEEXIST);
+    }
+  }
+  // Watch list after the reg exists: a publication racing this Register
+  // finds the reg and queues it; the duplicate-queue guard is `queued`.
+  ctl->AddWatch(this, s);
+  SKERN_GAUGE_ADD("net.poll.watched", 1);
+  // Deliver pre-existing readiness (both modes): without this, a socket
+  // that became ready before Register would sleep forever under kEdge.
+  bool wake = false;
+  if ((ctl->ready.load(std::memory_order_acquire) & mask) != 0) {
+    MutexGuard guard(mu_);
+    auto it = regs_.find(s);
+    if (it != regs_.end() && !it->second.queued) {
+      it->second.queued = true;
+      ready_.push_back(s);
+      wake = true;
+    }
+  }
+  if (wake) {
+    event_.Signal();
+  }
+  return Status::Ok();
+}
+
+Status EventPoller::Arm(SocketId s, uint32_t mask) {
+  std::shared_ptr<SockCtl> ctl;
+  bool wake = false;
+  {
+    MutexGuard guard(mu_);
+    auto it = regs_.find(s);
+    if (it == regs_.end()) {
+      return Status::Error(Errno::kENOENT);
+    }
+    it->second.mask = mask;
+    ctl = it->second.ctl.lock();
+    if (ctl != nullptr && !it->second.queued &&
+        (ctl->ready.load(std::memory_order_acquire) & mask) != 0) {
+      it->second.queued = true;
+      ready_.push_back(s);
+      wake = true;
+    }
+  }
+  if (wake) {
+    event_.Signal();
+  }
+  return Status::Ok();
+}
+
+Status EventPoller::Deregister(SocketId s) {
+  std::shared_ptr<SockCtl> ctl;
+  {
+    MutexGuard guard(mu_);
+    auto it = regs_.find(s);
+    if (it == regs_.end()) {
+      return Status::Error(Errno::kENOENT);
+    }
+    ctl = it->second.ctl.lock();
+    regs_.erase(it);
+  }
+  if (ctl != nullptr) {
+    ctl->RemoveWatch(this, s);
+  }
+  SKERN_GAUGE_ADD("net.poll.watched", -1);
+  return Status::Ok();
+}
+
+void EventPoller::OnReadiness(SocketId sock, uint32_t mask, uint32_t rising) {
+  bool wake = false;
+  {
+    MutexGuard guard(mu_);
+    auto it = regs_.find(sock);
+    if (it == regs_.end()) {
+      return;  // raced a Deregister
+    }
+    Reg& reg = it->second;
+    const uint32_t hit =
+        reg.mask & (reg.mode == TriggerMode::kEdge ? rising : mask);
+    if (hit != 0 && !reg.queued) {
+      reg.queued = true;
+      ready_.push_back(sock);
+      wake = true;
+    }
+  }
+  if (wake) {
+    SKERN_COUNTER_INC("net.poll.wakeups");
+    event_.Signal();
+  }
+}
+
+std::vector<PollEvent> EventPoller::Wait(size_t max_events,
+                                         std::chrono::nanoseconds timeout) {
+  SKERN_COUNTER_INC("net.poll.waits");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<PollEvent> out;
+  for (;;) {
+    {
+      MutexGuard guard(mu_);
+      // Bounded sweep: each currently-queued socket is examined once; level
+      // re-queues land behind the bound and wait for the next Wait.
+      size_t sweep = ready_.size();
+      while (sweep-- > 0 && out.size() < max_events && !ready_.empty()) {
+        SocketId s = ready_.front();
+        ready_.pop_front();
+        auto it = regs_.find(s);
+        if (it == regs_.end()) {
+          continue;  // deregistered while queued
+        }
+        Reg& reg = it->second;
+        std::shared_ptr<SockCtl> ctl = reg.ctl.lock();
+        if (ctl == nullptr) {
+          regs_.erase(it);  // socket freed: self-clean
+          continue;
+        }
+        // Re-check against the live mask: the publication that queued us may
+        // be stale (e.g. another thread already drained the buffer).
+        const uint32_t cur = ctl->ready.load(std::memory_order_acquire) & reg.mask;
+        if (cur == 0) {
+          reg.queued = false;
+          SKERN_COUNTER_INC("net.poll.spurious");
+          continue;
+        }
+        out.push_back(PollEvent{s, cur});
+        SKERN_COUNTER_INC("net.poll.events_delivered");
+        if (reg.mode == TriggerMode::kLevel) {
+          ready_.push_back(s);  // still ready: keep reporting (queued stays set)
+        } else {
+          reg.queued = false;  // edge: silent until the next rising bit
+        }
+      }
+    }
+    if (!out.empty()) {
+      return out;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return out;  // timeout: empty
+    }
+    event_.ConsumeFor(deadline - now);
+  }
+}
+
+}  // namespace skern

@@ -1,0 +1,93 @@
+// EventPoller: the epoll-style readiness engine over the sharded stack.
+//
+// A poller watches many sockets and blocks on one Event until any of them
+// becomes ready — the C10M shape: thousands of mostly-idle connections, a
+// few runnable at a time, discovered in O(ready) rather than O(watched).
+//
+// Modes, matching epoll semantics:
+//   * kLevel — a socket whose current readiness intersects the armed mask is
+//     reported from every Wait until the condition clears (e.g. the receive
+//     buffer is drained).
+//   * kEdge — reported once per rising edge; consumers must drain until
+//     kEAGAIN (which clears the readiness bit and re-arms the edge).
+//
+// Plumbing: Register adds this poller to the socket's SockCtl watch list.
+// Protocol modules publish readiness transitions after releasing the socket
+// lock; OnReadiness queues the socket and signals the Event. Wait re-checks
+// the live mask at delivery (publications can race; stale entries count as
+// net.poll.spurious and are dropped). The poller holds only weak references
+// to sockets — a closed-and-freed socket self-cleans from the queue.
+//
+// Lock order: net.poll (mu_) is taken from OnReadiness with no other net
+// lock held (Publish drops everything first), and Wait takes mu_ → nothing.
+#ifndef SKERN_SRC_NET_POLLER_H_
+#define SKERN_SRC_NET_POLLER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/net/sock_ctl.h"
+#include "src/net/stack_modular.h"
+#include "src/sync/kthread.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+
+enum class TriggerMode : uint8_t {
+  kLevel = 0,
+  kEdge = 1,
+};
+
+struct PollEvent {
+  SocketId sock;
+  uint32_t mask;  // ready bits intersected with the armed mask, at delivery
+};
+
+class EventPoller : public ReadinessSink {
+ public:
+  explicit EventPoller(ModularNetStack& stack) : stack_(stack) {}
+  ~EventPoller() override;
+
+  EventPoller(const EventPoller&) = delete;
+  EventPoller& operator=(const EventPoller&) = delete;
+
+  // Starts watching `s` for the bits in `mask`. If the socket is already
+  // ready, the initial state is delivered (both modes). kEEXIST if watched.
+  Status Register(SocketId s, uint32_t mask, TriggerMode mode);
+
+  // Updates the armed mask and, if the socket is currently ready, re-queues
+  // it — the explicit re-arm for edge-triggered consumers.
+  Status Arm(SocketId s, uint32_t mask);
+
+  Status Deregister(SocketId s);
+
+  // Blocks until at least one watched socket is ready or `timeout` elapses.
+  // Returns up to `max_events` events (empty on timeout).
+  std::vector<PollEvent> Wait(size_t max_events, std::chrono::nanoseconds timeout);
+
+  // ReadinessSink: called by SockCtl::Publish with no net-layer locks held.
+  void OnReadiness(SocketId sock, uint32_t mask, uint32_t rising) override;
+
+ private:
+  struct Reg {
+    std::weak_ptr<SockCtl> ctl;
+    uint32_t mask = 0;
+    TriggerMode mode = TriggerMode::kLevel;
+    bool queued = false;  // on ready_ (suppresses duplicate queueing)
+  };
+
+  ModularNetStack& stack_;
+  TrackedMutex mu_{"net.poll"};
+  std::unordered_map<SocketId, Reg> regs_;  // guarded by mu_
+  std::deque<SocketId> ready_;              // guarded by mu_
+  Event event_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_POLLER_H_

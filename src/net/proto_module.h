@@ -15,15 +15,27 @@
 
 #include "src/base/result.h"
 #include "src/net/packet.h"
+#include "src/net/sock_ctl.h"
 
 namespace skern {
 
 // Opaque per-socket protocol state. Each module defines its own subclass;
 // the generic layer never inspects it (contrast MonoNetStack::MonoSocket,
 // which carries every protocol's fields inline).
-class ProtoSocketState {
+//
+// Every socket carries a SockCtl control block: the generic layer hands it
+// to pollers, and modules take ctl->mu around their per-socket state. The
+// shared_ptr outlives table membership so timers and in-flight packets can
+// detect a concurrently closed socket instead of dereferencing freed state.
+//
+// enable_shared_from_this: stack-owned sockets live in shared_ptr entries,
+// and a module may pin one (e.g. a listener in a demux table) so lock
+// members embedded in the state cannot be freed under a racing packet.
+class ProtoSocketState : public std::enable_shared_from_this<ProtoSocketState> {
  public:
   virtual ~ProtoSocketState() = default;
+
+  std::shared_ptr<SockCtl> ctl = std::make_shared<SockCtl>();
 };
 
 class ProtocolModule {
@@ -44,6 +56,25 @@ class ProtocolModule {
   virtual Status SendTo(ProtoSocketState& sock, NetAddr remote, ByteView data) = 0;
   virtual Result<std::pair<NetAddr, Bytes>> RecvFrom(ProtoSocketState& sock) = 0;
   virtual Status CloseSocket(ProtoSocketState& sock) = 0;
+
+  // Zero-copy stream variants; default bridges through the flat API so
+  // drop-in modules need not implement them.
+  virtual Status SendChain(ProtoSocketState& sock, BufChain chain) {
+    Bytes flat = chain.ToBytes();
+    return Send(sock, ByteView(flat));
+  }
+  virtual Result<BufChain> RecvChain(ProtoSocketState& sock, uint64_t max) {
+    SKERN_ASSIGN_OR_RETURN(Bytes flat, Recv(sock, max));
+    return BufChain(std::move(flat));
+  }
+
+  // Per-socket knobs; kENOSYS when the module has none.
+  virtual Status SetOption(ProtoSocketState& sock, int option, int64_t value) {
+    (void)sock;
+    (void)option;
+    (void)value;
+    return Status::Error(Errno::kENOSYS);
+  }
 
   // Inbound demux for this family.
   virtual void OnPacket(const Packet& packet) = 0;

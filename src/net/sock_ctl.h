@@ -1,0 +1,144 @@
+// SockCtl: the per-socket concurrency control block.
+//
+// Every socket in the sharded stack owns one SockCtl, shared (shared_ptr)
+// between the socket table, the protocol module's demux tables, and any
+// event pollers watching the socket. It carries the three things whose
+// lifetime must outlast table membership:
+//
+//   * mu — the per-socket lock ("net.sock" class). All protocol state for
+//     the socket (TcpConnection internals, UDP rx queue, port fields) is
+//     accessed under it. Demux tables resolve to a SockCtl under their own
+//     leaf shard locks, *release them*, then take mu — so independent
+//     connections never serialize and the lock order is a DAG:
+//       net.tcp.acceptq → net.sock → {table shard locks}
+//   * alive — cleared under mu when the socket closes. Any op or timer that
+//     takes mu must re-check alive; a false means the race was lost and the
+//     op reports kEBADF / drops the event. This is how retransmission timers
+//     and in-flight packets are made safe against concurrent Close.
+//   * ready + watches — the readiness engine's publication point. Modules
+//     update `ready` (a bitmask of kPollIn/kPollOut/...) after state
+//     changes; PublishReadiness snapshots the watcher list under the leaf
+//     watch_lock and notifies pollers *after* every socket lock is dropped.
+#ifndef SKERN_SRC_NET_SOCK_CTL_H_
+#define SKERN_SRC_NET_SOCK_CTL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/net/socket_layer.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+
+// Readiness bits (epoll-style).
+inline constexpr uint32_t kPollIn = 1u << 0;   // Recv/RecvFrom/Accept would make progress
+inline constexpr uint32_t kPollOut = 1u << 1;  // Send would accept data
+inline constexpr uint32_t kPollHup = 1u << 2;  // peer closed / connection gone
+inline constexpr uint32_t kPollErr = 1u << 3;  // connection aborted (RST, retry exhaustion)
+
+// A poller's subscription endpoint. EventPoller implements this; SockCtl
+// holds plain pointers plus a registration epoch so a destroyed poller can
+// never be notified (pollers deregister in their destructor).
+class ReadinessSink {
+ public:
+  virtual ~ReadinessSink() = default;
+  // `mask` is the socket's current readiness; `rising` the bits that just
+  // turned on. Called with no net-layer locks held except the sink's own.
+  virtual void OnReadiness(SocketId sock, uint32_t mask, uint32_t rising) = 0;
+};
+
+struct SockCtl {
+  TrackedMutex mu{"net.sock"};
+  bool alive = true;  // guarded by mu
+
+  // Current readiness mask. Written by the owning module (under mu, so
+  // transitions are ordered), read lock-free by pollers re-checking level
+  // triggers.
+  std::atomic<uint32_t> ready{0};
+
+  struct Watch {
+    ReadinessSink* sink;
+    SocketId sock;
+  };
+  TrackedSpinLock watch_lock{"net.poll.watch"};
+  std::vector<Watch> watches;  // guarded by watch_lock
+
+  // Sticky "has this socket ever been watched" flag. Most sockets never
+  // are, and Publish runs on every state transition — 8 times per echo
+  // round trip — so taking watch_lock unconditionally made an unwatched
+  // socket pay for the readiness engine it never asked for (12% of the
+  // echo profile). Publish still updates `ready` first, so a Register
+  // racing with the flag check observes the new mask when it reads
+  // initial readiness after AddWatch; no edge is lost.
+  std::atomic<bool> watched{false};
+
+  // Publishes a new readiness mask and wakes watchers. Call with no socket
+  // or table locks held (sinks take their own poller mutex).
+  void Publish(uint32_t mask) {
+    // Unwatched and unchanged: nothing to store, no edge to report. Most
+    // transitions on a busy connection republish the same mask (kPollOut
+    // stays set across every data segment), so this skips the RMW on the
+    // shared `ready` line for the common case. Safe against a racing
+    // AddWatch: the watcher reads `ready` after setting `watched`, and the
+    // value it reads is exactly the mask we declined to rewrite.
+    if (!watched.load(std::memory_order_seq_cst) &&
+        ready.load(std::memory_order_relaxed) == mask) {
+      return;
+    }
+    uint32_t prev = ready.exchange(mask, std::memory_order_acq_rel);
+    if (!watched.load(std::memory_order_seq_cst)) {
+      return;
+    }
+    uint32_t rising = mask & ~prev;
+    std::vector<Watch> snapshot;
+    {
+      SpinLockGuard guard(watch_lock);
+      if (watches.empty()) {
+        return;
+      }
+      snapshot = watches;
+    }
+    for (const Watch& watch : snapshot) {
+      watch.sink->OnReadiness(watch.sock, mask, rising);
+    }
+  }
+
+  void AddWatch(ReadinessSink* sink, SocketId sock) {
+    watched.store(true, std::memory_order_seq_cst);
+    SpinLockGuard guard(watch_lock);
+    watches.push_back(Watch{sink, sock});
+  }
+
+  void RemoveWatch(ReadinessSink* sink, SocketId sock) {
+    SpinLockGuard guard(watch_lock);
+    for (auto it = watches.begin(); it != watches.end(); ++it) {
+      if (it->sink == sink && it->sock == sock) {
+        watches.erase(it);
+        return;
+      }
+    }
+  }
+};
+
+// RAII: lock a socket's control block and verify it is still alive. Usage:
+//   SockGuard guard(*ctl);
+//   if (!guard.alive()) return Status::Error(Errno::kEBADF);
+class SKERN_SCOPED_CAPABILITY SockGuard {
+ public:
+  explicit SockGuard(SockCtl& ctl) SKERN_ACQUIRE(ctl.mu) : ctl_(ctl) { ctl_.mu.Lock(); }
+  ~SockGuard() SKERN_RELEASE() { ctl_.mu.Unlock(); }
+  SockGuard(const SockGuard&) = delete;
+  SockGuard& operator=(const SockGuard&) = delete;
+
+  bool alive() const { return ctl_.alive; }
+  void MarkDead() { ctl_.alive = false; }
+
+ private:
+  SockCtl& ctl_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_SOCK_CTL_H_

@@ -19,11 +19,15 @@
 #include <utility>
 
 #include "src/base/result.h"
+#include "src/net/buf_chain.h"
 #include "src/net/packet.h"
 
 namespace skern {
 
 using SocketId = int32_t;
+
+// Socket options for SetOption.
+inline constexpr int kSockOptAcceptBacklog = 1;  // listener accept-queue cap
 
 class SocketLayer {
  public:
@@ -43,6 +47,27 @@ class SocketLayer {
   virtual Status SendTo(SocketId s, NetAddr remote, ByteView data) = 0;
   virtual Result<std::pair<NetAddr, Bytes>> RecvFrom(SocketId s) = 0;
   virtual Status Close(SocketId s) = 0;
+
+  // Zero-copy stream variants: the chain's segments are shared (not copied)
+  // all the way into the peer's receive buffer when the stack supports it.
+  // The defaults bridge through the flat API so existing implementations
+  // keep working unchanged.
+  virtual Status SendChain(SocketId s, BufChain chain) {
+    Bytes flat = chain.ToBytes();
+    return Send(s, ByteView(flat));
+  }
+  virtual Result<BufChain> RecvChain(SocketId s, uint64_t max) {
+    SKERN_ASSIGN_OR_RETURN(Bytes flat, Recv(s, max));
+    return BufChain(std::move(flat));
+  }
+
+  // Per-socket knobs (kSockOpt*); kENOSYS when the stack has none.
+  virtual Status SetOption(SocketId s, int option, int64_t value) {
+    (void)s;
+    (void)option;
+    (void)value;
+    return Status::Error(Errno::kENOSYS);
+  }
 
   virtual std::string Name() const = 0;
 };

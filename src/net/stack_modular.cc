@@ -1,26 +1,63 @@
 #include "src/net/stack_modular.h"
 
 #include <deque>
-#include <tuple>
-#include <vector>
+#include <unordered_map>
+#include <utility>
 
+#include "src/net/net_txq.h"
 #include "src/net/tcp.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace skern {
 
+namespace {
+
+// splitmix64 finalizer: cheap, and strong enough that packed wire keys
+// (connection tuples, ports) spread evenly across demux shards.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Global generation for every demux-shaped table (wire-key tables and the
+// socket-id table). Any insert or erase anywhere bumps it; per-thread MRU
+// lookup caches are valid only while the generation they were filled under
+// is still current. Steady-state data-plane traffic never mutates these
+// tables, so the caches turn the per-packet and per-call lookups — shard
+// mutex, lockdep bookkeeping, hash probe, refcount churn — into a key
+// compare against a thread-local slot. The counter is global rather than
+// per-table so that validation never dereferences a table that might be
+// gone; a hit races with a concurrent erase exactly like a map lookup that
+// ran just before it, and the liveness check under the socket's own lock
+// (see TcpRef) still gates every raw-pointer dereference.
+std::atomic<uint64_t> g_demux_gen{1};
+
+uint64_t DemuxGen() { return g_demux_gen.load(std::memory_order_acquire); }
+
+void BumpDemuxGen() { g_demux_gen.fetch_add(1, std::memory_order_release); }
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Generic layer: protocol-agnostic, start to finish.
 // ---------------------------------------------------------------------------
 
 ModularNetStack::ModularNetStack(Network& network, uint32_t ip) : network_(network), ip_(ip) {
-  network_.Attach(ip_, [this](const Packet& packet) { OnPacket(packet); });
+  network_.Attach(ip_, [this](const Packet& packet) {
+    OnPacket(packet);
+    // Delivery may have staged replies (ACKs, echoes); push them onto the
+    // wire now that no stack locks are held. A no-op when this delivery is
+    // itself running inside an outer flush (delay == 0 fast path).
+    netq::Flush();
+  });
 }
 
 Status ModularNetStack::RegisterProtocol(std::unique_ptr<ProtocolModule> module) {
   uint8_t id = module->ProtoId();
-  if (registry_.count(id) > 0) {
+  if (registry_[id] != nullptr) {
     return Status::Error(Errno::kEEXIST);
   }
   registry_[id] = std::move(module);
@@ -29,29 +66,103 @@ Status ModularNetStack::RegisterProtocol(std::unique_ptr<ProtocolModule> module)
 
 std::vector<std::string> ModularNetStack::ProtocolNames() const {
   std::vector<std::string> names;
-  for (const auto& [id, module] : registry_) {
-    names.push_back(module->Name());
+  for (const auto& module : registry_) {
+    if (module != nullptr) {
+      names.push_back(module->Name());
+    }
   }
   return names;
 }
 
-ModularNetStack::Entry* ModularNetStack::Find(SocketId s) {
-  auto it = sockets_.find(s);
-  return it == sockets_.end() ? nullptr : &it->second;
+ModularNetStack::Shard& ModularNetStack::ShardFor(SocketId s) {
+  // Identity striping, not a hash: consecutive ids land on consecutive
+  // shards (anti-contention), and id / kShardCount is then the dense slot
+  // index within the shard.
+  return shards_[static_cast<uint32_t>(s) % kShardCount];
+}
+
+std::shared_ptr<ModularNetStack::Entry> ModularNetStack::Find(SocketId s) {
+  // Same per-thread MRU scheme as DemuxTable::Lookup (see below): valid only
+  // while the global demux generation is unchanged, i.e. while no socket
+  // anywhere was opened or closed. Every data-plane API call starts here, so
+  // this turns the id lookup into two compares and a weak_ptr upgrade in
+  // steady state. The cache holds a weak_ptr, not a shared_ptr: an owning
+  // slot would keep a socket — and its TCP engine, whose destructor talks to
+  // the sim clock — alive past its stack's teardown, until some arbitrary
+  // later thread exit.
+  struct CacheSlot {
+    const void* stack = nullptr;
+    SocketId id = 0;
+    uint64_t gen = 0;
+    std::weak_ptr<Entry> entry;
+  };
+  static thread_local std::array<CacheSlot, 4> tl_cache;
+  CacheSlot& slot = tl_cache[(static_cast<uint64_t>(s) ^
+                              (reinterpret_cast<uintptr_t>(this) >> 4)) &
+                             3];
+  uint64_t gen = DemuxGen();
+  if (slot.stack == this && slot.id == s && slot.gen == gen) {
+    std::shared_ptr<Entry> hit = slot.entry.lock();
+    if (hit != nullptr) {
+      return hit;
+    }
+  }
+  Shard& shard = ShardFor(s);
+  std::shared_ptr<Entry> out;
+  {
+    size_t idx = static_cast<uint32_t>(s) / kShardCount;
+    MutexGuard guard(shard.lock);
+    if (idx >= shard.slots.size() || shard.slots[idx] == nullptr) {
+      return nullptr;
+    }
+    out = shard.slots[idx];
+  }
+  slot.stack = this;
+  slot.id = s;
+  slot.gen = gen;
+  slot.entry = out;
+  return out;
+}
+
+SocketId ModularNetStack::InsertEntry(ProtocolModule* module,
+                                      std::shared_ptr<ProtoSocketState> state) {
+  auto entry = std::make_shared<Entry>(Entry{module, std::move(state)});
+  for (;;) {
+    uint32_t raw = next_id_.fetch_add(1, std::memory_order_relaxed);
+    SocketId id = static_cast<SocketId>(raw & 0x7fffffffu);
+    if (id == 0) {
+      continue;  // the counter wrapped; ids stay positive
+    }
+    Shard& shard = ShardFor(id);
+    size_t idx = static_cast<uint32_t>(id) / kShardCount;
+    {
+      MutexGuard guard(shard.lock);
+      if (idx < shard.slots.size() && shard.slots[idx] != nullptr) {
+        continue;  // an id from 2^31 allocations ago is still open: probe past it
+      }
+      if (idx >= shard.slots.size()) {
+        shard.slots.resize(idx + 1);
+      }
+      shard.slots[idx] = std::move(entry);
+    }
+    BumpDemuxGen();
+    return id;
+  }
 }
 
 Result<SocketId> ModularNetStack::Socket(uint8_t proto) {
-  auto it = registry_.find(proto);
-  if (it == registry_.end()) {
+  ProtocolModule* module = registry_[proto].get();
+  if (module == nullptr) {
     return Errno::kEPROTONOSUPPORT;
   }
-  SocketId id = next_id_++;
-  sockets_[id] = Entry{it->second.get(), it->second->NewSocket()};
+  SocketId id = InsertEntry(module, module->NewSocket());
+  SKERN_COUNTER_INC("net.sock.opened");
+  SKERN_GAUGE_ADD("net.sock.open", 1);
   return id;
 }
 
 Status ModularNetStack::Bind(SocketId s, uint16_t port) {
-  Entry* e = Find(s);
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Status::Error(Errno::kEBADF);
   }
@@ -59,7 +170,7 @@ Status ModularNetStack::Bind(SocketId s, uint16_t port) {
 }
 
 Status ModularNetStack::Listen(SocketId s) {
-  Entry* e = Find(s);
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Status::Error(Errno::kEBADF);
   }
@@ -67,74 +178,135 @@ Status ModularNetStack::Listen(SocketId s) {
 }
 
 Result<SocketId> ModularNetStack::Accept(SocketId s) {
-  Entry* e = Find(s);
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Errno::kEBADF;
   }
   SKERN_ASSIGN_OR_RETURN(std::unique_ptr<ProtoSocketState> child, e->module->Accept(*e->state));
-  SocketId id = next_id_++;
-  sockets_[id] = Entry{e->module, std::move(child)};
+  SocketId id = InsertEntry(e->module, std::move(child));
+  SKERN_COUNTER_INC("net.sock.opened");
+  SKERN_GAUGE_ADD("net.sock.open", 1);
   return id;
 }
 
 Status ModularNetStack::Connect(SocketId s, NetAddr remote) {
-  Entry* e = Find(s);
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Status::Error(Errno::kEBADF);
   }
-  return e->module->Connect(*e->state, remote);
+  Status status = e->module->Connect(*e->state, remote);
+  netq::Flush();
+  return status;
 }
 
 Status ModularNetStack::Send(SocketId s, ByteView data) {
   SKERN_COUNTER_INC("net.modular.socket.sends");
-  Entry* e = Find(s);
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Status::Error(Errno::kEBADF);
   }
-  return e->module->Send(*e->state, data);
+  Status status = e->module->Send(*e->state, data);
+  netq::Flush();
+  return status;
 }
 
 Result<Bytes> ModularNetStack::Recv(SocketId s, uint64_t max) {
   SKERN_COUNTER_INC("net.modular.socket.recvs");
-  Entry* e = Find(s);
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Errno::kEBADF;
   }
-  return e->module->Recv(*e->state, max);
+  auto result = e->module->Recv(*e->state, max);
+  netq::Flush();
+  return result;
 }
 
 Status ModularNetStack::SendTo(SocketId s, NetAddr remote, ByteView data) {
-  Entry* e = Find(s);
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Status::Error(Errno::kEBADF);
   }
-  return e->module->SendTo(*e->state, remote, data);
+  Status status = e->module->SendTo(*e->state, remote, data);
+  netq::Flush();
+  return status;
 }
 
 Result<std::pair<NetAddr, Bytes>> ModularNetStack::RecvFrom(SocketId s) {
-  Entry* e = Find(s);
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Errno::kEBADF;
   }
-  return e->module->RecvFrom(*e->state);
+  auto result = e->module->RecvFrom(*e->state);
+  netq::Flush();
+  return result;
 }
 
-Status ModularNetStack::Close(SocketId s) {
-  Entry* e = Find(s);
+Status ModularNetStack::SendChain(SocketId s, BufChain chain) {
+  SKERN_COUNTER_INC("net.modular.socket.sends");
+  std::shared_ptr<Entry> e = Find(s);
   if (e == nullptr) {
     return Status::Error(Errno::kEBADF);
   }
-  Status status = e->module->CloseSocket(*e->state);
-  sockets_.erase(s);
+  Status status = e->module->SendChain(*e->state, std::move(chain));
+  netq::Flush();
   return status;
+}
+
+Result<BufChain> ModularNetStack::RecvChain(SocketId s, uint64_t max) {
+  SKERN_COUNTER_INC("net.modular.socket.recvs");
+  std::shared_ptr<Entry> e = Find(s);
+  if (e == nullptr) {
+    return Errno::kEBADF;
+  }
+  auto result = e->module->RecvChain(*e->state, max);
+  netq::Flush();
+  return result;
+}
+
+Status ModularNetStack::SetOption(SocketId s, int option, int64_t value) {
+  std::shared_ptr<Entry> e = Find(s);
+  if (e == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  return e->module->SetOption(*e->state, option, value);
+}
+
+Status ModularNetStack::Close(SocketId s) {
+  std::shared_ptr<Entry> e;
+  {
+    Shard& shard = ShardFor(s);
+    size_t idx = static_cast<uint32_t>(s) / kShardCount;
+    MutexGuard guard(shard.lock);
+    if (idx < shard.slots.size()) {
+      e = std::move(shard.slots[idx]);
+      shard.slots[idx] = nullptr;
+    }
+  }
+  BumpDemuxGen();
+  if (e == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  // The entry is out of the table but `e` keeps the state alive through the
+  // module's teardown; concurrent ops holding their own reference observe
+  // the control block going dead rather than freed memory.
+  Status status = e->module->CloseSocket(*e->state);
+  netq::Flush();
+  SKERN_COUNTER_INC("net.sock.closed");
+  SKERN_GAUGE_ADD("net.sock.open", -1);
+  return status;
+}
+
+std::shared_ptr<SockCtl> ModularNetStack::ControlBlock(SocketId s) {
+  std::shared_ptr<Entry> e = Find(s);
+  return e == nullptr ? nullptr : e->state->ctl;
 }
 
 void ModularNetStack::OnPacket(const Packet& packet) {
   SKERN_COUNTER_INC("net.modular.dispatch.packets");
-  auto it = registry_.find(packet.proto);
-  if (it != registry_.end()) {
+  ProtocolModule* module = registry_[packet.proto].get();
+  if (module != nullptr) {
     SKERN_TRACE("net", "modular_dispatch", packet.proto, packet.dst_port);
-    it->second->OnPacket(packet);
+    module->OnPacket(packet);
     return;
   }
   // Unknown protocol: no module registered, silently dropped.
@@ -142,17 +314,184 @@ void ModularNetStack::OnPacket(const Packet& packet) {
 }
 
 // ---------------------------------------------------------------------------
-// TCP protocol module
+// Demux tables: lock-striped maps from wire keys to sockets.
 // ---------------------------------------------------------------------------
 
 namespace {
 
+// A sharded key→ref map. Refs pair a raw socket pointer with the socket's
+// SockCtl: lookups copy the ref out under the shard lock and release it, then
+// validate liveness under the socket's own lock — the raw pointer is only
+// dereferenced when `alive` (whose owner deregisters before destruction)
+// proves it valid.
+template <typename Ref>
+class DemuxTable {
+ public:
+  explicit DemuxTable(const std::string& lock_class) {
+    shards_.reserve(kShards);
+    for (size_t i = 0; i < kShards; ++i) {
+      shards_.push_back(std::make_unique<DShard>(lock_class));
+    }
+  }
+
+  // Borrowed demux lookup. Returns nullptr if the key is absent; otherwise
+  // a pointer valid until the calling thread's next Borrow on any demux
+  // table (the thread-local cache slot it may point into can be refilled
+  // then) — callers must finish with the ref inside the packet-processing
+  // frame and must not re-enter demux while holding it. The packet path
+  // satisfies this by construction: replies are staged (net_txq), never
+  // delivered inline from OnPacket.
+  const Ref* Borrow(uint64_t key, Ref& fallback) {
+    // Per-thread MRU cache, direct-mapped, validated by the global demux
+    // generation. The fast path is two compares and an atomic load — no
+    // shard mutex, no hash probe, and since the caller borrows the slot's
+    // ref instead of copying it, no refcount traffic at all. This is what
+    // makes per-packet demux cheap: a TCP stream's segments hit the same
+    // key back to back.
+    struct CacheSlot {
+      const void* table = nullptr;
+      uint64_t key = 0;
+      uint64_t gen = 0;
+      Ref ref;
+    };
+    static thread_local std::array<CacheSlot, 4> tl_cache;
+    CacheSlot& slot =
+        tl_cache[(key ^ (reinterpret_cast<uintptr_t>(this) >> 4)) & 3];
+    uint64_t gen = DemuxGen();
+    if (slot.table == this && slot.key == key && slot.gen == gen) {
+      return &slot.ref;
+    }
+    DShard& shard = ShardFor(key);
+    {
+      MutexGuard guard(shard.lock);
+      auto it = shard.map.find(key);
+      if (it == shard.map.end()) {
+        return nullptr;
+      }
+      fallback = it->second;
+    }
+    // Stamp with the generation read *before* the probe: if a mutation slid
+    // in between, the stamp is already stale and the next lookup refills.
+    // Only refs that own nothing but the control block are cached (see
+    // CacheSafe): a listener ref pins the whole TcpSock, which must not
+    // outlive its stack in a thread-local slot.
+    if (CacheSafe(fallback)) {
+      slot.table = this;
+      slot.key = key;
+      slot.gen = gen;
+      slot.ref = fallback;
+    }
+    return &fallback;
+  }
+
+  bool Insert(uint64_t key, Ref ref) {
+    DShard& shard = ShardFor(key);
+    bool inserted;
+    {
+      MutexGuard guard(shard.lock);
+      inserted = shard.map.emplace(key, std::move(ref)).second;
+    }
+    BumpDemuxGen();
+    return inserted;
+  }
+
+  void Erase(uint64_t key) {
+    DShard& shard = ShardFor(key);
+    {
+      MutexGuard guard(shard.lock);
+      shard.map.erase(key);
+    }
+    BumpDemuxGen();
+  }
+
+  bool Contains(uint64_t key) {
+    DShard& shard = ShardFor(key);
+    MutexGuard guard(shard.lock);
+    return shard.map.count(key) > 0;
+  }
+
+ private:
+  struct DShard {
+    explicit DShard(const std::string& cls) : lock(cls) {}
+    TrackedMutex lock;  // blocking, not spinning: see Shard in stack_modular.h
+    std::unordered_map<uint64_t, Ref> map;  // guarded by lock
+  };
+
+  static constexpr size_t kShards = 16;
+
+  DShard& ShardFor(uint64_t key) { return *shards_[SplitMix64(key) % kShards]; }
+
+  std::vector<std::unique_ptr<DShard>> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// TCP protocol module
+// ---------------------------------------------------------------------------
+
 struct TcpSock : ProtoSocketState {
+  // Connection state: all guarded by ctl->mu.
   uint16_t local_port = 0;
   bool listening = false;
   std::unique_ptr<TcpConnection> conn;
-  std::deque<std::unique_ptr<TcpSock>> accept_queue;  // embryos owned here until accepted
+
+  // Listener side. `accepting` doubles as the liveness check for the SYN
+  // path, which holds accept_mu but (by lock order) cannot take ctl->mu.
+  std::atomic<bool> accepting{false};
+  std::atomic<int> backlog{64};
+  TrackedMutex accept_mu{"net.tcp.acceptq"};
+  std::deque<std::unique_ptr<TcpSock>> accept_queue;  // embryos; guarded by accept_mu
+
+  // Embryo side: written before publication, read-only after.
+  bool is_embryo = false;
+  bool established_notified = false;  // guarded by ctl->mu
+  std::weak_ptr<SockCtl> listener_ctl;
 };
+
+// local_port : remote_ip : remote_port packed into the demux key.
+uint64_t ConnKey(uint16_t local_port, uint32_t remote_ip, uint16_t remote_port) {
+  return (static_cast<uint64_t>(local_port) << 48) | (static_cast<uint64_t>(remote_ip) << 16) |
+         remote_port;
+}
+
+// Readiness mask for a connection socket. Caller holds ctl->mu.
+uint32_t TcpReadiness(const TcpSock& tcp) {
+  if (tcp.conn == nullptr) {
+    return 0;
+  }
+  uint32_t mask = 0;
+  const TcpState st = tcp.conn->state();
+  if (tcp.conn->Available() > 0) {
+    mask |= kPollIn;
+  }
+  if (st == TcpState::kEstablished || st == TcpState::kCloseWait) {
+    mask |= kPollOut;
+  }
+  if (tcp.conn->PeerClosed()) {
+    mask |= kPollIn | kPollHup;  // EOF is a readable event
+  }
+  if (st == TcpState::kClosed) {
+    mask |= kPollIn | kPollHup;
+    if (!tcp.conn->PeerClosed()) {
+      mask |= kPollErr;  // dropped hard: RST or retry exhaustion
+    }
+  }
+  return mask;
+}
+
+struct TcpRef {
+  TcpSock* sock = nullptr;
+  std::shared_ptr<SockCtl> ctl;
+  // Listeners only: pins the TcpSock itself, because the SYN path must take
+  // accept_mu (a member) before it can check liveness. Connection refs leave
+  // this null — they never touch the socket until `alive` proves it valid.
+  std::shared_ptr<ProtoSocketState> pin;
+};
+
+// A ref may sit in a thread-local demux cache slot past its socket's close;
+// that is only safe when it owns nothing with a teardown-order-sensitive
+// destructor. SockCtl is inert; the TcpSock pin is not (its TCP engine's
+// destructor touches the sim clock), so listener refs are never cached.
+bool CacheSafe(const TcpRef& ref) { return ref.pin == nullptr; }
 
 class TcpModule : public ProtocolModule {
  public:
@@ -162,13 +501,15 @@ class TcpModule : public ProtocolModule {
   uint8_t ProtoId() const override { return kProtoTcp; }
   std::string Name() const override { return "tcp"; }
 
-  std::unique_ptr<ProtoSocketState> NewSocket() override {
-    return std::make_unique<TcpSock>();
-  }
+  std::unique_ptr<ProtoSocketState> NewSocket() override { return std::make_unique<TcpSock>(); }
 
   Status Bind(ProtoSocketState& sock, uint16_t port) override {
     auto& tcp = static_cast<TcpSock&>(sock);
-    if (listeners_.count(port) > 0) {
+    SockGuard guard(*tcp.ctl);
+    if (!guard.alive()) {
+      return Status::Error(Errno::kEBADF);
+    }
+    if (listeners_.Contains(port)) {
       return Status::Error(Errno::kEADDRINUSE);
     }
     tcp.local_port = port;
@@ -177,71 +518,203 @@ class TcpModule : public ProtocolModule {
 
   Status Listen(ProtoSocketState& sock) override {
     auto& tcp = static_cast<TcpSock&>(sock);
+    SockGuard guard(*tcp.ctl);
+    if (!guard.alive()) {
+      return Status::Error(Errno::kEBADF);
+    }
     if (tcp.local_port == 0) {
       return Status::Error(Errno::kEINVAL);
     }
+    if (!listeners_.Insert(tcp.local_port, TcpRef{&tcp, tcp.ctl, sock.shared_from_this()})) {
+      return Status::Error(Errno::kEADDRINUSE);
+    }
     tcp.listening = true;
-    listeners_[tcp.local_port] = &tcp;
+    tcp.accepting.store(true, std::memory_order_release);
     return Status::Ok();
   }
 
   Result<std::unique_ptr<ProtoSocketState>> Accept(ProtoSocketState& sock) override {
     auto& tcp = static_cast<TcpSock&>(sock);
-    if (!tcp.listening) {
-      return Errno::kEINVAL;
+    std::shared_ptr<SockCtl> ctl = tcp.ctl;
+    {
+      SockGuard guard(*ctl);
+      if (!guard.alive()) {
+        return Errno::kEBADF;
+      }
+      if (!tcp.listening) {
+        return Errno::kEINVAL;
+      }
     }
-    while (!tcp.accept_queue.empty()) {
-      TcpSock* front = tcp.accept_queue.front().get();
-      if (front->conn->state() == TcpState::kEstablished) {
-        std::unique_ptr<TcpSock> child = std::move(tcp.accept_queue.front());
-        tcp.accept_queue.pop_front();
-        return std::unique_ptr<ProtoSocketState>(std::move(child));
+    std::unique_ptr<TcpSock> child;
+    {
+      MutexGuard aq(tcp.accept_mu);
+      while (!tcp.accept_queue.empty()) {
+        TcpSock* front = tcp.accept_queue.front().get();
+        std::shared_ptr<SockCtl> fctl = front->ctl;
+        TcpState st;
+        {
+          SockGuard fg(*fctl);  // lock order: net.tcp.acceptq → net.sock
+          st = front->conn->state();
+          if (st == TcpState::kClosed) {
+            conns_.Erase(
+                ConnKey(front->local_port, front->conn->remote().ip, front->conn->remote().port));
+            fg.MarkDead();
+          }
+        }
+        if (st == TcpState::kEstablished) {
+          child = std::move(tcp.accept_queue.front());
+          tcp.accept_queue.pop_front();
+          break;
+        }
+        if (st == TcpState::kClosed) {
+          tcp.accept_queue.pop_front();  // stillborn embryo: discard, keep scanning
+          continue;
+        }
+        break;  // head still mid-handshake: nothing acceptable yet
       }
-      if (front->conn->state() == TcpState::kClosed) {
-        Deregister(*front);
-        tcp.accept_queue.pop_front();
-        continue;
-      }
+    }
+    if (child == nullptr) {
+      // Re-arm edge triggers: the epoll-style contract is "drain until
+      // EAGAIN"; clearing IN here makes the next established embryo a
+      // rising edge.
+      ctl->Publish(ctl->ready.load(std::memory_order_relaxed) & ~kPollIn);
       return Errno::kEAGAIN;
     }
-    return Errno::kEAGAIN;
+    child->is_embryo = false;
+    SKERN_COUNTER_INC("net.tcp.accepts");
+    return std::unique_ptr<ProtoSocketState>(std::move(child));
   }
 
   Status Connect(ProtoSocketState& sock, NetAddr remote) override {
     auto& tcp = static_cast<TcpSock&>(sock);
+    SockGuard guard(*tcp.ctl);
+    if (!guard.alive()) {
+      return Status::Error(Errno::kEBADF);
+    }
     if (tcp.conn != nullptr) {
       return Status::Error(Errno::kEISCONN);
     }
     if (tcp.local_port == 0) {
-      tcp.local_port = next_port_++;
+      tcp.local_port = AllocPort();
     }
     NetAddr local{ip_, tcp.local_port};
-    tcp.conn = TcpConnection::Connect(
-        clock_, [this](Packet&& pkt) { network_.Send(std::move(pkt)); }, local, remote);
-    conns_[{tcp.local_port, remote.ip, remote.port}] = &tcp;
+    tcp.conn = TcpConnection::Connect(clock_, MakeSendFn(), local, remote,
+                                      MakeGate(tcp.ctl, &tcp));
+    if (!conns_.Insert(ConnKey(tcp.local_port, remote.ip, remote.port),
+                       TcpRef{&tcp, tcp.ctl, nullptr})) {
+      tcp.conn->Abort();
+      tcp.conn.reset();
+      return Status::Error(Errno::kEADDRINUSE);
+    }
     return Status::Ok();
   }
 
   Status Send(ProtoSocketState& sock, ByteView data) override {
     auto& tcp = static_cast<TcpSock&>(sock);
-    if (tcp.conn == nullptr) {
-      return Status::Error(Errno::kENOTCONN);
+    std::shared_ptr<SockCtl> ctl = tcp.ctl;
+    Status status;
+    uint32_t mask;
+    {
+      SockGuard guard(*ctl);
+      if (!guard.alive()) {
+        return Status::Error(Errno::kEBADF);
+      }
+      if (tcp.conn == nullptr) {
+        return Status::Error(Errno::kENOTCONN);
+      }
+      status = tcp.conn->Send(data);
+      mask = TcpReadiness(tcp);
     }
-    return tcp.conn->Send(data);
+    ctl->Publish(mask);
+    return status;
+  }
+
+  Status SendChain(ProtoSocketState& sock, BufChain chain) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    std::shared_ptr<SockCtl> ctl = tcp.ctl;
+    Status status;
+    uint32_t mask;
+    {
+      SockGuard guard(*ctl);
+      if (!guard.alive()) {
+        return Status::Error(Errno::kEBADF);
+      }
+      if (tcp.conn == nullptr) {
+        return Status::Error(Errno::kENOTCONN);
+      }
+      status = tcp.conn->SendChain(std::move(chain));
+      mask = TcpReadiness(tcp);
+    }
+    ctl->Publish(mask);
+    return status;
   }
 
   Result<Bytes> Recv(ProtoSocketState& sock, uint64_t max) override {
     auto& tcp = static_cast<TcpSock&>(sock);
-    if (tcp.conn == nullptr) {
-      return Errno::kENOTCONN;
-    }
-    if (tcp.conn->Available() == 0) {
-      if (tcp.conn->PeerClosed() || tcp.conn->state() == TcpState::kClosed) {
-        return Bytes{};  // EOF
+    std::shared_ptr<SockCtl> ctl = tcp.ctl;
+    Bytes out;
+    uint32_t mask;
+    {
+      SockGuard guard(*ctl);
+      if (!guard.alive()) {
+        return Errno::kEBADF;
       }
-      return Errno::kEAGAIN;
+      if (tcp.conn == nullptr) {
+        return Errno::kENOTCONN;
+      }
+      if (tcp.conn->Available() == 0) {
+        if (tcp.conn->PeerClosed() || tcp.conn->state() == TcpState::kClosed) {
+          return Bytes{};  // EOF
+        }
+        return Errno::kEAGAIN;
+      }
+      out = tcp.conn->Recv(max);
+      mask = TcpReadiness(tcp);
     }
-    return tcp.conn->Recv(max);
+    ctl->Publish(mask);
+    return out;
+  }
+
+  Result<BufChain> RecvChain(ProtoSocketState& sock, uint64_t max) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    std::shared_ptr<SockCtl> ctl = tcp.ctl;
+    BufChain out;
+    uint32_t mask;
+    {
+      SockGuard guard(*ctl);
+      if (!guard.alive()) {
+        return Errno::kEBADF;
+      }
+      if (tcp.conn == nullptr) {
+        return Errno::kENOTCONN;
+      }
+      if (tcp.conn->Available() == 0) {
+        if (tcp.conn->PeerClosed() || tcp.conn->state() == TcpState::kClosed) {
+          return BufChain{};  // EOF
+        }
+        return Errno::kEAGAIN;
+      }
+      out = tcp.conn->RecvChain(max);
+      mask = TcpReadiness(tcp);
+    }
+    ctl->Publish(mask);
+    return out;
+  }
+
+  Status SetOption(ProtoSocketState& sock, int option, int64_t value) override {
+    auto& tcp = static_cast<TcpSock&>(sock);
+    if (option != kSockOptAcceptBacklog) {
+      return Status::Error(Errno::kENOSYS);
+    }
+    if (value <= 0) {
+      return Status::Error(Errno::kEINVAL);
+    }
+    SockGuard guard(*tcp.ctl);
+    if (!guard.alive()) {
+      return Status::Error(Errno::kEBADF);
+    }
+    tcp.backlog.store(static_cast<int>(value), std::memory_order_relaxed);
+    return Status::Ok();
   }
 
   Status SendTo(ProtoSocketState&, NetAddr, ByteView) override {
@@ -254,37 +727,84 @@ class TcpModule : public ProtocolModule {
 
   Status CloseSocket(ProtoSocketState& sock) override {
     auto& tcp = static_cast<TcpSock&>(sock);
-    if (tcp.listening) {
-      listeners_.erase(tcp.local_port);
+    std::shared_ptr<SockCtl> ctl = tcp.ctl;
+    bool was_listener = false;
+    {
+      SockGuard guard(*ctl);
+      if (!guard.alive()) {
+        return Status::Error(Errno::kEBADF);
+      }
+      was_listener = tcp.listening;
+      if (was_listener) {
+        tcp.accepting.store(false, std::memory_order_release);
+        listeners_.Erase(tcp.local_port);
+      }
+      if (tcp.conn != nullptr) {
+        conns_.Erase(ConnKey(tcp.local_port, tcp.conn->remote().ip, tcp.conn->remote().port));
+        tcp.conn->Close();  // FIN staged; later segments for this 4-tuple get RST
+      }
+      guard.MarkDead();
+    }
+    if (was_listener) {
+      // Sweep the embryo queue after `accepting` went false: any SYN that
+      // raced in before the flip is in the queue by now and gets aborted
+      // here; any after sees the flip and is dropped.
+      MutexGuard aq(tcp.accept_mu);
       for (auto& embryo : tcp.accept_queue) {
-        Deregister(*embryo);
-        embryo->conn->Abort();
+        std::shared_ptr<SockCtl> ectl = embryo->ctl;
+        {
+          SockGuard eg(*ectl);
+          if (eg.alive()) {
+            conns_.Erase(ConnKey(embryo->local_port, embryo->conn->remote().ip,
+                                 embryo->conn->remote().port));
+            embryo->conn->Abort();
+            eg.MarkDead();
+          }
+        }
+        ectl->Publish(kPollHup | kPollErr);
       }
       tcp.accept_queue.clear();
     }
-    if (tcp.conn != nullptr) {
-      tcp.conn->Close();
-      Deregister(tcp);
-    }
+    ctl->Publish(kPollHup);
     return Status::Ok();
   }
 
   void OnPacket(const Packet& packet) override {
-    auto conn_it = conns_.find({packet.dst_port, packet.src_ip, packet.src_port});
-    if (conn_it != conns_.end()) {
-      conn_it->second->conn->OnSegment(packet);
-      return;
+    TcpRef ref_storage;
+    const TcpRef* found =
+        conns_.Borrow(ConnKey(packet.dst_port, packet.src_ip, packet.src_port), ref_storage);
+    if (found != nullptr && found->sock != nullptr) {
+      const TcpRef& ref = *found;
+      uint32_t mask = 0;
+      bool delivered = false;
+      std::shared_ptr<SockCtl> listener_ctl;
+      {
+        SockGuard guard(*ref.ctl);
+        if (guard.alive() && ref.sock->conn != nullptr) {
+          ref.sock->conn->OnSegment(packet);
+          delivered = true;
+          mask = TcpReadiness(*ref.sock);
+          if (ref.sock->is_embryo && !ref.sock->established_notified &&
+              ref.sock->conn->state() == TcpState::kEstablished) {
+            ref.sock->established_notified = true;
+            listener_ctl = ref.sock->listener_ctl.lock();
+          }
+        }
+      }
+      if (delivered) {
+        ref.ctl->Publish(mask);
+      }
+      if (listener_ctl != nullptr) {
+        // A completed handshake makes the listener acceptable: rising IN.
+        listener_ctl->Publish(listener_ctl->ready.load(std::memory_order_relaxed) | kPollIn);
+      }
+      return;  // found (even if dying mid-close: drop, no RST — the close path owns teardown)
     }
     if (packet.Has(kTcpSyn) && !packet.Has(kTcpAck)) {
-      auto listener_it = listeners_.find(packet.dst_port);
-      if (listener_it != listeners_.end()) {
-        auto child = std::make_unique<TcpSock>();
-        child->local_port = packet.dst_port;
-        NetAddr local{ip_, packet.dst_port};
-        child->conn = TcpConnection::FromSyn(
-            clock_, [this](Packet&& pkt) { network_.Send(std::move(pkt)); }, local, packet);
-        conns_[{packet.dst_port, packet.src_ip, packet.src_port}] = child.get();
-        listener_it->second->accept_queue.push_back(std::move(child));
+      TcpRef lref_storage;
+      const TcpRef* lref = listeners_.Borrow(packet.dst_port, lref_storage);
+      if (lref != nullptr && lref->sock != nullptr) {
+        HandleSyn(*lref->sock, lref->ctl, packet);
         return;
       }
     }
@@ -297,23 +817,94 @@ class TcpModule : public ProtocolModule {
       rst.dst_port = packet.src_port;
       rst.flags = kTcpRst;
       rst.seq = packet.ack;
-      network_.Send(std::move(rst));
+      netq::Stage(&network_, std::move(rst));
     }
   }
 
  private:
-  void Deregister(TcpSock& tcp) {
-    if (tcp.conn != nullptr) {
-      conns_.erase({tcp.local_port, tcp.conn->remote().ip, tcp.conn->remote().port});
+  TcpConnection::SendFn MakeSendFn() {
+    // Stage, never send: the emitting code path holds the socket lock, and
+    // the wire (delay == 0) delivers inline into the peer's locks.
+    return [net = &network_](Packet&& pkt) { netq::Stage(net, std::move(pkt)); };
+  }
+
+  // Timer bodies (retransmission, TIME_WAIT) run on whichever thread
+  // advances the clock: lock the socket, skip if it died, publish the
+  // readiness fallout, flush what the body staged.
+  static TcpConnection::TimerGate MakeGate(const std::shared_ptr<SockCtl>& ctl, TcpSock* sock) {
+    std::weak_ptr<SockCtl> weak = ctl;
+    return [weak, sock](const std::function<void()>& body) {
+      std::shared_ptr<SockCtl> strong = weak.lock();
+      if (strong == nullptr) {
+        return;
+      }
+      bool ran = false;
+      uint32_t mask = 0;
+      {
+        SockGuard guard(*strong);
+        if (guard.alive()) {
+          body();
+          ran = true;
+          mask = TcpReadiness(*sock);
+        }
+      }
+      if (ran) {
+        strong->Publish(mask);
+        netq::Flush();
+      }
+    };
+  }
+
+  void HandleSyn(TcpSock& listener, const std::shared_ptr<SockCtl>& listener_ctl,
+                 const Packet& packet) {
+    bool overflow = false;
+    {
+      MutexGuard aq(listener.accept_mu);
+      if (!listener.accepting.load(std::memory_order_acquire)) {
+        return;  // listener concurrently closed; drop, retries will hit RST
+      }
+      if (static_cast<int>(listener.accept_queue.size()) >=
+          listener.backlog.load(std::memory_order_relaxed)) {
+        overflow = true;
+      } else {
+        auto child = std::make_unique<TcpSock>();
+        child->local_port = packet.dst_port;
+        child->is_embryo = true;
+        child->listener_ctl = listener_ctl;
+        NetAddr local{ip_, packet.dst_port};
+        child->conn = TcpConnection::FromSyn(clock_, MakeSendFn(), local, packet,
+                                             MakeGate(child->ctl, child.get()));
+        uint64_t key = ConnKey(packet.dst_port, packet.src_ip, packet.src_port);
+        if (conns_.Insert(key, TcpRef{child.get(), child->ctl, nullptr})) {
+          listener.accept_queue.push_back(std::move(child));
+        }
+        // Insert only fails when a duplicate SYN raced us in; the embryo
+        // already in the table answers it and `child` is dropped unseen
+        // (its extra SYN|ACK is harmlessly re-acked by the peer).
+      }
     }
+    if (overflow) {
+      // Locked-in semantics: a full backlog silently drops the SYN — no
+      // RST. The client retransmits and eventually gives up, like a
+      // SYN-flooded listener with syncookies off.
+      SKERN_COUNTER_INC("net.tcp.accept_overflow");
+      SKERN_TRACE("net", "tcp_accept_overflow", packet.src_ip, packet.src_port);
+    }
+  }
+
+  uint16_t AllocPort() {
+    // Ephemeral range [40000, 65000); collisions only matter per-remote and
+    // surface as kEADDRINUSE from the conns_ insert.
+    uint32_t raw = next_port_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<uint16_t>(40000 + raw % 25000);
   }
 
   SimClock& clock_;
   Network& network_;
   uint32_t ip_;
-  uint16_t next_port_ = 40000;
-  std::map<uint16_t, TcpSock*> listeners_;
-  std::map<std::tuple<uint16_t, uint32_t, uint16_t>, TcpSock*> conns_;
+  std::atomic<uint32_t> next_port_{0};
+  DemuxTable<TcpRef> listeners_{"net.tcp.listeners"};
+  DemuxTable<TcpRef> conns_{"net.tcp.conns"};
 };
 
 // ---------------------------------------------------------------------------
@@ -321,9 +912,16 @@ class TcpModule : public ProtocolModule {
 // ---------------------------------------------------------------------------
 
 struct UdpSock : ProtoSocketState {
-  uint16_t local_port = 0;
-  std::deque<std::pair<NetAddr, Bytes>> rx;
+  uint16_t local_port = 0;                       // guarded by ctl->mu
+  std::deque<std::pair<NetAddr, BufChain>> rx;  // guarded by ctl->mu
 };
+
+struct UdpRef {
+  UdpSock* sock = nullptr;
+  std::shared_ptr<SockCtl> ctl;
+};
+
+bool CacheSafe(const UdpRef&) { return true; }
 
 class UdpModule : public ProtocolModule {
  public:
@@ -333,38 +931,48 @@ class UdpModule : public ProtocolModule {
   std::string Name() const override { return "udp"; }
 
   std::unique_ptr<ProtoSocketState> NewSocket() override {
-    return std::make_unique<UdpSock>();
+    auto sock = std::make_unique<UdpSock>();
+    sock->ctl->ready.store(kPollOut, std::memory_order_relaxed);  // always writable
+    return sock;
   }
 
   Status Bind(ProtoSocketState& sock, uint16_t port) override {
     auto& udp = static_cast<UdpSock&>(sock);
-    if (ports_.count(port) > 0) {
+    SockGuard guard(*udp.ctl);
+    if (!guard.alive()) {
+      return Status::Error(Errno::kEBADF);
+    }
+    if (!ports_.Insert(port, UdpRef{&udp, udp.ctl})) {
       return Status::Error(Errno::kEADDRINUSE);
     }
     udp.local_port = port;
-    ports_[port] = &udp;
     return Status::Ok();
   }
 
-  Status Listen(ProtoSocketState&) override {
-    return Status::Error(Errno::kEPROTONOSUPPORT);
-  }
+  Status Listen(ProtoSocketState&) override { return Status::Error(Errno::kEPROTONOSUPPORT); }
   Result<std::unique_ptr<ProtoSocketState>> Accept(ProtoSocketState&) override {
     return Errno::kEPROTONOSUPPORT;
   }
   Status Connect(ProtoSocketState&, NetAddr) override {
     return Status::Error(Errno::kEPROTONOSUPPORT);
   }
-  Status Send(ProtoSocketState&, ByteView) override {
-    return Status::Error(Errno::kENOTCONN);
-  }
+  Status Send(ProtoSocketState&, ByteView) override { return Status::Error(Errno::kENOTCONN); }
   Result<Bytes> Recv(ProtoSocketState&, uint64_t) override { return Errno::kENOTCONN; }
 
   Status SendTo(ProtoSocketState& sock, NetAddr remote, ByteView data) override {
     auto& udp = static_cast<UdpSock&>(sock);
+    SockGuard guard(*udp.ctl);
+    if (!guard.alive()) {
+      return Status::Error(Errno::kEBADF);
+    }
     if (udp.local_port == 0) {
-      udp.local_port = next_port_++;
-      ports_[udp.local_port] = &udp;
+      for (;;) {
+        uint16_t port = AllocPort();
+        if (ports_.Insert(port, UdpRef{&udp, udp.ctl})) {
+          udp.local_port = port;
+          break;
+        }
+      }
     }
     Packet pkt;
     pkt.proto = kProtoUdp;
@@ -372,39 +980,81 @@ class UdpModule : public ProtocolModule {
     pkt.src_port = udp.local_port;
     pkt.dst_ip = remote.ip;
     pkt.dst_port = remote.port;
-    pkt.payload = data.ToBytes();
-    network_.Send(std::move(pkt));
+    pkt.payload.AppendCopy(data);  // the one app-to-kernel copy
+    netq::Stage(&network_, std::move(pkt));
     return Status::Ok();
   }
 
   Result<std::pair<NetAddr, Bytes>> RecvFrom(ProtoSocketState& sock) override {
     auto& udp = static_cast<UdpSock&>(sock);
-    if (udp.rx.empty()) {
-      return Errno::kEAGAIN;
+    std::shared_ptr<SockCtl> ctl = udp.ctl;
+    std::pair<NetAddr, BufChain> item;
+    uint32_t mask;
+    {
+      SockGuard guard(*ctl);
+      if (!guard.alive()) {
+        return Errno::kEBADF;
+      }
+      if (udp.rx.empty()) {
+        return Errno::kEAGAIN;
+      }
+      item = std::move(udp.rx.front());
+      udp.rx.pop_front();
+      mask = udp.rx.empty() ? kPollOut : (kPollIn | kPollOut);
     }
-    auto front = std::move(udp.rx.front());
-    udp.rx.pop_front();
-    return front;
+    ctl->Publish(mask);
+    Bytes flat = item.second.PopBytes(item.second.size());
+    return std::make_pair(item.first, std::move(flat));
   }
 
   Status CloseSocket(ProtoSocketState& sock) override {
     auto& udp = static_cast<UdpSock&>(sock);
-    ports_.erase(udp.local_port);
+    std::shared_ptr<SockCtl> ctl = udp.ctl;
+    {
+      SockGuard guard(*ctl);
+      if (!guard.alive()) {
+        return Status::Error(Errno::kEBADF);
+      }
+      if (udp.local_port != 0) {
+        ports_.Erase(udp.local_port);
+      }
+      guard.MarkDead();
+    }
+    ctl->Publish(kPollHup);
     return Status::Ok();
   }
 
   void OnPacket(const Packet& packet) override {
-    auto it = ports_.find(packet.dst_port);
-    if (it != ports_.end()) {
-      it->second->rx.emplace_back(NetAddr{packet.src_ip, packet.src_port}, packet.payload);
+    UdpRef ref_storage;
+    const UdpRef* found = ports_.Borrow(packet.dst_port, ref_storage);
+    if (found == nullptr || found->sock == nullptr) {
+      return;
+    }
+    const UdpRef& ref = *found;
+    bool delivered = false;
+    {
+      SockGuard guard(*ref.ctl);
+      if (guard.alive()) {
+        ref.sock->rx.emplace_back(NetAddr{packet.src_ip, packet.src_port},
+                                  BufChain::ShareOrCopy(packet.payload));
+        delivered = true;
+      }
+    }
+    if (delivered) {
+      ref.ctl->Publish(kPollIn | kPollOut);
     }
   }
 
  private:
+  uint16_t AllocPort() {
+    uint32_t raw = next_port_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<uint16_t>(50000 + raw % 15000);
+  }
+
   Network& network_;
   uint32_t ip_;
-  uint16_t next_port_ = 50000;
-  std::map<uint16_t, UdpSock*> ports_;
+  std::atomic<uint32_t> next_port_{0};
+  DemuxTable<UdpRef> ports_{"net.udp.ports"};
 };
 
 }  // namespace

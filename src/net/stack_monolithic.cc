@@ -1,15 +1,53 @@
 #include "src/net/stack_monolithic.h"
 
 #include <tuple>
+#include <utility>
 
+#include "src/net/net_txq.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sync/annotations.h"
 
 namespace skern {
 
+namespace {
+
+// Conditionally holds the big kernel lock. TSA cannot model a maybe-held
+// capability, so the acquisition is hidden from it; lockdep still tracks it
+// at runtime.
+class MaybeBigLock {
+ public:
+  explicit MaybeBigLock(TrackedMutex* mu) SKERN_NO_TSA : mu_(mu) {
+    if (mu_ != nullptr) {
+      mu_->Lock();
+    }
+  }
+  ~MaybeBigLock() SKERN_NO_TSA {
+    if (mu_ != nullptr) {
+      mu_->Unlock();
+    }
+  }
+  MaybeBigLock(const MaybeBigLock&) = delete;
+  MaybeBigLock& operator=(const MaybeBigLock&) = delete;
+
+ private:
+  TrackedMutex* mu_;
+};
+
+}  // namespace
+
 MonoNetStack::MonoNetStack(SimClock& clock, Network& network, uint32_t ip)
     : clock_(clock), network_(network), ip_(ip) {
-  network_.Attach(ip_, [this](const Packet& packet) { OnPacket(packet); });
+  network_.Attach(ip_, [this](const Packet& packet) {
+    {
+      MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+      OnPacket(packet);
+    }
+    // Replies (ACKs, RSTs) were staged under the lock; send them now that it
+    // is released — inline delivery (delay == 0) re-enters the peer's lock,
+    // which must not nest inside ours.
+    netq::Flush();
+  });
 }
 
 MonoNetStack::MonoSocket* MonoNetStack::Find(SocketId s) {
@@ -17,18 +55,158 @@ MonoNetStack::MonoSocket* MonoNetStack::Find(SocketId s) {
   return it == sockets_.end() ? nullptr : &it->second;
 }
 
+SocketId MonoNetStack::AllocId() {
+  for (;;) {
+    uint32_t raw = next_id_.fetch_add(1, std::memory_order_relaxed);
+    SocketId id = static_cast<SocketId>(raw & 0x7fffffffu);
+    if (id == 0) {
+      continue;  // wrapped; ids stay positive
+    }
+    if (sockets_.count(id) > 0) {
+      continue;  // ancient id still open: probe past it
+    }
+    return id;
+  }
+}
+
+uint16_t MonoNetStack::AutoPort() {
+  // Ephemeral range [40000, 65000); wraps instead of overflowing into
+  // well-known ports.
+  uint32_t raw = next_port_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<uint16_t>(40000 + raw % 25000);
+}
+
+SeedTcpConnection::SendFn MonoNetStack::StagingSendFn() {
+  return [net = &network_](Packet&& pkt) { netq::Stage(net, std::move(pkt)); };
+}
+
+SeedTcpConnection::TimerGate MonoNetStack::MonoGate() {
+  // Timer bodies run from SimClock::Advance: take the big lock (when
+  // enabled) around the body, then flush what it staged.
+  return [this](const std::function<void()>& body) {
+    {
+      MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+      body();
+    }
+    netq::Flush();
+  };
+}
+
+// --------------------------------------------------------------------------
+// Public wrappers: big-lock scope, then flush with no locks held.
+// --------------------------------------------------------------------------
+
 Result<SocketId> MonoNetStack::Socket(uint8_t proto) {
+  Result<SocketId> r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoSocket(proto);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Status MonoNetStack::Bind(SocketId s, uint16_t port) {
+  Status r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoBind(s, port);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Status MonoNetStack::Listen(SocketId s) {
+  Status r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoListen(s);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Result<SocketId> MonoNetStack::Accept(SocketId s) {
+  Result<SocketId> r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoAccept(s);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Status MonoNetStack::Connect(SocketId s, NetAddr remote) {
+  Status r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoConnect(s, remote);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Status MonoNetStack::Send(SocketId s, ByteView data) {
+  Status r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoSend(s, data);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Result<Bytes> MonoNetStack::Recv(SocketId s, uint64_t max) {
+  Result<Bytes> r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoRecv(s, max);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Status MonoNetStack::SendTo(SocketId s, NetAddr remote, ByteView data) {
+  Status r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoSendTo(s, remote, data);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Result<std::pair<NetAddr, Bytes>> MonoNetStack::RecvFrom(SocketId s) {
+  Result<std::pair<NetAddr, Bytes>> r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoRecvFrom(s);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Status MonoNetStack::Close(SocketId s) {
+  Status r = [&] {
+    MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+    return DoClose(s);
+  }();
+  netq::Flush();
+  return r;
+}
+
+Status MonoNetStack::SetOption(SocketId s, int option, int64_t value) {
+  MaybeBigLock guard(big_lock_enabled_ ? &big_mu_ : nullptr);
+  return DoSetOption(s, option, value);
+}
+
+// --------------------------------------------------------------------------
+// Bodies (seed logic, staged sends).
+// --------------------------------------------------------------------------
+
+Result<SocketId> MonoNetStack::DoSocket(uint8_t proto) {
   if (proto != kProtoTcp && proto != kProtoUdp) {
     return Errno::kEPROTONOSUPPORT;
   }
-  SocketId id = next_id_++;
+  SocketId id = AllocId();
   MonoSocket sock;
   sock.proto = proto;
   sockets_[id] = std::move(sock);
   return id;
 }
 
-Status MonoNetStack::Bind(SocketId s, uint16_t port) {
+Status MonoNetStack::DoBind(SocketId s, uint16_t port) {
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Status::Error(Errno::kEBADF);
@@ -48,7 +226,7 @@ Status MonoNetStack::Bind(SocketId s, uint16_t port) {
   return Status::Ok();
 }
 
-Status MonoNetStack::Listen(SocketId s) {
+Status MonoNetStack::DoListen(SocketId s) {
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Status::Error(Errno::kEBADF);
@@ -64,7 +242,7 @@ Status MonoNetStack::Listen(SocketId s) {
   return Status::Ok();
 }
 
-Result<SocketId> MonoNetStack::Accept(SocketId s) {
+Result<SocketId> MonoNetStack::DoAccept(SocketId s) {
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Errno::kEBADF;
@@ -94,7 +272,7 @@ Result<SocketId> MonoNetStack::Accept(SocketId s) {
   return Errno::kEAGAIN;
 }
 
-Status MonoNetStack::Connect(SocketId s, NetAddr remote) {
+Status MonoNetStack::DoConnect(SocketId s, NetAddr remote) {
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Status::Error(Errno::kEBADF);
@@ -109,13 +287,12 @@ Status MonoNetStack::Connect(SocketId s, NetAddr remote) {
     sock->local_port = AutoPort();
   }
   NetAddr local{ip_, sock->local_port};
-  sock->tcp = TcpConnection::Connect(
-      clock_, [this](Packet&& pkt) { network_.Send(std::move(pkt)); }, local, remote);
+  sock->tcp = SeedTcpConnection::Connect(clock_, StagingSendFn(), local, remote, MonoGate());
   tcp_conns_[{sock->local_port, remote.ip, remote.port}] = s;
   return Status::Ok();
 }
 
-Status MonoNetStack::Send(SocketId s, ByteView data) {
+Status MonoNetStack::DoSend(SocketId s, ByteView data) {
   SKERN_COUNTER_INC("net.mono.socket.sends");
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
@@ -128,7 +305,7 @@ Status MonoNetStack::Send(SocketId s, ByteView data) {
   return sock->tcp->Send(data);
 }
 
-Result<Bytes> MonoNetStack::Recv(SocketId s, uint64_t max) {
+Result<Bytes> MonoNetStack::DoRecv(SocketId s, uint64_t max) {
   SKERN_COUNTER_INC("net.mono.socket.recvs");
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
@@ -146,7 +323,7 @@ Result<Bytes> MonoNetStack::Recv(SocketId s, uint64_t max) {
   return sock->tcp->Recv(max);
 }
 
-Status MonoNetStack::SendTo(SocketId s, NetAddr remote, ByteView data) {
+Status MonoNetStack::DoSendTo(SocketId s, NetAddr remote, ByteView data) {
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Status::Error(Errno::kEBADF);
@@ -165,11 +342,11 @@ Status MonoNetStack::SendTo(SocketId s, NetAddr remote, ByteView data) {
   pkt.dst_ip = remote.ip;
   pkt.dst_port = remote.port;
   pkt.payload = data.ToBytes();
-  network_.Send(std::move(pkt));
+  netq::Stage(&network_, std::move(pkt));
   return Status::Ok();
 }
 
-Result<std::pair<NetAddr, Bytes>> MonoNetStack::RecvFrom(SocketId s) {
+Result<std::pair<NetAddr, Bytes>> MonoNetStack::DoRecvFrom(SocketId s) {
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Errno::kEBADF;
@@ -185,7 +362,7 @@ Result<std::pair<NetAddr, Bytes>> MonoNetStack::RecvFrom(SocketId s) {
   return front;
 }
 
-Status MonoNetStack::Close(SocketId s) {
+Status MonoNetStack::DoClose(SocketId s) {
   MonoSocket* sock = Find(s);
   if (sock == nullptr) {
     return Status::Error(Errno::kEBADF);
@@ -208,6 +385,21 @@ Status MonoNetStack::Close(SocketId s) {
   return Status::Ok();
 }
 
+Status MonoNetStack::DoSetOption(SocketId s, int option, int64_t value) {
+  MonoSocket* sock = Find(s);
+  if (sock == nullptr) {
+    return Status::Error(Errno::kEBADF);
+  }
+  if (option != kSockOptAcceptBacklog) {
+    return Status::Error(Errno::kENOSYS);
+  }
+  if (sock->proto != kProtoTcp || value <= 0) {
+    return Status::Error(Errno::kEINVAL);
+  }
+  sock->backlog = static_cast<int>(value);
+  return Status::Ok();
+}
+
 void MonoNetStack::OnPacket(const Packet& packet) {
   SKERN_COUNTER_INC("net.mono.dispatch.packets");
   SKERN_TRACE("net", "mono_dispatch", packet.proto, packet.dst_port);
@@ -226,13 +418,19 @@ void MonoNetStack::OnPacket(const Packet& packet) {
       if (listener_it != tcp_listeners_.end()) {
         MonoSocket* listener = Find(listener_it->second);
         if (listener != nullptr) {
-          SocketId child_id = next_id_++;
+          if (static_cast<int>(listener->accept_queue.size()) >= listener->backlog) {
+            // Same locked-in semantics as the modular stack: full backlog
+            // silently drops the SYN (no RST); the client retransmits and
+            // eventually gives up.
+            SKERN_COUNTER_INC("net.tcp.accept_overflow");
+            return;
+          }
+          SocketId child_id = AllocId();
           MonoSocket child;
           child.proto = kProtoTcp;
           child.local_port = packet.dst_port;
           NetAddr local{ip_, packet.dst_port};
-          child.tcp = TcpConnection::FromSyn(
-              clock_, [this](Packet&& pkt) { network_.Send(std::move(pkt)); }, local, packet);
+          child.tcp = SeedTcpConnection::FromSyn(clock_, StagingSendFn(), local, packet, MonoGate());
           sockets_[child_id] = std::move(child);
           tcp_conns_[{packet.dst_port, packet.src_ip, packet.src_port}] = child_id;
           listener->accept_queue.push_back(child_id);
@@ -250,7 +448,7 @@ void MonoNetStack::OnPacket(const Packet& packet) {
       rst.dst_port = packet.src_port;
       rst.flags = kTcpRst;
       rst.seq = packet.ack;
-      network_.Send(std::move(rst));
+      netq::Stage(&network_, std::move(rst));
     }
     return;
   }
@@ -259,7 +457,8 @@ void MonoNetStack::OnPacket(const Packet& packet) {
     if (it != udp_ports_.end()) {
       MonoSocket* sock = Find(it->second);
       if (sock != nullptr) {
-        sock->udp_rx.emplace_back(NetAddr{packet.src_ip, packet.src_port}, packet.payload);
+        sock->udp_rx.emplace_back(NetAddr{packet.src_ip, packet.src_port},
+                                  packet.payload.ToBytes());
       }
     }
     return;

@@ -5,9 +5,16 @@
 // generic code paths (demux, send, receive, close) branch on the protocol
 // inline. Adding a protocol family means editing every one of those
 // functions; that is precisely the retrofitting cost the paper describes.
+//
+// Concurrency: externally synchronized (one thread), matching the seed —
+// except for the optional big kernel lock (EnableBigKernelLock), which
+// serializes every operation and packet delivery under a single mutex. That
+// is the scaling baseline the sharded stack is benchmarked against: correct
+// under threads, and a perfect funnel.
 #ifndef SKERN_SRC_NET_STACK_MONOLITHIC_H_
 #define SKERN_SRC_NET_STACK_MONOLITHIC_H_
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -15,13 +22,18 @@
 #include "src/base/sim_clock.h"
 #include "src/net/network.h"
 #include "src/net/socket_layer.h"
-#include "src/net/tcp.h"
+#include "src/net/tcp_seed.h"
+#include "src/sync/mutex.h"
 
 namespace skern {
 
 class MonoNetStack : public SocketLayer {
  public:
   MonoNetStack(SimClock& clock, Network& network, uint32_t ip);
+
+  // Bench baseline mode: wrap every socket call and every delivered packet
+  // in one stack-wide mutex. Call once, before any traffic.
+  void EnableBigKernelLock() { big_lock_enabled_ = true; }
 
   Result<SocketId> Socket(uint8_t proto) override;
   Status Bind(SocketId s, uint16_t port) override;
@@ -33,9 +45,15 @@ class MonoNetStack : public SocketLayer {
   Status SendTo(SocketId s, NetAddr remote, ByteView data) override;
   Result<std::pair<NetAddr, Bytes>> RecvFrom(SocketId s) override;
   Status Close(SocketId s) override;
+  Status SetOption(SocketId s, int option, int64_t value) override;
   std::string Name() const override { return "net-monolithic"; }
 
   uint32_t ip() const { return ip_; }
+
+  // Test hook: position the id allocator (e.g. just below the wrap point).
+  void SetNextSocketIdForTesting(uint32_t raw) {
+    next_id_.store(raw, std::memory_order_relaxed);
+  }
 
  private:
   // The entangled generic socket: every protocol's fields in one struct.
@@ -43,22 +61,47 @@ class MonoNetStack : public SocketLayer {
     uint8_t proto = kProtoTcp;
     uint16_t local_port = 0;
     bool listening = false;
+    int backlog = 64;  // listener accept-queue cap (kSockOptAcceptBacklog)
     // --- TCP-specific state living inside the generic structure ---
-    std::unique_ptr<TcpConnection> tcp;
+    std::unique_ptr<SeedTcpConnection> tcp;
     std::deque<SocketId> accept_queue;
     // --- UDP-specific state, same structure ---
     std::deque<std::pair<NetAddr, Bytes>> udp_rx;
   };
 
+  // Do* bodies hold the big lock (when enabled); the public wrappers flush
+  // staged packets after releasing it, so the wire is never entered with the
+  // lock held (inline delivery would recurse into it and lockdep panics on
+  // same-class nesting).
+  Result<SocketId> DoSocket(uint8_t proto);
+  Status DoBind(SocketId s, uint16_t port);
+  Status DoListen(SocketId s);
+  Result<SocketId> DoAccept(SocketId s);
+  Status DoConnect(SocketId s, NetAddr remote);
+  Status DoSend(SocketId s, ByteView data);
+  Result<Bytes> DoRecv(SocketId s, uint64_t max);
+  Status DoSendTo(SocketId s, NetAddr remote, ByteView data);
+  Result<std::pair<NetAddr, Bytes>> DoRecvFrom(SocketId s);
+  Status DoClose(SocketId s);
+  Status DoSetOption(SocketId s, int option, int64_t value);
+
   void OnPacket(const Packet& packet);
   MonoSocket* Find(SocketId s);
-  uint16_t AutoPort() { return next_port_++; }
+  SocketId AllocId();
+  uint16_t AutoPort();
+  SeedTcpConnection::SendFn StagingSendFn();
+  SeedTcpConnection::TimerGate MonoGate();
 
   SimClock& clock_;
   Network& network_;
   uint32_t ip_;
-  SocketId next_id_ = 1;
-  uint16_t next_port_ = 40000;
+  // Atomic and wrap-safe: ids stay positive int32s, 0 is skipped, and an id
+  // still open after 2^31 allocations is probed past (seed version was a
+  // plain `next_id_++` that eventually wrapped negative).
+  std::atomic<uint32_t> next_id_{1};
+  std::atomic<uint32_t> next_port_{0};
+  bool big_lock_enabled_ = false;
+  TrackedMutex big_mu_{"net.mono.big"};
   std::map<SocketId, MonoSocket> sockets_;
   // Generic demux tables that nevertheless understand TCP tuples directly.
   std::map<uint16_t, SocketId> tcp_listeners_;

@@ -5,6 +5,19 @@
 // where this state LIVES — embedded in the generic socket (monolithic) or
 // behind a protocol module (modular). See stack_monolithic.h / stack_modular.h.
 //
+// Data-plane buffers are BufChains: Send queues segment views, segmentation
+// slices them (shared, not copied), the retransmission queue references the
+// same storage, and Recv hands storage back out by move when it is the last
+// owner. With the zero-copy switch off every hop deep-copies instead — the
+// seed stack's behavior, kept as the bench baseline.
+//
+// Concurrency: a TcpConnection is externally synchronized — the owning
+// socket layer serializes calls (per-socket lock in the sharded stack). The
+// retransmission timer runs on whatever thread advances the SimClock, so
+// the factories accept a TimerGate: the owner wraps timer bodies in its own
+// locking + liveness check (see SockCtl). With no gate, timer bodies run
+// bare — correct for single-threaded engine tests.
+//
 // Simplifications (documented in DESIGN.md): fixed MSS and window, no SACK,
 // out-of-order segments are dropped (cumulative-ACK retransmission recovers
 // them), no delayed ACKs, no congestion control beyond RTO backoff.
@@ -12,13 +25,13 @@
 #define SKERN_SRC_NET_TCP_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 
 #include "src/base/sim_clock.h"
 #include "src/base/status.h"
+#include "src/net/buf_chain.h"
 #include "src/net/packet.h"
 
 namespace skern {
@@ -50,20 +63,30 @@ struct TcpStats {
 class TcpConnection {
  public:
   using SendFn = std::function<void(Packet&&)>;
+  // Wraps every timer body: the owner locks/validates, runs the body, then
+  // releases and flushes staged packets. nullptr runs bodies bare.
+  using TimerGate = std::function<void(const std::function<void()>&)>;
 
   static constexpr uint32_t kMss = 1000;
   static constexpr uint32_t kWindow = 64 * 1024;
+  // Large-segment offload: fresh sends emit one scatter-gather segment of
+  // up to a full window. The simulated wire has no MTU, and a chained
+  // payload makes segment size a policy choice rather than a buffer-layout
+  // constraint — the seed's flat-buffer engine is structurally tied to
+  // MSS-sized copies, this engine is not. Retransmissions still slice at
+  // kMss so loss recovery stays fine-grained (see OnTimeout).
+  static constexpr uint32_t kMaxSegment = kWindow;
   static constexpr SimTime kInitialRto = 200 * kMillisecond;
   static constexpr int kMaxRetries = 8;
 
   // Active open: immediately sends SYN. (Heap-allocated: the retransmission
   // timer closure pins the object's address.)
   static std::unique_ptr<TcpConnection> Connect(SimClock& clock, SendFn send, NetAddr local,
-                                                NetAddr remote);
+                                                NetAddr remote, TimerGate gate = nullptr);
 
   // Passive open from a received SYN: immediately sends SYN|ACK.
   static std::unique_ptr<TcpConnection> FromSyn(SimClock& clock, SendFn send, NetAddr local,
-                                                const Packet& syn);
+                                                const Packet& syn, TimerGate gate = nullptr);
 
   TcpConnection(TcpConnection&&) = delete;
   TcpConnection& operator=(TcpConnection&&) = delete;
@@ -73,12 +96,19 @@ class TcpConnection {
   // retransmission timer.
   Status Send(ByteView data);
 
+  // Zero-copy send: the chain's segments enter the send queue shared.
+  Status SendChain(BufChain chain);
+
   // Drains up to `max` bytes of in-order received data.
   Bytes Recv(size_t max);
-  size_t Available() const { return recv_buf_.size(); }
+
+  // Zero-copy receive: drains up to `max` bytes as shared segments.
+  BufChain RecvChain(size_t max);
+
+  size_t Available() const { return recv_chain_.size(); }
 
   // True once the peer's FIN has been consumed and the buffer is drained.
-  bool PeerClosed() const { return peer_fin_seen_ && recv_buf_.empty(); }
+  bool PeerClosed() const { return peer_fin_seen_ && recv_chain_.empty(); }
 
   // Initiates teardown (FIN after pending data drains).
   void Close();
@@ -94,9 +124,9 @@ class TcpConnection {
   NetAddr remote() const { return remote_; }
 
  private:
-  TcpConnection(SimClock& clock, SendFn send, NetAddr local, NetAddr remote);
+  TcpConnection(SimClock& clock, SendFn send, NetAddr local, NetAddr remote, TimerGate gate);
 
-  void EmitSegment(uint8_t flags, uint32_t seq, ByteView payload);
+  void EmitSegment(uint8_t flags, uint32_t seq, BufChain payload = BufChain());
   void TrySend();
   void ArmTimer();
   void CancelTimer();
@@ -104,11 +134,14 @@ class TcpConnection {
   void EnterTimeWait();
   void HandleEstablishedSegment(const Packet& segment);
   void ProcessAck(uint32_t ack);
+  // Wraps a timer body in the owner's gate (if any) for clock scheduling.
+  std::function<void()> GatedTimer(std::function<void()> body);
 
   SimClock& clock_;
   SendFn send_;
   NetAddr local_;
   NetAddr remote_;
+  TimerGate gate_;
   TcpState state_ = TcpState::kClosed;
 
   uint32_t iss_ = 0;      // initial send sequence
@@ -116,9 +149,10 @@ class TcpConnection {
   uint32_t snd_nxt_ = 0;  // next sequence to send
   uint32_t rcv_nxt_ = 0;  // next expected from peer
 
-  std::deque<uint8_t> pending_;   // app data not yet transmitted
-  std::deque<uint8_t> inflight_;  // transmitted, unacknowledged [snd_una, snd_nxt)
-  std::deque<uint8_t> recv_buf_;  // in-order data for the app
+  BufChain pending_;     // app data not yet transmitted
+  BufChain inflight_;    // transmitted, unacknowledged [snd_una, snd_nxt) — shares
+                         // pending_'s segments; retransmission re-slices them
+  BufChain recv_chain_;  // in-order data for the app
 
   bool fin_pending_ = false;  // app closed; FIN not yet sent
   bool fin_sent_ = false;

@@ -1,4 +1,4 @@
-#include "src/net/tcp.h"
+#include "src/net/tcp_seed.h"
 
 #include <algorithm>
 
@@ -8,62 +8,25 @@
 
 namespace skern {
 
-namespace {
-
-// Serial-number arithmetic (RFC 1982): sequence numbers live on a 32-bit
-// ring, so ordering is defined by the signed distance between two points.
-// Valid while outstanding data spans less than 2^31 bytes — trivially true
-// with a 64 KiB window. A long-lived connection wraps the ring every 4 GiB,
-// which large-segment sends reach in seconds of simulated streaming.
-bool SeqLe(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) <= 0; }
-bool SeqGt(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) > 0; }
-
-}  // namespace
-
-const char* TcpStateName(TcpState state) {
-  switch (state) {
-    case TcpState::kClosed:
-      return "CLOSED";
-    case TcpState::kListen:
-      return "LISTEN";
-    case TcpState::kSynSent:
-      return "SYN_SENT";
-    case TcpState::kSynRcvd:
-      return "SYN_RCVD";
-    case TcpState::kEstablished:
-      return "ESTABLISHED";
-    case TcpState::kFinWait1:
-      return "FIN_WAIT1";
-    case TcpState::kFinWait2:
-      return "FIN_WAIT2";
-    case TcpState::kCloseWait:
-      return "CLOSE_WAIT";
-    case TcpState::kLastAck:
-      return "LAST_ACK";
-    case TcpState::kTimeWait:
-      return "TIME_WAIT";
-  }
-  return "?";
-}
-
-TcpConnection::TcpConnection(SimClock& clock, SendFn send, NetAddr local, NetAddr remote,
-                             TimerGate gate)
+SeedTcpConnection::SeedTcpConnection(SimClock& clock, SendFn send, NetAddr local, NetAddr remote,
+                                     TimerGate gate)
     : clock_(clock),
       send_(std::move(send)),
       local_(local),
       remote_(remote),
       gate_(std::move(gate)) {
-  // Deterministic ISS derived from the 4-tuple keeps runs reproducible.
+  // Same ISS derivation as TcpConnection: the two engines must be
+  // sequence-number identical for the coherence suite.
   iss_ = 1000 + local.port * 131u + remote.port * 17u;
   snd_una_ = iss_;
   snd_nxt_ = iss_;
 }
 
-std::unique_ptr<TcpConnection> TcpConnection::Connect(SimClock& clock, SendFn send,
-                                                      NetAddr local, NetAddr remote,
-                                                      TimerGate gate) {
-  auto conn = std::unique_ptr<TcpConnection>(
-      new TcpConnection(clock, std::move(send), local, remote, std::move(gate)));
+std::unique_ptr<SeedTcpConnection> SeedTcpConnection::Connect(SimClock& clock, SendFn send,
+                                                              NetAddr local, NetAddr remote,
+                                                              TimerGate gate) {
+  auto conn = std::unique_ptr<SeedTcpConnection>(
+      new SeedTcpConnection(clock, std::move(send), local, remote, std::move(gate)));
   conn->state_ = TcpState::kSynSent;
   conn->EmitSegment(kTcpSyn, conn->snd_nxt_);
   conn->snd_nxt_ += 1;  // SYN occupies one sequence number
@@ -71,13 +34,13 @@ std::unique_ptr<TcpConnection> TcpConnection::Connect(SimClock& clock, SendFn se
   return conn;
 }
 
-std::unique_ptr<TcpConnection> TcpConnection::FromSyn(SimClock& clock, SendFn send,
-                                                      NetAddr local, const Packet& syn,
-                                                      TimerGate gate) {
+std::unique_ptr<SeedTcpConnection> SeedTcpConnection::FromSyn(SimClock& clock, SendFn send,
+                                                              NetAddr local, const Packet& syn,
+                                                              TimerGate gate) {
   SKERN_CHECK(syn.Has(kTcpSyn));
   NetAddr remote{syn.src_ip, syn.src_port};
-  auto conn = std::unique_ptr<TcpConnection>(
-      new TcpConnection(clock, std::move(send), local, remote, std::move(gate)));
+  auto conn = std::unique_ptr<SeedTcpConnection>(
+      new SeedTcpConnection(clock, std::move(send), local, remote, std::move(gate)));
   conn->state_ = TcpState::kSynRcvd;
   conn->rcv_nxt_ = syn.seq + 1;
   conn->EmitSegment(kTcpSyn | kTcpAck, conn->snd_nxt_);
@@ -86,16 +49,16 @@ std::unique_ptr<TcpConnection> TcpConnection::FromSyn(SimClock& clock, SendFn se
   return conn;
 }
 
-TcpConnection::~TcpConnection() { CancelTimer(); }
+SeedTcpConnection::~SeedTcpConnection() { CancelTimer(); }
 
-std::function<void()> TcpConnection::GatedTimer(std::function<void()> body) {
+std::function<void()> SeedTcpConnection::GatedTimer(std::function<void()> body) {
   if (!gate_) {
     return body;
   }
   return [gate = gate_, body = std::move(body)] { gate(body); };
 }
 
-void TcpConnection::EmitSegment(uint8_t flags, uint32_t seq, BufChain payload) {
+void SeedTcpConnection::EmitSegment(uint8_t flags, uint32_t seq, ByteView payload) {
   Packet pkt;
   pkt.proto = kProtoTcp;
   pkt.src_ip = local_.ip;
@@ -107,50 +70,32 @@ void TcpConnection::EmitSegment(uint8_t flags, uint32_t seq, BufChain payload) {
   pkt.flags = flags;
   ++stats_.segments_sent;
   stats_.bytes_sent += payload.size();
-  // The zero-copy ablation point: `payload` is already a private slice of
-  // the send queue (its segments refcount the same storage), so with the
-  // switch on it moves straight into the packet; off, it deep-copies per
-  // hop (the seed stack's behavior).
-  if (NetZeroCopyEnabled()) {
-    pkt.payload = std::move(payload);
-  } else {
-    pkt.payload = BufChain::ShareOrCopy(payload);
-  }
+  // Seed behavior: the packet owns a fresh copy of the payload.
+  pkt.payload.AppendCopy(payload);
   SKERN_COUNTER_INC("net.tcp.segments_sent");
   send_(std::move(pkt));
 }
 
-Status TcpConnection::Send(ByteView data) {
+Status SeedTcpConnection::Send(ByteView data) {
   if (fin_pending_ || fin_sent_) {
     return Status::Error(Errno::kEPIPE);  // we already shut down our side
   }
   if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
     return Status::Error(Errno::kENOTCONN);
   }
-  // The app-to-kernel copy exists in both modes; everything downstream of
-  // pending_ is views.
-  pending_.AppendCopy(data);
+  pending_.insert(pending_.end(), data.data(), data.data() + data.size());
   TrySend();
   return Status::Ok();
 }
 
-Status TcpConnection::SendChain(BufChain chain) {
-  if (fin_pending_ || fin_sent_) {
-    return Status::Error(Errno::kEPIPE);
-  }
-  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
-    return Status::Error(Errno::kENOTCONN);
-  }
-  pending_.Append(BufChain::ShareOrCopy(chain));
-  TrySend();
-  return Status::Ok();
+Bytes SeedTcpConnection::Recv(size_t max) {
+  size_t n = std::min(max, recv_buf_.size());
+  Bytes out(recv_buf_.begin(), recv_buf_.begin() + n);
+  recv_buf_.erase(recv_buf_.begin(), recv_buf_.begin() + n);
+  return out;
 }
 
-Bytes TcpConnection::Recv(size_t max) { return recv_chain_.PopBytes(max); }
-
-BufChain TcpConnection::RecvChain(size_t max) { return recv_chain_.PopChain(max); }
-
-void TcpConnection::Close() {
+void SeedTcpConnection::Close() {
   switch (state_) {
     case TcpState::kEstablished:
       state_ = TcpState::kFinWait1;
@@ -171,26 +116,26 @@ void TcpConnection::Close() {
   TrySend();
 }
 
-void TcpConnection::Abort() {
+void SeedTcpConnection::Abort() {
   if (state_ != TcpState::kClosed) {
     EmitSegment(kTcpRst, snd_nxt_);
   }
   state_ = TcpState::kClosed;
   CancelTimer();
-  pending_.Clear();
-  inflight_.Clear();
+  pending_.clear();
+  inflight_.clear();
 }
 
-void TcpConnection::TrySend() {
+void SeedTcpConnection::TrySend() {
   while (!pending_.empty() && inflight_.size() < kWindow) {
-    size_t n = std::min<size_t>(
-        {pending_.size(), static_cast<size_t>(kMaxSegment), kWindow - inflight_.size()});
-    // PopChain detaches segment views without touching payload bytes; the
-    // retransmission queue then *shares* the same storage (copies it when
-    // zero-copy is off, reproducing the seed's triple-buffer behavior).
-    BufChain chunk = pending_.PopChain(n);
-    inflight_.Append(BufChain::ShareOrCopy(chunk));
-    EmitSegment(kTcpAck, snd_nxt_, std::move(chunk));
+    size_t n = std::min<size_t>({pending_.size(), kMss, kWindow - inflight_.size()});
+    // Seed triple-buffer: copy the chunk out of pending, copy it again into
+    // the retransmission queue, and EmitSegment copies it a third time into
+    // the packet.
+    Bytes chunk(pending_.begin(), pending_.begin() + n);
+    pending_.erase(pending_.begin(), pending_.begin() + n);
+    inflight_.insert(inflight_.end(), chunk.begin(), chunk.end());
+    EmitSegment(kTcpAck, snd_nxt_, ByteView(chunk));
     snd_nxt_ += n;
   }
   if (fin_pending_ && !fin_sent_ && pending_.empty()) {
@@ -204,7 +149,7 @@ void TcpConnection::TrySend() {
   }
 }
 
-void TcpConnection::ArmTimer() {
+void SeedTcpConnection::ArmTimer() {
   if (timer_id_.has_value()) {
     return;
   }
@@ -214,14 +159,14 @@ void TcpConnection::ArmTimer() {
   }));
 }
 
-void TcpConnection::CancelTimer() {
+void SeedTcpConnection::CancelTimer() {
   if (timer_id_.has_value()) {
     clock_.Cancel(*timer_id_);
     timer_id_.reset();
   }
 }
 
-void TcpConnection::OnTimeout() {
+void SeedTcpConnection::OnTimeout() {
   if (state_ == TcpState::kClosed) {
     return;
   }
@@ -230,10 +175,7 @@ void TcpConnection::OnTimeout() {
     return;
   }
   if (snd_una_ == snd_nxt_) {
-    // Everything was acked in the meantime. ACK processing deliberately does
-    // not Cancel() the timer (that would take the clock mutex on the hot
-    // ACK path); instead the stale timer lazily disarms here.
-    return;
+    return;  // stale timer: lazy disarm, same as TcpConnection
   }
   if (++retries_ > kMaxRetries) {
     Abort();
@@ -243,79 +185,65 @@ void TcpConnection::OnTimeout() {
   SKERN_COUNTER_INC("net.tcp.retransmits");
   SKERN_TRACE("net", "tcp_retransmit", snd_una_, rto_);
   rto_ = std::min<SimTime>(rto_ * 2, 10 * kSecond);
-  // Retransmit from snd_una: control segments first, then the oldest data.
   if (state_ == TcpState::kSynSent) {
     EmitSegment(kTcpSyn, iss_);
   } else if (state_ == TcpState::kSynRcvd) {
     EmitSegment(kTcpSyn | kTcpAck, iss_);
   } else if (!inflight_.empty()) {
     size_t n = std::min<size_t>(inflight_.size(), kMss);
-    // Slice shares the unacked storage — retransmission references the
-    // original buffers rather than copying them out.
-    EmitSegment(kTcpAck, snd_una_, inflight_.Slice(0, n));
-  } else if (fin_sent_ && SeqLe(snd_una_, fin_seq_)) {
+    // Seed retransmission: copy the unacked prefix out of the queue again.
+    Bytes seg(inflight_.begin(), inflight_.begin() + n);
+    EmitSegment(kTcpAck, snd_una_, ByteView(seg));
+  } else if (fin_sent_ && snd_una_ <= fin_seq_) {
     EmitSegment(kTcpFin | kTcpAck, fin_seq_);
   }
   ArmTimer();
 }
 
-void TcpConnection::ProcessAck(uint32_t ack) {
-  // Serial-number comparison keeps this correct across the 4 GiB wrap.
-  if (SeqLe(ack, snd_una_) || SeqGt(ack, snd_nxt_)) {
+void SeedTcpConnection::ProcessAck(uint32_t ack) {
+  if (ack <= snd_una_ || ack > snd_nxt_) {
     return;
   }
   uint32_t newly_acked = ack - snd_una_;
-  // The FIN consumes a sequence number but is not in the inflight buffer.
   uint32_t data_acked = std::min<uint32_t>(newly_acked, inflight_.size());
-  inflight_.Consume(data_acked);
+  inflight_.erase(inflight_.begin(), inflight_.begin() + data_acked);
   snd_una_ = ack;
   retries_ = 0;
   rto_ = kInitialRto;
-  // No CancelTimer() here: a fully-acked connection leaves its timer armed
-  // and OnTimeout() no-ops (lazy disarm). This keeps the steady-state ACK
-  // path free of clock-mutex traffic, which is what lets N threads ACK
-  // concurrently without funneling through the timer wheel.
   TrySend();
   if (snd_una_ != snd_nxt_) {
     ArmTimer();
   }
 }
 
-void TcpConnection::HandleEstablishedSegment(const Packet& segment) {
+void SeedTcpConnection::HandleEstablishedSegment(const Packet& segment) {
   if (segment.Has(kTcpAck)) {
     ProcessAck(segment.ack);
   }
   if (segment.Has(kTcpSyn)) {
-    // A retransmitted SYN|ACK means our handshake ACK was lost: re-ack so the
-    // peer can leave SYN_RCVD.
     EmitSegment(kTcpAck, snd_nxt_);
     return;
   }
   bool advanced = false;
   if (!segment.payload.empty()) {
     if (segment.seq == rcv_nxt_) {
-      // In zero-copy mode the receive buffer shares the sender's storage —
-      // the payload bytes were written exactly once, at the sender's Send().
-      recv_chain_.Append(BufChain::ShareOrCopy(segment.payload));
+      // Seed receive: flatten the wire payload and copy it into the deque.
+      Bytes flat = segment.payload.ToBytes();
+      recv_buf_.insert(recv_buf_.end(), flat.begin(), flat.end());
       rcv_nxt_ += segment.payload.size();
       stats_.bytes_received += segment.payload.size();
       advanced = true;
     } else {
-      // Out of order (or duplicate): drop; the duplicate ACK below tells the
-      // sender where we are.
       ++stats_.out_of_order_drops;
     }
   }
-  // The cast keeps the sum on the 32-bit sequence ring (size_t would not wrap).
-  if (segment.Has(kTcpFin) &&
-      static_cast<uint32_t>(segment.seq + segment.payload.size()) == rcv_nxt_) {
+  if (segment.Has(kTcpFin) && segment.seq + segment.payload.size() == rcv_nxt_) {
     rcv_nxt_ += 1;
     peer_fin_seen_ = true;
     advanced = true;
     if (state_ == TcpState::kEstablished) {
       state_ = TcpState::kCloseWait;
     } else if (state_ == TcpState::kFinWait1) {
-      // Simultaneous close; treat as FIN after our FIN was acked handled below.
       state_ = TcpState::kCloseWait;
     } else if (state_ == TcpState::kFinWait2) {
       EnterTimeWait();
@@ -326,7 +254,7 @@ void TcpConnection::HandleEstablishedSegment(const Packet& segment) {
   }
 }
 
-void TcpConnection::EnterTimeWait() {
+void SeedTcpConnection::EnterTimeWait() {
   state_ = TcpState::kTimeWait;
   EmitSegment(kTcpAck, snd_nxt_);
   CancelTimer();
@@ -336,7 +264,7 @@ void TcpConnection::EnterTimeWait() {
   }));
 }
 
-void TcpConnection::OnSegment(const Packet& segment) {
+void SeedTcpConnection::OnSegment(const Packet& segment) {
   ++stats_.segments_received;
   if (segment.Has(kTcpRst)) {
     state_ = TcpState::kClosed;
@@ -346,7 +274,6 @@ void TcpConnection::OnSegment(const Packet& segment) {
   switch (state_) {
     case TcpState::kClosed:
     case TcpState::kListen:
-      // Listening demux is the stack's job; stray segments get RST.
       if (!segment.Has(kTcpRst)) {
         EmitSegment(kTcpRst, segment.ack);
       }
@@ -358,7 +285,6 @@ void TcpConnection::OnSegment(const Packet& segment) {
         state_ = TcpState::kEstablished;
         retries_ = 0;
         rto_ = kInitialRto;
-        // Handshake timer disarms lazily (see ProcessAck).
         EmitSegment(kTcpAck, snd_nxt_);
         TrySend();
       }
@@ -369,12 +295,10 @@ void TcpConnection::OnSegment(const Packet& segment) {
         state_ = TcpState::kEstablished;
         retries_ = 0;
         rto_ = kInitialRto;
-        // The handshake ACK may carry data.
         if (!segment.payload.empty() || segment.Has(kTcpFin)) {
           HandleEstablishedSegment(segment);
         }
       } else if (segment.Has(kTcpSyn)) {
-        // Duplicate SYN: re-answer.
         EmitSegment(kTcpSyn | kTcpAck, iss_);
       }
       return;
@@ -385,7 +309,6 @@ void TcpConnection::OnSegment(const Packet& segment) {
     case TcpState::kFinWait1:
       HandleEstablishedSegment(segment);
       if (state_ == TcpState::kCloseWait) {
-        // Peer's FIN arrived; if ours is acked too, go through TIME_WAIT.
         if (snd_una_ == snd_nxt_) {
           EnterTimeWait();
         } else {
@@ -393,7 +316,7 @@ void TcpConnection::OnSegment(const Packet& segment) {
         }
         return;
       }
-      if (fin_sent_ && SeqGt(snd_una_, fin_seq_)) {
+      if (fin_sent_ && snd_una_ > fin_seq_) {
         state_ = TcpState::kFinWait2;
       }
       return;

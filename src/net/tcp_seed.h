@@ -1,0 +1,108 @@
+// The seed TCP engine, preserved as the scaling baseline.
+//
+// This is the data plane the repo started with: every buffer is a
+// std::deque<uint8_t>, segmentation copies bytes out of the pending queue,
+// the retransmission queue holds its own copy of every unacked byte, each
+// emitted packet carries yet another copy, and the receiver copies payload
+// bytes into its deque before Recv copies them out again. The refactored
+// engine (tcp.h) replaced all of that with refcounted BufChain views;
+// MonoNetStack keeps using this one so "monolithic stack under the big
+// kernel lock" means exactly what the paper's incremental story needs: the
+// seed's per-byte costs, made thread-safe the minimal way.
+//
+// Control flow (state machine, segmentation sizes, ACK handling, lazy timer
+// disarm, RTO backoff) is kept line-for-line equivalent to TcpConnection so
+// the two engines emit byte- and time-identical wire traces — the
+// differential coherence suite (net_coherence_test) holds them to that.
+#ifndef SKERN_SRC_NET_TCP_SEED_H_
+#define SKERN_SRC_NET_TCP_SEED_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/base/sim_clock.h"
+#include "src/base/status.h"
+#include "src/net/packet.h"
+#include "src/net/tcp.h"
+
+namespace skern {
+
+class SeedTcpConnection {
+ public:
+  using SendFn = TcpConnection::SendFn;
+  using TimerGate = TcpConnection::TimerGate;
+
+  static constexpr uint32_t kMss = TcpConnection::kMss;
+  static constexpr uint32_t kWindow = TcpConnection::kWindow;
+  static constexpr SimTime kInitialRto = TcpConnection::kInitialRto;
+  static constexpr int kMaxRetries = TcpConnection::kMaxRetries;
+
+  static std::unique_ptr<SeedTcpConnection> Connect(SimClock& clock, SendFn send, NetAddr local,
+                                                    NetAddr remote, TimerGate gate = nullptr);
+  static std::unique_ptr<SeedTcpConnection> FromSyn(SimClock& clock, SendFn send, NetAddr local,
+                                                    const Packet& syn, TimerGate gate = nullptr);
+
+  SeedTcpConnection(SeedTcpConnection&&) = delete;
+  SeedTcpConnection& operator=(SeedTcpConnection&&) = delete;
+  ~SeedTcpConnection();
+
+  Status Send(ByteView data);
+  Bytes Recv(size_t max);
+  size_t Available() const { return recv_buf_.size(); }
+  bool PeerClosed() const { return peer_fin_seen_ && recv_buf_.empty(); }
+  void Close();
+  void Abort();
+  void OnSegment(const Packet& segment);
+
+  TcpState state() const { return state_; }
+  const TcpStats& stats() const { return stats_; }
+  NetAddr local() const { return local_; }
+  NetAddr remote() const { return remote_; }
+
+ private:
+  SeedTcpConnection(SimClock& clock, SendFn send, NetAddr local, NetAddr remote, TimerGate gate);
+
+  void EmitSegment(uint8_t flags, uint32_t seq, ByteView payload = ByteView());
+  void TrySend();
+  void ArmTimer();
+  void CancelTimer();
+  void OnTimeout();
+  void EnterTimeWait();
+  void HandleEstablishedSegment(const Packet& segment);
+  void ProcessAck(uint32_t ack);
+  std::function<void()> GatedTimer(std::function<void()> body);
+
+  SimClock& clock_;
+  SendFn send_;
+  NetAddr local_;
+  NetAddr remote_;
+  TimerGate gate_;
+  TcpState state_ = TcpState::kClosed;
+
+  uint32_t iss_ = 0;
+  uint32_t snd_una_ = 0;
+  uint32_t snd_nxt_ = 0;
+  uint32_t rcv_nxt_ = 0;
+
+  std::deque<uint8_t> pending_;   // app data not yet transmitted
+  std::deque<uint8_t> inflight_;  // transmitted, unacknowledged — a full copy
+  std::deque<uint8_t> recv_buf_;  // in-order data for the app
+
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  uint32_t fin_seq_ = 0;
+  bool peer_fin_seen_ = false;
+
+  std::optional<uint64_t> timer_id_;
+  SimTime rto_ = kInitialRto;
+  int retries_ = 0;
+
+  TcpStats stats_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_NET_TCP_SEED_H_

@@ -1,0 +1,277 @@
+// Concurrency tests for the network data plane.
+//
+// The simulated Network delivers inline on the sending thread when delay is
+// zero, so concurrent senders drive the full stack — demux, per-socket locks,
+// TCP engine, receive queues — from many threads at once with no clock
+// pumping. The sharded stack must keep independent sockets independent; the
+// monolithic stack under its big kernel lock must stay merely correct.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+#include "src/net/network.h"
+#include "src/net/stack_modular.h"
+#include "src/net/stack_monolithic.h"
+
+namespace skern {
+namespace {
+
+constexpr uint32_t kClientIp = 1;
+constexpr uint32_t kServerIp = 2;
+
+enum class StackKind { kMonolithic, kModular };
+
+// Two stacks over one wire, inline delivery, id-allocator hooks exposed.
+class TwoHostWorld {
+ public:
+  explicit TwoHostWorld(StackKind kind) : network_(clock_, 7) {
+    network_.set_delay(0);
+    if (kind == StackKind::kMonolithic) {
+      auto c = std::make_unique<MonoNetStack>(clock_, network_, kClientIp);
+      auto s = std::make_unique<MonoNetStack>(clock_, network_, kServerIp);
+      c->EnableBigKernelLock();
+      s->EnableBigKernelLock();
+      set_client_next_id_ = [raw = c.get()](uint32_t v) { raw->SetNextSocketIdForTesting(v); };
+      client_ = std::move(c);
+      server_ = std::move(s);
+    } else {
+      auto c = MakeStandardModularStack(clock_, network_, kClientIp);
+      auto s = MakeStandardModularStack(clock_, network_, kServerIp);
+      set_client_next_id_ = [raw = c.get()](uint32_t v) { raw->SetNextSocketIdForTesting(v); };
+      client_ = std::move(c);
+      server_ = std::move(s);
+    }
+  }
+
+  SimClock clock_;
+  Network network_;
+  std::unique_ptr<SocketLayer> client_;
+  std::unique_ptr<SocketLayer> server_;
+  std::function<void(uint32_t)> set_client_next_id_;
+};
+
+class NetConcurrencyTest : public ::testing::TestWithParam<StackKind> {};
+
+// ISSUE satellite: UDP SendTo/RecvFrom under concurrent senders. Every
+// datagram must arrive exactly once and intact.
+TEST_P(NetConcurrencyTest, ConcurrentUdpSendersDeliverEveryDatagramIntact) {
+  TwoHostWorld w(GetParam());
+  auto srv = w.server_->Socket(kProtoUdp);
+  ASSERT_TRUE(srv.ok());
+  ASSERT_TRUE(w.server_->Bind(*srv, 4000).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> send_failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto s = w.client_->Socket(kProtoUdp);
+      if (!s.ok()) {
+        send_failures.fetch_add(kPerThread);
+        return;
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string msg = "t" + std::to_string(t) + ":" + std::to_string(i);
+        if (!w.client_->SendTo(*s, NetAddr{kServerIp, 4000}, BytesFromString(msg)).ok()) {
+          send_failures.fetch_add(1);
+        }
+      }
+      w.client_->Close(*s);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(send_failures.load(), 0);
+
+  std::set<std::string> seen;
+  int total = 0;
+  for (;;) {
+    auto r = w.server_->RecvFrom(*srv);
+    if (!r.ok()) {
+      break;
+    }
+    ++total;
+    seen.insert(StringFromBytes(r->second));
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);            // nothing lost, nothing duplicated
+  EXPECT_EQ(seen.size(), size_t{kThreads * kPerThread});  // every payload intact
+}
+
+// Eight TCP connections driven full-duplex by eight threads. Per-connection
+// streams must stay ordered and uncorrupted while other connections hammer
+// the stack from sibling threads.
+TEST_P(NetConcurrencyTest, ConcurrentTcpConnectionsEchoIndependently) {
+  TwoHostWorld w(GetParam());
+  auto ls = w.server_->Socket(kProtoTcp);
+  ASSERT_TRUE(ls.ok());
+  ASSERT_TRUE(w.server_->Bind(*ls, 80).ok());
+  ASSERT_TRUE(w.server_->Listen(*ls).ok());
+
+  constexpr int kConns = 8;
+  constexpr int kRounds = 25;
+  std::vector<SocketId> cs(kConns), sc(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    auto c = w.client_->Socket(kProtoTcp);
+    ASSERT_TRUE(c.ok());
+    // Inline delivery completes the whole handshake inside Connect.
+    ASSERT_TRUE(w.client_->Connect(*c, NetAddr{kServerIp, 80}).ok());
+    auto a = w.server_->Accept(*ls);
+    ASSERT_TRUE(a.ok());
+    cs[i] = *c;
+    sc[i] = *a;
+  }
+
+  std::atomic<int> mismatches{0};
+  auto pump = [&](SocketLayer& from_stack, SocketId from, SocketLayer& to_stack, SocketId to,
+                  const std::string& tag) {
+    for (int r = 0; r < kRounds; ++r) {
+      std::string msg;
+      for (int k = 0; k < 40; ++k) {
+        msg += tag + std::to_string(r) + ".";
+      }
+      if (!from_stack.Send(from, BytesFromString(msg)).ok()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      std::string got;
+      while (got.size() < msg.size()) {
+        auto chunk = to_stack.Recv(to, msg.size());
+        if (!chunk.ok()) {
+          mismatches.fetch_add(1);
+          return;
+        }
+        got += StringFromBytes(*chunk);
+      }
+      if (got != msg) {
+        mismatches.fetch_add(1);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kConns; ++i) {
+    threads.emplace_back([&, i] {
+      pump(*w.client_, cs[i], *w.server_, sc[i], "c" + std::to_string(i) + "-");
+      pump(*w.server_, sc[i], *w.client_, cs[i], "s" + std::to_string(i) + "-");
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+
+  for (int i = 0; i < kConns; ++i) {
+    EXPECT_TRUE(w.client_->Close(cs[i]).ok());
+    EXPECT_TRUE(w.server_->Close(sc[i]).ok());
+  }
+}
+
+// ISSUE satellite: socket-id allocation is atomic — concurrent Socket()
+// calls never hand out the same id.
+TEST_P(NetConcurrencyTest, SocketIdsUniqueUnderConcurrentAllocation) {
+  TwoHostWorld w(GetParam());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::vector<std::vector<SocketId>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto s = w.client_->Socket(kProtoUdp);
+        if (s.ok()) {
+          per_thread[t].push_back(*s);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<SocketId> ids;
+  for (const auto& v : per_thread) {
+    for (SocketId id : v) {
+      EXPECT_GT(id, 0);
+      ids.insert(id);
+    }
+  }
+  EXPECT_EQ(ids.size(), size_t{kThreads * kPerThread});
+}
+
+// ISSUE satellite: the allocator is wrap-safe. The seed's `next_id_++`
+// eventually went negative; the fix masks to positive int31, skips 0, and
+// probes past ids that are still open.
+TEST_P(NetConcurrencyTest, SocketIdAllocationSurvivesWrap) {
+  TwoHostWorld w(GetParam());
+  auto first = w.client_->Socket(kProtoUdp);  // fresh stack: id 1
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1);
+
+  w.set_client_next_id_(0x7fffffffu);
+  auto top = w.client_->Socket(kProtoUdp);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(*top, 0x7fffffff);  // the last positive id is usable
+
+  // Wrap: raw 0x80000000 masks to 0 (skipped), 1 is still open (probed
+  // past), so the next free id is 2.
+  auto wrapped = w.client_->Socket(kProtoUdp);
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(*wrapped, 2);
+
+  // All three stay independently usable.
+  EXPECT_TRUE(w.client_->Bind(*first, 5001).ok());
+  EXPECT_TRUE(w.client_->Bind(*top, 5002).ok());
+  EXPECT_TRUE(w.client_->Bind(*wrapped, 5003).ok());
+  EXPECT_TRUE(w.client_->Close(*first).ok());
+  EXPECT_TRUE(w.client_->Close(*top).ok());
+  EXPECT_TRUE(w.client_->Close(*wrapped).ok());
+}
+
+// Concurrent Close against in-flight traffic: the control-block liveness
+// protocol must turn use-after-close races into clean kEBADF, never crashes.
+TEST_P(NetConcurrencyTest, CloseRacesWithTrafficAreClean) {
+  TwoHostWorld w(GetParam());
+  auto srv = w.server_->Socket(kProtoUdp);
+  ASSERT_TRUE(srv.ok());
+  ASSERT_TRUE(w.server_->Bind(*srv, 4200).ok());
+
+  constexpr int kIters = 50;
+  for (int i = 0; i < kIters; ++i) {
+    auto s = w.client_->Socket(kProtoUdp);
+    ASSERT_TRUE(s.ok());
+    std::thread sender([&] {
+      for (int j = 0; j < 20; ++j) {
+        // kEBADF once the closer wins the race is the expected outcome.
+        w.client_->SendTo(*s, NetAddr{kServerIp, 4200}, BytesFromString("x"));
+      }
+    });
+    std::thread closer([&] { w.client_->Close(*s); });
+    sender.join();
+    closer.join();
+    // The id is dead afterwards regardless of who won.
+    EXPECT_EQ(w.client_->SendTo(*s, NetAddr{kServerIp, 4200}, BytesFromString("y")).code(),
+              Errno::kEBADF);
+  }
+  // Drain whatever made it through; queue must be intact.
+  while (w.server_->RecvFrom(*srv).ok()) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStacks, NetConcurrencyTest,
+                         ::testing::Values(StackKind::kMonolithic, StackKind::kModular),
+                         [](const auto& suite_info) {
+                           return suite_info.param == StackKind::kMonolithic ? "Monolithic"
+                                                                             : "Modular";
+                         });
+
+}  // namespace
+}  // namespace skern

@@ -51,7 +51,13 @@ TEST_P(NetSweepTest, TcpDeliversEverythingInOrder) {
   ASSERT_TRUE(conn.ok());
   Rng rng(params.seed * 13 + 1);
   Bytes blob = rng.NextBytes(12'000);
-  ASSERT_TRUE(client->Send(*cs, ByteView(blob)).ok());
+  // Chunked sends keep the wire packet count high on both engines — the
+  // chain engine would otherwise emit one jumbo segment (LSO) and give the
+  // loss adversary almost nothing to roll against.
+  for (size_t off = 0; off < blob.size(); off += 1000) {
+    ASSERT_TRUE(client->Send(*cs, ByteView(blob).Subview(off, 1000)).ok());
+    clock.Advance(kSecond);
+  }
   clock.Advance(300 * kSecond);
 
   Bytes received;

@@ -843,6 +843,17 @@ std::vector<Finding> LintFile(const std::string& virtual_path, const std::string
                           "raw " + tok.text + " outside src/base/bytes.h",
                           "go through Bytes/MutableByteView so sizes stay checked"});
     }
+    // B001: BufChain::RawSegment() hands out the refcounted backing storage —
+    // the zero-copy plane's own escape hatch. Outside src/net, payload access
+    // goes through the view API, so a segment pointer can never outlive the
+    // chain that owns it.
+    if (module != "src/net" && !grandfathered && tok.text == "RawSegment" &&
+        (prev == "." || prev == "->") && i + 1 < tokens.size() && tokens[i + 1].text == "(") {
+      findings.push_back({virtual_path, tok.line, "B001",
+                          "raw BufChain segment access outside src/net",
+                          "read payloads through ForEachView()/CopyTo()/PopBytes(); segment "
+                          "storage must not escape the stack"});
+    }
   }
 
   // --- O001: observability-plane hygiene ---

@@ -97,6 +97,12 @@ TEST(SafetyLintFixtures, RawMemcpyFlagged) {
   EXPECT_EQ(counts["P004"], 1);
 }
 
+TEST(SafetyLintFixtures, BufChainSegmentEscapeFlagged) {
+  auto counts = LintFixture("bad_bufchain_escape.cc");
+  EXPECT_EQ(counts["B001"], 2);  // `.RawSegment(` and `->RawSegment(`; the
+                                 // ForEachView read passes
+}
+
 TEST(SafetyLintFixtures, UnguardedFieldAccessFlagged) {
   auto counts = LintFixture("bad_guarded.cc");
   // Exactly the one BadRead access; the guarded/asserted/REQUIRES methods

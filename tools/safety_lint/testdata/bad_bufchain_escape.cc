@@ -1,0 +1,19 @@
+// lint-as: src/fs/bad_bufchain_escape.cc
+// Fixture: BufChain raw segment access outside src/net.
+// Expect: B001 twice (value and pointer receiver); the view-API reads pass.
+
+#include "src/net/buf_chain.h"
+
+unsigned long PeekFirstSegment(const skern::BufChain& chain) {
+  return chain.RawSegment(0).len;  // escapes the refcounted storage
+}
+
+const void* StashSegment(const skern::BufChain* chain) {
+  return chain->RawSegment(0).data.get();
+}
+
+unsigned long SumThroughViews(const skern::BufChain& chain) {
+  unsigned long total = 0;
+  chain.ForEachView([&total](skern::ByteView view) { total += view.size(); });
+  return total;
+}
