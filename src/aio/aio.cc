@@ -87,15 +87,19 @@ void AioQueue::ExecuteReady() {
     // per-op round trip" the submission ring exists for.
     if (exec_ops_[i].kind == AioOpKind::kWrite) {
       size_t end = i + 1;
+      // A coalesced run must share one credential as well as one fd: the
+      // whole run is checked once against the first op's identity.
       while (end < exec_ops_.size() && exec_ops_[end].kind == AioOpKind::kWrite &&
-             exec_ops_[end].fd == exec_ops_[i].fd) {
+             exec_ops_[end].fd == exec_ops_[i].fd &&
+             exec_ops_[end].cred == exec_ops_[i].cred) {
         ++end;
       }
       Vfs::OpenFile* file = nullptr;
       if (end - i > 1) {
         file = ResolveFd(exec_ops_[i].fd, batch_fds);
       }
-      if (file != nullptr && (file->flags & kOpenWrite) != 0) {
+      if (file != nullptr && (file->flags & kOpenWrite) != 0 &&
+          vfs_.CheckFileAccess(*file, exec_ops_[i].cred, kWantWrite).ok()) {
         exec_slices_.clear();
         for (size_t k = i; k < end; ++k) {
           exec_slices_.push_back({exec_ops_[k].offset, exec_ops_[k].WritePayload()});
@@ -150,6 +154,46 @@ Vfs::OpenFile* AioQueue::ResolveFd(Fd fd, BatchFds& batch_fds) {
   return batch_fds.back().second.get();
 }
 
+AioCompletion AioQueue::ExecuteRead(const AioOp& op, Vfs::OpenFile& file) {
+  AioCompletion done;
+  done.user_data = op.user_data;
+  if ((file.flags & kOpenRead) == 0) {
+    done.error = Errno::kEBADF;
+    return done;
+  }
+  Status perm = vfs_.CheckFileAccess(file, op.cred, kWantRead);
+  if (!perm.ok()) {
+    done.error = perm.code();
+    return done;
+  }
+  vfs_.counters_.reads.fetch_add(1, std::memory_order_relaxed);
+  auto out = vfs_.DispatchRead(file, op.offset, op.length);
+  if (out.ok()) {
+    done.data = std::move(*out);
+  } else {
+    done.error = out.error();
+  }
+  return done;
+}
+
+AioCompletion AioQueue::ExecuteWrite(const AioOp& op, Vfs::OpenFile& file) {
+  AioCompletion done;
+  done.user_data = op.user_data;
+  if ((file.flags & kOpenWrite) == 0) {
+    done.error = Errno::kEBADF;
+    return done;
+  }
+  Status perm = vfs_.CheckFileAccess(file, op.cred, kWantWrite);
+  if (!perm.ok()) {
+    done.error = perm.code();
+    return done;
+  }
+  vfs_.counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  Status out = vfs_.DispatchWrite(file, op.offset, op.WritePayload());
+  done.error = out.code();
+  return done;
+}
+
 AioCompletion AioQueue::Execute(const AioOp& op, BatchFds& batch_fds) {
   AioCompletion done;
   done.user_data = op.user_data;
@@ -160,30 +204,10 @@ AioCompletion AioQueue::Execute(const AioOp& op, BatchFds& batch_fds) {
   }
   vfs_.counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   switch (op.kind) {
-    case AioOpKind::kRead: {
-      if ((file->flags & kOpenRead) == 0) {
-        done.error = Errno::kEBADF;
-        return done;
-      }
-      vfs_.counters_.reads.fetch_add(1, std::memory_order_relaxed);
-      auto out = vfs_.DispatchRead(*file, op.offset, op.length);
-      if (out.ok()) {
-        done.data = std::move(*out);
-      } else {
-        done.error = out.error();
-      }
-      return done;
-    }
-    case AioOpKind::kWrite: {
-      if ((file->flags & kOpenWrite) == 0) {
-        done.error = Errno::kEBADF;
-        return done;
-      }
-      vfs_.counters_.writes.fetch_add(1, std::memory_order_relaxed);
-      Status out = vfs_.DispatchWrite(*file, op.offset, op.WritePayload());
-      done.error = out.code();
-      return done;
-    }
+    case AioOpKind::kRead:
+      return ExecuteRead(op, *file);
+    case AioOpKind::kWrite:
+      return ExecuteWrite(op, *file);
     case AioOpKind::kFsync: {
       Status out;
       if (file->handle != kInvalidHandle) {

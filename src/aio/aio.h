@@ -33,6 +33,7 @@
 
 #include "src/aio/ring.h"
 #include "src/base/bytes.h"
+#include "src/base/cred.h"
 #include "src/base/result.h"
 #include "src/base/status.h"
 #include "src/sync/kthread.h"
@@ -59,6 +60,12 @@ struct AioOp {
   // `data`.
   ByteView view;
   uint64_t user_data = 0;  // opaque cookie, returned in the completion
+  // The submitter's credential, captured when the op is constructed (i.e. at
+  // Enqueue on the application thread). The executor — possibly an engine
+  // worker running as root — checks file access against *this* identity, so
+  // the async plane can never be used to launder a denied operation through
+  // a more privileged worker thread.
+  Cred cred = CurrentCred();
 
   ByteView WritePayload() const { return view.empty() ? ByteView(data) : view; }
 };
@@ -123,8 +130,10 @@ class AioQueue {
   // Executor side: drains the submission ring, executing each op and
   // pushing its completion. Called by Submit (inline) or the bound engine
   // worker — never both; `executor_lock_` documents and enforces the
-  // single-executor invariant cheaply.
-  void ExecuteReady();
+  // single-executor invariant cheaply. An SKERN_ENTRY like the syscalls: the
+  // async plane is the second door into the descriptor table, and every op
+  // is checked against its captured submitter credential before dispatch.
+  SKERN_ENTRY void ExecuteReady();
 
   // Per-batch descriptor cache: fd -> resolution (null = EBADF, cached
   // too, so a bad fd costs one lookup per batch, same as one syscall).
@@ -134,7 +143,12 @@ class AioQueue {
   // the rest of the batch); null = EBADF.
   Vfs::OpenFile* ResolveFd(Fd fd, BatchFds& batch_fds);
 
-  AioCompletion Execute(const AioOp& op, BatchFds& batch_fds);
+  SKERN_ENTRY AioCompletion Execute(const AioOp& op, BatchFds& batch_fds);
+  // Per-kind executors, each gating on CheckFileAccess(op.cred, want) before
+  // touching the data plane (split so the access analysis sees one check →
+  // one accessor mask per path).
+  AioCompletion ExecuteRead(const AioOp& op, Vfs::OpenFile& file);
+  AioCompletion ExecuteWrite(const AioOp& op, Vfs::OpenFile& file);
   void Complete(AioCompletion done);
 
   Vfs& vfs_;

@@ -1,0 +1,39 @@
+#include "src/base/cred.h"
+
+namespace skern {
+namespace {
+
+thread_local Cred g_current_cred = Cred::Root();
+
+}  // namespace
+
+const Cred& CurrentCred() { return g_current_cred; }
+
+ScopedCred::ScopedCred(const Cred& cred) : saved_(g_current_cred) {
+  g_current_cred = cred;
+}
+
+ScopedCred::~ScopedCred() { g_current_cred = saved_; }
+
+Status CheckPermission(const Cred& cred, uint32_t mode, uint32_t uid, uint32_t gid,
+                       uint32_t want) {
+  if (cred.HasCap(kCapDacOverride)) return Status::Ok();
+  uint32_t triad;
+  if (cred.uid == uid) {
+    triad = (mode >> 6) & 7u;
+  } else if (cred.gid == gid) {
+    triad = (mode >> 3) & 7u;
+  } else {
+    triad = mode & 7u;
+  }
+  if ((want & triad) != want) return Status::Error(Errno::kEACCES);
+  return Status::Ok();
+}
+
+Status CheckOwner(const Cred& cred, uint32_t uid) {
+  if (cred.HasCap(kCapFowner)) return Status::Ok();
+  if (cred.uid == uid) return Status::Ok();
+  return Status::Error(Errno::kEPERM);
+}
+
+}  // namespace skern

@@ -1,0 +1,89 @@
+// Credentials: who is asking, and what may they do.
+//
+// The paper's §2 bug study attributes roughly a quarter of kernel CVEs to
+// access-control errors — checks that are missing, inconsistent, or applied
+// to the wrong subject. This module gives that CWE class a home: a POSIX-ish
+// `Cred{uid, gid, caps}` carried per thread, the DAC permission predicate
+// (`CheckPermission`), and the ownership predicate (`CheckOwner`).
+//
+// Design notes:
+//   * The current credential is thread-local and defaults to root with all
+//     capabilities, so existing single-actor tests and benchmarks keep their
+//     exact behavior; only code that installs a ScopedCred sees denials.
+//   * Layering: this lives in src/base (layer 1) so the CVE corpus (layer 3),
+//     the VFS (layer 4), and core (layer 5) can all use one Cred type.
+//   * kCapDacOverride is the fast-path escape: Vfs check helpers short-circuit
+//     before dispatching any Stat, so the root-credential hot paths gain no
+//     extra filesystem round-trips (the perf-smoke gates stay honest).
+#ifndef SKERN_SRC_BASE_CRED_H_
+#define SKERN_SRC_BASE_CRED_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+
+namespace skern {
+
+// Permission "want" bits, matching the POSIX rwx triad order (low three bits
+// of a mode triad: r=4, w=2, x=1). The safety_lint access analyzer reads
+// these token names at check call sites to compute per-path masks.
+inline constexpr uint32_t kWantExec = 1;
+inline constexpr uint32_t kWantWrite = 2;
+inline constexpr uint32_t kWantRead = 4;
+
+// Capabilities (a deliberately tiny subset of the Linux set).
+inline constexpr uint32_t kCapChown = 1u << 0;        // may change file owners
+inline constexpr uint32_t kCapDacOverride = 1u << 1;  // bypasses mode checks
+inline constexpr uint32_t kCapFowner = 1u << 2;       // owner-ops on any file
+inline constexpr uint32_t kCapAll = kCapChown | kCapDacOverride | kCapFowner;
+
+struct Cred {
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint32_t caps = kCapAll;
+
+  bool HasCap(uint32_t cap) const { return (caps & cap) == cap; }
+
+  static Cred Root() { return Cred{0, 0, kCapAll}; }
+  static Cred User(uint32_t uid, uint32_t gid) { return Cred{uid, gid, 0}; }
+
+  friend bool operator==(const Cred& a, const Cred& b) {
+    return a.uid == b.uid && a.gid == b.gid && a.caps == b.caps;
+  }
+  friend bool operator!=(const Cred& a, const Cred& b) { return !(a == b); }
+};
+
+// The calling thread's current credential. Defaults to Root() — a thread
+// that never installs a ScopedCred behaves exactly as before this subsystem
+// existed. The aio plane captures this at Enqueue so worker threads execute
+// with the submitter's identity, not their own.
+const Cred& CurrentCred();
+
+// RAII credential switch: installs `cred` for the current thread and
+// restores the previous credential on destruction. Nests.
+class ScopedCred {
+ public:
+  explicit ScopedCred(const Cred& cred);
+  ~ScopedCred();
+
+  ScopedCred(const ScopedCred&) = delete;
+  ScopedCred& operator=(const ScopedCred&) = delete;
+
+ private:
+  Cred saved_;
+};
+
+// POSIX DAC check: selects the owner/group/other triad of `mode` for `cred`
+// and requires every bit of `want` to be present. kCapDacOverride passes
+// unconditionally. Returns kEACCES on denial.
+Status CheckPermission(const Cred& cred, uint32_t mode, uint32_t uid, uint32_t gid,
+                       uint32_t want);
+
+// Ownership check (chmod and friends): the caller must own the file or hold
+// kCapFowner. Returns kEPERM on denial — ownership failures are "operation
+// not permitted", not "permission denied", matching POSIX errno semantics.
+Status CheckOwner(const Cred& cred, uint32_t uid);
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BASE_CRED_H_

@@ -1,0 +1,30 @@
+#include "src/core/process.h"
+
+namespace skern {
+
+std::shared_ptr<Process> ProcessTable::Spawn(const std::string& name, const Cred& cred) {
+  MutexGuard guard(mutex_);
+  auto proc = std::make_shared<Process>();
+  proc->pid = next_pid_++;
+  proc->name = name;
+  proc->cred = cred;
+  procs_.push_back(proc);
+  return proc;
+}
+
+std::shared_ptr<Process> ProcessTable::Find(uint64_t pid) const {
+  MutexGuard guard(mutex_);
+  for (const auto& proc : procs_) {
+    if (proc->pid == pid) {
+      return proc;
+    }
+  }
+  return nullptr;
+}
+
+size_t ProcessTable::Count() const {
+  MutexGuard guard(mutex_);
+  return procs_.size();
+}
+
+}  // namespace skern

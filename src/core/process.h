@@ -1,0 +1,59 @@
+// Per-"process" execution context: the subject side of the credential model.
+//
+// This kernel has no real processes — workloads are threads — so a Process
+// here is the minimal subject record access control needs: a pid, a name for
+// diagnostics, and the Cred that every Vfs syscall issued on its behalf is
+// checked against. ProcessScope binds a process to the current thread for a
+// region (RAII, nests), which is how the workload driver and tests run
+// sections "as" an unprivileged user; the aio plane captures the same
+// credential at Enqueue so completions keep the submitter's identity.
+#ifndef SKERN_SRC_CORE_PROCESS_H_
+#define SKERN_SRC_CORE_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/cred.h"
+#include "src/sync/mutex.h"
+
+namespace skern {
+
+struct Process {
+  uint64_t pid = 0;
+  std::string name;
+  Cred cred;
+};
+
+// Owns Process records and hands out pids. Threads do not register here —
+// the table is bookkeeping for tests and future scheduling work; the binding
+// that matters is ProcessScope's thread-local credential install.
+class ProcessTable {
+ public:
+  // Spawns a process record with the given identity. The returned pointer
+  // stays valid for the table's lifetime.
+  std::shared_ptr<Process> Spawn(const std::string& name, const Cred& cred);
+
+  std::shared_ptr<Process> Find(uint64_t pid) const;
+  size_t Count() const;
+
+ private:
+  mutable TrackedMutex mutex_{"core.proctable"};
+  std::vector<std::shared_ptr<Process>> procs_ SKERN_GUARDED_BY(mutex_);
+  uint64_t next_pid_ SKERN_GUARDED_BY(mutex_) = 1;
+};
+
+// Runs the enclosing scope with `process`'s credential on this thread.
+class ProcessScope {
+ public:
+  explicit ProcessScope(const Process& process) : cred_scope_(process.cred) {}
+  explicit ProcessScope(const Cred& cred) : cred_scope_(cred) {}
+
+ private:
+  ScopedCred cred_scope_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CORE_PROCESS_H_

@@ -1,0 +1,70 @@
+#include "src/cve/accessctl.h"
+
+namespace skern {
+
+const char* AccessVariantName(AccessVariant v) {
+  switch (v) {
+    case AccessVariant::kFixed:
+      return "fixed";
+    case AccessVariant::kMissingCheck:
+      return "missing-check";
+    case AccessVariant::kWeakCheck:
+      return "weak-check";
+  }
+  return "?";
+}
+
+void SettingsStore::Put(int index, int value) {
+  slots_[static_cast<size_t>(index) % slots_.size()] = value;
+}
+
+int SettingsStore::Fetch(int index) const {
+  return slots_[static_cast<size_t>(index) % slots_.size()];
+}
+
+Status SettingsDevice::Write(AccessVariant variant, int index, int value) {
+  switch (variant) {
+    case AccessVariant::kFixed:
+      return WriteFixed(index, value);
+    case AccessVariant::kMissingCheck:
+      return WriteMissingCheck(index, value);
+    case AccessVariant::kWeakCheck:
+      return WriteWeakCheck(index, value);
+  }
+  return Status::Error(Errno::kEINVAL);
+}
+
+Result<int> SettingsDevice::Read(int index) const {
+  SKERN_RETURN_IF_ERROR(
+      CheckPermission(CurrentCred(), store_.mode(), store_.uid(), store_.gid(), kWantRead));
+  return store_.Fetch(index);
+}
+
+// The correct shape: a settings write is a read-modify-write of device state,
+// so the governing mask is read|write.
+Status SettingsDevice::WriteFixed(int index, int value) {
+  SKERN_RETURN_IF_ERROR(CheckPermission(CurrentCred(), store_.mode(), store_.uid(),
+                                        store_.gid(), kWantRead | kWantWrite));
+  store_.Put(index, value);
+  return Status::Ok();
+}
+
+// CVE shape 1 — missing check: dispatches straight to the accessor. When this
+// body carries SKERN_ENTRY (testdata/cve_accessctl.cc), A001 flags the
+// store_.Put line.
+Status SettingsDevice::WriteMissingCheck(int index, int value) {
+  store_.Put(index, value);
+  return Status::Ok();
+}
+
+// CVE shape 2 — weaker check: validates only read access before a mutation.
+// When annotated, A002 flags this site because {read} is a strict subset of
+// WriteFixed's {read|write} for the same accessor.
+Status SettingsDevice::WriteWeakCheck(int index, int value) {
+  SKERN_RETURN_IF_ERROR(
+      CheckPermission(CurrentCred(), store_.mode(), store_.uid(), store_.gid(), kWantRead));
+  store_.Put(index, value);
+  return Status::Ok();
+}
+
+}  // namespace skern

@@ -1,0 +1,91 @@
+// Executable access-control CVE exhibit: the two bug shapes the paper's §2
+// study files under "permission check errors", reproduced as running code
+// against the real Cred/CheckPermission machinery.
+//
+// The exhibit is a tiny ioctl-style settings device. Its backing store is an
+// SKERN_PROTECTED accessor; three write paths reach it:
+//
+//   * WriteFixed       — SKERN_ENTRY; checks read|write before mutating.
+//                        The correct shape; the A001/A002 analysis passes it.
+//   * WriteMissingCheck — mutates with NO permission check (the
+//                        CVE-2016-10044 shape: an alternate entry point skips
+//                        the DAC check the primary path performs).
+//   * WriteWeakCheck   — checks only kWantRead before a mutation (the
+//                        weaker-check shape: a later path validates a strict
+//                        subset of what the original path validates).
+//
+// The vulnerable pair is deliberately NOT annotated SKERN_ENTRY here:
+// annotating them flips the tree-wide lint red, which is exactly what
+// tools/safety_lint/testdata/cve_accessctl.cc demonstrates — that fixture is
+// a literal annotated copy of these bodies, and access_test asserts A001 and
+// A002 each fire on it. tests/cve_test.cc proves the same pair dynamically:
+// an unprivileged credential is denied by the fixed path (EACCES) and slips
+// through both vulnerable paths.
+#ifndef SKERN_SRC_CVE_ACCESSCTL_H_
+#define SKERN_SRC_CVE_ACCESSCTL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/cred.h"
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/sync/annotations.h"
+
+namespace skern {
+
+// Which write path a caller exercises; tests iterate over all three.
+enum class AccessVariant : uint8_t {
+  kFixed = 0,
+  kMissingCheck = 1,
+  kWeakCheck = 2,
+};
+
+const char* AccessVariantName(AccessVariant v);
+
+// The permission-bearing backing store: a handful of integer settings plus
+// the owning uid/gid and a POSIX mode triad, like a character device inode.
+class SettingsStore {
+ public:
+  SettingsStore(uint32_t mode, uint32_t uid, uint32_t gid)
+      : mode_(mode), uid_(uid), gid_(gid) {}
+
+  uint32_t mode() const { return mode_; }
+  uint32_t uid() const { return uid_; }
+  uint32_t gid() const { return gid_; }
+
+  SKERN_PROTECTED void Put(int index, int value);
+  SKERN_PROTECTED int Fetch(int index) const;
+
+  static constexpr int kSlots = 8;
+
+ private:
+  uint32_t mode_;
+  uint32_t uid_;
+  uint32_t gid_;
+  std::array<int, kSlots> slots_{};
+};
+
+// The syscall-plane front end. Reads always check; writes dispatch to one of
+// the three shapes above.
+class SettingsDevice {
+ public:
+  // Defaults to a root-owned 0644 device: everyone may read, only the owner
+  // (or kCapDacOverride) may write — the classic misconfiguration target.
+  explicit SettingsDevice(uint32_t mode = 0644, uint32_t uid = 0, uint32_t gid = 0)
+      : store_(mode, uid, gid) {}
+
+  Status Write(AccessVariant variant, int index, int value);
+  SKERN_ENTRY Result<int> Read(int index) const;
+
+ private:
+  SKERN_ENTRY Status WriteFixed(int index, int value);
+  Status WriteMissingCheck(int index, int value);
+  Status WriteWeakCheck(int index, int value);
+
+  SettingsStore store_;
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_CVE_ACCESSCTL_H_

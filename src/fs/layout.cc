@@ -58,6 +58,8 @@ void EncodeInode(const DiskInode& inode, MutableByteView block, uint32_t slot) {
     LayoutPutU64(block, base + 16 + 8 * i, inode.direct[i]);
   }
   LayoutPutU64(block, base + 16 + 8 * kDirectBlocks, inode.indirect);
+  LayoutPutU32(block, base + 104, inode.uid);
+  LayoutPutU32(block, base + 108, inode.gid);
 }
 
 DiskInode DecodeInode(ByteView block, uint32_t slot) {
@@ -71,6 +73,8 @@ DiskInode DecodeInode(ByteView block, uint32_t slot) {
     inode.direct[i] = LayoutGetU64(block, base + 16 + 8 * i);
   }
   inode.indirect = LayoutGetU64(block, base + 16 + 8 * kDirectBlocks);
+  inode.uid = LayoutGetU32(block, base + 104);
+  inode.gid = LayoutGetU32(block, base + 108);
   return inode;
 }
 

@@ -45,9 +45,14 @@ inline constexpr uint32_t kMaxNameLen = 54;
 inline constexpr uint64_t kRootIno = 1;
 inline constexpr uint64_t kInvalidIno = 0;
 
-// Inode mode bits (subset of POSIX).
+// Inode mode bits (subset of POSIX). The low 9 bits are the rwx permission
+// triads; the type bits sit above them exactly like S_IFDIR/S_IFREG.
 inline constexpr uint32_t kModeDir = 0x4000;
 inline constexpr uint32_t kModeReg = 0x8000;
+inline constexpr uint32_t kModePermMask = 0777;
+// mkfs / create defaults (no umask in this kernel).
+inline constexpr uint32_t kDefaultFilePerm = 0644;
+inline constexpr uint32_t kDefaultDirPerm = 0755;
 
 struct FsGeometry {
   uint64_t total_blocks = 0;
@@ -63,17 +68,22 @@ struct FsGeometry {
 // `journal_blocks` at the end (0 for legacyfs).
 FsGeometry MakeGeometry(uint64_t total_blocks, uint64_t inode_count, uint64_t journal_blocks);
 
-// The on-disk inode record.
+// The on-disk inode record. uid/gid landed after the v1 format shipped; they
+// occupy previously-zero tail bytes of the 128-byte slot, so old images
+// decode as root-owned — exactly the pre-credential behavior.
 struct DiskInode {
-  uint32_t mode = 0;   // 0 = free slot
+  uint32_t mode = 0;   // 0 = free slot; type bits | permission triads
   uint32_t nlink = 0;
   uint64_t size = 0;
   uint64_t direct[kDirectBlocks] = {};
   uint64_t indirect = 0;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
 
   bool InUse() const { return mode != 0; }
   bool IsDir() const { return (mode & kModeDir) != 0; }
   bool IsReg() const { return (mode & kModeReg) != 0; }
+  uint32_t Perm() const { return mode & kModePermMask; }
 };
 
 // Serialization into/out of an inode-table block at the slot for `ino`.

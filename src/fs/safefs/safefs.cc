@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/base/cred.h"
 #include "src/base/panic.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -112,10 +113,12 @@ Result<std::shared_ptr<SafeFs>> SafeFs::Format(BlockDevice& device, uint64_t ino
   SKERN_RETURN_IF_ERROR(device.WriteBlock(kSuperblockBlock, ByteView(sb_block)));
   SKERN_RETURN_IF_ERROR(device.Flush());
 
-  // Root directory.
+  // Root directory: root-owned, 0755 — the mkfs defaults every Unix expects.
   DiskInode root;
-  root.mode = kModeDir;
+  root.mode = kModeDir | kDefaultDirPerm;
   root.nlink = 2;
+  root.uid = 0;
+  root.gid = 0;
   {
     MutexGuard guard(fs->mutex_);
     fs->inodes_[kRootIno] = root;
@@ -298,6 +301,9 @@ Result<uint64_t> SafeFs::AllocInode(uint32_t mode) {
       DiskInode inode;
       inode.mode = mode;
       inode.nlink = (mode & kModeDir) != 0 ? 2 : 1;
+      // New files belong to whoever the current thread is running as.
+      inode.uid = CurrentCred().uid;
+      inode.gid = CurrentCred().gid;
       inodes_[ino] = inode;
       dirty_inos_.insert(ino);
       cleared_inos_.erase(ino);
@@ -691,7 +697,7 @@ Status SafeFs::Create(const std::string& path) {
   if (w.ino != kInvalidIno) {
     return Status::Error(Errno::kEEXIST);
   }
-  SKERN_ASSIGN_OR_RETURN(uint64_t ino, AllocInode(kModeReg));
+  SKERN_ASSIGN_OR_RETURN(uint64_t ino, AllocInode(kModeReg | kDefaultFilePerm));
   Status s = DirAddEntry(w.parent_ino, w.leaf, ino);
   if (!s.ok()) {
     FreeInode(ino);
@@ -712,7 +718,7 @@ Status SafeFs::Mkdir(const std::string& path) {
   if (w.ino != kInvalidIno) {
     return Status::Error(Errno::kEEXIST);
   }
-  SKERN_ASSIGN_OR_RETURN(uint64_t ino, AllocInode(kModeDir));
+  SKERN_ASSIGN_OR_RETURN(uint64_t ino, AllocInode(kModeDir | kDefaultDirPerm));
   Status s = DirAddEntry(w.parent_ino, w.leaf, ino);
   if (!s.ok()) {
     FreeInode(ino);
@@ -1055,6 +1061,9 @@ Result<FileAttr> SafeFs::Stat(const std::string& path) {
   FileAttr attr;
   attr.is_dir = inode.IsDir();
   attr.size = attr.is_dir ? 0 : inode.size;
+  attr.mode = inode.Perm();
+  attr.uid = inode.uid;
+  attr.gid = inode.gid;
   if (!attr.is_dir &&
       fault_.load(std::memory_order_relaxed) == SafeFsSemanticFault::kStatSizeOffByOne) {
     attr.size += 1;
@@ -1086,6 +1095,50 @@ Result<std::vector<std::string>> SafeFs::Readdir(const std::string& path) {
     names.pop_back();
   }
   return names;
+}
+
+Status SafeFs::Chmod(const std::string& path, uint32_t mode) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (w.ino == kInvalidIno) {
+    return Status::Error(Errno::kENOENT);
+  }
+  DiskInode& inode = InodeRef(w.ino);
+  inode.mode = (inode.mode & ~kModePermMask) | (mode & kModePermMask);
+  MarkInodeDirty(w.ino);
+  // Keep the lock-free StatHandle mirror current so open descriptors see the
+  // new bits on their very next access revalidation.
+  auto it = data_state_.find(w.ino);
+  if (it != data_state_.end()) {
+    WriteGuard dguard(it->second->rwlock);
+    it->second->cached_perm = inode.Perm();
+  }
+  return Status::Ok();
+}
+
+Status SafeFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
+  MutexGuard guard(mutex_);
+  ++stats_.ops;
+  SKERN_RETURN_IF_ERROR(DrainWriteBackLocked());
+  SKERN_ASSIGN_OR_RETURN(std::string p, specpath::Normalize(path));
+  SKERN_ASSIGN_OR_RETURN(WalkResult w, Walk(p));
+  if (w.ino == kInvalidIno) {
+    return Status::Error(Errno::kENOENT);
+  }
+  DiskInode& inode = InodeRef(w.ino);
+  inode.uid = uid;
+  inode.gid = gid;
+  MarkInodeDirty(w.ino);
+  auto it = data_state_.find(w.ino);
+  if (it != data_state_.end()) {
+    WriteGuard dguard(it->second->rwlock);
+    it->second->cached_uid = uid;
+    it->second->cached_gid = gid;
+  }
+  return Status::Ok();
 }
 
 Status SafeFs::Sync() {
@@ -1663,6 +1716,9 @@ void SafeFs::WarmBlockMapLocked(uint64_t ino, InodeDataState& ds) const {
   }
   ds.cached_size = inode.size;
   ds.has_indirect = inode.indirect != 0;
+  ds.cached_perm = inode.Perm();
+  ds.cached_uid = inode.uid;
+  ds.cached_gid = inode.gid;
   ds.warmed = true;
 }
 
@@ -1910,6 +1966,9 @@ Result<FileAttr> SafeFs::StatHandle(InodeHandle handle) {
         FileAttr attr;
         attr.is_dir = false;
         attr.size = ds->cached_size;
+        attr.mode = ds->cached_perm;
+        attr.uid = ds->cached_uid;
+        attr.gid = ds->cached_gid;
         if (fault_.load(std::memory_order_relaxed) ==
             SafeFsSemanticFault::kStatSizeOffByOne) {
           attr.size += 1;
@@ -1935,9 +1994,13 @@ Result<FileAttr> SafeFs::StatHandle(InodeHandle handle) {
   }
   // Handles only ever pin regular files; mirror Stat's regular-file branch,
   // injected fault included.
+  const DiskInode& inode = inodes_.at(ino);
   FileAttr attr;
   attr.is_dir = false;
-  attr.size = inodes_.at(ino).size;
+  attr.size = inode.size;
+  attr.mode = inode.Perm();
+  attr.uid = inode.uid;
+  attr.gid = inode.gid;
   if (fault_.load(std::memory_order_relaxed) == SafeFsSemanticFault::kStatSizeOffByOne) {
     attr.size += 1;
   }

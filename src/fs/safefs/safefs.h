@@ -112,6 +112,10 @@ class SafeFs : public FileSystem {
   Status Rename(const std::string& from, const std::string& to) override;
   Result<FileAttr> Stat(const std::string& path) override;
   Result<std::vector<std::string>> Readdir(const std::string& path) override;
+  // Permission bits and ownership persist in the on-disk inode (tail bytes of
+  // the 128-byte slot; old images decode root-owned 0644/0755 equivalents).
+  Status Chmod(const std::string& path, uint32_t mode) override;
+  Status Chown(const std::string& path, uint32_t uid, uint32_t gid) override;
   Status Sync() override;
   Status Fsync(const std::string& path) override;
   std::string Name() const override { return "safefs"; }
@@ -287,6 +291,12 @@ class SafeFs : public FileSystem {
     std::unordered_map<uint64_t, uint64_t> block_map SKERN_GUARDED_BY(rwlock);
     uint64_t cached_size SKERN_GUARDED_BY(rwlock) = 0;
     bool warmed SKERN_GUARDED_BY(rwlock) = false;
+    // Permission/ownership mirror (valid while warmed), so the StatHandle
+    // fast path — and through it the Vfs per-I/O access revalidation — never
+    // touches mutex_. Chmod/Chown update it in place under rwlock.
+    uint32_t cached_perm SKERN_GUARDED_BY(rwlock) = kDefaultFilePerm;
+    uint32_t cached_uid SKERN_GUARDED_BY(rwlock) = 0;
+    uint32_t cached_gid SKERN_GUARDED_BY(rwlock) = 0;
     // Epoch the inode's staged data joins at the next successful sync; while
     // write_epoch > syncs_completed_ the device image is stale and reads
     // must go through staged_ under mutex_.

@@ -149,10 +149,16 @@ Result<FileAttr> SpecFs::Stat(const std::string& path) {
     return impl;
   }
   Result<ModelAttr> spec_attr = model_.Stat(path);
-  Result<FileAttr> spec = spec_attr.ok()
-                              ? Result<FileAttr>(FileAttr{spec_attr->is_dir, spec_attr->size})
-                              : Result<FileAttr>(spec_attr.error());
-  CheckRefinement("stat(" + path + ")", spec, impl);
+  if (spec_attr.ok()) {
+    // The spec model carries no ownership state, so mirror the impl's
+    // mode/uid/gid before comparing: refinement is about namespace + data.
+    FileAttr mapped;
+    mapped.is_dir = spec_attr->is_dir;
+    mapped.size = spec_attr->size;
+    CheckRefinement("stat(" + path + ")", Result<FileAttr>(mapped), impl);
+  } else {
+    CheckRefinement("stat(" + path + ")", Result<FileAttr>(spec_attr.error()), impl);
+  }
   return impl;
 }
 

@@ -79,4 +79,27 @@
 // tally so escapes stay visible.
 #define SKERN_NO_TSA SKERN_TS_ATTR(no_thread_safety_analysis)
 
+// --- access-control analysis markers (safety_lint rules A001/A002) ---
+//
+// These three expand to nothing under every compiler; they exist so the
+// interprocedural pass in tools/safety_lint can build a call graph whose
+// roots and sinks are explicit rather than conventional (the Asterinas
+// lesson: authority boundaries should be machine-checkable).
+
+// Marks a syscall-style entry point (the Vfs boundary). Every call path from
+// an entry to a protected accessor must pass through a permission check
+// (rule A001) and must not reach the same accessor with weaker `want` bits
+// than a sibling path does (rule A002).
+#define SKERN_ENTRY
+
+// Marks a protected resource accessor (inode/handle mutators on the
+// FileSystem interface). Placed on the declaration; the analyzer matches
+// member-syntax calls to the annotated name.
+#define SKERN_PROTECTED
+
+// Escape hatch: this entry point intentionally performs no permission check
+// (e.g. Close/Seek, which touch no protected resource). Tallied by the lint
+// like SKERN_NO_TSA escapes so exemptions stay visible.
+#define SKERN_NO_ACCESS_CHECK
+
 #endif  // SKERN_SRC_SYNC_ANNOTATIONS_H_

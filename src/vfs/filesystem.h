@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/cred.h"
 #include "src/base/result.h"
 #include "src/base/status.h"
+#include "src/sync/annotations.h"
 
 namespace skern {
 
@@ -30,10 +32,25 @@ struct FileAttr {
   bool is_dir = false;
   uint64_t size = 0;
 
+  // Ownership and permission bits (low 9 bits, POSIX triads). Path-only file
+  // systems that predate the credential model (memfs, legacyfs, procfs) leave
+  // the defaults — world-accessible, root-owned — which preserves their exact
+  // pre-credential behavior. operator== deliberately ignores these: the
+  // refinement/differential suites compare namespace shape and data, and the
+  // spec model carries no ownership state.
+  uint32_t mode = 0777;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+
   friend bool operator==(const FileAttr& a, const FileAttr& b) {
     return a.is_dir == b.is_dir && a.size == b.size;
   }
 };
+
+// DAC check against a stat result; see src/base/cred.h for the base form.
+inline Status CheckPermission(const Cred& cred, const FileAttr& attr, uint32_t want) {
+  return CheckPermission(cred, attr.mode, attr.uid, attr.gid, want);
+}
 
 // Opaque per-open handle for the fd data plane. A handle pins the *path* the
 // descriptor was opened with — not the inode — so handle I/O stays observably
@@ -56,24 +73,44 @@ class FileSystem {
  public:
   virtual ~FileSystem() = default;
 
+  // The SKERN_PROTECTED methods below are the resource accessors of the
+  // access-control analysis (safety_lint rules A001/A002): every call path
+  // from an SKERN_ENTRY function (the Vfs boundary) to one of these must
+  // pass through a permission check first.
+
   // Creates an empty regular file. kEEXIST if anything is already there.
-  virtual Status Create(const std::string& path) = 0;
-  virtual Status Mkdir(const std::string& path) = 0;
-  virtual Status Unlink(const std::string& path) = 0;
-  virtual Status Rmdir(const std::string& path) = 0;
+  SKERN_PROTECTED virtual Status Create(const std::string& path) = 0;
+  SKERN_PROTECTED virtual Status Mkdir(const std::string& path) = 0;
+  SKERN_PROTECTED virtual Status Unlink(const std::string& path) = 0;
+  SKERN_PROTECTED virtual Status Rmdir(const std::string& path) = 0;
 
   // Writes all of `data` at `offset`, zero-filling any gap beyond EOF.
-  virtual Status Write(const std::string& path, uint64_t offset, ByteView data) = 0;
+  SKERN_PROTECTED virtual Status Write(const std::string& path, uint64_t offset,
+                                       ByteView data) = 0;
 
   // Reads up to `length` bytes at `offset`; short reads only at EOF.
-  virtual Result<Bytes> Read(const std::string& path, uint64_t offset, uint64_t length) = 0;
+  SKERN_PROTECTED virtual Result<Bytes> Read(const std::string& path, uint64_t offset,
+                                             uint64_t length) = 0;
 
-  virtual Status Truncate(const std::string& path, uint64_t new_size) = 0;
-  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  SKERN_PROTECTED virtual Status Truncate(const std::string& path, uint64_t new_size) = 0;
+  SKERN_PROTECTED virtual Status Rename(const std::string& from, const std::string& to) = 0;
   virtual Result<FileAttr> Stat(const std::string& path) = 0;
 
   // Immediate children names, sorted.
-  virtual Result<std::vector<std::string>> Readdir(const std::string& path) = 0;
+  SKERN_PROTECTED virtual Result<std::vector<std::string>> Readdir(const std::string& path) = 0;
+
+  // Permission/ownership mutation. Implementations persist the low 9 mode
+  // bits and the owner ids; the default is kENOSYS so path-only file systems
+  // stay source-compatible (the Vfs surfaces that as-is — chmod on memfs is
+  // simply unsupported, like handle I/O).
+  SKERN_PROTECTED virtual Status Chmod(const std::string& path, uint32_t mode) {
+    (void)path, (void)mode;
+    return Status::Error(Errno::kENOSYS);
+  }
+  SKERN_PROTECTED virtual Status Chown(const std::string& path, uint32_t uid, uint32_t gid) {
+    (void)path, (void)uid, (void)gid;
+    return Status::Error(Errno::kENOSYS);
+  }
 
   // Durability: everything completed before Sync survives a crash.
   virtual Status Sync() = 0;
@@ -98,7 +135,7 @@ class FileSystem {
 
   // Pins `path` (a normalized absolute path to an existing regular file) and
   // returns a handle for it. kEISDIR for directories.
-  virtual Result<InodeHandle> OpenByPath(const std::string& path) {
+  SKERN_PROTECTED virtual Result<InodeHandle> OpenByPath(const std::string& path) {
     (void)path;
     return Errno::kENOSYS;
   }
@@ -107,13 +144,14 @@ class FileSystem {
   virtual void CloseHandle(InodeHandle handle) { (void)handle; }
 
   // Reads up to `length` bytes at `offset`; short reads only at EOF.
-  virtual Result<Bytes> ReadAt(InodeHandle handle, uint64_t offset, uint64_t length) {
+  SKERN_PROTECTED virtual Result<Bytes> ReadAt(InodeHandle handle, uint64_t offset,
+                                               uint64_t length) {
     (void)handle, (void)offset, (void)length;
     return Errno::kENOSYS;
   }
 
   // Writes all of `data` at `offset`, zero-filling any gap beyond EOF.
-  virtual Status WriteAt(InodeHandle handle, uint64_t offset, ByteView data) {
+  SKERN_PROTECTED virtual Status WriteAt(InodeHandle handle, uint64_t offset, ByteView data) {
     (void)handle, (void)offset, (void)data;
     return Status::Error(Errno::kENOSYS);
   }
@@ -125,8 +163,8 @@ class FileSystem {
   // through WriteAt, which reproduces the per-op result. This is purely an
   // amortization surface for the async submission plane: one handle
   // resolution and one lock round-trip cover a whole submission-ring run.
-  virtual Result<size_t> WriteAtBatch(InodeHandle handle, const WriteSlice* slices,
-                                      size_t count) {
+  SKERN_PROTECTED virtual Result<size_t> WriteAtBatch(InodeHandle handle,
+                                                      const WriteSlice* slices, size_t count) {
     (void)handle, (void)slices, (void)count;
     return Errno::kENOSYS;
   }

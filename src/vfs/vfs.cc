@@ -1,5 +1,6 @@
 #include "src/vfs/vfs.h"
 
+#include "src/base/cred.h"
 #include "src/base/path.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -75,20 +76,67 @@ Result<Vfs::ResolvedPath> Vfs::Resolve(const std::string& path) const {
   }
   std::string inner = *best == "/" ? p : p.substr(best->size());
   if (inner.empty()) {
-    inner = "/";
+    inner.push_back('/');
   }
   return ResolvedPath{std::move(fs), std::move(inner)};
+}
+
+Status Vfs::CheckAttrAccess(const Cred& cred, const FileAttr& attr, uint32_t want) {
+  SKERN_COUNTER_INC("vfs.perm.checks");
+  Status st = CheckPermission(cred, attr, want);
+  if (!st.ok()) {
+    SKERN_COUNTER_INC("vfs.perm.denied");
+  }
+  return st;
+}
+
+Status Vfs::CheckPathAccess(const ResolvedPath& r, const Cred& cred, uint32_t want) {
+  if (cred.HasCap(kCapDacOverride)) {
+    return CheckAttrAccess(cred, FileAttr{}, want);  // counted; always passes
+  }
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  auto attr = r.fs->Stat(r.fs_path);
+  if (!attr.ok()) {
+    return Status::Error(attr.error());
+  }
+  return CheckAttrAccess(cred, *attr, want);
+}
+
+Status Vfs::CheckParentAccess(const ResolvedPath& r, const Cred& cred, uint32_t want) {
+  if (cred.HasCap(kCapDacOverride)) {
+    return CheckAttrAccess(cred, FileAttr{}, want);
+  }
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  auto attr = r.fs->Stat(specpath::Parent(r.fs_path));
+  if (!attr.ok()) {
+    return Status::Error(attr.error());
+  }
+  return CheckAttrAccess(cred, *attr, want);
+}
+
+Status Vfs::CheckFileAccess(OpenFile& file, const Cred& cred, uint32_t want) {
+  if (cred.HasCap(kCapDacOverride)) {
+    return CheckAttrAccess(cred, FileAttr{}, want);
+  }
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  auto attr = DispatchStat(file);
+  if (!attr.ok()) {
+    return Status::Error(attr.error());
+  }
+  return CheckAttrAccess(cred, *attr, want);
 }
 
 Status Vfs::Mkdir(const std::string& path) {
   SKERN_COUNTER_INC("vfs.mkdir.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  SKERN_RETURN_IF_ERROR(CheckParentAccess(r, CurrentCred(), kWantWrite));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Mkdir(r.fs_path);
 }
 
 Status Vfs::Rmdir(const std::string& path) {
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  SKERN_RETURN_IF_ERROR(CheckParentAccess(r, CurrentCred(), kWantWrite));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Rmdir(r.fs_path);
 }
@@ -96,6 +144,7 @@ Status Vfs::Rmdir(const std::string& path) {
 Status Vfs::Unlink(const std::string& path) {
   SKERN_COUNTER_INC("vfs.unlink.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  SKERN_RETURN_IF_ERROR(CheckParentAccess(r, CurrentCred(), kWantWrite));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Unlink(r.fs_path);
 }
@@ -106,6 +155,8 @@ Status Vfs::Rename(const std::string& from, const std::string& to) {
   if (rf.fs != rt.fs) {
     return Status::Error(Errno::kEXDEV);
   }
+  SKERN_RETURN_IF_ERROR(CheckParentAccess(rf, CurrentCred(), kWantWrite));
+  SKERN_RETURN_IF_ERROR(CheckParentAccess(rt, CurrentCred(), kWantWrite));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return rf.fs->Rename(rf.fs_path, rt.fs_path);
 }
@@ -113,20 +164,58 @@ Status Vfs::Rename(const std::string& from, const std::string& to) {
 Result<FileAttr> Vfs::Stat(const std::string& path) {
   SKERN_COUNTER_INC("vfs.stat.count");
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  // POSIX: stat needs search (+x) on the directory, not read on the target.
+  SKERN_RETURN_IF_ERROR(CheckParentAccess(r, CurrentCred(), kWantExec));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Stat(r.fs_path);
 }
 
 Result<std::vector<std::string>> Vfs::Readdir(const std::string& path) {
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  SKERN_RETURN_IF_ERROR(CheckPathAccess(r, CurrentCred(), kWantRead));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Readdir(r.fs_path);
 }
 
 Status Vfs::Truncate(const std::string& path, uint64_t size) {
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  SKERN_RETURN_IF_ERROR(CheckPathAccess(r, CurrentCred(), kWantWrite));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   return r.fs->Truncate(r.fs_path, size);
+}
+
+Status Vfs::Chmod(const std::string& path, uint32_t mode) {
+  SKERN_COUNTER_INC("vfs.chmod.count");
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  auto attr = r.fs->Stat(r.fs_path);
+  if (!attr.ok()) {
+    return Status::Error(attr.error());
+  }
+  // Only the owner (or kCapFowner) may change a file's mode — EPERM, not
+  // EACCES, on failure, mirroring POSIX chmod(2).
+  SKERN_COUNTER_INC("vfs.perm.checks");
+  Status owner = CheckOwner(CurrentCred(), attr->uid);
+  if (!owner.ok()) {
+    SKERN_COUNTER_INC("vfs.perm.denied");
+    return owner;
+  }
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  return r.fs->Chmod(r.fs_path, mode & 0777u);
+}
+
+Status Vfs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
+  SKERN_COUNTER_INC("vfs.chown.count");
+  SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  // Changing ownership is a privileged operation (kCapChown), like Linux
+  // without the "chown to self's groups" refinement.
+  SKERN_COUNTER_INC("vfs.perm.checks");
+  if (!CurrentCred().HasCap(kCapChown)) {
+    SKERN_COUNTER_INC("vfs.perm.denied");
+    return Status::Error(Errno::kEPERM);
+  }
+  counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
+  return r.fs->Chown(r.fs_path, uid, gid);
 }
 
 Status Vfs::SyncAll() {
@@ -155,16 +244,33 @@ Result<Fd> Vfs::Open(const std::string& path, uint32_t flags) {
   SKERN_ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   auto attr = r.fs->Stat(r.fs_path);
+  bool created = false;
   if (!attr.ok()) {
     if (attr.error() != Errno::kENOENT || (flags & kOpenCreate) == 0) {
       return attr.error();
     }
+    // Creating a name requires write permission on the parent directory.
+    SKERN_RETURN_IF_ERROR(CheckParentAccess(r, CurrentCred(), kWantWrite));
     counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
     SKERN_RETURN_IF_ERROR(r.fs->Create(r.fs_path));
     attr = FileAttr{false, 0};
+    created = true;
   }
   if (attr->is_dir) {
     return Errno::kEISDIR;
+  }
+  if (!created) {
+    // Opening an existing file checks the file's own bits for every access
+    // mode requested; a just-created file is accessible to its creator by
+    // definition (like POSIX O_CREAT, whose umask applies only later).
+    uint32_t want = 0;
+    if ((flags & kOpenRead) != 0) {
+      want |= kWantRead;
+    }
+    if ((flags & kOpenWrite) != 0) {
+      want |= kWantWrite;
+    }
+    SKERN_RETURN_IF_ERROR(CheckAttrAccess(CurrentCred(), *attr, want));
   }
   if ((flags & kOpenTrunc) != 0 && (flags & kOpenWrite) != 0) {
     counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
@@ -282,6 +388,7 @@ Result<Bytes> Vfs::Read(Fd fd, uint64_t length) {
   if ((file->flags & kOpenRead) == 0) {
     return Errno::kEBADF;
   }
+  SKERN_RETURN_IF_ERROR(CheckFileAccess(*file, CurrentCred(), kWantRead));
   uint64_t offset = 0;
   {
     SpinLockGuard pos(file->pos_lock);
@@ -306,6 +413,7 @@ Status Vfs::Write(Fd fd, ByteView data) {
   if ((file->flags & kOpenWrite) == 0) {
     return Status::Error(Errno::kEBADF);
   }
+  SKERN_RETURN_IF_ERROR(CheckFileAccess(*file, CurrentCred(), kWantWrite));
   uint64_t offset = 0;
   if ((file->flags & kOpenAppend) != 0) {
     // Re-stat so appends land at the current EOF even if someone else grew
@@ -340,6 +448,7 @@ Result<Bytes> Vfs::Pread(Fd fd, uint64_t offset, uint64_t length) {
   if ((file->flags & kOpenRead) == 0) {
     return Errno::kEBADF;
   }
+  SKERN_RETURN_IF_ERROR(CheckFileAccess(*file, CurrentCred(), kWantRead));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   counters_.reads.fetch_add(1, std::memory_order_relaxed);
   return DispatchRead(*file, offset, length);
@@ -354,6 +463,7 @@ Status Vfs::Pwrite(Fd fd, uint64_t offset, ByteView data) {
   if ((file->flags & kOpenWrite) == 0) {
     return Status::Error(Errno::kEBADF);
   }
+  SKERN_RETURN_IF_ERROR(CheckFileAccess(*file, CurrentCred(), kWantWrite));
   counters_.dispatches.fetch_add(1, std::memory_order_relaxed);
   counters_.writes.fetch_add(1, std::memory_order_relaxed);
   return DispatchWrite(*file, offset, data);

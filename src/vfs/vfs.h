@@ -60,30 +60,47 @@ class Vfs {
   std::vector<std::string> Mountpoints() const;
 
   // --- path syscalls ---
+  //
+  // Every syscall is an SKERN_ENTRY for the access-control analysis
+  // (safety_lint A001/A002): each one checks CurrentCred() against the
+  // relevant inode before any SKERN_PROTECTED FileSystem accessor runs.
+  // Threads that never install a ScopedCred run as root (kCapDacOverride),
+  // which short-circuits every check before it dispatches a Stat — the
+  // pre-credential hot paths gain no filesystem round-trips.
 
-  Status Mkdir(const std::string& path);
-  Status Rmdir(const std::string& path);
-  Status Unlink(const std::string& path);
+  SKERN_ENTRY Status Mkdir(const std::string& path);
+  SKERN_ENTRY Status Rmdir(const std::string& path);
+  SKERN_ENTRY Status Unlink(const std::string& path);
   // Cross-mount renames are rejected with kEXDEV, like Linux.
-  Status Rename(const std::string& from, const std::string& to);
-  Result<FileAttr> Stat(const std::string& path);
-  Result<std::vector<std::string>> Readdir(const std::string& path);
-  Status Truncate(const std::string& path, uint64_t size);
-  // Syncs every mounted file system.
-  Status SyncAll();
+  SKERN_ENTRY Status Rename(const std::string& from, const std::string& to);
+  SKERN_ENTRY Result<FileAttr> Stat(const std::string& path);
+  SKERN_ENTRY Result<std::vector<std::string>> Readdir(const std::string& path);
+  SKERN_ENTRY Status Truncate(const std::string& path, uint64_t size);
+  // chmod keeps only the low 9 permission bits; the caller must own the file
+  // or hold kCapFowner (kEPERM otherwise — ownership, not permission).
+  SKERN_ENTRY Status Chmod(const std::string& path, uint32_t mode);
+  // chown requires kCapChown, like Linux without the _POSIX_CHOWN_RESTRICTED
+  // giveaway exceptions.
+  SKERN_ENTRY Status Chown(const std::string& path, uint32_t uid, uint32_t gid);
+  // Syncs every mounted file system. Durability needs no permission: the
+  // caller holds no resource beyond what prior checked syscalls granted.
+  SKERN_ENTRY SKERN_NO_ACCESS_CHECK Status SyncAll();
 
   // --- descriptor syscalls ---
 
-  Result<Fd> Open(const std::string& path, uint32_t flags);
-  Status Close(Fd fd);
-  // Sequential read/write advance the file offset.
-  Result<Bytes> Read(Fd fd, uint64_t length);
-  Status Write(Fd fd, ByteView data);
+  SKERN_ENTRY Result<Fd> Open(const std::string& path, uint32_t flags);
+  SKERN_ENTRY SKERN_NO_ACCESS_CHECK Status Close(Fd fd);
+  // Sequential read/write advance the file offset. Both re-validate the
+  // descriptor's access on every call (a cached StatHandle read), so a chmod
+  // or chown after open takes effect immediately — this VFS addresses files
+  // by path, and descriptor rights follow the inode's current bits.
+  SKERN_ENTRY Result<Bytes> Read(Fd fd, uint64_t length);
+  SKERN_ENTRY Status Write(Fd fd, ByteView data);
   // Positional variants do not move the offset.
-  Result<Bytes> Pread(Fd fd, uint64_t offset, uint64_t length);
-  Status Pwrite(Fd fd, uint64_t offset, ByteView data);
-  Result<uint64_t> Seek(Fd fd, uint64_t offset);
-  Status Fsync(Fd fd);
+  SKERN_ENTRY Result<Bytes> Pread(Fd fd, uint64_t offset, uint64_t length);
+  SKERN_ENTRY Status Pwrite(Fd fd, uint64_t offset, ByteView data);
+  SKERN_ENTRY SKERN_NO_ACCESS_CHECK Result<uint64_t> Seek(Fd fd, uint64_t offset);
+  SKERN_ENTRY SKERN_NO_ACCESS_CHECK Status Fsync(Fd fd);
 
   // When enabled (the default) Open also opens an inode handle on file
   // systems that support handle I/O, and the descriptor data plane goes
@@ -127,6 +144,24 @@ class Vfs {
   // Longest-prefix mount resolution on a normalized path.
   Result<ResolvedPath> Resolve(const std::string& path) const;
   Result<std::shared_ptr<OpenFile>> FindFd(Fd fd) const;
+
+  // --- permission checks (the A001/A002 check functions) -----------------
+  //
+  // Every helper bumps vfs.perm.checks (and vfs.perm.denied on failure) and
+  // short-circuits on kCapDacOverride *before* dispatching any Stat, so the
+  // root credential adds zero filesystem crossings to any path.
+
+  // DAC check against an already-fetched attr.
+  Status CheckAttrAccess(const Cred& cred, const FileAttr& attr, uint32_t want);
+  // DAC check against the object `r` names (stats it unless root).
+  Status CheckPathAccess(const ResolvedPath& r, const Cred& cred, uint32_t want);
+  // DAC check against the parent directory of `r` (namespace mutations).
+  Status CheckParentAccess(const ResolvedPath& r, const Cred& cred, uint32_t want);
+  // DAC re-check for an open descriptor: stats through the handle plane when
+  // pinned (a cached-field read in SafeFs), so chmod/chown on an open file
+  // revalidates on the next I/O. Also the gate the async plane runs with the
+  // submitter's captured credential.
+  Status CheckFileAccess(OpenFile& file, const Cred& cred, uint32_t want);
 
   // Data-plane dispatch: handle ops when the descriptor carries one, path
   // ops otherwise (kENOSYS from a handle op also falls back to the path).

@@ -9,6 +9,7 @@
 #include "src/core/landscape.h"
 #include "src/core/migration.h"
 #include "src/core/module.h"
+#include "src/core/process.h"
 #include "src/core/safety_level.h"
 #include "src/core/shim.h"
 
@@ -227,6 +228,40 @@ TEST(LandscapeTest, TableRendersBothSeries) {
   EXPECT_NE(table.find("seL4"), std::string::npos);
   EXPECT_NE(table.find("skern["), std::string::npos);
   ModuleRegistry::Get().ResetForTesting();
+}
+
+// --- the process table: the subject side of the credential model ---
+
+TEST(ProcessTest, SpawnAssignsSequentialPidsAndFindWorks) {
+  ProcessTable table;
+  EXPECT_EQ(table.Count(), 0u);
+  auto init = table.Spawn("init", Cred::Root());
+  auto daemon = table.Spawn("daemon", Cred::User(1, 1));
+  ASSERT_NE(init, nullptr);
+  ASSERT_NE(daemon, nullptr);
+  EXPECT_EQ(init->pid, 1u);
+  EXPECT_EQ(daemon->pid, 2u);
+  EXPECT_EQ(table.Count(), 2u);
+  EXPECT_EQ(table.Find(2)->name, "daemon");
+  EXPECT_EQ(table.Find(99), nullptr);
+}
+
+TEST(ProcessTest, ScopeInstallsAndRestoresCredential) {
+  ProcessTable table;
+  auto user = table.Spawn("worker", Cred::User(1000, 1000));
+  EXPECT_EQ(CurrentCred(), Cred::Root()) << "threads default to root";
+  {
+    ProcessScope scope(*user);
+    EXPECT_EQ(CurrentCred(), user->cred);
+    EXPECT_FALSE(CurrentCred().HasCap(kCapDacOverride));
+    {
+      // Nesting: an inner scope wins, then unwinds cleanly.
+      ProcessScope inner(Cred::Root());
+      EXPECT_EQ(CurrentCred(), Cred::Root());
+    }
+    EXPECT_EQ(CurrentCred(), user->cred);
+  }
+  EXPECT_EQ(CurrentCred(), Cred::Root());
 }
 
 }  // namespace

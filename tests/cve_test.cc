@@ -2,6 +2,8 @@
 // must reproduce the paper's reported numbers for any seed.
 #include <gtest/gtest.h>
 
+#include "src/base/cred.h"
+#include "src/cve/accessctl.h"
 #include "src/cve/analysis.h"
 #include "src/cve/corpus.h"
 #include "src/cve/cwe.h"
@@ -172,6 +174,58 @@ TEST(RenderTest, FiguresRenderNonEmpty) {
   EXPECT_NE(rendered.find("functional"), std::string::npos);
   EXPECT_NE(RenderBugSeries(DefaultBugSeriesProfiles(), 2020, 1).find("btrfs"),
             std::string::npos);
+}
+
+// --- the executable access-control CVE pair (src/cve/accessctl) ---
+//
+// Dynamic half of the exhibit: the fixed write path denies an unprivileged
+// credential with EACCES, and both vulnerable shapes let the same credential
+// mutate the device. The static half lives in
+// tools/safety_lint/testdata/cve_accessctl.cc, where the annotated copies of
+// these bodies are flagged by A001/A002.
+
+TEST(AccessCtlTest, FixedPathDeniesUnprivilegedWrite) {
+  SettingsDevice dev;  // root-owned 0644
+  ScopedCred user(Cred::User(1000, 1000));
+  Status st = dev.Write(AccessVariant::kFixed, 0, 42);
+  EXPECT_EQ(st.code(), Errno::kEACCES);
+  // The denied write left the device untouched, and 0644 still grants read.
+  auto after = dev.Read(0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, 0);
+}
+
+TEST(AccessCtlTest, FixedPathAllowsOwner) {
+  SettingsDevice dev(0644, /*uid=*/1000, /*gid=*/1000);
+  ScopedCred owner(Cred::User(1000, 1000));
+  ASSERT_TRUE(dev.Write(AccessVariant::kFixed, 2, 9).ok());
+  auto got = dev.Read(2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 9);
+}
+
+TEST(AccessCtlTest, VulnerableVariantsLetUnprivilegedWritesThrough) {
+  for (AccessVariant v : {AccessVariant::kMissingCheck, AccessVariant::kWeakCheck}) {
+    SettingsDevice dev;  // root-owned 0644: others may read, not write
+    ScopedCred user(Cred::User(1000, 1000));
+    EXPECT_TRUE(dev.Write(v, 1, 7).ok()) << AccessVariantName(v);
+    auto got = dev.Read(1);
+    ASSERT_TRUE(got.ok()) << AccessVariantName(v);
+    EXPECT_EQ(*got, 7) << AccessVariantName(v) << ": the vulnerable write landed";
+  }
+}
+
+TEST(AccessCtlTest, PrivateDeviceDeniesRead) {
+  SettingsDevice dev(0600, /*uid=*/0, /*gid=*/0);
+  ScopedCred user(Cred::User(1000, 1000));
+  auto got = dev.Read(0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error(), Errno::kEACCES);
+  // The weak-check variant is gated by its read check here, so 0600 blocks
+  // it too — the bug only bites where read is broader than write.
+  EXPECT_EQ(dev.Write(AccessVariant::kWeakCheck, 0, 1).code(), Errno::kEACCES);
+  // The missing-check variant has nothing to stop it even at 0600.
+  EXPECT_TRUE(dev.Write(AccessVariant::kMissingCheck, 0, 1).ok());
 }
 
 TEST(RenderTest, AsciiBarClamps) {

@@ -1,0 +1,346 @@
+// Permission semantics across the whole syscall surface: one table of
+// EACCES/EPERM expectations exercised through the path plane, the descriptor
+// plane (both with and without handle acceleration), and the async plane.
+//
+// The contract under test, matching POSIX errno semantics:
+//   * DAC denials (mode-triad failures) are EACCES.
+//   * Ownership/capability denials (chmod without owning, chown without
+//     kCapChown) are EPERM.
+//   * Descriptor rights follow the inode's *current* bits: a chmod or chown
+//     after open takes effect on the very next Read/Write, on both planes.
+//   * The async plane checks the credential captured at Enqueue, never the
+//     executing thread's — identical errnos to the synchronous plane.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/aio/aio.h"
+#include "src/base/bytes.h"
+#include "src/base/cred.h"
+#include "src/block/block_device.h"
+#include "src/fs/safefs/safefs.h"
+#include "src/sync/lock_registry.h"
+#include "src/vfs/vfs.h"
+
+namespace skern {
+namespace {
+
+constexpr uint32_t kUserUid = 1000;
+constexpr uint32_t kUserGid = 1000;
+
+Bytes B(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// Mount a fresh SafeFs and, as root, lay out the fixture namespace:
+//   /home        0755 root:root
+//   /home/file   0644 root:root   "hello"
+//   /tank        0777 root:root   (the anyone-may-create directory)
+class PermTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    LockRegistry::Get().ResetForTesting();
+    disk_ = std::make_unique<RamDisk>(512, 99);
+    fs_ = SafeFs::Format(*disk_, 96, 64).value();
+    ASSERT_TRUE(vfs_.Mount("/", fs_).ok());
+    vfs_.SetHandleAcceleration(GetParam());
+    ASSERT_TRUE(vfs_.Mkdir("/home").ok());
+    ASSERT_TRUE(vfs_.Mkdir("/tank").ok());
+    ASSERT_TRUE(vfs_.Chmod("/tank", 0777).ok());
+    auto fd = vfs_.Open("/home/file", kOpenWrite | kOpenCreate);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(vfs_.Write(*fd, ByteView(B("hello"))).ok());
+    ASSERT_TRUE(vfs_.Close(*fd).ok());
+  }
+
+  // Opens as the current credential; fails the test on error.
+  Fd MustOpen(const std::string& path, uint32_t flags) {
+    auto fd = vfs_.Open(path, flags);
+    EXPECT_TRUE(fd.ok()) << path << ": " << ErrnoName(fd.ok() ? Errno::kOk : fd.error());
+    return fd.ok() ? *fd : -1;
+  }
+
+  std::unique_ptr<RamDisk> disk_;
+  std::shared_ptr<SafeFs> fs_;
+  Vfs vfs_;
+};
+
+INSTANTIATE_TEST_SUITE_P(HandlePlane, PermTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "HandleAccel" : "PathPlane";
+                         });
+
+// One row per path syscall: what an unprivileged user gets against the
+// root-owned fixture tree. DAC failures are EACCES; ownership failures EPERM.
+TEST_P(PermTest, PathSyscallErrnoTable) {
+  ScopedCred user(Cred::User(kUserUid, kUserGid));
+  struct Row {
+    const char* name;
+    Errno expect;
+    std::function<Status()> op;
+  };
+  const std::vector<Row> table = {
+      // Reads the world can do: /home is 0755 (r-x for others).
+      {"stat", Errno::kOk, [&] { return vfs_.Stat("/home/file").ok() ? Status::Ok()
+                                                                     : Status::Error(Errno::kEACCES); }},
+      {"readdir", Errno::kOk,
+       [&] {
+         auto r = vfs_.Readdir("/home");
+         return r.ok() ? Status::Ok() : Status::Error(r.error());
+       }},
+      {"open-read", Errno::kOk,
+       [&] {
+         auto fd = vfs_.Open("/home/file", kOpenRead);
+         if (!fd.ok()) return Status::Error(fd.error());
+         return vfs_.Close(*fd);
+       }},
+      // Mutations under a 0755 root-owned parent: parent-write DAC, EACCES.
+      {"mkdir", Errno::kEACCES, [&] { return vfs_.Mkdir("/home/sub"); }},
+      {"unlink", Errno::kEACCES, [&] { return vfs_.Unlink("/home/file"); }},
+      {"rename", Errno::kEACCES, [&] { return vfs_.Rename("/home/file", "/home/moved"); }},
+      {"open-create", Errno::kEACCES,
+       [&] {
+         auto fd = vfs_.Open("/home/new", kOpenWrite | kOpenCreate);
+         return fd.ok() ? vfs_.Close(*fd) : Status::Error(fd.error());
+       }},
+      // Mutations of the 0644 file itself: file-write DAC, EACCES.
+      {"open-write", Errno::kEACCES,
+       [&] {
+         auto fd = vfs_.Open("/home/file", kOpenWrite);
+         return fd.ok() ? vfs_.Close(*fd) : Status::Error(fd.error());
+       }},
+      {"truncate", Errno::kEACCES, [&] { return vfs_.Truncate("/home/file", 0); }},
+      // Ownership operations: not "permission denied" but "not permitted".
+      {"chmod", Errno::kEPERM, [&] { return vfs_.Chmod("/home/file", 0600); }},
+      {"chown", Errno::kEPERM, [&] { return vfs_.Chown("/home/file", kUserUid, kUserGid); }},
+      // The 0777 directory: anyone may create there.
+      {"mkdir-tank", Errno::kOk, [&] { return vfs_.Mkdir("/tank/mine"); }},
+  };
+  for (const Row& row : table) {
+    EXPECT_EQ(row.op().code(), row.expect) << row.name;
+  }
+}
+
+// The POSIX triad selection: exactly one of owner/group/other applies.
+TEST_P(PermTest, TriadSelection) {
+  ASSERT_TRUE(vfs_.Chmod("/home/file", 0640).ok());
+  ASSERT_TRUE(vfs_.Chown("/home/file", kUserUid, 2000).ok());
+  struct Row {
+    uint32_t uid, gid;
+    Errno read, write;
+  };
+  // 0640: owner rw-, group r--, other ---.
+  const std::vector<Row> table = {
+      {kUserUid, 999, Errno::kOk, Errno::kOk},       // owner triad
+      {1001, 2000, Errno::kOk, Errno::kEACCES},      // group triad
+      {1001, 999, Errno::kEACCES, Errno::kEACCES},   // other triad
+  };
+  for (const Row& row : table) {
+    ScopedCred cred(Cred::User(row.uid, row.gid));
+    auto rd = vfs_.Open("/home/file", kOpenRead);
+    EXPECT_EQ(rd.ok() ? Errno::kOk : rd.error(), row.read) << row.uid << ":" << row.gid;
+    if (rd.ok()) ASSERT_TRUE(vfs_.Close(*rd).ok());
+    auto wr = vfs_.Open("/home/file", kOpenWrite);
+    EXPECT_EQ(wr.ok() ? Errno::kOk : wr.error(), row.write) << row.uid << ":" << row.gid;
+    if (wr.ok()) ASSERT_TRUE(vfs_.Close(*wr).ok());
+  }
+}
+
+// A file created by a user is owned by that user, mode 0644.
+TEST_P(PermTest, CreateAssignsCreatorOwnership) {
+  ScopedCred user(Cred::User(kUserUid, kUserGid));
+  Fd fd = MustOpen("/tank/mine.txt", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(vfs_.Close(fd).ok());
+  auto attr = vfs_.Stat("/tank/mine.txt");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->uid, kUserUid);
+  EXPECT_EQ(attr->gid, kUserGid);
+  EXPECT_EQ(attr->mode, 0644u);
+  // ...and the creator may chmod it without any capability (CheckOwner).
+  EXPECT_TRUE(vfs_.Chmod("/tank/mine.txt", 0600).ok());
+  // ...but may not give it away: chown needs kCapChown even on owned files.
+  EXPECT_EQ(vfs_.Chown("/tank/mine.txt", 0, 0).code(), Errno::kEPERM);
+}
+
+// Descriptor rights follow the inode's current bits: chmod after open takes
+// effect on the next Read/Write — on the path-walking plane and the
+// handle-accelerated plane alike.
+TEST_P(PermTest, ChmodRevalidatesOpenDescriptor) {
+  ASSERT_TRUE(vfs_.Chmod("/home/file", 0666).ok());
+  ScopedCred user(Cred::User(kUserUid, kUserGid));
+  Fd fd = MustOpen("/home/file", kOpenRead | kOpenWrite);
+  EXPECT_TRUE(vfs_.Read(fd, 5).ok());
+  EXPECT_TRUE(vfs_.Pwrite(fd, 0, ByteView(B("HELLO"))).ok());
+  {
+    // Root yanks all access while the descriptor is open.
+    ScopedCred root(Cred::Root());
+    ASSERT_TRUE(vfs_.Chmod("/home/file", 0000).ok());
+  }
+  EXPECT_EQ(vfs_.Pread(fd, 0, 5).error(), Errno::kEACCES);
+  EXPECT_EQ(vfs_.Pwrite(fd, 0, ByteView(B("x"))).code(), Errno::kEACCES);
+  // The unchecked maintenance calls still work on the open descriptor.
+  EXPECT_TRUE(vfs_.Seek(fd, 0).ok());
+  EXPECT_TRUE(vfs_.Fsync(fd).ok());
+  {
+    // Restoring read-only restores exactly read.
+    ScopedCred root(Cred::Root());
+    ASSERT_TRUE(vfs_.Chmod("/home/file", 0444).ok());
+  }
+  auto back = vfs_.Read(fd, 5);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::string(back->begin(), back->end()), "HELLO");
+  EXPECT_EQ(vfs_.Write(fd, ByteView(B("y"))).code(), Errno::kEACCES);
+  EXPECT_TRUE(vfs_.Close(fd).ok());
+}
+
+// Same revalidation via ownership change: chown moves the descriptor holder
+// from the owner triad to the other triad.
+TEST_P(PermTest, ChownRevalidatesOpenDescriptor) {
+  ASSERT_TRUE(vfs_.Chown("/home/file", kUserUid, kUserGid).ok());
+  ASSERT_TRUE(vfs_.Chmod("/home/file", 0600).ok());
+  ScopedCred user(Cred::User(kUserUid, kUserGid));
+  Fd fd = MustOpen("/home/file", kOpenRead | kOpenWrite);
+  EXPECT_TRUE(vfs_.Read(fd, 5).ok());
+  {
+    ScopedCred root(Cred::Root());
+    ASSERT_TRUE(vfs_.Chown("/home/file", 0, 0).ok());
+  }
+  EXPECT_EQ(vfs_.Pread(fd, 0, 5).error(), Errno::kEACCES);
+  EXPECT_TRUE(vfs_.Close(fd).ok());
+}
+
+// The capability escapes, each scoped to exactly its operation.
+TEST_P(PermTest, CapabilityTable) {
+  ASSERT_TRUE(vfs_.Chmod("/home/file", 0600).ok());
+  {
+    // kCapDacOverride bypasses mode checks but confers no ownership rights.
+    ScopedCred cred(Cred{kUserUid, kUserGid, kCapDacOverride});
+    Fd fd = MustOpen("/home/file", kOpenRead | kOpenWrite);
+    EXPECT_TRUE(vfs_.Pwrite(fd, 0, ByteView(B("CAP"))).ok());
+    EXPECT_TRUE(vfs_.Close(fd).ok());
+    EXPECT_EQ(vfs_.Chmod("/home/file", 0666).code(), Errno::kEPERM);
+    EXPECT_EQ(vfs_.Chown("/home/file", kUserUid, kUserGid).code(), Errno::kEPERM);
+  }
+  {
+    // kCapFowner grants owner-ops (chmod) on any file, nothing else.
+    ScopedCred cred(Cred{kUserUid, kUserGid, kCapFowner});
+    EXPECT_TRUE(vfs_.Chmod("/home/file", 0644).ok());
+    EXPECT_EQ(vfs_.Chown("/home/file", kUserUid, kUserGid).code(), Errno::kEPERM);
+    EXPECT_EQ(vfs_.Truncate("/home/file", 0).code(), Errno::kEACCES);
+  }
+  {
+    // kCapChown grants exactly chown.
+    ScopedCred cred(Cred{kUserUid, kUserGid, kCapChown});
+    EXPECT_TRUE(vfs_.Chown("/home/file", kUserUid, kUserGid).ok());
+    EXPECT_EQ(vfs_.Chmod("/home/file", 0600).code(), Errno::kOk)
+        << "now the owner, chmod passes CheckOwner without any capability";
+  }
+}
+
+// The async plane returns the same errnos the synchronous plane does for the
+// same descriptor state — completions carry EACCES instead of lost writes.
+TEST_P(PermTest, AioPlaneMatchesSyncErrnos) {
+  ASSERT_TRUE(vfs_.Chmod("/home/file", 0666).ok());
+  ScopedCred user(Cred::User(kUserUid, kUserGid));
+  Fd fd = MustOpen("/home/file", kOpenRead | kOpenWrite);
+  {
+    ScopedCred root(Cred::Root());
+    ASSERT_TRUE(vfs_.Chmod("/home/file", 0444).ok());
+  }
+  // Sync plane: read ok, write denied.
+  Errno sync_read = vfs_.Pread(fd, 0, 5).ok() ? Errno::kOk : Errno::kEACCES;
+  Errno sync_write = vfs_.Pwrite(fd, 0, ByteView(B("x"))).code();
+  EXPECT_EQ(sync_read, Errno::kOk);
+  EXPECT_EQ(sync_write, Errno::kEACCES);
+  // Async plane, same descriptor: identical errnos in the completions.
+  AioQueue queue(vfs_, 8);
+  AioOp read_op;
+  read_op.kind = AioOpKind::kRead;
+  read_op.fd = fd;
+  read_op.length = 5;
+  read_op.user_data = 1;
+  AioOp write_op;
+  write_op.kind = AioOpKind::kWrite;
+  write_op.fd = fd;
+  write_op.data = B("x");
+  write_op.user_data = 2;
+  ASSERT_TRUE(queue.Enqueue(std::move(read_op)));
+  ASSERT_TRUE(queue.Enqueue(std::move(write_op)));
+  EXPECT_EQ(queue.Submit(), 2u);
+  std::vector<AioCompletion> done;
+  ASSERT_EQ(queue.Harvest(done, 8), 2u);
+  for (const AioCompletion& c : done) {
+    EXPECT_EQ(c.error, c.user_data == 1 ? sync_read : sync_write)
+        << "plane divergence on op " << c.user_data;
+  }
+  EXPECT_TRUE(vfs_.Close(fd).ok());
+}
+
+// The credential is captured at Enqueue: submitting (and therefore executing,
+// in inline mode) as root must NOT launder a user's denied write.
+TEST_P(PermTest, AioChecksSubmitterCredNotExecutor) {
+  AioQueue queue(vfs_, 8);
+  Fd fd = MustOpen("/home/file", kOpenRead | kOpenWrite);  // as root
+  {
+    // The op is constructed — and its cred captured — under the user.
+    ScopedCred user(Cred::User(kUserUid, kUserGid));
+    AioOp op;
+    op.kind = AioOpKind::kWrite;
+    op.fd = fd;
+    op.data = B("steal");
+    op.user_data = 7;
+    ASSERT_TRUE(queue.Enqueue(std::move(op)));
+  }
+  // Submit runs on this (root) thread in inline mode.
+  EXPECT_EQ(queue.Submit(), 1u);
+  std::vector<AioCompletion> done;
+  ASSERT_EQ(queue.Harvest(done, 8), 1u);
+  EXPECT_EQ(done[0].error, Errno::kEACCES) << "root executor laundered a user write";
+  // The same write enqueued as root sails through.
+  AioOp root_op;
+  root_op.kind = AioOpKind::kWrite;
+  root_op.fd = fd;
+  root_op.data = B("fine");
+  ASSERT_TRUE(queue.Enqueue(std::move(root_op)));
+  EXPECT_EQ(queue.Submit(), 1u);
+  done.clear();
+  ASSERT_EQ(queue.Harvest(done, 8), 1u);
+  EXPECT_EQ(done[0].error, Errno::kOk);
+  EXPECT_TRUE(vfs_.Close(fd).ok());
+}
+
+// Engine mode: the op executes on a root kernel worker thread; the
+// completion still carries the submitter's denial.
+TEST_P(PermTest, AioEngineWorkerUsesSubmitterCred) {
+  AioEngine engine(1);
+  AioQueue queue(vfs_, 8, engine);
+  Fd fd = MustOpen("/home/file", kOpenRead | kOpenWrite);  // as root
+  {
+    ScopedCred user(Cred::User(kUserUid, kUserGid));
+    AioOp read_op;
+    read_op.kind = AioOpKind::kRead;
+    read_op.fd = fd;
+    read_op.length = 5;
+    read_op.user_data = 1;
+    AioOp write_op;
+    write_op.kind = AioOpKind::kWrite;
+    write_op.fd = fd;
+    write_op.data = B("no");
+    write_op.user_data = 2;
+    ASSERT_TRUE(queue.Enqueue(std::move(read_op)));
+    ASSERT_TRUE(queue.Enqueue(std::move(write_op)));
+  }
+  EXPECT_EQ(queue.Submit(), 2u);
+  std::vector<AioCompletion> done;
+  queue.HarvestBlocking(done, 2);
+  ASSERT_EQ(done.size(), 2u);
+  for (const AioCompletion& c : done) {
+    // 0644 root-owned: the user may read, not write.
+    EXPECT_EQ(c.error, c.user_data == 1 ? Errno::kOk : Errno::kEACCES);
+  }
+  EXPECT_TRUE(vfs_.Close(fd).ok());
+}
+
+}  // namespace
+}  // namespace skern

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "src/base/cred.h"
 #include "src/base/log.h"
 #include "src/block/block_device.h"
 #include "src/core/module.h"
@@ -184,6 +185,41 @@ TEST_F(ProcFsTest, MetricsFileExportsDcacheCounters) {
   // The hot counters carry real traffic, not just their registration zeros.
   EXPECT_EQ(text.find("vfs.dcache.hits 0"), std::string::npos) << text;
   EXPECT_EQ(text.find("vfs.dcache.invalidations 0"), std::string::npos) << text;
+}
+
+TEST_F(ProcFsTest, MetricsFileExportsPermissionCounters) {
+  // Drive the VFS access checks: a passing stat and a denied write as an
+  // unprivileged user. Both the check counter and the denial counter must
+  // then be visible — and moving — through /metrics.
+  RamDisk disk(256, 13);
+  auto fs = SafeFs::Format(disk, 64, 16).value();
+  Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("/", fs).ok());
+  {
+    auto fd = vfs.Open("/secret", kOpenWrite | kOpenCreate);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(vfs.Close(*fd).ok());
+    ASSERT_TRUE(vfs.Chmod("/secret", 0600).ok());
+  }
+  uint64_t checks_before = obs::MetricsRegistry::Get().GetCounter("vfs.perm.checks").Value();
+  uint64_t denied_before = obs::MetricsRegistry::Get().GetCounter("vfs.perm.denied").Value();
+  {
+    ScopedCred user(Cred::User(1000, 1000));
+    EXPECT_TRUE(vfs.Stat("/secret").ok());  // 0755 root dir grants lookup
+    EXPECT_EQ(vfs.Open("/secret", kOpenWrite).error(), Errno::kEACCES);
+  }
+  EXPECT_GT(obs::MetricsRegistry::Get().GetCounter("vfs.perm.checks").Value(), checks_before);
+  EXPECT_GT(obs::MetricsRegistry::Get().GetCounter("vfs.perm.denied").Value(), denied_before);
+
+  ProcFs proc;
+  auto content = proc.Read("/metrics", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  std::string text = StringFromBytes(content.value());
+  EXPECT_NE(text.find("vfs.perm.checks "), std::string::npos) << text;
+  EXPECT_NE(text.find("vfs.perm.denied "), std::string::npos) << text;
+  // The denial above means neither counter can render as zero.
+  EXPECT_EQ(text.find("vfs.perm.checks 0\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("vfs.perm.denied 0\n"), std::string::npos) << text;
 }
 
 TEST_F(ProcFsTest, MetricsFileExportsIoFastpathCounters) {

@@ -203,6 +203,39 @@ TEST_F(SafeFsTest, PersistsAcrossRemount) {
   EXPECT_EQ(StringFromBytes(data.value()), "persistent");
 }
 
+TEST_F(SafeFsTest, OwnershipAndModePersistAcrossRemount) {
+  // chmod/chown land in the on-disk inode, not just in memory: the exact
+  // bits and owners come back after an unmount/Mount cycle.
+  ASSERT_TRUE(fs_->Mkdir("/srv").ok());
+  ASSERT_TRUE(fs_->Create("/srv/app.conf").ok());
+  ASSERT_TRUE(fs_->Chmod("/srv/app.conf", 0640).ok());
+  ASSERT_TRUE(fs_->Chown("/srv/app.conf", 1000, 2000).ok());
+  ASSERT_TRUE(fs_->Chmod("/srv", 0750).ok());
+  // Untouched files keep the format-time defaults.
+  ASSERT_TRUE(fs_->Create("/srv/plain").ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  fs_.reset();
+
+  auto remounted = SafeFs::Mount(*disk_);
+  ASSERT_TRUE(remounted.ok());
+  auto& f = *remounted.value();
+  auto conf = f.Stat("/srv/app.conf");
+  ASSERT_TRUE(conf.ok());
+  EXPECT_EQ(conf->mode, 0640u);
+  EXPECT_EQ(conf->uid, 1000u);
+  EXPECT_EQ(conf->gid, 2000u);
+  auto dir = f.Stat("/srv");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir->mode, 0750u);
+  auto plain = f.Stat("/srv/plain");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->mode, 0644u) << "default file perm";
+  EXPECT_EQ(plain->uid, 0u);
+  auto root = f.Stat("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->mode, 0755u) << "mkfs root default";
+}
+
 TEST_F(SafeFsTest, CrashBeforeSyncLosesNothingSynced) {
   ASSERT_TRUE(fs_->Create("/durable").ok());
   ASSERT_TRUE(fs_->Write("/durable", 0, BytesFromString("safe")).ok());

@@ -1,0 +1,404 @@
+#include "tools/safety_lint/access.h"
+
+#include <algorithm>
+#include <array>
+
+namespace skern {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared token helpers (mirrors of the rule engine's local helpers; small
+// enough that sharing them is not worth widening lint.h's surface).
+// ---------------------------------------------------------------------------
+
+bool WindowContains(const std::vector<Token>& tokens, size_t begin, size_t end,
+                    const std::string& word) {
+  for (size_t i = begin; i < end; ++i) {
+    if (tokens[i].text == word) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasTopLevelAssign(const std::vector<Token>& tokens, size_t begin, size_t end) {
+  int paren = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[") {
+      ++paren;
+    } else if (t == ")" || t == "]") {
+      --paren;
+    } else if (t == "=" && paren == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsCallKeyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" || t == "return" ||
+         t == "sizeof" || t == "alignof" || t == "catch" || t == "throw" || t == "new" ||
+         t == "delete" || t == "static_assert" || t == "decltype" || t == "noexcept" ||
+         t == "assert";
+}
+
+// First identifier in [begin, end) that is immediately followed by `(` — the
+// declared/defined function's name. Returns its index or `end`.
+size_t FunctionNameIndex(const std::vector<Token>& tokens, size_t begin, size_t end) {
+  for (size_t i = begin; i + 1 < end; ++i) {
+    if (tokens[i].is_ident && !IsCallKeyword(tokens[i].text) && tokens[i + 1].text == "(") {
+      return i;
+    }
+  }
+  return end;
+}
+
+// Class qualifier of the name at `name_index`: an explicit `Cls::` wins,
+// otherwise the innermost enclosing class scope.
+std::string QualifierOf(const std::vector<Token>& tokens, size_t name_index, size_t begin,
+                        const std::string& enclosing_class) {
+  if (name_index >= 2 && name_index - 2 >= begin && tokens[name_index - 1].text == "::" &&
+      tokens[name_index - 2].is_ident) {
+    return tokens[name_index - 2].text;
+  }
+  return enclosing_class;
+}
+
+// Union of literal kWant* identifier bits inside the balanced paren group
+// opening at `open`. kAccessMaskUnknown when none appear (a computed mask).
+uint32_t WantMaskOfArgs(const std::vector<Token>& tokens, size_t open, AccessIndex* index) {
+  if (open >= tokens.size() || tokens[open].text != "(") {
+    return kAccessMaskUnknown;
+  }
+  uint32_t mask = 0;
+  bool any = false;
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "(") {
+      ++depth;
+    } else if (tokens[i].text == ")") {
+      if (--depth == 0) {
+        break;
+      }
+    } else if (tokens[i].is_ident && tokens[i].text.rfind("kWant", 0) == 0) {
+      auto [it, inserted] = index->want_bits.emplace(
+          tokens[i].text, 1u << static_cast<uint32_t>(index->want_bits.size()));
+      mask |= it->second;
+      any = true;
+    }
+  }
+  return any ? mask : kAccessMaskUnknown;
+}
+
+// Processes one declaration/definition statement window for the three access
+// annotations, attaching them to the function name in the statement.
+void AttachAnnotations(const std::vector<Token>& tokens, size_t begin, size_t end,
+                       const std::string& enclosing_class, AccessIndex* index) {
+  bool has_entry = false;
+  bool has_no_check = false;
+  bool has_protected = false;
+  for (size_t i = begin; i < end; ++i) {
+    if (!tokens[i].is_ident) {
+      continue;
+    }
+    if (i > begin && tokens[i - 1].text == "define") {
+      continue;  // the macro's own definition in annotations.h
+    }
+    if (tokens[i].text == "SKERN_ENTRY") {
+      has_entry = true;
+    } else if (tokens[i].text == "SKERN_NO_ACCESS_CHECK") {
+      has_no_check = true;
+    } else if (tokens[i].text == "SKERN_PROTECTED") {
+      has_protected = true;
+    }
+  }
+  if (!has_entry && !has_no_check && !has_protected) {
+    return;
+  }
+  size_t name_index = FunctionNameIndex(tokens, begin, end);
+  if (name_index == end) {
+    return;
+  }
+  const std::string& name = tokens[name_index].text;
+  if (has_protected) {
+    index->protected_names.insert(name);
+  }
+  if (has_entry || has_no_check) {
+    std::string cls = QualifierOf(tokens, name_index, begin, enclosing_class);
+    std::string qualified = cls.empty() ? name : cls + "::" + name;
+    if (has_entry) {
+      index->entries.insert(qualified);
+    }
+    if (has_no_check) {
+      index->no_check_entries.insert(qualified);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Indexing
+// ---------------------------------------------------------------------------
+
+void IndexFileForAccess(const std::string& virtual_path, const FileTokens& file,
+                        AccessIndex* index) {
+  const std::vector<Token>& tokens = file.tokens;
+
+  enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
+  struct Scope {
+    ScopeKind kind;
+    std::string name;  // class name for kClass
+  };
+  std::vector<Scope> stack;
+  int function_depth = 0;
+  size_t stmt_start = 0;
+  size_t current_def = static_cast<size_t>(-1);
+
+  auto enclosing_class = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == ScopeKind::kClass) {
+        return it->name;
+      }
+    }
+    return "";
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+
+    // Inside a function body: record call sites in token (i.e. path) order.
+    if (function_depth > 0 && current_def != static_cast<size_t>(-1) && tokens[i].is_ident &&
+        i + 1 < tokens.size() && tokens[i + 1].text == "(" && !IsCallKeyword(t)) {
+      AccessCall call;
+      call.name = t;
+      call.line = tokens[i].line;
+      const std::string& prev = i > 0 ? tokens[i - 1].text : std::string();
+      if (prev == "." || prev == "->") {
+        call.member = true;
+      } else if (prev == "::" && i >= 2 && tokens[i - 2].is_ident) {
+        call.qualifier = tokens[i - 2].text;
+      }
+      call.mask = WantMaskOfArgs(tokens, i + 1, index);
+      index->defs[current_def].calls.push_back(call);
+      continue;
+    }
+
+    if (t == ";") {
+      if (function_depth == 0) {
+        AttachAnnotations(tokens, stmt_start, i, enclosing_class(), index);
+        stmt_start = i + 1;
+      }
+      continue;
+    }
+    if (t == "{") {
+      ScopeKind kind = ScopeKind::kBlock;
+      std::string name;
+      if (function_depth > 0) {
+        kind = ScopeKind::kBlock;
+      } else if (WindowContains(tokens, stmt_start, i, "namespace")) {
+        kind = ScopeKind::kNamespace;
+      } else if (WindowContains(tokens, stmt_start, i, "class") ||
+                 WindowContains(tokens, stmt_start, i, "struct") ||
+                 WindowContains(tokens, stmt_start, i, "union") ||
+                 WindowContains(tokens, stmt_start, i, "enum")) {
+        kind = ScopeKind::kClass;
+        for (size_t j = i; j > stmt_start; --j) {
+          const Token& tok = tokens[j - 1];
+          if (tok.is_ident && tok.text != "final" && tok.text != "public" &&
+              tok.text != "private" && tok.text != "protected" && tok.text != "virtual") {
+            name = tok.text;
+            break;
+          }
+        }
+      } else if (WindowContains(tokens, stmt_start, i, "(") &&
+                 !HasTopLevelAssign(tokens, stmt_start, i)) {
+        kind = ScopeKind::kFunction;
+        AttachAnnotations(tokens, stmt_start, i, enclosing_class(), index);
+        size_t name_index = FunctionNameIndex(tokens, stmt_start, i);
+        AccessFunction def;
+        def.file = virtual_path;
+        def.line = tokens[i].line;
+        if (name_index != i) {
+          const std::string& fn = tokens[name_index].text;
+          std::string cls = QualifierOf(tokens, name_index, stmt_start, enclosing_class());
+          def.qualified = cls.empty() ? fn : cls + "::" + fn;
+        }
+        current_def = index->defs.size();
+        index->defs.push_back(def);
+        if (!index->defs.back().qualified.empty()) {
+          index->defs_by_name[index->defs.back().qualified].push_back(current_def);
+        }
+        ++function_depth;
+      }
+      stack.push_back({kind, name});
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t == "}") {
+      if (!stack.empty()) {
+        if (stack.back().kind == ScopeKind::kFunction) {
+          if (--function_depth == 0) {
+            current_def = static_cast<size_t>(-1);
+          }
+        }
+        stack.pop_back();
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reachability analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PathState {
+  bool checked = false;
+  uint32_t governing = kAccessMaskUnknown;
+};
+
+struct AccessorSite {
+  std::string file;
+  int line = 0;
+  std::string entry;
+};
+
+struct Analyzer {
+  const AccessIndex& index;
+  const Config& config;
+  AccessResult* result;
+  // (def index, checked, governing) states already explored.
+  std::set<std::array<uint64_t, 2>> memo;
+  // Accessor name -> governing mask -> first site reached under that mask.
+  std::map<std::string, std::map<uint32_t, AccessorSite>> sites;
+  // A001 dedup: one finding per call site.
+  std::set<std::pair<std::string, int>> reported_unchecked;
+
+  std::string MaskToString(uint32_t mask) const {
+    if (mask == kAccessMaskUnknown) {
+      return "<unknown>";
+    }
+    std::string out;
+    for (const auto& [name, bit] : index.want_bits) {
+      if ((mask & bit) != 0) {
+        out += (out.empty() ? "" : "|") + name;
+      }
+    }
+    return out.empty() ? "<none>" : out;
+  }
+
+  void Walk(size_t def_index, PathState state, const std::string& entry) {
+    std::array<uint64_t, 2> key = {def_index * 2 + (state.checked ? 1 : 0), state.governing};
+    if (!memo.insert(key).second) {
+      return;
+    }
+    const AccessFunction& def = index.defs[def_index];
+    for (const AccessCall& call : def.calls) {
+      if (config.access_check_functions.count(call.name) != 0) {
+        state.checked = true;
+        state.governing = call.mask;
+        continue;
+      }
+      if (call.member) {
+        if (index.protected_names.count(call.name) != 0) {
+          ++result->accessor_sites_reached;
+          if (!state.checked) {
+            if (reported_unchecked.emplace(def.file, call.line).second) {
+              result->findings.push_back(
+                  {def.file, call.line, "A001",
+                   "protected accessor `" + call.name + "` is reachable from entry `" + entry +
+                       "` with no permission check on the path",
+                   "call one of the [access] check_functions before dispatching, or mark "
+                   "the entry SKERN_NO_ACCESS_CHECK"});
+            }
+          } else if (state.governing != kAccessMaskUnknown) {
+            sites[call.name].emplace(state.governing, AccessorSite{def.file, call.line, entry});
+          }
+        }
+        continue;  // member calls are never traversed (receiver unknown)
+      }
+      // Traversable edge: Cls::-qualified, enclosing-class member, or free.
+      auto descend = [&](const std::string& target) {
+        auto it = index.defs_by_name.find(target);
+        if (it == index.defs_by_name.end()) {
+          return false;
+        }
+        for (size_t callee : it->second) {
+          Walk(callee, state, entry);
+        }
+        return true;
+      };
+      if (!call.qualifier.empty()) {
+        if (!descend(call.qualifier + "::" + call.name)) {
+          descend(call.name);
+        }
+        continue;
+      }
+      size_t scope = def.qualified.rfind("::");
+      if (scope != std::string::npos &&
+          descend(def.qualified.substr(0, scope) + "::" + call.name)) {
+        continue;
+      }
+      descend(call.name);
+    }
+  }
+
+  void ReportWeakChecks() {
+    for (const auto& [accessor, by_mask] : sites) {
+      for (const auto& [weak, weak_site] : by_mask) {
+        for (const auto& [strong, strong_site] : by_mask) {
+          if (weak == strong || (weak & strong) != weak) {
+            continue;  // not a strict subset
+          }
+          result->findings.push_back(
+              {weak_site.file, weak_site.line, "A002",
+               "accessor `" + accessor + "` reached under a weaker permission check (" +
+                   MaskToString(weak) + " via entry `" + weak_site.entry +
+                   "`) than on another path (" + MaskToString(strong) + " via entry `" +
+                   strong_site.entry + "`)",
+               "check the same want bits on every path that reaches an accessor"});
+          break;  // one finding per weak mask is enough
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+AccessResult AnalyzeAccess(const AccessIndex& index, const Config& config) {
+  AccessResult result;
+  Analyzer analyzer{index, config, &result, {}, {}, {}};
+  for (const std::string& entry : index.entries) {
+    if (index.no_check_entries.count(entry) != 0) {
+      continue;  // tallied below
+    }
+    auto it = index.defs_by_name.find(entry);
+    if (it == index.defs_by_name.end()) {
+      continue;  // declaration with no body in the indexed set
+    }
+    ++result.entries_analyzed;
+    for (size_t def : it->second) {
+      analyzer.Walk(def, PathState{}, entry);
+    }
+  }
+  analyzer.ReportWeakChecks();
+  result.no_access_check_escapes = static_cast<int>(index.no_check_entries.size());
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) {
+                return a.file < b.file;
+              }
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace lint
+}  // namespace skern

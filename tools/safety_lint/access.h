@@ -1,0 +1,106 @@
+// ACHyb-style interprocedural permission-check reachability analysis.
+//
+// The kernel's access-control story (DESIGN.md §4j) is: every syscall-plane
+// function is annotated SKERN_ENTRY, every FileSystem resource accessor is
+// SKERN_PROTECTED, and a small reviewed list of check functions
+// (layers.toml [access] check_functions) is the only way a path becomes
+// "checked". This pass builds a cross-file function index and call graph
+// from the shared token streams and walks every path from an entry to a
+// protected accessor, carrying two pieces of per-path state:
+//
+//   * checked      — has ANY check function been called on this path?
+//   * governing    — the kWant* bit mask of the *last* check before the
+//                    accessor (kAccessMaskUnknown when the call site passed
+//                    no literal kWant tokens, e.g. a computed mask).
+//
+// Rules (stable ids, reported as lint Findings):
+//   A001  a protected accessor is reachable from an entry with no permission
+//         check anywhere on the path (the classic missing-check CVE shape).
+//   A002  the same accessor is reached under a strictly weaker governing
+//         mask on one path than on another (the weaker-check CVE shape:
+//         one caller checks kWantRead|kWantWrite, another only kWantRead).
+//
+// Escape hatch: SKERN_NO_ACCESS_CHECK on an entry skips it (Close/Seek/
+// Fsync/SyncAll touch no permission-bearing namespace object); every use is
+// tallied so the exemption count is a visible, reviewable number.
+//
+// Deliberate limits (this is a linter, not a verifier): paths are the
+// linearized token order of each body — branches are not modeled, so a check
+// anywhere before an accessor in the same body counts. Member calls
+// (`x.F(...)`, `x->F(...)`) are resolved only against the protected-accessor
+// and check-function name sets, never traversed (receiver types are
+// unknown); unqualified and Class::-qualified calls are traversed through
+// the index. Checks do not propagate out of helper functions — only the
+// configured check list "counts", which is exactly what makes adding a new
+// check wrapper a reviewed config change.
+#ifndef SKERN_TOOLS_SAFETY_LINT_ACCESS_H_
+#define SKERN_TOOLS_SAFETY_LINT_ACCESS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/safety_lint/lint.h"
+
+namespace skern {
+namespace lint {
+
+// Sentinel governing mask: a check ran, but its want bits are not statically
+// known at the call site. Counts for A001, excluded from A002 comparisons.
+constexpr uint32_t kAccessMaskUnknown = 0xFFFFFFFFu;
+
+// One call site inside a function body, in token order.
+struct AccessCall {
+  std::string name;       // unqualified callee identifier
+  std::string qualifier;  // "Cls" when written Cls::name(...), else ""
+  bool member = false;    // written x.name(...) or x->name(...)
+  uint32_t mask = kAccessMaskUnknown;  // union of literal kWant* bits in args
+  int line = 0;
+};
+
+// One function definition (a body) in the indexed tree.
+struct AccessFunction {
+  std::string qualified;  // "Vfs::Mkdir", or "Normalize" for free functions
+  std::string file;       // virtual path of the defining file
+  int line = 0;           // line of the body's opening brace
+  std::vector<AccessCall> calls;
+};
+
+// Cross-file index: definitions, annotations, and the kWant bit universe.
+struct AccessIndex {
+  std::vector<AccessFunction> defs;
+  // Qualified name -> def indices (overload sets share a name; every body
+  // is analyzed as an alternative path).
+  std::map<std::string, std::vector<size_t>> defs_by_name;
+  // Qualified names of SKERN_ENTRY functions, and of the
+  // SKERN_NO_ACCESS_CHECK subset among them.
+  std::set<std::string> entries;
+  std::set<std::string> no_check_entries;
+  // Unqualified names of SKERN_PROTECTED accessors.
+  std::set<std::string> protected_names;
+  // kWant* identifier -> bit, assigned in encounter order so masks compare
+  // consistently across files.
+  std::map<std::string, uint32_t> want_bits;
+};
+
+// Adds one file's function bodies and annotations to the index. Only src/
+// files (by virtual path) are expected; the caller filters.
+void IndexFileForAccess(const std::string& virtual_path, const FileTokens& file,
+                        AccessIndex* index);
+
+struct AccessResult {
+  std::vector<Finding> findings;  // A001/A002, sorted by file/line/rule
+  int no_access_check_escapes = 0;
+  int entries_analyzed = 0;
+  int accessor_sites_reached = 0;
+};
+
+// Walks every entry -> accessor path and applies A001/A002.
+AccessResult AnalyzeAccess(const AccessIndex& index, const Config& config);
+
+}  // namespace lint
+}  // namespace skern
+
+#endif  // SKERN_TOOLS_SAFETY_LINT_ACCESS_H_

@@ -1,0 +1,210 @@
+// Self-tests for the interprocedural access-reachability analysis: the
+// seeded missing-check and weaker-check fixtures are flagged with A001/A002,
+// the clean fixture stays quiet with its escape tallied, and the annotation
+// attachment / mask semantics hold on focused inline snippets.
+#include "tools/safety_lint/access.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace skern {
+namespace lint {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Config ShippedConfig() {
+  Config config;
+  std::string error;
+  EXPECT_TRUE(ParseConfig(ReadFileOrDie(SAFETY_LINT_CONFIG), &config, &error)) << error;
+  return config;
+}
+
+// Indexes one source blob under `virtual_path` and runs the analysis.
+AccessResult AnalyzeSource(const std::string& virtual_path, const std::string& content) {
+  AccessIndex index;
+  IndexFileForAccess(virtual_path, TokenizeSource(content), &index);
+  return AnalyzeAccess(index, ShippedConfig());
+}
+
+// Analyzes one testdata fixture and returns (rule -> count, result).
+AccessResult AnalyzeFixture(const std::string& name) {
+  std::string content = ReadFileOrDie(std::string(SAFETY_LINT_TESTDATA) + "/" + name);
+  std::string virtual_path = LintAsOverride(content);
+  EXPECT_FALSE(virtual_path.empty()) << name << " is missing its // lint-as: directive";
+  return AnalyzeSource(virtual_path, content);
+}
+
+std::map<std::string, int> RuleCounts(const AccessResult& result) {
+  std::map<std::string, int> counts;
+  for (const Finding& finding : result.findings) {
+    EXPECT_GT(finding.line, 0);
+    EXPECT_FALSE(finding.message.empty());
+    EXPECT_FALSE(finding.hint.empty()) << finding.rule << " must carry a fix hint";
+    ++counts[finding.rule];
+  }
+  return counts;
+}
+
+TEST(AccessConfig, ShippedCheckFunctionListParses) {
+  Config config = ShippedConfig();
+  EXPECT_GE(config.access_check_functions.size(), 5u);
+  EXPECT_EQ(config.access_check_functions.count("CheckPermission"), 1u);
+  EXPECT_EQ(config.access_check_functions.count("HasCap"), 1u);
+}
+
+TEST(AccessConfig, UnknownAccessKeyRejected) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(ParseConfig("[layers]\n\"src/fs\" = 1\n[access]\nbogus = [\"x\"]\n", &config,
+                           &error));
+  EXPECT_NE(error.find("unknown access key"), std::string::npos);
+}
+
+TEST(AccessFixtures, MissingCheckFlagged) {
+  AccessResult result = AnalyzeFixture("bad_access_missing.cc");
+  auto counts = RuleCounts(result);
+  EXPECT_EQ(counts["A001"], 1);
+  EXPECT_EQ(counts["A002"], 0);
+  EXPECT_EQ(result.no_access_check_escapes, 0);
+}
+
+TEST(AccessFixtures, WeakerCheckFlagged) {
+  AccessResult result = AnalyzeFixture("bad_access_weak.cc");
+  auto counts = RuleCounts(result);
+  EXPECT_EQ(counts["A001"], 0);
+  EXPECT_EQ(counts["A002"], 1);
+  // The finding names both masks and both entries.
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("WeakPath"), std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("StrongPath"), std::string::npos);
+}
+
+// The annotated copy of src/cve/accessctl.cc's write paths: both CVE shapes
+// in one translation unit, caught by their respective rules.
+TEST(AccessFixtures, CveAccessctlPairCaught) {
+  AccessResult result = AnalyzeFixture("cve_accessctl.cc");
+  auto counts = RuleCounts(result);
+  EXPECT_EQ(counts["A001"], 1);
+  EXPECT_EQ(counts["A002"], 1);
+  EXPECT_EQ(result.entries_analyzed, 3);
+  // A001 lands in the missing-check body, A002 in the weak-check body.
+  for (const Finding& finding : result.findings) {
+    if (finding.rule == "A001") {
+      EXPECT_NE(finding.message.find("WriteMissingCheck"), std::string::npos);
+    } else {
+      EXPECT_NE(finding.message.find("WriteWeakCheck"), std::string::npos);
+      EXPECT_NE(finding.message.find("WriteFixed"), std::string::npos);
+    }
+  }
+}
+
+TEST(AccessFixtures, CleanFixtureQuietWithEscapeTallied) {
+  AccessResult result = AnalyzeFixture("good_access.cc");
+  EXPECT_TRUE(result.findings.empty())
+      << "unexpected: " << FormatFinding(result.findings.front());
+  EXPECT_EQ(result.no_access_check_escapes, 1);
+  EXPECT_EQ(result.entries_analyzed, 2);
+  EXPECT_GE(result.accessor_sites_reached, 2);
+}
+
+// Entry attachment works on out-of-class definitions with explicit
+// qualification, and the check state flows through a traversed helper.
+TEST(AccessAnalysis, QualifiedDefinitionAttachment) {
+  const char* src = R"(
+    class Store { public: SKERN_PROTECTED int Poke(int b); };
+    class Sys { public: SKERN_ENTRY int Go(int b); int CheckPermission(int w); Store s_; };
+    int Sys::Go(int b) { return s_.Poke(b); }
+  )";
+  AccessResult result = AnalyzeSource("src/vfs/t.cc", src);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "A001");
+  EXPECT_NE(result.findings[0].message.find("Sys::Go"), std::string::npos);
+}
+
+// A computed mask (no literal kWant tokens at the call site) still counts
+// for A001 but is excluded from A002's subset comparison.
+TEST(AccessAnalysis, UnknownMaskCountsForA001NotA002) {
+  const char* src = R"(
+    class Store { public: SKERN_PROTECTED int Poke(int b); };
+    class Sys {
+     public:
+      SKERN_ENTRY int Computed(int b, int w);
+      SKERN_ENTRY int Literal(int b);
+      int CheckPermission(int w);
+      Store s_;
+    };
+    int Sys::Computed(int b, int w) {
+      if (CheckPermission(w) != 0) { return -1; }
+      return s_.Poke(b);
+    }
+    int Sys::Literal(int b) {
+      if (CheckPermission(kWantRead | kWantWrite) != 0) { return -1; }
+      return s_.Poke(b);
+    }
+  )";
+  AccessResult result = AnalyzeSource("src/vfs/t.cc", src);
+  EXPECT_TRUE(result.findings.empty())
+      << "unexpected: " << FormatFinding(result.findings.front());
+}
+
+// A member-syntax call to a configured check function (the aio plane's
+// vfs_.CheckFileAccess idiom) counts as a check.
+TEST(AccessAnalysis, MemberSyntaxCheckCounts) {
+  const char* src = R"(
+    class Store { public: SKERN_PROTECTED int Poke(int b); };
+    class Sys {
+     public:
+      SKERN_ENTRY int Go(int b);
+      Store s_;
+    };
+    int Sys::Go(int b) {
+      if (helper_.CheckFileAccess(b, kWantWrite) != 0) { return -1; }
+      return s_.Poke(b);
+    }
+  )";
+  AccessResult result = AnalyzeSource("src/vfs/t.cc", src);
+  EXPECT_TRUE(result.findings.empty())
+      << "unexpected: " << FormatFinding(result.findings.front());
+}
+
+// Checks inside an UNconfigured helper do not launder the caller's path:
+// only the [access] list confers check-ness.
+TEST(AccessAnalysis, NoTransitiveCheckPropagation) {
+  const char* src = R"(
+    class Store { public: SKERN_PROTECTED int Poke(int b); };
+    class Sys {
+     public:
+      SKERN_ENTRY int Go(int b);
+      int MyOwnGate(int b);
+      int CheckPermission(int w);
+      Store s_;
+    };
+    int Sys::MyOwnGate(int b) { return CheckPermission(kWantWrite); }
+    int Sys::Go(int b) {
+      MyOwnGate(b);
+      return s_.Poke(b);
+    }
+  )";
+  // The helper IS traversed, and its CheckPermission call updates the
+  // traversal state inside the helper only; the caller's subsequent
+  // accessor is still reached... through the traversal the state is copied
+  // per call, so the check inside MyOwnGate does NOT mark Go's path.
+  AccessResult result = AnalyzeSource("src/vfs/t.cc", src);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "A001");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace skern

@@ -105,12 +105,6 @@ std::string StripCommentsAndStrings(const std::string& src, std::vector<bool>* l
   return out;
 }
 
-struct Token {
-  std::string text;
-  int line = 0;
-  bool is_ident = false;
-};
-
 bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
 
 std::vector<Token> Tokenize(const std::string& stripped) {
@@ -641,6 +635,13 @@ bool AcquiresAnyLock(const std::vector<Token>& tokens, size_t begin, size_t end)
 // Public API
 // ---------------------------------------------------------------------------
 
+FileTokens TokenizeSource(const std::string& content) {
+  FileTokens out;
+  std::string stripped = StripCommentsAndStrings(content, &out.line_in_comment);
+  out.tokens = Tokenize(stripped);
+  return out;
+}
+
 std::string FormatFinding(const Finding& finding) {
   std::ostringstream os;
   os << finding.file << ":" << finding.line << ": [" << finding.rule << "] " << finding.message;
@@ -719,6 +720,25 @@ bool ParseConfig(const std::string& text, Config* config, std::string* error) {
       } else {
         return fail("unknown allow key: " + key);
       }
+    } else if (section == "access") {
+      if (value.empty() || value.front() != '[' || value.back() != ']') {
+        return fail("access values must be string arrays");
+      }
+      std::vector<std::string> items;
+      std::string inner = value.substr(1, value.size() - 2);
+      std::istringstream item_stream(inner);
+      std::string item;
+      while (std::getline(item_stream, item, ',')) {
+        std::string cleaned = unquote(item);
+        if (!cleaned.empty()) {
+          items.push_back(cleaned);
+        }
+      }
+      if (key == "check_functions") {
+        config->access_check_functions.insert(items.begin(), items.end());
+      } else {
+        return fail("unknown access key: " + key);
+      }
     } else {
       return fail("unknown section: " + section);
     }
@@ -743,16 +763,20 @@ std::string LintAsOverride(const std::string& content) {
   return Trim(rest);
 }
 
+std::vector<GuardedField> CollectGuardedFields(const FileTokens& file) {
+  return CollectGuardedFromTokens(file.tokens);
+}
+
 std::vector<GuardedField> CollectGuardedFields(const std::string& content) {
-  std::vector<bool> line_in_comment;
-  std::string stripped = StripCommentsAndStrings(content, &line_in_comment);
-  return CollectGuardedFromTokens(Tokenize(stripped));
+  return CollectGuardedFields(TokenizeSource(content));
+}
+
+std::set<std::string> CollectRequiresMethods(const FileTokens& file) {
+  return CollectRequiresFromTokens(file.tokens);
 }
 
 std::set<std::string> CollectRequiresMethods(const std::string& content) {
-  std::vector<bool> line_in_comment;
-  std::string stripped = StripCommentsAndStrings(content, &line_in_comment);
-  return CollectRequiresFromTokens(Tokenize(stripped));
+  return CollectRequiresMethods(TokenizeSource(content));
 }
 
 std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
@@ -760,10 +784,18 @@ std::vector<Finding> LintFile(const std::string& virtual_path, const std::string
                               const std::vector<GuardedField>& companion_fields,
                               const std::set<std::string>& companion_requires,
                               int* no_tsa_escapes) {
+  return LintFile(virtual_path, content, TokenizeSource(content), config, companion_fields,
+                  companion_requires, no_tsa_escapes);
+}
+
+std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
+                              const FileTokens& file, const Config& config,
+                              const std::vector<GuardedField>& companion_fields,
+                              const std::set<std::string>& companion_requires,
+                              int* no_tsa_escapes) {
   std::vector<Finding> findings;
-  std::vector<bool> line_in_comment;
-  std::string stripped = StripCommentsAndStrings(content, &line_in_comment);
-  std::vector<Token> tokens = Tokenize(stripped);
+  const std::vector<bool>& line_in_comment = file.line_in_comment;
+  const std::vector<Token>& tokens = file.tokens;
 
   const bool in_src = StartsWith(virtual_path, "src/");
   const bool grandfathered = HasPrefixIn(virtual_path, config.grandfathered);

@@ -30,6 +30,7 @@
 #ifndef SKERN_TOOLS_SAFETY_LINT_LINT_H_
 #define SKERN_TOOLS_SAFETY_LINT_LINT_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -37,6 +38,26 @@
 
 namespace skern {
 namespace lint {
+
+// One lexical token of a stripped source file (comments and literal contents
+// blanked, line numbers preserved).
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+// Tokenized form of one source file. Computed once per file by the driver
+// and shared by every rule pass and the access-reachability analysis, so a
+// tree-wide run lexes each file exactly once.
+struct FileTokens {
+  std::vector<Token> tokens;
+  // line_in_comment[i] is true when line i+1 *started* inside a block
+  // comment (the raw-line include scan skips those lines).
+  std::vector<bool> line_in_comment;
+};
+
+FileTokens TokenizeSource(const std::string& content);
 
 struct Finding {
   std::string file;  // virtual (lint-as) path
@@ -63,6 +84,12 @@ struct Config {
   // Path prefixes exempt from primitive bans (the deliberately-unsafe
   // legacy/fault-demo code the paper measures against).
   std::vector<std::string> grandfathered;
+  // Function names whose calls count as permission checks for the access
+  // reachability analysis (A001/A002); [access] check_functions. The list is
+  // explicit — the analysis does not propagate "performs a check" through
+  // arbitrary helpers, so adding a new check wrapper is a reviewed config
+  // change, not something the tool infers.
+  std::set<std::string> access_check_functions;
 };
 
 // Parses the minimal TOML subset layers.toml uses: [section] headers,
@@ -78,13 +105,17 @@ struct GuardedField {
   int line = 0;
 };
 
-// Scans declarations in `content` for SKERN_GUARDED_BY annotations.
+// Scans declarations for SKERN_GUARDED_BY annotations. The FileTokens
+// overloads are the tokenize-once fast path; the string overloads lex
+// internally (tests and one-off callers).
+std::vector<GuardedField> CollectGuardedFields(const FileTokens& file);
 std::vector<GuardedField> CollectGuardedFields(const std::string& content);
 
 // Names of functions declared with SKERN_REQUIRES / SKERN_REQUIRES_SHARED.
 // Clang merges attributes across redeclarations, so a .cc definition of a
 // header-annotated method is lock-assumed without restating the attribute;
 // the lint honors the same rule via this set.
+std::set<std::string> CollectRequiresMethods(const FileTokens& file);
 std::set<std::string> CollectRequiresMethods(const std::string& content);
 
 // Lints one file. `virtual_path` is the repo-relative path rules key off
@@ -92,6 +123,11 @@ std::set<std::string> CollectRequiresMethods(const std::string& content);
 // declared in the matching header so a .cc is checked against its .h's
 // annotations. `no_tsa_escapes`, if non-null, is incremented per
 // SKERN_NO_TSA seen (the visibility tally for the escape hatch).
+std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
+                              const FileTokens& file, const Config& config,
+                              const std::vector<GuardedField>& companion_fields,
+                              const std::set<std::string>& companion_requires = {},
+                              int* no_tsa_escapes = nullptr);
 std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
                               const Config& config,
                               const std::vector<GuardedField>& companion_fields,

@@ -1,12 +1,21 @@
-// safety_lint: tree-wide safety linter (see lint.h for the rule set).
+// safety_lint: tree-wide safety linter (see lint.h for the per-file rule
+// set and access.h for the interprocedural access-reachability analysis).
 //
 // Usage:
-//   safety_lint --root <repo> [--config <layers.toml>] [files...]
+//   safety_lint --root <repo> [--config <layers.toml>] [--json] [files...]
 //
 // With no explicit files, scans src/, bench/ and tests/ under --root. Exits
 // 0 when clean, 1 when any rule fires, 2 on usage/config errors. Findings
-// print as `path:line: [RULE] message (fix: hint)`.
+// print as `path:line: [RULE] message (fix: hint)`, or as a sorted JSON
+// array with --json (the format CI diffs against baseline.json).
+//
+// Every file is tokenized exactly once; the token stream feeds the per-file
+// rules, the companion-header annotation tables, and the cross-file access
+// index (built from src/ files only — tests and benches call the kernel
+// from outside the checked boundary).
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -16,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/safety_lint/access.h"
 #include "tools/safety_lint/lint.h"
 
 namespace fs = std::filesystem;
@@ -38,11 +48,54 @@ bool IsSourceFile(const fs::path& path) {
   return ext == ".h" || ext == ".cc";
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void PrintJson(const std::vector<skern::lint::Finding>& findings) {
+  std::cout << "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const skern::lint::Finding& f = findings[i];
+    std::cout << (i == 0 ? "\n" : ",\n");
+    std::cout << "  {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+              << ", \"rule\": \"" << JsonEscape(f.rule) << "\", \"message\": \""
+              << JsonEscape(f.message) << "\"}";
+  }
+  std::cout << (findings.empty() ? "]\n" : "\n]\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = ".";
   fs::path config_path;
+  bool json = false;
   std::vector<fs::path> explicit_files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -50,8 +103,11 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--config" && i + 1 < argc) {
       config_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: safety_lint --root <repo> [--config <layers.toml>] [files...]\n";
+      std::cout << "usage: safety_lint --root <repo> [--config <layers.toml>] [--json] "
+                   "[files...]\n";
       return 0;
     } else {
       explicit_files.emplace_back(arg);
@@ -88,15 +144,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Pass 1: contents + virtual paths + per-file guarded-field tables, so a
-  // .cc can be checked against annotations declared in its header.
+  // Pass 1: read + tokenize each file once. The token stream feeds the
+  // guarded-field/requires tables, the per-file rules, and the access index.
   struct FileInput {
     std::string virtual_path;
     std::string content;
+    skern::lint::FileTokens tokens;
   };
   std::vector<FileInput> inputs;
   std::map<std::string, std::vector<skern::lint::GuardedField>> fields_by_path;
   std::map<std::string, std::set<std::string>> requires_by_path;
+  skern::lint::AccessIndex access_index;
   for (const fs::path& path : files) {
     std::string content;
     if (!ReadFile(path, &content)) {
@@ -107,13 +165,17 @@ int main(int argc, char** argv) {
     if (virtual_path.empty()) {
       virtual_path = fs::relative(path, root).generic_string();
     }
-    fields_by_path[virtual_path] = skern::lint::CollectGuardedFields(content);
-    requires_by_path[virtual_path] = skern::lint::CollectRequiresMethods(content);
-    inputs.push_back({std::move(virtual_path), std::move(content)});
+    skern::lint::FileTokens tokens = skern::lint::TokenizeSource(content);
+    fields_by_path[virtual_path] = skern::lint::CollectGuardedFields(tokens);
+    requires_by_path[virtual_path] = skern::lint::CollectRequiresMethods(tokens);
+    if (virtual_path.rfind("src/", 0) == 0) {
+      skern::lint::IndexFileForAccess(virtual_path, tokens, &access_index);
+    }
+    inputs.push_back({std::move(virtual_path), std::move(content), std::move(tokens)});
   }
 
-  // Pass 2: rules.
-  int finding_count = 0;
+  // Pass 2: per-file rules.
+  std::vector<skern::lint::Finding> findings;
   int no_tsa_escapes = 0;
   for (const FileInput& input : inputs) {
     std::vector<skern::lint::GuardedField> companion;
@@ -131,15 +193,39 @@ int main(int argc, char** argv) {
         companion_requires = rit->second;
       }
     }
-    for (const skern::lint::Finding& finding :
-         skern::lint::LintFile(input.virtual_path, input.content, config, companion,
-                               companion_requires, &no_tsa_escapes)) {
-      std::cout << skern::lint::FormatFinding(finding) << "\n";
-      ++finding_count;
+    for (skern::lint::Finding& finding :
+         skern::lint::LintFile(input.virtual_path, input.content, input.tokens, config,
+                               companion, companion_requires, &no_tsa_escapes)) {
+      findings.push_back(std::move(finding));
     }
   }
 
-  std::cerr << "safety_lint: checked " << inputs.size() << " files: " << finding_count
-            << " finding(s), " << no_tsa_escapes << " SKERN_NO_TSA escape(s)\n";
-  return finding_count == 0 ? 0 : 1;
+  // Pass 3: interprocedural access-reachability (A001/A002).
+  skern::lint::AccessResult access = skern::lint::AnalyzeAccess(access_index, config);
+  for (skern::lint::Finding& finding : access.findings) {
+    findings.push_back(std::move(finding));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const skern::lint::Finding& a, const skern::lint::Finding& b) {
+              if (a.file != b.file) {
+                return a.file < b.file;
+              }
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+
+  if (json) {
+    PrintJson(findings);
+  } else {
+    for (const skern::lint::Finding& finding : findings) {
+      std::cout << skern::lint::FormatFinding(finding) << "\n";
+    }
+  }
+
+  std::cerr << "safety_lint: checked " << inputs.size() << " files: " << findings.size()
+            << " finding(s), " << no_tsa_escapes << " SKERN_NO_TSA escape(s); access: "
+            << access.entries_analyzed << " entries analyzed, "
+            << access.accessor_sites_reached << " accessor site(s) reached, "
+            << access.no_access_check_escapes << " SKERN_NO_ACCESS_CHECK escape(s)\n";
+  return findings.empty() ? 0 : 1;
 }

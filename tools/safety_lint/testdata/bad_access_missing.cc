@@ -1,0 +1,37 @@
+// lint-as: src/vfs/bad_access_missing.cc
+// Seeded A001 fixture: a syscall-plane entry dispatches straight to a
+// protected accessor with no permission check on the path — the classic
+// missing-check CVE shape (CVE-2016-10044-style: an alternate entry point
+// skips the DAC check the primary path performs). Expected: exactly one
+// A001 at the store_.Mutate call; the checked entry is clean.
+#include "src/sync/annotations.h"
+
+namespace skern {
+
+class Store {
+ public:
+  SKERN_PROTECTED int Mutate(int block);
+};
+
+class Syscalls {
+ public:
+  SKERN_ENTRY int CheckedWrite(int block);
+  SKERN_ENTRY int UncheckedWrite(int block);
+
+ private:
+  int CheckPermission(int want);
+  Store store_;
+};
+
+int Syscalls::CheckedWrite(int block) {
+  if (CheckPermission(kWantWrite) != 0) {
+    return -1;
+  }
+  return store_.Mutate(block);
+}
+
+int Syscalls::UncheckedWrite(int block) {
+  return store_.Mutate(block);  // A001: no check reaches this accessor
+}
+
+}  // namespace skern

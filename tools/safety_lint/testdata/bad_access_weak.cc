@@ -1,0 +1,40 @@
+// lint-as: src/vfs/bad_access_weak.cc
+// Seeded A002 fixture: two entries reach the same protected accessor, one
+// under a strictly weaker governing mask than the other — the weaker-check
+// CVE shape (one ioctl path validates read|write, a second path added later
+// validates only read before the same mutation). Both paths ARE checked, so
+// A001 stays quiet; expected: exactly one A002 at the weaker call site.
+#include "src/sync/annotations.h"
+
+namespace skern {
+
+class Store {
+ public:
+  SKERN_PROTECTED int Mutate(int block);
+};
+
+class Syscalls {
+ public:
+  SKERN_ENTRY int StrongPath(int block);
+  SKERN_ENTRY int WeakPath(int block);
+
+ private:
+  int CheckPermission(int want);
+  Store store_;
+};
+
+int Syscalls::StrongPath(int block) {
+  if (CheckPermission(kWantRead | kWantWrite) != 0) {
+    return -1;
+  }
+  return store_.Mutate(block);
+}
+
+int Syscalls::WeakPath(int block) {
+  if (CheckPermission(kWantRead) != 0) {
+    return -1;
+  }
+  return store_.Mutate(block);  // A002: {read} is a strict subset of {read|write}
+}
+
+}  // namespace skern

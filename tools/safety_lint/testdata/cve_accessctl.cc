@@ -1,0 +1,46 @@
+// lint-as: src/cve/cve_accessctl.cc
+// Annotated copy of the vulnerable pair in src/cve/accessctl.cc: the live
+// file leaves WriteMissingCheck and WriteWeakCheck un-annotated so the tree
+// gate stays green; this fixture adds SKERN_ENTRY to all three write paths
+// and asserts the analysis catches both bug shapes. Expected: one A001 (the
+// missing-check body) and one A002 (the weak-check body, a strict subset of
+// WriteFixed's read|write mask over the same accessor).
+#include "src/sync/annotations.h"
+
+namespace skern {
+
+class SettingsStore {
+ public:
+  SKERN_PROTECTED void Put(int index, int value);
+  SKERN_PROTECTED int Fetch(int index) const;
+};
+
+class SettingsDevice {
+ public:
+  SKERN_ENTRY Status WriteFixed(int index, int value);
+  SKERN_ENTRY Status WriteMissingCheck(int index, int value);
+  SKERN_ENTRY Status WriteWeakCheck(int index, int value);
+
+ private:
+  SettingsStore store_;
+};
+
+Status SettingsDevice::WriteFixed(int index, int value) {
+  SKERN_RETURN_IF_ERROR(CheckPermission(CurrentCred(), mode_, uid_, gid_,
+                                        kWantRead | kWantWrite));
+  store_.Put(index, value);
+  return Status::Ok();
+}
+
+Status SettingsDevice::WriteMissingCheck(int index, int value) {
+  store_.Put(index, value);  // A001: no check on this path
+  return Status::Ok();
+}
+
+Status SettingsDevice::WriteWeakCheck(int index, int value) {
+  SKERN_RETURN_IF_ERROR(CheckPermission(CurrentCred(), mode_, uid_, gid_, kWantRead));
+  store_.Put(index, value);  // A002: {read} < {read|write}
+  return Status::Ok();
+}
+
+}  // namespace skern

@@ -1,0 +1,49 @@
+// lint-as: src/vfs/good_access.cc
+// Clean access-control fixture: every entry either performs a configured
+// permission check before its accessor (including through an intermediate
+// helper the analysis traverses) or carries the SKERN_NO_ACCESS_CHECK
+// escape. Expected: zero findings, one escape tallied.
+#include "src/sync/annotations.h"
+
+namespace skern {
+
+class Store {
+ public:
+  SKERN_PROTECTED int Mutate(int block);
+  SKERN_PROTECTED int Fetch(int block);
+};
+
+class Syscalls {
+ public:
+  SKERN_ENTRY int DoWrite(int block);
+  SKERN_ENTRY int DoRead(int block);
+  // Maintenance path touching no permission-bearing object; the escape is
+  // visible in the tally instead of silently passing.
+  SKERN_ENTRY SKERN_NO_ACCESS_CHECK int Flush();
+
+ private:
+  int CheckPermission(int want);
+  int DispatchMutate(int block);
+  Store store_;
+};
+
+int Syscalls::DoWrite(int block) {
+  if (CheckPermission(kWantWrite) != 0) {
+    return -1;
+  }
+  // The check state flows through the traversed helper to the accessor.
+  return DispatchMutate(block);
+}
+
+int Syscalls::DispatchMutate(int block) { return store_.Mutate(block); }
+
+int Syscalls::DoRead(int block) {
+  if (CheckPermission(kWantRead) != 0) {
+    return -1;
+  }
+  return store_.Fetch(block);
+}
+
+int Syscalls::Flush() { return store_.Mutate(0); }
+
+}  // namespace skern
