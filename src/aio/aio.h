@@ -33,6 +33,7 @@
 
 #include "src/aio/ring.h"
 #include "src/base/bytes.h"
+#include "src/mem/stl_alloc.h"
 #include "src/base/cred.h"
 #include "src/base/result.h"
 #include "src/base/status.h"
@@ -153,8 +154,12 @@ class AioQueue {
 
   Vfs& vfs_;
   size_t depth_;
-  SpscRing<AioOp> sq_;
-  SpscRing<AioCompletion> cq_;
+  // SQ/CQ slot arrays live on the slab size classes under one display name.
+  struct AioRingTag {
+    static constexpr const char* kName = "aio.ring";
+  };
+  SpscRing<AioOp, mem::StlAllocator<AioOp, AioRingTag>> sq_;
+  SpscRing<AioCompletion, mem::StlAllocator<AioCompletion, AioRingTag>> cq_;
   // Executor scratch, reused across batches (guarded by executor_lock_).
   std::vector<AioOp> exec_ops_ SKERN_GUARDED_BY(executor_lock_);
   std::vector<WriteSlice> exec_slices_ SKERN_GUARDED_BY(executor_lock_);

@@ -12,12 +12,16 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 namespace skern {
 
-template <typename T>
+// `Alloc` lets the owner place the slot array (e.g. on the slab size
+// classes via mem::StlAllocator); the ring itself never reallocates after
+// construction.
+template <typename T, typename Alloc = std::allocator<T>>
 class SpscRing {
  public:
   // Capacity is rounded up to a power of two so the head/tail counters can
@@ -69,7 +73,7 @@ class SpscRing {
   }
 
  private:
-  std::vector<T> slots_;
+  std::vector<T, Alloc> slots_;
   size_t mask_ = 0;
   // Separate cache lines so the producer's tail stores never invalidate the
   // consumer's head line (and vice versa).

@@ -1,0 +1,35 @@
+#include "src/base/alloc_bridge.h"
+
+namespace skern {
+namespace membridge {
+namespace {
+
+void* HeapAlloc(std::size_t n) { return ::operator new(n); }
+void HeapFree(void* p, std::size_t n) {
+  (void)n;
+  ::operator delete(p);
+}
+
+std::atomic<bool> g_installed{false};
+
+}  // namespace
+
+namespace internal {
+std::atomic<AllocHook> g_alloc_hook{&HeapAlloc};
+std::atomic<FreeHook> g_free_hook{&HeapFree};
+}  // namespace internal
+
+void InstallHooks(AllocHook alloc_hook, FreeHook free_hook) {
+  // Free hook first: a concurrent allocation that still went through the old
+  // alloc hook must find a free hook that can route its pointer, and the
+  // slab router routes heap pointers correctly (region lookup) while the
+  // heap default cannot route slab pointers.
+  internal::g_free_hook.store(free_hook, std::memory_order_release);
+  internal::g_alloc_hook.store(alloc_hook, std::memory_order_release);
+  g_installed.store(true, std::memory_order_release);
+}
+
+bool HooksInstalled() { return g_installed.load(std::memory_order_acquire); }
+
+}  // namespace membridge
+}  // namespace skern

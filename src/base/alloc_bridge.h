@@ -1,0 +1,87 @@
+// Allocation bridge: the seam between base-layer byte buffers and the slab
+// allocator that lives above them.
+//
+// `Bytes` (src/base/bytes.h) is the payload currency of every fast path —
+// buffer-cache blocks, net segments, aio read buffers. Routing those
+// allocations through the slab subsystem (src/mem) would invert the module
+// layering if bytes.h included slab headers, so base owns only this pair of
+// hook points. They default to the global heap; src/mem installs its
+// size-class router once, from a static initializer, in any binary that
+// links the mem library. Binaries that never pull in src/mem keep the heap
+// default and behave exactly as before.
+//
+// Safety across installation and the runtime SetSlabAllocation toggle rests
+// on one rule: the *free* hook must accept any pointer the *current or any
+// previous* alloc hook produced. The slab router honors this by deciding
+// ownership per pointer (slab-region lookup) rather than per flag, so a
+// buffer allocated from the heap before the hooks existed is still freed to
+// the heap afterwards.
+#ifndef SKERN_SRC_BASE_ALLOC_BRIDGE_H_
+#define SKERN_SRC_BASE_ALLOC_BRIDGE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace skern {
+namespace membridge {
+
+using AllocHook = void* (*)(std::size_t);
+using FreeHook = void (*)(void*, std::size_t);
+
+namespace internal {
+extern std::atomic<AllocHook> g_alloc_hook;
+extern std::atomic<FreeHook> g_free_hook;
+}  // namespace internal
+
+// Installs the slab router. Called exactly once, by src/mem's static
+// initializer; hooks are never uninstalled (see header comment).
+void InstallHooks(AllocHook alloc_hook, FreeHook free_hook);
+bool HooksInstalled();
+
+inline void* Alloc(std::size_t n) {
+  return internal::g_alloc_hook.load(std::memory_order_acquire)(n);
+}
+
+inline void Free(void* p, std::size_t n) {
+  internal::g_free_hook.load(std::memory_order_acquire)(p, n);
+}
+
+}  // namespace membridge
+
+// Stateless STL allocator over the bridge — the allocator behind `Bytes`.
+// Sized deallocation (the n the container hands back) lets the router pick
+// the size class without a header probe on the alloc side.
+template <typename T>
+class BridgeAllocator {
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+
+  BridgeAllocator() noexcept = default;
+  template <typename U>
+  BridgeAllocator(const BridgeAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(membridge::Alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    membridge::Free(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  friend bool operator==(const BridgeAllocator&, const BridgeAllocator<U>&) noexcept {
+    return true;
+  }
+  template <typename U>
+  friend bool operator!=(const BridgeAllocator&, const BridgeAllocator<U>&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace skern
+
+#endif  // SKERN_SRC_BASE_ALLOC_BRIDGE_H_

@@ -3,7 +3,7 @@
 namespace skern {
 
 Bytes BytesFromString(const std::string& s) {
-  return Bytes(s.begin(), s.end());
+  return CopyBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
 }
 
 std::string StringFromBytes(const Bytes& b) {

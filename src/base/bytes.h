@@ -10,11 +10,15 @@
 #include <string>
 #include <vector>
 
+#include "src/base/alloc_bridge.h"
 #include "src/base/panic.h"
 
 namespace skern {
 
-using Bytes = std::vector<uint8_t>;
+// Owning byte buffer. Storage comes from the allocation bridge so that
+// binaries linking src/mem route payload buffers through the slab size
+// classes; everything else gets the plain global heap (alloc_bridge.h).
+using Bytes = std::vector<uint8_t, BridgeAllocator<uint8_t>>;
 
 // Read-only view over a contiguous byte range. Does not own the memory.
 class ByteView {
@@ -39,7 +43,7 @@ class ByteView {
     return ByteView(data_ + offset, length);
   }
 
-  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  Bytes ToBytes() const;
   std::string ToString() const {
     return std::string(reinterpret_cast<const char*>(data_), size_);
   }
@@ -94,6 +98,34 @@ class MutableByteView {
   uint8_t* data_;
   size_t size_;
 };
+
+// Bulk byte movement into a Bytes buffer. libstdc++ takes the memmove fast
+// path for uninitialized range copies only under std::allocator; under the
+// bridge allocator, vector::insert and the range constructor fall back to a
+// per-element construct loop that the compiler cannot fold into memcpy (byte
+// stores may alias the source iterator). resize() stays fast (the zero-fill
+// needs no loads), so bulk appends and copies go resize+memcpy through these
+// helpers instead of the iterator-pair container calls.
+inline void AppendBytes(Bytes& dst, const uint8_t* src, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  const size_t old = dst.size();
+  dst.resize(old + n);
+  std::memcpy(dst.data() + old, src, n);
+}
+
+inline void AppendBytes(Bytes& dst, ByteView src) {
+  AppendBytes(dst, src.data(), src.size());
+}
+
+inline Bytes CopyBytes(const uint8_t* src, size_t n) {
+  Bytes out;
+  AppendBytes(out, src, n);
+  return out;
+}
+
+inline Bytes ByteView::ToBytes() const { return CopyBytes(data_, size_); }
 
 // Convenience conversions.
 Bytes BytesFromString(const std::string& s);

@@ -135,8 +135,8 @@ std::string Rng::NextName(size_t length) {
   return out;
 }
 
-std::vector<uint8_t> Rng::NextBytes(size_t length) {
-  std::vector<uint8_t> out(length);
+Bytes Rng::NextBytes(size_t length) {
+  Bytes out(length);
   size_t i = 0;
   while (i + 8 <= length) {
     uint64_t v = Next();

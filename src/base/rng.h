@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/base/bytes.h"
+
 namespace skern {
 
 // xoshiro256** seeded via splitmix64. Fast, high-quality, deterministic
@@ -52,7 +54,7 @@ class Rng {
   std::string NextName(size_t length);
 
   // Fills a byte vector with random content.
-  std::vector<uint8_t> NextBytes(size_t length);
+  Bytes NextBytes(size_t length);
 
   // Derives an independent child generator (for per-component streams).
   Rng Fork();

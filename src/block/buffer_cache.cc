@@ -328,8 +328,7 @@ Status BufferCache::AppendFromBlock(uint64_t block, uint64_t offset, uint64_t le
     if (bh != nullptr && bh->Test(BhFlag::kUptodate)) {
       ++shard.stats.lookups;
       ++shard.stats.hits;
-      out.insert(out.end(), bh->data.begin() + offset,
-                 bh->data.begin() + offset + length);
+      AppendBytes(out, bh->data.data() + offset, length);
       return Status::Ok();
     }
     // Not resident (or mid-fill): take the pin-based path below, which does
@@ -341,8 +340,7 @@ Status BufferCache::AppendFromBlock(uint64_t block, uint64_t offset, uint64_t le
   if (!bh.ok()) {
     return bh.status();
   }
-  out.insert(out.end(), (*bh)->data.begin() + offset,
-             (*bh)->data.begin() + offset + length);
+  AppendBytes(out, (*bh)->data.data() + offset, length);
   Release(*bh);
   return Status::Ok();
 }

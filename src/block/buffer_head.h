@@ -22,6 +22,7 @@
 #include "src/base/bytes.h"
 #include "src/base/intrusive_list.h"
 #include "src/block/block_device.h"
+#include "src/mem/slab_class.h"
 
 namespace skern {
 
@@ -57,6 +58,10 @@ struct BufferHead {
 
   BufferHead(const BufferHead&) = delete;
   BufferHead& operator=(const BufferHead&) = delete;
+
+  // Handle on a named slab cache; the 4 KiB payload rides the size classes
+  // through the Bytes alloc bridge.
+  SKERN_SLAB_CLASS(BufferHead, "block.bufferhead")
 
   uint64_t blocknr;
   std::atomic<uint32_t> state;

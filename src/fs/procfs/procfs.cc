@@ -10,6 +10,7 @@
 #include "src/core/landscape.h"
 #include "src/core/module.h"
 #include "src/core/shim.h"
+#include "src/mem/slab.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ownership/ownership.h"
@@ -70,7 +71,18 @@ std::string LocksText() {
   return os.str();
 }
 
-std::string MetricsText() { return obs::MetricsRegistry::Get().RenderText(); }
+// Both readers fold the allocator's internal tallies into the registry
+// first, so /metrics' mem.slab.* counters and /slabinfo agree with each
+// other on any interleaving of reads.
+std::string MetricsText() {
+  mem::PublishSlabMetrics();
+  return obs::MetricsRegistry::Get().RenderText();
+}
+
+std::string SlabinfoText() {
+  mem::PublishSlabMetrics();
+  return mem::SlabInfoText();
+}
 
 // /spans: every per-site span latency histogram (span.<subsys>.<op>[.plane].ns
 // plus the .lock_wait_ns attribution histograms), one line each with count and
@@ -181,6 +193,7 @@ ProcFs::ProcFs() {
   AddEntry("metrics", MetricsText);
   AddEntry("trace", TraceText);
   AddEntry("log", LogText);
+  AddEntry("slabinfo", SlabinfoText);
   AddEntry("spans", SpansText);
   AddEntry("latency", LatencyText);
   AddEntry("contention", ContentionText);
@@ -218,7 +231,7 @@ Result<Bytes> ProcFs::Read(const std::string& path, uint64_t offset, uint64_t le
     return Bytes{};
   }
   uint64_t take = std::min<uint64_t>(length, text.size() - offset);
-  return Bytes(text.begin() + offset, text.begin() + offset + take);
+  return CopyBytes(reinterpret_cast<const uint8_t*>(text.data()) + offset, take);
 }
 
 Result<FileAttr> ProcFs::Stat(const std::string& path) {

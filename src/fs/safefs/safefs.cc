@@ -1603,8 +1603,7 @@ std::optional<Bytes> SafeFs::TryFastRead(InodeDataState& ds, uint64_t offset,
     auto dit = ds.wb_dirty.find(index);
     const WbDirtyBlock* dirty = dit == ds.wb_dirty.end() ? nullptr : &dit->second;
     if (dirty != nullptr && dirty->full) {
-      out.insert(out.end(), dirty->data.begin() + in_block,
-                 dirty->data.begin() + in_block + chunk);
+      AppendBytes(out, dirty->data.data() + in_block, chunk);
       done += chunk;
       continue;
     }
@@ -1616,7 +1615,7 @@ std::optional<Bytes> SafeFs::TryFastRead(InodeDataState& ds, uint64_t offset,
         return std::nullopt;
       }
     } else {
-      out.insert(out.end(), chunk, 0);  // holes read zero
+      out.resize(out.size() + chunk);  // holes read zero
     }
     if (dirty != nullptr) {
       for (const WbExtent& ext : dirty->extents) {

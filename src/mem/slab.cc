@@ -1,0 +1,803 @@
+#include "src/mem/slab.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <new>
+#include <utility>
+
+#include "src/base/alloc_bridge.h"
+#include "src/base/bytes.h"
+#include "src/base/panic.h"
+#include "src/obs/span.h"
+#include "src/ownership/leak_detector.h"
+
+namespace skern {
+namespace mem {
+
+namespace internal {
+
+// Lives at the base of every 64 KiB slab chunk; object pointers recover it
+// with one mask. `owner` is immutable after the slab is published in the
+// region table, so the lock-free free-routing read is safe.
+struct Slab {
+  SlabCache* owner = nullptr;
+  uint64_t magic = 0;
+  Slab* next = nullptr;
+  uint32_t capacity = 0;
+};
+
+struct Magazine {
+  Magazine* next = nullptr;
+  uint32_t count = 0;
+  void* rounds[kMaxMagRounds];
+};
+
+// Per-thread, per-cache state. Tallies are thread-private and flushed into
+// the cache's atomics on depot trips and every kTallyFlushOps fast-path ops.
+struct MagSlot {
+  Magazine* loaded = nullptr;
+  Magazine* prev = nullptr;
+  uint32_t tally_allocs = 0;
+  uint32_t tally_frees = 0;
+  uint32_t tally_hits = 0;
+  uint32_t ops_since_flush = 0;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::MagSlot;
+using internal::Magazine;
+using internal::Slab;
+
+constexpr uint64_t kSlabMagic = 0x51ab51ab51ab51abull;
+constexpr uint64_t kRedzoneMagic = 0xfeedfacecafebeefull;
+constexpr uint8_t kPoisonByte = 0x6b;
+constexpr uint32_t kTallyFlushOps = 4096;
+constexpr size_t kRedzoneBytes = sizeof(uint64_t);
+
+constexpr size_t AlignUp(size_t n, size_t a) { return (n + a - 1) & ~(a - 1); }
+
+std::atomic<bool> g_slab_enabled{true};
+
+// ---------------------------------------------------------------------------
+// Slab-region table: fixed-size open-addressed set of slab base addresses.
+// Mutations (grow/teardown) take g_region_lock; the free-routing lookup is
+// a lock-free probe over acquire loads. Slots: 0 = empty, 1 = tombstone.
+// The acquire/release pair orders the slab header writes (owner, magic)
+// before the base address becomes visible to routers.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kRegionSlots = 1 << 16;
+constexpr uintptr_t kRegionTombstone = 1;
+
+std::atomic<uintptr_t> g_regions[kRegionSlots];
+Spinlock g_region_lock;
+size_t g_region_count = 0;  // guarded by g_region_lock, tombstones included
+
+size_t RegionHash(uintptr_t base) {
+  return static_cast<size_t>(((base >> 16) * 0x9e3779b97f4a7c15ull) >> 48);
+}
+
+void RegisterRegion(uintptr_t base) {
+  SpinGuard g(g_region_lock);
+  // Cap the load factor; probes must terminate and stay short. 32 Ki slabs
+  // (2 GiB of slab memory) is far beyond any workload here.
+  SKERN_CHECK(g_region_count < kRegionSlots / 2);
+  size_t i = RegionHash(base);
+  while (true) {
+    uintptr_t v = g_regions[i].load(std::memory_order_relaxed);
+    if (v == 0 || v == kRegionTombstone) {
+      g_regions[i].store(base, std::memory_order_release);
+      ++g_region_count;
+      return;
+    }
+    i = (i + 1) & (kRegionSlots - 1);
+  }
+}
+
+void UnregisterRegion(uintptr_t base) {
+  SpinGuard g(g_region_lock);
+  size_t i = RegionHash(base);
+  while (true) {
+    uintptr_t v = g_regions[i].load(std::memory_order_relaxed);
+    if (v == base) {
+      g_regions[i].store(kRegionTombstone, std::memory_order_release);
+      return;
+    }
+    SKERN_CHECK(v != 0);  // unregistering a base that was never registered
+    i = (i + 1) & (kRegionSlots - 1);
+  }
+}
+
+bool IsSlabBase(uintptr_t base) {
+  size_t i = RegionHash(base);
+  while (true) {
+    uintptr_t v = g_regions[i].load(std::memory_order_acquire);
+    if (v == base) {
+      return true;
+    }
+    if (v == 0) {
+      return false;
+    }
+    i = (i + 1) & (kRegionSlots - 1);
+  }
+}
+
+SlabCache* LookupOwner(void* p) {
+  uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  uintptr_t base = addr & ~(kSlabBytes - 1);
+  // The slab header occupies the base; handed-out objects never sit there,
+  // so a base-aligned pointer is a heap allocation that happened to align.
+  if (base == addr || !IsSlabBase(base)) {
+    return nullptr;
+  }
+  Slab* slab = reinterpret_cast<Slab*>(base);
+  SKERN_CHECK(slab->magic == kSlabMagic);
+  return slab->owner;
+}
+
+// ---------------------------------------------------------------------------
+// Cache registry + per-thread caches.
+// ---------------------------------------------------------------------------
+
+Spinlock g_registry_lock;
+SlabCache* g_caches[kMaxCaches];  // guarded by g_registry_lock; slots retire
+std::atomic<uint32_t> g_cache_count{0};
+
+struct ThreadCache {
+  MagSlot slots[kMaxCaches];
+};
+
+std::vector<ThreadCache*>& ThreadRegistry() {
+  static auto* v = new std::vector<ThreadCache*>();  // leaked, guarded by g_registry_lock
+  return *v;
+}
+
+// The fast path dereferences t_tc only (trivially-destructible pointer);
+// t_tc_owner's destructor drains the magazines at thread exit and flips
+// t_tls_dead so late frees (static destructors, detached teardown) take the
+// depot path instead of resurrecting TLS.
+thread_local ThreadCache* t_tc = nullptr;
+thread_local bool t_tls_dead = false;
+
+// Re-entrancy firewall: while a slow path holds a depot lock it may touch
+// infrastructure (obs spans, magazine allocation) that allocates; any such
+// allocation arriving back through the bridge must fall to the plain heap
+// rather than re-enter a size-class depot.
+thread_local bool t_in_slab = false;
+
+struct ReentryGuard {
+  bool saved;
+  ReentryGuard() : saved(t_in_slab) { t_in_slab = true; }
+  ~ReentryGuard() { t_in_slab = saved; }
+};
+
+std::atomic<ViolationHandler> g_violation_handler{nullptr};
+
+void ReportViolation(const std::string& cache, const char* kind, void* p) {
+  ViolationHandler h = g_violation_handler.load(std::memory_order_acquire);
+  if (h != nullptr) {
+    h(cache.c_str(), kind, p);
+    return;
+  }
+  SKERN_CHECK_MSG(false, "slab " + std::string(kind) + " violation in cache " + cache);
+}
+
+void DestroyThreadCache();
+
+struct TcOwner {
+  ~TcOwner() { DestroyThreadCache(); }
+};
+thread_local TcOwner t_tc_owner;
+
+ThreadCache* GetTc() {
+  ThreadCache* tc = t_tc;
+  if (tc != nullptr) [[likely]] {
+    return tc;
+  }
+  if (t_tls_dead) {
+    return nullptr;
+  }
+  (void)&t_tc_owner;  // odr-use arms the thread-exit drain
+  tc = new ThreadCache();
+  {
+    SpinGuard g(g_registry_lock);
+    ThreadRegistry().push_back(tc);
+  }
+  t_tc = tc;
+  return tc;
+}
+
+uint32_t RegisterCache(SlabCache* cache) {
+  SpinGuard g(g_registry_lock);
+  uint32_t idx = g_cache_count.load(std::memory_order_relaxed);
+  SKERN_CHECK_MSG(idx < kMaxCaches, "slab cache registry exhausted");
+  g_caches[idx] = cache;
+  g_cache_count.store(idx + 1, std::memory_order_release);
+  return idx;
+}
+
+std::vector<CensusEntry> SlabCensus() {
+  std::vector<CensusEntry> entries;
+  for (const CacheStats& s : SnapshotAllCaches()) {
+    CensusEntry e;
+    e.source = "mem.slab";
+    e.label = s.name;
+    e.live_objects = s.objs_in_use;
+    e.obj_size = s.obj_size;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void RegisterCensusOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    LeakDetector::Get().RegisterCensusSource("mem.slab", &SlabCensus);
+  });
+}
+
+uint32_t MagRoundsFor(size_t obj_size) {
+  // Magazine structs carry kMaxMagRounds pointer slots regardless, so round
+  // count only governs how many objects a thread may cache (2 * rounds *
+  // obj_size per cache). 16 rounds at 4 KiB bounds that at 128 KiB/thread
+  // and lets a burst of 32 page buffers ride loaded+prev without a depot
+  // trip — the block writeback and aio patterns that motivated the cache.
+  if (obj_size <= 256) return kMaxMagRounds;
+  if (obj_size <= 4096) return 16;
+  return 8;
+}
+
+size_t ComputeStride(size_t obj_size, bool debug) {
+  return AlignUp(obj_size + (debug ? kRedzoneBytes : 0), 16);
+}
+
+}  // namespace
+
+// Accesses MagSlot internals of a cache from the registry walkers (thread
+// exit, explicit drain, cache teardown).
+class ThreadCacheDrainer {
+ public:
+  // Returns a thread's magazines for one cache to its depot. Caller holds
+  // g_registry_lock; takes the cache's depot lock.
+  static void DrainSlot(SlabCache* cache, MagSlot& slot) {
+    ReentryGuard reent;
+    SpinGuard g(cache->depot_lock_);
+    cache->FlushSlotTallies(slot);
+    if (slot.loaded != nullptr) {
+      cache->ReturnMagazine(slot.loaded);
+      slot.loaded = nullptr;
+    }
+    if (slot.prev != nullptr) {
+      cache->ReturnMagazine(slot.prev);
+      slot.prev = nullptr;
+    }
+  }
+
+  // Cache teardown: the rounds die with the slabs, only the magazine
+  // structures need freeing. Caller holds g_registry_lock and guarantees
+  // the cache is quiescent.
+  static void StealSlot(MagSlot& slot) {
+    delete slot.loaded;
+    delete slot.prev;
+    slot = MagSlot{};
+  }
+};
+
+namespace {
+
+void DestroyThreadCache() {
+  t_tls_dead = true;
+  ThreadCache* tc = t_tc;
+  if (tc == nullptr) {
+    return;
+  }
+  t_tc = nullptr;
+  {
+    SpinGuard g(g_registry_lock);
+    uint32_t n = g_cache_count.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (g_caches[i] != nullptr) {
+        ThreadCacheDrainer::DrainSlot(g_caches[i], tc->slots[i]);
+      }
+    }
+    auto& reg = ThreadRegistry();
+    reg.erase(std::remove(reg.begin(), reg.end(), tc), reg.end());
+  }
+  delete tc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SlabCache
+// ---------------------------------------------------------------------------
+
+SlabCache::SlabCache(std::string name, size_t obj_size, SlabOptions opts)
+    : name_(std::move(name)),
+      obj_size_(std::max(obj_size, sizeof(void*))),
+      stride_(ComputeStride(obj_size_, opts.debug)),
+      mag_rounds_(MagRoundsFor(obj_size_)),
+      debug_(opts.debug),
+      quarantine_cap_(opts.debug ? std::max<size_t>(opts.quarantine_objects, 1) : 0) {
+  SKERN_CHECK(stride_ <= kSlabBytes / 4);
+  if (debug_) {
+    quarantine_.resize(quarantine_cap_, nullptr);
+  }
+  RegisterCensusOnce();
+  // Publish last: once the registry slot is set, snapshot/census walkers may
+  // touch this cache from other threads.
+  tls_index_ = RegisterCache(this);
+}
+
+SlabCache::~SlabCache() {
+  // Precondition: no concurrent use. Intended for test-constructed caches;
+  // NamedCache instances live for the process.
+  SpinGuard rg(g_registry_lock);
+  g_caches[tls_index_] = nullptr;  // index retires, never reused
+  for (ThreadCache* tc : ThreadRegistry()) {
+    ThreadCacheDrainer::StealSlot(tc->slots[tls_index_]);
+  }
+  SpinGuard dg(depot_lock_);
+  for (Magazine* m = loaded_mags_; m != nullptr;) {
+    Magazine* next = m->next;
+    delete m;
+    m = next;
+  }
+  for (Magazine* m = empty_mags_; m != nullptr;) {
+    Magazine* next = m->next;
+    delete m;
+    m = next;
+  }
+  for (Slab* s = slabs_; s != nullptr;) {
+    Slab* next = s->next;
+    UnregisterRegion(reinterpret_cast<uintptr_t>(s));
+    ::operator delete(s, std::align_val_t(kSlabBytes));
+    s = next;
+  }
+}
+
+void* SlabCache::Alloc() {
+  if (!SlabAllocationEnabled()) {
+    return ::operator new(obj_size_);
+  }
+  if (debug_) {
+    return AllocDebug();
+  }
+  ThreadCache* tc = GetTc();
+  if (tc == nullptr) {
+    return AllocDirect();
+  }
+  MagSlot& slot = tc->slots[tls_index_];
+  Magazine* m = slot.loaded;
+  if (m != nullptr && m->count > 0) {
+    ++slot.tally_allocs;
+    ++slot.tally_hits;
+    if (++slot.ops_since_flush >= kTallyFlushOps) {
+      FlushSlotTallies(slot);
+    }
+    return m->rounds[--m->count];
+  }
+  m = slot.prev;
+  if (m != nullptr && m->count > 0) {
+    slot.prev = slot.loaded;
+    slot.loaded = m;
+    ++slot.tally_allocs;
+    ++slot.tally_hits;
+    if (++slot.ops_since_flush >= kTallyFlushOps) {
+      FlushSlotTallies(slot);
+    }
+    return m->rounds[--m->count];
+  }
+  return AllocSlow(slot);
+}
+
+void SlabCache::Free(void* p) {
+  if (p == nullptr) {
+    return;
+  }
+  if (debug_) {
+    return FreeDebug(p);
+  }
+  ThreadCache* tc = GetTc();
+  if (tc == nullptr) {
+    return FreeDirect(p);
+  }
+  MagSlot& slot = tc->slots[tls_index_];
+  Magazine* m = slot.loaded;
+  if (m != nullptr && m->count < mag_rounds_) {
+    m->rounds[m->count++] = p;
+    ++slot.tally_frees;
+    ++slot.tally_hits;
+    if (++slot.ops_since_flush >= kTallyFlushOps) {
+      FlushSlotTallies(slot);
+    }
+    return;
+  }
+  m = slot.prev;
+  if (m != nullptr && m->count < mag_rounds_) {
+    slot.prev = slot.loaded;
+    slot.loaded = m;
+    m->rounds[m->count++] = p;
+    ++slot.tally_frees;
+    ++slot.tally_hits;
+    if (++slot.ops_since_flush >= kTallyFlushOps) {
+      FlushSlotTallies(slot);
+    }
+    return;
+  }
+  FreeSlow(slot, p);
+}
+
+void* SlabCache::AllocSlow(MagSlot& slot) {
+  ReentryGuard reent;
+  SKERN_SPAN_LOCKED("mem", "depot_refill");
+  SpinGuard g(depot_lock_);
+  FlushSlotTallies(slot);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  ++depot_refills_;
+  Magazine* m;
+  if (loaded_mags_ != nullptr) {
+    // Swap the exhausted magazine for a loaded one from the depot.
+    m = loaded_mags_;
+    loaded_mags_ = m->next;
+    loaded_mag_rounds_ -= m->count;
+    if (slot.loaded != nullptr) {
+      slot.loaded->next = empty_mags_;
+      empty_mags_ = slot.loaded;
+    }
+  } else {
+    // Depot dry: fill a magazine straight from the slab freelist.
+    m = slot.loaded != nullptr ? slot.loaded : TakeEmptyMagazine();
+    while (m->count < mag_rounds_) {
+      m->rounds[m->count++] = PopFreeObject();
+    }
+  }
+  slot.loaded = m;
+  return m->rounds[--m->count];
+}
+
+void SlabCache::FreeSlow(MagSlot& slot, void* p) {
+  ReentryGuard reent;
+  SKERN_SPAN_LOCKED("mem", "depot_drain");
+  SpinGuard g(depot_lock_);
+  FlushSlotTallies(slot);
+  frees_.fetch_add(1, std::memory_order_relaxed);
+  ++depot_drains_;
+  if (slot.prev != nullptr) {
+    ReturnMagazine(slot.prev);
+  }
+  slot.prev = slot.loaded;  // full; next free-side miss pushes it to the depot
+  Magazine* m = TakeEmptyMagazine();
+  m->rounds[m->count++] = p;
+  slot.loaded = m;
+}
+
+void* SlabCache::AllocDirect() {
+  ReentryGuard reent;
+  SpinGuard g(depot_lock_);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (loaded_mags_ != nullptr) {
+    Magazine* m = loaded_mags_;
+    void* p = m->rounds[--m->count];
+    --loaded_mag_rounds_;
+    if (m->count == 0) {
+      loaded_mags_ = m->next;
+      m->next = empty_mags_;
+      empty_mags_ = m;
+    }
+    return p;
+  }
+  return PopFreeObject();
+}
+
+void SlabCache::FreeDirect(void* p) {
+  ReentryGuard reent;
+  SpinGuard g(depot_lock_);
+  frees_.fetch_add(1, std::memory_order_relaxed);
+  *reinterpret_cast<void**>(p) = freelist_;
+  freelist_ = p;
+  ++freelist_len_;
+}
+
+// Debug mode centralizes every alloc/free under the depot lock — no
+// magazines — so the redzone and quarantine see each transition.
+
+void* SlabCache::AllocDebug() {
+  ReentryGuard reent;
+  SpinGuard g(depot_lock_);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  void* p = PopFreeObject();
+  WriteRedzone(p);
+  return p;
+}
+
+void SlabCache::FreeDebug(void* p) {
+  ReentryGuard reent;
+  SpinGuard g(depot_lock_);
+  frees_.fetch_add(1, std::memory_order_relaxed);
+  if (!CheckRedzone(p)) {
+    ++redzone_violations_;
+    ReportViolation(name_, "redzone", p);
+  }
+  MutableByteView(static_cast<uint8_t*>(p), obj_size_).Fill(kPoisonByte);
+  QuarantinePush(p);
+}
+
+void* SlabCache::PopFreeObject() {
+  if (freelist_ == nullptr) {
+    Grow();
+  }
+  void* p = freelist_;
+  freelist_ = *reinterpret_cast<void**>(p);
+  --freelist_len_;
+  return p;
+}
+
+void SlabCache::Grow() {
+  SKERN_SPAN("mem", "slab_grow");
+  void* raw = ::operator new(kSlabBytes, std::align_val_t(kSlabBytes));
+  Slab* slab = new (raw) Slab();
+  slab->owner = this;
+  slab->magic = kSlabMagic;
+  slab->next = slabs_;
+  size_t first = AlignUp(sizeof(Slab), 16);
+  slab->capacity = static_cast<uint32_t>((kSlabBytes - first) / stride_);
+  char* base = static_cast<char*>(raw);
+  for (uint32_t i = 0; i < slab->capacity; ++i) {
+    void* obj = base + first + i * stride_;
+    *reinterpret_cast<void**>(obj) = freelist_;
+    freelist_ = obj;
+  }
+  freelist_len_ += slab->capacity;
+  slabs_ = slab;
+  ++slab_count_;
+  ++slab_grows_;
+  RegisterRegion(reinterpret_cast<uintptr_t>(raw));
+}
+
+Magazine* SlabCache::TakeEmptyMagazine() {
+  if (empty_mags_ != nullptr) {
+    Magazine* m = empty_mags_;
+    empty_mags_ = m->next;
+    m->next = nullptr;
+    return m;
+  }
+  return new Magazine();
+}
+
+void SlabCache::ReturnMagazine(Magazine* m) {
+  if (m->count > 0) {
+    m->next = loaded_mags_;
+    loaded_mags_ = m;
+    loaded_mag_rounds_ += m->count;
+  } else {
+    m->next = empty_mags_;
+    empty_mags_ = m;
+  }
+}
+
+void SlabCache::QuarantinePush(void* p) {
+  if (q_len_ == quarantine_cap_) {
+    // Evict the oldest quarantined object to the freelist, verifying its
+    // poison survived the quarantine (a dirty byte means use-after-free).
+    void* old = quarantine_[q_head_];
+    q_head_ = (q_head_ + 1) % quarantine_cap_;
+    --q_len_;
+    if (!CheckPoison(old)) {
+      ++poison_violations_;
+      ReportViolation(name_, "poison", old);
+    }
+    *reinterpret_cast<void**>(old) = freelist_;
+    freelist_ = old;
+    ++freelist_len_;
+  }
+  quarantine_[(q_head_ + q_len_) % quarantine_cap_] = p;
+  ++q_len_;
+}
+
+void SlabCache::FlushSlotTallies(MagSlot& slot) {
+  if (slot.tally_allocs != 0) {
+    allocs_.fetch_add(slot.tally_allocs, std::memory_order_relaxed);
+    slot.tally_allocs = 0;
+  }
+  if (slot.tally_frees != 0) {
+    frees_.fetch_add(slot.tally_frees, std::memory_order_relaxed);
+    slot.tally_frees = 0;
+  }
+  if (slot.tally_hits != 0) {
+    magazine_hits_.fetch_add(slot.tally_hits, std::memory_order_relaxed);
+    slot.tally_hits = 0;
+  }
+  slot.ops_since_flush = 0;
+}
+
+void SlabCache::WriteRedzone(void* p) {
+  uint64_t magic = kRedzoneMagic;
+  MutableByteView(static_cast<uint8_t*>(p) + obj_size_, kRedzoneBytes)
+      .CopyFrom(ByteView(reinterpret_cast<const uint8_t*>(&magic), kRedzoneBytes));
+}
+
+bool SlabCache::CheckRedzone(void* p) {
+  uint64_t magic = kRedzoneMagic;
+  return ByteView(static_cast<uint8_t*>(p) + obj_size_, kRedzoneBytes) ==
+         ByteView(reinterpret_cast<const uint8_t*>(&magic), kRedzoneBytes);
+}
+
+bool SlabCache::CheckPoison(void* p) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(p);
+  for (size_t i = 0; i < obj_size_; ++i) {
+    if (bytes[i] != kPoisonByte) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CacheStats SlabCache::Stats() {
+  ThreadCache* tc = t_tc;
+  if (tc != nullptr) {
+    FlushSlotTallies(tc->slots[tls_index_]);
+  }
+  CacheStats s;
+  s.name = name_;
+  s.obj_size = obj_size_;
+  s.debug = debug_;
+  {
+    SpinGuard g(depot_lock_);
+    s.depot_refills = depot_refills_;
+    s.depot_drains = depot_drains_;
+    s.slab_grows = slab_grows_;
+    s.slabs = slab_count_;
+    s.objs_cached = freelist_len_ + loaded_mag_rounds_ + q_len_;
+    s.redzone_violations = redzone_violations_;
+    s.poison_violations = poison_violations_;
+  }
+  s.allocs = allocs_.load(std::memory_order_relaxed);
+  s.frees = frees_.load(std::memory_order_relaxed);
+  s.magazine_hits = magazine_hits_.load(std::memory_order_relaxed);
+  s.objs_in_use = s.allocs - s.frees;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Size classes + free routing + public entry points
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SizeClassSet {
+  SlabCache* classes[kNumSizeClasses];
+  SizeClassSet() {
+    for (size_t i = 0; i < kNumSizeClasses; ++i) {
+      size_t sz = kMinClassSize << i;
+      classes[i] = new SlabCache("size." + std::to_string(sz), sz);
+    }
+  }
+};
+
+SizeClassSet& SizeClasses() {
+  static SizeClassSet s;
+  return s;
+}
+
+size_t SizeClassIndex(size_t n) {
+  size_t idx = 0;
+  size_t sz = kMinClassSize;
+  while (sz < n) {
+    sz <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+}  // namespace
+
+void SetSlabAllocation(bool enabled) {
+  g_slab_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool SlabAllocationEnabled() {
+  return g_slab_enabled.load(std::memory_order_relaxed);
+}
+
+size_t SizeClassFor(size_t n) {
+  if (n > kMaxClassSize) {
+    return 0;
+  }
+  return kMinClassSize << SizeClassIndex(n);
+}
+
+void* SizedAlloc(size_t n) {
+  if (n == 0) {
+    n = 1;
+  }
+  if (n > kMaxClassSize || t_in_slab || !SlabAllocationEnabled()) {
+    return ::operator new(n);
+  }
+  return SizeClasses().classes[SizeClassIndex(n)]->Alloc();
+}
+
+void RouteFree(void* p, size_t n) {
+  (void)n;  // routing is by pointer; n kept for allocator-interface symmetry
+  if (p == nullptr) {
+    return;
+  }
+  SlabCache* owner = LookupOwner(p);
+  if (owner != nullptr) {
+    owner->Free(p);
+    return;
+  }
+  ::operator delete(p);
+}
+
+void SizedFree(void* p, size_t n) { RouteFree(p, n); }
+
+SlabCache& NamedCache(const char* name, size_t obj_size, SlabOptions opts) {
+  static auto* by_key = new std::map<std::pair<std::string, size_t>, SlabCache*>();
+  static Spinlock lock;
+  SpinGuard g(lock);
+  auto key = std::make_pair(std::string(name), obj_size);
+  auto it = by_key->find(key);
+  if (it != by_key->end()) {
+    return *it->second;
+  }
+  auto* cache = new SlabCache(key.first, obj_size, opts);  // process-lifetime
+  (*by_key)[key] = cache;
+  return *cache;
+}
+
+std::vector<CacheStats> SnapshotAllCaches() {
+  std::vector<CacheStats> out;
+  SpinGuard g(g_registry_lock);
+  uint32_t n = g_cache_count.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (g_caches[i] != nullptr) {
+      out.push_back(g_caches[i]->Stats());
+    }
+  }
+  return out;
+}
+
+ViolationHandler SetSlabViolationHandlerForTesting(ViolationHandler h) {
+  return g_violation_handler.exchange(h, std::memory_order_acq_rel);
+}
+
+void DrainThisThreadCache() {
+  ThreadCache* tc = t_tc;
+  if (tc == nullptr) {
+    return;
+  }
+  SpinGuard g(g_registry_lock);
+  uint32_t n = g_cache_count.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (g_caches[i] != nullptr) {
+      ThreadCacheDrainer::DrainSlot(g_caches[i], tc->slots[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Base alloc-bridge installation: routes `Bytes` storage through the size
+// classes in any binary that links this library. Runs at static-init time;
+// allocations made earlier went to the heap and RouteFree still frees them
+// correctly (region-table miss).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* BridgeAlloc(std::size_t n) { return SizedAlloc(n); }
+void BridgeFree(void* p, std::size_t n) { RouteFree(p, n); }
+
+struct BridgeInstaller {
+  BridgeInstaller() { membridge::InstallHooks(&BridgeAlloc, &BridgeFree); }
+};
+BridgeInstaller g_bridge_installer;
+
+}  // namespace
+
+}  // namespace mem
+}  // namespace skern

@@ -1,0 +1,225 @@
+// Slab/magazine object allocator: the memory substrate under every fast path.
+//
+// Layout follows Bonwick's slab allocator with the magazine front end from
+// the Vmem paper. Three tiers:
+//
+//   per-thread magazines  ->  central depot (per cache)  ->  slab layer
+//
+// * A SlabCache owns 64 KiB aligned slabs, carved into fixed-stride objects
+//   chained on a single freelist under the cache's depot lock.
+// * The depot keeps magazines (fixed arrays of object pointers) in a loaded
+//   list (rounds available) and an empty list, so a thread refills or drains
+//   kMagRounds objects per lock acquisition instead of one.
+// * Each thread holds two magazines per cache (loaded + previous). The fast
+//   path is a pointer pop/push with no atomics and no sharing; the depot
+//   lock is the only cross-thread synchronization, which also gives TSan the
+//   happens-before edge for every object that migrates between threads.
+//
+// Cross-thread free (alloc here, free there) needs no special case: the
+// freeing thread caches the object in its own magazines and the depot
+// recirculates full magazines to whichever thread refills next.
+//
+// Size classes (powers of two, 16..8192 bytes) back anonymous buffer
+// allocations — `Bytes` routes here through the base alloc bridge — while
+// named caches back specific hot object types (BufferHead, dentries, net
+// segments, ...). Larger requests fall through to the global heap.
+//
+// Every free is routed by *pointer*, not by flag: RouteFree looks the
+// address up in a global slab-region table and sends it to the owning cache,
+// or to ::operator delete when the address is not slab memory. This makes
+// the SetSlabAllocation ablation switch safe to flip with live objects
+// outstanding, and makes hook installation order a non-issue.
+//
+// Debug mode (per cache, fixed at construction) seeds the ROADMAP KASAN
+// rung: a trailing redzone word per object, poison-on-free (0x6b), and a
+// bounded FIFO quarantine that delays reuse and verifies the poison is
+// intact when an object finally recycles. Debug caches bypass the magazine
+// layer so every free is checked centrally; the release path pays nothing.
+#ifndef SKERN_SRC_MEM_SLAB_H_
+#define SKERN_SRC_MEM_SLAB_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sync/spinlock.h"
+
+namespace skern {
+namespace mem {
+
+// Slab geometry. Slabs are allocated at kSlabBytes alignment so any object
+// pointer finds its slab header with one mask.
+inline constexpr size_t kSlabBytes = 64 * 1024;
+inline constexpr size_t kMinClassSize = 16;
+inline constexpr size_t kMaxClassSize = 8192;
+inline constexpr size_t kNumSizeClasses = 10;  // 16,32,...,8192
+inline constexpr size_t kMaxMagRounds = 32;
+inline constexpr size_t kMaxCaches = 256;
+
+namespace internal {
+struct Slab;
+struct Magazine;
+struct MagSlot;
+}  // namespace internal
+
+struct SlabOptions {
+  // Debug instrumentation: redzone word + poison-on-free + quarantine.
+  bool debug = false;
+  // Quarantine capacity in objects (debug mode only).
+  size_t quarantine_objects = 64;
+};
+
+struct CacheStats {
+  std::string name;
+  size_t obj_size = 0;
+  bool debug = false;
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t magazine_hits = 0;
+  uint64_t depot_refills = 0;
+  uint64_t depot_drains = 0;
+  uint64_t slab_grows = 0;
+  uint64_t slabs = 0;
+  uint64_t objs_in_use = 0;  // allocs - frees (exact once tallies flushed)
+  uint64_t objs_cached = 0;  // depot freelist + depot magazines + quarantine
+  uint64_t redzone_violations = 0;
+  uint64_t poison_violations = 0;
+};
+
+// Ablation switch for the converted hot paths (default on). Allocation
+// sites check it; frees always route by pointer, so flipping it with live
+// objects outstanding is safe.
+void SetSlabAllocation(bool enabled);
+bool SlabAllocationEnabled();
+
+// Size-class entry points. SizedAlloc never returns null for n <= available
+// memory (grows slabs on demand); requests above kMaxClassSize, or with slab
+// allocation disabled, go to the global heap. SizedFree / RouteFree accept
+// any pointer from SizedAlloc, a SlabCache, or the plain heap.
+void* SizedAlloc(size_t n);
+void SizedFree(void* p, size_t n);
+void RouteFree(void* p, size_t n);
+
+class SlabCache {
+ public:
+  SlabCache(std::string name, size_t obj_size, SlabOptions opts = {});
+  ~SlabCache();
+
+  SlabCache(const SlabCache&) = delete;
+  SlabCache& operator=(const SlabCache&) = delete;
+
+  // Never returns null (panics on slab-layer exhaustion). With slab
+  // allocation disabled this falls through to ::operator new so converted
+  // call sites stay ablatable; the matching free routes by pointer.
+  void* Alloc();
+
+  // Only for pointers this cache allocated (RouteFree dispatches here).
+  void Free(void* p);
+
+  const std::string& name() const { return name_; }
+  size_t obj_size() const { return obj_size_; }
+  bool debug() const { return debug_; }
+
+  // Flushes the calling thread's tallies for this cache, then snapshots.
+  // objs_in_use is exact when other threads' magazines are quiescent
+  // (drained or their tallies flushed); it is the census number the leak
+  // detector reports at shutdown.
+  CacheStats Stats();
+
+ private:
+  friend struct internal::Slab;
+  friend class ThreadCacheDrainer;
+
+  void* AllocSlow(internal::MagSlot& slot);
+  void FreeSlow(internal::MagSlot& slot, void* p);
+  void* AllocDirect();      // depot path, no TLS (thread exiting / runtime down)
+  void FreeDirect(void* p);
+  void* AllocDebug();
+  void FreeDebug(void* p);
+
+  // Depot-lock-held helpers.
+  void* PopFreeObject();
+  void Grow();
+  internal::Magazine* TakeEmptyMagazine();
+  void ReturnMagazine(internal::Magazine* m);
+  void QuarantinePush(void* p);
+  void FlushSlotTallies(internal::MagSlot& slot);
+  void WriteRedzone(void* p);
+  bool CheckRedzone(void* p);
+  bool CheckPoison(void* p);
+
+  const std::string name_;
+  const size_t obj_size_;
+  const size_t stride_;      // carve step: obj (+ redzone in debug), 16-aligned
+  const uint32_t mag_rounds_;
+  const bool debug_;
+  const size_t quarantine_cap_;
+  uint32_t tls_index_ = 0;   // set at end of construction (registry publish)
+
+  // Flushed per-thread tallies (relaxed; exact after flushes).
+  std::atomic<uint64_t> allocs_{0};
+  std::atomic<uint64_t> frees_{0};
+  std::atomic<uint64_t> magazine_hits_{0};
+
+  Spinlock depot_lock_;
+  // All fields below are guarded by depot_lock_ (Spinlock carries no
+  // thread-safety capability annotation; keep this comment authoritative).
+  internal::Slab* slabs_ = nullptr;        // every slab, for teardown/census
+  void* freelist_ = nullptr;               // in-band chain across all slabs
+  uint64_t freelist_len_ = 0;
+  uint64_t slab_count_ = 0;
+  internal::Magazine* loaded_mags_ = nullptr;  // rounds available
+  internal::Magazine* empty_mags_ = nullptr;
+  uint64_t loaded_mag_rounds_ = 0;
+  uint64_t depot_refills_ = 0;
+  uint64_t depot_drains_ = 0;
+  uint64_t slab_grows_ = 0;
+  uint64_t redzone_violations_ = 0;
+  uint64_t poison_violations_ = 0;
+  std::vector<void*> quarantine_;          // FIFO ring, debug only
+  size_t q_head_ = 0;
+  size_t q_len_ = 0;
+};
+
+// Returns the process-wide cache for (name, obj_size), creating it on first
+// use. Caches returned here live for the process (leaked at exit; the leak
+// detector census reports per-cache in-use counts instead). Options are
+// honored on the creating call only.
+SlabCache& NamedCache(const char* name, size_t obj_size, SlabOptions opts = {});
+
+// One entry per live cache (size classes + named), for /proc/slabinfo, the
+// obs counters, and the leak-detector census.
+std::vector<CacheStats> SnapshotAllCaches();
+
+// Pushes deltas of the aggregate mem.slab.* counters (alloc, free,
+// magazine_hit, depot_refill, slab_grow) into the obs metrics registry.
+// Called by the procfs render paths; safe to call from anywhere.
+void PublishSlabMetrics();
+
+// /proc/slabinfo text: one row per cache.
+std::string SlabInfoText();
+
+// Formatted census lines for caches with live objects ("mem.slab cache=...
+// live=N obj_size=S"), used by the leak detector's shutdown census.
+std::vector<std::string> SlabLeakReport();
+
+// --- test hooks ---
+
+// Called on redzone/poison violations; kind is "redzone" or "poison".
+// Default handler panics. Returns the previous handler.
+using ViolationHandler = void (*)(const char* cache, const char* kind, void* ptr);
+ViolationHandler SetSlabViolationHandlerForTesting(ViolationHandler h);
+
+// Returns the calling thread's magazines (all caches) to the depots, so
+// Stats().objs_in_use is exact for single-threaded tests.
+void DrainThisThreadCache();
+
+// Size-class bookkeeping, exposed for tests.
+size_t SizeClassFor(size_t n);  // rounded class size, or 0 if n > kMaxClassSize
+
+}  // namespace mem
+}  // namespace skern
+
+#endif  // SKERN_SRC_MEM_SLAB_H_

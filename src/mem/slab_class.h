@@ -1,0 +1,40 @@
+// SKERN_SLAB_CLASS: put a hot object type on a named slab cache.
+//
+// Expanded inside a class body, it overrides the class-scope operator
+// new/delete so `new T`, `std::make_unique<T>`, and
+// `std::shared_ptr<T>(new T)` allocate from the named cache. Two deliberate
+// gaps: `std::make_shared<T>` bypasses class operator new (it allocates the
+// control block and object together through std::allocator) — convert such
+// sites to `std::shared_ptr<T>(new T)` or allocate_shared with an
+// mem::StlAllocator; and derived-class allocations (sz != sizeof(T)) fall
+// through to the heap, which RouteFree handles.
+//
+// safety_lint rule M001 enforces the conversion: types listed in the [slab]
+// section of layers.toml may not be heap-allocated directly outside
+// src/mem (escape hatch: SKERN_NO_SLAB, tallied like SKERN_NO_TSA).
+#ifndef SKERN_SRC_MEM_SLAB_CLASS_H_
+#define SKERN_SRC_MEM_SLAB_CLASS_H_
+
+#include <cstddef>
+
+#include "src/mem/slab.h"
+
+// Deliberate direct heap allocation of a slab-registered type; safety_lint
+// tallies uses. Wrap the allocating expression: SKERN_NO_SLAB(new T(...)).
+#define SKERN_NO_SLAB(expr) expr
+
+#define SKERN_SLAB_CLASS(Type, CacheName)                                    \
+  static void* operator new(std::size_t sz) {                                \
+    static ::skern::mem::SlabCache& skern_slab_cache_ =                      \
+        ::skern::mem::NamedCache(CacheName, sizeof(Type));                   \
+    if (sz != sizeof(Type)) {                                                \
+      return ::operator new(sz);                                             \
+    }                                                                        \
+    return skern_slab_cache_.Alloc();                                        \
+  }                                                                          \
+  static void operator delete(void* p, std::size_t sz) {                     \
+    ::skern::mem::RouteFree(p, sz);                                          \
+  }                                                                          \
+  static void operator delete(void* p) { ::skern::mem::RouteFree(p, 0); }
+
+#endif  // SKERN_SRC_MEM_SLAB_CLASS_H_

@@ -1,0 +1,69 @@
+// STL allocator over the slab caches, for containers on hot paths.
+//
+// Single-object allocations (list/map/unordered_map nodes, allocate_shared
+// control+object blocks) go to a named cache keyed by (Tag::kName, size) —
+// container rebinds land each node type in its own correctly-sized cache
+// under the same display name. Array allocations (vector storage, hash
+// bucket arrays) go to the power-of-two size classes.
+//
+// Deallocation routes by pointer (RouteFree), so flipping SetSlabAllocation
+// with live containers is safe: objects return to wherever they came from.
+//
+// Usage:
+//   struct DentryTag { static constexpr const char* kName = "vfs.dentry"; };
+//   std::list<Entry, mem::StlAllocator<Entry, DentryTag>> lru;
+#ifndef SKERN_SRC_MEM_STL_ALLOC_H_
+#define SKERN_SRC_MEM_STL_ALLOC_H_
+
+#include <cstddef>
+#include <type_traits>
+
+#include "src/mem/slab.h"
+
+namespace skern {
+namespace mem {
+
+template <typename T, typename Tag>
+class StlAllocator {
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+
+  StlAllocator() noexcept = default;
+  template <typename U>
+  StlAllocator(const StlAllocator<U, Tag>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      return static_cast<T*>(Cache().Alloc());
+    }
+    return static_cast<T*>(SizedAlloc(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    RouteFree(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  friend bool operator==(const StlAllocator&, const StlAllocator<U, Tag>&) noexcept {
+    return true;
+  }
+  template <typename U>
+  friend bool operator!=(const StlAllocator&, const StlAllocator<U, Tag>&) noexcept {
+    return false;
+  }
+
+ private:
+  static SlabCache& Cache() {
+    static SlabCache& cache = NamedCache(Tag::kName, sizeof(T));
+    return cache;
+  }
+};
+
+}  // namespace mem
+}  // namespace skern
+
+#endif  // SKERN_SRC_MEM_STL_ALLOC_H_

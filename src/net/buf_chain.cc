@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/base/panic.h"
+#include "src/mem/stl_alloc.h"
 #include "src/sync/mutex.h"
 #include "src/obs/metrics.h"
 
@@ -13,6 +14,14 @@ namespace skern {
 namespace {
 
 std::atomic<bool> g_zero_copy{true};
+
+// Segment control blocks (shared_ptr control + Bytes header fused by
+// allocate_shared) come from the "net.seg" slab cache; the payload bytes
+// ride the size classes through the Bytes alloc bridge.
+struct NetSegTag {
+  static constexpr const char* kName = "net.seg";
+};
+using SegAlloc = mem::StlAllocator<Bytes, NetSegTag>;
 
 // Tallies feed the bench's before/after deltas and the net.buf.* counters,
 // not any control flow — but they sit on the per-packet fast path, where
@@ -123,7 +132,8 @@ void BufChain::AppendCopy(ByteView view) {
   if (view.empty()) {
     return;
   }
-  auto storage = std::make_shared<Bytes>(view.data(), view.data() + view.size());
+  auto storage = std::allocate_shared<Bytes>(SegAlloc{});
+  AppendBytes(*storage, view);
   size_ += storage->size();
   segs_.push_back(Seg{std::move(storage), 0, view.size()});
   ++Stats().segments_allocated;
@@ -136,7 +146,7 @@ void BufChain::AppendOwned(Bytes&& owned) {
     return;
   }
   size_t len = owned.size();
-  auto storage = std::make_shared<Bytes>(std::move(owned));
+  auto storage = std::allocate_shared<Bytes>(SegAlloc{}, std::move(owned));
   segs_.push_back(Seg{std::move(storage), 0, len});
   size_ += len;
   ++Stats().segments_allocated;
@@ -188,7 +198,7 @@ Bytes BufChain::ToBytes() const {
   Bytes out;
   out.reserve(size_);
   for (const Seg& seg : segs_) {
-    out.insert(out.end(), seg.data->begin() + seg.off, seg.data->begin() + seg.off + seg.len);
+    AppendBytes(out, seg.data->data() + seg.off, seg.len);
   }
   CountCopied(size_);
   return out;
@@ -231,7 +241,7 @@ Bytes BufChain::PopBytes(size_t max) {
       break;
     }
     size_t n = std::min(seg.len, remaining);
-    out.insert(out.end(), seg.data->begin() + seg.off, seg.data->begin() + seg.off + n);
+    AppendBytes(out, seg.data->data() + seg.off, n);
     remaining -= n;
   }
   CountCopied(out.size());

@@ -35,7 +35,9 @@ class ProtoSocketState : public std::enable_shared_from_this<ProtoSocketState> {
  public:
   virtual ~ProtoSocketState() = default;
 
-  std::shared_ptr<SockCtl> ctl = std::make_shared<SockCtl>();
+  // Adoption form (not make_shared): the class operator new routes the
+  // SockCtl itself onto its named slab cache (M001).
+  std::shared_ptr<SockCtl> ctl = std::shared_ptr<SockCtl>(new SockCtl());
 };
 
 class ProtocolModule {

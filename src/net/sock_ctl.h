@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/mem/slab_class.h"
 #include "src/net/socket_layer.h"
 #include "src/sync/mutex.h"
 
@@ -50,6 +51,8 @@ class ReadinessSink {
 };
 
 struct SockCtl {
+  SKERN_SLAB_CLASS(SockCtl, "net.sockctl")
+
   TrackedMutex mu{"net.sock"};
   bool alive = true;  // guarded by mu
 

@@ -45,6 +45,44 @@ std::vector<std::string> LeakDetector::LiveLabels() const {
   return labels;
 }
 
+void LeakDetector::RegisterCensusSource(const std::string& name,
+                                        CensusSource source) {
+  MutexGuard guard(mutex_);
+  census_sources_[name] = source;
+}
+
+std::vector<CensusEntry> LeakDetector::CensusSnapshot() const {
+  std::vector<CensusSource> sources;
+  {
+    MutexGuard guard(mutex_);
+    sources.reserve(census_sources_.size());
+    for (const auto& [name, source] : census_sources_) {
+      sources.push_back(source);
+    }
+  }
+  // Sources run unlocked: they take subsystem locks (slab depot/registry)
+  // that must never nest inside ownership.leaks.
+  std::vector<CensusEntry> entries;
+  for (CensusSource source : sources) {
+    std::vector<CensusEntry> part = source();
+    entries.insert(entries.end(), part.begin(), part.end());
+  }
+  return entries;
+}
+
+std::vector<std::string> LeakDetector::ShutdownCensusReport() const {
+  std::vector<std::string> lines;
+  for (const CensusEntry& e : CensusSnapshot()) {
+    if (e.live_objects == 0) {
+      continue;
+    }
+    lines.push_back(e.source + " cache=" + e.label +
+                    " live=" + std::to_string(e.live_objects) +
+                    " obj_size=" + std::to_string(e.obj_size));
+  }
+  return lines;
+}
+
 void LeakDetector::ResetForTesting() {
   MutexGuard guard(mutex_);
   live_.clear();

@@ -18,6 +18,15 @@
 
 namespace skern {
 
+// One line of a subsystem census: how many objects a pool that manages its
+// own memory (e.g. a slab cache) still holds live under a given label.
+struct CensusEntry {
+  std::string source;        // registering subsystem, e.g. "mem.slab"
+  std::string label;         // per-pool label, e.g. cache name
+  uint64_t live_objects = 0;
+  uint64_t obj_size = 0;
+};
+
 class LeakDetector {
  public:
   static LeakDetector& Get();
@@ -34,6 +43,21 @@ class LeakDetector {
   // Labels of currently-live allocations (for reporting).
   std::vector<std::string> LiveLabels() const;
 
+  // Census sources extend the ledger to subsystems that pool their own
+  // memory and can only report aggregate in-use counts (the slab allocator
+  // registers one per process). Sources are plain function pointers so
+  // registration cannot itself allocate through the pool being censused.
+  // Snapshot copies the source list under the mutex but invokes the sources
+  // unlocked: a source is free to take its own subsystem locks.
+  using CensusSource = std::vector<CensusEntry> (*)();
+  void RegisterCensusSource(const std::string& name, CensusSource source);
+  std::vector<CensusEntry> CensusSnapshot() const;
+
+  // The shutdown census: one formatted line per census entry with live
+  // objects ("<source> cache=<label> live=<n> obj_size=<s>"), for panic /
+  // process-exit reporting and the leak regression tests.
+  std::vector<std::string> ShutdownCensusReport() const;
+
   void ResetForTesting();
 
  private:
@@ -49,6 +73,7 @@ class LeakDetector {
   mutable TrackedMutex mutex_{"ownership.leaks"};
   std::map<uint64_t, Allocation> live_ SKERN_GUARDED_BY(mutex_);
   uint64_t next_ticket_ SKERN_GUARDED_BY(mutex_) = 1;
+  std::map<std::string, CensusSource> census_sources_ SKERN_GUARDED_BY(mutex_);
 };
 
 // RAII scope: captures the live set at construction; anything still live at

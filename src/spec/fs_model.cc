@@ -161,7 +161,7 @@ Result<Bytes> FsModel::Read(const std::string& path, uint64_t offset, uint64_t l
   }
   uint64_t avail = content.size() - offset;
   uint64_t take = std::min(length, avail);
-  return Bytes(content.begin() + offset, content.begin() + offset + take);
+  return CopyBytes(content.data() + offset, take);
 }
 
 Status FsModel::Truncate(const std::string& path, uint64_t new_size) {

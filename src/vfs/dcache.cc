@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/mem/stl_alloc.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sync/mutex.h"
@@ -81,14 +82,23 @@ struct DentryCache::Shard {
     uint64_t gen;    // generation at insert; stale if != current
   };
 
+  // List nodes and index nodes both land in "vfs.dentry" slab caches (one
+  // per node size), so a lookup-heavy workload never touches the heap.
+  struct DentryTag {
+    static constexpr const char* kName = "vfs.dentry";
+  };
+  using LruList = std::list<Entry, mem::StlAllocator<Entry, DentryTag>>;
+  using Index =
+      std::unordered_map<Key, LruList::iterator, KeyHash, KeyEq,
+                         mem::StlAllocator<std::pair<const Key, LruList::iterator>, DentryTag>>;
+
   explicit Shard(size_t cap) : lock("dcache.shard"), capacity(cap) {}
 
   mutable TrackedSpinLock lock;
   size_t capacity;  // immutable after construction
   // front = most recently used
-  std::list<Entry> lru SKERN_GUARDED_BY(lock);
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEq> index
-      SKERN_GUARDED_BY(lock);
+  LruList lru SKERN_GUARDED_BY(lock);
+  Index index SKERN_GUARDED_BY(lock);
   // Tallies owned by this shard's lock (aggregated by StatsSnapshot).
   uint64_t hits SKERN_GUARDED_BY(lock) = 0;
   uint64_t misses SKERN_GUARDED_BY(lock) = 0;
@@ -96,8 +106,7 @@ struct DentryCache::Shard {
   uint64_t inserts SKERN_GUARDED_BY(lock) = 0;
   uint64_t evictions SKERN_GUARDED_BY(lock) = 0;
 
-  void EraseEntry(std::unordered_map<Key, std::list<Entry>::iterator, KeyHash,
-                                     KeyEq>::iterator it) SKERN_REQUIRES(lock) {
+  void EraseEntry(Index::iterator it) SKERN_REQUIRES(lock) {
     lru.erase(it->second);
     index.erase(it);
   }

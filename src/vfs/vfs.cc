@@ -289,7 +289,9 @@ Result<Fd> Vfs::Open(const std::string& path, uint32_t flags) {
       handle = *opened;
     }
   }
-  auto file = std::make_shared<OpenFile>();
+  // Adoption form (not make_shared) so the open-file record lands on its
+  // named slab cache via the class operator new (M001).
+  auto file = std::shared_ptr<OpenFile>(new OpenFile());
   file->fs = r.fs;
   file->fs_path = r.fs_path;
   file->flags = flags;

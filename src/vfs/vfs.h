@@ -23,6 +23,7 @@
 
 #include "src/base/result.h"
 #include "src/base/status.h"
+#include "src/mem/slab_class.h"
 #include "src/sync/mutex.h"
 #include "src/vfs/filesystem.h"
 
@@ -128,6 +129,8 @@ class Vfs {
   // pos_lock (a leaf — nothing else is ever acquired under it) serializes
   // the sequential cursor.
   struct OpenFile {
+    SKERN_SLAB_CLASS(OpenFile, "vfs.openfile")
+
     std::shared_ptr<FileSystem> fs;
     std::string fs_path;  // path within the mounted fs
     uint32_t flags = 0;

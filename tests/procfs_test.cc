@@ -7,6 +7,7 @@
 #include "src/base/cred.h"
 #include "src/base/log.h"
 #include "src/block/block_device.h"
+#include "src/block/buffer_head.h"
 #include "src/core/module.h"
 #include "src/fs/procfs/procfs.h"
 #include "src/fs/safefs/safefs.h"
@@ -36,7 +37,7 @@ TEST_F(ProcFsTest, ListsBuiltinEntries) {
   EXPECT_EQ(names.value(),
             (std::vector<std::string>{"contention", "landscape", "latency", "locks", "log",
                                       "metrics", "modules", "ownership", "refinement",
-                                      "shims", "spans", "trace"}));
+                                      "shims", "slabinfo", "spans", "trace"}));
 }
 
 TEST_F(ProcFsTest, ReadOnlySemantics) {
@@ -406,6 +407,34 @@ TEST_F(ProcFsTest, LogFileShowsLevelAndCounts) {
   std::string text = StringFromBytes(content.value());
   EXPECT_NE(text.find("level "), std::string::npos) << text;
   EXPECT_NE(text.find("warn " + std::to_string(warns_before + 1)), std::string::npos) << text;
+}
+
+TEST_F(ProcFsTest, SlabinfoFileShowsNamedCachesAndCounters) {
+  // Touch a named cache so the table has a hot row to show.
+  auto bh = std::unique_ptr<BufferHead>(new BufferHead(7, 0));
+  bh.reset();
+
+  ProcFs proc;
+  auto content = proc.Read("/slabinfo", 0, 1 << 20);
+  ASSERT_TRUE(content.ok());
+  std::string text = StringFromBytes(content.value());
+  EXPECT_NE(text.find("# name"), std::string::npos) << text;
+  EXPECT_NE(text.find("block.bufferhead"), std::string::npos) << text;
+  // The payload Bytes rides the power-of-two size classes via the bridge.
+  EXPECT_NE(text.find("size.4096"), std::string::npos) << text;
+
+  // The same render published the aggregate counters into the obs registry.
+  auto metrics = proc.Read("/metrics", 0, 1 << 20);
+  ASSERT_TRUE(metrics.ok());
+  std::string mtext = StringFromBytes(metrics.value());
+  for (const char* name : {"mem.slab.alloc ", "mem.slab.free ", "mem.slab.magazine_hit ",
+                           "mem.slab.depot_refill ", "mem.slab.depot_drain ",
+                           "mem.slab.slab_grow "}) {
+    EXPECT_NE(mtext.find(name), std::string::npos) << "missing " << name << " in:\n" << mtext;
+  }
+  // The named-cache traffic above makes the hot counters non-zero.
+  EXPECT_EQ(mtext.find("mem.slab.alloc 0\n"), std::string::npos) << mtext;
+  EXPECT_EQ(mtext.find("mem.slab.slab_grow 0\n"), std::string::npos) << mtext;
 }
 
 TEST_F(ProcFsTest, CustomEntryGeneratorRunsPerRead) {

@@ -720,9 +720,9 @@ bool ParseConfig(const std::string& text, Config* config, std::string* error) {
       } else {
         return fail("unknown allow key: " + key);
       }
-    } else if (section == "access") {
+    } else if (section == "access" || section == "slab") {
       if (value.empty() || value.front() != '[' || value.back() != ']') {
-        return fail("access values must be string arrays");
+        return fail(section + " values must be string arrays");
       }
       std::vector<std::string> items;
       std::string inner = value.substr(1, value.size() - 2);
@@ -734,10 +734,12 @@ bool ParseConfig(const std::string& text, Config* config, std::string* error) {
           items.push_back(cleaned);
         }
       }
-      if (key == "check_functions") {
+      if (section == "access" && key == "check_functions") {
         config->access_check_functions.insert(items.begin(), items.end());
+      } else if (section == "slab" && key == "types") {
+        config->slab_types.insert(items.begin(), items.end());
       } else {
-        return fail("unknown access key: " + key);
+        return fail("unknown " + section + " key: " + key);
       }
     } else {
       return fail("unknown section: " + section);
@@ -783,16 +785,16 @@ std::vector<Finding> LintFile(const std::string& virtual_path, const std::string
                               const Config& config,
                               const std::vector<GuardedField>& companion_fields,
                               const std::set<std::string>& companion_requires,
-                              int* no_tsa_escapes) {
+                              int* no_tsa_escapes, int* no_slab_escapes) {
   return LintFile(virtual_path, content, TokenizeSource(content), config, companion_fields,
-                  companion_requires, no_tsa_escapes);
+                  companion_requires, no_tsa_escapes, no_slab_escapes);
 }
 
 std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
                               const FileTokens& file, const Config& config,
                               const std::vector<GuardedField>& companion_fields,
                               const std::set<std::string>& companion_requires,
-                              int* no_tsa_escapes) {
+                              int* no_tsa_escapes, int* no_slab_escapes) {
   std::vector<Finding> findings;
   const std::vector<bool>& line_in_comment = file.line_in_comment;
   const std::vector<Token>& tokens = file.tokens;
@@ -827,8 +829,10 @@ std::vector<Finding> LintFile(const std::string& virtual_path, const std::string
   }
 
   // --- token-driven primitive bans (P00x) ---
+  // src/mem is the allocator: the slab layer is built out of the raw
+  // primitives the rest of the tree is banned from touching.
   const bool ban_alloc = in_src && !grandfathered && module != "src/base" &&
-                         module != "src/ownership";
+                         module != "src/ownership" && module != "src/mem";
   const bool ban_thread =
       in_src && !grandfathered && !HasPrefixIn(virtual_path, config.thread_spawn_allowed);
   const bool ban_memfns = in_src && !grandfathered && virtual_path != "src/base/bytes.h";
@@ -840,6 +844,10 @@ std::vector<Finding> LintFile(const std::string& virtual_path, const std::string
     if (no_tsa_escapes != nullptr && tok.text == "SKERN_NO_TSA" && i > 0 &&
         tokens[i - 1].text == ")") {
       ++*no_tsa_escapes;  // used on a declaration (not the macro definition)
+    }
+    if (no_slab_escapes != nullptr && tok.text == "SKERN_NO_SLAB" && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "(" && (i == 0 || tokens[i - 1].text != "define")) {
+      ++*no_slab_escapes;  // wrapped allocation (not the macro definition)
     }
     const std::string& prev = i > 0 ? tokens[i - 1].text : std::string();
     if (ban_alloc && tok.text == "new" && prev != "::" && !IsLeakedSingleton(tokens, i) &&
@@ -874,6 +882,33 @@ std::vector<Finding> LintFile(const std::string& virtual_path, const std::string
       findings.push_back({virtual_path, tok.line, "P004",
                           "raw " + tok.text + " outside src/base/bytes.h",
                           "go through Bytes/MutableByteView so sizes stay checked"});
+    }
+    // M001: a type registered in a named slab cache, allocated in a way that
+    // bypasses its class operator new. `new T` and make_unique<T> go through
+    // the cache; `::new T` and std::make_shared<T> (which co-allocates the
+    // control block through std::allocator) do not. Outside src/mem that
+    // silently puts hot objects back on the contended global heap.
+    if (in_src && !grandfathered && module != "src/mem" && config.slab_types.count(tok.text) &&
+        i >= 2) {
+      const bool global_new = tokens[i - 1].text == "new" && tokens[i - 2].text == "::";
+      const bool make_shared_bypass =
+          tokens[i - 1].text == "<" && tokens[i - 2].text == "make_shared";
+      if (global_new || make_shared_bypass) {
+        bool escaped = false;
+        for (size_t back = i >= 8 ? i - 8 : 0; back < i; ++back) {
+          if (tokens[back].text == "SKERN_NO_SLAB") {
+            escaped = true;
+            break;
+          }
+        }
+        if (!escaped) {
+          findings.push_back(
+              {virtual_path, tok.line, "M001",
+               "slab-cached type `" + tok.text + "` heap-allocated around its named cache",
+               "use `new " + tok.text + "`/make_unique (class operator new routes to the "
+               "slab), or wrap in SKERN_NO_SLAB(...) if the heap is intended"});
+        }
+      }
     }
     // B001: BufChain::RawSegment() hands out the refcounted backing storage —
     // the zero-copy plane's own escape hatch. Outside src/net, payload access

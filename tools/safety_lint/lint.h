@@ -24,6 +24,10 @@
 //   O001  observability hygiene: a plain SKERN_SPAN in a function that goes
 //         on to acquire a lock (use SKERN_SPAN_LOCKED), or a raw
 //         EmitTrace/EmitTraceFlags call outside src/obs.
+//   M001  slab-cache bypass: a type registered in a named slab cache
+//         ([slab] types in layers.toml) heap-allocated outside src/mem in a
+//         way that skips its class operator new (`::new T`,
+//         `std::make_shared<T>`). Escape hatch SKERN_NO_SLAB(...), tallied.
 //
 // Fixture files may carry a `// lint-as: src/...` directive naming the path
 // the rules should pretend the file lives at (testdata snippets).
@@ -84,6 +88,9 @@ struct Config {
   // Path prefixes exempt from primitive bans (the deliberately-unsafe
   // legacy/fault-demo code the paper measures against).
   std::vector<std::string> grandfathered;
+  // Type names registered in a named slab cache ([slab] types). M001 flags
+  // allocations of these that bypass the class operator new outside src/mem.
+  std::set<std::string> slab_types;
   // Function names whose calls count as permission checks for the access
   // reachability analysis (A001/A002); [access] check_functions. The list is
   // explicit — the analysis does not propagate "performs a check" through
@@ -121,18 +128,21 @@ std::set<std::string> CollectRequiresMethods(const std::string& content);
 // Lints one file. `virtual_path` is the repo-relative path rules key off
 // (after any lint-as override). `companion_fields` supplies annotated fields
 // declared in the matching header so a .cc is checked against its .h's
-// annotations. `no_tsa_escapes`, if non-null, is incremented per
-// SKERN_NO_TSA seen (the visibility tally for the escape hatch).
+// annotations. `no_tsa_escapes` / `no_slab_escapes`, if non-null, are
+// incremented per SKERN_NO_TSA / SKERN_NO_SLAB use seen (the visibility
+// tallies for the escape hatches).
 std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
                               const FileTokens& file, const Config& config,
                               const std::vector<GuardedField>& companion_fields,
                               const std::set<std::string>& companion_requires = {},
-                              int* no_tsa_escapes = nullptr);
+                              int* no_tsa_escapes = nullptr,
+                              int* no_slab_escapes = nullptr);
 std::vector<Finding> LintFile(const std::string& virtual_path, const std::string& content,
                               const Config& config,
                               const std::vector<GuardedField>& companion_fields,
                               const std::set<std::string>& companion_requires = {},
-                              int* no_tsa_escapes = nullptr);
+                              int* no_tsa_escapes = nullptr,
+                              int* no_slab_escapes = nullptr);
 
 // Extracts a `// lint-as: path` directive, or "" if absent.
 std::string LintAsOverride(const std::string& content);

@@ -193,6 +193,44 @@ TEST(SafetyLintCore, NoTsaEscapesAreTallied) {
   EXPECT_EQ(escapes, 2);
 }
 
+TEST(SafetyLintFixtures, SlabCacheBypassFlagged) {
+  auto counts = LintFixture("bad_slab_bypass.cc");
+  // make_shared<BufferHead> + ::new BufferHead; the adopted `new` and the
+  // SKERN_NO_SLAB-wrapped allocation stay clean.
+  EXPECT_EQ(counts["M001"], 2);
+  EXPECT_EQ(counts["P001"], 0);
+}
+
+TEST(SafetyLintCore, SlabTypesParseFromShippedConfig) {
+  Config config = ShippedConfig();
+  EXPECT_GE(config.slab_types.size(), 3u);
+  EXPECT_EQ(config.slab_types.count("BufferHead"), 1u);
+}
+
+TEST(SafetyLintCore, SlabRulesIgnoreMemModuleAndPlainNew) {
+  Config config = ShippedConfig();
+  // Inside src/mem the allocator may do whatever it needs.
+  EXPECT_TRUE(LintFile("src/mem/helper.cc",
+                       "void F() { auto p = std::make_shared<BufferHead>(); (void)p; }\n",
+                       config, {})
+                  .empty());
+  // Plain `new T` routes through the class operator new: not a bypass.
+  EXPECT_TRUE(LintFile("src/block/ok.cc",
+                       "void F() { auto p = std::unique_ptr<BufferHead>(new BufferHead()); }\n",
+                       config, {})
+                  .empty());
+}
+
+TEST(SafetyLintCore, NoSlabEscapesAreTallied) {
+  Config config = ShippedConfig();
+  int tsa = 0;
+  int slab = 0;
+  LintFile("src/fs/widget.cc",
+           "void F() { auto p = SKERN_NO_SLAB(::new BufferHead()); delete p; }\n", config, {},
+           {}, &tsa, &slab);
+  EXPECT_EQ(slab, 1);
+}
+
 }  // namespace
 }  // namespace lint
 }  // namespace skern

@@ -177,6 +177,7 @@ int main(int argc, char** argv) {
   // Pass 2: per-file rules.
   std::vector<skern::lint::Finding> findings;
   int no_tsa_escapes = 0;
+  int no_slab_escapes = 0;
   for (const FileInput& input : inputs) {
     std::vector<skern::lint::GuardedField> companion;
     std::set<std::string> companion_requires;
@@ -195,7 +196,8 @@ int main(int argc, char** argv) {
     }
     for (skern::lint::Finding& finding :
          skern::lint::LintFile(input.virtual_path, input.content, input.tokens, config,
-                               companion, companion_requires, &no_tsa_escapes)) {
+                               companion, companion_requires, &no_tsa_escapes,
+                               &no_slab_escapes)) {
       findings.push_back(std::move(finding));
     }
   }
@@ -223,7 +225,8 @@ int main(int argc, char** argv) {
   }
 
   std::cerr << "safety_lint: checked " << inputs.size() << " files: " << findings.size()
-            << " finding(s), " << no_tsa_escapes << " SKERN_NO_TSA escape(s); access: "
+            << " finding(s), " << no_tsa_escapes << " SKERN_NO_TSA escape(s), "
+            << no_slab_escapes << " SKERN_NO_SLAB escape(s); access: "
             << access.entries_analyzed << " entries analyzed, "
             << access.accessor_sites_reached << " accessor site(s) reached, "
             << access.no_access_check_escapes << " SKERN_NO_ACCESS_CHECK escape(s)\n";

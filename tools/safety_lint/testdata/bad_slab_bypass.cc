@@ -1,0 +1,25 @@
+// lint-as: src/block/slab_bypass_demo.cc
+// Fixture: heap-allocating a slab-registered type around its named cache.
+// BufferHead is listed in [slab] types; both forms below skip the class
+// operator new that routes to the cache (M001).
+#include <memory>
+
+struct BufferHead;
+
+void LeakyAllocationPaths() {
+  // make_shared co-allocates through std::allocator: cache bypassed.
+  auto shared = std::make_shared<BufferHead>();
+  // Global-scope new explicitly skips class operator new: cache bypassed.
+  BufferHead* raw = ::new BufferHead();
+  (void)shared;
+  (void)raw;
+}
+
+void SanctionedPaths() {
+  // Class operator new routes to the named cache: fine.
+  auto owned = std::unique_ptr<BufferHead>(new BufferHead());
+  // Deliberate heap allocation, tallied: fine.
+  auto escape = std::unique_ptr<BufferHead>(SKERN_NO_SLAB(::new BufferHead()));
+  (void)owned;
+  (void)escape;
+}
